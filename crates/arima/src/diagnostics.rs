@@ -1,0 +1,112 @@
+//! Residual diagnostics.
+
+use ix_timeseries::acf;
+
+/// Result of a Ljung–Box whiteness test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LjungBox {
+    /// The Q statistic.
+    pub statistic: f64,
+    /// Lags included.
+    pub lags: usize,
+    /// Degrees of freedom (`lags - fitted_params`, floored at 1).
+    pub dof: usize,
+}
+
+impl LjungBox {
+    /// A rough white-noise acceptance check: compares Q against an
+    /// approximate chi-squared 95 % critical value (Wilson–Hilferty
+    /// approximation). A white residual series passes.
+    pub fn passes_at_95(&self) -> bool {
+        self.statistic <= chi2_critical_95(self.dof)
+    }
+}
+
+/// Approximate 95 % critical value of a chi-squared distribution with `k`
+/// degrees of freedom (Wilson–Hilferty cube approximation; within ~1 % for
+/// `k >= 3`, conservative below).
+fn chi2_critical_95(k: usize) -> f64 {
+    let k = k.max(1) as f64;
+    let z = 1.6448536269514722; // standard normal 95 % quantile
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// Ljung–Box Q statistic of `residuals` over `lags` autocorrelation lags,
+/// with `fitted_params` subtracted from the degrees of freedom.
+///
+/// `Q = n (n + 2) * sum_{k=1..lags} acf_k^2 / (n - k)`.
+pub fn ljung_box(residuals: &[f64], lags: usize, fitted_params: usize) -> LjungBox {
+    let n = residuals.len();
+    let lags = lags.min(n.saturating_sub(1)).max(1);
+    let rho = acf(residuals, lags);
+    let nf = n as f64;
+    let statistic = nf
+        * (nf + 2.0)
+        * (1..=lags)
+            .map(|k| rho[k] * rho[k] / (nf - k as f64))
+            .sum::<f64>();
+    LjungBox {
+        statistic,
+        lags,
+        dof: lags.saturating_sub(fitted_params).max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_timeseries::ArProcess;
+
+    #[test]
+    fn white_noise_passes() {
+        let xs = ArProcess {
+            phi: vec![],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(1000, 31);
+        let lb = ljung_box(&xs, 10, 0);
+        assert!(lb.passes_at_95(), "Q = {}", lb.statistic);
+    }
+
+    #[test]
+    fn strongly_correlated_series_fails() {
+        let xs = ArProcess {
+            phi: vec![0.9],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(1000, 32);
+        let lb = ljung_box(&xs, 10, 0);
+        assert!(!lb.passes_at_95(), "Q = {}", lb.statistic);
+    }
+
+    #[test]
+    fn model_residuals_whiten() {
+        use crate::{ArimaModel, ArimaSpec};
+        let xs = ArProcess {
+            phi: vec![0.8],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(2000, 33);
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).unwrap();
+        let res = m.residuals(&xs);
+        let lb = ljung_box(&res[10..], 10, 1);
+        assert!(lb.passes_at_95(), "Q = {}", lb.statistic);
+    }
+
+    #[test]
+    fn chi2_critical_reasonable() {
+        // Known values: chi2(0.95, 10) ~ 18.31, chi2(0.95, 1) ~ 3.84.
+        assert!((chi2_critical_95(10) - 18.31).abs() < 0.5);
+        assert!((chi2_critical_95(1) - 3.84).abs() < 0.6);
+    }
+
+    #[test]
+    fn lags_clamped_to_series_length() {
+        let lb = ljung_box(&[1.0, -1.0, 1.0, -1.0], 50, 0);
+        assert!(lb.lags <= 3);
+    }
+}

@@ -1,0 +1,291 @@
+//! Parameter estimation: Yule–Walker (Levinson–Durbin) and the
+//! Hannan–Rissanen two-stage procedure.
+
+use ix_linalg::Matrix;
+use ix_timeseries::{autocovariance, difference, mean};
+
+use crate::{ArimaError, ArimaModel, ArimaSpec};
+
+/// Solves the Yule–Walker equations for an AR(`p`) model via the
+/// Levinson–Durbin recursion, returning the AR coefficients.
+///
+/// Returns all-zero coefficients for a constant (zero-variance) series.
+///
+/// # Panics
+///
+/// Panics when `p == 0` or `xs.len() <= p` (callers validate first).
+pub fn yule_walker(xs: &[f64], p: usize) -> Vec<f64> {
+    assert!(p > 0, "yule_walker requires p > 0");
+    assert!(xs.len() > p, "yule_walker requires more samples than lags");
+    let gamma = autocovariance(xs, p);
+    if gamma[0] <= 1e-300 {
+        return vec![0.0; p];
+    }
+    // Levinson–Durbin on the autocovariance sequence.
+    let mut phi = vec![0.0; p + 1];
+    let mut prev = vec![0.0; p + 1];
+    let mut e = gamma[0];
+    for k in 1..=p {
+        let mut acc = gamma[k];
+        for j in 1..k {
+            acc -= prev[j] * gamma[k - j];
+        }
+        let kappa = if e.abs() < 1e-300 { 0.0 } else { acc / e };
+        phi[k] = kappa;
+        for j in 1..k {
+            phi[j] = prev[j] - kappa * prev[k - j];
+        }
+        e *= 1.0 - kappa * kappa;
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    phi[1..].to_vec()
+}
+
+/// AR(`p`) one-step residuals of `xs` using coefficients `phi` and the
+/// series mean as the level. The first `p` entries are zero (warmup).
+fn ar_residuals(xs: &[f64], phi: &[f64]) -> Vec<f64> {
+    let p = phi.len();
+    let m = mean(xs);
+    let mut res = vec![0.0; xs.len()];
+    for t in p..xs.len() {
+        let mut pred = m;
+        for (i, &ph) in phi.iter().enumerate() {
+            pred += ph * (xs[t - 1 - i] - m);
+        }
+        res[t] = xs[t] - pred;
+    }
+    res
+}
+
+/// Fits an ARIMA model (see [`ArimaModel::fit`]).
+pub(crate) fn fit(xs: &[f64], spec: ArimaSpec) -> Result<ArimaModel, ArimaError> {
+    if xs.iter().any(|v| !v.is_finite()) {
+        return Err(ArimaError::NonFinite);
+    }
+    // Enough samples for differencing, the long-AR stage and a handful of
+    // regression rows.
+    let long_ar = long_ar_order(spec, xs.len().saturating_sub(spec.d));
+    let required = spec.d + spec.warmup().max(long_ar) + spec.n_params() + 8;
+    if xs.len() < required {
+        return Err(ArimaError::TooShort {
+            required,
+            got: xs.len(),
+        });
+    }
+
+    let w = difference(xs, spec.d);
+    let n = w.len();
+
+    if spec.p == 0 && spec.q == 0 {
+        // Pure mean model on the differenced series.
+        let c = mean(&w);
+        let sigma2 = w.iter().map(|v| (v - c) * (v - c)).sum::<f64>() / n as f64;
+        return Ok(ArimaModel::from_parts(spec, c, vec![], vec![], sigma2, n));
+    }
+
+    if spec.q == 0 {
+        return fit_pure_ar(&w, spec);
+    }
+
+    // Hannan–Rissanen stage 1: long AR to proxy the innovations.
+    let phi_long = yule_walker(&w, long_ar);
+    let e_hat = ar_residuals(&w, &phi_long);
+
+    // Stage 2: OLS of w[t] on [1, w lags, e_hat lags].
+    let start = long_ar.max(spec.p).max(spec.q);
+    let rows = n - start;
+    let cols = 1 + spec.p + spec.q;
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut y = Vec::with_capacity(rows);
+    for t in start..n {
+        data.push(1.0);
+        for i in 1..=spec.p {
+            data.push(w[t - i]);
+        }
+        for j in 1..=spec.q {
+            data.push(e_hat[t - j]);
+        }
+        y.push(w[t]);
+    }
+    let design = Matrix::from_vec(rows, cols, data).expect("sized by construction");
+    let fit = ix_linalg::ols_residuals(&design, &y).map_err(|_| ArimaError::Degenerate)?;
+    let beta = &fit.coefficients;
+    let intercept = beta[0];
+    let ar = beta[1..1 + spec.p].to_vec();
+    let ma = beta[1 + spec.p..].to_vec();
+    Ok(ArimaModel::from_parts(
+        spec,
+        intercept,
+        ar,
+        ma,
+        fit.sigma2(),
+        rows,
+    ))
+}
+
+fn fit_pure_ar(w: &[f64], spec: ArimaSpec) -> Result<ArimaModel, ArimaError> {
+    let n = w.len();
+    let p = spec.p;
+    let rows = n - p;
+    let cols = 1 + p;
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut y = Vec::with_capacity(rows);
+    for t in p..n {
+        data.push(1.0);
+        for i in 1..=p {
+            data.push(w[t - i]);
+        }
+        y.push(w[t]);
+    }
+    let design = Matrix::from_vec(rows, cols, data).expect("sized by construction");
+    let fit = ix_linalg::ols_residuals(&design, &y).map_err(|_| ArimaError::Degenerate)?;
+    let beta = &fit.coefficients;
+    Ok(ArimaModel::from_parts(
+        spec,
+        beta[0],
+        beta[1..].to_vec(),
+        vec![],
+        fit.sigma2(),
+        rows,
+    ))
+}
+
+/// Order of the long autoregression in Hannan–Rissanen stage 1.
+fn long_ar_order(spec: ArimaSpec, n: usize) -> usize {
+    if spec.q == 0 {
+        return spec.p;
+    }
+    let base = spec.p.max(spec.q) + 5;
+    // Cap by both a hard limit and a quarter of the data.
+    base.min(20).min((n / 4).max(spec.p.max(spec.q) + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_timeseries::{ArProcess, MaProcess};
+
+    #[test]
+    fn yule_walker_recovers_ar1() {
+        let xs = ArProcess {
+            phi: vec![0.8],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(4000, 1);
+        let phi = yule_walker(&xs, 1);
+        assert!((phi[0] - 0.8).abs() < 0.05, "phi = {:?}", phi);
+    }
+
+    #[test]
+    fn yule_walker_recovers_ar2() {
+        let xs = ArProcess {
+            phi: vec![0.5, 0.3],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(8000, 2);
+        let phi = yule_walker(&xs, 2);
+        assert!((phi[0] - 0.5).abs() < 0.07, "{phi:?}");
+        assert!((phi[1] - 0.3).abs() < 0.07, "{phi:?}");
+    }
+
+    #[test]
+    fn yule_walker_constant_series() {
+        assert_eq!(yule_walker(&[5.0; 50], 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn fit_ar1_with_intercept() {
+        // mean = c / (1 - phi) = 2 / 0.4 = 5.
+        let xs = ArProcess {
+            phi: vec![0.6],
+            sigma: 0.5,
+            c: 2.0,
+        }
+        .generate(3000, 3);
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).unwrap();
+        assert!((m.ar_coefficients()[0] - 0.6).abs() < 0.05);
+        assert!((m.intercept() - 2.0).abs() < 0.3);
+        assert!((m.sigma2() - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn fit_ma1_recovers_theta() {
+        let xs = MaProcess {
+            theta: vec![0.6],
+            sigma: 1.0,
+            mu: 0.0,
+        }
+        .generate(8000, 4);
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(0, 0, 1)).unwrap();
+        let theta = m.ma_coefficients()[0];
+        assert!((theta - 0.6).abs() < 0.1, "theta = {theta}");
+    }
+
+    #[test]
+    fn fit_arma11() {
+        // x[t] = 0.5 x[t-1] + e[t] + 0.4 e[t-1].
+        let ar = ArProcess {
+            phi: vec![0.5],
+            sigma: 1.0,
+            c: 0.0,
+        };
+        // Build ARMA(1,1) manually: filter an MA(1) through an AR(1).
+        let ma_part = MaProcess {
+            theta: vec![0.4],
+            sigma: 1.0,
+            mu: 0.0,
+        }
+        .generate(6000, 5);
+        let mut xs = vec![0.0; ma_part.len()];
+        for t in 1..xs.len() {
+            xs[t] = 0.5 * xs[t - 1] + ma_part[t];
+        }
+        let _ = ar; // documented intent; the filter above implements it
+        let m = ArimaModel::fit(&xs[100..], ArimaSpec::new(1, 0, 1)).unwrap();
+        assert!((m.ar_coefficients()[0] - 0.5).abs() < 0.12, "{m:?}");
+        assert!((m.ma_coefficients()[0] - 0.4).abs() < 0.15, "{m:?}");
+    }
+
+    #[test]
+    fn fit_with_differencing_removes_trend() {
+        // Random walk with drift: first difference is white noise + drift.
+        let noise = ArProcess {
+            phi: vec![],
+            sigma: 1.0,
+            c: 0.5,
+        }
+        .generate(2000, 6);
+        let mut xs = vec![0.0];
+        for e in &noise {
+            let last = *xs.last().expect("non-empty");
+            xs.push(last + e);
+        }
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(0, 1, 0)).unwrap();
+        // Intercept of the differenced series is the drift 0.5.
+        assert!((m.intercept() - 0.5).abs() < 0.1, "{}", m.intercept());
+    }
+
+    #[test]
+    fn fit_rejects_short_series() {
+        let err = ArimaModel::fit(&[1.0; 5], ArimaSpec::new(2, 1, 1)).unwrap_err();
+        assert!(matches!(err, ArimaError::TooShort { .. }));
+    }
+
+    #[test]
+    fn fit_rejects_non_finite() {
+        let mut xs = vec![1.0; 100];
+        xs[50] = f64::NAN;
+        assert_eq!(
+            ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).unwrap_err(),
+            ArimaError::NonFinite
+        );
+    }
+
+    #[test]
+    fn fit_constant_series_is_noise_free() {
+        let m = ArimaModel::fit(&[3.0; 100], ArimaSpec::new(1, 0, 0)).unwrap();
+        assert!(m.sigma2() < 1e-12);
+    }
+}

@@ -1,0 +1,241 @@
+//! Forecasting on the original (undifferenced) scale.
+//!
+//! The anomaly detector needs, for every time step `t`, the prediction
+//! `M'cpi(t)` the model would have made from the history up to `t - 1`, so
+//! the central routine is [`ArimaModel::one_step_forecasts`].
+
+use ix_timeseries::difference;
+
+use crate::ArimaModel;
+
+impl ArimaModel {
+    /// One-step-ahead in-sample forecasts aligned with `xs`: entry `t` is
+    /// the model's prediction of `xs[t]` given `xs[..t]`.
+    ///
+    /// The first `warmup()` entries simply echo the observation (residual
+    /// zero) because the model has no usable history there; the anomaly
+    /// detector treats the warmup region as normal by construction.
+    pub fn one_step_forecasts(&self, xs: &[f64]) -> Vec<f64> {
+        let spec = self.spec();
+        let d = spec.d;
+        let n = xs.len();
+        let warm = spec.warmup();
+        let mut out = Vec::with_capacity(n);
+
+        // Work on the differenced series; innovations are estimated
+        // sequentially from the model's own predictions.
+        let w = difference(xs, d);
+        let wn = w.len();
+        let mut e = vec![0.0; wn];
+        let mut w_hat = vec![0.0; wn];
+        let start = spec.p.max(spec.q);
+        for (t, w_hat_t) in w_hat.iter_mut().enumerate() {
+            if t < start {
+                *w_hat_t = w[t];
+                continue;
+            }
+            let mut pred = self.intercept();
+            for (i, &phi) in self.ar_coefficients().iter().enumerate() {
+                pred += phi * w[t - 1 - i];
+            }
+            for (j, &theta) in self.ma_coefficients().iter().enumerate() {
+                pred += theta * e[t - 1 - j];
+            }
+            *w_hat_t = pred;
+            e[t] = w[t] - pred;
+        }
+
+        // Undifference the predictions: a forecast of the d-th difference at
+        // step t plus the known previous original values reconstructs the
+        // original-scale forecast. For d = 0 the mapping is identity.
+        for t in 0..n {
+            if t < warm {
+                out.push(xs[t]);
+                continue;
+            }
+            // Index into w for the difference ending at original index t.
+            let wt = t - d;
+            let mut pred = w_hat[wt];
+            // Reconstruct: x[t] = w[t] + sum of binomial-weighted previous
+            // original values. For d=0: x=w. For d=1: x[t] = w + x[t-1].
+            // For d=2: x[t] = w + 2 x[t-1] - x[t-2]. General: inclusion-
+            // exclusion with alternating binomial coefficients.
+            let mut sign = 1.0;
+            let mut binom = 1.0;
+            for k in 1..=d {
+                binom = binom * (d - k + 1) as f64 / k as f64;
+                sign = -sign;
+                pred += -sign * binom * xs[t - k];
+            }
+            out.push(pred);
+        }
+        out
+    }
+
+    /// In-sample one-step residuals: `xs[t] - one_step_forecasts(xs)[t]`.
+    pub fn residuals(&self, xs: &[f64]) -> Vec<f64> {
+        self.one_step_forecasts(xs)
+            .iter()
+            .zip(xs)
+            .map(|(f, x)| x - f)
+            .collect()
+    }
+
+    /// Iterated multi-step forecast of `horizon` future values after the end
+    /// of `xs`. Future innovations are set to their expectation (zero).
+    pub fn forecast(&self, xs: &[f64], horizon: usize) -> Vec<f64> {
+        let spec = self.spec();
+        let d = spec.d;
+        let mut history = xs.to_vec();
+
+        // Rebuild the innovation sequence over the known history so MA terms
+        // have state to start from.
+        let w = difference(xs, d);
+        let start = spec.p.max(spec.q);
+        let mut e = vec![0.0; w.len()];
+        for t in start..w.len() {
+            let mut pred = self.intercept();
+            for (i, &phi) in self.ar_coefficients().iter().enumerate() {
+                pred += phi * w[t - 1 - i];
+            }
+            for (j, &theta) in self.ma_coefficients().iter().enumerate() {
+                pred += theta * e[t - 1 - j];
+            }
+            e[t] = w[t] - pred;
+        }
+
+        let mut w_ext = w;
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let t = w_ext.len();
+            let mut pred = self.intercept();
+            for (i, &phi) in self.ar_coefficients().iter().enumerate() {
+                if t > i {
+                    pred += phi * w_ext[t - 1 - i];
+                }
+            }
+            for (j, &theta) in self.ma_coefficients().iter().enumerate() {
+                if t > j && t - 1 - j < e.len() {
+                    pred += theta * e[t - 1 - j];
+                }
+            }
+            w_ext.push(pred);
+            // Future innovations are zero in expectation.
+            // Reconstruct the original-scale value.
+            let ht = history.len();
+            let mut x_pred = pred;
+            let mut sign = 1.0;
+            let mut binom = 1.0;
+            for k in 1..=d {
+                binom = binom * (d - k + 1) as f64 / k as f64;
+                sign = -sign;
+                x_pred += -sign * binom * history[ht - k];
+            }
+            history.push(x_pred);
+            out.push(x_pred);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ArimaModel, ArimaSpec};
+    use ix_timeseries::{mean, stddev, ArProcess};
+
+    #[test]
+    fn one_step_forecasts_align_and_warmup_echoes() {
+        let xs = ArProcess {
+            phi: vec![0.7],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(300, 10);
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).unwrap();
+        let f = m.one_step_forecasts(&xs);
+        assert_eq!(f.len(), xs.len());
+        assert_eq!(f[0], xs[0]);
+    }
+
+    #[test]
+    fn residual_stddev_matches_innovation_scale() {
+        let xs = ArProcess {
+            phi: vec![0.7],
+            sigma: 2.0,
+            c: 0.0,
+        }
+        .generate(3000, 11);
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).unwrap();
+        let r = m.residuals(&xs);
+        let s = stddev(&r[10..]);
+        assert!((s - 2.0).abs() < 0.2, "residual stddev = {s}");
+    }
+
+    #[test]
+    fn forecasts_beat_naive_predictor_on_ar_series() {
+        let xs = ArProcess {
+            phi: vec![0.9],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(1000, 12);
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).unwrap();
+        let f = m.one_step_forecasts(&xs);
+        let model_sse: f64 = (10..xs.len()).map(|t| (xs[t] - f[t]).powi(2)).sum();
+        let mean_sse: f64 = {
+            let mu = mean(&xs);
+            (10..xs.len()).map(|t| (xs[t] - mu).powi(2)).sum()
+        };
+        assert!(model_sse < 0.5 * mean_sse);
+    }
+
+    #[test]
+    fn differenced_model_tracks_random_walk() {
+        // Random walk: ARIMA(0,1,0) one-step forecast is the previous value.
+        let steps = ArProcess {
+            phi: vec![],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(500, 13);
+        let mut xs = vec![0.0];
+        for e in &steps {
+            let last = *xs.last().expect("non-empty");
+            xs.push(last + e);
+        }
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(0, 1, 0)).unwrap();
+        let f = m.one_step_forecasts(&xs);
+        for t in 5..xs.len() {
+            // Prediction = previous value + estimated drift (small).
+            assert!((f[t] - xs[t - 1]).abs() < 0.2, "t={t}");
+        }
+    }
+
+    #[test]
+    fn multi_step_forecast_converges_to_mean() {
+        let xs = ArProcess {
+            phi: vec![0.5],
+            sigma: 0.5,
+            c: 1.0,
+        }
+        .generate(2000, 14);
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).unwrap();
+        let f = m.forecast(&xs, 200);
+        // Process mean = c / (1 - phi) = 2.
+        let tail = f.last().copied().unwrap();
+        assert!((tail - 2.0).abs() < 0.3, "forecast tail = {tail}");
+    }
+
+    #[test]
+    fn forecast_length() {
+        let xs = ArProcess {
+            phi: vec![0.3],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(200, 15);
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).unwrap();
+        assert_eq!(m.forecast(&xs, 7).len(), 7);
+        assert!(m.forecast(&xs, 0).is_empty());
+    }
+}

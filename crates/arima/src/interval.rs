@@ -1,0 +1,183 @@
+//! Forecast uncertainty: psi-weights and prediction intervals.
+//!
+//! The h-step-ahead forecast error variance of an ARMA process is
+//! `sigma^2 * sum_{j<h} psi_j^2`, where `psi_j` are the coefficients of the
+//! MA(∞) representation. For ARIMA with `d = 1` the psi-weights are the
+//! cumulative sums of the ARMA psi-weights (the integration operator).
+
+use crate::{ArimaError, ArimaModel};
+
+/// One forecast step with a symmetric prediction interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastInterval {
+    /// Point forecast.
+    pub mean: f64,
+    /// Lower interval bound.
+    pub lower: f64,
+    /// Upper interval bound.
+    pub upper: f64,
+    /// Forecast standard error.
+    pub std_error: f64,
+}
+
+impl ArimaModel {
+    /// The first `n` psi-weights of the model's MA(∞) representation on the
+    /// *original* (undifferenced) scale, starting with `psi_0 = 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArimaError::Degenerate`] for `d > 1` (not supported — the paper's
+    /// CPI models never difference twice).
+    pub fn psi_weights(&self, n: usize) -> Result<Vec<f64>, ArimaError> {
+        let spec = self.spec();
+        if spec.d > 1 {
+            return Err(ArimaError::Degenerate);
+        }
+        let ar = self.ar_coefficients();
+        let ma = self.ma_coefficients();
+        // ARMA psi recursion: psi_0 = 1,
+        // psi_j = theta_j + sum_{i=1..min(j,p)} phi_i * psi_{j-i}.
+        let mut psi = vec![0.0; n.max(1)];
+        psi[0] = 1.0;
+        for j in 1..psi.len() {
+            let mut v = if j <= ma.len() { ma[j - 1] } else { 0.0 };
+            for (i, &phi) in ar.iter().enumerate() {
+                if j > i {
+                    v += phi * psi[j - 1 - i];
+                }
+            }
+            psi[j] = v;
+        }
+        if spec.d == 1 {
+            // Integration: original-scale weights are cumulative sums.
+            let mut acc = 0.0;
+            for w in psi.iter_mut() {
+                acc += *w;
+                *w = acc;
+            }
+        }
+        Ok(psi)
+    }
+
+    /// Multi-step forecasts with symmetric Gaussian prediction intervals at
+    /// `z` standard errors (1.96 for ~95 %).
+    ///
+    /// # Errors
+    ///
+    /// [`ArimaError::Degenerate`] for `d > 1`.
+    pub fn forecast_with_interval(
+        &self,
+        xs: &[f64],
+        horizon: usize,
+        z: f64,
+    ) -> Result<Vec<ForecastInterval>, ArimaError> {
+        let means = self.forecast(xs, horizon);
+        let psi = self.psi_weights(horizon)?;
+        let sigma2 = self.sigma2();
+        let mut out = Vec::with_capacity(horizon);
+        let mut var = 0.0;
+        for (h, &mean) in means.iter().enumerate() {
+            var += sigma2 * psi[h] * psi[h];
+            let se = var.sqrt();
+            out.push(ForecastInterval {
+                mean,
+                lower: mean - z * se,
+                upper: mean + z * se,
+                std_error: se,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ArimaModel, ArimaSpec};
+    use ix_timeseries::ArProcess;
+
+    fn ar1(phi: f64, seed: u64) -> (Vec<f64>, ArimaModel) {
+        let xs = ArProcess {
+            phi: vec![phi],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(2000, seed);
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).unwrap();
+        (xs, m)
+    }
+
+    #[test]
+    fn ar1_psi_weights_are_powers_of_phi() {
+        let (_, m) = ar1(0.7, 41);
+        let phi = m.ar_coefficients()[0];
+        let psi = m.psi_weights(5).unwrap();
+        for (j, &w) in psi.iter().enumerate() {
+            assert!((w - phi.powi(j as i32)).abs() < 1e-9, "psi[{j}] = {w}");
+        }
+    }
+
+    #[test]
+    fn interval_width_grows_with_horizon_and_saturates() {
+        let (xs, m) = ar1(0.6, 42);
+        let f = m.forecast_with_interval(&xs, 50, 1.96).unwrap();
+        for w in f.windows(2) {
+            assert!(w[1].std_error >= w[0].std_error - 1e-12);
+        }
+        // AR(1) forecast variance saturates at sigma^2 / (1 - phi^2).
+        let phi = m.ar_coefficients()[0];
+        let limit = (m.sigma2() / (1.0 - phi * phi)).sqrt();
+        let tail = f.last().unwrap().std_error;
+        assert!((tail - limit).abs() < 0.05 * limit, "{tail} vs {limit}");
+    }
+
+    #[test]
+    fn intervals_have_roughly_nominal_coverage() {
+        // 1-step-ahead 95% intervals should cover ~95% of realized values.
+        let xs = ArProcess {
+            phi: vec![0.7],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(3000, 43);
+        let m = ArimaModel::fit(&xs[..1000], ArimaSpec::new(1, 0, 0)).unwrap();
+        let mut covered = 0;
+        let mut total = 0;
+        for t in 1000..2999 {
+            let f = m.forecast_with_interval(&xs[..t], 1, 1.96).unwrap()[0];
+            total += 1;
+            if xs[t] >= f.lower && xs[t] <= f.upper {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / total as f64;
+        assert!((0.92..=0.98).contains(&rate), "coverage {rate}");
+    }
+
+    #[test]
+    fn random_walk_interval_grows_like_sqrt_h() {
+        let steps = ArProcess {
+            phi: vec![],
+            sigma: 1.0,
+            c: 0.0,
+        }
+        .generate(1000, 44);
+        let mut xs = vec![0.0];
+        for e in &steps {
+            let last = *xs.last().unwrap();
+            xs.push(last + e);
+        }
+        let m = ArimaModel::fit(&xs, ArimaSpec::new(0, 1, 0)).unwrap();
+        let f = m.forecast_with_interval(&xs, 16, 1.0).unwrap();
+        // se(h) ~ sigma * sqrt(h): se(16) / se(4) ~ 2.
+        let ratio = f[15].std_error / f[3].std_error;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn d2_is_rejected() {
+        let xs: Vec<f64> = (0..200).map(|t| (t * t) as f64 * 0.01).collect();
+        if let Ok(m) = ArimaModel::fit(&xs, crate::ArimaSpec::new(1, 2, 0)) {
+            assert!(m.psi_weights(5).is_err());
+        }
+    }
+}

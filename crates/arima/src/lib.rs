@@ -1,0 +1,43 @@
+//! ARIMA(p, d, q) modelling, built from scratch for InvarNet-X.
+//!
+//! The paper detects performance anomalies by "checking the ARIMA model
+//! drift on CPI data": an ARIMA model is trained per workload per node on
+//! normal CPI traces, and at runtime the one-step-ahead prediction residual
+//! `|M'cpi(t) - Mcpi(t)|` is thresholded.
+//!
+//! This crate provides:
+//!
+//! - [`ArimaModel::fit`] — Hannan–Rissanen two-stage estimation (long-AR
+//!   residual proxy, then OLS on lagged values and lagged residuals),
+//!   with plain lagged OLS for pure AR models;
+//! - [`yule_walker`] — Levinson–Durbin solution of the Yule–Walker
+//!   equations, used for the long-AR stage and available standalone;
+//! - [`select_order`] — AIC grid search over `(p, d, q)`;
+//! - one-step and multi-step forecasting on the original (undifferenced)
+//!   scale, plus residual extraction for drift detection;
+//! - [`ljung_box`] — residual whiteness diagnostic.
+//!
+//! # Example
+//!
+//! ```
+//! use ix_arima::{ArimaModel, ArimaSpec};
+//! use ix_timeseries::ArProcess;
+//!
+//! let xs = ArProcess { phi: vec![0.7], sigma: 1.0, c: 0.5 }.generate(400, 42);
+//! let model = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).unwrap();
+//! let phi = model.ar_coefficients()[0];
+//! assert!((phi - 0.7).abs() < 0.1, "estimated phi = {phi}");
+//! ```
+
+mod diagnostics;
+mod estimate;
+mod forecast;
+mod interval;
+mod model;
+mod select;
+
+pub use diagnostics::{ljung_box, LjungBox};
+pub use estimate::yule_walker;
+pub use interval::ForecastInterval;
+pub use model::{ArimaError, ArimaModel, ArimaSpec};
+pub use select::{select_order, OrderSearch};

@@ -1,0 +1,213 @@
+use std::fmt;
+
+use crate::estimate;
+
+/// The order of an ARIMA model: `p` autoregressive terms, `d` differencing
+/// passes, `q` moving-average terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArimaSpec {
+    /// Autoregressive order.
+    pub p: usize,
+    /// Differencing order.
+    pub d: usize,
+    /// Moving-average order.
+    pub q: usize,
+}
+
+impl ArimaSpec {
+    /// Creates an order triple.
+    pub fn new(p: usize, d: usize, q: usize) -> Self {
+        ArimaSpec { p, d, q }
+    }
+
+    /// Number of free coefficients (AR + MA + intercept).
+    pub fn n_params(&self) -> usize {
+        self.p + self.q + 1
+    }
+
+    /// Samples consumed before the first usable regression row.
+    pub fn warmup(&self) -> usize {
+        self.d + self.p.max(self.q)
+    }
+}
+
+impl fmt::Display for ArimaSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ARIMA({},{},{})", self.p, self.d, self.q)
+    }
+}
+
+/// Errors produced when fitting or applying an ARIMA model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArimaError {
+    /// The training series is too short for the requested order.
+    TooShort {
+        /// Samples required.
+        required: usize,
+        /// Samples supplied.
+        got: usize,
+    },
+    /// A sample was NaN or infinite.
+    NonFinite,
+    /// The regression could not be solved even with regularization
+    /// (pathologically degenerate input).
+    Degenerate,
+}
+
+impl fmt::Display for ArimaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArimaError::TooShort { required, got } => {
+                write!(f, "series too short: need {required} samples, got {got}")
+            }
+            ArimaError::NonFinite => write!(f, "series contains non-finite samples"),
+            ArimaError::Degenerate => write!(f, "degenerate regression problem"),
+        }
+    }
+}
+
+impl std::error::Error for ArimaError {}
+
+/// A fitted ARIMA model.
+///
+/// The model is estimated on the `d`-times differenced series `w` as
+/// `w[t] = c + sum_i ar[i] w[t-1-i] + sum_j ma[j] e[t-1-j] + e[t]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArimaModel {
+    spec: ArimaSpec,
+    intercept: f64,
+    ar: Vec<f64>,
+    ma: Vec<f64>,
+    sigma2: f64,
+    n_effective: usize,
+}
+
+impl ArimaModel {
+    /// Fits an ARIMA model by Hannan–Rissanen (pure AR orders fall back to a
+    /// single lagged OLS).
+    ///
+    /// # Errors
+    ///
+    /// See [`ArimaError`].
+    pub fn fit(xs: &[f64], spec: ArimaSpec) -> Result<Self, ArimaError> {
+        estimate::fit(xs, spec)
+    }
+
+    /// Reconstructs a model from stored coefficients (persistence layers
+    /// use this to round-trip fitted models without refitting).
+    ///
+    /// # Errors
+    ///
+    /// [`ArimaError::Degenerate`] when coefficient counts disagree with the
+    /// spec or values are non-finite.
+    pub fn from_coefficients(
+        spec: ArimaSpec,
+        intercept: f64,
+        ar: Vec<f64>,
+        ma: Vec<f64>,
+        sigma2: f64,
+        n_effective: usize,
+    ) -> Result<Self, ArimaError> {
+        if ar.len() != spec.p || ma.len() != spec.q {
+            return Err(ArimaError::Degenerate);
+        }
+        if !intercept.is_finite()
+            || !sigma2.is_finite()
+            || sigma2 < 0.0
+            || ar.iter().chain(&ma).any(|v| !v.is_finite())
+        {
+            return Err(ArimaError::Degenerate);
+        }
+        Ok(Self::from_parts(spec, intercept, ar, ma, sigma2, n_effective))
+    }
+
+    pub(crate) fn from_parts(
+        spec: ArimaSpec,
+        intercept: f64,
+        ar: Vec<f64>,
+        ma: Vec<f64>,
+        sigma2: f64,
+        n_effective: usize,
+    ) -> Self {
+        ArimaModel {
+            spec,
+            intercept,
+            ar,
+            ma,
+            sigma2,
+            n_effective,
+        }
+    }
+
+    /// The model order.
+    pub fn spec(&self) -> ArimaSpec {
+        self.spec
+    }
+
+    /// Intercept of the differenced ARMA equation.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// AR coefficients (`ar[0]` multiplies lag 1).
+    pub fn ar_coefficients(&self) -> &[f64] {
+        &self.ar
+    }
+
+    /// MA coefficients (`ma[0]` multiplies the lag-1 innovation).
+    pub fn ma_coefficients(&self) -> &[f64] {
+        &self.ma
+    }
+
+    /// Innovation variance estimate.
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// Number of regression rows the fit used.
+    pub fn n_effective(&self) -> usize {
+        self.n_effective
+    }
+
+    /// Akaike information criterion of the fit (Gaussian likelihood
+    /// approximation): `n ln(sigma2) + 2 k`.
+    pub fn aic(&self) -> f64 {
+        let n = self.n_effective.max(1) as f64;
+        n * self.sigma2.max(1e-300).ln() + 2.0 * self.spec.n_params() as f64
+    }
+
+    /// Bayesian information criterion: `n ln(sigma2) + k ln(n)`.
+    pub fn bic(&self) -> f64 {
+        let n = self.n_effective.max(1) as f64;
+        n * self.sigma2.max(1e-300).ln() + self.spec.n_params() as f64 * n.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_accessors() {
+        let s = ArimaSpec::new(2, 1, 1);
+        assert_eq!(s.n_params(), 4);
+        assert_eq!(s.warmup(), 3);
+        assert_eq!(s.to_string(), "ARIMA(2,1,1)");
+    }
+
+    #[test]
+    fn aic_penalizes_parameters() {
+        let base = ArimaModel::from_parts(ArimaSpec::new(1, 0, 0), 0.0, vec![0.5], vec![], 1.0, 100);
+        let bigger =
+            ArimaModel::from_parts(ArimaSpec::new(3, 0, 2), 0.0, vec![0.5; 3], vec![0.1; 2], 1.0, 100);
+        assert!(bigger.aic() > base.aic());
+        assert!(bigger.bic() > base.bic());
+    }
+
+    #[test]
+    fn aic_rewards_fit() {
+        let loose = ArimaModel::from_parts(ArimaSpec::new(1, 0, 0), 0.0, vec![0.5], vec![], 4.0, 100);
+        let tight = ArimaModel::from_parts(ArimaSpec::new(1, 0, 0), 0.0, vec![0.5], vec![], 1.0, 100);
+        assert!(tight.aic() < loose.aic());
+    }
+}

@@ -1,0 +1,77 @@
+//! Jiang's normalized fitness score.
+
+use ix_timeseries::mean;
+
+/// The fitness score of a prediction against observations:
+///
+/// ```text
+/// F = 1 - ||y - yhat|| / ||y - mean(y)||
+/// ```
+///
+/// `1.0` for a perfect fit, near `0.0` (or negative, clamped to `0.0` here)
+/// when the model is no better than predicting the mean. A constant
+/// observation series scores `1.0` when predicted exactly and `0.0`
+/// otherwise.
+pub fn fitness_score(y: &[f64], yhat: &[f64]) -> f64 {
+    if y.len() != yhat.len() || y.is_empty() {
+        return 0.0;
+    }
+    let err: f64 = y
+        .iter()
+        .zip(yhat)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let my = mean(y);
+    let spread: f64 = y.iter().map(|a| (a - my) * (a - my)).sum::<f64>().sqrt();
+    if spread < 1e-12 {
+        return if err < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (1.0 - err / spread).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fitness_score(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn mean_prediction_scores_zero() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let yhat = [2.5; 4];
+        assert!(fitness_score(&y, &yhat) < 1e-12);
+    }
+
+    #[test]
+    fn worse_than_mean_clamps_to_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let yhat = [30.0, -20.0, 99.0];
+        assert_eq!(fitness_score(&y, &yhat), 0.0);
+    }
+
+    #[test]
+    fn constant_series_conventions() {
+        let y = [5.0; 4];
+        assert_eq!(fitness_score(&y, &y), 1.0);
+        assert_eq!(fitness_score(&y, &[5.0, 5.0, 5.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(fitness_score(&[], &[]), 0.0);
+        assert_eq!(fitness_score(&[1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn intermediate_quality_is_between() {
+        let y = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let yhat = [0.2, 0.9, 2.2, 2.8, 4.1, 5.2];
+        let f = fitness_score(&y, &yhat);
+        assert!(f > 0.8 && f < 1.0, "f = {f}");
+    }
+}

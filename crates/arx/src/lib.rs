@@ -1,0 +1,44 @@
+//! ARX (AutoRegressive with eXogenous input) models and the Jiang et al.
+//! fitness score — the invariant-mining baseline InvarNet-X compares
+//! against (Jiang, Chen, Yoshihira: TKDE 2007 / ICAC 2006).
+//!
+//! An ARX(n, m, k) model relates an output metric `y` to an input metric
+//! `u`:
+//!
+//! ```text
+//! y(t) = a_1 y(t-1) + ... + a_n y(t-n)
+//!      + b_0 u(t-k) + ... + b_m u(t-k-m) + c
+//! ```
+//!
+//! fitted by ordinary least squares. Model quality is Jiang's normalized
+//! fitness score
+//!
+//! ```text
+//! F = 1 - ||y - yhat|| / ||y - mean(y)||
+//! ```
+//!
+//! which is 1 for a perfect fit and <= 0 for a fit no better than the mean.
+//! A metric pair is a candidate invariant when the best fitness over a small
+//! order search stays high across training runs.
+//!
+//! # Example
+//!
+//! ```
+//! use ix_arx::{ArxModel, ArxSpec};
+//!
+//! // y follows u with one step of delay.
+//! let u: Vec<f64> = (0..100).map(|t| (t as f64 * 0.3).sin()).collect();
+//! let y: Vec<f64> = (0..100)
+//!     .map(|t| if t == 0 { 0.0 } else { 2.0 * u[t - 1] + 0.5 })
+//!     .collect();
+//! let m = ArxModel::fit(&u, &y, ArxSpec::new(0, 0, 1)).unwrap();
+//! assert!(m.fitness(&u, &y) > 0.99);
+//! ```
+
+mod fitness;
+mod invariant;
+mod model;
+
+pub use fitness::fitness_score;
+pub use invariant::{arx_association, best_arx, ArxSearch};
+pub use model::{ArxError, ArxModel, ArxSpec};

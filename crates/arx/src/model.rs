@@ -1,0 +1,280 @@
+use std::fmt;
+
+use ix_linalg::Matrix;
+
+/// The order of an ARX model: `n` output lags, `m + 1` input taps starting
+/// at delay `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArxSpec {
+    /// Number of autoregressive output lags.
+    pub n: usize,
+    /// Number of extra input taps beyond the first (total `m + 1`).
+    pub m: usize,
+    /// Input delay in steps.
+    pub k: usize,
+}
+
+impl ArxSpec {
+    /// Creates an order triple.
+    pub fn new(n: usize, m: usize, k: usize) -> Self {
+        ArxSpec { n, m, k }
+    }
+
+    /// First time index with a complete regression row.
+    pub fn warmup(&self) -> usize {
+        self.n.max(self.k + self.m)
+    }
+
+    /// Number of free coefficients (AR lags + input taps + intercept).
+    pub fn n_params(&self) -> usize {
+        self.n + self.m + 2
+    }
+}
+
+impl fmt::Display for ArxSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ARX({},{},{})", self.n, self.m, self.k)
+    }
+}
+
+/// Errors produced when fitting or applying an ARX model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArxError {
+    /// Input and output series lengths differ.
+    LengthMismatch {
+        /// Input samples.
+        u: usize,
+        /// Output samples.
+        y: usize,
+    },
+    /// Too few samples for the requested order.
+    TooShort {
+        /// Samples required.
+        required: usize,
+        /// Samples supplied.
+        got: usize,
+    },
+    /// A sample was NaN or infinite.
+    NonFinite,
+    /// The regression was unsolvable even with regularization.
+    Degenerate,
+}
+
+impl fmt::Display for ArxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArxError::LengthMismatch { u, y } => {
+                write!(f, "length mismatch: u has {u} samples, y has {y}")
+            }
+            ArxError::TooShort { required, got } => {
+                write!(f, "series too short: need {required}, got {got}")
+            }
+            ArxError::NonFinite => write!(f, "series contain non-finite samples"),
+            ArxError::Degenerate => write!(f, "degenerate regression problem"),
+        }
+    }
+}
+
+impl std::error::Error for ArxError {}
+
+/// A fitted ARX model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArxModel {
+    spec: ArxSpec,
+    /// AR coefficients `a_1..a_n`.
+    a: Vec<f64>,
+    /// Input coefficients `b_0..b_m`.
+    b: Vec<f64>,
+    /// Intercept.
+    c: f64,
+}
+
+impl ArxModel {
+    /// Fits an ARX model of order `spec` relating input `u` to output `y`
+    /// by least squares.
+    ///
+    /// # Errors
+    ///
+    /// See [`ArxError`].
+    pub fn fit(u: &[f64], y: &[f64], spec: ArxSpec) -> Result<Self, ArxError> {
+        if u.len() != y.len() {
+            return Err(ArxError::LengthMismatch {
+                u: u.len(),
+                y: y.len(),
+            });
+        }
+        if u.iter().chain(y).any(|v| !v.is_finite()) {
+            return Err(ArxError::NonFinite);
+        }
+        let warm = spec.warmup();
+        let required = warm + spec.n_params() + 4;
+        if y.len() < required {
+            return Err(ArxError::TooShort {
+                required,
+                got: y.len(),
+            });
+        }
+        let rows = y.len() - warm;
+        let cols = spec.n_params();
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut target = Vec::with_capacity(rows);
+        for t in warm..y.len() {
+            data.push(1.0);
+            for i in 1..=spec.n {
+                data.push(y[t - i]);
+            }
+            for j in 0..=spec.m {
+                data.push(u[t - spec.k - j]);
+            }
+            target.push(y[t]);
+        }
+        let design = Matrix::from_vec(rows, cols, data).expect("sized by construction");
+        let beta = ix_linalg::ols(&design, &target).map_err(|_| ArxError::Degenerate)?;
+        Ok(ArxModel {
+            spec,
+            c: beta[0],
+            a: beta[1..1 + spec.n].to_vec(),
+            b: beta[1 + spec.n..].to_vec(),
+        })
+    }
+
+    /// The model order.
+    pub fn spec(&self) -> ArxSpec {
+        self.spec
+    }
+
+    /// AR coefficients.
+    pub fn a_coefficients(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// Input coefficients.
+    pub fn b_coefficients(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Intercept.
+    pub fn intercept(&self) -> f64 {
+        self.c
+    }
+
+    /// One-step-ahead predictions aligned with `y`; the warmup prefix echoes
+    /// the observations (zero residual).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` and `y` lengths differ.
+    pub fn predict(&self, u: &[f64], y: &[f64]) -> Vec<f64> {
+        assert_eq!(u.len(), y.len(), "series must align");
+        let warm = self.spec.warmup();
+        let mut out = Vec::with_capacity(y.len());
+        for t in 0..y.len() {
+            if t < warm {
+                out.push(y[t]);
+                continue;
+            }
+            let mut pred = self.c;
+            for (i, &ai) in self.a.iter().enumerate() {
+                pred += ai * y[t - 1 - i];
+            }
+            for (j, &bj) in self.b.iter().enumerate() {
+                pred += bj * u[t - self.spec.k - j];
+            }
+            out.push(pred);
+        }
+        out
+    }
+
+    /// Jiang's normalized fitness score of this model on `(u, y)` — see
+    /// [`crate::fitness_score`].
+    pub fn fitness(&self, u: &[f64], y: &[f64]) -> f64 {
+        let pred = self.predict(u, y);
+        crate::fitness::fitness_score(y, &pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize) -> Vec<f64> {
+        (0..n).map(|t| (t as f64 * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn recovers_pure_delay_gain() {
+        let u = sine(200);
+        let y: Vec<f64> = (0..200)
+            .map(|t| if t < 2 { 0.0 } else { 3.0 * u[t - 2] + 1.0 })
+            .collect();
+        let m = ArxModel::fit(&u, &y, ArxSpec::new(0, 0, 2)).unwrap();
+        assert!((m.b_coefficients()[0] - 3.0).abs() < 1e-6);
+        assert!((m.intercept() - 1.0).abs() < 1e-6);
+        assert!(m.fitness(&u, &y) > 0.999);
+    }
+
+    #[test]
+    fn recovers_mixed_dynamics() {
+        // y(t) = 0.5 y(t-1) + 2 u(t-1).
+        let u = sine(300);
+        let mut y = vec![0.0; 300];
+        for t in 1..300 {
+            y[t] = 0.5 * y[t - 1] + 2.0 * u[t - 1];
+        }
+        let m = ArxModel::fit(&u, &y, ArxSpec::new(1, 0, 1)).unwrap();
+        assert!((m.a_coefficients()[0] - 0.5).abs() < 1e-6);
+        assert!((m.b_coefficients()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unrelated_series_have_low_fitness() {
+        let u = sine(400);
+        // A pseudo-random walk unrelated to u.
+        let mut state = 77u64;
+        let mut y = vec![0.0; 400];
+        for t in 1..400 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            y[t] = y[t - 1] * 0.2 + e;
+        }
+        let m = ArxModel::fit(&u, &y, ArxSpec::new(0, 1, 0)).unwrap();
+        assert!(m.fitness(&u, &y) < 0.5, "fitness = {}", m.fitness(&u, &y));
+    }
+
+    #[test]
+    fn error_paths() {
+        let u = sine(50);
+        assert!(matches!(
+            ArxModel::fit(&u, &u[..40], ArxSpec::new(1, 0, 1)).unwrap_err(),
+            ArxError::LengthMismatch { .. }
+        ));
+        assert!(matches!(
+            ArxModel::fit(&u[..6], &u[..6], ArxSpec::new(2, 1, 1)).unwrap_err(),
+            ArxError::TooShort { .. }
+        ));
+        let mut bad = sine(50);
+        bad[10] = f64::NAN;
+        assert_eq!(
+            ArxModel::fit(&bad, &sine(50), ArxSpec::new(1, 0, 1)).unwrap_err(),
+            ArxError::NonFinite
+        );
+    }
+
+    #[test]
+    fn spec_warmup_and_params() {
+        let s = ArxSpec::new(2, 1, 3);
+        assert_eq!(s.warmup(), 4);
+        assert_eq!(s.n_params(), 5);
+        assert_eq!(s.to_string(), "ARX(2,1,3)");
+    }
+
+    #[test]
+    fn predict_echoes_warmup() {
+        let u = sine(60);
+        let y = sine(60);
+        let m = ArxModel::fit(&u, &y, ArxSpec::new(1, 0, 1)).unwrap();
+        let p = m.predict(&u, &y);
+        assert_eq!(p[0], y[0]);
+        assert_eq!(p.len(), y.len());
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the statistical kernels that dominate the
+//! pipeline's cost profile (Table 1's constituents).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ix_arima::{ArimaModel, ArimaSpec};
+use ix_arx::{arx_association, ArxSearch};
+use ix_mic::{mic_with_params, MicParams};
+use ix_timeseries::ArProcess;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    ArProcess {
+        phi: vec![0.6],
+        sigma: 1.0,
+        c: 0.0,
+    }
+    .generate(n, seed)
+}
+
+fn bench_mic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mic_pair");
+    for &n in &[45usize, 120, 300] {
+        let x = series(n, 1);
+        let y = series(n, 2);
+        group.bench_with_input(BenchmarkId::new("default", n), &n, |b, _| {
+            b.iter(|| mic_with_params(black_box(&x), black_box(&y), &MicParams::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("fast", n), &n, |b, _| {
+            b.iter(|| mic_with_params(black_box(&x), black_box(&y), &MicParams::fast()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_arx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arx_pair");
+    for &n in &[45usize, 120] {
+        let x = series(n, 3);
+        let y = series(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| arx_association(black_box(&x), black_box(&y), ArxSearch::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_arima(c: &mut Criterion) {
+    let xs = series(150, 5);
+    c.bench_function("arima_fit_110", |b| {
+        b.iter(|| ArimaModel::fit(black_box(&xs), ArimaSpec::new(1, 1, 0)).expect("fit"))
+    });
+    let model = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).expect("fit");
+    c.bench_function("arima_one_step_forecasts_150", |b| {
+        b.iter(|| model.one_step_forecasts(black_box(&xs)))
+    });
+}
+
+criterion_group!(benches, bench_mic, bench_arx, bench_arima);
+criterion_main!(benches);

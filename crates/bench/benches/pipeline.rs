@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the pipeline stages on simulator data — the
+//! machine-readable counterpart of Table 1.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ix_core::{
+    AssociationMatrix, InvarNetConfig, InvariantSet, MicMeasure, PerformanceModel, Similarity,
+    ViolationTuple,
+};
+use ix_simulator::{FaultType, Runner, WorkloadType};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let runner = Runner::new(9);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let config = InvarNetConfig::default();
+    let mic = MicMeasure::new(config.mic);
+
+    let normals = runner.normal_runs(WorkloadType::Wordcount, 4);
+    let frames: Vec<_> = normals
+        .iter()
+        .map(|r| {
+            let f = &r.per_node[node].frame;
+            f.window(30..75.min(f.ticks()))
+        })
+        .collect();
+    let cpi: Vec<Vec<f64>> = normals
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+
+    // The full 325-pair association sweep of one window.
+    c.bench_function("association_matrix_26x45", |b| {
+        b.iter(|| AssociationMatrix::compute(black_box(&frames[0]), &mic, 4))
+    });
+
+    // Algorithm 1 over precomputed matrices.
+    let mats: Vec<AssociationMatrix> = frames
+        .iter()
+        .map(|f| AssociationMatrix::compute(f, &mic, 4))
+        .collect();
+    c.bench_function("invariant_selection_4_runs", |b| {
+        b.iter(|| InvariantSet::select(black_box(&mats), 0.2))
+    });
+
+    // Violation-tuple construction and signature search.
+    let invariants = InvariantSet::select(&mats, 0.2);
+    let fault = runner.fault_run(WorkloadType::Wordcount, FaultType::MemHog, 0);
+    let abnormal = AssociationMatrix::compute(&fault.fault_window().expect("window"), &mic, 4);
+    c.bench_function("violation_tuple", |b| {
+        b.iter(|| ViolationTuple::build(black_box(&invariants), black_box(&abnormal), 0.2))
+    });
+
+    let tuple = ViolationTuple::build(&invariants, &abnormal, 0.2);
+    let db: Vec<ViolationTuple> = (0..30)
+        .map(|k| {
+            let graded: Vec<f64> = tuple
+                .graded()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| if (i + k) % 7 == 0 { 0.4 } else { v })
+                .collect();
+            ViolationTuple::from_graded(graded)
+        })
+        .collect();
+    c.bench_function("signature_search_30_records", |b| {
+        b.iter(|| {
+            db.iter()
+                .map(|s| tuple.similarity(black_box(s), Similarity::Cosine).expect("aligned"))
+                .fold(0.0f64, f64::max)
+        })
+    });
+
+    // ARIMA training and detection on CPI.
+    c.bench_function("performance_model_train", |b| {
+        b.iter(|| PerformanceModel::train(black_box(&cpi), 1.2).expect("train"))
+    });
+    let model = PerformanceModel::train(&cpi, 1.2).expect("train");
+    c.bench_function("anomaly_detection_full_trace", |b| {
+        b.iter(|| model.detect(black_box(&cpi[0]), config.threshold_rule, 3))
+    });
+
+    // One complete simulated run.
+    c.bench_function("simulate_wordcount_run", |b| {
+        b.iter(|| runner.normal_run(WorkloadType::Wordcount, black_box(123)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,294 @@
+//! `diagnose` — an operational CLI around the InvarNet-X library.
+//!
+//! Works on CSV metric frames (the `MetricFrame::to_csv` format, i.e. what
+//! a collectl exporter would produce) plus newline-separated CPI values:
+//!
+//! ```text
+//! # offline: build a deployment file from normal runs + labeled incidents
+//! diagnose train --out deployment.json \
+//!     --context Wordcount@192.168.1.102 \
+//!     --normal run1.csv --normal run2.csv --normal run3.csv \
+//!     --cpi cpi1.txt --cpi cpi2.txt \
+//!     --incident CPU-hog=hog_window.csv
+//!
+//! # online: score a fresh window
+//! diagnose infer --deployment deployment.json \
+//!     --context Wordcount@192.168.1.102 --window incident.csv [--cpi live.txt]
+//!
+//! # demo mode: generate everything from the simulator
+//! diagnose demo
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ix_core::{InvarNetConfig, InvarNetX, ModelStore, OperationContext};
+use ix_metrics::MetricFrame;
+
+fn read_frame(path: &Path) -> Result<MetricFrame, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    MetricFrame::from_csv(&text, 10.0).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn read_cpi(path: &Path) -> Result<Vec<f64>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            l.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("{}: bad CPI value {l:?}", path.display()))
+        })
+        .collect()
+}
+
+fn parse_context(s: &str) -> Result<OperationContext, String> {
+    let (workload, node) = s
+        .split_once('@')
+        .ok_or_else(|| format!("context must be workload@node, got {s:?}"))?;
+    Ok(OperationContext::new(node, workload))
+}
+
+fn train(args: &[String]) -> Result<(), String> {
+    let mut out = PathBuf::from("deployment.json");
+    let mut context = None;
+    let mut normals: Vec<PathBuf> = Vec::new();
+    let mut cpis: Vec<PathBuf> = Vec::new();
+    let mut incidents: Vec<(String, PathBuf)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--out" => out = PathBuf::from(next("--out")?),
+            "--context" => context = Some(parse_context(&next("--context")?)?),
+            "--normal" => normals.push(PathBuf::from(next("--normal")?)),
+            "--cpi" => cpis.push(PathBuf::from(next("--cpi")?)),
+            "--incident" => {
+                let v = next("--incident")?;
+                let (label, path) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--incident wants LABEL=window.csv, got {v:?}"))?;
+                incidents.push((label.to_string(), PathBuf::from(path)));
+            }
+            other => return Err(format!("unknown train argument: {other}")),
+        }
+    }
+    let context = context.ok_or("--context is required")?;
+    if normals.len() < 2 {
+        return Err("need at least two --normal frames for Algorithm 1".into());
+    }
+
+    let mut system = InvarNetX::new(InvarNetConfig::default());
+    let frames: Result<Vec<MetricFrame>, String> = normals.iter().map(|p| read_frame(p)).collect();
+    system
+        .build_invariants(context.clone(), &frames?)
+        .map_err(|e| e.to_string())?;
+    if !cpis.is_empty() {
+        let traces: Result<Vec<Vec<f64>>, String> = cpis.iter().map(|p| read_cpi(p)).collect();
+        system
+            .train_performance_model(context.clone(), &traces?)
+            .map_err(|e| e.to_string())?;
+    }
+    for (label, path) in &incidents {
+        let frame = read_frame(path)?;
+        system
+            .record_signature(&context, label, &frame)
+            .map_err(|e| e.to_string())?;
+    }
+
+    let mut store = ModelStore::new();
+    if let Some(m) = system.performance_model(&context) {
+        store.put_model(&context, m);
+    }
+    store.put_invariants(
+        &context,
+        system.invariant_set(&context).expect("just built"),
+    );
+    store.signatures = system.signature_database();
+    store.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} invariants, {} signatures{})",
+        out.display(),
+        store.invariants.values().next().map_or(0, |s| s.len()),
+        store.signatures.len(),
+        if cpis.is_empty() { ", no CPI model" } else { "" }
+    );
+    Ok(())
+}
+
+fn infer(args: &[String]) -> Result<(), String> {
+    let mut deployment = PathBuf::from("deployment.json");
+    let mut context = None;
+    let mut window = None;
+    let mut cpi = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--deployment" => deployment = PathBuf::from(next("--deployment")?),
+            "--context" => context = Some(parse_context(&next("--context")?)?),
+            "--window" => window = Some(PathBuf::from(next("--window")?)),
+            "--cpi" => cpi = Some(PathBuf::from(next("--cpi")?)),
+            other => return Err(format!("unknown infer argument: {other}")),
+        }
+    }
+    let context = context.ok_or("--context is required")?;
+    let window = window.ok_or("--window is required")?;
+
+    let store = ModelStore::load(&deployment).map_err(|e| e.to_string())?;
+    let key = ModelStore::context_key(&context);
+    let mut system = InvarNetX::new(InvarNetConfig::default());
+    if let Some(m) = store.performance_models.get(&key) {
+        system.set_performance_model(context.clone(), m.clone().into_model().map_err(|e| e.to_string())?);
+    }
+    let invariants = store
+        .invariants
+        .get(&key)
+        .ok_or_else(|| format!("deployment has no invariants for {context}"))?;
+    system.set_invariant_set(context.clone(), invariants.clone());
+    system.set_signature_database(store.signatures.clone());
+
+    // Optional detection gate.
+    if let Some(cpi_path) = cpi {
+        let series = read_cpi(&cpi_path)?;
+        let det = system.detect(&context, &series).map_err(|e| e.to_string())?;
+        match det.first_anomaly {
+            Some(t) => println!(
+                "anomaly detected at sample {t} (residual threshold {:.4})",
+                det.threshold
+            ),
+            None => {
+                println!("no CPI anomaly — skipping cause inference (pipeline would not trigger)");
+                return Ok(());
+            }
+        }
+    }
+
+    let frame = read_frame(&window)?;
+    let diagnosis = system.diagnose(&context, &frame).map_err(|e| e.to_string())?;
+    println!(
+        "violated invariants: {}/{}",
+        diagnosis.tuple.violation_count(),
+        diagnosis.tuple.len()
+    );
+    println!("ranked causes:");
+    for (i, c) in diagnosis.ranked.iter().enumerate().take(5) {
+        println!("  {}. {:16} similarity {:.3}", i + 1, c.problem, c.similarity);
+    }
+    if !diagnosis.is_confident(0.5) {
+        println!("\nlow confidence — violated association pairs (hints for manual triage):");
+        for (a, b, dev) in diagnosis.hints(invariants).into_iter().take(8) {
+            println!("  {a} ~ {b}  deviation {dev:.2}");
+        }
+    }
+    Ok(())
+}
+
+fn demo() -> Result<(), String> {
+    use ix_simulator::{FaultType, Runner, WorkloadType};
+    let dir = std::env::temp_dir().join("invarnet_demo");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let runner = Runner::new(1);
+    let node = ix_simulator::Runner::DEFAULT_FAULT_NODE;
+    let workload = WorkloadType::Wordcount;
+    let ip = runner.nodes[node].ip();
+
+    // Export simulated data as the CSV/CPI files a real deployment would have.
+    let mut train_args: Vec<String> = vec![
+        "--out".into(),
+        dir.join("deployment.json").display().to_string(),
+        "--context".into(),
+        format!("{}@{}", workload.name(), ip),
+    ];
+    for (i, r) in runner.normal_runs(workload, 4).iter().enumerate() {
+        let frame = &r.per_node[node].frame;
+        let w = frame.window(30..75.min(frame.ticks()));
+        let p = dir.join(format!("normal{i}.csv"));
+        std::fs::write(&p, w.to_csv()).map_err(|e| e.to_string())?;
+        train_args.push("--normal".into());
+        train_args.push(p.display().to_string());
+        let cp = dir.join(format!("cpi{i}.txt"));
+        let text: String = r.per_node[node]
+            .cpi
+            .cpi_series()
+            .iter()
+            .map(|v| format!("{v}\n"))
+            .collect();
+        std::fs::write(&cp, text).map_err(|e| e.to_string())?;
+        train_args.push("--cpi".into());
+        train_args.push(cp.display().to_string());
+    }
+    for fault in [FaultType::CpuHog, FaultType::MemHog, FaultType::DiskHog] {
+        let r = runner.fault_run(workload, fault, 0);
+        let p = dir.join(format!("{}.csv", fault.name()));
+        std::fs::write(&p, r.fault_window().expect("window").to_csv())
+            .map_err(|e| e.to_string())?;
+        train_args.push("--incident".into());
+        train_args.push(format!("{}={}", fault.name(), p.display()));
+    }
+    println!("== diagnose train ==");
+    train(&train_args)?;
+
+    // A fresh incident.
+    let incident = runner.fault_run(workload, FaultType::MemHog, 5);
+    let wp = dir.join("incident.csv");
+    std::fs::write(&wp, incident.fault_window().expect("window").to_csv())
+        .map_err(|e| e.to_string())?;
+    let cp = dir.join("incident_cpi.txt");
+    let text: String = incident.per_node[node]
+        .cpi
+        .cpi_series()
+        .iter()
+        .map(|v| format!("{v}\n"))
+        .collect();
+    std::fs::write(&cp, text).map_err(|e| e.to_string())?;
+
+    println!("\n== diagnose infer (fresh Mem-hog incident) ==");
+    infer(&[
+        "--deployment".into(),
+        dir.join("deployment.json").display().to_string(),
+        "--context".into(),
+        format!("{}@{}", workload.name(), ip),
+        "--window".into(),
+        wp.display().to_string(),
+        "--cpi".into(),
+        cp.display().to_string(),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => train(&args[1..]),
+        Some("infer") => infer(&args[1..]),
+        Some("demo") => demo(),
+        Some("--help") | Some("-h") | None => {
+            println!(
+                "diagnose — InvarNet-X as a CLI\n\n\
+                 USAGE:\n  diagnose train --out FILE --context WORKLOAD@NODE \\\n\
+                 \x20        --normal frame.csv... [--cpi trace.txt...] [--incident LABEL=window.csv...]\n\
+                 \x20 diagnose infer --deployment FILE --context WORKLOAD@NODE --window incident.csv [--cpi live.txt]\n\
+                 \x20 diagnose demo   # end-to-end on simulator-exported files"
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro --experiment all            # everything (fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1)
+//! repro --experiment fig7 --runs 10 # one experiment, 10 test runs per fault
+//! repro --list
+//! ```
+
+use std::process::ExitCode;
+
+use ix_bench::experiments;
+
+struct Args {
+    experiment: String,
+    seed: u64,
+    runs: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = String::from("all");
+    let mut seed = 2014u64; // the year the paper appeared
+    let mut runs = 10usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                experiment = it.next().ok_or("--experiment needs a value")?;
+            }
+            "--seed" | "-s" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?;
+            }
+            "--runs" | "-r" => {
+                runs = it
+                    .next()
+                    .ok_or("--runs needs a value")?
+                    .parse()
+                    .map_err(|_| "--runs must be an integer")?;
+            }
+            "--list" | "-l" => {
+                println!(
+                    "fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 multifault batchsweep \
+                     ablation-epsilon ablation-tau ablation-similarity ablation-window \
+                     ablation-training ablation-detector all ablations"
+                );
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro — regenerate the InvarNet-X paper's tables and figures\n\n\
+                     USAGE: repro [--experiment <id|all>] [--seed <n>] [--runs <n>]\n\n\
+                     Experiments: fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1\n\
+                     --runs controls test runs per fault for fig7/fig8/fig9/fig10 (paper: 38)."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        experiment,
+        seed,
+        runs,
+    })
+}
+
+fn run_one(id: &str, seed: u64, runs: usize) -> Result<String, String> {
+    let out = match id {
+        "fig2" => experiments::fig2(seed).render(),
+        "fig4" => experiments::fig4(seed, 25).render(),
+        "fig5" => experiments::fig5(seed).render(),
+        "fig6" => experiments::fig6(seed).render(),
+        "fig7" => experiments::fig7(seed, runs).render(),
+        "fig8" => experiments::fig8(seed, runs).render(),
+        // Figs. 9 and 10 come from the same three-variant campaign; either
+        // id prints the combined report.
+        "fig9" | "fig10" | "fig9_10" => experiments::fig9_10(seed, runs).render(),
+        "table1" => experiments::table1(seed).render(),
+        "multifault" => experiments::multifault(seed, runs).render(),
+        "batchsweep" => experiments::batchsweep(seed, runs).render(),
+        "ablation-epsilon" => experiments::ablation_epsilon(seed, runs).render(),
+        "ablation-tau" => experiments::ablation_tau(seed, runs).render(),
+        "ablation-similarity" => experiments::ablation_similarity(seed, runs).render(),
+        "ablation-window" => experiments::ablation_window(seed, runs).render(),
+        "ablation-training" => experiments::ablation_training_runs(seed, runs).render(),
+        "ablation-detector" => experiments::ablation_detector(seed, runs).render(),
+        other => return Err(format!("unknown experiment: {other}")),
+    };
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nrun with --help for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ids: Vec<&str> = match args.experiment.as_str() {
+        "all" => vec![
+            "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9_10", "table1", "multifault",
+            "batchsweep",
+        ],
+        "ablations" => vec![
+            "ablation-epsilon",
+            "ablation-tau",
+            "ablation-similarity",
+            "ablation-window",
+            "ablation-training",
+            "ablation-detector",
+        ],
+        other => vec![other],
+    };
+    for id in ids {
+        println!("=== {id} (seed {}, runs {}) ===", args.seed, args.runs);
+        match run_one(id, args.seed, args.runs) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

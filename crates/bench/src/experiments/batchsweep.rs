@@ -1,0 +1,114 @@
+//! Cross-workload sweep — the paper's remark that "the diagnosis results
+//! under other workloads such as Sort are very similar to the shown
+//! results". Runs the Fig. 8 campaign for every batch workload and reports
+//! the per-workload averages side by side.
+
+use ix_simulator::WorkloadType;
+
+use crate::harness::{evaluate, faults_for, train, TrainOptions};
+use crate::report::{pct, Table};
+
+/// Per-workload campaign outcome.
+#[derive(Debug, Clone)]
+pub struct WorkloadOutcome {
+    /// The batch workload.
+    pub workload: WorkloadType,
+    /// Macro precision.
+    pub precision: f64,
+    /// Macro recall.
+    pub recall: f64,
+}
+
+/// Result of the batch-workload sweep.
+#[derive(Debug, Clone)]
+pub struct BatchSweepResult {
+    /// One row per batch workload.
+    pub outcomes: Vec<WorkloadOutcome>,
+    /// Test runs per fault.
+    pub test_runs: usize,
+}
+
+impl BatchSweepResult {
+    /// "Very similar": every batch workload achieves solid accuracy and the
+    /// spread across workloads stays inside ~15 points.
+    pub fn shape_holds(&self) -> bool {
+        let ps: Vec<f64> = self.outcomes.iter().map(|o| o.precision).collect();
+        let rs: Vec<f64> = self.outcomes.iter().map(|o| o.recall).collect();
+        let spread = |v: &[f64]| {
+            v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - v.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        ps.iter().all(|&p| p >= 0.75)
+            && rs.iter().all(|&r| r >= 0.70)
+            && spread(&ps) <= 0.15
+            && spread(&rs) <= 0.15
+    }
+
+    /// Plain-text report.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["workload", "avg precision", "avg recall"]);
+        for o in &self.outcomes {
+            t.row(vec![
+                o.workload.name().to_string(),
+                pct(o.precision),
+                pct(o.recall),
+            ]);
+        }
+        format!(
+            "Batch-workload sweep ({} test runs per fault)\n\
+             Paper: \"the diagnosis results under other workloads such as Sort are very\n\
+             similar to the shown results\".\n\n{}\n\
+             Shape holds: {}\n",
+            self.test_runs,
+            t.render(),
+            self.shape_holds()
+        )
+    }
+}
+
+/// Runs the Fig. 8 campaign on every batch workload.
+pub fn run(seed: u64, test_runs: usize) -> BatchSweepResult {
+    let runner = ix_simulator::Runner::new(seed);
+    let outcomes = [
+        WorkloadType::Wordcount,
+        WorkloadType::Sort,
+        WorkloadType::Grep,
+        WorkloadType::Bayes,
+    ]
+    .into_iter()
+    .map(|workload| {
+        let faults = faults_for(workload);
+        let opts = TrainOptions::default();
+        let trained = train(&runner, workload, &faults, opts);
+        let confusion = evaluate(
+            &trained,
+            &runner,
+            workload,
+            &faults,
+            test_runs,
+            opts.signature_runs,
+            true,
+        );
+        WorkloadOutcome {
+            workload,
+            precision: confusion.macro_precision(),
+            recall: confusion.macro_recall(),
+        }
+    })
+    .collect();
+    BatchSweepResult {
+        outcomes,
+        test_runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_sweep_shape_holds() {
+        let r = run(2014, 5);
+        assert!(r.shape_holds(), "{}", r.render());
+    }
+}

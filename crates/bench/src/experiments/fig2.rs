@@ -1,0 +1,133 @@
+//! Fig. 2 — the CPI and execution time of Wordcount before and after a
+//! benign CPU-utilization disturbance (paper: +30 % CPU for 300 s starting
+//! around sample 450).
+//!
+//! Paper observation: "The CPU disturbance doesn't enlarge the execution
+//! time while the CPI keeps unaffected" — i.e. a utilization-based KPI
+//! would false-alarm on pure system noise, CPI does not.
+
+use ix_metrics::MetricId;
+use ix_simulator::{simulate, CpuDisturbance, RunConfig, Runner, WorkloadType};
+use ix_timeseries::mean;
+
+use crate::report::Table;
+
+/// Result of the Fig. 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Execution time (s) of the undisturbed run.
+    pub baseline_secs: f64,
+    /// Execution time (s) of the disturbed run.
+    pub disturbed_secs: f64,
+    /// Mean CPI inside the disturbance window vs the same window undisturbed.
+    pub cpi_window_baseline: f64,
+    /// Mean CPI inside the disturbance window of the disturbed run.
+    pub cpi_window_disturbed: f64,
+    /// Mean CPU utilization inside the window, undisturbed.
+    pub cpu_window_baseline: f64,
+    /// Mean CPU utilization inside the window, disturbed.
+    pub cpu_window_disturbed: f64,
+    /// CPI series of the disturbed run (for plotting).
+    pub cpi_series: Vec<f64>,
+    /// Disturbance window in ticks.
+    pub window: (usize, usize),
+}
+
+impl Fig2Result {
+    /// Whether the paper's shape holds: execution time and CPI unaffected
+    /// (within a few percent) while CPU utilization visibly jumps.
+    pub fn shape_holds(&self) -> bool {
+        let time_ratio = self.disturbed_secs / self.baseline_secs;
+        let cpi_ratio = self.cpi_window_disturbed / self.cpi_window_baseline;
+        let cpu_jump = self.cpu_window_disturbed - self.cpu_window_baseline;
+        (0.95..=1.06).contains(&time_ratio) && (0.93..=1.10).contains(&cpi_ratio) && cpu_jump > 10.0
+    }
+
+    /// Plain-text report.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["quantity", "undisturbed", "disturbed", "ratio"]);
+        t.row(vec![
+            "execution time (s)".to_string(),
+            format!("{:.0}", self.baseline_secs),
+            format!("{:.0}", self.disturbed_secs),
+            format!("{:.3}", self.disturbed_secs / self.baseline_secs),
+        ]);
+        t.row(vec![
+            "CPI in window".to_string(),
+            format!("{:.3}", self.cpi_window_baseline),
+            format!("{:.3}", self.cpi_window_disturbed),
+            format!("{:.3}", self.cpi_window_disturbed / self.cpi_window_baseline),
+        ]);
+        t.row(vec![
+            "CPU util in window (%)".to_string(),
+            format!("{:.1}", self.cpu_window_baseline),
+            format!("{:.1}", self.cpu_window_disturbed),
+            format!("{:.3}", self.cpu_window_disturbed / self.cpu_window_baseline.max(1.0)),
+        ]);
+        format!(
+            "Fig. 2 — Wordcount under a benign +30% CPU disturbance (ticks {}..{})\n\
+             Paper: disturbance enlarges neither execution time nor CPI; only raw CPU util moves.\n\n{}\n\
+             Shape holds: {}\n",
+            self.window.0,
+            self.window.1,
+            t.render(),
+            self.shape_holds()
+        )
+    }
+}
+
+/// Runs the experiment.
+pub fn run(seed: u64) -> Fig2Result {
+    let runner = Runner::new(seed);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let window = (30usize, 60usize);
+
+    let base_cfg = {
+        let mut c = RunConfig::new(WorkloadType::Wordcount, seed.wrapping_add(17));
+        c.nodes = runner.nodes.clone();
+        c
+    };
+    let baseline = simulate(&base_cfg);
+    let disturbed = simulate(&base_cfg.clone().with_disturbance(CpuDisturbance {
+        node,
+        start_tick: window.0,
+        duration_ticks: window.1 - window.0,
+        magnitude: 0.30,
+    }));
+
+    let slice = |xs: &[f64]| -> Vec<f64> {
+        xs[window.0.min(xs.len())..window.1.min(xs.len())].to_vec()
+    };
+    let cpi_base = baseline.per_node[node].cpi.cpi_series();
+    let cpi_dist = disturbed.per_node[node].cpi.cpi_series();
+    let cpu_base = baseline.per_node[node].frame.series(MetricId::CpuUser);
+    let cpu_dist = disturbed.per_node[node].frame.series(MetricId::CpuUser);
+
+    Fig2Result {
+        baseline_secs: baseline.duration_secs(),
+        disturbed_secs: disturbed.duration_secs(),
+        cpi_window_baseline: mean(&slice(&cpi_base)),
+        cpi_window_disturbed: mean(&slice(&cpi_dist)),
+        cpu_window_baseline: mean(&slice(&cpu_base)),
+        cpu_window_disturbed: mean(&slice(&cpu_dist)),
+        cpi_series: cpi_dist,
+        window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape_holds() {
+        let r = run(2014);
+        assert!(r.shape_holds(), "{}", r.render());
+    }
+
+    #[test]
+    fn cpu_utilization_visibly_rises() {
+        let r = run(7);
+        assert!(r.cpu_window_disturbed > r.cpu_window_baseline + 15.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 5 — ARIMA CPI prediction residuals before and after a CPU-hog
+//! injection, for Wordcount and TPC-DS.
+//!
+//! Paper: "Even a cursory glance at this figure, we can see the anomaly
+//! occurs when the CPU-hog is injected" — residuals are small in the
+//! normal region and jump inside the fault window.
+
+use ix_core::{OperationContext, PerformanceModel};
+use ix_simulator::{FaultType, Runner, WorkloadType};
+use ix_timeseries::mean;
+
+use crate::report::Table;
+
+/// The residual trace of one workload.
+#[derive(Debug, Clone)]
+pub struct ResidualTrace {
+    /// The workload.
+    pub workload: WorkloadType,
+    /// Per-tick absolute prediction residuals of the faulty run.
+    pub residuals: Vec<f64>,
+    /// Fault window (ticks).
+    pub window: (usize, usize),
+    /// Mean |residual| outside the window (warmup excluded).
+    pub normal_mean: f64,
+    /// Mean |residual| inside the window.
+    pub fault_mean: f64,
+}
+
+/// Result of the Fig. 5 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Wordcount (a) and TPC-DS (b).
+    pub traces: Vec<ResidualTrace>,
+    /// The context key the models were stored under (for reporting).
+    pub contexts: Vec<OperationContext>,
+}
+
+impl Fig5Result {
+    /// The paper's shape: residuals inside the fault window are several
+    /// times the normal level, for both workloads.
+    pub fn shape_holds(&self) -> bool {
+        self.traces
+            .iter()
+            .all(|t| t.fault_mean > 3.0 * t.normal_mean.max(1e-9))
+    }
+
+    /// Plain-text report.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["workload", "normal mean |res|", "fault-window mean |res|", "ratio"]);
+        for tr in &self.traces {
+            t.row(vec![
+                tr.workload.name().to_string(),
+                format!("{:.4}", tr.normal_mean),
+                format!("{:.4}", tr.fault_mean),
+                format!("{:.1}x", tr.fault_mean / tr.normal_mean.max(1e-9)),
+            ]);
+        }
+        format!(
+            "Fig. 5 — ARIMA CPI prediction residuals before/after CPU-hog injection\n\
+             Paper: the anomaly is visible at a glance once the CPU-hog is injected.\n\n{}\n\
+             Shape holds: {}\n",
+            t.render(),
+            self.shape_holds()
+        )
+    }
+}
+
+/// Trains the ARIMA performance model on normal CPI and scores a CPU-hog
+/// run, for Wordcount and TPC-DS.
+pub fn run(seed: u64) -> Fig5Result {
+    let runner = Runner::new(seed);
+    let mut traces = Vec::new();
+    let mut contexts = Vec::new();
+    for workload in [WorkloadType::Wordcount, WorkloadType::TpcDs] {
+        let normals = runner.normal_runs(workload, 5);
+        let cpi_traces: Vec<Vec<f64>> = normals
+            .iter()
+            .map(|r| r.per_node[Runner::DEFAULT_FAULT_NODE].cpi.cpi_series())
+            .collect();
+        let model = PerformanceModel::train(&cpi_traces, 1.2).expect("training on simulator CPI");
+
+        let faulty = runner.fault_run(workload, FaultType::CpuHog, 0);
+        let cpi = faulty.per_node[Runner::DEFAULT_FAULT_NODE].cpi.cpi_series();
+        let residuals: Vec<f64> = model.arima().residuals(&cpi).iter().map(|r| r.abs()).collect();
+
+        let warm = model.arima().spec().warmup().max(3);
+        let w0 = runner.fault_start_tick;
+        let w1 = (w0 + runner.fault_duration_ticks).min(residuals.len());
+        let normal_region: Vec<f64> = residuals[warm..w0.min(residuals.len())].to_vec();
+        let fault_region: Vec<f64> = residuals[w0.min(residuals.len())..w1].to_vec();
+
+        contexts.push(OperationContext::new(
+            runner.nodes[Runner::DEFAULT_FAULT_NODE].ip(),
+            workload.name(),
+        ));
+        traces.push(ResidualTrace {
+            workload,
+            normal_mean: mean(&normal_region),
+            fault_mean: mean(&fault_region),
+            residuals,
+            window: (w0, w1),
+        });
+    }
+    Fig5Result { traces, contexts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shape_holds() {
+        let r = run(2014);
+        assert!(r.shape_holds(), "{}", r.render());
+    }
+
+    #[test]
+    fn covers_both_workload_types() {
+        let r = run(5);
+        assert_eq!(r.traces.len(), 2);
+        assert!(r.traces[0].workload.is_batch());
+        assert!(!r.traces[1].workload.is_batch());
+    }
+}

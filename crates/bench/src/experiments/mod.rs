@@ -1,0 +1,33 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every experiment takes a seed (and where relevant a run count), returns a
+//! structured result and renders a plain-text report that states the paper's
+//! observation next to the measured one. Absolute numbers are not expected
+//! to match (the substrate is a simulator, not the authors' testbed) — the
+//! *shape* is what each experiment checks.
+
+mod ablations;
+mod batchsweep;
+mod fig2;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig9_10;
+mod multifault;
+mod table1;
+
+pub use ablations::{
+    detector as ablation_detector, epsilon as ablation_epsilon, similarity as ablation_similarity,
+    tau as ablation_tau, training_runs as ablation_training_runs, window as ablation_window,
+    AblationPoint, AblationResult, DetectorAblation,
+};
+pub use batchsweep::{run as batchsweep, BatchSweepResult, WorkloadOutcome};
+pub use fig2::{run as fig2, Fig2Result};
+pub use fig4::{run as fig4, Fig4Result, WorkloadCpiCorrelation};
+pub use fig5::{run as fig5, Fig5Result, ResidualTrace};
+pub use fig6::{run as fig6, Fig6Result, RuleOutcome};
+pub use fig7::{run_fig7 as fig7, run_fig8 as fig8, DiagnosisFigure};
+pub use fig9_10::{run as fig9_10, ComparisonFigure, VariantResult};
+pub use multifault::{run as multifault, MultiFaultResult, PairOutcome};
+pub use table1::{run as table1, OverheadRow, Table1Result};

@@ -1,0 +1,15 @@
+//! The reproduction harness: code that regenerates every table and figure
+//! of the paper's evaluation (Sect. 4) on top of the simulator.
+//!
+//! Each experiment lives in [`experiments`] and returns a structured result
+//! with a plain-text rendering; the `repro` binary drives them from the
+//! command line:
+//!
+//! ```text
+//! cargo run --release -p ix-bench --bin repro -- --experiment fig7
+//! cargo run --release -p ix-bench --bin repro -- --experiment all --runs 10
+//! ```
+
+pub mod experiments;
+pub mod harness;
+pub mod report;

@@ -1,0 +1,196 @@
+//! Pairwise association matrices over the metric catalog.
+//!
+//! With `M = 26` metrics there are `M (M - 1) / 2 = 325` unordered pairs
+//! ("in theory, M(M−1)/2 association pairs should be generated"). Pairs are
+//! addressed by a canonical flat index so violation tuples across the whole
+//! pipeline agree on ordering.
+
+use crossbeam::thread;
+
+use ix_metrics::{MetricFrame, MetricId, METRIC_COUNT};
+
+use crate::measure::AssociationMeasure;
+
+/// Number of unordered metric pairs.
+pub const fn pair_count() -> usize {
+    METRIC_COUNT * (METRIC_COUNT - 1) / 2
+}
+
+/// Canonical flat index of the unordered pair `(i, j)` with `i < j`.
+///
+/// # Panics
+///
+/// Panics when `i >= j` or `j >= METRIC_COUNT`.
+pub fn pair_index(i: usize, j: usize) -> usize {
+    assert!(i < j && j < METRIC_COUNT, "invalid pair ({i}, {j})");
+    // Pairs are laid out row-major over the strict upper triangle: row i
+    // holds (i, i+1) .. (i, M-1) at offset i*M - i(i+1)/2... computed as
+    // the number of pairs preceding row i.
+    let preceding = i * (2 * METRIC_COUNT - i - 1) / 2;
+    preceding + (j - i - 1)
+}
+
+/// Inverse of [`pair_index`].
+///
+/// # Panics
+///
+/// Panics when `index >= pair_count()`.
+pub fn pair_of_index(index: usize) -> (MetricId, MetricId) {
+    assert!(index < pair_count(), "pair index {index} out of range");
+    let mut i = 0;
+    let mut offset = index;
+    loop {
+        let row_len = METRIC_COUNT - i - 1;
+        if offset < row_len {
+            return (MetricId::ALL[i], MetricId::ALL[i + 1 + offset]);
+        }
+        offset -= row_len;
+        i += 1;
+    }
+}
+
+/// The pairwise association scores of one metric frame under one measure —
+/// the matrix `A` of the paper, stored as the flat upper triangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationMatrix {
+    scores: Vec<f64>,
+}
+
+impl AssociationMatrix {
+    /// Computes all pairwise scores of `frame` under `measure`,
+    /// parallelizing the 325-pair sweep across `threads` workers.
+    pub fn compute<M: AssociationMeasure>(frame: &MetricFrame, measure: &M, threads: usize) -> Self {
+        let series: Vec<Vec<f64>> = MetricId::ALL.iter().map(|&m| frame.series(m)).collect();
+        let n_pairs = pair_count();
+        let mut scores = vec![0.0f64; n_pairs];
+        let threads = threads.max(1);
+
+        if threads == 1 {
+            for (idx, slot) in scores.iter_mut().enumerate() {
+                let (a, b) = pair_of_index(idx);
+                *slot = measure.score(&series[a.index()], &series[b.index()]);
+            }
+        } else {
+            let chunk = n_pairs.div_ceil(threads);
+            thread::scope(|scope| {
+                for (t, slice) in scores.chunks_mut(chunk).enumerate() {
+                    let series = &series;
+                    scope.spawn(move |_| {
+                        for (k, slot) in slice.iter_mut().enumerate() {
+                            let idx = t * chunk + k;
+                            let (a, b) = pair_of_index(idx);
+                            *slot = measure.score(&series[a.index()], &series[b.index()]);
+                        }
+                    });
+                }
+            })
+            .expect("association workers do not panic");
+        }
+        AssociationMatrix { scores }
+    }
+
+    /// Builds a matrix directly from flat scores (tests, deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scores.len() != pair_count()`.
+    pub fn from_scores(scores: Vec<f64>) -> Self {
+        assert_eq!(scores.len(), pair_count(), "wrong score vector length");
+        AssociationMatrix { scores }
+    }
+
+    /// Score of pair `(a, b)` (order-insensitive).
+    pub fn get(&self, a: MetricId, b: MetricId) -> f64 {
+        let (i, j) = if a.index() < b.index() {
+            (a.index(), b.index())
+        } else {
+            (b.index(), a.index())
+        };
+        self.scores[pair_index(i, j)]
+    }
+
+    /// Score at a flat pair index.
+    pub fn at(&self, index: usize) -> f64 {
+        self.scores[index]
+    }
+
+    /// The flat upper triangle.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::PearsonMeasure;
+
+    #[test]
+    fn pair_index_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..METRIC_COUNT {
+            for j in i + 1..METRIC_COUNT {
+                let idx = pair_index(i, j);
+                assert!(idx < pair_count());
+                assert!(seen.insert(idx), "duplicate index {idx}");
+                let (a, b) = pair_of_index(idx);
+                assert_eq!((a.index(), b.index()), (i, j));
+            }
+        }
+        assert_eq!(seen.len(), pair_count());
+    }
+
+    #[test]
+    fn pair_count_is_325() {
+        assert_eq!(pair_count(), 325);
+    }
+
+    fn synthetic_frame(ticks: usize) -> MetricFrame {
+        let mut f = MetricFrame::new();
+        for t in 0..ticks {
+            // Deterministic but varied: metric k at tick t.
+            let row: Vec<f64> = (0..METRIC_COUNT)
+                .map(|k| ((t * (k + 1)) as f64 * 0.37).sin() * 10.0 + 20.0 + k as f64)
+                .collect();
+            f.push_tick(&row).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let frame = synthetic_frame(60);
+        let serial = AssociationMatrix::compute(&frame, &PearsonMeasure, 1);
+        let parallel = AssociationMatrix::compute(&frame, &PearsonMeasure, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn get_is_symmetric() {
+        let frame = synthetic_frame(40);
+        let m = AssociationMatrix::compute(&frame, &PearsonMeasure, 2);
+        let a = MetricId::CpuUser;
+        let b = MetricId::NetRxKBps;
+        assert_eq!(m.get(a, b), m.get(b, a));
+    }
+
+    #[test]
+    fn identical_series_score_one_under_pearson() {
+        // CpuUser and a perfectly correlated partner.
+        let mut f = MetricFrame::new();
+        for t in 0..50 {
+            let mut row = vec![1.0; METRIC_COUNT];
+            row[MetricId::CpuUser.index()] = t as f64;
+            row[MetricId::CpuSystem.index()] = 2.0 * t as f64 + 5.0;
+            f.push_tick(&row).unwrap();
+        }
+        let m = AssociationMatrix::compute(&f, &PearsonMeasure, 1);
+        assert!((m.get(MetricId::CpuUser, MetricId::CpuSystem) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pair")]
+    fn pair_index_rejects_bad_order() {
+        pair_index(5, 5);
+    }
+}

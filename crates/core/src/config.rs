@@ -1,0 +1,67 @@
+use crate::anomaly::ThresholdRule;
+use crate::similarity::Similarity;
+
+/// Tunable parameters of the pipeline, defaulted to the paper's values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvarNetConfig {
+    /// Violation threshold ε: `|I - A| >= epsilon` flags a violation
+    /// (paper: 0.2).
+    pub epsilon: f64,
+    /// Invariant stability threshold τ: `max(V) - min(V) < tau` keeps a
+    /// pair as an invariant (paper: 0.2, Algorithm 1).
+    pub tau: f64,
+    /// Fluctuation factor β of the beta-max threshold rule (paper: 1.2).
+    pub beta: f64,
+    /// Consecutive anomalous residuals required before a performance
+    /// problem is reported (paper: 3).
+    pub consecutive_anomalies: usize,
+    /// The residual threshold rule (paper selects beta-max in Sect. 4.2).
+    pub threshold_rule: ThresholdRule,
+    /// Signature similarity measure. The paper stores binary tuples; we
+    /// default to cosine over the graded violation vector, which preserves
+    /// the binary support while weighting strong deviations — Jaccard and
+    /// Hamming over the binary tuple are also available.
+    pub similarity: Similarity,
+    /// MIC parameters for the pairwise scan; `MicParams::fast()` keeps the
+    /// 325-pair sweep cheap (the paper stresses invariant construction cost
+    /// — Table 1).
+    pub mic: ix_mic::MicParams,
+    /// ARX order search for the baseline measure.
+    pub arx: ix_arx::ArxSearch,
+    /// Minimum runs Algorithm 1 needs to judge stability.
+    pub min_training_runs: usize,
+    /// Minimum ticks a frame must have for association analysis.
+    pub min_frame_ticks: usize,
+}
+
+impl Default for InvarNetConfig {
+    fn default() -> Self {
+        InvarNetConfig {
+            epsilon: 0.2,
+            tau: 0.2,
+            beta: 1.2,
+            consecutive_anomalies: 3,
+            threshold_rule: ThresholdRule::BetaMax,
+            similarity: Similarity::Cosine,
+            mic: ix_mic::MicParams::fast(),
+            arx: ix_arx::ArxSearch::default(),
+            min_training_runs: 2,
+            min_frame_ticks: 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = InvarNetConfig::default();
+        assert_eq!(c.epsilon, 0.2);
+        assert_eq!(c.tau, 0.2);
+        assert_eq!(c.beta, 1.2);
+        assert_eq!(c.consecutive_anomalies, 3);
+        assert_eq!(c.threshold_rule, ThresholdRule::BetaMax);
+    }
+}

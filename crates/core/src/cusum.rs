@@ -1,0 +1,204 @@
+//! CUSUM change detection on raw CPI — an ablation baseline for the ARIMA
+//! drift detector.
+//!
+//! The paper's earlier approach ([11], and the related work it criticizes)
+//! thresholds raw performance metrics; a tabular CUSUM on standardized CPI
+//! is the strongest representative of that family. It works well when the
+//! normal CPI level is steady (interactive workloads) but false-alarms on
+//! batch jobs whose level legitimately moves between Map/Shuffle/Reduce —
+//! exactly the weakness the ARIMA model (which *tracks* those dynamics) is
+//! there to fix. The `ablation-detector` experiment measures this.
+
+use serde::{Deserialize, Serialize};
+
+use ix_timeseries::{mean, stddev};
+
+use crate::CoreError;
+
+/// A trained two-sided tabular CUSUM detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CusumDetector {
+    /// Reference (in-control) mean of the series.
+    pub mu: f64,
+    /// In-control standard deviation.
+    pub sigma: f64,
+    /// Slack in sigmas (`k`): deviations below `k * sigma` are tolerated.
+    pub k: f64,
+    /// Decision interval in sigmas (`h`): an accumulated excursion beyond
+    /// `h * sigma` raises an alarm.
+    pub h: f64,
+}
+
+/// The outcome of scoring a series with CUSUM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CusumResult {
+    /// Upper cumulative sums per tick (in sigmas).
+    pub upper: Vec<f64>,
+    /// Lower cumulative sums per tick (in sigmas).
+    pub lower: Vec<f64>,
+    /// Per-tick alarm flags.
+    pub alarms: Vec<bool>,
+    /// First alarmed tick, if any.
+    pub first_alarm: Option<usize>,
+}
+
+impl CusumResult {
+    /// Whether any alarm fired.
+    pub fn is_anomalous(&self) -> bool {
+        self.first_alarm.is_some()
+    }
+
+    /// Number of alarmed ticks.
+    pub fn alarm_count(&self) -> usize {
+        self.alarms.iter().filter(|&&a| a).count()
+    }
+}
+
+impl CusumDetector {
+    /// Standard textbook parameters: slack `k = 0.5` sigma (tuned for a
+    /// 1-sigma shift), decision interval `h = 5` sigma.
+    pub const DEFAULT_K: f64 = 0.5;
+    /// See [`CusumDetector::DEFAULT_K`].
+    pub const DEFAULT_H: f64 = 5.0;
+
+    /// Calibrates the in-control mean and standard deviation from normal
+    /// training traces.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotEnoughRuns`] when no samples are supplied.
+    pub fn train(traces: &[Vec<f64>], k: f64, h: f64) -> Result<Self, CoreError> {
+        let all: Vec<f64> = traces.iter().flatten().copied().collect();
+        if all.is_empty() {
+            return Err(CoreError::NotEnoughRuns { required: 1, got: 0 });
+        }
+        let mu = mean(&all);
+        let sigma = stddev(&all).max(1e-12);
+        Ok(CusumDetector { mu, sigma, k, h })
+    }
+
+    /// Scores a series: standard two-sided tabular CUSUM.
+    pub fn detect(&self, xs: &[f64]) -> CusumResult {
+        let mut upper = Vec::with_capacity(xs.len());
+        let mut lower = Vec::with_capacity(xs.len());
+        let mut alarms = Vec::with_capacity(xs.len());
+        let mut first_alarm = None;
+        let mut s_hi = 0.0f64;
+        let mut s_lo = 0.0f64;
+        for (t, &x) in xs.iter().enumerate() {
+            let z = (x - self.mu) / self.sigma;
+            s_hi = (s_hi + z - self.k).max(0.0);
+            s_lo = (s_lo - z - self.k).max(0.0);
+            let alarm = s_hi > self.h || s_lo > self.h;
+            if alarm {
+                first_alarm.get_or_insert(t);
+                // Restart after an alarm so subsequent shifts are also seen.
+                s_hi = 0.0;
+                s_lo = 0.0;
+            }
+            upper.push(s_hi);
+            lower.push(s_lo);
+            alarms.push(alarm);
+        }
+        CusumResult {
+            upper,
+            lower,
+            alarms,
+            first_alarm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_timeseries::SeriesBuilder;
+
+    fn flat_series(seed: u64) -> Vec<f64> {
+        SeriesBuilder::new(200)
+            .level(1.3)
+            .noise(0.03)
+            .build(seed)
+            .unwrap()
+            .into_values()
+    }
+
+    fn train_flat() -> CusumDetector {
+        let traces: Vec<Vec<f64>> = (0..4).map(flat_series).collect();
+        CusumDetector::train(&traces, CusumDetector::DEFAULT_K, CusumDetector::DEFAULT_H).unwrap()
+    }
+
+    #[test]
+    fn quiet_on_in_control_series() {
+        let det = train_flat();
+        let r = det.detect(&flat_series(77));
+        assert!(!r.is_anomalous(), "false alarm at {:?}", r.first_alarm);
+    }
+
+    #[test]
+    fn detects_a_level_shift_quickly() {
+        let det = train_flat();
+        let mut xs = flat_series(78);
+        for v in xs[100..].iter_mut() {
+            *v += 0.06; // 2-sigma shift
+        }
+        let r = det.detect(&xs);
+        let first = r.first_alarm.expect("shift detected");
+        assert!((100..115).contains(&first), "alarm at {first}");
+    }
+
+    #[test]
+    fn false_alarms_on_legitimate_level_changes() {
+        // The weakness the ARIMA detector fixes: a batch job's phase change
+        // looks like a shift to CUSUM.
+        let det = train_flat();
+        let mut xs = flat_series(79);
+        for (t, v) in xs.iter_mut().enumerate() {
+            if t >= 120 {
+                *v += 0.15; // "reduce phase" CPI level
+            }
+        }
+        let r = det.detect(&xs);
+        assert!(r.is_anomalous(), "CUSUM should chase the phase change");
+    }
+
+    #[test]
+    fn two_sided_detection() {
+        let det = train_flat();
+        let mut xs = flat_series(80);
+        for v in xs[100..].iter_mut() {
+            *v -= 0.06;
+        }
+        assert!(det.detect(&xs).is_anomalous(), "downward shifts count too");
+    }
+
+    #[test]
+    fn restart_after_alarm_sees_second_shift() {
+        let det = train_flat();
+        let mut xs = flat_series(81);
+        for v in xs[60..80].iter_mut() {
+            *v += 0.08;
+        }
+        for v in xs[150..170].iter_mut() {
+            *v += 0.08;
+        }
+        let r = det.detect(&xs);
+        let alarm_ticks: Vec<usize> = r
+            .alarms
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(t, _)| t)
+            .collect();
+        assert!(alarm_ticks.iter().any(|&t| t < 100));
+        assert!(alarm_ticks.iter().any(|&t| t >= 150));
+    }
+
+    #[test]
+    fn train_requires_samples() {
+        assert!(matches!(
+            CusumDetector::train(&[], 0.5, 5.0),
+            Err(CoreError::NotEnoughRuns { .. })
+        ));
+    }
+}

@@ -1,0 +1,70 @@
+use std::fmt;
+
+use crate::OperationContext;
+
+/// Errors produced by the InvarNet-X pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// No performance model has been trained for the context.
+    NoPerformanceModel(OperationContext),
+    /// No invariant set has been built for the context.
+    NoInvariants(OperationContext),
+    /// The signature database holds no signatures for the context.
+    EmptySignatureDatabase(OperationContext),
+    /// Training needs at least `required` runs, got `got`.
+    NotEnoughRuns {
+        /// Runs required.
+        required: usize,
+        /// Runs supplied.
+        got: usize,
+    },
+    /// A supplied metric frame is too short for association analysis.
+    FrameTooShort {
+        /// Ticks required.
+        required: usize,
+        /// Ticks supplied.
+        got: usize,
+    },
+    /// The underlying ARIMA fit failed.
+    Arima(ix_arima::ArimaError),
+    /// Two violation tuples (or a tuple and an invariant set) have
+    /// mismatched lengths — they come from different invariant sets.
+    TupleLengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoPerformanceModel(ctx) => {
+                write!(f, "no performance model trained for context {ctx}")
+            }
+            CoreError::NoInvariants(ctx) => write!(f, "no invariants built for context {ctx}"),
+            CoreError::EmptySignatureDatabase(ctx) => {
+                write!(f, "signature database empty for context {ctx}")
+            }
+            CoreError::NotEnoughRuns { required, got } => {
+                write!(f, "need at least {required} runs, got {got}")
+            }
+            CoreError::FrameTooShort { required, got } => {
+                write!(f, "metric frame too short: need {required} ticks, got {got}")
+            }
+            CoreError::Arima(e) => write!(f, "ARIMA: {e}"),
+            CoreError::TupleLengthMismatch { expected, got } => {
+                write!(f, "violation tuple length {got} does not match invariant set {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ix_arima::ArimaError> for CoreError {
+    fn from(e: ix_arima::ArimaError) -> Self {
+        CoreError::Arima(e)
+    }
+}

@@ -1,0 +1,244 @@
+//! Evaluation helpers: precision/recall per fault and confusion matrices,
+//! as used throughout Sect. 4.
+
+use std::collections::BTreeMap;
+
+/// Precision/recall of one label, with the underlying counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl PrecisionRecall {
+    /// `tp / (tp + fp)`; `0.0` when the label was never predicted (the
+    /// standard zero-division convention — a class the system cannot
+    /// produce has no usable precision).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; `1.0` when the label never occurred.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// A multi-class confusion matrix over string labels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConfusionMatrix {
+    counts: BTreeMap<(String, String), usize>,
+}
+
+/// Per-label evaluation row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalOutcome {
+    /// The label.
+    pub label: String,
+    /// Its precision/recall counts.
+    pub pr: PrecisionRecall,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    /// Records one diagnosis outcome.
+    pub fn add(&mut self, actual: &str, predicted: &str) {
+        *self
+            .counts
+            .entry((actual.to_string(), predicted.to_string()))
+            .or_insert(0) += 1;
+    }
+
+    /// Count of `(actual, predicted)`.
+    pub fn count(&self, actual: &str, predicted: &str) -> usize {
+        self.counts
+            .get(&(actual.to_string(), predicted.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All labels seen (as actual or predicted), sorted.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self
+            .counts
+            .keys()
+            .flat_map(|(a, p)| [a.clone(), p.clone()])
+            .collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// Precision/recall counts of one label.
+    pub fn pr(&self, label: &str) -> PrecisionRecall {
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut fn_ = 0;
+        for ((actual, predicted), &c) in &self.counts {
+            let a = actual == label;
+            let p = predicted == label;
+            if a && p {
+                tp += c;
+            } else if p {
+                fp += c;
+            } else if a {
+                fn_ += c;
+            }
+        }
+        PrecisionRecall { tp, fp, fn_ }
+    }
+
+    /// Per-label rows, sorted by label.
+    pub fn per_label(&self) -> Vec<EvalOutcome> {
+        self.labels()
+            .into_iter()
+            .map(|label| {
+                let pr = self.pr(&label);
+                EvalOutcome { label, pr }
+            })
+            .collect()
+    }
+
+    /// Unweighted mean precision over labels that actually occurred.
+    pub fn macro_precision(&self) -> f64 {
+        self.macro_stat(|pr| pr.precision())
+    }
+
+    /// Unweighted mean recall over labels that actually occurred.
+    pub fn macro_recall(&self) -> f64 {
+        self.macro_stat(|pr| pr.recall())
+    }
+
+    fn macro_stat(&self, f: impl Fn(&PrecisionRecall) -> f64) -> f64 {
+        let rows: Vec<PrecisionRecall> = self
+            .labels()
+            .into_iter()
+            .map(|l| self.pr(&l))
+            .filter(|pr| pr.tp + pr.fn_ > 0)
+            .collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(&f).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Total recorded outcomes.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Overall accuracy (`sum of diagonal / total`).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        let diag: usize = self
+            .counts
+            .iter()
+            .filter(|((a, p), _)| a == p)
+            .map(|(_, &c)| c)
+            .sum();
+        diag as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new();
+        // A: 3 correct, 1 mistaken as B. B: 2 correct, 1 mistaken as A.
+        for _ in 0..3 {
+            m.add("A", "A");
+        }
+        m.add("A", "B");
+        for _ in 0..2 {
+            m.add("B", "B");
+        }
+        m.add("B", "A");
+        m
+    }
+
+    #[test]
+    fn counts_and_labels() {
+        let m = example();
+        assert_eq!(m.count("A", "A"), 3);
+        assert_eq!(m.count("A", "B"), 1);
+        assert_eq!(m.labels(), vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(m.total(), 7);
+    }
+
+    #[test]
+    fn precision_recall_per_label() {
+        let m = example();
+        let a = m.pr("A");
+        // Predicted A: 3 tp + 1 fp (B->A). Actual A: 3 tp + 1 fn.
+        assert_eq!((a.tp, a.fp, a.fn_), (3, 1, 1));
+        assert!((a.precision() - 0.75).abs() < 1e-12);
+        assert!((a.recall() - 0.75).abs() < 1e-12);
+        let b = m.pr("B");
+        assert!((b.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((b.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_averages_and_accuracy() {
+        let m = example();
+        assert!((m.macro_precision() - (0.75 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert!((m.macro_recall() - (0.75 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert!((m.accuracy() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_predicted_label_has_zero_precision() {
+        let mut m = ConfusionMatrix::new();
+        m.add("A", "B");
+        let a = m.pr("A");
+        assert_eq!(a.precision(), 0.0);
+        assert_eq!(a.recall(), 0.0);
+    }
+
+    #[test]
+    fn f1_harmonic_mean() {
+        let pr = PrecisionRecall { tp: 1, fp: 1, fn_: 0 };
+        // p = 0.5, r = 1.0 -> f1 = 2/3.
+        assert!((pr.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_conventions() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.macro_precision(), 0.0);
+        assert!(m.labels().is_empty());
+    }
+}

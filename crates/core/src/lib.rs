@@ -1,0 +1,57 @@
+//! InvarNet-X: the paper's primary contribution.
+//!
+//! A comprehensive invariant-based performance-diagnosis pipeline for big
+//! data platforms, with two halves:
+//!
+//! **Offline** (per [`OperationContext`] — workload type × node):
+//!
+//! 1. [`PerformanceModel`] — an ARIMA model of normal CPI dynamics, plus
+//!    residual thresholds calibrated by one of the three
+//!    [`ThresholdRule`]s (max-min / 95-percentile / beta-max);
+//! 2. [`InvariantSet`] — Algorithm 1: pairwise associations over the 26
+//!    metrics across N normal runs; pairs whose score band is narrower than
+//!    `tau` are *observable likely invariants*. The association measure is
+//!    pluggable ([`AssociationMeasure`]): MIC for InvarNet-X proper,
+//!    ARX fitness for the Jiang et al. baseline;
+//! 3. [`SignatureDatabase`] — for each investigated fault, the
+//!    [`ViolationTuple`] (which invariants deviate by at least `epsilon`)
+//!    becomes the fault's signature.
+//!
+//! **Online**:
+//!
+//! 4. anomaly detection — three consecutive CPI prediction residuals above
+//!    the calibrated threshold trigger cause inference;
+//! 5. cause inference — the current violation tuple is matched against the
+//!    signature database by a [`Similarity`] measure; the closest
+//!    signatures' causes are reported, ranked.
+//!
+//! The facade type is [`InvarNetX`]; `examples/quickstart.rs` in the
+//! workspace root shows the full train → detect → diagnose loop.
+
+mod anomaly;
+mod assoc;
+mod config;
+mod context;
+mod cusum;
+mod error;
+mod eval;
+mod invariants;
+mod measure;
+mod pipeline;
+mod signature;
+mod similarity;
+mod store;
+
+pub use anomaly::{DetectionResult, PerformanceModel, ThresholdRule};
+pub use assoc::{pair_count, pair_index, pair_of_index, AssociationMatrix};
+pub use config::InvarNetConfig;
+pub use context::OperationContext;
+pub use cusum::{CusumDetector, CusumResult};
+pub use error::CoreError;
+pub use eval::{ConfusionMatrix, EvalOutcome, PrecisionRecall};
+pub use invariants::InvariantSet;
+pub use measure::{ArxMeasure, AssociationMeasure, MicMeasure, PearsonMeasure};
+pub use pipeline::{Diagnosis, InvarNetX, RankedCause};
+pub use signature::{Signature, SignatureDatabase, ViolationTuple};
+pub use similarity::Similarity;
+pub use store::{to_xml, ModelStore};

@@ -1,0 +1,548 @@
+//! The InvarNet-X facade: offline training and the online engine.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use ix_metrics::MetricFrame;
+
+use crate::anomaly::{DetectionResult, PerformanceModel};
+use crate::assoc::AssociationMatrix;
+use crate::config::InvarNetConfig;
+use crate::context::OperationContext;
+use crate::invariants::InvariantSet;
+use crate::measure::{AssociationMeasure, MicMeasure};
+use crate::signature::{Signature, SignatureDatabase, ViolationTuple};
+use crate::CoreError;
+
+/// One ranked root-cause candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCause {
+    /// Problem label from the signature database.
+    pub problem: String,
+    /// Similarity of the observed violation tuple to the problem's
+    /// signature, in `[0, 1]`.
+    pub similarity: f64,
+}
+
+/// The outcome of cause inference: "a list of root causes which puts the
+/// most probable causes in the top".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// Candidates, best first.
+    pub ranked: Vec<RankedCause>,
+    /// The violation tuple that was matched.
+    pub tuple: ViolationTuple,
+}
+
+impl Diagnosis {
+    /// The most probable root cause.
+    pub fn root_cause(&self) -> Option<&RankedCause> {
+        self.ranked.first()
+    }
+
+    /// Whether the best match is convincing enough to report as a known
+    /// problem rather than handing hints to the administrator.
+    pub fn is_confident(&self, min_similarity: f64) -> bool {
+        self.root_cause().is_some_and(|c| c.similarity >= min_similarity)
+    }
+
+    /// The paper's multiple-fault extension: "our method could be easily
+    /// extended to multiple faults by listing multiple root causes whose
+    /// signatures are most similar to the violation tuple". Returns up to
+    /// `k` causes whose similarity reaches `min_similarity`.
+    pub fn top_causes(&self, k: usize, min_similarity: f64) -> Vec<&RankedCause> {
+        self.ranked
+            .iter()
+            .take(k)
+            .filter(|c| c.similarity >= min_similarity)
+            .collect()
+    }
+
+    /// Hints for unknown problems: the violated invariant pairs, strongest
+    /// deviation first — "it can provide some hints by showing the violated
+    /// association pairs (e.g. lock number–cpu utilization)". `invariants`
+    /// must be the set the diagnosis was made against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `invariants` does not match the tuple's length (a set
+    /// from a different context).
+    pub fn hints(&self, invariants: &crate::InvariantSet) -> Vec<(ix_metrics::MetricId, ix_metrics::MetricId, f64)> {
+        assert_eq!(
+            invariants.len(),
+            self.tuple.len(),
+            "invariant set does not match the diagnosis tuple"
+        );
+        let mut out: Vec<(ix_metrics::MetricId, ix_metrics::MetricId, f64)> = self
+            .tuple
+            .graded()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(k, &v)| {
+                let (a, b) = invariants.metrics_of(k);
+                (a, b, v)
+            })
+            .collect();
+        out.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite deviations"));
+        out
+    }
+}
+
+/// The InvarNet-X system: per-context performance models, invariant sets
+/// and a signature database, with a pluggable association measure.
+pub struct InvarNetX {
+    config: InvarNetConfig,
+    measure: Box<dyn AssociationMeasure>,
+    perf_models: HashMap<OperationContext, PerformanceModel>,
+    invariants: HashMap<OperationContext, InvariantSet>,
+    signatures: RwLock<SignatureDatabase>,
+    threads: usize,
+}
+
+impl InvarNetX {
+    /// A system with the default MIC measure.
+    pub fn new(config: InvarNetConfig) -> Self {
+        let mic = MicMeasure::new(config.mic);
+        Self::with_measure(config, Box::new(mic))
+    }
+
+    /// A system with an explicit association measure (e.g. the ARX
+    /// baseline).
+    pub fn with_measure(config: InvarNetConfig, measure: Box<dyn AssociationMeasure>) -> Self {
+        InvarNetX {
+            config,
+            measure,
+            perf_models: HashMap::new(),
+            invariants: HashMap::new(),
+            signatures: RwLock::new(SignatureDatabase::new()),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+        }
+    }
+
+    /// Overrides the worker count of the pairwise association sweep.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &InvarNetConfig {
+        &self.config
+    }
+
+    /// The association measure's name ("MIC" / "ARX" / ...).
+    pub fn measure_name(&self) -> &'static str {
+        self.measure.name()
+    }
+
+    // ------------------------------------------------------- offline part
+
+    /// Trains the per-context ARIMA performance model on N normal CPI
+    /// traces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors ([`CoreError::NotEnoughRuns`], ARIMA
+    /// failures).
+    pub fn train_performance_model(
+        &mut self,
+        context: OperationContext,
+        cpi_traces: &[Vec<f64>],
+    ) -> Result<(), CoreError> {
+        let model = PerformanceModel::train(cpi_traces, self.config.beta)?;
+        self.perf_models.insert(context, model);
+        Ok(())
+    }
+
+    /// Computes the pairwise association matrix of one frame under the
+    /// configured measure.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FrameTooShort`] when the frame has too few ticks.
+    pub fn association_matrix(&self, frame: &MetricFrame) -> Result<AssociationMatrix, CoreError> {
+        if frame.ticks() < self.config.min_frame_ticks {
+            return Err(CoreError::FrameTooShort {
+                required: self.config.min_frame_ticks,
+                got: frame.ticks(),
+            });
+        }
+        Ok(AssociationMatrix::compute(
+            frame,
+            &MeasureRef(self.measure.as_ref()),
+            self.threads,
+        ))
+    }
+
+    /// Runs Algorithm 1: builds the invariant set of a context from the
+    /// metric frames of N normal runs.
+    ///
+    /// For comparability, pass frames windowed the same way diagnosis
+    /// windows will be (association estimates depend on sample count).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotEnoughRuns`] / [`CoreError::FrameTooShort`].
+    pub fn build_invariants(
+        &mut self,
+        context: OperationContext,
+        normal_frames: &[MetricFrame],
+    ) -> Result<(), CoreError> {
+        if normal_frames.len() < self.config.min_training_runs {
+            return Err(CoreError::NotEnoughRuns {
+                required: self.config.min_training_runs,
+                got: normal_frames.len(),
+            });
+        }
+        let mut matrices = Vec::with_capacity(normal_frames.len());
+        for frame in normal_frames {
+            matrices.push(self.association_matrix(frame)?);
+        }
+        let set = InvariantSet::select(&matrices, self.config.tau);
+        self.invariants.insert(context, set);
+        Ok(())
+    }
+
+    /// Builds the violation tuple of an abnormal window against the
+    /// context's invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoInvariants`] / frame errors.
+    pub fn violation_tuple(
+        &self,
+        context: &OperationContext,
+        abnormal: &MetricFrame,
+    ) -> Result<ViolationTuple, CoreError> {
+        let invariants = self
+            .invariants
+            .get(context)
+            .ok_or_else(|| CoreError::NoInvariants(context.clone()))?;
+        let matrix = self.association_matrix(abnormal)?;
+        Ok(ViolationTuple::build(invariants, &matrix, self.config.epsilon))
+    }
+
+    /// Records a signature for an investigated problem ("once the
+    /// performance problem is resolved, a new signature will be added").
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InvarNetX::violation_tuple`].
+    pub fn record_signature(
+        &self,
+        context: &OperationContext,
+        problem: &str,
+        abnormal: &MetricFrame,
+    ) -> Result<(), CoreError> {
+        let tuple = self.violation_tuple(context, abnormal)?;
+        self.signatures.write().add(Signature {
+            tuple,
+            problem: problem.to_string(),
+            context: context.clone(),
+        });
+        Ok(())
+    }
+
+    // -------------------------------------------------------- online part
+
+    /// Scores a CPI trace against the context's performance model.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoPerformanceModel`].
+    pub fn detect(
+        &self,
+        context: &OperationContext,
+        cpi: &[f64],
+    ) -> Result<DetectionResult, CoreError> {
+        let model = self
+            .perf_models
+            .get(context)
+            .ok_or_else(|| CoreError::NoPerformanceModel(context.clone()))?;
+        Ok(model.detect(
+            cpi,
+            self.config.threshold_rule,
+            self.config.consecutive_anomalies,
+        ))
+    }
+
+    /// Cause inference: matches the abnormal window's violation tuple
+    /// against the signature database.
+    ///
+    /// # Errors
+    ///
+    /// Missing invariants/signatures for the context, or frame errors.
+    pub fn diagnose(
+        &self,
+        context: &OperationContext,
+        abnormal: &MetricFrame,
+    ) -> Result<Diagnosis, CoreError> {
+        let tuple = self.violation_tuple(context, abnormal)?;
+        let ranked = self
+            .signatures
+            .read()
+            .rank(context, &tuple, self.config.similarity)?
+            .into_iter()
+            .map(|(problem, similarity)| RankedCause {
+                problem,
+                similarity,
+            })
+            .collect();
+        Ok(Diagnosis { ranked, tuple })
+    }
+
+    /// The full online step: detect on CPI, and only when anomalous run
+    /// cause inference on the metric window ("to reduce the cost of
+    /// unnecessary performance diagnosis").
+    ///
+    /// # Errors
+    ///
+    /// Any error from detection or diagnosis.
+    pub fn process(
+        &self,
+        context: &OperationContext,
+        cpi: &[f64],
+        window: &MetricFrame,
+    ) -> Result<(DetectionResult, Option<Diagnosis>), CoreError> {
+        let detection = self.detect(context, cpi)?;
+        if detection.is_anomalous() {
+            let diagnosis = self.diagnose(context, window)?;
+            Ok((detection, Some(diagnosis)))
+        } else {
+            Ok((detection, None))
+        }
+    }
+
+    // --------------------------------------------------------- inspection
+
+    /// The trained performance model of a context.
+    pub fn performance_model(&self, context: &OperationContext) -> Option<&PerformanceModel> {
+        self.perf_models.get(context)
+    }
+
+    /// The invariant set of a context.
+    pub fn invariant_set(&self, context: &OperationContext) -> Option<&InvariantSet> {
+        self.invariants.get(context)
+    }
+
+    /// A snapshot of the signature database.
+    pub fn signature_database(&self) -> SignatureDatabase {
+        self.signatures.read().clone()
+    }
+
+    /// Contexts with trained models.
+    pub fn contexts(&self) -> Vec<OperationContext> {
+        let mut out: Vec<OperationContext> = self.perf_models.keys().cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// Replaces the signature database (used when loading persisted state).
+    pub fn set_signature_database(&self, db: SignatureDatabase) {
+        *self.signatures.write() = db;
+    }
+
+    /// Installs a prebuilt invariant set (used when loading persisted state).
+    pub fn set_invariant_set(&mut self, context: OperationContext, set: InvariantSet) {
+        self.invariants.insert(context, set);
+    }
+
+    /// Installs a prebuilt performance model (used when loading persisted
+    /// state).
+    pub fn set_performance_model(&mut self, context: OperationContext, model: PerformanceModel) {
+        self.perf_models.insert(context, model);
+    }
+}
+
+impl std::fmt::Debug for InvarNetX {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvarNetX")
+            .field("measure", &self.measure.name())
+            .field("contexts", &self.perf_models.len())
+            .field("invariant_sets", &self.invariants.len())
+            .field("signatures", &self.signatures.read().len())
+            .finish()
+    }
+}
+
+/// Adapter so `Box<dyn AssociationMeasure>` can feed the generic matrix
+/// computation without re-boxing per call.
+struct MeasureRef<'a>(&'a dyn AssociationMeasure);
+
+impl AssociationMeasure for MeasureRef<'_> {
+    fn score(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.0.score(x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_metrics::METRIC_COUNT;
+
+    fn tiny_config() -> InvarNetConfig {
+        InvarNetConfig {
+            min_frame_ticks: 5,
+            ..InvarNetConfig::default()
+        }
+    }
+
+    /// A frame whose metrics are all driven by one latent ramp (strongly
+    /// associated), with metric 0 optionally replaced by noise.
+    fn coupled_frame(ticks: usize, seed: u64, break_metric0: bool) -> MetricFrame {
+        let mut f = MetricFrame::new();
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for t in 0..ticks {
+            let latent = (t as f64 * 0.23).sin() * 5.0 + 10.0 + 0.2 * next();
+            let mut row: Vec<f64> = (0..METRIC_COUNT)
+                .map(|k| latent * (k + 1) as f64 + 0.1 * next())
+                .collect();
+            if break_metric0 {
+                row[0] = 100.0 * next();
+            }
+            f.push_tick(&row).unwrap();
+        }
+        f
+    }
+
+    fn ctx() -> OperationContext {
+        OperationContext::new("10.0.0.1", "Test")
+    }
+
+    #[test]
+    fn end_to_end_single_context() {
+        let mut ix = InvarNetX::new(tiny_config());
+        ix.set_threads(2);
+
+        // Invariants from 3 normal frames.
+        let frames: Vec<MetricFrame> = (0..3).map(|s| coupled_frame(60, s, false)).collect();
+        ix.build_invariants(ctx(), &frames).unwrap();
+        let inv = ix.invariant_set(&ctx()).unwrap();
+        assert!(inv.len() > 200, "coupled frame should keep most pairs, got {}", inv.len());
+
+        // Signature: metric 0 decoupled.
+        let broken = coupled_frame(60, 77, true);
+        ix.record_signature(&ctx(), "metric0-break", &broken).unwrap();
+        ix.record_signature(&ctx(), "nothing", &coupled_frame(60, 78, false))
+            .unwrap();
+
+        // Diagnosis of a fresh broken window.
+        let probe = coupled_frame(60, 99, true);
+        let d = ix.diagnose(&ctx(), &probe).unwrap();
+        assert_eq!(d.root_cause().unwrap().problem, "metric0-break");
+        assert!(d.tuple.violation_count() > 0);
+    }
+
+    #[test]
+    fn detection_gates_diagnosis() {
+        let mut ix = InvarNetX::new(tiny_config());
+        ix.set_threads(1);
+        let cpi_traces: Vec<Vec<f64>> = (0..3)
+            .map(|s| {
+                ix_timeseries::SeriesBuilder::new(120)
+                    .level(1.0)
+                    .ar1(0.6)
+                    .noise(0.02)
+                    .build(s)
+                    .unwrap()
+                    .into_values()
+            })
+            .collect();
+        ix.train_performance_model(ctx(), &cpi_traces).unwrap();
+        let frames: Vec<MetricFrame> = (0..2).map(|s| coupled_frame(40, s, false)).collect();
+        ix.build_invariants(ctx(), &frames).unwrap();
+        ix.record_signature(&ctx(), "x", &coupled_frame(40, 7, true)).unwrap();
+
+        // Normal CPI: no diagnosis performed.
+        let normal = &cpi_traces[0];
+        let (det, diag) = ix.process(&ctx(), normal, &coupled_frame(40, 8, true)).unwrap();
+        assert!(!det.is_anomalous());
+        assert!(diag.is_none());
+
+        // Anomalous CPI: diagnosis runs.
+        let mut hot = normal.clone();
+        for v in hot[60..90].iter_mut() {
+            *v *= 1.8;
+        }
+        let (det, diag) = ix.process(&ctx(), &hot, &coupled_frame(40, 9, true)).unwrap();
+        assert!(det.is_anomalous());
+        assert_eq!(diag.unwrap().root_cause().unwrap().problem, "x");
+    }
+
+    #[test]
+    fn missing_state_errors() {
+        let ix = InvarNetX::new(tiny_config());
+        assert!(matches!(
+            ix.detect(&ctx(), &[1.0; 50]),
+            Err(CoreError::NoPerformanceModel(_))
+        ));
+        assert!(matches!(
+            ix.violation_tuple(&ctx(), &coupled_frame(30, 1, false)),
+            Err(CoreError::NoInvariants(_))
+        ));
+    }
+
+    #[test]
+    fn frame_too_short_is_rejected() {
+        let mut ix = InvarNetX::new(InvarNetConfig::default());
+        let short = coupled_frame(5, 1, false);
+        assert!(matches!(
+            ix.build_invariants(ctx(), &[short.clone(), short]),
+            Err(CoreError::FrameTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn top_causes_and_hints() {
+        let mut ix = InvarNetX::new(tiny_config());
+        ix.set_threads(1);
+        let frames: Vec<MetricFrame> = (0..2).map(|s| coupled_frame(50, s, false)).collect();
+        ix.build_invariants(ctx(), &frames).unwrap();
+        ix.record_signature(&ctx(), "break-a", &coupled_frame(50, 7, true)).unwrap();
+        ix.record_signature(&ctx(), "clean", &coupled_frame(50, 8, false)).unwrap();
+
+        let d = ix.diagnose(&ctx(), &coupled_frame(50, 9, true)).unwrap();
+        // top_causes respects both k and the similarity floor.
+        assert_eq!(d.top_causes(2, 0.0).len(), 2);
+        assert_eq!(d.top_causes(1, 0.0).len(), 1);
+        assert!(d.top_causes(5, 0.99).len() <= 2);
+
+        // Hints name metric 0 (the broken one) in the strongest pairs.
+        let inv = ix.invariant_set(&ctx()).unwrap();
+        let hints = d.hints(inv);
+        assert!(!hints.is_empty());
+        let first = hints[0];
+        assert!(
+            first.0.index() == 0 || first.1.index() == 0,
+            "strongest hint should involve the broken metric: {hints:?}"
+        );
+        // Sorted by deviation, descending.
+        for w in hints.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+
+    #[test]
+    fn contexts_are_isolated() {
+        let mut ix = InvarNetX::new(tiny_config());
+        ix.set_threads(1);
+        let a = OperationContext::new("n1", "W");
+        let b = OperationContext::new("n2", "W");
+        let frames: Vec<MetricFrame> = (0..2).map(|s| coupled_frame(40, s, false)).collect();
+        ix.build_invariants(a.clone(), &frames).unwrap();
+        assert!(ix.invariant_set(&a).is_some());
+        assert!(ix.invariant_set(&b).is_none());
+        ix.record_signature(&a, "p", &coupled_frame(40, 5, true)).unwrap();
+        // Context b has no invariants: diagnosis must error, not borrow a's.
+        assert!(ix.diagnose(&b, &coupled_frame(40, 6, true)).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Similarity measures between violation tuples.
+
+use serde::{Deserialize, Serialize};
+
+/// How two violation tuples are compared during signature search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Similarity {
+    /// Cosine similarity over the *graded* violation vector (deviation
+    /// magnitudes where the violation threshold is exceeded, zero
+    /// elsewhere). Default: it preserves the paper's binary support while
+    /// letting strong deviations weigh more.
+    Cosine,
+    /// Jaccard index over the binary violation support.
+    Jaccard,
+    /// Normalized Hamming similarity over the binary tuple
+    /// (`1 - differing_bits / len`).
+    Hamming,
+}
+
+impl Similarity {
+    /// Similarity score of two graded violation vectors in `[0, 1]`.
+    ///
+    /// Both vectors use the convention "0.0 = not violated, > 0 = violation
+    /// magnitude". Two all-zero vectors are identical (score 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ (the pipeline validates tuple provenance
+    /// before comparing).
+    pub fn score(self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "violation tuples must align");
+        match self {
+            Similarity::Cosine => cosine(a, b),
+            Similarity::Jaccard => jaccard(a, b),
+            Similarity::Hamming => hamming(a, b),
+        }
+    }
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na < 1e-24 || nb < 1e-24 {
+        return f64::from(u8::from(na < 1e-24 && nb < 1e-24));
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(0.0, 1.0)
+}
+
+fn jaccard(a: &[f64], b: &[f64]) -> f64 {
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (x, y) in a.iter().zip(b) {
+        let (xa, yb) = (*x > 0.0, *y > 0.0);
+        inter += usize::from(xa && yb);
+        union += usize::from(xa || yb);
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+fn hamming(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let diff = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| (**x > 0.0) != (**y > 0.0))
+        .count();
+    1.0 - diff as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_tuples_score_one() {
+        let t = [0.0, 0.4, 0.0, 0.7];
+        for s in [Similarity::Cosine, Similarity::Jaccard, Similarity::Hamming] {
+            assert!((s.score(&t, &t) - 1.0).abs() < 1e-12, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn disjoint_supports_score_zero_for_cosine_and_jaccard() {
+        let a = [0.5, 0.0, 0.5, 0.0];
+        let b = [0.0, 0.5, 0.0, 0.5];
+        assert_eq!(Similarity::Cosine.score(&a, &b), 0.0);
+        assert_eq!(Similarity::Jaccard.score(&a, &b), 0.0);
+        assert_eq!(Similarity::Hamming.score(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn all_zero_tuples_are_identical() {
+        let z = [0.0; 5];
+        for s in [Similarity::Cosine, Similarity::Jaccard, Similarity::Hamming] {
+            assert_eq!(s.score(&z, &z), 1.0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn zero_vs_nonzero() {
+        let z = [0.0; 4];
+        let t = [0.5, 0.0, 0.0, 0.0];
+        assert_eq!(Similarity::Cosine.score(&z, &t), 0.0);
+        assert_eq!(Similarity::Jaccard.score(&z, &t), 0.0);
+        assert!((Similarity::Hamming.score(&z, &t) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_weights_magnitude_jaccard_does_not() {
+        let a = [1.0, 0.1, 0.0];
+        let strong = [1.0, 0.1, 0.0];
+        let weak = [0.1, 1.0, 0.0];
+        // Same binary overlap pattern for Jaccard...
+        assert_eq!(
+            Similarity::Jaccard.score(&a, &strong),
+            Similarity::Jaccard.score(&a, &weak)
+        );
+        // ...but cosine prefers the aligned-magnitude match.
+        assert!(Similarity::Cosine.score(&a, &strong) > Similarity::Cosine.score(&a, &weak));
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [0.2, 0.0, 0.9, 0.0, 0.4];
+        let b = [0.0, 0.3, 0.8, 0.0, 0.0];
+        for s in [Similarity::Cosine, Similarity::Jaccard, Similarity::Hamming] {
+            assert!((s.score(&a, &b) - s.score(&b, &a)).abs() < 1e-15, "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn length_mismatch_panics() {
+        Similarity::Cosine.score(&[1.0], &[1.0, 2.0]);
+    }
+}

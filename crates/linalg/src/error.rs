@@ -1,0 +1,47 @@
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions are inconsistent with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the offending operation.
+        context: &'static str,
+        /// The dimensions that were supplied, in the order the operation saw them.
+        got: (usize, usize),
+        /// The dimensions that would have been acceptable.
+        expected: (usize, usize),
+    },
+    /// A square system could not be solved because the matrix is singular
+    /// (or numerically indistinguishable from singular).
+    Singular,
+    /// Cholesky factorization failed because the matrix is not positive
+    /// definite.
+    NotPositiveDefinite,
+    /// The operation requires a non-empty input.
+    Empty,
+    /// Rows passed to a constructor had differing lengths.
+    RaggedRows,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                context,
+                got,
+                expected,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: got {}x{}, expected {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::Empty => write!(f, "operation requires a non-empty input"),
+            LinalgError::RaggedRows => write!(f, "rows have differing lengths"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,32 @@
+//! Dense linear-algebra substrate for InvarNet-X.
+//!
+//! The ARIMA and ARX estimators in this workspace reduce to small dense
+//! least-squares problems (typically a few hundred rows by fewer than ten
+//! columns). This crate provides exactly the pieces they need — a row-major
+//! [`Matrix`], triangular solves, Cholesky and Gaussian elimination, and an
+//! ordinary-least-squares driver with a ridge fallback — with no external
+//! dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use ix_linalg::{Matrix, ols};
+//!
+//! // Fit y = 2 x + 1 exactly.
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+//! let y = [1.0, 3.0, 5.0];
+//! let beta = ols(&x, &y).unwrap();
+//! assert!((beta[0] - 1.0).abs() < 1e-9 && (beta[1] - 2.0).abs() < 1e-9);
+//! ```
+
+mod error;
+mod matrix;
+mod ols;
+mod solve;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use ols::{ols, ols_residuals, ridge, OlsFit};
+pub use solve::{
+    cholesky, solve_cholesky, solve_gaussian, solve_lower_triangular, solve_upper_triangular,
+};

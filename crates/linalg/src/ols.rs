@@ -1,0 +1,187 @@
+use crate::{cholesky, solve_lower_triangular, solve_upper_triangular, LinalgError, Matrix};
+
+/// Result of an ordinary-least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// Estimated coefficients, one per design-matrix column.
+    pub coefficients: Vec<f64>,
+    /// Per-row residuals `y - X beta`.
+    pub residuals: Vec<f64>,
+    /// Residual sum of squares.
+    pub rss: f64,
+}
+
+impl OlsFit {
+    /// Residual variance estimate `rss / (n - k)`; falls back to `rss / n`
+    /// when the fit is saturated (`n <= k`).
+    pub fn sigma2(&self) -> f64 {
+        let n = self.residuals.len();
+        let k = self.coefficients.len();
+        if n > k {
+            self.rss / (n - k) as f64
+        } else if n > 0 {
+            self.rss / n as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+fn solve_normal_equations(gram: &Matrix, xty: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let l = cholesky(gram)?;
+    let y = solve_lower_triangular(&l, xty)?;
+    solve_upper_triangular(&l.transpose(), &y)
+}
+
+/// Ordinary least squares: minimizes `||y - X beta||^2` via the normal
+/// equations. When `X^T X` is numerically rank-deficient, retries with a
+/// small ridge penalty proportional to the Gram matrix scale (the estimators
+/// in this workspace prefer a slightly biased solution to an outright
+/// failure — collinear lag columns are common on near-constant series).
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] when `y.len() != x.rows()`,
+/// [`LinalgError::Empty`] when `x` has no rows or no columns, or any error
+/// from the underlying solver if even the ridge retry fails.
+pub fn ols(x: &Matrix, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if y.len() != x.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "ols",
+            got: (y.len(), 1),
+            expected: (x.rows(), 1),
+        });
+    }
+    let gram = x.gram();
+    let xty = x.t_matvec(y)?;
+    match solve_normal_equations(&gram, &xty) {
+        Ok(beta) => Ok(beta),
+        Err(LinalgError::NotPositiveDefinite) | Err(LinalgError::Singular) => {
+            let scale = gram.max_abs().max(1.0);
+            ridge_with_gram(gram, &xty, 1e-8 * scale)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Ridge regression: minimizes `||y - X beta||^2 + lambda ||beta||^2`.
+///
+/// # Errors
+///
+/// Same conditions as [`ols`]; additionally fails if the regularized system
+/// is still not positive definite (only possible for `lambda <= 0`).
+pub fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if y.len() != x.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "ridge",
+            got: (y.len(), 1),
+            expected: (x.rows(), 1),
+        });
+    }
+    let gram = x.gram();
+    let xty = x.t_matvec(y)?;
+    ridge_with_gram(gram, &xty, lambda)
+}
+
+fn ridge_with_gram(mut gram: Matrix, xty: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    for i in 0..gram.rows() {
+        gram[(i, i)] += lambda;
+    }
+    solve_normal_equations(&gram, xty)
+}
+
+/// OLS fit that also reports residuals and RSS.
+///
+/// # Errors
+///
+/// Same conditions as [`ols`].
+pub fn ols_residuals(x: &Matrix, y: &[f64]) -> Result<OlsFit, LinalgError> {
+    let coefficients = ols(x, y)?;
+    let fitted = x.matvec(&coefficients)?;
+    let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
+    let rss = residuals.iter().map(|r| r * r).sum();
+    Ok(OlsFit {
+        coefficients,
+        residuals,
+        rss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_fit() {
+        // y = 3 + 2x, no noise.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs).unwrap();
+        let y: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let beta = ols(&x, &y).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-9);
+        assert!((beta[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residuals_orthogonal_to_design() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![1.0, i as f64, (i as f64).powi(2)])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs).unwrap();
+        // Some irregular target.
+        let y: Vec<f64> = (0..20).map(|i| ((i * 7 + 3) % 11) as f64).collect();
+        let fit = ols_residuals(&x, &y).unwrap();
+        let xt_r = x.t_matvec(&fit.residuals).unwrap();
+        for v in xt_r {
+            assert!(v.abs() < 1e-6, "residuals not orthogonal: {v}");
+        }
+    }
+
+    #[test]
+    fn collinear_design_falls_back_to_ridge() {
+        // Second column is an exact copy of the first: X^T X is singular.
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs).unwrap();
+        let y: Vec<f64> = (0..8).map(|i| 2.0 * i as f64).collect();
+        let beta = ols(&x, &y).unwrap();
+        // The ridge solution splits the coefficient evenly.
+        assert!((beta[0] + beta[1] - 2.0).abs() < 1e-4, "{beta:?}");
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs).unwrap();
+        let y: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let b_ols = ols(&x, &y).unwrap();
+        let b_ridge = ridge(&x, &y, 100.0).unwrap();
+        assert!(b_ridge[1].abs() < b_ols[1].abs() + 1e-12);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let x = Matrix::zeros(3, 2);
+        assert!(ols(&x, &[1.0, 2.0]).is_err());
+        assert!(ols(&Matrix::zeros(0, 0), &[]).is_err());
+    }
+
+    #[test]
+    fn sigma2_uses_degrees_of_freedom() {
+        let fit = OlsFit {
+            coefficients: vec![0.0; 2],
+            residuals: vec![1.0; 6],
+            rss: 6.0,
+        };
+        assert!((fit.sigma2() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,251 @@
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular factor `L` with `A = L * L^T`.
+///
+/// # Errors
+///
+/// [`LinalgError::NotPositiveDefinite`] when a non-positive pivot appears,
+/// [`LinalgError::DimensionMismatch`] when `a` is not square.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "cholesky",
+            got: (a.rows(), a.cols()),
+            expected: (n, n),
+        });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L x = b` for lower-triangular `L` by forward substitution.
+///
+/// # Errors
+///
+/// [`LinalgError::Singular`] on a (near-)zero diagonal entry,
+/// [`LinalgError::DimensionMismatch`] on shape mismatch.
+pub fn solve_lower_triangular(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = l.rows();
+    if l.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "solve_lower_triangular",
+            got: (l.rows(), b.len()),
+            expected: (n, n),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for (j, xj) in x.iter().enumerate().take(i) {
+            sum -= l[(i, j)] * xj;
+        }
+        let d = l[(i, i)];
+        if d.abs() < f64::EPSILON {
+            return Err(LinalgError::Singular);
+        }
+        x[i] = sum / d;
+    }
+    Ok(x)
+}
+
+/// Solves `U x = b` for upper-triangular `U` by back substitution.
+///
+/// # Errors
+///
+/// [`LinalgError::Singular`] on a (near-)zero diagonal entry,
+/// [`LinalgError::DimensionMismatch`] on shape mismatch.
+pub fn solve_upper_triangular(u: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = u.rows();
+    if u.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "solve_upper_triangular",
+            got: (u.rows(), b.len()),
+            expected: (n, n),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in i + 1..n {
+            sum -= u[(i, j)] * x[j];
+        }
+        let d = u[(i, i)];
+        if d.abs() < f64::EPSILON {
+            return Err(LinalgError::Singular);
+        }
+        x[i] = sum / d;
+    }
+    Ok(x)
+}
+
+/// Solves the SPD system `A x = b` via Cholesky factorization.
+///
+/// # Errors
+///
+/// Propagates errors from [`cholesky`] and the triangular solves.
+pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let l = cholesky(a)?;
+    let y = solve_lower_triangular(&l, b)?;
+    solve_upper_triangular(&l.transpose(), &y)
+}
+
+/// Solves a general square system `A x = b` by Gaussian elimination with
+/// partial pivoting.
+///
+/// # Errors
+///
+/// [`LinalgError::Singular`] when no usable pivot exists,
+/// [`LinalgError::DimensionMismatch`] on shape mismatch.
+pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "solve_gaussian",
+            got: (a.rows(), b.len()),
+            expected: (n, n),
+        });
+    }
+    // Augmented working copy: n rows of (row | rhs).
+    let mut work = a.clone();
+    let mut rhs = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Partial pivoting: pick the largest remaining |entry| in this column.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, work[(perm[r], col)].abs()))
+            .fold((col, -1.0), |acc, (r, v)| if v > acc.1 { (r, v) } else { acc });
+        if pivot_val < 1e-12 {
+            return Err(LinalgError::Singular);
+        }
+        perm.swap(col, pivot_row);
+        let p = perm[col];
+        let pivot = work[(p, col)];
+        for &pr in &perm[col + 1..n] {
+            let factor = work[(pr, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = work[(p, c)];
+                work[(pr, c)] -= factor * v;
+            }
+            rhs[pr] -= factor * rhs[p];
+        }
+    }
+
+    // Back substitution on the permuted upper-triangular system.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let p = perm[i];
+        let mut sum = rhs[p];
+        for j in i + 1..n {
+            sum -= work[(p, j)] * x[j];
+        }
+        x[i] = sum / work[(p, i)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.5], &[0.6, 1.5, 3.8]]).unwrap()
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd_example();
+        let l = cholesky(&a).unwrap();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert_eq!(cholesky(&a).unwrap_err(), LinalgError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        assert!(cholesky(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_cholesky_recovers_solution() {
+        let a = spd_example();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_cholesky(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gaussian_recovers_solution_nonsymmetric() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[3.0, -1.0, 2.0], &[1.0, 1.0, 1.0]])
+            .unwrap();
+        let x_true = [2.0, -1.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_gaussian(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn gaussian_detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(
+            solve_gaussian(&a, &[1.0, 2.0]).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn triangular_solvers_roundtrip() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_lower_triangular(&l, &[4.0, 11.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+        let u = l.transpose();
+        let b = u.matvec(&[1.0, 2.0]).unwrap();
+        let y = solve_upper_triangular(&u, &b).unwrap();
+        assert!((y[0] - 1.0).abs() < 1e-12 && (y[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_solver_rejects_zero_diagonal() {
+        let l = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 3.0]]).unwrap();
+        assert_eq!(
+            solve_lower_triangular(&l, &[1.0, 1.0]).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+}

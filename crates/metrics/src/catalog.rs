@@ -1,0 +1,154 @@
+use serde::{Deserialize, Serialize};
+
+/// Number of metrics in the catalog — the paper's "26 performance metrics".
+pub const METRIC_COUNT: usize = 26;
+
+/// Broad resource family of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricCategory {
+    /// Processor utilization and scheduling.
+    Cpu,
+    /// Memory and paging.
+    Memory,
+    /// Block-device activity.
+    Disk,
+    /// Network activity.
+    Network,
+}
+
+macro_rules! metric_catalog {
+    ($( $variant:ident => ($name:literal, $unit:literal, $cat:ident) ),+ $(,)?) => {
+        /// One of the 26 collectl-style performance metrics the paper
+        /// monitors on every Hadoop node.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum MetricId {
+            $($variant),+
+        }
+
+        impl MetricId {
+            /// All metrics, in canonical (stable) order. Index positions in
+            /// [`crate::MetricFrame`] follow this order.
+            pub const ALL: [MetricId; METRIC_COUNT] = [$(MetricId::$variant),+];
+
+            /// collectl-style metric name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(MetricId::$variant => $name),+
+                }
+            }
+
+            /// Unit of measurement.
+            pub fn unit(self) -> &'static str {
+                match self {
+                    $(MetricId::$variant => $unit),+
+                }
+            }
+
+            /// Resource family.
+            pub fn category(self) -> MetricCategory {
+                match self {
+                    $(MetricId::$variant => MetricCategory::$cat),+
+                }
+            }
+
+            /// Parses a collectl-style name back into an id.
+            pub fn from_name(name: &str) -> Option<MetricId> {
+                match name {
+                    $($name => Some(MetricId::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+metric_catalog! {
+    CpuUser          => ("cpu.user",        "%",        Cpu),
+    CpuSystem        => ("cpu.sys",         "%",        Cpu),
+    CpuIdle          => ("cpu.idle",        "%",        Cpu),
+    CpuWait          => ("cpu.wait",        "%",        Cpu),
+    ContextSwitches  => ("cpu.ctxsw",       "ops/s",    Cpu),
+    Interrupts       => ("cpu.intr",        "ops/s",    Cpu),
+    LoadAvg1         => ("load.avg1",       "procs",    Cpu),
+    RunQueue         => ("proc.runq",       "procs",    Cpu),
+    MemUsed          => ("mem.used",        "MB",       Memory),
+    MemFree          => ("mem.free",        "MB",       Memory),
+    MemCached        => ("mem.cached",      "MB",       Memory),
+    MemBuffers       => ("mem.buffers",     "MB",       Memory),
+    PageFaults       => ("mem.pagefaults",  "ops/s",    Memory),
+    PageIns          => ("mem.pagein",      "pages/s",  Memory),
+    PageOuts         => ("mem.pageout",     "pages/s",  Memory),
+    SwapUsed         => ("mem.swapused",    "MB",       Memory),
+    DiskReadKBps     => ("disk.readkbs",    "KB/s",     Disk),
+    DiskWriteKBps    => ("disk.writekbs",   "KB/s",     Disk),
+    DiskReadOps      => ("disk.readops",    "ops/s",    Disk),
+    DiskWriteOps     => ("disk.writeops",   "ops/s",    Disk),
+    DiskUtilization  => ("disk.util",       "%",        Disk),
+    NetRxKBps        => ("net.rxkbs",       "KB/s",     Network),
+    NetTxKBps        => ("net.txkbs",       "KB/s",     Network),
+    NetRxPackets     => ("net.rxpkts",      "pkts/s",   Network),
+    NetTxPackets     => ("net.txpkts",      "pkts/s",   Network),
+    TcpSockets       => ("net.tcpsockets",  "count",    Network),
+}
+
+impl MetricId {
+    /// Canonical index of this metric in [`MetricId::ALL`].
+    pub fn index(self) -> usize {
+        // The derive order matches ALL, so a linear scan is exact; METRIC_COUNT
+        // is tiny and this is not on a hot path.
+        MetricId::ALL
+            .iter()
+            .position(|&m| m == self)
+            .expect("metric is in ALL by construction")
+    }
+}
+
+impl std::fmt::Display for MetricId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_26_metrics() {
+        assert_eq!(MetricId::ALL.len(), METRIC_COUNT);
+        assert_eq!(METRIC_COUNT, 26);
+    }
+
+    #[test]
+    fn names_are_unique_and_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for m in MetricId::ALL {
+            assert!(seen.insert(m.name()), "duplicate name {}", m.name());
+            assert_eq!(MetricId::from_name(m.name()), Some(m));
+        }
+        assert_eq!(MetricId::from_name("no.such.metric"), None);
+    }
+
+    #[test]
+    fn index_is_position_in_all() {
+        for (i, m) in MetricId::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn categories_cover_all_families() {
+        use MetricCategory::*;
+        let count = |c: MetricCategory| MetricId::ALL.iter().filter(|m| m.category() == c).count();
+        assert_eq!(count(Cpu), 8);
+        assert_eq!(count(Memory), 8);
+        assert_eq!(count(Disk), 5);
+        assert_eq!(count(Network), 5);
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(MetricId::CpuUser.to_string(), "cpu.user");
+    }
+}

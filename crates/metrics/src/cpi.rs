@@ -1,0 +1,149 @@
+use serde::{Deserialize, Serialize};
+
+/// One reading of the hardware performance counters for a process: raw cycle
+/// and retired-instruction counts over a sampling interval (the paper reads
+/// these "by reading the corresponding registers in the hardware performance
+/// counter on a per process basis" with `perf`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpiSample {
+    /// CPU cycles consumed during the interval.
+    pub cycles: u64,
+    /// Instructions retired during the interval.
+    pub instructions: u64,
+}
+
+impl CpiSample {
+    /// Cycles per instruction. A zero instruction count (completely stalled
+    /// or suspended process) is reported as `f64::INFINITY`-avoiding large
+    /// sentinel: CPI equal to the cycle count, i.e. as if one instruction
+    /// retired — pathological stalls should look *very* expensive, not
+    /// poison downstream statistics with infinities.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            self.cycles as f64
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// A sequence of counter readings at a fixed cadence, plus derived views.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpiTrace {
+    samples: Vec<CpiSample>,
+}
+
+impl CpiTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        CpiTrace::default()
+    }
+
+    /// Creates a trace directly from CPI values (for simulators that model
+    /// CPI rather than raw counters): each value is converted to a
+    /// cycles/instructions pair with a nominal 1e9 instruction base.
+    pub fn from_cpi_values(cpis: &[f64]) -> Self {
+        const BASE: f64 = 1.0e9;
+        CpiTrace {
+            samples: cpis
+                .iter()
+                .map(|&c| CpiSample {
+                    cycles: (c.max(0.0) * BASE) as u64,
+                    instructions: BASE as u64,
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends a counter reading.
+    pub fn push(&mut self, sample: CpiSample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[CpiSample] {
+        &self.samples
+    }
+
+    /// The derived CPI series.
+    pub fn cpi_series(&self) -> Vec<f64> {
+        self.samples.iter().map(CpiSample::cpi).collect()
+    }
+
+    /// The 95th percentile of the CPI series — the paper's "sufficient
+    /// statistic for one run".
+    pub fn cpi_p95(&self) -> f64 {
+        percentile_95(&self.cpi_series())
+    }
+}
+
+fn percentile_95(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite CPI"));
+    let rank = 0.95 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_basic() {
+        let s = CpiSample {
+            cycles: 3_000,
+            instructions: 1_000,
+        };
+        assert!((s.cpi() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpi_zero_instructions_is_large_not_infinite() {
+        let s = CpiSample {
+            cycles: 500,
+            instructions: 0,
+        };
+        assert_eq!(s.cpi(), 500.0);
+        assert!(s.cpi().is_finite());
+    }
+
+    #[test]
+    fn from_cpi_values_roundtrips() {
+        let t = CpiTrace::from_cpi_values(&[1.5, 2.0, 0.8]);
+        let back = t.cpi_series();
+        assert!((back[0] - 1.5).abs() < 1e-6);
+        assert!((back[1] - 2.0).abs() < 1e-6);
+        assert!((back[2] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p95_of_uniform_ramp() {
+        let vals: Vec<f64> = (0..101).map(f64::from).collect();
+        let t = CpiTrace::from_cpi_values(&vals);
+        assert!((t.cpi_p95() - 95.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_trace_conventions() {
+        let t = CpiTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.cpi_p95(), 0.0);
+        assert!(t.cpi_series().is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! CSV round-tripping for [`MetricFrame`] — the on-disk interchange format
+//! a real deployment would export from collectl.
+
+use std::fmt;
+
+use crate::{FrameError, MetricFrame, MetricId, METRIC_COUNT};
+
+/// Errors produced when parsing a metric CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// The header row did not list the canonical 26 metric names.
+    BadHeader,
+    /// A data row had the wrong number of fields.
+    WrongFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// A field could not be parsed as a finite number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column.
+        column: usize,
+    },
+    /// The parsed values were rejected by the frame (non-finite).
+    Frame(FrameError),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::BadHeader => write!(f, "header must list the 26 canonical metric names"),
+            CsvError::WrongFieldCount { line, got } => {
+                write!(f, "line {line}: expected {METRIC_COUNT} fields, got {got}")
+            }
+            CsvError::BadNumber { line, column } => {
+                write!(f, "line {line}, column {column}: not a finite number")
+            }
+            CsvError::Frame(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<FrameError> for CsvError {
+    fn from(e: FrameError) -> Self {
+        CsvError::Frame(e)
+    }
+}
+
+impl MetricFrame {
+    /// Serializes the frame to CSV: a header of metric names followed by one
+    /// row per tick.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (i, m) in MetricId::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(m.name());
+        }
+        out.push('\n');
+        for t in 0..self.ticks() {
+            let row = self.tick(t);
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                // Enough digits to round-trip f64 exactly.
+                out.push_str(&format!("{v:.17e}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a frame from CSV produced by [`MetricFrame::to_csv`] (or any
+    /// CSV with the canonical header and numeric rows).
+    ///
+    /// # Errors
+    ///
+    /// See [`CsvError`].
+    pub fn from_csv(text: &str, interval_secs: f64) -> Result<MetricFrame, CsvError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(CsvError::BadHeader)?;
+        let names: Vec<&str> = header.split(',').collect();
+        if names.len() != METRIC_COUNT {
+            return Err(CsvError::BadHeader);
+        }
+        for (name, m) in names.iter().zip(MetricId::ALL.iter()) {
+            if *name != m.name() {
+                return Err(CsvError::BadHeader);
+            }
+        }
+        let mut frame = MetricFrame::with_interval(interval_secs);
+        let mut row = vec![0.0f64; METRIC_COUNT];
+        for (lineno, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut count = 0usize;
+            for (col, field) in line.split(',').enumerate() {
+                if col >= METRIC_COUNT {
+                    count = col + 1;
+                    continue;
+                }
+                let v: f64 = field.trim().parse().map_err(|_| CsvError::BadNumber {
+                    line: lineno + 1,
+                    column: col,
+                })?;
+                if !v.is_finite() {
+                    return Err(CsvError::BadNumber {
+                        line: lineno + 1,
+                        column: col,
+                    });
+                }
+                row[col] = v;
+                count = col + 1;
+            }
+            if count != METRIC_COUNT {
+                return Err(CsvError::WrongFieldCount {
+                    line: lineno + 1,
+                    got: count,
+                });
+            }
+            frame.push_tick(&row)?;
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_exact() {
+        let mut f = MetricFrame::new();
+        for t in 0..5 {
+            let row: Vec<f64> = (0..METRIC_COUNT)
+                .map(|i| (t * 31 + i) as f64 * 0.3333333333333)
+                .collect();
+            f.push_tick(&row).unwrap();
+        }
+        let csv = f.to_csv();
+        let g = MetricFrame::from_csv(&csv, f.interval_secs()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(
+            MetricFrame::from_csv("a,b,c\n", 10.0).unwrap_err(),
+            CsvError::BadHeader
+        );
+        assert_eq!(
+            MetricFrame::from_csv("", 10.0).unwrap_err(),
+            CsvError::BadHeader
+        );
+    }
+
+    #[test]
+    fn rejects_short_row() {
+        let mut csv = MetricFrame::new().to_csv();
+        csv.push_str("1.0,2.0\n");
+        let err = MetricFrame::from_csv(&csv, 10.0).unwrap_err();
+        assert_eq!(err, CsvError::WrongFieldCount { line: 2, got: 2 });
+    }
+
+    #[test]
+    fn rejects_non_numeric_field() {
+        let mut csv = MetricFrame::new().to_csv();
+        let mut row: Vec<String> = (0..METRIC_COUNT).map(|i| i.to_string()).collect();
+        row[3] = "oops".to_string();
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+        let err = MetricFrame::from_csv(&csv, 10.0).unwrap_err();
+        assert_eq!(err, CsvError::BadNumber { line: 2, column: 3 });
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let mut f = MetricFrame::new();
+        f.push_tick(&vec![1.0; METRIC_COUNT]).unwrap();
+        let mut csv = f.to_csv();
+        csv.push('\n');
+        let g = MetricFrame::from_csv(&csv, 10.0).unwrap();
+        assert_eq!(g.ticks(), 1);
+    }
+}

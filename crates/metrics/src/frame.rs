@@ -1,0 +1,217 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MetricId, METRIC_COUNT};
+
+/// Errors produced by [`MetricFrame`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// A pushed tick did not contain exactly [`METRIC_COUNT`] values.
+    WrongWidth {
+        /// Values supplied.
+        got: usize,
+    },
+    /// A sample was NaN or infinite.
+    NonFinite {
+        /// The metric whose sample was invalid.
+        metric: MetricId,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::WrongWidth { got } => {
+                write!(f, "tick must contain {METRIC_COUNT} values, got {got}")
+            }
+            FrameError::NonFinite { metric } => {
+                write!(f, "non-finite sample for metric {metric}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A ticks × metrics table of samples for one node during one job run.
+///
+/// Row-major storage: `values[tick * METRIC_COUNT + metric_index]`. The
+/// metric order is [`MetricId::ALL`]. All samples are finite by
+/// construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricFrame {
+    interval_secs: f64,
+    values: Vec<f64>,
+}
+
+impl MetricFrame {
+    /// Creates an empty frame with the paper's 10 s cadence.
+    pub fn new() -> Self {
+        Self::with_interval(10.0)
+    }
+
+    /// Creates an empty frame with an explicit sampling interval.
+    pub fn with_interval(interval_secs: f64) -> Self {
+        MetricFrame {
+            interval_secs,
+            values: Vec::new(),
+        }
+    }
+
+    /// Sampling interval in seconds.
+    pub fn interval_secs(&self) -> f64 {
+        self.interval_secs
+    }
+
+    /// Number of ticks recorded.
+    pub fn ticks(&self) -> usize {
+        self.values.len() / METRIC_COUNT
+    }
+
+    /// Whether no ticks have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends one tick of samples ordered per [`MetricId::ALL`].
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::WrongWidth`] or [`FrameError::NonFinite`].
+    pub fn push_tick(&mut self, samples: &[f64]) -> Result<(), FrameError> {
+        if samples.len() != METRIC_COUNT {
+            return Err(FrameError::WrongWidth { got: samples.len() });
+        }
+        for (i, &v) in samples.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(FrameError::NonFinite {
+                    metric: MetricId::ALL[i],
+                });
+            }
+        }
+        self.values.extend_from_slice(samples);
+        Ok(())
+    }
+
+    /// The value of `metric` at `tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tick >= ticks()`.
+    pub fn get(&self, tick: usize, metric: MetricId) -> f64 {
+        assert!(tick < self.ticks(), "tick {tick} out of range");
+        self.values[tick * METRIC_COUNT + metric.index()]
+    }
+
+    /// The full series of one metric as an owned vector.
+    pub fn series(&self, metric: MetricId) -> Vec<f64> {
+        let idx = metric.index();
+        (0..self.ticks())
+            .map(|t| self.values[t * METRIC_COUNT + idx])
+            .collect()
+    }
+
+    /// One tick as a slice ordered per [`MetricId::ALL`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tick >= ticks()`.
+    pub fn tick(&self, tick: usize) -> &[f64] {
+        assert!(tick < self.ticks(), "tick {tick} out of range");
+        &self.values[tick * METRIC_COUNT..(tick + 1) * METRIC_COUNT]
+    }
+
+    /// A frame containing only ticks in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the recorded ticks.
+    pub fn window(&self, range: std::ops::Range<usize>) -> MetricFrame {
+        MetricFrame {
+            interval_secs: self.interval_secs,
+            values: self.values[range.start * METRIC_COUNT..range.end * METRIC_COUNT].to_vec(),
+        }
+    }
+
+    /// Concatenates another frame's ticks onto this one.
+    pub fn extend(&mut self, other: &MetricFrame) {
+        self.values.extend_from_slice(&other.values);
+    }
+}
+
+impl Default for MetricFrame {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick_of(v: f64) -> Vec<f64> {
+        vec![v; METRIC_COUNT]
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut f = MetricFrame::new();
+        f.push_tick(&tick_of(1.0)).unwrap();
+        let mut t2 = tick_of(2.0);
+        t2[MetricId::CpuUser.index()] = 42.0;
+        f.push_tick(&t2).unwrap();
+        assert_eq!(f.ticks(), 2);
+        assert_eq!(f.get(1, MetricId::CpuUser), 42.0);
+        assert_eq!(f.get(0, MetricId::MemFree), 1.0);
+        assert_eq!(f.series(MetricId::CpuUser), vec![1.0, 42.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let mut f = MetricFrame::new();
+        assert_eq!(
+            f.push_tick(&[1.0; 5]).unwrap_err(),
+            FrameError::WrongWidth { got: 5 }
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_and_identifies_metric() {
+        let mut f = MetricFrame::new();
+        let mut t = tick_of(0.0);
+        t[MetricId::PageFaults.index()] = f64::NAN;
+        assert_eq!(
+            f.push_tick(&t).unwrap_err(),
+            FrameError::NonFinite {
+                metric: MetricId::PageFaults
+            }
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn window_and_extend() {
+        let mut f = MetricFrame::new();
+        for i in 0..10 {
+            f.push_tick(&tick_of(i as f64)).unwrap();
+        }
+        let w = f.window(3..6);
+        assert_eq!(w.ticks(), 3);
+        assert_eq!(w.get(0, MetricId::CpuUser), 3.0);
+
+        let mut g = MetricFrame::new();
+        g.push_tick(&tick_of(99.0)).unwrap();
+        g.extend(&w);
+        assert_eq!(g.ticks(), 4);
+        assert_eq!(g.get(3, MetricId::CpuUser), 5.0);
+    }
+
+    #[test]
+    fn tick_slice_ordering() {
+        let mut f = MetricFrame::new();
+        let t: Vec<f64> = (0..METRIC_COUNT).map(|i| i as f64).collect();
+        f.push_tick(&t).unwrap();
+        assert_eq!(f.tick(0), t.as_slice());
+    }
+}

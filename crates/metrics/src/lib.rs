@@ -1,0 +1,24 @@
+//! Performance-metric catalog and sample storage for InvarNet-X.
+//!
+//! The paper collects **26 OS/process metrics** with `collectl` ("not only
+//! coarse-grained CPU, memory, disk and network utilization but also the
+//! fine-grained metrics such as CPU context switch per second, memory page
+//! faults") and **CPI** (cycles per instruction) with `perf`, both at a 10 s
+//! cadence. This crate defines:
+//!
+//! - [`MetricId`] — the closed set of 26 metrics, with collectl-style names
+//!   and units;
+//! - [`MetricFrame`] — a ticks × metrics sample table for one node and one
+//!   job run, with CSV round-tripping;
+//! - [`CpiTrace`] — raw cycle/instruction counter readings and the derived
+//!   CPI series.
+
+mod catalog;
+mod cpi;
+mod csv;
+mod frame;
+
+pub use catalog::{MetricCategory, MetricId, METRIC_COUNT};
+pub use cpi::{CpiSample, CpiTrace};
+pub use csv::CsvError;
+pub use frame::{FrameError, MetricFrame};

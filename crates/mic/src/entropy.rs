@@ -1,0 +1,112 @@
+//! Entropy and mutual-information helpers over count histograms.
+//!
+//! All entropies use base-2 logarithms; MIC's normalization divides a mutual
+//! information by `log2(min(x, y))`, so the base cancels as long as it is
+//! used consistently.
+
+/// `p * log2(p)` with the `0 log 0 = 0` convention, for `p = count / total`.
+#[inline]
+fn plogp(count: f64, total: f64) -> f64 {
+    if count <= 0.0 || total <= 0.0 {
+        0.0
+    } else {
+        let p = count / total;
+        p * p.log2()
+    }
+}
+
+/// Shannon entropy (bits) of a distribution given by raw counts.
+///
+/// Zero counts are skipped; an all-zero histogram has entropy `0.0`.
+pub fn entropy_from_counts(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    -counts.iter().map(|&c| plogp(c as f64, total)).sum::<f64>()
+}
+
+/// Joint entropy (bits) of a 2-D count table given as rows of counts.
+pub fn joint_entropy_from_counts(table: &[Vec<usize>]) -> f64 {
+    let total: usize = table.iter().flatten().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    -table
+        .iter()
+        .flatten()
+        .map(|&c| plogp(c as f64, total))
+        .sum::<f64>()
+}
+
+/// Mutual information (bits) of a 2-D count table:
+/// `I = H(rows) + H(cols) - H(rows, cols)`.
+pub fn mutual_information(table: &[Vec<usize>]) -> f64 {
+    if table.is_empty() {
+        return 0.0;
+    }
+    let row_counts: Vec<usize> = table.iter().map(|r| r.iter().sum()).collect();
+    let ncols = table.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut col_counts = vec![0usize; ncols];
+    for row in table {
+        for (j, &c) in row.iter().enumerate() {
+            col_counts[j] += c;
+        }
+    }
+    let i = entropy_from_counts(&row_counts) + entropy_from_counts(&col_counts)
+        - joint_entropy_from_counts(table);
+    i.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_uniform() {
+        assert!((entropy_from_counts(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        assert!((entropy_from_counts(&[5, 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_degenerate() {
+        assert_eq!(entropy_from_counts(&[]), 0.0);
+        assert_eq!(entropy_from_counts(&[0, 0]), 0.0);
+        assert_eq!(entropy_from_counts(&[7]), 0.0);
+        assert_eq!(entropy_from_counts(&[0, 9, 0]), 0.0);
+    }
+
+    #[test]
+    fn joint_entropy_independent_table() {
+        // Uniform independent 2x2 table: H = 2 bits.
+        let t = vec![vec![1, 1], vec![1, 1]];
+        assert!((joint_entropy_from_counts(&t) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_perfect_dependence() {
+        // Diagonal table: knowing the row determines the column. I = 1 bit.
+        let t = vec![vec![5, 0], vec![0, 5]];
+        assert!((mutual_information(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_independence_is_zero() {
+        let t = vec![vec![2, 2], vec![2, 2]];
+        assert!(mutual_information(&t).abs() < 1e-12);
+        // Product-form table is also independent.
+        let t2 = vec![vec![1, 3], vec![2, 6]];
+        assert!(mutual_information(&t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_bounded_by_marginals() {
+        let t = vec![vec![3, 1, 0], vec![0, 2, 4]];
+        let rows: Vec<usize> = t.iter().map(|r| r.iter().sum()).collect();
+        let i = mutual_information(&t);
+        assert!(i >= 0.0);
+        assert!(i <= entropy_from_counts(&rows) + 1e-12);
+    }
+}

@@ -1,0 +1,338 @@
+//! Axis partitioning: adaptive equipartition, clumps and superclumps.
+//!
+//! Terminology follows the MINE Supporting Online Material:
+//!
+//! - an *equipartition* of an axis assigns points to `k` bins of as-equal-as-
+//!   possible size, never splitting ties (points with identical values);
+//! - a *clump* is a maximal run of consecutive points (in x order) that can
+//!   never be separated by an optimal column boundary: same-x ties, and runs
+//!   of points falling in one identical row;
+//! - *superclumps* cap the number of clumps the dynamic program must
+//!   consider, by equipartitioning clumps into at most `max_clumps` blocks.
+
+/// Adaptive equipartition of `values` into at most `k` bins.
+///
+/// Returns one bin index per input position. Ties (equal values) always land
+/// in the same bin, so fewer than `k` distinct bins may be used. This is the
+/// `EquipartitionYAxis` routine of the MINE SOM.
+pub fn equipartition(values: &[f64], k: usize) -> Vec<usize> {
+    let n = values.len();
+    let mut assignment = vec![0usize; n];
+    if n == 0 || k == 0 {
+        return assignment;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+
+    let mut current_bin = 0usize;
+    let mut in_bin = 0usize; // points placed in the current bin so far
+    let mut target = n as f64 / k as f64;
+    let mut i = 0usize;
+    while i < n {
+        // Tie group [i, j).
+        let mut j = i + 1;
+        while j < n && values[idx[j]] == values[idx[i]] {
+            j += 1;
+        }
+        let group = j - i;
+        // Would starting a new bin put us closer to the target size?
+        let overshoot = (in_bin as f64 + group as f64 - target).abs();
+        let undershoot = (in_bin as f64 - target).abs();
+        if in_bin != 0 && overshoot >= undershoot && current_bin + 1 < k {
+            current_bin += 1;
+            in_bin = 0;
+            target = (n - i) as f64 / (k - current_bin) as f64;
+        }
+        for &p in &idx[i..j] {
+            assignment[p] = current_bin;
+        }
+        in_bin += group;
+        i = j;
+    }
+    assignment
+}
+
+/// The clump decomposition of a point set, with cumulative row counts at
+/// clump boundaries — the input the `optimize_axis` dynamic program
+/// consumes.
+#[derive(Debug, Clone)]
+pub struct Clumps {
+    /// Cumulative point counts at clump boundaries: `boundaries[0] == 0`,
+    /// `boundaries[len] == n`.
+    boundaries: Vec<usize>,
+    /// `cum_rows[t][r]`: number of points among the first `boundaries[t]`
+    /// (in x order) assigned to row `r`.
+    cum_rows: Vec<Vec<usize>>,
+    n_rows: usize,
+}
+
+impl Clumps {
+    /// Builds clumps from points already sorted by x.
+    ///
+    /// `xs` are the sorted x values, `rows` the row assignment of each point
+    /// (aligned with `xs`), `n_rows` the number of rows in the y partition,
+    /// and `max_clumps` the superclump cap (`c * x` in MINE terms).
+    pub fn build(xs: &[f64], rows: &[usize], n_rows: usize, max_clumps: usize) -> Clumps {
+        assert_eq!(xs.len(), rows.len(), "xs and rows must align");
+        let n = xs.len();
+
+        // Pass 1: group same-x runs; a run spanning several rows is an
+        // unsplittable "mixed" block, a run within one row may merge with
+        // pure neighbours of the same row.
+        #[derive(Clone, Copy)]
+        struct Block {
+            start: usize,
+            end: usize,          // exclusive
+            pure_row: Option<usize>, // Some(r) when every point is in row r
+        }
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            let mut pure_row = Some(rows[i]);
+            while j < n && xs[j] == xs[i] {
+                if rows[j] != rows[i] {
+                    pure_row = None;
+                }
+                j += 1;
+            }
+            blocks.push(Block {
+                start: i,
+                end: j,
+                pure_row,
+            });
+            i = j;
+        }
+
+        // Pass 2: merge consecutive pure blocks sharing a row.
+        let mut clump_ranges: Vec<(usize, usize)> = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            match clump_ranges.last_mut() {
+                Some(last) if mergeable(&rows[last.0..last.1], b.pure_row) => {
+                    last.1 = b.end;
+                }
+                _ => clump_ranges.push((b.start, b.end)),
+            }
+        }
+
+        // Pass 3: superclumps — equipartition clumps by point count when the
+        // DP would otherwise see too many.
+        let clump_ranges = if max_clumps >= 1 && clump_ranges.len() > max_clumps {
+            superclump(&clump_ranges, n, max_clumps)
+        } else {
+            clump_ranges
+        };
+
+        // Cumulative tables.
+        let k = clump_ranges.len();
+        let mut boundaries = Vec::with_capacity(k + 1);
+        let mut cum_rows = Vec::with_capacity(k + 1);
+        boundaries.push(0);
+        cum_rows.push(vec![0usize; n_rows]);
+        let mut acc = vec![0usize; n_rows];
+        for &(s, e) in &clump_ranges {
+            for &r in &rows[s..e] {
+                acc[r] += 1;
+            }
+            boundaries.push(e);
+            cum_rows.push(acc.clone());
+        }
+        Clumps {
+            boundaries,
+            cum_rows,
+            n_rows,
+        }
+    }
+
+    /// Number of clumps.
+    pub fn len(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Whether there are no clumps (empty point set).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of points.
+    pub fn points(&self) -> usize {
+        *self.boundaries.last().expect("boundaries never empty")
+    }
+
+    /// Number of rows in the fixed y partition.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Points contained in the column formed by clumps `(s, t]`.
+    #[inline]
+    pub fn col_count(&self, s: usize, t: usize) -> usize {
+        self.boundaries[t] - self.boundaries[s]
+    }
+
+    /// Cumulative point count at clump boundary `t` (`0 <= t <= len`).
+    #[inline]
+    pub fn boundary(&self, t: usize) -> usize {
+        self.boundaries[t]
+    }
+
+    /// Row totals over the full point set.
+    pub fn row_totals(&self) -> &[usize] {
+        self.cum_rows.last().expect("boundaries never empty")
+    }
+
+    /// Unnormalized column cost in bits: `sum_r -n_r * log2(n_r / n_col)`
+    /// where `n_r` counts the column's points in row `r`. Dividing the sum of
+    /// column costs by the total point count gives `H(Q|P)`.
+    pub fn cost(&self, s: usize, t: usize) -> f64 {
+        let n_col = self.col_count(s, t);
+        if n_col == 0 {
+            return 0.0;
+        }
+        let n_col_f = n_col as f64;
+        let lo = &self.cum_rows[s];
+        let hi = &self.cum_rows[t];
+        let mut acc = 0.0;
+        for r in 0..self.n_rows {
+            let c = (hi[r] - lo[r]) as f64;
+            if c > 0.0 {
+                acc -= c * (c / n_col_f).log2();
+            }
+        }
+        acc
+    }
+}
+
+/// A block may merge into the previous clump only when both are pure runs of
+/// the same row.
+fn mergeable(prev_rows: &[usize], block_pure_row: Option<usize>) -> bool {
+    match block_pure_row {
+        Some(r) => prev_rows.iter().all(|&pr| pr == r),
+        None => false,
+    }
+}
+
+/// Equipartitions clump ranges into at most `k` superclumps by point count.
+fn superclump(ranges: &[(usize, usize)], n: usize, k: usize) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(k);
+    let mut in_bin = 0usize;
+    let mut consumed = 0usize;
+    let mut bins_done = 0usize;
+    let mut target = n as f64 / k as f64;
+    for &(s, e) in ranges {
+        let group = e - s;
+        let overshoot = (in_bin as f64 + group as f64 - target).abs();
+        let undershoot = (in_bin as f64 - target).abs();
+        let start_new = in_bin != 0 && overshoot >= undershoot && bins_done + 1 < k;
+        if start_new {
+            bins_done += 1;
+            in_bin = 0;
+            target = (n - consumed) as f64 / (k - bins_done) as f64;
+        }
+        match out.last_mut() {
+            Some(last) if !start_new && in_bin != 0 => last.1 = e,
+            _ => out.push((s, e)),
+        }
+        in_bin += group;
+        consumed += group;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equipartition_even_split() {
+        let vals: Vec<f64> = (0..12).map(f64::from).collect();
+        let a = equipartition(&vals, 3);
+        let mut counts = [0usize; 3];
+        for &b in &a {
+            counts[b] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4]);
+        // Sorted input: assignment must be monotone.
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn equipartition_keeps_ties_together() {
+        let vals = [1.0, 1.0, 1.0, 1.0, 2.0, 3.0];
+        let a = equipartition(&vals, 3);
+        assert!(a[0] == a[1] && a[1] == a[2] && a[2] == a[3]);
+    }
+
+    #[test]
+    fn equipartition_constant_input_single_bin() {
+        let a = equipartition(&[5.0; 8], 4);
+        assert!(a.iter().all(|&b| b == a[0]));
+    }
+
+    #[test]
+    fn equipartition_respects_input_order() {
+        // Unsorted input: assignment follows value rank, not position.
+        let vals = [3.0, 1.0, 2.0];
+        let a = equipartition(&vals, 3);
+        assert!(a[1] < a[2] && a[2] < a[0]);
+    }
+
+    #[test]
+    fn clumps_merge_same_row_runs() {
+        // x strictly increasing, rows: 0 0 0 1 1 0 -> clumps {0,1,2} {3,4} {5}.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let rows = [0, 0, 0, 1, 1, 0];
+        let c = Clumps::build(&xs, &rows, 2, usize::MAX);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.col_count(0, 1), 3);
+        assert_eq!(c.col_count(1, 2), 2);
+        assert_eq!(c.col_count(2, 3), 1);
+    }
+
+    #[test]
+    fn clumps_same_x_mixed_rows_stay_together() {
+        // Three points share x = 2.0 across two rows: one unsplittable clump.
+        let xs = [1.0, 2.0, 2.0, 2.0, 3.0];
+        let rows = [0, 0, 1, 0, 1];
+        let c = Clumps::build(&xs, &rows, 2, usize::MAX);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.col_count(1, 2), 3);
+    }
+
+    #[test]
+    fn superclumps_cap_count() {
+        // Alternating rows force one clump per point.
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let rows: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let c = Clumps::build(&xs, &rows, 2, 10);
+        assert!(c.len() <= 10, "got {} clumps", c.len());
+        assert_eq!(c.points(), 100);
+    }
+
+    #[test]
+    fn cost_zero_for_pure_column() {
+        let xs = [1.0, 2.0, 3.0];
+        let rows = [0, 0, 0];
+        let c = Clumps::build(&xs, &rows, 2, usize::MAX);
+        assert_eq!(c.len(), 1);
+        assert!(c.cost(0, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_matches_entropy_formula() {
+        // Column with 2 points in row 0 and 2 in row 1: H = 1 bit, cost = 4 * 1.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let rows = [0, 1, 0, 1];
+        let c = Clumps::build(&xs, &rows, 2, usize::MAX);
+        let total_cost = c.cost(0, c.len());
+        assert!((total_cost - 4.0).abs() < 1e-12, "{total_cost}");
+    }
+
+    #[test]
+    fn row_totals_accumulate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let rows = [0, 1, 1, 1];
+        let c = Clumps::build(&xs, &rows, 2, usize::MAX);
+        assert_eq!(c.row_totals(), &[1, 3]);
+    }
+}

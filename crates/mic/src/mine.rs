@@ -1,0 +1,535 @@
+//! The MINE driver: characteristic matrix, MIC and companion statistics.
+
+use std::fmt;
+
+use crate::grid::{equipartition, Clumps};
+use crate::optimize::optimize_axis;
+
+/// Errors produced by MINE computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MicError {
+    /// The two input slices have different lengths.
+    LengthMismatch {
+        /// Length of the x slice.
+        xs: usize,
+        /// Length of the y slice.
+        ys: usize,
+    },
+    /// Fewer than four points — no 2x2 grid is meaningful.
+    TooFewPoints {
+        /// Points supplied.
+        got: usize,
+    },
+    /// A sample was NaN or infinite.
+    NonFinite,
+    /// Parameters out of range (`alpha` must be in `(0, 1]`, `c >= 1`).
+    BadParams,
+}
+
+impl fmt::Display for MicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicError::LengthMismatch { xs, ys } => {
+                write!(f, "length mismatch: xs has {xs} samples, ys has {ys}")
+            }
+            MicError::TooFewPoints { got } => {
+                write!(f, "need at least 4 points for MIC, got {got}")
+            }
+            MicError::NonFinite => write!(f, "samples must be finite"),
+            MicError::BadParams => write!(f, "alpha must be in (0,1] and c >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for MicError {}
+
+/// MINE tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicParams {
+    /// Grid budget exponent: `B(n) = n^alpha`. Reshef et al. default: 0.6.
+    pub alpha: f64,
+    /// Superclump factor: at most `c * x` clumps when optimizing `x`
+    /// columns. Reshef et al. default: 15.
+    pub c: f64,
+}
+
+impl Default for MicParams {
+    fn default() -> Self {
+        MicParams { alpha: 0.6, c: 15.0 }
+    }
+}
+
+impl MicParams {
+    /// A cheaper preset (smaller grids, fewer superclumps) for large batch
+    /// scans where per-pair cost matters more than the last digit of
+    /// accuracy — InvarNet-X's pairwise invariant construction uses this.
+    pub fn fast() -> Self {
+        MicParams { alpha: 0.55, c: 5.0 }
+    }
+
+    fn validate(&self) -> Result<(), MicError> {
+        if self.alpha > 0.0 && self.alpha <= 1.0 && self.c >= 1.0 {
+            Ok(())
+        } else {
+            Err(MicError::BadParams)
+        }
+    }
+}
+
+/// The normalized characteristic matrix `M(x, y)` for all grid shapes
+/// `x * y <= B`, plus the statistics MINE derives from it.
+#[derive(Debug, Clone)]
+pub struct CharacteristicMatrix {
+    /// `entries[(x, y)]` = normalized maximal MI for an x-by-y grid, stored
+    /// sparsely as `(x, y, value)` with `x, y >= 2`.
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CharacteristicMatrix {
+    /// The grid shapes and values present.
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Largest normalized entry = MIC.
+    pub fn mic(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, _, v)| v)
+            .fold(0.0, f64::max)
+            .clamp(0.0, 1.0)
+    }
+}
+
+/// The MINE statistics family of a point set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MineStats {
+    /// Maximal Information Coefficient, in `[0, 1]`.
+    pub mic: f64,
+    /// Maximum Asymmetry Score — large for non-monotone relationships.
+    pub mas: f64,
+    /// Maximum Edge Value — closeness to being a function of one variable.
+    pub mev: f64,
+    /// Minimum Cell Number — `log2` of the smallest grid achieving MIC.
+    pub mcn: f64,
+    /// Total Information Coefficient — the mean of the characteristic
+    /// matrix. Less sensitive to grid-size noise than the max, useful as a
+    /// dependence screen (Reshef et al., 2016).
+    pub tic: f64,
+}
+
+/// MIC with default parameters (`alpha = 0.6`, `c = 15`).
+///
+/// # Errors
+///
+/// See [`MicError`].
+pub fn mic(xs: &[f64], ys: &[f64]) -> Result<f64, MicError> {
+    mic_with_params(xs, ys, &MicParams::default())
+}
+
+/// MIC with explicit parameters.
+///
+/// # Errors
+///
+/// See [`MicError`].
+pub fn mic_with_params(xs: &[f64], ys: &[f64], params: &MicParams) -> Result<f64, MicError> {
+    Ok(mine(xs, ys, params)?.mic)
+}
+
+/// Full MINE statistics.
+///
+/// # Errors
+///
+/// See [`MicError`].
+pub fn mine(xs: &[f64], ys: &[f64], params: &MicParams) -> Result<MineStats, MicError> {
+    params.validate()?;
+    if xs.len() != ys.len() {
+        return Err(MicError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
+    }
+    let n = xs.len();
+    if n < 4 {
+        return Err(MicError::TooFewPoints { got: n });
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(MicError::NonFinite);
+    }
+
+    let b = (n as f64).powf(params.alpha).floor().max(4.0) as usize;
+
+    // One orientation: equipartition ys into rows, optimize columns over xs.
+    let d1 = half_characteristic(xs, ys, b, params.c);
+    // The transposed orientation.
+    let d2 = half_characteristic(ys, xs, b, params.c);
+
+    let entries = symmetrize(&d1, &d2);
+    let mut mic_val = 0.0f64;
+    let mut mcn_grid = usize::MAX;
+    let mut mev = 0.0f64;
+    let mut mas = 0.0f64;
+    let tic = if entries.is_empty() {
+        0.0
+    } else {
+        entries.iter().map(|&(_, _, v)| v).sum::<f64>() / entries.len() as f64
+    };
+    let d1_map: std::collections::HashMap<(usize, usize), f64> =
+        d1.iter().map(|&(x, y, v)| ((x, y), v)).collect();
+    for &(x, y, v) in &entries {
+        if v > mic_val {
+            mic_val = v;
+        }
+        if x == 2 || y == 2 {
+            mev = mev.max(v);
+        }
+        // MAS compares the two orientations of the same shape within one
+        // half-characteristic matrix — nonzero for non-monotone relations.
+        if let (Some(&a), Some(&b)) = (d1_map.get(&(x, y)), d1_map.get(&(y, x))) {
+            mas = mas.max((a - b).abs());
+        }
+    }
+    for &(x, y, v) in &entries {
+        if v >= mic_val - 1e-12 {
+            mcn_grid = mcn_grid.min(x * y);
+        }
+    }
+    let mcn = if mcn_grid == usize::MAX {
+        2.0
+    } else {
+        (mcn_grid as f64).log2()
+    };
+    Ok(MineStats {
+        mic: mic_val.clamp(0.0, 1.0),
+        mas: mas.clamp(0.0, 1.0),
+        mev: mev.clamp(0.0, 1.0),
+        mcn,
+        tic: tic.clamp(0.0, 1.0),
+    })
+}
+
+/// The MICe estimator of Reshef et al. 2016 (*Measuring Dependence
+/// Powerfully and Equitably*): the characteristic matrix is restricted to
+/// grids whose **denser axis is equipartitioned** — shape `(x, y)` with
+/// `x <= y` takes the y-axis equipartition and optimizes only the x-axis.
+/// This makes the statistic a consistent estimator of the population MIC
+/// and considerably cheaper than the exhaustive search.
+///
+/// # Errors
+///
+/// See [`MicError`].
+pub fn mic_e(xs: &[f64], ys: &[f64], params: &MicParams) -> Result<f64, MicError> {
+    params.validate()?;
+    if xs.len() != ys.len() {
+        return Err(MicError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
+    }
+    let n = xs.len();
+    if n < 4 {
+        return Err(MicError::TooFewPoints { got: n });
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(MicError::NonFinite);
+    }
+    let b = (n as f64).powf(params.alpha).floor().max(4.0) as usize;
+    // Orientation 1 optimizes columns over xs given equipartitioned ys; its
+    // (cols, rows) entries with cols <= rows satisfy the MICe restriction.
+    // Orientation 2 covers the shapes whose denser axis is x.
+    let d1 = half_characteristic(xs, ys, b, params.c);
+    let d2 = half_characteristic(ys, xs, b, params.c);
+    let best = d1
+        .iter()
+        .chain(&d2)
+        .filter(|&&(cols, rows, _)| cols <= rows)
+        .map(|&(_, _, v)| v)
+        .fold(0.0f64, f64::max);
+    Ok(best.clamp(0.0, 1.0))
+}
+
+/// Computes the characteristic matrix holding for every shape `(cols, rows)`
+/// with `cols * rows <= b` the normalized maximal MI when `axis_b` is
+/// equipartitioned into `rows` and `axis_a` is optimized into `cols`.
+///
+/// Entries come back sorted by `(cols, rows)` so the two orientations align.
+fn half_characteristic(
+    axis_a: &[f64],
+    axis_b: &[f64],
+    b: usize,
+    c: f64,
+) -> Vec<(usize, usize, f64)> {
+    let n = axis_a.len();
+    // Sort points by the axis being optimized (ties by the other axis).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        axis_a[i]
+            .partial_cmp(&axis_a[j])
+            .expect("finite")
+            .then(axis_b[i].partial_cmp(&axis_b[j]).expect("finite"))
+    });
+    let sorted_a: Vec<f64> = order.iter().map(|&i| axis_a[i]).collect();
+
+    let max_rows = b / 2;
+    let mut out = Vec::new();
+    for rows in 2..=max_rows.max(2) {
+        let x_max = b / rows;
+        if x_max < 2 {
+            break;
+        }
+        let assignment = equipartition(axis_b, rows);
+        let n_rows = assignment.iter().max().map_or(0, |m| m + 1);
+        let sorted_rows: Vec<usize> = order.iter().map(|&i| assignment[i]).collect();
+        let max_clumps = ((c * x_max as f64).ceil() as usize).max(1);
+        let clumps = Clumps::build(&sorted_a, &sorted_rows, n_rows.max(1), max_clumps);
+        let mi = optimize_axis(&clumps, x_max);
+        for (idx, &i_val) in mi.iter().enumerate() {
+            let cols = idx + 2;
+            let denom = (cols.min(rows) as f64).log2();
+            let v = if denom > 0.0 { i_val / denom } else { 0.0 };
+            out.push((cols, rows, v.clamp(0.0, 1.0)));
+        }
+    }
+    out.sort_by_key(|&(x, y, _)| (x, y));
+    out
+}
+
+/// Symmetrizes the two half-characteristic matrices: the value for shape
+/// `(x, y)` is the larger of orientation 1's `(x, y)` entry and orientation
+/// 2's `(y, x)` entry (the same grid shape seen from the transposed data).
+fn symmetrize(
+    d1: &[(usize, usize, f64)],
+    d2: &[(usize, usize, f64)],
+) -> Vec<(usize, usize, f64)> {
+    let d2_map: std::collections::HashMap<(usize, usize), f64> =
+        d2.iter().map(|&(x, y, v)| ((x, y), v)).collect();
+    d1.iter()
+        .map(|&(x, y, v1)| {
+            let v2 = d2_map.get(&(y, x)).copied().unwrap_or(0.0);
+            (x, y, v1.max(v2))
+        })
+        .collect()
+}
+
+/// Characteristic matrix with symmetrized entries, for inspection and tests.
+///
+/// # Errors
+///
+/// See [`MicError`].
+pub fn characteristic_matrix(
+    xs: &[f64],
+    ys: &[f64],
+    params: &MicParams,
+) -> Result<CharacteristicMatrix, MicError> {
+    params.validate()?;
+    if xs.len() != ys.len() {
+        return Err(MicError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
+    }
+    if xs.len() < 4 {
+        return Err(MicError::TooFewPoints { got: xs.len() });
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(MicError::NonFinite);
+    }
+    let n = xs.len();
+    let b = (n as f64).powf(params.alpha).floor().max(4.0) as usize;
+    let d1 = half_characteristic(xs, ys, b, params.c);
+    let d2 = half_characteristic(ys, xs, b, params.c);
+    Ok(CharacteristicMatrix {
+        entries: symmetrize(&d1, &d2),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linspace(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn identity_relation_scores_one() {
+        let xs = linspace(100);
+        let m = mic(&xs, &xs).unwrap();
+        assert!(m > 0.99, "mic = {m}");
+    }
+
+    #[test]
+    fn linear_relation_scores_one() {
+        let xs = linspace(150);
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        assert!(mic(&xs, &ys).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn parabola_scores_high_despite_zero_pearson() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 100.0 - 1.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        assert!(mic(&xs, &ys).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn sine_scores_high() {
+        let xs = linspace(300);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (4.0 * std::f64::consts::PI * x).sin())
+            .collect();
+        assert!(mic(&xs, &ys).unwrap() > 0.8);
+    }
+
+    #[test]
+    fn independent_noise_scores_low() {
+        // Two decorrelated pseudo-random streams.
+        let mut s1 = 1u64;
+        let mut s2 = 999u64;
+        let next = |s: &mut u64| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (*s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<f64> = (0..300).map(|_| next(&mut s1)).collect();
+        let ys: Vec<f64> = (0..300).map(|_| next(&mut s2)).collect();
+        let m = mic(&xs, &ys).unwrap();
+        assert!(m < 0.35, "independent noise mic = {m}");
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let xs = linspace(80);
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 6.0).cos() + 0.2 * x).collect();
+        let a = mic(&xs, &ys).unwrap();
+        let b = mic(&ys, &xs).unwrap();
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn constant_series_scores_zero() {
+        let xs = linspace(50);
+        let ys = vec![2.5; 50];
+        assert!(mic(&xs, &ys).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert_eq!(
+            mic(&[1.0, 2.0], &[1.0]).unwrap_err(),
+            MicError::LengthMismatch { xs: 2, ys: 1 }
+        );
+        assert_eq!(
+            mic(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            MicError::TooFewPoints { got: 3 }
+        );
+        assert_eq!(
+            mic(&[1.0, f64::NAN, 2.0, 3.0], &[1.0, 2.0, 3.0, 4.0]).unwrap_err(),
+            MicError::NonFinite
+        );
+        let bad = MicParams { alpha: 0.0, c: 15.0 };
+        assert_eq!(
+            mic_with_params(&linspace(10), &linspace(10), &bad).unwrap_err(),
+            MicError::BadParams
+        );
+    }
+
+    #[test]
+    fn fast_params_still_detect_linear() {
+        let xs = linspace(100);
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        assert!(mic_with_params(&xs, &ys, &MicParams::fast()).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn mine_stats_ranges() {
+        let xs = linspace(120);
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let s = mine(&xs, &ys, &MicParams::default()).unwrap();
+        assert!((0.0..=1.0).contains(&s.mic));
+        assert!((0.0..=1.0).contains(&s.mas));
+        assert!((0.0..=1.0).contains(&s.mev));
+        assert!(s.mcn >= 2.0);
+        // For a functional relationship MEV tracks MIC closely.
+        assert!(s.mev > 0.8 * s.mic);
+        // TIC is a mean of entries bounded by the max.
+        assert!(s.tic <= s.mic + 1e-12);
+        assert!(s.tic > 0.3, "functional data should have high TIC: {}", s.tic);
+    }
+
+    #[test]
+    fn mic_e_close_to_mic_on_functional_data() {
+        let xs = linspace(200);
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let full = mic(&xs, &ys).unwrap();
+        let e = mic_e(&xs, &ys, &MicParams::default()).unwrap();
+        assert!(e <= full + 1e-9, "MICe bounded by MIC: {e} vs {full}");
+        assert!(e > 0.85, "MICe should stay high on clean data: {e}");
+    }
+
+    #[test]
+    fn mic_e_low_on_independent_noise() {
+        let mut s1 = 2u64;
+        let mut s2 = 55u64;
+        let next = |s: &mut u64| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (*s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let xs: Vec<f64> = (0..300).map(|_| next(&mut s1)).collect();
+        let ys: Vec<f64> = (0..300).map(|_| next(&mut s2)).collect();
+        assert!(mic_e(&xs, &ys, &MicParams::default()).unwrap() < 0.3);
+    }
+
+    #[test]
+    fn mic_e_symmetric() {
+        let xs = linspace(90);
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 7.0).sin()).collect();
+        let a = mic_e(&xs, &ys, &MicParams::default()).unwrap();
+        let b = mic_e(&ys, &xs, &MicParams::default()).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tic_separates_dependence_from_noise() {
+        let xs = linspace(200);
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 9.0).sin()).collect();
+        let dependent = mine(&xs, &ys, &MicParams::default()).unwrap().tic;
+        let mut s1 = 5u64;
+        let mut s2 = 17u64;
+        let next = |s: &mut u64| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (*s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let nx: Vec<f64> = (0..200).map(|_| next(&mut s1)).collect();
+        let ny: Vec<f64> = (0..200).map(|_| next(&mut s2)).collect();
+        let independent = mine(&nx, &ny, &MicParams::default()).unwrap().tic;
+        assert!(
+            dependent > 3.0 * independent,
+            "tic dependent {dependent} vs independent {independent}"
+        );
+    }
+
+    #[test]
+    fn characteristic_matrix_entries_within_budget() {
+        let xs = linspace(100);
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - x).collect();
+        let cm = characteristic_matrix(&xs, &ys, &MicParams::default()).unwrap();
+        let b = (100f64).powf(0.6).floor() as usize;
+        for &(x, y, v) in cm.entries() {
+            assert!(x >= 2 && y >= 2 && x * y <= b);
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert!((cm.mic() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_transform_invariance() {
+        // MIC depends only on ranks, so exp() on one axis must not change it.
+        let xs = linspace(90);
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 5.0).sin()).collect();
+        let xs_t: Vec<f64> = xs.iter().map(|x| (3.0 * x).exp()).collect();
+        let a = mic(&xs, &ys).unwrap();
+        let b = mic(&xs_t, &ys).unwrap();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Trace export/import: persists simulated runs in the same plain formats a
+//! real deployment would collect (per-node metric CSVs from collectl, one
+//! CPI value per line from perf), so the `diagnose` CLI and external tools
+//! can consume simulator output byte-for-byte like production data.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ix_metrics::{CpiTrace, MetricFrame};
+
+use crate::run::{NodeTrace, RunResult};
+
+/// Writes a run to `dir`: `node-<id>.csv` (26-metric frame) and
+/// `node-<id>.cpi` (one CPI value per line) per node, plus `run.meta` with
+/// the workload name and tick count.
+///
+/// # Errors
+///
+/// I/O failures.
+pub fn export_run(run: &RunResult, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    for trace in &run.per_node {
+        let base = dir.join(format!("node-{}", trace.node.id));
+        fs::write(base.with_extension("csv"), trace.frame.to_csv())?;
+        let cpi_text: String = trace
+            .cpi
+            .cpi_series()
+            .iter()
+            .map(|v| format!("{v:.17e}\n"))
+            .collect();
+        fs::write(base.with_extension("cpi"), cpi_text)?;
+    }
+    let meta = format!(
+        "workload={}\nticks={}\nnodes={}\n",
+        run.workload.name(),
+        run.ticks,
+        run.per_node.len()
+    );
+    fs::write(dir.join("run.meta"), meta)
+}
+
+/// Reads back the per-node traces of an exported run (metadata is not
+/// needed to consume the traces; the frames carry everything diagnosable).
+///
+/// # Errors
+///
+/// I/O or parse failures (reported as `io::Error` with context).
+pub fn import_traces(dir: &Path) -> io::Result<Vec<(usize, MetricFrame, CpiTrace)>> {
+    let mut out = Vec::new();
+    let mut csvs: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    csvs.sort();
+    for csv in csvs {
+        let stem = csv
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        let id: usize = stem
+            .strip_prefix("node-")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::other(format!("unexpected trace file {}", csv.display())))?;
+        let frame = MetricFrame::from_csv(&fs::read_to_string(&csv)?, 10.0)
+            .map_err(|e| io::Error::other(format!("{}: {e}", csv.display())))?;
+        let cpi_path = csv.with_extension("cpi");
+        let cpi_values: Result<Vec<f64>, io::Error> = fs::read_to_string(&cpi_path)?
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                l.trim()
+                    .parse::<f64>()
+                    .map_err(|_| io::Error::other(format!("{}: bad CPI {l:?}", cpi_path.display())))
+            })
+            .collect();
+        out.push((id, frame, CpiTrace::from_cpi_values(&cpi_values?)));
+    }
+    Ok(out)
+}
+
+/// Convenience: exports only one node's trace (`node-<id>.csv/.cpi`).
+///
+/// # Errors
+///
+/// I/O failures.
+pub fn export_node_trace(trace: &NodeTrace, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let base = dir.join(format!("node-{}", trace.node.id));
+    fs::write(base.with_extension("csv"), trace.frame.to_csv())?;
+    let cpi_text: String = trace
+        .cpi
+        .cpi_series()
+        .iter()
+        .map(|v| format!("{v:.17e}\n"))
+        .collect();
+    fs::write(base.with_extension("cpi"), cpi_text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, RunConfig, WorkloadType};
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join("invarnet_export_tests").join(name);
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let run = simulate(&RunConfig::new(WorkloadType::Grep, 9));
+        let dir = tmp("roundtrip");
+        export_run(&run, &dir).unwrap();
+
+        let traces = import_traces(&dir).unwrap();
+        assert_eq!(traces.len(), run.per_node.len());
+        for (id, frame, cpi) in &traces {
+            let original = &run.per_node[*id];
+            assert_eq!(frame, &original.frame, "node {id} frame");
+            // CPI round-trips through text with full precision.
+            let a = cpi.cpi_series();
+            let b = original.cpi.cpi_series();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9, "node {id}: {x} vs {y}");
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn meta_file_describes_the_run() {
+        let run = simulate(&RunConfig::new(WorkloadType::Sort, 10));
+        let dir = tmp("meta");
+        export_run(&run, &dir).unwrap();
+        let meta = fs::read_to_string(dir.join("run.meta")).unwrap();
+        assert!(meta.contains("workload=Sort"));
+        assert!(meta.contains(&format!("ticks={}", run.ticks)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_rejects_stray_files() {
+        let dir = tmp("stray");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("whatever.csv"), "not a frame").unwrap();
+        assert!(import_traces(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

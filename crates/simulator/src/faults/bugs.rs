@@ -1,0 +1,219 @@
+//! Software-bug faults: reproductions of the Hadoop bugs the paper injects
+//! with the Hadoop fault-injection framework.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::latent::{Channel, LatentState};
+use ix_metrics::MetricId;
+
+pub(super) fn apply(
+    fault: super::FaultType,
+    s: &mut LatentState,
+    tick_in_fault: usize,
+    run_nonce: u64,
+    rng: &mut ChaCha8Rng,
+) {
+    use super::FaultType::*;
+    match fault {
+        RpcHang => {
+            // HADOOP-6498: RPC calls hang; worker threads block waiting.
+            // CPU and network go quiet while pending connections pile up.
+            s.job_cpu *= 0.40;
+            s.net_tx *= 0.30;
+            s.net_rx *= 0.30;
+            s.ext_sockets += 60.0 + 20.0 * rng.gen::<f64>();
+            s.decouple_channel(Channel::Net, 0.55);
+            s.decouple_channel(Channel::Cpu, 0.35);
+            s.decouple_metric(MetricId::TcpSockets.index(), 0.70);
+            // Blocked worker threads stall the instruction stream.
+            s.cpi_multiplier *= 1.75;
+            s.progress_rate *= 0.50;
+        }
+        ThreadLeak => {
+            // HADOOP-9703: ipc.Client.stop leaks a thread per call. Threads
+            // (and their stacks) accumulate monotonically.
+            let leak = 4.0 * tick_in_fault as f64;
+            s.leaked_threads += leak;
+            s.ext_mem += (0.0008 * leak).min(0.35);
+            s.decouple_metric(MetricId::MemUsed.index(), 0.55);
+            s.decouple_metric(MetricId::MemFree.index(), 0.50);
+            s.decouple_metric(MetricId::ContextSwitches.index(), 0.60);
+            s.decouple_metric(MetricId::TcpSockets.index(), 0.45);
+            // The leak compounds: by mid-window the stack pressure and lock
+            // churn visibly stall the instruction stream.
+            s.cpi_multiplier *= 1.0 + (0.015 * tick_in_fault as f64).min(0.8);
+            s.progress_rate *= 0.78;
+        }
+        Npe => {
+            // HADOOP-1036: NullPointerException kills tasks; the JobTracker
+            // reschedules them, producing bursty retry activity.
+            let burst = tick_in_fault % 5 < 2;
+            if burst {
+                s.job_cpu = (s.job_cpu * 1.4).min(1.0);
+            } else {
+                s.job_cpu *= 0.5;
+            }
+            s.decouple_channel(Channel::Cpu, 0.30);
+            // Task restarts churn the scheduler and fault in fresh JVM
+            // pages — the retry loop's fingerprint is churn, not raw load.
+            s.decouple_metric(MetricId::RunQueue.index(), 0.65);
+            s.decouple_metric(MetricId::LoadAvg1.index(), 0.65);
+            s.decouple_metric(MetricId::PageFaults.index(), 0.65);
+            s.cpi_multiplier *= 1.55;
+            s.progress_rate *= 0.60;
+        }
+        LockRace => {
+            // A removed `synchronized`: which shared structures race — and
+            // therefore which couplings break — varies run to run. Draw the
+            // disturbed subset from the run nonce so the signature is
+            // non-deterministic across runs but stable within one.
+            let mut h = run_nonce ^ 0x9e37_79b9_7f4a_7c15;
+            let mut next = || {
+                h ^= h << 13;
+                h ^= h >> 7;
+                h ^= h << 17;
+                h
+            };
+            // The stable core of the fingerprint: lock contention always
+            // thrashes context switching and the run queue — but, unlike a
+            // task-flood misconfiguration, it leaves interrupts and load
+            // coupled.
+            s.decouple_metric(MetricId::ContextSwitches.index(), 0.60);
+            s.decouple_metric(MetricId::RunQueue.index(), 0.45);
+            // The unstable part: which data-path couplings break depends on
+            // the interleaving, so it varies run to run (at most two extra
+            // channels per run).
+            let mut extras = 0;
+            for ch in [Channel::Cpu, Channel::Mem, Channel::Disk, Channel::Net, Channel::Paging] {
+                if extras < 1 && next() % 100 < 40 {
+                    s.decouple_channel(ch, 0.50);
+                    extras += 1;
+                }
+            }
+            s.cpi_multiplier *= 1.40;
+            s.progress_rate *= 0.70;
+        }
+        CommInterference => {
+            // HADOOP-1970: the communication thread is interfered with —
+            // outbound traffic suffers disproportionately.
+            s.net_tx *= 0.45;
+            s.net_rx *= 0.85;
+            s.decouple_metric(MetricId::NetTxKBps.index(), 0.60);
+            s.decouple_metric(MetricId::NetTxPackets.index(), 0.60);
+            s.decouple_channel(Channel::Net, 0.30);
+            s.decouple_metric(MetricId::CpuSystem.index(), 0.35);
+            s.cpi_multiplier *= 1.32;
+            s.progress_rate *= 0.75;
+        }
+        BlockReceiverException => {
+            // Exception in BlockReceiver.receivePacket: HDFS writes through
+            // this node fail and retry elsewhere — the write path and the
+            // inbound replication traffic decouple.
+            s.disk_write *= 0.35;
+            s.net_rx *= 0.60;
+            s.net_errors += 200.0 + 80.0 * rng.gen::<f64>();
+            s.decouple_metric(MetricId::DiskWriteKBps.index(), 0.60);
+            s.decouple_metric(MetricId::DiskWriteOps.index(), 0.60);
+            s.decouple_metric(MetricId::NetRxKBps.index(), 0.45);
+            s.decouple_channel(Channel::Disk, 0.30);
+            s.cpi_multiplier *= 1.25;
+            s.progress_rate *= 0.80;
+        }
+        _ => unreachable!("environment faults are handled in faults::environment"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::FaultType;
+    use crate::latent::{Channel, LatentState};
+    use ix_metrics::MetricId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn neutral() -> LatentState {
+        LatentState::from_demands(1.0, 0.5, 0.4, 30_000.0, 10_000.0, 5_000.0, 5_000.0, 1.0)
+    }
+
+    fn apply_with(f: FaultType, tick: usize, nonce: u64) -> LatentState {
+        let mut s = neutral();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        f.apply(&mut s, tick, nonce, &mut rng);
+        s
+    }
+
+    #[test]
+    fn thread_leak_grows_over_time() {
+        let early = apply_with(FaultType::ThreadLeak, 1, 5);
+        let late = apply_with(FaultType::ThreadLeak, 40, 5);
+        assert!(late.leaked_threads > early.leaked_threads);
+        assert!(late.ext_mem > early.ext_mem);
+        assert!(late.cpi_multiplier > early.cpi_multiplier);
+    }
+
+    #[test]
+    fn lock_race_varies_across_runs_but_not_within() {
+        let a1 = apply_with(FaultType::LockRace, 3, 1);
+        let a2 = apply_with(FaultType::LockRace, 9, 1);
+        // Same run nonce: same channel subset regardless of tick.
+        assert_eq!(a1.decouple, a2.decouple);
+        // Different nonces eventually give different subsets.
+        let distinct = (0..20)
+            .map(|n| apply_with(FaultType::LockRace, 0, n).decouple)
+            .collect::<Vec<_>>();
+        assert!(distinct.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn rpc_hang_piles_up_sockets_and_quiets_the_node() {
+        let s = apply_with(FaultType::RpcHang, 0, 3);
+        assert!(s.ext_sockets > 50.0);
+        assert!(s.job_cpu < 0.25);
+        assert!(s.metric_decouple[MetricId::TcpSockets.index()] >= 0.7);
+    }
+
+    #[test]
+    fn comm_interference_is_tx_biased() {
+        let s = apply_with(FaultType::CommInterference, 0, 3);
+        assert!(s.net_tx < s.net_rx);
+        assert!(
+            s.metric_decouple[MetricId::NetTxKBps.index()]
+                > s.metric_decouple[MetricId::NetRxKBps.index()]
+        );
+    }
+
+    #[test]
+    fn block_receiver_hits_the_write_path() {
+        let s = apply_with(FaultType::BlockReceiverException, 0, 3);
+        assert!(s.disk_write < 5_000.0);
+        assert!(s.metric_decouple[MetricId::DiskWriteKBps.index()] >= 0.6);
+        assert!(s.net_errors > 0.0);
+    }
+
+    #[test]
+    fn npe_is_bursty() {
+        let burst = apply_with(FaultType::Npe, 0, 3);
+        let quiet = apply_with(FaultType::Npe, 3, 3);
+        assert!(burst.job_cpu > quiet.job_cpu);
+    }
+
+    #[test]
+    fn all_bugs_slow_progress_and_raise_cpi() {
+        for f in FaultType::ALL.iter().filter(|f| f.is_software_bug()) {
+            let s = apply_with(*f, 2, 11);
+            assert!(s.progress_rate < 1.0, "{f}");
+            assert!(s.cpi_multiplier > 1.0, "{f}");
+        }
+    }
+
+    #[test]
+    fn lock_race_always_touches_ctxsw() {
+        for n in 0..10 {
+            let s = apply_with(FaultType::LockRace, 0, n);
+            assert!(
+                s.effective_decouple(Channel::Sched, MetricId::ContextSwitches.index()) >= 0.4
+            );
+        }
+    }
+}

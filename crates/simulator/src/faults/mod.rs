@@ -1,0 +1,231 @@
+//! The fault-injection suite: the paper's nine environment faults and six
+//! software-bug reproductions, each as a deterministic perturbation of the
+//! latent state.
+//!
+//! The per-fault fingerprints were designed to reproduce the paper's
+//! observed diagnosis behaviour, not just "some" anomaly:
+//!
+//! - `NetDrop` and `NetDelay` are nearly identical → mutual confusion
+//!   ("signature conflict");
+//! - `LockRace` disturbs a random subset of couplings every run → low
+//!   recall;
+//! - `Overload` and `Suspend` disturb almost everything → near-perfect
+//!   precision/recall.
+
+mod bugs;
+mod environment;
+
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::latent::LatentState;
+
+/// The fifteen injectable faults of the paper's evaluation (Sect. 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultType {
+    /// (1) A CPU-bound co-located application competing with TaskTracker.
+    CpuHog,
+    /// (2) A memory-bound application consuming a large amount of RAM.
+    MemHog,
+    /// (3) A disk-bound program generating mass reads/writes.
+    DiskHog,
+    /// (4) AnarchyApe packet loss on the network path.
+    NetDrop,
+    /// (5) AnarchyApe 800 ms packet delay.
+    NetDelay,
+    /// (6) AnarchyApe HDFS block corruption on one data node.
+    BlockCorruption,
+    /// (7) `mapred.max.split.size` set pathologically low (1 MB).
+    Misconfiguration,
+    /// (8) Increased concurrency of interactive workloads (TPC-DS only).
+    Overload,
+    /// (9) AnarchyApe suspension of the DataNode/TaskTracker process.
+    Suspend,
+    /// Bug (1): HADOOP-6498 — RPC call hang (injected sleep in RPC path).
+    RpcHang,
+    /// Bug (2): HADOOP-9703 — thread leak in `ipc.Client.stop`.
+    ThreadLeak,
+    /// Bug (3): HADOOP-1036 — NullPointerException causing task retries.
+    Npe,
+    /// Bug (4): a `synchronized` method replaced by an unsynchronized one —
+    /// lock race with non-deterministic manifestation.
+    LockRace,
+    /// Bug (5): HADOOP-1970 — communication thread interference.
+    CommInterference,
+    /// Bug (6): exception injected in `BlockReceiver.receivePacket`.
+    BlockReceiverException,
+}
+
+impl FaultType {
+    /// All faults, in the paper's presentation order.
+    pub const ALL: [FaultType; 15] = [
+        FaultType::CpuHog,
+        FaultType::MemHog,
+        FaultType::DiskHog,
+        FaultType::NetDrop,
+        FaultType::NetDelay,
+        FaultType::BlockCorruption,
+        FaultType::Misconfiguration,
+        FaultType::Overload,
+        FaultType::Suspend,
+        FaultType::RpcHang,
+        FaultType::ThreadLeak,
+        FaultType::Npe,
+        FaultType::LockRace,
+        FaultType::CommInterference,
+        FaultType::BlockReceiverException,
+    ];
+
+    /// Label used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultType::CpuHog => "CPU-hog",
+            FaultType::MemHog => "Mem-hog",
+            FaultType::DiskHog => "Disk-hog",
+            FaultType::NetDrop => "Net-drop",
+            FaultType::NetDelay => "Net-delay",
+            FaultType::BlockCorruption => "Block-C",
+            FaultType::Misconfiguration => "Misconf",
+            FaultType::Overload => "Overload",
+            FaultType::Suspend => "Suspend",
+            FaultType::RpcHang => "RPC-hang",
+            FaultType::ThreadLeak => "H-9703",
+            FaultType::Npe => "H-1036",
+            FaultType::LockRace => "Lock-R",
+            FaultType::CommInterference => "H-1970",
+            FaultType::BlockReceiverException => "Block-R",
+        }
+    }
+
+    /// Parses a paper-style label.
+    pub fn from_name(name: &str) -> Option<FaultType> {
+        FaultType::ALL.iter().copied().find(|f| f.name() == name)
+    }
+
+    /// Whether the fault only makes sense for interactive workloads
+    /// (`Overload` cannot happen under FIFO batch scheduling).
+    pub fn interactive_only(self) -> bool {
+        matches!(self, FaultType::Overload)
+    }
+
+    /// Whether this fault stems from a software bug (vs an operational
+    /// environment change).
+    pub fn is_software_bug(self) -> bool {
+        matches!(
+            self,
+            FaultType::RpcHang
+                | FaultType::ThreadLeak
+                | FaultType::Npe
+                | FaultType::LockRace
+                | FaultType::CommInterference
+                | FaultType::BlockReceiverException
+        )
+    }
+
+    /// Applies this fault's per-tick effect to the latent state.
+    ///
+    /// `tick_in_fault` counts ticks since injection; `run_nonce` carries
+    /// per-run randomness (LockRace draws its violated coupling subset from
+    /// it); `rng` supplies within-tick noise.
+    pub fn apply(
+        self,
+        state: &mut LatentState,
+        tick_in_fault: usize,
+        run_nonce: u64,
+        rng: &mut ChaCha8Rng,
+    ) {
+        match self {
+            FaultType::CpuHog
+            | FaultType::MemHog
+            | FaultType::DiskHog
+            | FaultType::NetDrop
+            | FaultType::NetDelay
+            | FaultType::BlockCorruption
+            | FaultType::Misconfiguration
+            | FaultType::Overload
+            | FaultType::Suspend => environment::apply(self, state, tick_in_fault, run_nonce, rng),
+            FaultType::RpcHang
+            | FaultType::ThreadLeak
+            | FaultType::Npe
+            | FaultType::LockRace
+            | FaultType::CommInterference
+            | FaultType::BlockReceiverException => {
+                bugs::apply(self, state, tick_in_fault, run_nonce, rng)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FaultType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where and when a fault is injected during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultInjection {
+    /// Which fault.
+    pub fault: FaultType,
+    /// Target node index.
+    pub node: usize,
+    /// First tick of the fault window.
+    pub start_tick: usize,
+    /// Fault window length in ticks (paper: 5 min = 30 ticks at 10 s).
+    pub duration_ticks: usize,
+}
+
+impl FaultInjection {
+    /// Whether the fault is active on `node` at `tick`.
+    pub fn active(&self, node: usize, tick: usize) -> bool {
+        node == self.node && tick >= self.start_tick && tick < self.start_tick + self.duration_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_faults_with_unique_names() {
+        assert_eq!(FaultType::ALL.len(), 15);
+        let names: std::collections::HashSet<&str> =
+            FaultType::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 15);
+        for f in FaultType::ALL {
+            assert_eq!(FaultType::from_name(f.name()), Some(f));
+        }
+    }
+
+    #[test]
+    fn overload_is_interactive_only() {
+        assert!(FaultType::Overload.interactive_only());
+        assert_eq!(
+            FaultType::ALL.iter().filter(|f| f.interactive_only()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn six_software_bugs() {
+        assert_eq!(
+            FaultType::ALL.iter().filter(|f| f.is_software_bug()).count(),
+            6
+        );
+    }
+
+    #[test]
+    fn injection_window() {
+        let inj = FaultInjection {
+            fault: FaultType::CpuHog,
+            node: 2,
+            start_tick: 10,
+            duration_ticks: 5,
+        };
+        assert!(!inj.active(2, 9));
+        assert!(inj.active(2, 10));
+        assert!(inj.active(2, 14));
+        assert!(!inj.active(2, 15));
+        assert!(!inj.active(1, 12));
+    }
+}

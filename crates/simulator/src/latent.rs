@@ -1,0 +1,178 @@
+//! The latent driver state of one node at one tick.
+//!
+//! Metrics are *views* of this state (plus measurement noise), so metrics
+//! sharing drivers correlate in the normal state, and faults break exactly
+//! the couplings their `apply` methods disturb.
+
+use ix_metrics::METRIC_COUNT;
+
+/// Index of a coupling channel — a family of metrics that faults can
+/// decouple from the workload driver as a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// CPU utilization metrics.
+    Cpu = 0,
+    /// Memory occupancy metrics.
+    Mem = 1,
+    /// Disk throughput metrics.
+    Disk = 2,
+    /// Network throughput metrics.
+    Net = 3,
+    /// Scheduler metrics (context switches, run queue, load).
+    Sched = 4,
+    /// Paging metrics (faults, page-ins/outs, swap).
+    Paging = 5,
+}
+
+/// Number of coupling channels.
+pub const CHANNEL_COUNT: usize = 6;
+
+/// Latent per-tick state of one node. Produced by the workload model,
+/// mutated by active faults, consumed by the metric sampler and CPI model.
+#[derive(Debug, Clone)]
+pub struct LatentState {
+    /// Shared job-intensity factor (AR(1) around 1.0) — the common cause
+    /// behind normal-state metric correlations.
+    pub intensity: f64,
+    /// Job CPU demand, fraction of node capacity.
+    pub job_cpu: f64,
+    /// Job memory demand, fraction of node RAM.
+    pub job_mem: f64,
+    /// Job disk read demand, KB/s.
+    pub disk_read: f64,
+    /// Job disk write demand, KB/s.
+    pub disk_write: f64,
+    /// Job network transmit demand, KB/s.
+    pub net_tx: f64,
+    /// Job network receive demand, KB/s.
+    pub net_rx: f64,
+    /// Intrinsic CPI of the current phase on the reference node.
+    pub base_cpi: f64,
+
+    /// Fault-added CPU use (decoupled from `intensity`), fraction.
+    pub ext_cpu: f64,
+    /// Fault-added memory use, fraction of RAM.
+    pub ext_mem: f64,
+    /// Fault-added disk read traffic, KB/s.
+    pub ext_disk_read: f64,
+    /// Fault-added disk write traffic, KB/s.
+    pub ext_disk_write: f64,
+    /// Fault-added network traffic (each direction), KB/s.
+    pub ext_net: f64,
+    /// Extra sockets / pending connections (RPC pathologies).
+    pub ext_sockets: f64,
+
+    /// Per-channel decoupling strength in `0..=1`: how much of that
+    /// channel's metrics is replaced by fault-private noise.
+    pub decouple: [f64; CHANNEL_COUNT],
+    /// Per-metric decoupling overrides (maxed with the channel value) for
+    /// faults with fine-grained fingerprints.
+    pub metric_decouple: [f64; METRIC_COUNT],
+
+    /// Job progress produced this tick (1.0 = nominal).
+    pub progress_rate: f64,
+    /// Multiplier on CPI from contention/stalls.
+    pub cpi_multiplier: f64,
+    /// Whether the Hadoop worker processes on this node are suspended.
+    pub suspended: bool,
+    /// Excess task-management overhead (misconfiguration: tiny splits).
+    pub task_overhead: f64,
+    /// Leaked thread count (HADOOP-9703).
+    pub leaked_threads: f64,
+    /// Packet errors / retransmits per second.
+    pub net_errors: f64,
+}
+
+impl LatentState {
+    /// A neutral state with the given phase demands (before fault effects).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_demands(
+        intensity: f64,
+        job_cpu: f64,
+        job_mem: f64,
+        disk_read: f64,
+        disk_write: f64,
+        net_tx: f64,
+        net_rx: f64,
+        base_cpi: f64,
+    ) -> Self {
+        LatentState {
+            intensity,
+            job_cpu,
+            job_mem,
+            disk_read,
+            disk_write,
+            net_tx,
+            net_rx,
+            base_cpi,
+            ext_cpu: 0.0,
+            ext_mem: 0.0,
+            ext_disk_read: 0.0,
+            ext_disk_write: 0.0,
+            ext_net: 0.0,
+            ext_sockets: 0.0,
+            decouple: [0.0; CHANNEL_COUNT],
+            metric_decouple: [0.0; METRIC_COUNT],
+            progress_rate: 1.0,
+            cpi_multiplier: 1.0,
+            suspended: false,
+            task_overhead: 0.0,
+            leaked_threads: 0.0,
+            net_errors: 0.0,
+        }
+    }
+
+    /// Raises the decoupling of `channel` to at least `strength`.
+    pub fn decouple_channel(&mut self, channel: Channel, strength: f64) {
+        let slot = &mut self.decouple[channel as usize];
+        *slot = slot.max(strength.clamp(0.0, 1.0));
+    }
+
+    /// Raises the decoupling of one specific metric to at least `strength`.
+    pub fn decouple_metric(&mut self, index: usize, strength: f64) {
+        let slot = &mut self.metric_decouple[index];
+        *slot = slot.max(strength.clamp(0.0, 1.0));
+    }
+
+    /// Effective decoupling of metric `index` within `channel`.
+    pub fn effective_decouple(&self, channel: Channel, index: usize) -> f64 {
+        self.decouple[channel as usize].max(self.metric_decouple[index])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neutral() -> LatentState {
+        LatentState::from_demands(1.0, 0.5, 0.4, 1000.0, 500.0, 200.0, 200.0, 1.0)
+    }
+
+    #[test]
+    fn neutral_state_has_no_fault_effects() {
+        let s = neutral();
+        assert_eq!(s.ext_cpu, 0.0);
+        assert_eq!(s.progress_rate, 1.0);
+        assert_eq!(s.cpi_multiplier, 1.0);
+        assert!(!s.suspended);
+        assert!(s.decouple.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn decouple_takes_maximum() {
+        let mut s = neutral();
+        s.decouple_channel(Channel::Cpu, 0.5);
+        s.decouple_channel(Channel::Cpu, 0.3);
+        assert_eq!(s.decouple[Channel::Cpu as usize], 0.5);
+        s.decouple_metric(4, 0.8);
+        assert_eq!(s.effective_decouple(Channel::Cpu, 4), 0.8);
+        assert_eq!(s.effective_decouple(Channel::Cpu, 3), 0.5);
+    }
+
+    #[test]
+    fn decouple_clamps_to_unit_interval() {
+        let mut s = neutral();
+        s.decouple_channel(Channel::Net, 3.0);
+        assert_eq!(s.decouple[Channel::Net as usize], 1.0);
+    }
+}

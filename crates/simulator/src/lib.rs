@@ -1,0 +1,40 @@
+//! A discrete-time Hadoop-cluster simulator standing in for the paper's
+//! five-node testbed.
+//!
+//! InvarNet-X never looks at data contents — it consumes only the 26
+//! collectl-style metric series and the CPI series per node, per job run.
+//! This simulator produces those series from an explicit latent-driver
+//! model:
+//!
+//! 1. a [`workload`] profile defines per-phase resource demand (Map /
+//!    Shuffle / Reduce for batch jobs; a steady mixed profile for TPC-DS);
+//! 2. a job-intensity process (AR(1) around 1.0) modulates all demands
+//!    jointly, which is what makes metric pairs *correlated* in the normal
+//!    state;
+//! 3. the metric sampler maps latent demands + node hardware to the 26 metrics
+//!    with small independent measurement noise;
+//! 4. the CPI model maps contention terms to cycles-per-instruction;
+//! 5. [`faults`] perturb the latent state: they add *decoupled* activity,
+//!    break specific demand→metric couplings (violating MIC invariants),
+//!    slow job progress and raise CPI — each fault with its own fingerprint.
+//!
+//! The fifteen fault models reproduce the paper's injection campaign,
+//! including its deliberate pathologies: `Net-drop` and `Net-delay` have
+//! nearly identical fingerprints (the paper's "signature conflict"),
+//! `Lock-R` breaks a *random* subset of couplings each run (hence its low
+//! recall), and `Overload`/`Suspend` disturb nearly everything (hence their
+//! perfect scores).
+
+pub mod export;
+pub mod faults;
+mod latent;
+mod node;
+mod run;
+mod sampler;
+pub mod workload;
+
+pub use faults::{FaultInjection, FaultType};
+pub use latent::LatentState;
+pub use node::{NodeRole, NodeSpec};
+pub use run::{simulate, CpuDisturbance, NodeTrace, RunConfig, RunResult, Runner};
+pub use workload::{Phase, PhaseProfile, WorkloadType};

@@ -1,0 +1,106 @@
+//! Node hardware specifications — the paper's testbed uses five servers
+//! (two 4-core Xeon 2.1 GHz, 16 GB RAM, 1 TB disk, gigabit NIC), which we
+//! take as the reference machine, with mild heterogeneity across nodes to
+//! motivate per-node operation contexts.
+
+use serde::{Deserialize, Serialize};
+
+/// Role of a node in the Hadoop cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// NameNode + JobTracker.
+    Master,
+    /// DataNode + TaskTracker.
+    Slave,
+}
+
+/// Hardware description of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node identifier; `node-0` is the master.
+    pub id: usize,
+    /// Role in the cluster.
+    pub role: NodeRole,
+    /// Number of cores (reference: 8).
+    pub cores: usize,
+    /// RAM in MB (reference: 16384).
+    pub mem_mb: f64,
+    /// Aggregate disk bandwidth, KB/s (reference: ~120 MB/s).
+    pub disk_kbps: f64,
+    /// NIC bandwidth per direction, KB/s (gigabit: ~120 MB/s).
+    pub net_kbps: f64,
+    /// Relative CPU speed vs the reference node (1.0 = reference). Slower
+    /// nodes see proportionally higher CPI for the same work.
+    pub speed: f64,
+}
+
+impl NodeSpec {
+    /// The reference slave node of the paper's testbed.
+    pub fn reference(id: usize) -> Self {
+        NodeSpec {
+            id,
+            role: if id == 0 { NodeRole::Master } else { NodeRole::Slave },
+            cores: 8,
+            mem_mb: 16_384.0,
+            disk_kbps: 120_000.0,
+            net_kbps: 120_000.0,
+            speed: 1.0,
+        }
+    }
+
+    /// A mildly heterogeneous cluster of `n` nodes: node 0 is the master,
+    /// and slaves differ in CPU speed and disk bandwidth by up to ~20 %.
+    pub fn heterogeneous_cluster(n: usize) -> Vec<NodeSpec> {
+        (0..n)
+            .map(|id| {
+                let mut spec = NodeSpec::reference(id);
+                // Deterministic variation by id keeps experiments reproducible.
+                let wiggle = match id % 4 {
+                    0 => 1.0,
+                    1 => 0.9,
+                    2 => 1.1,
+                    _ => 0.85,
+                };
+                spec.speed = wiggle;
+                spec.disk_kbps *= 2.0 - wiggle;
+                spec
+            })
+            .collect()
+    }
+
+    /// Stand-in for the node's IP address, used as the operation-context key
+    /// (the paper stores models per `(ip, workload type)`).
+    pub fn ip(&self) -> String {
+        format!("192.168.1.{}", 100 + self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_testbed() {
+        let n = NodeSpec::reference(1);
+        assert_eq!(n.cores, 8);
+        assert_eq!(n.mem_mb, 16_384.0);
+        assert_eq!(n.role, NodeRole::Slave);
+        assert_eq!(NodeSpec::reference(0).role, NodeRole::Master);
+    }
+
+    #[test]
+    fn cluster_is_heterogeneous_but_deterministic() {
+        let a = NodeSpec::heterogeneous_cluster(5);
+        let b = NodeSpec::heterogeneous_cluster(5);
+        assert_eq!(a, b);
+        let speeds: Vec<f64> = a.iter().map(|n| n.speed).collect();
+        assert!(speeds.iter().any(|&s| s != speeds[0]));
+    }
+
+    #[test]
+    fn ip_is_unique_per_node() {
+        let cluster = NodeSpec::heterogeneous_cluster(5);
+        let ips: std::collections::HashSet<String> = cluster.iter().map(|n| n.ip()).collect();
+        assert_eq!(ips.len(), 5);
+    }
+}

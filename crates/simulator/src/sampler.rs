@@ -1,0 +1,339 @@
+//! Maps the latent state of a node at one tick to the 26 observable metrics
+//! and the CPI sample.
+//!
+//! Every metric is a deterministic function of the latent drivers plus a
+//! small relative measurement noise; a fault's *decoupling* strength `d`
+//! replaces a `d` fraction of the metric with fault-private noise at the
+//! metric's typical scale, which is exactly what collapses its MIC scores
+//! against still-coupled metrics.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use ix_metrics::{MetricId, METRIC_COUNT};
+
+use crate::latent::{Channel, LatentState};
+use crate::node::NodeSpec;
+
+/// Relative measurement noise applied to every metric.
+const MEASUREMENT_NOISE: f64 = 0.025;
+
+/// Samples the 26 metrics for one tick. Returned values are ordered per
+/// [`MetricId::ALL`].
+pub fn sample_metrics(node: &NodeSpec, s: &LatentState, rng: &mut ChaCha8Rng) -> [f64; METRIC_COUNT] {
+    // --- resource aggregates -------------------------------------------
+    let total_cpu = (s.job_cpu + s.ext_cpu + 0.06 * s.task_overhead).clamp(0.0, 1.0);
+    let disk_demand = s.disk_read + s.disk_write + s.ext_disk_read + s.ext_disk_write;
+    let disk_contention = (disk_demand / node.disk_kbps - 0.6).clamp(0.0, 1.0);
+    let disk_scale = (node.disk_kbps / disk_demand.max(1.0)).min(1.0);
+    let net_demand_rx = s.net_rx + s.ext_net;
+    let net_demand_tx = s.net_tx + s.ext_net;
+    let rx_scale = (node.net_kbps / net_demand_rx.max(1.0)).min(1.0);
+    let tx_scale = (node.net_kbps / net_demand_tx.max(1.0)).min(1.0);
+    let mem_frac = (s.job_mem + s.ext_mem + 0.10).clamp(0.0, 0.98);
+    let mem_pressure = (mem_frac - 0.75).clamp(0.0, 1.0) / 0.25;
+
+    // --- per-metric formulas -------------------------------------------
+    let cpu_user = 100.0 * (0.82 * s.job_cpu + 0.90 * s.ext_cpu).clamp(0.0, 0.95);
+    let cpu_sys = 100.0
+        * (0.10 * total_cpu
+            + 0.08 * s.task_overhead
+            + 0.015 * (disk_demand / node.disk_kbps).min(1.5)
+            + 0.015 * ((net_demand_rx + net_demand_tx) / node.net_kbps).min(1.5));
+    let cpu_wait = 100.0 * 0.5 * disk_contention;
+    let cpu_idle = (100.0 - cpu_user - cpu_sys - cpu_wait).max(0.0);
+
+    let rx_kbps = net_demand_rx * rx_scale;
+    let tx_kbps = net_demand_tx * tx_scale;
+    let rx_pkts = rx_kbps / 1.4 + s.net_errors;
+    let tx_pkts = tx_kbps / 1.4 + s.net_errors;
+
+    let read_kbps = (s.disk_read + s.ext_disk_read) * disk_scale;
+    let write_kbps = (s.disk_write + s.ext_disk_write) * disk_scale;
+
+    let ctxsw = 2_000.0
+        + 28_000.0 * total_cpu
+        + 16_000.0 * s.task_overhead
+        + 10.0 * s.leaked_threads
+        + 0.05 * (rx_pkts + tx_pkts);
+    let interrupts = 900.0 + 0.6 * (rx_pkts + tx_pkts) + 0.4 * (read_kbps + write_kbps) / 64.0;
+    let load1 = node.cores as f64 * total_cpu * 1.15
+        + 3.0 * s.task_overhead
+        + 2.0 * disk_contention
+        + 0.01 * s.ext_sockets;
+    let runq = load1 * 0.8;
+
+    let mem_used = node.mem_mb * mem_frac;
+    let cached_frac =
+        (0.08 + 0.25 * ((read_kbps + write_kbps) / node.disk_kbps).min(1.0)) * (1.0 - mem_pressure);
+    let mem_cached = node.mem_mb * cached_frac;
+    let mem_buffers = node.mem_mb * 0.03 * (1.0 - mem_pressure)
+        + 0.02 * node.mem_mb * (write_kbps / node.disk_kbps).min(1.0);
+    let mem_free = (node.mem_mb - mem_used - mem_cached - mem_buffers).max(0.0);
+
+    let pagefaults = 400.0 + 18_000.0 * total_cpu + 70_000.0 * mem_pressure;
+    let pageins = 40.0 + 25_000.0 * mem_pressure + 0.5 * read_kbps / 64.0;
+    let pageouts = 25.0 + 22_000.0 * mem_pressure + 0.3 * write_kbps / 64.0;
+    let swap_used = node.mem_mb * 0.5 * mem_pressure * mem_pressure;
+
+    let disk_read_ops = read_kbps / 64.0 + 5.0;
+    let disk_write_ops = write_kbps / 64.0 + 3.0;
+    let disk_util = 100.0 * (disk_demand / node.disk_kbps).min(1.0);
+
+    // Connection counts track transfer activity closely (each mapper/
+    // reducer stream holds sockets open), so the socket table is a
+    // well-coupled metric in the normal state.
+    let sockets = 60.0
+        + 0.004 * (rx_kbps + tx_kbps)
+        + s.ext_sockets
+        + 30.0 * s.task_overhead;
+
+    let raw: [(MetricId, f64, Channel); METRIC_COUNT] = [
+        (MetricId::CpuUser, cpu_user, Channel::Cpu),
+        (MetricId::CpuSystem, cpu_sys, Channel::Cpu),
+        (MetricId::CpuIdle, cpu_idle, Channel::Cpu),
+        (MetricId::CpuWait, cpu_wait, Channel::Cpu),
+        (MetricId::ContextSwitches, ctxsw, Channel::Sched),
+        (MetricId::Interrupts, interrupts, Channel::Sched),
+        (MetricId::LoadAvg1, load1, Channel::Sched),
+        (MetricId::RunQueue, runq, Channel::Sched),
+        (MetricId::MemUsed, mem_used, Channel::Mem),
+        (MetricId::MemFree, mem_free, Channel::Mem),
+        (MetricId::MemCached, mem_cached, Channel::Mem),
+        (MetricId::MemBuffers, mem_buffers, Channel::Mem),
+        (MetricId::PageFaults, pagefaults, Channel::Paging),
+        (MetricId::PageIns, pageins, Channel::Paging),
+        (MetricId::PageOuts, pageouts, Channel::Paging),
+        (MetricId::SwapUsed, swap_used, Channel::Paging),
+        (MetricId::DiskReadKBps, read_kbps, Channel::Disk),
+        (MetricId::DiskWriteKBps, write_kbps, Channel::Disk),
+        (MetricId::DiskReadOps, disk_read_ops, Channel::Disk),
+        (MetricId::DiskWriteOps, disk_write_ops, Channel::Disk),
+        (MetricId::DiskUtilization, disk_util, Channel::Disk),
+        (MetricId::NetRxKBps, rx_kbps, Channel::Net),
+        (MetricId::NetTxKBps, tx_kbps, Channel::Net),
+        (MetricId::NetRxPackets, rx_pkts, Channel::Net),
+        (MetricId::NetTxPackets, tx_pkts, Channel::Net),
+        (MetricId::TcpSockets, sockets, Channel::Net),
+    ];
+
+    // How visibly a fault decouples a channel depends on how much the
+    // workload exercises it: a disk fault barely moves the metrics of a job
+    // that hardly touches the disk. This is what makes fault signatures
+    // workload-specific — the reason the paper keys everything by
+    // operation context.
+    let activity = |ch: Channel| -> f64 {
+        let a = match ch {
+            Channel::Cpu | Channel::Sched => (s.job_cpu + s.ext_cpu).min(1.0),
+            Channel::Mem | Channel::Paging => (s.job_mem + s.ext_mem).min(1.0),
+            Channel::Disk => (disk_demand / 60_000.0).min(1.0),
+            Channel::Net => ((net_demand_rx + net_demand_tx) / 30_000.0).min(1.0),
+        };
+        0.72 + 0.38 * a
+    };
+
+    let mut out = [0.0f64; METRIC_COUNT];
+    for (metric, value, channel) in raw {
+        let idx = metric.index();
+        // Measurement noise (multiplicative, small).
+        let noisy = value * (1.0 + MEASUREMENT_NOISE * gaussian(rng));
+        // Fault decoupling: replace a fraction of the signal with
+        // fault-private noise at the metric's typical scale.
+        let d = (s.effective_decouple(channel, idx) * activity(channel)).min(1.0);
+        let v = if d > 0.0 {
+            let private = typical_scale(metric, node) * rng.gen_range(0.2..1.8);
+            noisy * (1.0 - d) + d * private
+        } else {
+            noisy
+        };
+        out[idx] = v.max(0.0);
+    }
+    out
+}
+
+/// Cycles-per-instruction of the monitored Hadoop processes this tick.
+pub fn sample_cpi(node: &NodeSpec, s: &LatentState, rng: &mut ChaCha8Rng) -> f64 {
+    let total_cpu = (s.job_cpu + s.ext_cpu).clamp(0.0, 1.4);
+    // IPC only degrades once demand genuinely exceeds capacity — a benign
+    // co-runner below saturation shares cores without stalling the job
+    // (the paper's Fig. 2 observation).
+    let cpu_contention = (total_cpu - 1.05).clamp(0.0, 0.5) * 0.7;
+    let mem_frac = (s.job_mem + s.ext_mem + 0.10).clamp(0.0, 0.98);
+    let mem_pressure = (mem_frac - 0.75).clamp(0.0, 1.0) / 0.25;
+    let disk_demand = s.disk_read + s.disk_write + s.ext_disk_read + s.ext_disk_write;
+    let disk_contention = (disk_demand / node.disk_kbps - 0.6).clamp(0.0, 1.0);
+
+    // Contention is bursty: the CPI of a disturbed process fluctuates far
+    // more than a healthy one's, which is what keeps the ARIMA one-step
+    // residuals elevated for the whole fault window rather than only at
+    // onset.
+    let volatility = 0.025 + 0.20 * (s.cpi_multiplier - 1.0).clamp(0.0, 1.0).sqrt();
+    // The shock is clamped: contention makes CPI wander persistently (which
+    // is what the drift detector keys on) without growing an unbounded tail
+    // that would swamp percentile statistics.
+    let shock = (volatility * gaussian(rng)).clamp(-1.6 * volatility, 1.6 * volatility);
+    let cpi = (s.base_cpi / node.speed)
+        * s.cpi_multiplier
+        * (1.0 + 0.9 * cpu_contention + 0.7 * mem_pressure + 0.35 * disk_contention)
+        * (1.0 + shock);
+    cpi.max(0.1)
+}
+
+/// Typical magnitude of a metric on `node`, used to scale fault-private
+/// noise so decoupled metrics move visibly.
+fn typical_scale(metric: MetricId, node: &NodeSpec) -> f64 {
+    use MetricId::*;
+    match metric {
+        CpuUser => 55.0,
+        CpuSystem => 12.0,
+        CpuIdle => 40.0,
+        CpuWait => 15.0,
+        ContextSwitches => 22_000.0,
+        Interrupts => 14_000.0,
+        LoadAvg1 => 7.0,
+        RunQueue => 5.5,
+        MemUsed => node.mem_mb * 0.55,
+        MemFree => node.mem_mb * 0.30,
+        MemCached => node.mem_mb * 0.18,
+        MemBuffers => node.mem_mb * 0.04,
+        PageFaults => 12_000.0,
+        PageIns => 9_000.0,
+        PageOuts => 8_000.0,
+        SwapUsed => node.mem_mb * 0.08,
+        DiskReadKBps => 45_000.0,
+        DiskWriteKBps => 30_000.0,
+        DiskReadOps => 700.0,
+        DiskWriteOps => 470.0,
+        DiskUtilization => 55.0,
+        NetRxKBps => 25_000.0,
+        NetTxKBps => 25_000.0,
+        NetRxPackets => 18_000.0,
+        NetTxPackets => 18_000.0,
+        TcpSockets => 180.0,
+    }
+}
+
+fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latent::LatentState;
+    use rand::SeedableRng;
+
+    fn neutral() -> LatentState {
+        LatentState::from_demands(1.0, 0.6, 0.4, 30_000.0, 12_000.0, 8_000.0, 8_000.0, 1.1)
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn metrics_are_finite_and_nonnegative() {
+        let node = NodeSpec::reference(1);
+        let m = sample_metrics(&node, &neutral(), &mut rng());
+        assert!(m.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn cpu_parts_roughly_partition_100() {
+        let node = NodeSpec::reference(1);
+        let m = sample_metrics(&node, &neutral(), &mut rng());
+        let total = m[MetricId::CpuUser.index()]
+            + m[MetricId::CpuSystem.index()]
+            + m[MetricId::CpuIdle.index()]
+            + m[MetricId::CpuWait.index()];
+        assert!((total - 100.0).abs() < 15.0, "total = {total}");
+    }
+
+    #[test]
+    fn higher_cpu_demand_raises_user_and_lowers_idle() {
+        let node = NodeSpec::reference(1);
+        let mut low = neutral();
+        low.job_cpu = 0.2;
+        let mut high = neutral();
+        high.job_cpu = 0.9;
+        let ml = sample_metrics(&node, &low, &mut rng());
+        let mh = sample_metrics(&node, &high, &mut rng());
+        assert!(mh[MetricId::CpuUser.index()] > ml[MetricId::CpuUser.index()]);
+        assert!(mh[MetricId::CpuIdle.index()] < ml[MetricId::CpuIdle.index()]);
+    }
+
+    #[test]
+    fn memory_pressure_triggers_paging() {
+        let node = NodeSpec::reference(1);
+        let mut pressured = neutral();
+        pressured.job_mem = 0.90;
+        let m = sample_metrics(&node, &pressured, &mut rng());
+        let calm = sample_metrics(&node, &neutral(), &mut rng());
+        assert!(m[MetricId::PageOuts.index()] > 10.0 * calm[MetricId::PageOuts.index()]);
+        assert!(m[MetricId::SwapUsed.index()] > calm[MetricId::SwapUsed.index()]);
+    }
+
+    #[test]
+    fn disk_saturation_caps_throughput() {
+        let node = NodeSpec::reference(1);
+        let mut s = neutral();
+        s.disk_read = 400_000.0; // far beyond the 120 MB/s device
+        let m = sample_metrics(&node, &s, &mut rng());
+        assert!(m[MetricId::DiskReadKBps.index()] <= node.disk_kbps * 1.2);
+        assert!(m[MetricId::DiskUtilization.index()] > 90.0);
+    }
+
+    #[test]
+    fn decoupling_injects_independent_variation() {
+        // With full decoupling the metric must stop tracking the latent
+        // driver: sample twice with identical latents, different rng — the
+        // decoupled metric varies far more across rng draws.
+        let node = NodeSpec::reference(1);
+        let mut s = neutral();
+        s.decouple_metric(MetricId::CpuUser.index(), 1.0);
+        let spread = |state: &LatentState| {
+            let vals: Vec<f64> = (0..200u64)
+                .map(|k| {
+                    let mut r = ChaCha8Rng::seed_from_u64(k);
+                    sample_metrics(&node, state, &mut r)[MetricId::CpuUser.index()]
+                })
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let decoupled = spread(&s);
+        let coupled = spread(&neutral());
+        assert!(
+            decoupled > 4.0 * coupled,
+            "decoupled spread {decoupled} vs coupled {coupled}"
+        );
+    }
+
+    #[test]
+    fn cpi_scales_with_node_speed_and_multiplier() {
+        let fast = NodeSpec::reference(1);
+        let mut slow = NodeSpec::reference(2);
+        slow.speed = 0.8;
+        let s = neutral();
+        let c_fast = sample_cpi(&fast, &s, &mut rng());
+        let c_slow = sample_cpi(&slow, &s, &mut rng());
+        assert!(c_slow > c_fast);
+
+        let mut stressed = neutral();
+        stressed.cpi_multiplier = 2.0;
+        let c_stressed = sample_cpi(&fast, &stressed, &mut rng());
+        assert!(c_stressed > 1.8 * c_fast);
+    }
+
+    #[test]
+    fn cpi_rises_under_memory_pressure() {
+        let node = NodeSpec::reference(1);
+        let mut pressured = neutral();
+        pressured.job_mem = 0.92;
+        let base = sample_cpi(&node, &neutral(), &mut rng());
+        let hot = sample_cpi(&node, &pressured, &mut rng());
+        assert!(hot > base * 1.2, "hot={hot} base={base}");
+    }
+}

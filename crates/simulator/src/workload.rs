@@ -1,0 +1,221 @@
+//! Workload profiles: the four batch BigDataBench jobs the paper evaluates
+//! plus the TPC-DS interactive mix.
+
+use serde::{Deserialize, Serialize};
+
+/// The workload types of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WorkloadType {
+    /// Batch: Hadoop Wordcount (CPU-heavy map, light reduce).
+    Wordcount,
+    /// Batch: Hadoop Sort (I/O-heavy, large shuffle).
+    Sort,
+    /// Batch: Hadoop Grep (scan-heavy map, tiny reduce).
+    Grep,
+    /// Batch: Mahout Naive Bayes training (CPU + memory heavy).
+    Bayes,
+    /// Interactive: eight TPC-DS queries in a mixed mode over Hive.
+    TpcDs,
+}
+
+impl WorkloadType {
+    /// All workloads.
+    pub const ALL: [WorkloadType; 5] = [
+        WorkloadType::Wordcount,
+        WorkloadType::Sort,
+        WorkloadType::Grep,
+        WorkloadType::Bayes,
+        WorkloadType::TpcDs,
+    ];
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadType::Wordcount => "Wordcount",
+            WorkloadType::Sort => "Sort",
+            WorkloadType::Grep => "Grep",
+            WorkloadType::Bayes => "Bayes",
+            WorkloadType::TpcDs => "TPC-DS",
+        }
+    }
+
+    /// Whether the workload is a batch job (FIFO-exclusive on the cluster)
+    /// or interactive. Batch jobs cannot suffer `Overload` — "when Hadoop
+    /// works in FIFO mode, one job takes up the whole cluster exclusively".
+    pub fn is_batch(self) -> bool {
+        !matches!(self, WorkloadType::TpcDs)
+    }
+
+    /// Total work units of a nominal run (ticks at progress rate 1.0).
+    pub fn base_ticks(self) -> usize {
+        match self {
+            WorkloadType::Wordcount => 120,
+            WorkloadType::Sort => 150,
+            WorkloadType::Grep => 90,
+            WorkloadType::Bayes => 140,
+            WorkloadType::TpcDs => 120,
+        }
+    }
+
+    /// The phase timeline as fractions of total work: batch jobs run
+    /// Map → Shuffle → Reduce; TPC-DS runs a single interactive phase.
+    pub fn phases(self) -> &'static [(Phase, f64)] {
+        const BATCH: &[(Phase, f64)] = &[
+            (Phase::Map, 0.55),
+            (Phase::Shuffle, 0.15),
+            (Phase::Reduce, 0.30),
+        ];
+        const INTERACTIVE: &[(Phase, f64)] = &[(Phase::Interactive, 1.0)];
+        if self.is_batch() {
+            BATCH
+        } else {
+            INTERACTIVE
+        }
+    }
+
+    /// The resource-demand profile of `phase` for this workload.
+    pub fn profile(self, phase: Phase) -> PhaseProfile {
+        use WorkloadType::*;
+        // Demands are fractions of node capacity (cpu/mem) or KB/s scales
+        // (disk/net). base_cpi is the workload's intrinsic cycles per
+        // instruction on the reference node.
+        match (self, phase) {
+            (Wordcount, Phase::Map) => PhaseProfile::new(0.72, 0.35, 38_000.0, 9_000.0, 2_500.0, 0.95),
+            (Wordcount, Phase::Shuffle) => PhaseProfile::new(0.35, 0.40, 8_000.0, 16_000.0, 28_000.0, 1.10),
+            (Wordcount, Phase::Reduce) => PhaseProfile::new(0.55, 0.45, 12_000.0, 30_000.0, 6_000.0, 1.00),
+            (Sort, Phase::Map) => PhaseProfile::new(0.45, 0.50, 55_000.0, 22_000.0, 4_000.0, 1.25),
+            (Sort, Phase::Shuffle) => PhaseProfile::new(0.30, 0.55, 15_000.0, 25_000.0, 45_000.0, 1.45),
+            (Sort, Phase::Reduce) => PhaseProfile::new(0.40, 0.60, 20_000.0, 55_000.0, 8_000.0, 1.35),
+            (Grep, Phase::Map) => PhaseProfile::new(0.60, 0.25, 60_000.0, 3_000.0, 1_500.0, 1.05),
+            (Grep, Phase::Shuffle) => PhaseProfile::new(0.25, 0.25, 6_000.0, 4_000.0, 9_000.0, 1.10),
+            (Grep, Phase::Reduce) => PhaseProfile::new(0.30, 0.28, 4_000.0, 8_000.0, 2_000.0, 1.00),
+            (Bayes, Phase::Map) => PhaseProfile::new(0.80, 0.60, 30_000.0, 8_000.0, 3_000.0, 1.15),
+            (Bayes, Phase::Shuffle) => PhaseProfile::new(0.45, 0.62, 9_000.0, 14_000.0, 24_000.0, 1.25),
+            (Bayes, Phase::Reduce) => PhaseProfile::new(0.65, 0.65, 10_000.0, 20_000.0, 5_000.0, 1.20),
+            (TpcDs, _) | (_, Phase::Interactive) => {
+                PhaseProfile::new(0.58, 0.55, 42_000.0, 15_000.0, 18_000.0, 1.30)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Execution phase of a Hadoop job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Map tasks: input scanning and local computation.
+    Map,
+    /// Shuffle: map output moves across the network.
+    Shuffle,
+    /// Reduce tasks: aggregation and output writing.
+    Reduce,
+    /// Steady interactive query mix (TPC-DS).
+    Interactive,
+}
+
+/// Resource demand of one phase of one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// CPU demand as a fraction of node capacity, `0..=1`.
+    pub cpu: f64,
+    /// Memory demand as a fraction of node RAM, `0..=1`.
+    pub mem: f64,
+    /// Disk read demand, KB/s.
+    pub disk_read: f64,
+    /// Disk write demand, KB/s.
+    pub disk_write: f64,
+    /// Network demand (each direction), KB/s.
+    pub net: f64,
+    /// Intrinsic cycles-per-instruction of this phase on the reference node.
+    pub base_cpi: f64,
+}
+
+impl PhaseProfile {
+    fn new(cpu: f64, mem: f64, disk_read: f64, disk_write: f64, net: f64, base_cpi: f64) -> Self {
+        PhaseProfile {
+            cpu,
+            mem,
+            disk_read,
+            disk_write,
+            net,
+            base_cpi,
+        }
+    }
+
+    /// The phase active after `done` of `total` work units, following the
+    /// workload's phase timeline.
+    pub fn phase_at(workload: WorkloadType, done: f64, total: f64) -> Phase {
+        let frac = if total > 0.0 { (done / total).clamp(0.0, 1.0) } else { 0.0 };
+        let mut acc = 0.0;
+        for &(phase, share) in workload.phases() {
+            acc += share;
+            if frac < acc {
+                return phase;
+            }
+        }
+        workload.phases().last().expect("phases non-empty").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_shares_sum_to_one() {
+        for w in WorkloadType::ALL {
+            let sum: f64 = w.phases().iter().map(|&(_, s)| s).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{w}: {sum}");
+        }
+    }
+
+    #[test]
+    fn batch_vs_interactive_classification() {
+        assert!(WorkloadType::Wordcount.is_batch());
+        assert!(WorkloadType::Sort.is_batch());
+        assert!(!WorkloadType::TpcDs.is_batch());
+    }
+
+    #[test]
+    fn phase_at_walks_the_timeline() {
+        let w = WorkloadType::Wordcount;
+        assert_eq!(PhaseProfile::phase_at(w, 0.0, 100.0), Phase::Map);
+        assert_eq!(PhaseProfile::phase_at(w, 60.0, 100.0), Phase::Shuffle);
+        assert_eq!(PhaseProfile::phase_at(w, 90.0, 100.0), Phase::Reduce);
+        assert_eq!(PhaseProfile::phase_at(w, 100.0, 100.0), Phase::Reduce);
+    }
+
+    #[test]
+    fn interactive_has_single_phase() {
+        assert_eq!(
+            PhaseProfile::phase_at(WorkloadType::TpcDs, 10.0, 100.0),
+            Phase::Interactive
+        );
+    }
+
+    #[test]
+    fn profiles_are_within_sane_ranges() {
+        for w in WorkloadType::ALL {
+            for &(phase, _) in w.phases() {
+                let p = w.profile(phase);
+                assert!((0.0..=1.0).contains(&p.cpu), "{w} {phase:?}");
+                assert!((0.0..=1.0).contains(&p.mem), "{w} {phase:?}");
+                assert!(p.base_cpi > 0.5 && p.base_cpi < 3.0, "{w} {phase:?}");
+                assert!(p.disk_read >= 0.0 && p.disk_write >= 0.0 && p.net >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_is_more_io_heavy_than_wordcount() {
+        let s = WorkloadType::Sort.profile(Phase::Map);
+        let w = WorkloadType::Wordcount.profile(Phase::Map);
+        assert!(s.disk_read > w.disk_read);
+        assert!(s.base_cpi > w.base_cpi);
+    }
+}

@@ -1,0 +1,137 @@
+//! Autocovariance, autocorrelation (ACF) and partial autocorrelation (PACF).
+//!
+//! The PACF is computed with the Durbin–Levinson recursion, which is also the
+//! backbone of the Yule–Walker AR estimator in `ix-arima`.
+
+use crate::stats::mean;
+
+/// Sample autocovariance at lags `0..=max_lag` (biased estimator, divisor
+/// `n`, which keeps the autocovariance sequence positive semi-definite).
+///
+/// Lags beyond `len - 1` are reported as `0.0`.
+pub fn autocovariance(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    let mut out = vec![0.0; max_lag + 1];
+    if n == 0 {
+        return out;
+    }
+    let m = mean(xs);
+    for (lag, slot) in out.iter_mut().enumerate() {
+        if lag >= n {
+            break;
+        }
+        let mut acc = 0.0;
+        for t in lag..n {
+            acc += (xs[t] - m) * (xs[t - lag] - m);
+        }
+        *slot = acc / n as f64;
+    }
+    out
+}
+
+/// Sample autocorrelation at lags `0..=max_lag` (`acf[0] == 1` whenever the
+/// series has positive variance; all-zero for a constant series).
+pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let gamma = autocovariance(xs, max_lag);
+    let g0 = gamma[0];
+    if g0 <= 1e-300 {
+        return vec![0.0; max_lag + 1];
+    }
+    gamma.iter().map(|g| g / g0).collect()
+}
+
+/// Partial autocorrelation at lags `1..=max_lag` via Durbin–Levinson.
+///
+/// Returns a vector of length `max_lag` where entry `k-1` is the PACF at lag
+/// `k`. A constant series yields all zeros.
+pub fn pacf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let rho = acf(xs, max_lag);
+    if max_lag == 0 {
+        return Vec::new();
+    }
+    if rho.iter().all(|&r| r == 0.0) {
+        return vec![0.0; max_lag];
+    }
+    // Durbin–Levinson: phi[k][j] coefficients of the best linear predictor
+    // of order k; the PACF at lag k is phi[k][k].
+    let mut out = Vec::with_capacity(max_lag);
+    let mut phi_prev = vec![0.0; max_lag + 1];
+    let mut phi = vec![0.0; max_lag + 1];
+    phi_prev[1] = rho[1];
+    out.push(rho[1]);
+    for k in 2..=max_lag {
+        let mut num = rho[k];
+        let mut den = 1.0;
+        for j in 1..k {
+            num -= phi_prev[j] * rho[k - j];
+            den -= phi_prev[j] * rho[j];
+        }
+        let pk = if den.abs() < 1e-12 { 0.0 } else { num / den };
+        phi[k] = pk;
+        for j in 1..k {
+            phi[j] = phi_prev[j] - pk * phi_prev[k - j];
+        }
+        out.push(pk);
+        phi_prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acf_lag0_is_one() {
+        let xs: Vec<f64> = (0..50).map(|i| ((i * 13 + 7) % 17) as f64).collect();
+        let a = acf(&xs, 5);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+        assert!(a[1..].iter().all(|v| v.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn constant_series_yields_zero_acf_pacf() {
+        let xs = vec![3.0; 20];
+        assert_eq!(acf(&xs, 3), vec![0.0; 4]);
+        assert_eq!(pacf(&xs, 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn autocovariance_of_alternating_series_is_negative_at_lag1() {
+        let xs: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let g = autocovariance(&xs, 2);
+        assert!(g[0] > 0.0);
+        assert!(g[1] < 0.0);
+        assert!(g[2] > 0.0);
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off_after_lag1() {
+        // Deterministic AR(1)-like construction with a tiny pseudo-random
+        // innovation keeps the test noise-free and dependency-free.
+        let mut xs = vec![0.0f64; 400];
+        let mut state = 42_u64;
+        for t in 1..400 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            xs[t] = 0.7 * xs[t - 1] + e;
+        }
+        let p = pacf(&xs, 4);
+        assert!(p[0] > 0.5, "lag-1 PACF should be near 0.7, got {}", p[0]);
+        for (k, v) in p.iter().enumerate().skip(1) {
+            assert!(v.abs() < 0.2, "lag-{} PACF should be small, got {v}", k + 1);
+        }
+    }
+
+    #[test]
+    fn lags_beyond_length_are_zero() {
+        let g = autocovariance(&[1.0, 2.0], 5);
+        assert_eq!(g.len(), 6);
+        assert_eq!(&g[2..], &[0.0; 4]);
+    }
+
+    #[test]
+    fn pacf_empty_lag() {
+        assert!(pacf(&[1.0, 2.0, 3.0], 0).is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Seeded synthetic series generators.
+//!
+//! Used by tests and benchmarks across the workspace to produce processes
+//! with known ground-truth structure (AR, MA, trends, seasonality). All
+//! generators are deterministic given a seed.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{TimeSeries, TimeSeriesError};
+
+/// A stationary autoregressive process `x[t] = sum phi_i x[t-i] + e[t]`.
+#[derive(Debug, Clone)]
+pub struct ArProcess {
+    /// AR coefficients `phi_1..phi_p`.
+    pub phi: Vec<f64>,
+    /// Innovation standard deviation.
+    pub sigma: f64,
+    /// Constant term added each step (process mean = c / (1 - sum phi)).
+    pub c: f64,
+}
+
+impl ArProcess {
+    /// Generates `n` samples after a burn-in of `5 * p + 50` steps so the
+    /// output starts from the stationary distribution.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<f64> {
+        let p = self.phi.len();
+        let burn = 5 * p + 50;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut xs = vec![0.0; burn + n];
+        for t in 0..burn + n {
+            let mut v = self.c + self.sigma * gaussian(&mut rng);
+            for (i, &ph) in self.phi.iter().enumerate() {
+                if t > i {
+                    v += ph * xs[t - 1 - i];
+                }
+            }
+            xs[t] = v;
+        }
+        xs.split_off(burn)
+    }
+}
+
+/// A moving-average process `x[t] = mu + e[t] + sum theta_j e[t-j]`.
+#[derive(Debug, Clone)]
+pub struct MaProcess {
+    /// MA coefficients `theta_1..theta_q`.
+    pub theta: Vec<f64>,
+    /// Innovation standard deviation.
+    pub sigma: f64,
+    /// Process mean.
+    pub mu: f64,
+}
+
+impl MaProcess {
+    /// Generates `n` samples.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<f64> {
+        let q = self.theta.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut es = Vec::with_capacity(n + q);
+        for _ in 0..n + q {
+            es.push(self.sigma * gaussian(&mut rng));
+        }
+        (0..n)
+            .map(|t| {
+                let mut v = self.mu + es[t + q];
+                for (j, &th) in self.theta.iter().enumerate() {
+                    v += th * es[t + q - 1 - j];
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fluent builder composing trend, seasonality, AR colouring and noise into
+/// a [`TimeSeries`] — handy for constructing workload-like test fixtures.
+#[derive(Debug, Clone)]
+pub struct SeriesBuilder {
+    n: usize,
+    interval_secs: f64,
+    level: f64,
+    trend_per_step: f64,
+    season_amplitude: f64,
+    season_period: usize,
+    ar1: f64,
+    noise_sigma: f64,
+}
+
+impl SeriesBuilder {
+    /// Starts a builder for `n` samples at the default 10 s interval.
+    pub fn new(n: usize) -> Self {
+        SeriesBuilder {
+            n,
+            interval_secs: TimeSeries::DEFAULT_INTERVAL_SECS,
+            level: 0.0,
+            trend_per_step: 0.0,
+            season_amplitude: 0.0,
+            season_period: 1,
+            ar1: 0.0,
+            noise_sigma: 0.0,
+        }
+    }
+
+    /// Sets the sampling interval in seconds.
+    pub fn interval_secs(mut self, secs: f64) -> Self {
+        self.interval_secs = secs;
+        self
+    }
+
+    /// Sets the constant base level.
+    pub fn level(mut self, level: f64) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Adds a linear trend of `slope` per step.
+    pub fn trend(mut self, slope: f64) -> Self {
+        self.trend_per_step = slope;
+        self
+    }
+
+    /// Adds a sinusoidal seasonal component.
+    pub fn seasonal(mut self, amplitude: f64, period: usize) -> Self {
+        self.season_amplitude = amplitude;
+        self.season_period = period.max(1);
+        self
+    }
+
+    /// Colours the noise with an AR(1) coefficient in `(-1, 1)`.
+    pub fn ar1(mut self, phi: f64) -> Self {
+        self.ar1 = phi;
+        self
+    }
+
+    /// Adds Gaussian noise with the given standard deviation.
+    pub fn noise(mut self, sigma: f64) -> Self {
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Builds the series deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TimeSeriesError`] from series construction (only possible
+    /// for pathological builder parameters such as a non-finite level).
+    pub fn build(&self, seed: u64) -> Result<TimeSeries, TimeSeriesError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut noise_state = 0.0;
+        let mut values = Vec::with_capacity(self.n);
+        for t in 0..self.n {
+            let e = self.noise_sigma * gaussian(&mut rng);
+            noise_state = self.ar1 * noise_state + e;
+            let season = if self.season_amplitude != 0.0 {
+                self.season_amplitude
+                    * (2.0 * std::f64::consts::PI * t as f64 / self.season_period as f64).sin()
+            } else {
+                0.0
+            };
+            values.push(self.level + self.trend_per_step * t as f64 + season + noise_state);
+        }
+        TimeSeries::with_interval(values, self.interval_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, stddev, variance};
+    use crate::{acf, pearson};
+
+    #[test]
+    fn ar_process_is_deterministic_per_seed() {
+        let p = ArProcess {
+            phi: vec![0.6],
+            sigma: 1.0,
+            c: 0.0,
+        };
+        assert_eq!(p.generate(50, 7), p.generate(50, 7));
+        assert_ne!(p.generate(50, 7), p.generate(50, 8));
+    }
+
+    #[test]
+    fn ar1_autocorrelation_matches_coefficient() {
+        let p = ArProcess {
+            phi: vec![0.8],
+            sigma: 1.0,
+            c: 0.0,
+        };
+        let xs = p.generate(5000, 11);
+        let a = acf(&xs, 1);
+        assert!((a[1] - 0.8).abs() < 0.05, "acf(1) = {}", a[1]);
+    }
+
+    #[test]
+    fn ar_mean_matches_theory() {
+        // mean = c / (1 - phi) = 5 / 0.5 = 10.
+        let p = ArProcess {
+            phi: vec![0.5],
+            sigma: 0.5,
+            c: 5.0,
+        };
+        let xs = p.generate(5000, 3);
+        assert!((mean(&xs) - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn ma1_variance_matches_theory() {
+        // var = sigma^2 (1 + theta^2) = 1 * (1 + 0.25) = 1.25.
+        let p = MaProcess {
+            theta: vec![0.5],
+            sigma: 1.0,
+            mu: 0.0,
+        };
+        let xs = p.generate(20000, 5);
+        assert!((variance(&xs) - 1.25).abs() < 0.1, "{}", variance(&xs));
+    }
+
+    #[test]
+    fn builder_composes_components() {
+        let ts = SeriesBuilder::new(100)
+            .level(50.0)
+            .trend(0.5)
+            .build(1)
+            .unwrap();
+        // Pure deterministic ramp from 50 to 99.5.
+        assert!((ts[0] - 50.0).abs() < 1e-12);
+        assert!((ts[99] - 99.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_seasonal_component_has_expected_period() {
+        let ts = SeriesBuilder::new(40).seasonal(10.0, 20).build(1).unwrap();
+        // Values one period apart are equal.
+        for t in 0..20 {
+            assert!((ts[t] - ts[t + 20]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn builder_noise_is_seeded() {
+        let a = SeriesBuilder::new(64).noise(1.0).build(42).unwrap();
+        let b = SeriesBuilder::new(64).noise(1.0).build(42).unwrap();
+        assert_eq!(a, b);
+        let c = SeriesBuilder::new(64).noise(1.0).build(43).unwrap();
+        assert!(pearson(a.values(), c.values()).abs() < 0.5);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..20000).map(|_| gaussian(&mut rng)).collect();
+        assert!(mean(&xs).abs() < 0.03);
+        assert!((stddev(&xs) - 1.0).abs() < 0.03);
+    }
+}

@@ -1,0 +1,29 @@
+//! Time-series primitives for InvarNet-X.
+//!
+//! Everything the diagnosis pipeline needs to manipulate uniformly sampled
+//! performance-metric series: summary statistics and percentiles,
+//! autocorrelation structure (ACF/PACF via Durbin–Levinson), differencing and
+//! other transforms, correlation measures, polynomial least-squares fits, and
+//! seeded synthetic generators used throughout the workspace's tests and
+//! benchmarks.
+//!
+//! The central type is [`TimeSeries`], a thin validated wrapper over
+//! `Vec<f64>` carrying the sampling interval.
+
+mod acf;
+mod correlation;
+mod generate;
+mod polyfit;
+mod rolling;
+mod series;
+mod stats;
+mod transform;
+
+pub use acf::{acf, autocovariance, pacf};
+pub use correlation::{pearson, spearman};
+pub use generate::{ArProcess, MaProcess, SeriesBuilder};
+pub use polyfit::{polyfit, Polynomial};
+pub use rolling::{ewma, rolling_mean, rolling_std};
+pub use series::{TimeSeries, TimeSeriesError};
+pub use stats::{max, mean, median, min, percentile, stddev, variance, zscores};
+pub use transform::{difference, lag_matrix, min_normalize, standardize, undifference};

@@ -1,0 +1,119 @@
+//! Polynomial least-squares fitting (used by the Fig. 4 reproduction, which
+//! fits a 2nd-order polynomial to CPI-vs-execution-time scatter data).
+
+use ix_linalg::{ols, Matrix};
+
+/// A polynomial `c0 + c1 x + c2 x^2 + ...` fitted by least squares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coefficients: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Coefficients in ascending-degree order.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coefficients.len().saturating_sub(1)
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's method).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// First derivative at `x`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        self.coefficients
+            .iter()
+            .enumerate()
+            .skip(1)
+            .rev()
+            .fold(0.0, |acc, (k, &c)| acc * x + k as f64 * c)
+    }
+
+    /// Whether the polynomial is monotonically non-decreasing over `[lo, hi]`,
+    /// checked by sampling the derivative at `steps` points.
+    pub fn is_monotone_increasing(&self, lo: f64, hi: f64, steps: usize) -> bool {
+        if steps == 0 || hi < lo {
+            return true;
+        }
+        (0..=steps).all(|i| {
+            let x = lo + (hi - lo) * i as f64 / steps as f64;
+            self.derivative(x) >= -1e-9
+        })
+    }
+}
+
+/// Fits a degree-`degree` polynomial to `(xs, ys)` by least squares.
+///
+/// Returns `None` when inputs are mismatched or there are fewer points than
+/// coefficients, or when the Vandermonde system cannot be solved.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Option<Polynomial> {
+    let n = xs.len();
+    if n != ys.len() || n < degree + 1 {
+        return None;
+    }
+    let cols = degree + 1;
+    let mut data = Vec::with_capacity(n * cols);
+    for &x in xs {
+        let mut pow = 1.0;
+        for _ in 0..cols {
+            data.push(pow);
+            pow *= x;
+        }
+    }
+    let design = Matrix::from_vec(n, cols, data).expect("sized by construction");
+    let coefficients = ols(&design, ys).ok()?;
+    Some(Polynomial { coefficients })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_quadratic() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 + 0.5 * x + 2.0 * x * x).collect();
+        let p = polyfit(&xs, &ys, 2).unwrap();
+        let c = p.coefficients();
+        assert!((c[0] - 1.5).abs() < 1e-6);
+        assert!((c[1] - 0.5).abs() < 1e-6);
+        assert!((c[2] - 2.0).abs() < 1e-6);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn eval_and_derivative() {
+        let p = Polynomial {
+            coefficients: vec![1.0, 2.0, 3.0], // 1 + 2x + 3x^2
+        };
+        assert!((p.eval(2.0) - 17.0).abs() < 1e-12);
+        assert!((p.derivative(2.0) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let inc = Polynomial {
+            coefficients: vec![0.0, 1.0, 0.5],
+        };
+        assert!(inc.is_monotone_increasing(0.0, 10.0, 100));
+        let dec = Polynomial {
+            coefficients: vec![0.0, -1.0],
+        };
+        assert!(!dec.is_monotone_increasing(0.0, 1.0, 10));
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 2).is_none());
+        assert!(polyfit(&[1.0, 2.0], &[1.0], 1).is_none());
+    }
+}

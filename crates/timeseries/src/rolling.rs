@@ -1,0 +1,121 @@
+//! Rolling-window and exponentially weighted statistics — building blocks
+//! for online monitors that smooth or baseline metric streams before
+//! feeding the diagnosis pipeline.
+
+/// Rolling mean with window `w` (output aligned to the input; the first
+/// `w - 1` values average the available prefix).
+pub fn rolling_mean(xs: &[f64], w: usize) -> Vec<f64> {
+    let w = w.max(1);
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for (t, &x) in xs.iter().enumerate() {
+        sum += x;
+        if t >= w {
+            sum -= xs[t - w];
+        }
+        let n = (t + 1).min(w) as f64;
+        out.push(sum / n);
+    }
+    out
+}
+
+/// Rolling population standard deviation with window `w` (prefix behaviour
+/// as in [`rolling_mean`]).
+pub fn rolling_std(xs: &[f64], w: usize) -> Vec<f64> {
+    let w = w.max(1);
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    let mut sumsq = 0.0;
+    for (t, &x) in xs.iter().enumerate() {
+        sum += x;
+        sumsq += x * x;
+        if t >= w {
+            sum -= xs[t - w];
+            sumsq -= xs[t - w] * xs[t - w];
+        }
+        let n = (t + 1).min(w) as f64;
+        let mean = sum / n;
+        // Guard against tiny negative values from floating cancellation.
+        out.push((sumsq / n - mean * mean).max(0.0).sqrt());
+    }
+    out
+}
+
+/// Exponentially weighted moving average with smoothing factor `alpha` in
+/// `(0, 1]` (`1.0` = no smoothing). Empty input yields empty output.
+pub fn ewma(xs: &[f64], alpha: f64) -> Vec<f64> {
+    let alpha = alpha.clamp(f64::MIN_POSITIVE, 1.0);
+    let mut out = Vec::with_capacity(xs.len());
+    let mut state = match xs.first() {
+        Some(&x) => x,
+        None => return out,
+    };
+    out.push(state);
+    for &x in &xs[1..] {
+        state = alpha * x + (1.0 - alpha) * state;
+        out.push(state);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_mean_matches_hand_computation() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let m = rolling_mean(&xs, 3);
+        assert_eq!(m[0], 1.0);
+        assert!((m[1] - 1.5).abs() < 1e-12);
+        assert!((m[2] - 2.0).abs() < 1e-12);
+        assert!((m[3] - 3.0).abs() < 1e-12);
+        assert!((m[4] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rolling_std_of_constant_is_zero() {
+        let s = rolling_std(&[4.0; 10], 4);
+        assert!(s.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn rolling_std_window_two_alternating() {
+        // Window of 2 over alternating ±1: std = 1 everywhere after warmup.
+        let xs: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s = rolling_std(&xs, 2);
+        for &v in &s[1..] {
+            assert!((v - 1.0).abs() < 1e-12, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn ewma_smooths_towards_new_values() {
+        let xs = [0.0, 10.0, 10.0, 10.0];
+        let e = ewma(&xs, 0.5);
+        assert_eq!(e[0], 0.0);
+        assert!((e[1] - 5.0).abs() < 1e-12);
+        assert!((e[2] - 7.5).abs() < 1e-12);
+        assert!(e[3] > e[2] && e[3] < 10.0);
+    }
+
+    #[test]
+    fn ewma_alpha_one_is_identity() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(ewma(&xs, 1.0), xs.to_vec());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ewma(&[], 0.5).is_empty());
+        assert!(rolling_mean(&[], 3).is_empty());
+        // Window 0 is clamped to 1 (identity).
+        assert_eq!(rolling_mean(&[2.0, 4.0], 0), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn rolling_window_larger_than_series_averages_prefix() {
+        let m = rolling_mean(&[2.0, 4.0], 10);
+        assert_eq!(m, vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,232 @@
+use std::fmt;
+
+/// Errors produced when constructing or manipulating a [`TimeSeries`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeSeriesError {
+    /// The series contained a NaN or infinite sample.
+    NonFinite {
+        /// Index of the first offending sample.
+        index: usize,
+    },
+    /// The operation needs at least `required` samples but only `got` exist.
+    TooShort {
+        /// Samples required by the operation.
+        required: usize,
+        /// Samples actually present.
+        got: usize,
+    },
+    /// The sampling interval must be strictly positive.
+    BadInterval,
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::NonFinite { index } => {
+                write!(f, "non-finite sample at index {index}")
+            }
+            TimeSeriesError::TooShort { required, got } => {
+                write!(f, "series too short: need {required} samples, have {got}")
+            }
+            TimeSeriesError::BadInterval => write!(f, "sampling interval must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for TimeSeriesError {}
+
+/// A uniformly sampled time series of finite `f64` values.
+///
+/// InvarNet-X samples every metric at a fixed cadence (the paper uses 10 s),
+/// so a plain vector plus the interval is the full representation. The
+/// constructor rejects NaN/infinite samples, which lets every downstream
+/// algorithm assume finiteness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+    interval_secs: f64,
+}
+
+impl TimeSeries {
+    /// Default sampling interval used across the workspace (paper: 10 s).
+    pub const DEFAULT_INTERVAL_SECS: f64 = 10.0;
+
+    /// Creates a series with the default 10 s sampling interval.
+    ///
+    /// # Errors
+    ///
+    /// [`TimeSeriesError::NonFinite`] if any sample is NaN or infinite.
+    pub fn new(values: Vec<f64>) -> Result<Self, TimeSeriesError> {
+        Self::with_interval(values, Self::DEFAULT_INTERVAL_SECS)
+    }
+
+    /// Creates a series with an explicit sampling interval in seconds.
+    ///
+    /// # Errors
+    ///
+    /// [`TimeSeriesError::NonFinite`] for NaN/infinite samples,
+    /// [`TimeSeriesError::BadInterval`] for a non-positive interval.
+    pub fn with_interval(values: Vec<f64>, interval_secs: f64) -> Result<Self, TimeSeriesError> {
+        if !(interval_secs > 0.0 && interval_secs.is_finite()) {
+            return Err(TimeSeriesError::BadInterval);
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(TimeSeriesError::NonFinite { index });
+        }
+        Ok(TimeSeries {
+            values,
+            interval_secs,
+        })
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sampling interval in seconds.
+    #[inline]
+    pub fn interval_secs(&self) -> f64 {
+        self.interval_secs
+    }
+
+    /// Total covered duration in seconds (`len * interval`).
+    pub fn duration_secs(&self) -> f64 {
+        self.values.len() as f64 * self.interval_secs
+    }
+
+    /// Borrow the samples.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consume the series, returning the raw samples.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// A sub-series covering `range` (same interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> TimeSeries {
+        TimeSeries {
+            values: self.values[range].to_vec(),
+            interval_secs: self.interval_secs,
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Errors
+    ///
+    /// [`TimeSeriesError::NonFinite`] if the sample is NaN or infinite.
+    pub fn push(&mut self, value: f64) -> Result<(), TimeSeriesError> {
+        if !value.is_finite() {
+            return Err(TimeSeriesError::NonFinite {
+                index: self.values.len(),
+            });
+        }
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Ensures the series has at least `required` samples.
+    ///
+    /// # Errors
+    ///
+    /// [`TimeSeriesError::TooShort`] otherwise.
+    pub fn require_len(&self, required: usize) -> Result<(), TimeSeriesError> {
+        if self.values.len() < required {
+            Err(TimeSeriesError::TooShort {
+                required,
+                got: self.values.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::ops::Index<usize> for TimeSeries {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_nan_and_infinity() {
+        assert_eq!(
+            TimeSeries::new(vec![1.0, f64::NAN]).unwrap_err(),
+            TimeSeriesError::NonFinite { index: 1 }
+        );
+        assert_eq!(
+            TimeSeries::new(vec![f64::INFINITY]).unwrap_err(),
+            TimeSeriesError::NonFinite { index: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_interval() {
+        assert_eq!(
+            TimeSeries::with_interval(vec![1.0], 0.0).unwrap_err(),
+            TimeSeriesError::BadInterval
+        );
+        assert_eq!(
+            TimeSeries::with_interval(vec![1.0], -1.0).unwrap_err(),
+            TimeSeriesError::BadInterval
+        );
+    }
+
+    #[test]
+    fn duration_and_len() {
+        let ts = TimeSeries::new(vec![0.0; 30]).unwrap();
+        assert_eq!(ts.len(), 30);
+        assert!(!ts.is_empty());
+        assert!((ts.duration_secs() - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_preserves_interval() {
+        let ts = TimeSeries::with_interval((0..10).map(f64::from).collect(), 5.0).unwrap();
+        let s = ts.slice(2..5);
+        assert_eq!(s.values(), &[2.0, 3.0, 4.0]);
+        assert_eq!(s.interval_secs(), 5.0);
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut ts = TimeSeries::new(vec![]).unwrap();
+        ts.push(1.5).unwrap();
+        assert!(ts.push(f64::NAN).is_err());
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn require_len_reports_shortfall() {
+        let ts = TimeSeries::new(vec![1.0, 2.0]).unwrap();
+        assert!(ts.require_len(2).is_ok());
+        assert_eq!(
+            ts.require_len(3).unwrap_err(),
+            TimeSeriesError::TooShort {
+                required: 3,
+                got: 2
+            }
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Summary statistics over sample slices.
+//!
+//! All functions return `0.0`-ish neutral values for empty input rather than
+//! panicking; callers that need to distinguish emptiness check lengths
+//! themselves (the diagnosis pipeline validates series lengths up front via
+//! [`crate::TimeSeries::require_len`]).
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum; `0.0` for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min).pipe_finite()
+}
+
+/// Maximum; `0.0` for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+
+impl PipeFinite for f64 {
+    /// Collapses the infinities produced by folding an empty slice to `0.0`.
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The `p`-th percentile (`p` in `[0, 100]`) using linear interpolation
+/// between closest ranks — the scheme the paper's "95 % percentile of CPI"
+/// statistic assumes.
+///
+/// Returns `0.0` for an empty slice; clamps `p` into `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Z-scores of each sample: `(x - mean) / stddev`.
+///
+/// For a (near-)constant slice the z-scores are all `0.0`.
+pub fn zscores(xs: &[f64]) -> Vec<f64> {
+    let m = mean(xs);
+    let s = stddev(xs);
+    if s < 1e-12 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - m) / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_neutral() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(percentile(&[], 95.0), 0.0);
+        assert!(zscores(&[]).is_empty());
+    }
+
+    #[test]
+    fn min_max_extremes() {
+        let xs = [3.0, -1.0, 7.0, 0.0];
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        // 95th percentile of 1..=4 with linear interpolation: rank 2.85.
+        assert!((percentile(&xs, 95.0) - 3.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+        assert_eq!(percentile(&xs, 150.0), 2.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert!((median(&[4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscores_standardize() {
+        let z = zscores(&[1.0, 2.0, 3.0]);
+        assert!((mean(&z)).abs() < 1e-12);
+        assert!((stddev(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscores_constant_series() {
+        assert_eq!(zscores(&[5.0; 4]), vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Series transforms: differencing, normalization and lag-matrix
+//! construction for regression-based estimators.
+
+use ix_linalg::Matrix;
+
+use crate::stats::{mean, stddev};
+
+/// `d`-th order differencing. Each pass shortens the series by one sample.
+///
+/// Returns an empty vector when the series is too short to difference.
+pub fn difference(xs: &[f64], d: usize) -> Vec<f64> {
+    let mut cur = xs.to_vec();
+    for _ in 0..d {
+        if cur.len() < 2 {
+            return Vec::new();
+        }
+        cur = cur.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    cur
+}
+
+/// Inverts [`difference`]: integrates `diffs` `initial.len()` times, where
+/// `initial` holds the first sample dropped by each differencing pass, in
+/// the order the passes were applied (outermost first).
+///
+/// `undifference(&difference(xs, d), heads) == xs` when `heads` are the
+/// appropriate leading values.
+pub fn undifference(diffs: &[f64], initial: &[f64]) -> Vec<f64> {
+    let mut cur = diffs.to_vec();
+    for &head in initial.iter().rev() {
+        let mut integrated = Vec::with_capacity(cur.len() + 1);
+        integrated.push(head);
+        let mut acc = head;
+        for &dv in &cur {
+            acc += dv;
+            integrated.push(acc);
+        }
+        cur = integrated;
+    }
+    cur
+}
+
+/// Standardizes to zero mean / unit variance; constant series map to zeros.
+pub fn standardize(xs: &[f64]) -> Vec<f64> {
+    let m = mean(xs);
+    let s = stddev(xs);
+    if s < 1e-12 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - m) / s).collect()
+}
+
+/// Normalizes to the series minimum (`x / min`), the scheme used by the
+/// paper's Fig. 4 ("normalized to the minimum value respectively in one
+/// group"). A non-positive minimum falls back to shifting so the minimum
+/// maps to 1.0.
+pub fn min_normalize(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mn = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    if mn > 1e-12 {
+        xs.iter().map(|x| x / mn).collect()
+    } else {
+        xs.iter().map(|x| x - mn + 1.0).collect()
+    }
+}
+
+/// Builds the lagged design matrix for autoregression: row `t` (for
+/// `t in max_lag..n`) is `[x[t-1], x[t-2], ..., x[t-p]]` plus an optional
+/// leading intercept column. Returns the design matrix and the aligned
+/// target vector `x[max_lag..]`.
+///
+/// Returns `None` when fewer than `p + 1` samples exist.
+pub fn lag_matrix(xs: &[f64], p: usize, intercept: bool) -> Option<(Matrix, Vec<f64>)> {
+    let n = xs.len();
+    if p == 0 || n <= p {
+        return None;
+    }
+    let rows = n - p;
+    let cols = p + usize::from(intercept);
+    let mut data = Vec::with_capacity(rows * cols);
+    for t in p..n {
+        if intercept {
+            data.push(1.0);
+        }
+        for j in 1..=p {
+            data.push(xs[t - j]);
+        }
+    }
+    let x = Matrix::from_vec(rows, cols, data).expect("sized by construction");
+    let y = xs[p..].to_vec();
+    Some((x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference_first_order() {
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0], 1), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn difference_second_order() {
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0], 2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn difference_degenerate() {
+        assert!(difference(&[1.0], 1).is_empty());
+        assert_eq!(difference(&[1.0, 2.0], 0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn undifference_inverts_difference() {
+        let xs = [2.0, 5.0, 4.0, 8.0, 7.0];
+        let d1 = difference(&xs, 1);
+        assert_eq!(undifference(&d1, &[xs[0]]), xs.to_vec());
+
+        let d2 = difference(&xs, 2);
+        // Heads: first sample of the original, then first sample of the
+        // once-differenced series.
+        assert_eq!(undifference(&d2, &[xs[0], d1[0]]), xs.to_vec());
+    }
+
+    #[test]
+    fn standardize_properties() {
+        let z = standardize(&[10.0, 20.0, 30.0, 40.0]);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((stddev(&z) - 1.0).abs() < 1e-12);
+        assert_eq!(standardize(&[7.0; 5]), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn min_normalize_scales_to_min() {
+        let n = min_normalize(&[2.0, 4.0, 6.0]);
+        assert_eq!(n, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn min_normalize_handles_nonpositive_min() {
+        let n = min_normalize(&[0.0, 1.0]);
+        assert_eq!(n, vec![1.0, 2.0]);
+        assert!(min_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn lag_matrix_shapes_and_content() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let (x, y) = lag_matrix(&xs, 2, true).unwrap();
+        assert_eq!(x.rows(), 3);
+        assert_eq!(x.cols(), 3);
+        // Row for t=2: [1, x[1], x[0]].
+        assert_eq!(x.row(0), &[1.0, 2.0, 1.0]);
+        assert_eq!(y, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn lag_matrix_rejects_short_series() {
+        assert!(lag_matrix(&[1.0, 2.0], 2, false).is_none());
+        assert!(lag_matrix(&[1.0, 2.0, 3.0], 0, false).is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! # InvarNet-X
+//!
+//! A from-scratch Rust reproduction of *"InvarNet-X: A Comprehensive
+//! Invariant Based Approach for Performance Diagnosis in Big Data Platform"*
+//! (Chen, Qi, Hou, Sun — BPOE/VLDB 2014).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`core`] — the InvarNet-X pipeline: operation contexts, ARIMA-on-CPI
+//!   anomaly detection, MIC likely invariants, signature database, cause
+//!   inference, and the ARX / no-context baselines.
+//! - [`simulator`] — a Hadoop-cluster simulator substituting for the paper's
+//!   five-node testbed: workloads, latent-driver metric generation and
+//!   fifteen fault injectors.
+//! - [`metrics`] — the 26-metric collectl-style catalog and sample frames.
+//! - [`arima`], [`mic`], [`arx`], [`timeseries`], [`linalg`] — the
+//!   statistical substrates, all implemented from scratch.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end train → inject → diagnose
+//! loop, or run:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+pub use ix_arima as arima;
+pub use ix_arx as arx;
+pub use ix_core as core;
+pub use ix_linalg as linalg;
+pub use ix_metrics as metrics;
+pub use ix_mic as mic;
+pub use ix_simulator as simulator;
+pub use ix_timeseries as timeseries;

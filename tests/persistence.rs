@@ -1,0 +1,186 @@
+//! Persistence integration: a trained deployment survives a save/load
+//! round-trip and produces identical online behaviour afterwards.
+
+use invarnet_x::core::{
+    InvarNetConfig, InvarNetX, ModelStore, OperationContext, SignatureDatabase,
+};
+use invarnet_x::metrics::MetricFrame;
+use invarnet_x::simulator::{FaultType, Runner, WorkloadType};
+
+fn windowed(runner: &Runner, frame: &MetricFrame) -> MetricFrame {
+    let len = runner.fault_duration_ticks;
+    let start = runner.fault_start_tick.min(frame.ticks().saturating_sub(len));
+    frame.window(start..(start + len).min(frame.ticks()))
+}
+
+#[test]
+fn save_load_roundtrip_preserves_online_behaviour() {
+    let workload = WorkloadType::Grep;
+    let runner = Runner::new(401);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+
+    // Train.
+    let mut system = InvarNetX::new(InvarNetConfig::default());
+    let normals = runner.normal_runs(workload, 5);
+    let cpi: Vec<Vec<f64>> = normals
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+    system
+        .train_performance_model(context.clone(), &cpi)
+        .expect("train");
+    let frames: Vec<MetricFrame> = normals
+        .iter()
+        .map(|r| windowed(&runner, &r.per_node[node].frame))
+        .collect();
+    system
+        .build_invariants(context.clone(), &frames)
+        .expect("invariants");
+    for fault in [FaultType::CpuHog, FaultType::DiskHog] {
+        for idx in 0..2 {
+            let r = runner.fault_run(workload, fault, idx);
+            system
+                .record_signature(&context, fault.name(), &r.fault_window().expect("window"))
+                .expect("signature");
+        }
+    }
+
+    // Persist to disk.
+    let mut store = ModelStore::new();
+    store.put_model(&context, system.performance_model(&context).expect("trained"));
+    store.put_invariants(&context, system.invariant_set(&context).expect("built"));
+    store.signatures = system.signature_database();
+    let dir = std::env::temp_dir().join("invarnet_integration");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("deployment.json");
+    store.save(&path).expect("save");
+
+    // Rehydrate into a fresh system.
+    let loaded = ModelStore::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    let mut fresh = InvarNetX::new(InvarNetConfig::default());
+    let key = ModelStore::context_key(&context);
+    fresh.set_performance_model(
+        context.clone(),
+        loaded.performance_models[&key].clone().into_model().expect("rebuild"),
+    );
+    fresh.set_invariant_set(context.clone(), loaded.invariants[&key].clone());
+    fresh.set_signature_database(loaded.signatures.clone());
+
+    // Identical online behaviour on a fresh incident.
+    let incident = runner.fault_run(workload, FaultType::DiskHog, 7);
+    let trace = &incident.per_node[node];
+    let w = incident.fault_window().expect("window");
+
+    let det_a = system.detect(&context, &trace.cpi.cpi_series()).expect("detect");
+    let det_b = fresh.detect(&context, &trace.cpi.cpi_series()).expect("detect");
+    assert_eq!(det_a, det_b);
+
+    let diag_a = system.diagnose(&context, &w).expect("diagnose");
+    let diag_b = fresh.diagnose(&context, &w).expect("diagnose");
+    assert_eq!(diag_a, diag_b);
+    assert_eq!(diag_a.root_cause().expect("ranked").problem, "Disk-hog");
+}
+
+#[test]
+fn signature_database_grows_online() {
+    // "As more performance problems are diagnosed, the number of items in
+    // signature database increases gradually" — additions go through &self,
+    // so a long-running engine can learn while serving queries.
+    let workload = WorkloadType::Wordcount;
+    let runner = Runner::new(402);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+    let mut system = InvarNetX::new(InvarNetConfig::default());
+    let normals = runner.normal_runs(workload, 4);
+    let frames: Vec<MetricFrame> = normals
+        .iter()
+        .map(|r| windowed(&runner, &r.per_node[node].frame))
+        .collect();
+    system.build_invariants(context.clone(), &frames).expect("invariants");
+
+    let shared: &InvarNetX = &system;
+    assert_eq!(shared.signature_database().len(), 0);
+    for (i, fault) in [FaultType::CpuHog, FaultType::MemHog, FaultType::NetDrop]
+        .iter()
+        .enumerate()
+    {
+        let r = runner.fault_run(workload, *fault, 0);
+        shared
+            .record_signature(&context, fault.name(), &r.fault_window().expect("window"))
+            .expect("record through shared reference");
+        assert_eq!(shared.signature_database().len(), i + 1);
+    }
+}
+
+#[test]
+fn xml_export_covers_all_artifacts() {
+    let workload = WorkloadType::Sort;
+    let runner = Runner::new(403);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+    let mut system = InvarNetX::new(InvarNetConfig::default());
+    let normals = runner.normal_runs(workload, 4);
+    let cpi: Vec<Vec<f64>> = normals
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+    system.train_performance_model(context.clone(), &cpi).expect("train");
+    let frames: Vec<MetricFrame> = normals
+        .iter()
+        .map(|r| windowed(&runner, &r.per_node[node].frame))
+        .collect();
+    system.build_invariants(context.clone(), &frames).expect("invariants");
+    let r = runner.fault_run(workload, FaultType::MemHog, 0);
+    system
+        .record_signature(&context, "Mem-hog", &r.fault_window().expect("window"))
+        .expect("signature");
+
+    let mut store = ModelStore::new();
+    store.put_model(&context, system.performance_model(&context).expect("trained"));
+    store.put_invariants(&context, system.invariant_set(&context).expect("built"));
+    store.signatures = system.signature_database();
+
+    let xml = invarnet_x::core::to_xml(&store);
+    assert!(xml.contains("<model p="));
+    assert!(xml.contains(&format!("type=\"{}\"", workload.name())));
+    assert!(xml.contains("<invariant m1="));
+    assert!(xml.contains("<signature problem=\"Mem-hog\""));
+
+    // The signature bit string length equals the invariant count.
+    let bits = xml
+        .split("</signature>")
+        .next()
+        .and_then(|s| s.rsplit('>').next())
+        .expect("bits present");
+    assert_eq!(bits.len(), store.signatures.records()[0].tuple.len());
+}
+
+#[test]
+fn empty_signature_database_is_an_error_not_a_panic() {
+    let workload = WorkloadType::Wordcount;
+    let runner = Runner::new(404);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+    let mut system = InvarNetX::new(InvarNetConfig::default());
+    let normals = runner.normal_runs(workload, 4);
+    let frames: Vec<MetricFrame> = normals
+        .iter()
+        .map(|r| windowed(&runner, &r.per_node[node].frame))
+        .collect();
+    system.build_invariants(context.clone(), &frames).expect("invariants");
+
+    let r = runner.fault_run(workload, FaultType::CpuHog, 0);
+    let err = system
+        .diagnose(&context, &r.fault_window().expect("window"))
+        .expect_err("no signatures recorded");
+    assert!(matches!(
+        err,
+        invarnet_x::core::CoreError::EmptySignatureDatabase(_)
+    ));
+
+    // Using a second, isolated signature database wired in is fine.
+    system.set_signature_database(SignatureDatabase::new());
+    assert_eq!(system.signature_database().len(), 0);
+}

@@ -1,0 +1,234 @@
+//! Property-based tests (proptest) on the statistical substrates' core
+//! invariants, exercised through the public facade.
+
+use proptest::prelude::*;
+
+use invarnet_x::core::{pair_count, pair_index, pair_of_index, Similarity};
+use invarnet_x::mic::{mic, MicError};
+use invarnet_x::timeseries::{
+    acf, difference, mean, min_normalize, pearson, percentile, spearman, standardize, stddev,
+    undifference,
+};
+
+fn finite_series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6f64..1.0e6, len)
+}
+
+proptest! {
+    // ------------------------------------------------------- timeseries --
+
+    #[test]
+    fn difference_then_undifference_is_identity(xs in finite_series(2..60)) {
+        let d = difference(&xs, 1);
+        let back = undifference(&d, &[xs[0]]);
+        prop_assert_eq!(back.len(), xs.len());
+        for (a, b) in back.iter().zip(&xs) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn standardize_yields_zero_mean_unit_sd(xs in finite_series(3..80)) {
+        let z = standardize(&xs);
+        prop_assert!(mean(&z).abs() < 1e-6);
+        let sd = stddev(&z);
+        // Constant input maps to zeros (sd 0); otherwise unit sd.
+        prop_assert!(sd.abs() < 1e-9 || (sd - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded(xs in finite_series(1..50), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let v_lo = percentile(&xs, lo);
+        let v_hi = percentile(&xs, hi);
+        prop_assert!(v_lo <= v_hi + 1e-12);
+        let mn = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v_lo >= mn - 1e-12 && v_hi <= mx + 1e-12);
+    }
+
+    #[test]
+    fn correlations_are_symmetric_and_bounded(xs in finite_series(2..40), ys in finite_series(2..40)) {
+        let n = xs.len().min(ys.len());
+        let (a, b) = (&xs[..n], &ys[..n]);
+        for f in [pearson, spearman] {
+            let r = f(a, b);
+            prop_assert!((-1.0..=1.0).contains(&r));
+            prop_assert!((r - f(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pearson_invariant_under_affine_maps(xs in finite_series(3..40), scale in 0.1f64..10.0, shift in -100.0f64..100.0) {
+        let ys: Vec<f64> = xs.iter().map(|v| scale * v + shift).collect();
+        let r = pearson(&xs, &ys);
+        // Unless xs is (near-)constant, a positive affine image correlates 1.
+        if stddev(&xs) > 1e-6 {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {}", r);
+        }
+    }
+
+    #[test]
+    fn acf_lag0_is_one_for_varying_series(xs in finite_series(8..60)) {
+        if stddev(&xs) > 1e-9 {
+            let a = acf(&xs, 3);
+            prop_assert!((a[0] - 1.0).abs() < 1e-9);
+            prop_assert!(a.iter().all(|v| v.abs() <= 1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn min_normalize_maps_minimum_to_one(xs in prop::collection::vec(0.001f64..1.0e5, 1..40)) {
+        let n = min_normalize(&xs);
+        let mn = n.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((mn - 1.0).abs() < 1e-9);
+        prop_assert!(n.iter().all(|&v| v >= 1.0 - 1e-9));
+    }
+
+    // -------------------------------------------------------------- mic --
+
+    #[test]
+    fn mic_is_bounded_and_symmetric(
+        xs in prop::collection::vec(-100.0f64..100.0, 8..40),
+        ys in prop::collection::vec(-100.0f64..100.0, 8..40),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (a, b) = (&xs[..n], &ys[..n]);
+        let m1 = mic(a, b).expect("valid input");
+        let m2 = mic(b, a).expect("valid input");
+        prop_assert!((0.0..=1.0).contains(&m1));
+        prop_assert!((m1 - m2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mic_invariant_under_strictly_monotone_transforms(
+        xs in prop::collection::vec(-50.0f64..50.0, 10..30),
+        ys in prop::collection::vec(-50.0f64..50.0, 10..30),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (a, b) = (&xs[..n], &ys[..n]);
+        let a_t: Vec<f64> = a.iter().map(|v| v.exp().min(1e30)).collect();
+        let m1 = mic(a, b).expect("valid");
+        let m2 = mic(&a_t, b).expect("valid");
+        prop_assert!((m1 - m2).abs() < 1e-9, "{} vs {}", m1, m2);
+    }
+
+    #[test]
+    fn mic_rejects_bad_input(len in 0usize..4) {
+        let xs = vec![1.0; len];
+        let too_few = matches!(mic(&xs, &xs), Err(MicError::TooFewPoints { .. }));
+        prop_assert!(too_few);
+    }
+
+    // ------------------------------------------------------------- core --
+
+    #[test]
+    fn pair_indexing_is_a_bijection(idx in 0usize..325) {
+        let (a, b) = pair_of_index(idx);
+        prop_assert!(a.index() < b.index());
+        prop_assert_eq!(pair_index(a.index(), b.index()), idx);
+        prop_assert!(idx < pair_count());
+    }
+
+    #[test]
+    fn similarity_axioms(
+        a in prop::collection::vec(0.0f64..1.0, 1..60),
+        b in prop::collection::vec(0.0f64..1.0, 1..60),
+    ) {
+        let n = a.len().min(b.len());
+        let (x, y) = (&a[..n], &b[..n]);
+        for s in [Similarity::Cosine, Similarity::Jaccard, Similarity::Hamming] {
+            let xy = s.score(x, y);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&xy), "{:?}", s);
+            prop_assert!((xy - s.score(y, x)).abs() < 1e-12, "{:?} not symmetric", s);
+            prop_assert!((s.score(x, x) - 1.0).abs() < 1e-12, "{:?} self-similarity", s);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ARIMA fitting never panics and produces finite artifacts on
+    // reasonable series (heavier, so fewer cases).
+    #[test]
+    fn arima_fit_is_total_on_reasonable_series(
+        phi in -0.9f64..0.9,
+        sigma in 0.01f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        use invarnet_x::arima::{ArimaModel, ArimaSpec};
+        use invarnet_x::timeseries::ArProcess;
+        let xs = ArProcess { phi: vec![phi], sigma, c: 0.1 }.generate(200, seed);
+        let model = ArimaModel::fit(&xs, ArimaSpec::new(1, 0, 0)).expect("fit");
+        prop_assert!(model.sigma2().is_finite() && model.sigma2() >= 0.0);
+        prop_assert!(model.ar_coefficients()[0].abs() < 1.5);
+        let f = model.one_step_forecasts(&xs);
+        prop_assert_eq!(f.len(), xs.len());
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn arx_fitness_bounded_on_random_pairs(seed in 0u64..500) {
+        use invarnet_x::arx::{arx_association, ArxSearch};
+        use invarnet_x::timeseries::ArProcess;
+        let x = ArProcess { phi: vec![0.5], sigma: 1.0, c: 0.0 }.generate(120, seed);
+        let y = ArProcess { phi: vec![0.3], sigma: 1.0, c: 0.0 }.generate(120, seed + 7);
+        let a = arx_association(&x, &y, ArxSearch::default());
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // ---------------------------------------------------------- simulator --
+
+    #[test]
+    fn simulator_output_is_always_valid(seed in 0u64..10_000, fault_idx in 0usize..15) {
+        use invarnet_x::simulator::{FaultInjection, FaultType, RunConfig, simulate, WorkloadType};
+        let fault = FaultType::ALL[fault_idx];
+        let mut cfg = RunConfig::new(WorkloadType::Grep, seed);
+        cfg.fault = Some(FaultInjection {
+            fault,
+            node: 2,
+            start_tick: 20,
+            duration_ticks: 30,
+        });
+        let r = simulate(&cfg);
+        prop_assert!(r.ticks > 0 && r.ticks <= cfg.max_ticks);
+        for trace in &r.per_node {
+            prop_assert_eq!(trace.frame.ticks(), r.ticks);
+            prop_assert_eq!(trace.cpi.len(), r.ticks);
+            // Finite, non-negative metrics at every tick (spot-check ends).
+            for t in [0, r.ticks / 2, r.ticks - 1] {
+                prop_assert!(trace.frame.tick(t).iter().all(|v| v.is_finite() && *v >= 0.0));
+            }
+            prop_assert!(trace.cpi.cpi_series().iter().all(|v| v.is_finite() && *v > 0.0));
+        }
+    }
+
+    #[test]
+    fn simulator_is_deterministic(seed in 0u64..10_000) {
+        use invarnet_x::simulator::{RunConfig, simulate, WorkloadType};
+        let a = simulate(&RunConfig::new(WorkloadType::Wordcount, seed));
+        let b = simulate(&RunConfig::new(WorkloadType::Wordcount, seed));
+        prop_assert_eq!(a.ticks, b.ticks);
+        for (ta, tb) in a.per_node.iter().zip(&b.per_node) {
+            prop_assert_eq!(&ta.frame, &tb.frame);
+        }
+    }
+
+    #[test]
+    fn rolling_stats_are_bounded_by_extremes(xs in prop::collection::vec(-1.0e4f64..1.0e4, 1..50), w in 1usize..12) {
+        use invarnet_x::timeseries::{rolling_mean, ewma};
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in rolling_mean(&xs, w) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+        for v in ewma(&xs, 0.3) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}
