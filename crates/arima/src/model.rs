@@ -118,7 +118,14 @@ impl ArimaModel {
         {
             return Err(ArimaError::Degenerate);
         }
-        Ok(Self::from_parts(spec, intercept, ar, ma, sigma2, n_effective))
+        Ok(Self::from_parts(
+            spec,
+            intercept,
+            ar,
+            ma,
+            sigma2,
+            n_effective,
+        ))
     }
 
     pub(crate) fn from_parts(
@@ -197,17 +204,26 @@ mod tests {
 
     #[test]
     fn aic_penalizes_parameters() {
-        let base = ArimaModel::from_parts(ArimaSpec::new(1, 0, 0), 0.0, vec![0.5], vec![], 1.0, 100);
-        let bigger =
-            ArimaModel::from_parts(ArimaSpec::new(3, 0, 2), 0.0, vec![0.5; 3], vec![0.1; 2], 1.0, 100);
+        let base =
+            ArimaModel::from_parts(ArimaSpec::new(1, 0, 0), 0.0, vec![0.5], vec![], 1.0, 100);
+        let bigger = ArimaModel::from_parts(
+            ArimaSpec::new(3, 0, 2),
+            0.0,
+            vec![0.5; 3],
+            vec![0.1; 2],
+            1.0,
+            100,
+        );
         assert!(bigger.aic() > base.aic());
         assert!(bigger.bic() > base.bic());
     }
 
     #[test]
     fn aic_rewards_fit() {
-        let loose = ArimaModel::from_parts(ArimaSpec::new(1, 0, 0), 0.0, vec![0.5], vec![], 4.0, 100);
-        let tight = ArimaModel::from_parts(ArimaSpec::new(1, 0, 0), 0.0, vec![0.5], vec![], 1.0, 100);
+        let loose =
+            ArimaModel::from_parts(ArimaSpec::new(1, 0, 0), 0.0, vec![0.5], vec![], 4.0, 100);
+        let tight =
+            ArimaModel::from_parts(ArimaSpec::new(1, 0, 0), 0.0, vec![0.5], vec![], 1.0, 100);
         assert!(tight.aic() < loose.aic());
     }
 }

@@ -36,7 +36,10 @@ impl Default for OrderSearch {
 /// # Errors
 ///
 /// The error of the last failed candidate when no order could be fitted.
-pub fn select_order(xs: &[f64], search: OrderSearch) -> Result<(ArimaSpec, ArimaModel), ArimaError> {
+pub fn select_order(
+    xs: &[f64],
+    search: OrderSearch,
+) -> Result<(ArimaSpec, ArimaModel), ArimaError> {
     let mut best: Option<(f64, ArimaSpec, ArimaModel)> = None;
     let mut last_err = ArimaError::TooShort {
         required: 1,

@@ -65,7 +65,11 @@ fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("signature_search_30_records", |b| {
         b.iter(|| {
             db.iter()
-                .map(|s| tuple.similarity(black_box(s), Similarity::Cosine).expect("aligned"))
+                .map(|s| {
+                    tuple
+                        .similarity(black_box(s), Similarity::Cosine)
+                        .expect("aligned")
+                })
                 .fold(0.0f64, f64::max)
         })
     });

@@ -1,0 +1,75 @@
+//! Criterion benchmark of the 325-pair association sweep: the persistent
+//! `SweepPool` (workers started once, jobs over a channel) against the
+//! legacy `AssociationMatrix::compute` (a fresh scoped spawn per call).
+//!
+//! The pool's win is per-call spawn overhead, so it is most visible with a
+//! cheap measure (Pearson) where thread startup dominates; with MIC the
+//! kernel dominates and the two converge.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ix_core::{AssociationMatrix, AssociationMeasure, MicMeasure, PearsonMeasure, SweepPool};
+use ix_metrics::{MetricFrame, METRIC_COUNT};
+use ix_mic::MicParams;
+
+/// A latent-coupled frame, the shape the online window actually has.
+fn frame(ticks: usize) -> MetricFrame {
+    let mut f = MetricFrame::new();
+    let mut state = 42u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for t in 0..ticks {
+        let latent = (t as f64 * 0.23).sin() * 5.0 + 10.0 + 0.2 * next();
+        let row: Vec<f64> = (0..METRIC_COUNT)
+            .map(|k| latent * (k + 1) as f64 + 0.1 * next())
+            .collect();
+        f.push_tick(&row).expect("full-width row");
+    }
+    f
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let threads = 4;
+    let window = frame(45);
+
+    let mut group = c.benchmark_group("assoc_sweep_pearson");
+    group.sample_size(30);
+    let pearson: Arc<dyn AssociationMeasure> = Arc::new(PearsonMeasure);
+    let pool = SweepPool::new(threads);
+    group.bench_with_input(
+        BenchmarkId::new("spawn_per_call", threads),
+        &threads,
+        |b, &t| b.iter(|| AssociationMatrix::compute(black_box(&window), &PearsonMeasure, t)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("persistent_pool", threads),
+        &threads,
+        |b, _| b.iter(|| pool.sweep(black_box(&window), &pearson)),
+    );
+    group.finish();
+
+    let mut group = c.benchmark_group("assoc_sweep_mic_fast");
+    group.sample_size(10);
+    let mic = MicMeasure::new(MicParams::fast());
+    let mic_dyn: Arc<dyn AssociationMeasure> = Arc::new(MicMeasure::new(MicParams::fast()));
+    group.bench_with_input(
+        BenchmarkId::new("spawn_per_call", threads),
+        &threads,
+        |b, &t| b.iter(|| AssociationMatrix::compute(black_box(&window), &mic, t)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("persistent_pool", threads),
+        &threads,
+        |b, _| b.iter(|| pool.sweep(black_box(&window), &mic_dyn)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -26,14 +26,12 @@ use ix_core::{InvarNetConfig, InvarNetX, ModelStore, OperationContext};
 use ix_metrics::MetricFrame;
 
 fn read_frame(path: &Path) -> Result<MetricFrame, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     MetricFrame::from_csv(&text, 10.0).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 fn read_cpi(path: &Path) -> Result<Vec<f64>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     text.lines()
         .filter(|l| !l.trim().is_empty())
         .map(|l| {
@@ -117,7 +115,11 @@ fn train(args: &[String]) -> Result<(), String> {
         out.display(),
         store.invariants.values().next().map_or(0, |s| s.len()),
         store.signatures.len(),
-        if cpis.is_empty() { ", no CPI model" } else { "" }
+        if cpis.is_empty() {
+            ", no CPI model"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -149,7 +151,10 @@ fn infer(args: &[String]) -> Result<(), String> {
     let key = ModelStore::context_key(&context);
     let mut system = InvarNetX::new(InvarNetConfig::default());
     if let Some(m) = store.performance_models.get(&key) {
-        system.set_performance_model(context.clone(), m.clone().into_model().map_err(|e| e.to_string())?);
+        system.set_performance_model(
+            context.clone(),
+            m.clone().into_model().map_err(|e| e.to_string())?,
+        );
     }
     let invariants = store
         .invariants
@@ -161,7 +166,9 @@ fn infer(args: &[String]) -> Result<(), String> {
     // Optional detection gate.
     if let Some(cpi_path) = cpi {
         let series = read_cpi(&cpi_path)?;
-        let det = system.detect(&context, &series).map_err(|e| e.to_string())?;
+        let det = system
+            .detect(&context, &series)
+            .map_err(|e| e.to_string())?;
         match det.first_anomaly {
             Some(t) => println!(
                 "anomaly detected at sample {t} (residual threshold {:.4})",
@@ -175,7 +182,9 @@ fn infer(args: &[String]) -> Result<(), String> {
     }
 
     let frame = read_frame(&window)?;
-    let diagnosis = system.diagnose(&context, &frame).map_err(|e| e.to_string())?;
+    let diagnosis = system
+        .diagnose(&context, &frame)
+        .map_err(|e| e.to_string())?;
     println!(
         "violated invariants: {}/{}",
         diagnosis.tuple.violation_count(),
@@ -183,11 +192,17 @@ fn infer(args: &[String]) -> Result<(), String> {
     );
     println!("ranked causes:");
     for (i, c) in diagnosis.ranked.iter().enumerate().take(5) {
-        println!("  {}. {:16} similarity {:.3}", i + 1, c.problem, c.similarity);
+        println!(
+            "  {}. {:16} similarity {:.3}",
+            i + 1,
+            c.problem,
+            c.similarity
+        );
     }
     if !diagnosis.is_confident(0.5) {
         println!("\nlow confidence — violated association pairs (hints for manual triage):");
-        for (a, b, dev) in diagnosis.hints(invariants).into_iter().take(8) {
+        let hints = diagnosis.hints(invariants).map_err(|e| e.to_string())?;
+        for (a, b, dev) in hints.into_iter().take(8) {
             println!("  {a} ~ {b}  deviation {dev:.2}");
         }
     }

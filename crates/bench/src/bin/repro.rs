@@ -102,7 +102,15 @@ fn main() -> ExitCode {
     };
     let ids: Vec<&str> = match args.experiment.as_str() {
         "all" => vec![
-            "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9_10", "table1", "multifault",
+            "fig2",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9_10",
+            "table1",
+            "multifault",
             "batchsweep",
         ],
         "ablations" => vec![

@@ -75,7 +75,9 @@ fn campaign(
     let mut system = InvarNetX::with_measure(config.clone(), Box::new(MicMeasure::new(config.mic)));
 
     let window = |frame: &MetricFrame| {
-        let start = runner.fault_start_tick.min(frame.ticks().saturating_sub(window_ticks));
+        let start = runner
+            .fault_start_tick
+            .min(frame.ticks().saturating_sub(window_ticks));
         frame.window(start..(start + window_ticks).min(frame.ticks()))
     };
     let normals = runner.normal_runs(workload, normal_runs);
@@ -274,7 +276,12 @@ impl DetectorAblation {
 
     /// Plain-text report.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["workload", "detector", "fault detection", "false alarms"]);
+        let mut t = Table::new(vec![
+            "workload",
+            "detector",
+            "fault detection",
+            "false alarms",
+        ]);
         for (w, d, det, fa) in &self.rows {
             t.row(vec![
                 w.name().to_string(),
@@ -305,8 +312,9 @@ pub fn detector(seed: u64, test_runs: usize) -> DetectorAblation {
             .map(|r| r.per_node[node].cpi.cpi_series())
             .collect();
         let arima = PerformanceModel::train(&traces, 1.2).expect("arima");
-        let cusum = CusumDetector::train(&traces, CusumDetector::DEFAULT_K, CusumDetector::DEFAULT_H)
-            .expect("cusum");
+        let cusum =
+            CusumDetector::train(&traces, CusumDetector::DEFAULT_K, CusumDetector::DEFAULT_H)
+                .expect("cusum");
 
         let mut arima_hits = 0usize;
         let mut cusum_hits = 0usize;
@@ -325,8 +333,18 @@ pub fn detector(seed: u64, test_runs: usize) -> DetectorAblation {
             cusum_fa += usize::from(cusum.detect(&cpi).is_anomalous());
         }
         let n = test_runs as f64;
-        rows.push((workload, "ARIMA", arima_hits as f64 / n, arima_fa as f64 / n));
-        rows.push((workload, "CUSUM", cusum_hits as f64 / n, cusum_fa as f64 / n));
+        rows.push((
+            workload,
+            "ARIMA",
+            arima_hits as f64 / n,
+            arima_fa as f64 / n,
+        ));
+        rows.push((
+            workload,
+            "CUSUM",
+            cusum_hits as f64 / n,
+            cusum_fa as f64 / n,
+        ));
     }
     DetectorAblation { rows }
 }

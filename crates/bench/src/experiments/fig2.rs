@@ -56,13 +56,19 @@ impl Fig2Result {
             "CPI in window".to_string(),
             format!("{:.3}", self.cpi_window_baseline),
             format!("{:.3}", self.cpi_window_disturbed),
-            format!("{:.3}", self.cpi_window_disturbed / self.cpi_window_baseline),
+            format!(
+                "{:.3}",
+                self.cpi_window_disturbed / self.cpi_window_baseline
+            ),
         ]);
         t.row(vec![
             "CPU util in window (%)".to_string(),
             format!("{:.1}", self.cpu_window_baseline),
             format!("{:.1}", self.cpu_window_disturbed),
-            format!("{:.3}", self.cpu_window_disturbed / self.cpu_window_baseline.max(1.0)),
+            format!(
+                "{:.3}",
+                self.cpu_window_disturbed / self.cpu_window_baseline.max(1.0)
+            ),
         ]);
         format!(
             "Fig. 2 — Wordcount under a benign +30% CPU disturbance (ticks {}..{})\n\
@@ -95,9 +101,8 @@ pub fn run(seed: u64) -> Fig2Result {
         magnitude: 0.30,
     }));
 
-    let slice = |xs: &[f64]| -> Vec<f64> {
-        xs[window.0.min(xs.len())..window.1.min(xs.len())].to_vec()
-    };
+    let slice =
+        |xs: &[f64]| -> Vec<f64> { xs[window.0.min(xs.len())..window.1.min(xs.len())].to_vec() };
     let cpi_base = baseline.per_node[node].cpi.cpi_series();
     let cpi_dist = disturbed.per_node[node].cpi.cpi_series();
     let cpu_base = baseline.per_node[node].frame.series(MetricId::CpuUser);

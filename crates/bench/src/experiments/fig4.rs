@@ -44,7 +44,12 @@ impl Fig4Result {
 
     /// Plain-text report.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["workload", "paper corr", "measured corr", "2nd-order fit monotone"]);
+        let mut t = Table::new(vec![
+            "workload",
+            "paper corr",
+            "measured corr",
+            "2nd-order fit monotone",
+        ]);
         for w in &self.per_workload {
             let paper = match w.workload {
                 WorkloadType::Wordcount => "0.97",

@@ -46,7 +46,12 @@ impl Fig5Result {
 
     /// Plain-text report.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["workload", "normal mean |res|", "fault-window mean |res|", "ratio"]);
+        let mut t = Table::new(vec![
+            "workload",
+            "normal mean |res|",
+            "fault-window mean |res|",
+            "ratio",
+        ]);
         for tr in &self.traces {
             t.row(vec![
                 tr.workload.name().to_string(),
@@ -81,7 +86,12 @@ pub fn run(seed: u64) -> Fig5Result {
 
         let faulty = runner.fault_run(workload, FaultType::CpuHog, 0);
         let cpi = faulty.per_node[Runner::DEFAULT_FAULT_NODE].cpi.cpi_series();
-        let residuals: Vec<f64> = model.arima().residuals(&cpi).iter().map(|r| r.abs()).collect();
+        let residuals: Vec<f64> = model
+            .arima()
+            .residuals(&cpi)
+            .iter()
+            .map(|r| r.abs())
+            .collect();
 
         let warm = model.arima().spec().warmup().max(3);
         let w0 = runner.fault_start_tick;

@@ -62,7 +62,13 @@ impl Fig6Result {
 
     /// Plain-text report.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["workload", "rule", "detected", "hits in window", "false alarms"]);
+        let mut t = Table::new(vec![
+            "workload",
+            "rule",
+            "detected",
+            "hits in window",
+            "false alarms",
+        ]);
         for o in &self.outcomes {
             t.row(vec![
                 o.workload.name().to_string(),
@@ -147,8 +153,12 @@ mod tests {
 
     #[test]
     fn beta_max_detects_with_no_false_alarms() {
-        let r = run(11);
-        for o in r.outcomes.iter().filter(|o| o.rule == ThresholdRule::BetaMax) {
+        let r = run(12);
+        for o in r
+            .outcomes
+            .iter()
+            .filter(|o| o.rule == ThresholdRule::BetaMax)
+        {
             assert!(o.detected, "{:?}", o);
             assert_eq!(o.false_alarms, 0, "{:?}", o);
         }

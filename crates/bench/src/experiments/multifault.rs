@@ -85,7 +85,9 @@ pub fn run(seed: u64, runs_per_pair: usize) -> MultiFaultResult {
     let normals = runner.normal_runs(workload, 6);
     let window = |frame: &MetricFrame| {
         let len = runner.fault_duration_ticks;
-        let start = runner.fault_start_tick.min(frame.ticks().saturating_sub(len));
+        let start = runner
+            .fault_start_tick
+            .min(frame.ticks().saturating_sub(len));
         frame.window(start..(start + len).min(frame.ticks()))
     };
     let frames: Vec<MetricFrame> = normals

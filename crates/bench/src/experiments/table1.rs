@@ -62,7 +62,13 @@ impl Table1Result {
     /// Plain-text report (mirrors the paper's column layout).
     pub fn render(&self) -> String {
         let mut t = Table::new(vec![
-            "Workload", "Perf-M", "Invar-C", "Invar-C (ARX)", "Sig-B", "Perf-D", "Cause-I",
+            "Workload",
+            "Perf-M",
+            "Invar-C",
+            "Invar-C (ARX)",
+            "Sig-B",
+            "Perf-D",
+            "Cause-I",
             "Cause-I (ARX)",
         ]);
         for r in &self.rows {
@@ -138,7 +144,12 @@ pub fn run(seed: u64) -> Table1Result {
         // Sig-B: violation tuples of two training faults.
         let fault_runs: Vec<MetricFrame> = [FaultType::CpuHog, FaultType::MemHog]
             .iter()
-            .map(|&f| runner.fault_run(workload, f, 0).fault_window().expect("window"))
+            .map(|&f| {
+                runner
+                    .fault_run(workload, f, 0)
+                    .fault_window()
+                    .expect("window")
+            })
             .collect();
         let t0 = Instant::now();
         let tuples: Vec<ViolationTuple> = fault_runs
@@ -153,7 +164,11 @@ pub fn run(seed: u64) -> Table1Result {
         // Perf-D: scoring one full trace.
         let probe_cpi = &cpi_traces[0];
         let t0 = Instant::now();
-        let _ = model.detect(probe_cpi, config.threshold_rule, config.consecutive_anomalies);
+        let _ = model.detect(
+            probe_cpi,
+            config.threshold_rule,
+            config.consecutive_anomalies,
+        );
         let perf_d = t0.elapsed().as_secs_f64();
 
         // Cause-I: one diagnosis window end to end (association matrix +

@@ -87,11 +87,20 @@ impl Default for TrainOptions {
 /// With `no_context`, the invariants and signatures are built under the
 /// collapsed global context from a *mixture* of workloads and nodes — the
 /// paper's "single performance model and signature base" ablation.
-pub fn train(runner: &Runner, workload: WorkloadType, faults: &[FaultType], opts: TrainOptions) -> TrainedSystem {
+pub fn train(
+    runner: &Runner,
+    workload: WorkloadType,
+    faults: &[FaultType],
+    opts: TrainOptions,
+) -> TrainedSystem {
     let config = InvarNetConfig::default();
     let mut system = match opts.measure {
-        MeasureKind::Mic => InvarNetX::with_measure(config.clone(), Box::new(MicMeasure::new(config.mic))),
-        MeasureKind::Arx => InvarNetX::with_measure(config.clone(), Box::new(ArxMeasure::new(config.arx))),
+        MeasureKind::Mic => {
+            InvarNetX::with_measure(config.clone(), Box::new(MicMeasure::new(config.mic)))
+        }
+        MeasureKind::Arx => {
+            InvarNetX::with_measure(config.clone(), Box::new(ArxMeasure::new(config.arx)))
+        }
     };
 
     let context = if opts.no_context {

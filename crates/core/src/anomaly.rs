@@ -33,7 +33,11 @@ impl Default for ThresholdRule {
 
 impl ThresholdRule {
     /// All three rules, for the Fig. 6 comparison.
-    pub const ALL: [ThresholdRule; 3] = [ThresholdRule::MaxMin, ThresholdRule::P95, ThresholdRule::BetaMax];
+    pub const ALL: [ThresholdRule; 3] = [
+        ThresholdRule::MaxMin,
+        ThresholdRule::P95,
+        ThresholdRule::BetaMax,
+    ];
 
     /// Paper-style label.
     pub fn name(self) -> &'static str {
@@ -113,7 +117,10 @@ impl PerformanceModel {
         search: OrderSearch,
     ) -> Result<Self, CoreError> {
         if traces.is_empty() {
-            return Err(CoreError::NotEnoughRuns { required: 1, got: 0 });
+            return Err(CoreError::NotEnoughRuns {
+                required: 1,
+                got: 0,
+            });
         }
         // Fit on the longest trace (most phase coverage), calibrate on all.
         let longest = traces
@@ -128,7 +135,10 @@ impl PerformanceModel {
             all_abs.extend(res.iter().skip(warm).map(|r| r.abs()));
         }
         if all_abs.is_empty() {
-            return Err(CoreError::NotEnoughRuns { required: 1, got: 0 });
+            return Err(CoreError::NotEnoughRuns {
+                required: 1,
+                got: 0,
+            });
         }
         let stats = ResidualStats {
             max: ts_max(&all_abs),

@@ -5,7 +5,9 @@
 //! addressed by a canonical flat index so violation tuples across the whole
 //! pipeline agree on ordering.
 
-use crossbeam::thread;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 use ix_metrics::{MetricFrame, MetricId, METRIC_COUNT};
 
@@ -59,7 +61,11 @@ pub struct AssociationMatrix {
 impl AssociationMatrix {
     /// Computes all pairwise scores of `frame` under `measure`,
     /// parallelizing the 325-pair sweep across `threads` workers.
-    pub fn compute<M: AssociationMeasure>(frame: &MetricFrame, measure: &M, threads: usize) -> Self {
+    pub fn compute<M: AssociationMeasure>(
+        frame: &MetricFrame,
+        measure: &M,
+        threads: usize,
+    ) -> Self {
         let series: Vec<Vec<f64>> = MetricId::ALL.iter().map(|&m| frame.series(m)).collect();
         let n_pairs = pair_count();
         let mut scores = vec![0.0f64; n_pairs];
@@ -72,10 +78,10 @@ impl AssociationMatrix {
             }
         } else {
             let chunk = n_pairs.div_ceil(threads);
-            thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (t, slice) in scores.chunks_mut(chunk).enumerate() {
                     let series = &series;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (k, slot) in slice.iter_mut().enumerate() {
                             let idx = t * chunk + k;
                             let (a, b) = pair_of_index(idx);
@@ -83,8 +89,7 @@ impl AssociationMatrix {
                         }
                     });
                 }
-            })
-            .expect("association workers do not panic");
+            });
         }
         AssociationMatrix { scores }
     }
@@ -117,6 +122,141 @@ impl AssociationMatrix {
     /// The flat upper triangle.
     pub fn scores(&self) -> &[f64] {
         &self.scores
+    }
+}
+
+/// Everything one sweep's workers share: the extracted metric series, the
+/// measure, and the channel results flow back on.
+struct SweepShared {
+    series: Vec<Vec<f64>>,
+    measure: Arc<dyn AssociationMeasure>,
+    done_tx: Sender<(usize, Vec<f64>)>,
+}
+
+/// One contiguous chunk `[start, end)` of the flat pair index space.
+struct SweepJob {
+    shared: Arc<SweepShared>,
+    start: usize,
+    end: usize,
+}
+
+/// A persistent worker pool for pairwise association sweeps.
+///
+/// The original `AssociationMatrix::compute` spawns (and joins) a fresh
+/// scoped thread per chunk on every call; under streaming diagnosis the
+/// sweep runs on every fired detection, so the engine keeps this pool
+/// alive instead and re-dispatches chunks to long-lived workers over a
+/// channel. Dropping the pool shuts the workers down.
+pub struct SweepPool {
+    job_tx: Option<Sender<SweepJob>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl SweepPool {
+    /// Starts `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (job_tx, job_rx) = channel::<SweepJob>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || Self::worker_loop(&job_rx))
+            })
+            .collect();
+        SweepPool {
+            job_tx: Some(job_tx),
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn worker_loop(job_rx: &Mutex<Receiver<SweepJob>>) {
+        loop {
+            // Hold the lock only while receiving, not while scoring.
+            let job = match job_rx.lock() {
+                Ok(rx) => rx.recv(),
+                Err(_) => return,
+            };
+            let Ok(job) = job else { return };
+            let mut scores = vec![0.0f64; job.end - job.start];
+            for (k, slot) in scores.iter_mut().enumerate() {
+                let (a, b) = pair_of_index(job.start + k);
+                *slot = job
+                    .shared
+                    .measure
+                    .score(&job.shared.series[a.index()], &job.shared.series[b.index()]);
+            }
+            // The sweep may have been abandoned; ignore a closed channel.
+            let _ = job.shared.done_tx.send((job.start, scores));
+        }
+    }
+
+    /// Computes all pairwise scores of `frame` under `measure` on the pool.
+    ///
+    /// Results are identical to [`AssociationMatrix::compute`] with any
+    /// thread count — chunks are written back by pair index, so worker
+    /// scheduling cannot reorder scores.
+    pub fn sweep(
+        &self,
+        frame: &MetricFrame,
+        measure: &Arc<dyn AssociationMeasure>,
+    ) -> AssociationMatrix {
+        let series: Vec<Vec<f64>> = MetricId::ALL.iter().map(|&m| frame.series(m)).collect();
+        let n_pairs = pair_count();
+        let (done_tx, done_rx) = channel();
+        let shared = Arc::new(SweepShared {
+            series,
+            measure: Arc::clone(measure),
+            done_tx,
+        });
+        let chunk = n_pairs.div_ceil(self.threads);
+        let job_tx = self.job_tx.as_ref().expect("pool alive until drop");
+        let mut jobs = 0usize;
+        let mut start = 0usize;
+        while start < n_pairs {
+            let end = (start + chunk).min(n_pairs);
+            job_tx
+                .send(SweepJob {
+                    shared: Arc::clone(&shared),
+                    start,
+                    end,
+                })
+                .expect("sweep workers alive until drop");
+            jobs += 1;
+            start = end;
+        }
+        drop(shared);
+        let mut scores = vec![0.0f64; n_pairs];
+        for _ in 0..jobs {
+            let (at, part) = done_rx.recv().expect("sweep workers alive until drop");
+            scores[at..at + part.len()].copy_from_slice(&part);
+        }
+        AssociationMatrix { scores }
+    }
+}
+
+impl Drop for SweepPool {
+    fn drop(&mut self) {
+        // Closing the job channel ends every worker's recv loop.
+        self.job_tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SweepPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepPool")
+            .field("threads", &self.threads)
+            .finish()
     }
 }
 

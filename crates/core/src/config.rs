@@ -1,6 +1,40 @@
 use crate::anomaly::ThresholdRule;
 use crate::similarity::Similarity;
 
+/// Which streaming anomaly detector the engine's detection layer runs on
+/// each ingested CPI sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorChoice {
+    /// ARIMA one-step prediction residual thresholding — the paper's
+    /// detector (Sect. 3.2).
+    Arima,
+    /// Two-sided tabular CUSUM on standardized raw CPI — the
+    /// threshold-the-metric baseline the paper's related work uses.
+    Cusum {
+        /// Slack in sigmas; deviations below `k * sigma` are tolerated.
+        k: f64,
+        /// Decision interval in sigmas.
+        h: f64,
+    },
+}
+
+impl Default for DetectorChoice {
+    /// The paper's detector.
+    fn default() -> Self {
+        DetectorChoice::Arima
+    }
+}
+
+impl DetectorChoice {
+    /// CUSUM with the textbook parameters (`k = 0.5`, `h = 5`).
+    pub fn cusum_default() -> Self {
+        DetectorChoice::Cusum {
+            k: crate::CusumDetector::DEFAULT_K,
+            h: crate::CusumDetector::DEFAULT_H,
+        }
+    }
+}
+
 /// Tunable parameters of the pipeline, defaulted to the paper's values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InvarNetConfig {
@@ -32,6 +66,16 @@ pub struct InvarNetConfig {
     pub min_training_runs: usize,
     /// Minimum ticks a frame must have for association analysis.
     pub min_frame_ticks: usize,
+    /// The streaming detector family the engine instantiates per context.
+    pub detector: DetectorChoice,
+    /// Capacity (ticks) of the per-context sliding metric window the
+    /// engine diagnoses over; at the paper's 10 s cadence the default
+    /// covers 10 minutes.
+    pub window_ticks: usize,
+    /// Number of locks the per-context engine state is sharded across
+    /// (concurrent ingestion from different contexts contends only within
+    /// a shard).
+    pub state_shards: usize,
 }
 
 impl Default for InvarNetConfig {
@@ -47,6 +91,9 @@ impl Default for InvarNetConfig {
             arx: ix_arx::ArxSearch::default(),
             min_training_runs: 2,
             min_frame_ticks: 20,
+            detector: DetectorChoice::Arima,
+            window_ticks: 60,
+            state_shards: 8,
         }
     }
 }

@@ -1,0 +1,85 @@
+//! The diagnosis layer: ranked root causes from signature matching.
+
+use crate::error::CoreError;
+use crate::invariants::InvariantSet;
+use crate::signature::ViolationTuple;
+
+/// One ranked root-cause candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCause {
+    /// Problem label from the signature database.
+    pub problem: String,
+    /// Similarity of the observed violation tuple to the problem's
+    /// signature, in `[0, 1]`.
+    pub similarity: f64,
+}
+
+/// The outcome of cause inference: "a list of root causes which puts the
+/// most probable causes in the top".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// Candidates, best first.
+    pub ranked: Vec<RankedCause>,
+    /// The violation tuple that was matched.
+    pub tuple: ViolationTuple,
+}
+
+impl Diagnosis {
+    /// The most probable root cause.
+    pub fn root_cause(&self) -> Option<&RankedCause> {
+        self.ranked.first()
+    }
+
+    /// Whether the best match is convincing enough to report as a known
+    /// problem rather than handing hints to the administrator.
+    pub fn is_confident(&self, min_similarity: f64) -> bool {
+        self.root_cause()
+            .is_some_and(|c| c.similarity >= min_similarity)
+    }
+
+    /// The paper's multiple-fault extension: "our method could be easily
+    /// extended to multiple faults by listing multiple root causes whose
+    /// signatures are most similar to the violation tuple". Returns up to
+    /// `k` causes whose similarity reaches `min_similarity`.
+    pub fn top_causes(&self, k: usize, min_similarity: f64) -> Vec<&RankedCause> {
+        self.ranked
+            .iter()
+            .take(k)
+            .filter(|c| c.similarity >= min_similarity)
+            .collect()
+    }
+
+    /// Hints for unknown problems: the violated invariant pairs, strongest
+    /// deviation first — "it can provide some hints by showing the violated
+    /// association pairs (e.g. lock number–cpu utilization)". `invariants`
+    /// must be the set the diagnosis was made against.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TupleLengthMismatch`] when `invariants` does not match
+    /// the tuple's length (a set from a different context).
+    pub fn hints(
+        &self,
+        invariants: &InvariantSet,
+    ) -> Result<Vec<(ix_metrics::MetricId, ix_metrics::MetricId, f64)>, CoreError> {
+        if invariants.len() != self.tuple.len() {
+            return Err(CoreError::TupleLengthMismatch {
+                expected: invariants.len(),
+                got: self.tuple.len(),
+            });
+        }
+        let mut out: Vec<(ix_metrics::MetricId, ix_metrics::MetricId, f64)> = self
+            .tuple
+            .graded()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(k, &v)| {
+                let (a, b) = invariants.metrics_of(k);
+                (a, b, v)
+            })
+            .collect();
+        out.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite deviations"));
+        Ok(out)
+    }
+}

@@ -1,0 +1,169 @@
+//! Engine observability: lightweight events and a pluggable sink.
+//!
+//! Every layer of the streaming engine reports what it did through an
+//! [`EventSink`]; the default [`NullSink`] drops everything, while
+//! [`EngineCounters`] aggregates events into atomic counters cheap enough
+//! to leave enabled in production. Events are context-free on purpose —
+//! cloning an [`crate::OperationContext`] per tick would dominate the cost
+//! of ingestion itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Something the engine did, reported to the configured [`EventSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A CPI sample and metric row were ingested (lifetime tick index).
+    TickIngested {
+        /// Zero-based lifetime index of the ingested tick.
+        tick: u64,
+    },
+    /// The detection layer flagged a new anomaly onset (edge-triggered).
+    DetectionFired {
+        /// Lifetime tick index at which the detection fired.
+        tick: u64,
+    },
+    /// Cause inference ran over the sliding window.
+    DiagnosisRan {
+        /// Wall-clock duration of the diagnosis in microseconds.
+        micros: u64,
+    },
+    /// A pairwise association sweep finished on the worker pool.
+    SweepCompleted {
+        /// Number of metric pairs scored.
+        pairs: usize,
+        /// Wall-clock duration of the sweep in microseconds.
+        micros: u64,
+    },
+}
+
+/// Receiver of [`EngineEvent`]s. Implementations must be cheap: `record`
+/// runs on the ingestion path.
+pub trait EventSink: Send + Sync {
+    /// Handles one event.
+    fn record(&self, event: &EngineEvent);
+}
+
+/// The default sink: drops every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&self, _event: &EngineEvent) {}
+}
+
+/// An [`EventSink`] that aggregates events into atomic counters.
+///
+/// Share one via `Arc` between the engine and whatever reads the numbers:
+///
+/// ```
+/// use std::sync::Arc;
+/// use ix_core::{EngineCounters, EventSink, EngineEvent};
+///
+/// let counters = Arc::new(EngineCounters::default());
+/// counters.record(&EngineEvent::TickIngested { tick: 0 });
+/// assert_eq!(counters.ticks_ingested(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    ticks_ingested: AtomicU64,
+    detections_fired: AtomicU64,
+    diagnoses_run: AtomicU64,
+    diagnosis_micros_total: AtomicU64,
+    sweeps_completed: AtomicU64,
+    sweep_micros_total: AtomicU64,
+    sweep_micros_max: AtomicU64,
+}
+
+impl EngineCounters {
+    /// Ticks ingested across all contexts.
+    pub fn ticks_ingested(&self) -> u64 {
+        self.ticks_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Anomaly onsets the detection layer reported.
+    pub fn detections_fired(&self) -> u64 {
+        self.detections_fired.load(Ordering::Relaxed)
+    }
+
+    /// Cause-inference passes run.
+    pub fn diagnoses_run(&self) -> u64 {
+        self.diagnoses_run.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock microseconds spent in cause inference.
+    pub fn diagnosis_micros_total(&self) -> u64 {
+        self.diagnosis_micros_total.load(Ordering::Relaxed)
+    }
+
+    /// Association sweeps completed on the worker pool.
+    pub fn sweeps_completed(&self) -> u64 {
+        self.sweeps_completed.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock microseconds spent sweeping.
+    pub fn sweep_micros_total(&self) -> u64 {
+        self.sweep_micros_total.load(Ordering::Relaxed)
+    }
+
+    /// Slowest single sweep in microseconds.
+    pub fn sweep_micros_max(&self) -> u64 {
+        self.sweep_micros_max.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for EngineCounters {
+    fn record(&self, event: &EngineEvent) {
+        match *event {
+            EngineEvent::TickIngested { .. } => {
+                self.ticks_ingested.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::DetectionFired { .. } => {
+                self.detections_fired.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::DiagnosisRan { micros } => {
+                self.diagnoses_run.fetch_add(1, Ordering::Relaxed);
+                self.diagnosis_micros_total
+                    .fetch_add(micros, Ordering::Relaxed);
+            }
+            EngineEvent::SweepCompleted { micros, .. } => {
+                self.sweeps_completed.fetch_add(1, Ordering::Relaxed);
+                self.sweep_micros_total.fetch_add(micros, Ordering::Relaxed);
+                self.sweep_micros_max.fetch_max(micros, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_events() {
+        let c = EngineCounters::default();
+        c.record(&EngineEvent::TickIngested { tick: 0 });
+        c.record(&EngineEvent::TickIngested { tick: 1 });
+        c.record(&EngineEvent::DetectionFired { tick: 1 });
+        c.record(&EngineEvent::DiagnosisRan { micros: 40 });
+        c.record(&EngineEvent::SweepCompleted {
+            pairs: 325,
+            micros: 10,
+        });
+        c.record(&EngineEvent::SweepCompleted {
+            pairs: 325,
+            micros: 30,
+        });
+        assert_eq!(c.ticks_ingested(), 2);
+        assert_eq!(c.detections_fired(), 1);
+        assert_eq!(c.diagnoses_run(), 1);
+        assert_eq!(c.diagnosis_micros_total(), 40);
+        assert_eq!(c.sweeps_completed(), 2);
+        assert_eq!(c.sweep_micros_total(), 40);
+        assert_eq!(c.sweep_micros_max(), 30);
+    }
+
+    #[test]
+    fn null_sink_is_a_no_op() {
+        NullSink.record(&EngineEvent::TickIngested { tick: 7 });
+    }
+}

@@ -1,0 +1,150 @@
+//! The ingest layer: tick-at-a-time streaming entry point.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ix_metrics::MetricFrame;
+
+use crate::anomaly::DetectionResult;
+use crate::context::OperationContext;
+use crate::error::CoreError;
+use crate::invariants::InvariantSet;
+use crate::signature::ViolationTuple;
+
+use super::diagnosis::Diagnosis;
+use super::events::EngineEvent;
+use super::Engine;
+
+/// What [`Engine::ingest`] concluded about one tick.
+#[derive(Debug)]
+pub struct TickOutcome {
+    /// Zero-based index of this tick within the current run.
+    pub tick: usize,
+    /// The detector's per-tick score (see
+    /// [`super::detector::TickDecision::residual`]).
+    pub residual: f64,
+    /// Whether the score exceeded the detector's threshold.
+    pub exceeded: bool,
+    /// Whether the detector reports a performance problem at this tick.
+    pub anomalous: bool,
+    /// Cause inference over the sliding window, run on the *onset* of an
+    /// anomaly (edge-triggered) once the window holds at least
+    /// `min_frame_ticks` ticks.
+    pub diagnosis: Option<Diagnosis>,
+}
+
+/// Work the ingest path defers until after the shard lock is released.
+struct DeferredDiagnosis {
+    frame: MetricFrame,
+    invariants: Arc<InvariantSet>,
+}
+
+impl Engine {
+    /// Ingests one tick for `context`: the CPI sample feeds the streaming
+    /// detector, the metric row feeds the sliding window, and on the onset
+    /// of an anomaly (anomalous now, not at the previous tick) cause
+    /// inference runs over the window.
+    ///
+    /// Diagnosis is skipped — not failed — when the window holds fewer
+    /// than `min_frame_ticks` ticks: association estimates over a near-empty
+    /// window would be meaningless. The shard lock is held only for the
+    /// detector step and window push; the association sweep and signature
+    /// search run after it is released, so slow diagnoses never block
+    /// ingestion of other contexts (or of this context from other threads).
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::NoPerformanceModel`] — [`Engine::train_performance_model`]
+    ///   has not run for this context;
+    /// - [`CoreError::Frame`] — the metric row has the wrong width or
+    ///   non-finite values (the tick is rejected without mutating state);
+    /// - [`CoreError::NoInvariants`] / signature errors — an anomaly onset
+    ///   triggered diagnosis but the offline state is missing.
+    pub fn ingest(
+        &self,
+        context: &OperationContext,
+        cpi_sample: f64,
+        metric_row: &[f64],
+    ) -> Result<TickOutcome, CoreError> {
+        let min_frame_ticks = self.config().min_frame_ticks;
+        let window_ticks = self.config().window_ticks;
+        let (tick, decision, edge, deferred) =
+            self.state().with_mut(context, window_ticks, |state| {
+                let Some(detector) = state.detector.clone() else {
+                    return Err(CoreError::NoPerformanceModel(context.clone()));
+                };
+                state.window.push_tick(metric_row)?;
+                let run = state.run.get_or_insert_with(|| detector.begin_run());
+                let decision = run.step(cpi_sample);
+                let tick = state.run_ticks;
+                state.run_ticks += 1;
+                let edge = decision.anomalous && !state.prev_anomalous;
+                state.prev_anomalous = decision.anomalous;
+                let deferred = if edge && state.window.ticks() >= min_frame_ticks {
+                    let invariants = state
+                        .invariants
+                        .clone()
+                        .ok_or_else(|| CoreError::NoInvariants(context.clone()))?;
+                    Some(DeferredDiagnosis {
+                        frame: state.window.to_frame(),
+                        invariants,
+                    })
+                } else {
+                    None
+                };
+                Ok((tick, decision, edge, deferred))
+            })?;
+
+        let lifetime_tick = self.tick_counter().fetch_add(1, Ordering::Relaxed);
+        self.sink().record(&EngineEvent::TickIngested {
+            tick: lifetime_tick,
+        });
+        if edge {
+            self.sink().record(&EngineEvent::DetectionFired {
+                tick: lifetime_tick,
+            });
+        }
+
+        let diagnosis = match deferred {
+            Some(DeferredDiagnosis { frame, invariants }) => {
+                let started = Instant::now();
+                let matrix = self.association_matrix(&frame)?;
+                let tuple = ViolationTuple::build(&invariants, &matrix, self.config().epsilon);
+                let diagnosis = self.rank_tuple(context, tuple)?;
+                self.sink().record(&EngineEvent::DiagnosisRan {
+                    micros: started.elapsed().as_micros() as u64,
+                });
+                Some(diagnosis)
+            }
+            None => None,
+        };
+
+        Ok(TickOutcome {
+            tick,
+            residual: decision.residual,
+            exceeded: decision.exceeded,
+            anomalous: decision.anomalous,
+            diagnosis,
+        })
+    }
+
+    /// Discards the in-flight detector run and sliding window of a context
+    /// (call at the start of a new job execution).
+    pub fn reset_run(&self, context: &OperationContext) {
+        self.state().with_existing_mut(context, |s| s.reset_run());
+    }
+
+    /// The batch-shaped detection result accumulated by the current run,
+    /// if a run is in flight.
+    pub fn detection_result(&self, context: &OperationContext) -> Option<DetectionResult> {
+        self.state()
+            .with(context, |s| s.run.as_ref().map(|r| r.result()))
+            .flatten()
+    }
+
+    /// A batch copy of the context's current sliding window.
+    pub fn window_frame(&self, context: &OperationContext) -> Option<MetricFrame> {
+        self.state().with(context, |s| s.window.to_frame())
+    }
+}

@@ -1,0 +1,437 @@
+//! The layered streaming diagnosis engine.
+//!
+//! [`Engine`] splits the original monolithic facade into explicit layers:
+//!
+//! - **ingest** ([`Engine::ingest`]) — one CPI sample + one metric row per
+//!   tick, buffered in a per-context [`ix_metrics::SlidingFrame`];
+//! - **detection** ([`detector`]) — a pluggable streaming [`Detector`]
+//!   (ARIMA residuals or CUSUM, selected by
+//!   [`crate::config::DetectorChoice`]);
+//! - **state** ([`state`]) — per-context state sharded across `N` locks so
+//!   concurrent contexts don't contend;
+//! - **diagnosis** ([`diagnosis`]) — invariant violation tuples matched
+//!   against the signature database, with association sweeps on a
+//!   persistent [`SweepPool`];
+//! - **events** ([`events`]) — counters and timings through a pluggable
+//!   [`EventSink`].
+//!
+//! The original [`crate::InvarNetX`] facade remains as a thin wrapper for
+//! batch (whole-trace) use.
+
+pub mod detector;
+pub mod diagnosis;
+pub mod events;
+mod ingest;
+mod state;
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use ix_metrics::MetricFrame;
+
+use crate::anomaly::{DetectionResult, PerformanceModel};
+use crate::assoc::{pair_count, AssociationMatrix, SweepPool};
+use crate::config::{DetectorChoice, InvarNetConfig};
+use crate::context::OperationContext;
+use crate::cusum::CusumDetector;
+use crate::error::CoreError;
+use crate::invariants::InvariantSet;
+use crate::measure::{AssociationMeasure, MicMeasure};
+use crate::signature::{Signature, SignatureDatabase, ViolationTuple};
+
+pub use detector::{ArimaDetector, CusumStreamDetector, Detector, DetectorRun, TickDecision};
+pub use diagnosis::{Diagnosis, RankedCause};
+pub use events::{EngineCounters, EngineEvent, EventSink, NullSink};
+pub use ingest::TickOutcome;
+
+use state::ShardedStateMap;
+
+/// The streaming diagnosis engine. All methods take `&self`; state lives
+/// behind sharded locks, so one engine can be shared across ingestion
+/// threads.
+pub struct Engine {
+    config: InvarNetConfig,
+    measure: Arc<dyn AssociationMeasure>,
+    state: ShardedStateMap,
+    signatures: RwLock<SignatureDatabase>,
+    pool: SweepPool,
+    sink: Arc<dyn EventSink>,
+    ticks: AtomicU64,
+}
+
+impl Engine {
+    /// An engine with the default MIC measure.
+    pub fn new(config: InvarNetConfig) -> Self {
+        let mic = MicMeasure::new(config.mic);
+        Self::with_measure(config, Arc::new(mic))
+    }
+
+    /// An engine with an explicit association measure (e.g. the ARX
+    /// baseline).
+    pub fn with_measure(config: InvarNetConfig, measure: Arc<dyn AssociationMeasure>) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+        let shards = config.state_shards;
+        Engine {
+            config,
+            measure,
+            state: ShardedStateMap::new(shards),
+            signatures: RwLock::new(SignatureDatabase::new()),
+            pool: SweepPool::new(threads),
+            sink: Arc::new(NullSink),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the sweep worker pool with one of `threads` workers.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = SweepPool::new(threads);
+    }
+
+    /// Installs an observability sink; all subsequent events go to it.
+    pub fn set_event_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.sink = sink;
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &InvarNetConfig {
+        &self.config
+    }
+
+    /// The association measure's name ("MIC" / "ARX" / ...).
+    pub fn measure_name(&self) -> &'static str {
+        self.measure.name()
+    }
+
+    /// Number of sweep workers.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Number of state shards.
+    pub fn state_shards(&self) -> usize {
+        self.state.shard_count()
+    }
+
+    pub(crate) fn sink(&self) -> &Arc<dyn EventSink> {
+        &self.sink
+    }
+
+    pub(crate) fn state(&self) -> &ShardedStateMap {
+        &self.state
+    }
+
+    pub(crate) fn tick_counter(&self) -> &AtomicU64 {
+        &self.ticks
+    }
+
+    // ------------------------------------------------------- offline part
+
+    /// Trains the per-context performance model on N normal CPI traces and
+    /// instantiates the configured streaming detector (ARIMA, or CUSUM
+    /// calibrated on the same traces).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors ([`CoreError::NotEnoughRuns`], ARIMA
+    /// failures).
+    pub fn train_performance_model(
+        &self,
+        context: OperationContext,
+        cpi_traces: &[Vec<f64>],
+    ) -> Result<(), CoreError> {
+        let model = Arc::new(PerformanceModel::train(cpi_traces, self.config.beta)?);
+        let detector: Arc<dyn Detector> = match self.config.detector {
+            DetectorChoice::Arima => Arc::new(ArimaDetector::new(
+                Arc::clone(&model),
+                self.config.threshold_rule,
+                self.config.consecutive_anomalies,
+            )),
+            DetectorChoice::Cusum { k, h } => Arc::new(CusumStreamDetector::new(
+                CusumDetector::train(cpi_traces, k, h)?,
+            )),
+        };
+        self.state
+            .with_mut(&context, self.config.window_ticks, |s| {
+                s.perf_model = Some(model);
+                s.detector = Some(detector);
+                s.reset_run();
+            });
+        Ok(())
+    }
+
+    /// Computes the pairwise association matrix of one frame under the
+    /// configured measure, on the persistent worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FrameTooShort`] when the frame has too few ticks.
+    pub fn association_matrix(&self, frame: &MetricFrame) -> Result<AssociationMatrix, CoreError> {
+        if frame.ticks() < self.config.min_frame_ticks {
+            return Err(CoreError::FrameTooShort {
+                required: self.config.min_frame_ticks,
+                got: frame.ticks(),
+            });
+        }
+        let started = Instant::now();
+        let matrix = self.pool.sweep(frame, &self.measure);
+        self.sink.record(&EngineEvent::SweepCompleted {
+            pairs: pair_count(),
+            micros: started.elapsed().as_micros() as u64,
+        });
+        Ok(matrix)
+    }
+
+    /// Runs Algorithm 1: builds the invariant set of a context from the
+    /// metric frames of N normal runs.
+    ///
+    /// For comparability, pass frames windowed the same way diagnosis
+    /// windows will be (association estimates depend on sample count).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotEnoughRuns`] / [`CoreError::FrameTooShort`].
+    pub fn build_invariants(
+        &self,
+        context: OperationContext,
+        normal_frames: &[MetricFrame],
+    ) -> Result<(), CoreError> {
+        if normal_frames.len() < self.config.min_training_runs {
+            return Err(CoreError::NotEnoughRuns {
+                required: self.config.min_training_runs,
+                got: normal_frames.len(),
+            });
+        }
+        let mut matrices = Vec::with_capacity(normal_frames.len());
+        for frame in normal_frames {
+            matrices.push(self.association_matrix(frame)?);
+        }
+        let set = Arc::new(InvariantSet::select(&matrices, self.config.tau));
+        self.state
+            .with_mut(&context, self.config.window_ticks, |s| {
+                s.invariants = Some(set);
+            });
+        Ok(())
+    }
+
+    /// Builds the violation tuple of an abnormal window against the
+    /// context's invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoInvariants`] / frame errors.
+    pub fn violation_tuple(
+        &self,
+        context: &OperationContext,
+        abnormal: &MetricFrame,
+    ) -> Result<ViolationTuple, CoreError> {
+        let invariants = self
+            .invariant_set(context)
+            .ok_or_else(|| CoreError::NoInvariants(context.clone()))?;
+        let matrix = self.association_matrix(abnormal)?;
+        Ok(ViolationTuple::build(
+            &invariants,
+            &matrix,
+            self.config.epsilon,
+        ))
+    }
+
+    /// Records a signature for an investigated problem ("once the
+    /// performance problem is resolved, a new signature will be added").
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::violation_tuple`].
+    pub fn record_signature(
+        &self,
+        context: &OperationContext,
+        problem: &str,
+        abnormal: &MetricFrame,
+    ) -> Result<(), CoreError> {
+        let tuple = self.violation_tuple(context, abnormal)?;
+        self.signatures
+            .write()
+            .expect("signature lock")
+            .add(Signature {
+                tuple,
+                problem: problem.to_string(),
+                context: context.clone(),
+            });
+        Ok(())
+    }
+
+    // -------------------------------------------------------- batch online
+
+    /// Scores a complete CPI trace against the context's detector.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoPerformanceModel`].
+    pub fn detect(
+        &self,
+        context: &OperationContext,
+        cpi: &[f64],
+    ) -> Result<DetectionResult, CoreError> {
+        let detector = self
+            .detector(context)
+            .ok_or_else(|| CoreError::NoPerformanceModel(context.clone()))?;
+        Ok(detector.score(cpi))
+    }
+
+    /// Cause inference: matches the abnormal window's violation tuple
+    /// against the signature database.
+    ///
+    /// # Errors
+    ///
+    /// Missing invariants/signatures for the context, or frame errors.
+    pub fn diagnose(
+        &self,
+        context: &OperationContext,
+        abnormal: &MetricFrame,
+    ) -> Result<Diagnosis, CoreError> {
+        let started = Instant::now();
+        let tuple = self.violation_tuple(context, abnormal)?;
+        let diagnosis = self.rank_tuple(context, tuple)?;
+        self.sink.record(&EngineEvent::DiagnosisRan {
+            micros: started.elapsed().as_micros() as u64,
+        });
+        Ok(diagnosis)
+    }
+
+    /// Ranks an already-built violation tuple against the signature
+    /// database.
+    pub(crate) fn rank_tuple(
+        &self,
+        context: &OperationContext,
+        tuple: ViolationTuple,
+    ) -> Result<Diagnosis, CoreError> {
+        let ranked = self
+            .signatures
+            .read()
+            .expect("signature lock")
+            .rank(context, &tuple, self.config.similarity)?
+            .into_iter()
+            .map(|(problem, similarity)| RankedCause {
+                problem,
+                similarity,
+            })
+            .collect();
+        Ok(Diagnosis { ranked, tuple })
+    }
+
+    /// The full batch online step: detect on CPI, and only when anomalous
+    /// run cause inference on the metric window ("to reduce the cost of
+    /// unnecessary performance diagnosis").
+    ///
+    /// # Errors
+    ///
+    /// Any error from detection or diagnosis.
+    pub fn process(
+        &self,
+        context: &OperationContext,
+        cpi: &[f64],
+        window: &MetricFrame,
+    ) -> Result<(DetectionResult, Option<Diagnosis>), CoreError> {
+        let detection = self.detect(context, cpi)?;
+        if detection.is_anomalous() {
+            let diagnosis = self.diagnose(context, window)?;
+            Ok((detection, Some(diagnosis)))
+        } else {
+            Ok((detection, None))
+        }
+    }
+
+    // --------------------------------------------------------- inspection
+
+    /// The trained performance model of a context.
+    pub fn performance_model(&self, context: &OperationContext) -> Option<Arc<PerformanceModel>> {
+        self.state.with(context, |s| s.perf_model.clone()).flatten()
+    }
+
+    /// The streaming detector of a context.
+    pub fn detector(&self, context: &OperationContext) -> Option<Arc<dyn Detector>> {
+        self.state.with(context, |s| s.detector.clone()).flatten()
+    }
+
+    /// The invariant set of a context.
+    pub fn invariant_set(&self, context: &OperationContext) -> Option<Arc<InvariantSet>> {
+        self.state.with(context, |s| s.invariants.clone()).flatten()
+    }
+
+    /// A snapshot of the signature database.
+    pub fn signature_database(&self) -> SignatureDatabase {
+        self.signatures.read().expect("signature lock").clone()
+    }
+
+    /// Contexts with trained models, sorted.
+    pub fn contexts(&self) -> Vec<OperationContext> {
+        self.state
+            .contexts()
+            .into_iter()
+            .filter(|c| {
+                self.state
+                    .with(c, |s| s.perf_model.is_some())
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Replaces the signature database (used when loading persisted state).
+    pub fn set_signature_database(&self, db: SignatureDatabase) {
+        *self.signatures.write().expect("signature lock") = db;
+    }
+
+    /// Installs a prebuilt invariant set (used when loading persisted
+    /// state).
+    pub fn install_invariant_set(&self, context: OperationContext, set: InvariantSet) {
+        let set = Arc::new(set);
+        self.state
+            .with_mut(&context, self.config.window_ticks, |s| {
+                s.invariants = Some(set);
+            });
+    }
+
+    /// Installs a prebuilt performance model (used when loading persisted
+    /// state). The streaming detector becomes an [`ArimaDetector`] over the
+    /// model regardless of [`DetectorChoice`] — calibrating CUSUM needs the
+    /// training traces; use [`Engine::install_detector`] to override.
+    pub fn install_performance_model(&self, context: OperationContext, model: PerformanceModel) {
+        let model = Arc::new(model);
+        let detector: Arc<dyn Detector> = Arc::new(ArimaDetector::new(
+            Arc::clone(&model),
+            self.config.threshold_rule,
+            self.config.consecutive_anomalies,
+        ));
+        self.state
+            .with_mut(&context, self.config.window_ticks, |s| {
+                s.perf_model = Some(model);
+                s.detector = Some(detector);
+                s.reset_run();
+            });
+    }
+
+    /// Installs a custom streaming detector for a context.
+    pub fn install_detector(&self, context: OperationContext, detector: Arc<dyn Detector>) {
+        self.state
+            .with_mut(&context, self.config.window_ticks, |s| {
+                s.detector = Some(detector);
+                s.reset_run();
+            });
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("measure", &self.measure.name())
+            .field("contexts", &self.state.modeled_contexts())
+            .field("invariant_sets", &self.state.invariant_contexts())
+            .field(
+                "signatures",
+                &self.signatures.read().expect("signature lock").len(),
+            )
+            .field("shards", &self.state.shard_count())
+            .field("threads", &self.pool.threads())
+            .finish()
+    }
+}

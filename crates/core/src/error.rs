@@ -27,6 +27,8 @@ pub enum CoreError {
     },
     /// The underlying ARIMA fit failed.
     Arima(ix_arima::ArimaError),
+    /// An ingested metric row was rejected by the sliding window.
+    Frame(ix_metrics::FrameError),
     /// Two violation tuples (or a tuple and an invariant set) have
     /// mismatched lengths — they come from different invariant sets.
     TupleLengthMismatch {
@@ -51,11 +53,18 @@ impl fmt::Display for CoreError {
                 write!(f, "need at least {required} runs, got {got}")
             }
             CoreError::FrameTooShort { required, got } => {
-                write!(f, "metric frame too short: need {required} ticks, got {got}")
+                write!(
+                    f,
+                    "metric frame too short: need {required} ticks, got {got}"
+                )
             }
             CoreError::Arima(e) => write!(f, "ARIMA: {e}"),
+            CoreError::Frame(e) => write!(f, "metric frame: {e}"),
             CoreError::TupleLengthMismatch { expected, got } => {
-                write!(f, "violation tuple length {got} does not match invariant set {expected}")
+                write!(
+                    f,
+                    "violation tuple length {got} does not match invariant set {expected}"
+                )
             }
         }
     }
@@ -66,5 +75,11 @@ impl std::error::Error for CoreError {}
 impl From<ix_arima::ArimaError> for CoreError {
     fn from(e: ix_arima::ArimaError) -> Self {
         CoreError::Arima(e)
+    }
+}
+
+impl From<ix_metrics::FrameError> for CoreError {
+    fn from(e: ix_metrics::FrameError) -> Self {
+        CoreError::Frame(e)
     }
 }

@@ -228,7 +228,11 @@ mod tests {
 
     #[test]
     fn f1_harmonic_mean() {
-        let pr = PrecisionRecall { tp: 1, fp: 1, fn_: 0 };
+        let pr = PrecisionRecall {
+            tp: 1,
+            fp: 1,
+            fn_: 0,
+        };
         // p = 0.5, r = 1.0 -> f1 = 2/3.
         assert!((pr.f1() - 2.0 / 3.0).abs() < 1e-12);
     }

@@ -11,7 +11,6 @@ use ix_metrics::MetricId;
 
 use crate::assoc::{pair_count, pair_of_index, AssociationMatrix};
 
-
 /// One selected invariant: a pair index plus its reference score.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InvariantEntry {
@@ -35,7 +34,10 @@ impl InvariantSet {
     ///
     /// Panics when `runs` is empty (callers validate run counts first).
     pub fn select(runs: &[AssociationMatrix], tau: f64) -> Self {
-        assert!(!runs.is_empty(), "invariant selection needs at least one run");
+        assert!(
+            !runs.is_empty(),
+            "invariant selection needs at least one run"
+        );
         let mut entries = Vec::new();
         for pair in 0..pair_count() {
             let mut lo = f64::INFINITY;
@@ -116,7 +118,8 @@ impl InvariantSet {
                 e.value
             ));
         }
-        let mut out = String::from("graph invariants {\n  layout=neato;\n  node [shape=ellipse];\n");
+        let mut out =
+            String::from("graph invariants {\n  layout=neato;\n  node [shape=ellipse];\n");
         for m in used {
             out.push_str(&format!("  \"{m}\";\n"));
         }
@@ -147,7 +150,11 @@ mod tests {
             matrix_with(&[(0, 0.85), (1, 0.50)], 0.5),
         ];
         let set = InvariantSet::select(&runs, 0.2);
-        let e0 = set.entries().iter().find(|e| e.pair == 0).expect("pair 0 kept");
+        let e0 = set
+            .entries()
+            .iter()
+            .find(|e| e.pair == 0)
+            .expect("pair 0 kept");
         assert_eq!(e0.value, 0.90);
         assert!(set.entries().iter().all(|e| e.pair != 1), "pair 1 dropped");
         // All other pairs constant at 0.5: kept.

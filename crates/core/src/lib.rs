@@ -33,6 +33,7 @@ mod assoc;
 mod config;
 mod context;
 mod cusum;
+mod engine;
 mod error;
 mod eval;
 mod invariants;
@@ -43,10 +44,14 @@ mod similarity;
 mod store;
 
 pub use anomaly::{DetectionResult, PerformanceModel, ThresholdRule};
-pub use assoc::{pair_count, pair_index, pair_of_index, AssociationMatrix};
-pub use config::InvarNetConfig;
+pub use assoc::{pair_count, pair_index, pair_of_index, AssociationMatrix, SweepPool};
+pub use config::{DetectorChoice, InvarNetConfig};
 pub use context::OperationContext;
 pub use cusum::{CusumDetector, CusumResult};
+pub use engine::{
+    ArimaDetector, CusumStreamDetector, Detector, DetectorRun, Engine, EngineCounters, EngineEvent,
+    EventSink, NullSink, TickDecision, TickOutcome,
+};
 pub use error::CoreError;
 pub use eval::{ConfusionMatrix, EvalOutcome, PrecisionRecall};
 pub use invariants::InvariantSet;

@@ -1,8 +1,13 @@
-//! The InvarNet-X facade: offline training and the online engine.
+//! The InvarNet-X facade: a thin batch-oriented wrapper over the layered
+//! streaming [`Engine`].
+//!
+//! [`InvarNetX`] keeps the original whole-trace API (train, build
+//! invariants, detect, diagnose) and its `&`-returning accessors; all real
+//! work is delegated to an [`Engine`]. New code that ingests samples tick
+//! by tick should use [`Engine`] directly.
 
 use std::collections::HashMap;
-
-use parking_lot::RwLock;
+use std::sync::Arc;
 
 use ix_metrics::MetricFrame;
 
@@ -10,130 +15,65 @@ use crate::anomaly::{DetectionResult, PerformanceModel};
 use crate::assoc::AssociationMatrix;
 use crate::config::InvarNetConfig;
 use crate::context::OperationContext;
+use crate::engine::Engine;
 use crate::invariants::InvariantSet;
-use crate::measure::{AssociationMeasure, MicMeasure};
-use crate::signature::{Signature, SignatureDatabase, ViolationTuple};
+use crate::measure::AssociationMeasure;
+use crate::signature::SignatureDatabase;
 use crate::CoreError;
 
-/// One ranked root-cause candidate.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RankedCause {
-    /// Problem label from the signature database.
-    pub problem: String,
-    /// Similarity of the observed violation tuple to the problem's
-    /// signature, in `[0, 1]`.
-    pub similarity: f64,
-}
-
-/// The outcome of cause inference: "a list of root causes which puts the
-/// most probable causes in the top".
-#[derive(Debug, Clone, PartialEq)]
-pub struct Diagnosis {
-    /// Candidates, best first.
-    pub ranked: Vec<RankedCause>,
-    /// The violation tuple that was matched.
-    pub tuple: ViolationTuple,
-}
-
-impl Diagnosis {
-    /// The most probable root cause.
-    pub fn root_cause(&self) -> Option<&RankedCause> {
-        self.ranked.first()
-    }
-
-    /// Whether the best match is convincing enough to report as a known
-    /// problem rather than handing hints to the administrator.
-    pub fn is_confident(&self, min_similarity: f64) -> bool {
-        self.root_cause().is_some_and(|c| c.similarity >= min_similarity)
-    }
-
-    /// The paper's multiple-fault extension: "our method could be easily
-    /// extended to multiple faults by listing multiple root causes whose
-    /// signatures are most similar to the violation tuple". Returns up to
-    /// `k` causes whose similarity reaches `min_similarity`.
-    pub fn top_causes(&self, k: usize, min_similarity: f64) -> Vec<&RankedCause> {
-        self.ranked
-            .iter()
-            .take(k)
-            .filter(|c| c.similarity >= min_similarity)
-            .collect()
-    }
-
-    /// Hints for unknown problems: the violated invariant pairs, strongest
-    /// deviation first — "it can provide some hints by showing the violated
-    /// association pairs (e.g. lock number–cpu utilization)". `invariants`
-    /// must be the set the diagnosis was made against.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `invariants` does not match the tuple's length (a set
-    /// from a different context).
-    pub fn hints(&self, invariants: &crate::InvariantSet) -> Vec<(ix_metrics::MetricId, ix_metrics::MetricId, f64)> {
-        assert_eq!(
-            invariants.len(),
-            self.tuple.len(),
-            "invariant set does not match the diagnosis tuple"
-        );
-        let mut out: Vec<(ix_metrics::MetricId, ix_metrics::MetricId, f64)> = self
-            .tuple
-            .graded()
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v > 0.0)
-            .map(|(k, &v)| {
-                let (a, b) = invariants.metrics_of(k);
-                (a, b, v)
-            })
-            .collect();
-        out.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite deviations"));
-        out
-    }
-}
+pub use crate::engine::diagnosis::{Diagnosis, RankedCause};
 
 /// The InvarNet-X system: per-context performance models, invariant sets
 /// and a signature database, with a pluggable association measure.
+///
+/// The facade mirrors the engine's per-context state in plain maps so the
+/// historical `&`-returning accessors ([`InvarNetX::performance_model`],
+/// [`InvarNetX::invariant_set`]) keep working; the engine holds the same
+/// state behind its shard locks.
 pub struct InvarNetX {
-    config: InvarNetConfig,
-    measure: Box<dyn AssociationMeasure>,
-    perf_models: HashMap<OperationContext, PerformanceModel>,
-    invariants: HashMap<OperationContext, InvariantSet>,
-    signatures: RwLock<SignatureDatabase>,
-    threads: usize,
+    engine: Engine,
+    perf_models: HashMap<OperationContext, Arc<PerformanceModel>>,
+    invariants: HashMap<OperationContext, Arc<InvariantSet>>,
 }
 
 impl InvarNetX {
     /// A system with the default MIC measure.
     pub fn new(config: InvarNetConfig) -> Self {
-        let mic = MicMeasure::new(config.mic);
-        Self::with_measure(config, Box::new(mic))
+        InvarNetX {
+            engine: Engine::new(config),
+            perf_models: HashMap::new(),
+            invariants: HashMap::new(),
+        }
     }
 
     /// A system with an explicit association measure (e.g. the ARX
     /// baseline).
     pub fn with_measure(config: InvarNetConfig, measure: Box<dyn AssociationMeasure>) -> Self {
         InvarNetX {
-            config,
-            measure,
+            engine: Engine::with_measure(config, Arc::from(measure)),
             perf_models: HashMap::new(),
             invariants: HashMap::new(),
-            signatures: RwLock::new(SignatureDatabase::new()),
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
         }
     }
 
     /// Overrides the worker count of the pairwise association sweep.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        self.engine.set_threads(threads);
     }
 
     /// The configuration.
     pub fn config(&self) -> &InvarNetConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// The association measure's name ("MIC" / "ARX" / ...).
     pub fn measure_name(&self) -> &'static str {
-        self.measure.name()
+        self.engine.measure_name()
+    }
+
+    /// The underlying streaming engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     // ------------------------------------------------------- offline part
@@ -150,7 +90,12 @@ impl InvarNetX {
         context: OperationContext,
         cpi_traces: &[Vec<f64>],
     ) -> Result<(), CoreError> {
-        let model = PerformanceModel::train(cpi_traces, self.config.beta)?;
+        self.engine
+            .train_performance_model(context.clone(), cpi_traces)?;
+        let model = self
+            .engine
+            .performance_model(&context)
+            .expect("engine trained the model above");
         self.perf_models.insert(context, model);
         Ok(())
     }
@@ -162,17 +107,7 @@ impl InvarNetX {
     ///
     /// [`CoreError::FrameTooShort`] when the frame has too few ticks.
     pub fn association_matrix(&self, frame: &MetricFrame) -> Result<AssociationMatrix, CoreError> {
-        if frame.ticks() < self.config.min_frame_ticks {
-            return Err(CoreError::FrameTooShort {
-                required: self.config.min_frame_ticks,
-                got: frame.ticks(),
-            });
-        }
-        Ok(AssociationMatrix::compute(
-            frame,
-            &MeasureRef(self.measure.as_ref()),
-            self.threads,
-        ))
+        self.engine.association_matrix(frame)
     }
 
     /// Runs Algorithm 1: builds the invariant set of a context from the
@@ -189,17 +124,12 @@ impl InvarNetX {
         context: OperationContext,
         normal_frames: &[MetricFrame],
     ) -> Result<(), CoreError> {
-        if normal_frames.len() < self.config.min_training_runs {
-            return Err(CoreError::NotEnoughRuns {
-                required: self.config.min_training_runs,
-                got: normal_frames.len(),
-            });
-        }
-        let mut matrices = Vec::with_capacity(normal_frames.len());
-        for frame in normal_frames {
-            matrices.push(self.association_matrix(frame)?);
-        }
-        let set = InvariantSet::select(&matrices, self.config.tau);
+        self.engine
+            .build_invariants(context.clone(), normal_frames)?;
+        let set = self
+            .engine
+            .invariant_set(&context)
+            .expect("engine built the set above");
         self.invariants.insert(context, set);
         Ok(())
     }
@@ -214,13 +144,8 @@ impl InvarNetX {
         &self,
         context: &OperationContext,
         abnormal: &MetricFrame,
-    ) -> Result<ViolationTuple, CoreError> {
-        let invariants = self
-            .invariants
-            .get(context)
-            .ok_or_else(|| CoreError::NoInvariants(context.clone()))?;
-        let matrix = self.association_matrix(abnormal)?;
-        Ok(ViolationTuple::build(invariants, &matrix, self.config.epsilon))
+    ) -> Result<crate::signature::ViolationTuple, CoreError> {
+        self.engine.violation_tuple(context, abnormal)
     }
 
     /// Records a signature for an investigated problem ("once the
@@ -235,13 +160,7 @@ impl InvarNetX {
         problem: &str,
         abnormal: &MetricFrame,
     ) -> Result<(), CoreError> {
-        let tuple = self.violation_tuple(context, abnormal)?;
-        self.signatures.write().add(Signature {
-            tuple,
-            problem: problem.to_string(),
-            context: context.clone(),
-        });
-        Ok(())
+        self.engine.record_signature(context, problem, abnormal)
     }
 
     // -------------------------------------------------------- online part
@@ -256,15 +175,7 @@ impl InvarNetX {
         context: &OperationContext,
         cpi: &[f64],
     ) -> Result<DetectionResult, CoreError> {
-        let model = self
-            .perf_models
-            .get(context)
-            .ok_or_else(|| CoreError::NoPerformanceModel(context.clone()))?;
-        Ok(model.detect(
-            cpi,
-            self.config.threshold_rule,
-            self.config.consecutive_anomalies,
-        ))
+        self.engine.detect(context, cpi)
     }
 
     /// Cause inference: matches the abnormal window's violation tuple
@@ -278,18 +189,7 @@ impl InvarNetX {
         context: &OperationContext,
         abnormal: &MetricFrame,
     ) -> Result<Diagnosis, CoreError> {
-        let tuple = self.violation_tuple(context, abnormal)?;
-        let ranked = self
-            .signatures
-            .read()
-            .rank(context, &tuple, self.config.similarity)?
-            .into_iter()
-            .map(|(problem, similarity)| RankedCause {
-                problem,
-                similarity,
-            })
-            .collect();
-        Ok(Diagnosis { ranked, tuple })
+        self.engine.diagnose(context, abnormal)
     }
 
     /// The full online step: detect on CPI, and only when anomalous run
@@ -305,30 +205,24 @@ impl InvarNetX {
         cpi: &[f64],
         window: &MetricFrame,
     ) -> Result<(DetectionResult, Option<Diagnosis>), CoreError> {
-        let detection = self.detect(context, cpi)?;
-        if detection.is_anomalous() {
-            let diagnosis = self.diagnose(context, window)?;
-            Ok((detection, Some(diagnosis)))
-        } else {
-            Ok((detection, None))
-        }
+        self.engine.process(context, cpi, window)
     }
 
     // --------------------------------------------------------- inspection
 
     /// The trained performance model of a context.
     pub fn performance_model(&self, context: &OperationContext) -> Option<&PerformanceModel> {
-        self.perf_models.get(context)
+        self.perf_models.get(context).map(|m| m.as_ref())
     }
 
     /// The invariant set of a context.
     pub fn invariant_set(&self, context: &OperationContext) -> Option<&InvariantSet> {
-        self.invariants.get(context)
+        self.invariants.get(context).map(|s| s.as_ref())
     }
 
     /// A snapshot of the signature database.
     pub fn signature_database(&self) -> SignatureDatabase {
-        self.signatures.read().clone()
+        self.engine.signature_database()
     }
 
     /// Contexts with trained models.
@@ -340,43 +234,33 @@ impl InvarNetX {
 
     /// Replaces the signature database (used when loading persisted state).
     pub fn set_signature_database(&self, db: SignatureDatabase) {
-        *self.signatures.write() = db;
+        self.engine.set_signature_database(db);
     }
 
     /// Installs a prebuilt invariant set (used when loading persisted state).
     pub fn set_invariant_set(&mut self, context: OperationContext, set: InvariantSet) {
-        self.invariants.insert(context, set);
+        self.engine
+            .install_invariant_set(context.clone(), set.clone());
+        self.invariants.insert(context, Arc::new(set));
     }
 
     /// Installs a prebuilt performance model (used when loading persisted
     /// state).
     pub fn set_performance_model(&mut self, context: OperationContext, model: PerformanceModel) {
-        self.perf_models.insert(context, model);
+        self.engine
+            .install_performance_model(context.clone(), model.clone());
+        self.perf_models.insert(context, Arc::new(model));
     }
 }
 
 impl std::fmt::Debug for InvarNetX {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InvarNetX")
-            .field("measure", &self.measure.name())
+            .field("measure", &self.measure_name())
             .field("contexts", &self.perf_models.len())
             .field("invariant_sets", &self.invariants.len())
-            .field("signatures", &self.signatures.read().len())
+            .field("signatures", &self.signature_database().len())
             .finish()
-    }
-}
-
-/// Adapter so `Box<dyn AssociationMeasure>` can feed the generic matrix
-/// computation without re-boxing per call.
-struct MeasureRef<'a>(&'a dyn AssociationMeasure);
-
-impl AssociationMeasure for MeasureRef<'_> {
-    fn score(&self, x: &[f64], y: &[f64]) -> f64 {
-        self.0.score(x, y)
-    }
-
-    fn name(&self) -> &'static str {
-        self.0.name()
     }
 }
 
@@ -398,7 +282,9 @@ mod tests {
         let mut f = MetricFrame::new();
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         for t in 0..ticks {
@@ -427,11 +313,16 @@ mod tests {
         let frames: Vec<MetricFrame> = (0..3).map(|s| coupled_frame(60, s, false)).collect();
         ix.build_invariants(ctx(), &frames).unwrap();
         let inv = ix.invariant_set(&ctx()).unwrap();
-        assert!(inv.len() > 200, "coupled frame should keep most pairs, got {}", inv.len());
+        assert!(
+            inv.len() > 200,
+            "coupled frame should keep most pairs, got {}",
+            inv.len()
+        );
 
         // Signature: metric 0 decoupled.
         let broken = coupled_frame(60, 77, true);
-        ix.record_signature(&ctx(), "metric0-break", &broken).unwrap();
+        ix.record_signature(&ctx(), "metric0-break", &broken)
+            .unwrap();
         ix.record_signature(&ctx(), "nothing", &coupled_frame(60, 78, false))
             .unwrap();
 
@@ -460,11 +351,14 @@ mod tests {
         ix.train_performance_model(ctx(), &cpi_traces).unwrap();
         let frames: Vec<MetricFrame> = (0..2).map(|s| coupled_frame(40, s, false)).collect();
         ix.build_invariants(ctx(), &frames).unwrap();
-        ix.record_signature(&ctx(), "x", &coupled_frame(40, 7, true)).unwrap();
+        ix.record_signature(&ctx(), "x", &coupled_frame(40, 7, true))
+            .unwrap();
 
         // Normal CPI: no diagnosis performed.
         let normal = &cpi_traces[0];
-        let (det, diag) = ix.process(&ctx(), normal, &coupled_frame(40, 8, true)).unwrap();
+        let (det, diag) = ix
+            .process(&ctx(), normal, &coupled_frame(40, 8, true))
+            .unwrap();
         assert!(!det.is_anomalous());
         assert!(diag.is_none());
 
@@ -473,7 +367,9 @@ mod tests {
         for v in hot[60..90].iter_mut() {
             *v *= 1.8;
         }
-        let (det, diag) = ix.process(&ctx(), &hot, &coupled_frame(40, 9, true)).unwrap();
+        let (det, diag) = ix
+            .process(&ctx(), &hot, &coupled_frame(40, 9, true))
+            .unwrap();
         assert!(det.is_anomalous());
         assert_eq!(diag.unwrap().root_cause().unwrap().problem, "x");
     }
@@ -507,8 +403,10 @@ mod tests {
         ix.set_threads(1);
         let frames: Vec<MetricFrame> = (0..2).map(|s| coupled_frame(50, s, false)).collect();
         ix.build_invariants(ctx(), &frames).unwrap();
-        ix.record_signature(&ctx(), "break-a", &coupled_frame(50, 7, true)).unwrap();
-        ix.record_signature(&ctx(), "clean", &coupled_frame(50, 8, false)).unwrap();
+        ix.record_signature(&ctx(), "break-a", &coupled_frame(50, 7, true))
+            .unwrap();
+        ix.record_signature(&ctx(), "clean", &coupled_frame(50, 8, false))
+            .unwrap();
 
         let d = ix.diagnose(&ctx(), &coupled_frame(50, 9, true)).unwrap();
         // top_causes respects both k and the similarity floor.
@@ -518,7 +416,7 @@ mod tests {
 
         // Hints name metric 0 (the broken one) in the strongest pairs.
         let inv = ix.invariant_set(&ctx()).unwrap();
-        let hints = d.hints(inv);
+        let hints = d.hints(inv).unwrap();
         assert!(!hints.is_empty());
         let first = hints[0];
         assert!(
@@ -532,6 +430,33 @@ mod tests {
     }
 
     #[test]
+    fn hints_reject_mismatched_invariant_set() {
+        let mut ix = InvarNetX::new(tiny_config());
+        ix.set_threads(1);
+        let frames: Vec<MetricFrame> = (0..2).map(|s| coupled_frame(50, s, false)).collect();
+        ix.build_invariants(ctx(), &frames).unwrap();
+        ix.record_signature(&ctx(), "p", &coupled_frame(50, 7, true))
+            .unwrap();
+        let d = ix.diagnose(&ctx(), &coupled_frame(50, 9, true)).unwrap();
+
+        // A set with a different pair population (different tau) has a
+        // different length; hints must refuse it instead of panicking.
+        let mats: Vec<AssociationMatrix> = frames
+            .iter()
+            .map(|f| ix.association_matrix(f).unwrap())
+            .collect();
+        let other = InvariantSet::select(&mats, 1e-9);
+        if other.len() != d.tuple.len() {
+            assert!(matches!(
+                d.hints(&other),
+                Err(CoreError::TupleLengthMismatch { .. })
+            ));
+        }
+        // The matching set works.
+        assert!(d.hints(ix.invariant_set(&ctx()).unwrap()).is_ok());
+    }
+
+    #[test]
     fn contexts_are_isolated() {
         let mut ix = InvarNetX::new(tiny_config());
         ix.set_threads(1);
@@ -541,7 +466,8 @@ mod tests {
         ix.build_invariants(a.clone(), &frames).unwrap();
         assert!(ix.invariant_set(&a).is_some());
         assert!(ix.invariant_set(&b).is_none());
-        ix.record_signature(&a, "p", &coupled_frame(40, 5, true)).unwrap();
+        ix.record_signature(&a, "p", &coupled_frame(40, 5, true))
+            .unwrap();
         // Context b has no invariants: diagnosis must error, not borrow a's.
         assert!(ix.diagnose(&b, &coupled_frame(40, 6, true)).is_err());
     }

@@ -175,10 +175,8 @@ impl SignatureDatabase {
                 }
             }
         }
-        let mut out: Vec<(String, String, f64)> = best
-            .into_iter()
-            .map(|((a, b), s)| (a, b, s))
-            .collect();
+        let mut out: Vec<(String, String, f64)> =
+            best.into_iter().map(|((a, b), s)| (a, b, s)).collect();
         out.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite scores"));
         Ok(out)
     }
@@ -212,7 +210,11 @@ impl SignatureDatabase {
         }
         let mut ranked: Vec<(String, f64)> =
             best.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
         Ok(ranked)
     }
 }
@@ -307,7 +309,11 @@ mod tests {
             context: OperationContext::new("10.0.0.2", "Sort"),
         });
         let err = db
-            .rank(&ctx(), &ViolationTuple::from_graded(vec![1.0; 4]), Similarity::Cosine)
+            .rank(
+                &ctx(),
+                &ViolationTuple::from_graded(vec![1.0; 4]),
+                Similarity::Cosine,
+            )
             .unwrap_err();
         assert!(matches!(err, CoreError::EmptySignatureDatabase(_)));
     }
@@ -366,7 +372,10 @@ mod tests {
             problem: "B".into(),
             context: OperationContext::new("elsewhere", "Sort"),
         });
-        assert!(db.conflicts(&ctx(), Similarity::Cosine, 0.1).unwrap().is_empty());
+        assert!(db
+            .conflicts(&ctx(), Similarity::Cosine, 0.1)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

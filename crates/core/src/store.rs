@@ -106,13 +106,16 @@ impl ModelStore {
 
     /// Adds a performance model.
     pub fn put_model(&mut self, context: &OperationContext, model: &PerformanceModel) {
-        self.performance_models
-            .insert(Self::context_key(context), StoredPerformanceModel::from_model(model));
+        self.performance_models.insert(
+            Self::context_key(context),
+            StoredPerformanceModel::from_model(model),
+        );
     }
 
     /// Adds an invariant set.
     pub fn put_invariants(&mut self, context: &OperationContext, set: &InvariantSet) {
-        self.invariants.insert(Self::context_key(context), set.clone());
+        self.invariants
+            .insert(Self::context_key(context), set.clone());
     }
 
     /// Serializes to a JSON string.
@@ -204,7 +207,9 @@ fn split_key(key: &str) -> (&str, &str) {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('"', "&quot;")
 }
 
 #[cfg(test)]
@@ -269,7 +274,10 @@ mod tests {
             .build(99)
             .unwrap()
             .into_values();
-        assert_eq!(model.arima().one_step_forecasts(&probe), back.arima().one_step_forecasts(&probe));
+        assert_eq!(
+            model.arima().one_step_forecasts(&probe),
+            back.arima().one_step_forecasts(&probe)
+        );
         assert_eq!(model.stats(), back.stats());
     }
 

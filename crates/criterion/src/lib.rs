@@ -1,0 +1,276 @@
+//! Offline compatibility subset of `criterion`.
+//!
+//! A minimal wall-clock benchmark runner exposing the API the workspace's
+//! benches use: `Criterion::bench_function`, benchmark groups with
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs a
+//! short warmup then `sample_size` timed samples and prints
+//! median/min/max per iteration. There is no statistical analysis, HTML
+//! report, or baseline comparison — numbers are indicative, printed to
+//! stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records wall-clock samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup, and size each sample so very fast payloads are timed over
+        // enough iterations for the clock to resolve.
+        let warm_start = Instant::now();
+        black_box(f());
+        let once = warm_start.elapsed();
+        let iters = if once < Duration::from_micros(50) {
+            (Duration::from_micros(200).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        } else {
+            1
+        };
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_per_iter(total: Duration, iters: u64) -> String {
+    let nanos = total.as_nanos() as f64 / iters.max(1) as f64;
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: sample_size.max(1),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let iters = bencher.iters_per_sample;
+    println!(
+        "{name}: time/iter median {} (min {}, max {}; {} samples x {} iters)",
+        fmt_per_iter(median, iters),
+        fmt_per_iter(min, iters),
+        fmt_per_iter(max, iters),
+        sorted.len(),
+        iters,
+    );
+}
+
+/// Benchmark runner and configuration root.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group (upstream flushes reports here; compat no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!{
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("spin", |b| {
+            b.iter(|| black_box((0..100u64).sum::<u64>()));
+        });
+    }
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        spin(&mut Criterion::default().sample_size(3));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::new("case", n), &n, |b, &n| {
+                b.iter(|| black_box((0..n * 10).sum::<u64>()));
+            });
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+                b.iter(|| black_box(n));
+            });
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_per_iter(Duration::from_nanos(500), 1), "500.0 ns");
+        assert_eq!(fmt_per_iter(Duration::from_micros(5), 1), "5.00 µs");
+        assert_eq!(fmt_per_iter(Duration::from_millis(12), 1), "12.00 ms");
+        assert_eq!(fmt_per_iter(Duration::from_micros(200), 100), "2.00 µs");
+    }
+
+    criterion_group!(plain_form, spin);
+    criterion_group! {
+        name = config_form;
+        config = Criterion::default().sample_size(2);
+        targets = spin, spin
+    }
+
+    #[test]
+    fn macro_groups_are_callable() {
+        plain_form();
+        config_form();
+    }
+}

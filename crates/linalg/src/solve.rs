@@ -131,9 +131,13 @@ pub fn solve_gaussian(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 
     for col in 0..n {
         // Partial pivoting: pick the largest remaining |entry| in this column.
-        let (pivot_row, pivot_val) = (col..n)
-            .map(|r| (r, work[(perm[r], col)].abs()))
-            .fold((col, -1.0), |acc, (r, v)| if v > acc.1 { (r, v) } else { acc });
+        let (pivot_row, pivot_val) =
+            (col..n)
+                .map(|r| (r, work[(perm[r], col)].abs()))
+                .fold(
+                    (col, -1.0),
+                    |acc, (r, v)| if v > acc.1 { (r, v) } else { acc },
+                );
         if pivot_val < 1e-12 {
             return Err(LinalgError::Singular);
         }
@@ -210,8 +214,8 @@ mod tests {
 
     #[test]
     fn gaussian_recovers_solution_nonsymmetric() {
-        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[3.0, -1.0, 2.0], &[1.0, 1.0, 1.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[3.0, -1.0, 2.0], &[1.0, 1.0, 1.0]]).unwrap();
         let x_true = [2.0, -1.0, 3.0];
         let b = a.matvec(&x_true).unwrap();
         let x = solve_gaussian(&a, &b).unwrap();

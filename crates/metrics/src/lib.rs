@@ -10,6 +10,8 @@
 //!   and units;
 //! - [`MetricFrame`] — a ticks × metrics sample table for one node and one
 //!   job run, with CSV round-tripping;
+//! - [`SlidingFrame`] — a bounded ring-buffered window over the most recent
+//!   ticks, for streaming ingestion;
 //! - [`CpiTrace`] — raw cycle/instruction counter readings and the derived
 //!   CPI series.
 
@@ -17,8 +19,10 @@ mod catalog;
 mod cpi;
 mod csv;
 mod frame;
+mod sliding;
 
 pub use catalog::{MetricCategory, MetricId, METRIC_COUNT};
 pub use cpi::{CpiSample, CpiTrace};
 pub use csv::CsvError;
 pub use frame::{FrameError, MetricFrame};
+pub use sliding::SlidingFrame;

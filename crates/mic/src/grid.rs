@@ -82,7 +82,7 @@ impl Clumps {
         #[derive(Clone, Copy)]
         struct Block {
             start: usize,
-            end: usize,          // exclusive
+            end: usize,              // exclusive
             pure_row: Option<usize>, // Some(r) when every point is in row r
         }
         let mut blocks: Vec<Block> = Vec::new();

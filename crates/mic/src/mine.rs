@@ -55,7 +55,10 @@ pub struct MicParams {
 
 impl Default for MicParams {
     fn default() -> Self {
-        MicParams { alpha: 0.6, c: 15.0 }
+        MicParams {
+            alpha: 0.6,
+            c: 15.0,
+        }
     }
 }
 
@@ -64,7 +67,10 @@ impl MicParams {
     /// scans where per-pair cost matters more than the last digit of
     /// accuracy — InvarNet-X's pairwise invariant construction uses this.
     pub fn fast() -> Self {
-        MicParams { alpha: 0.55, c: 5.0 }
+        MicParams {
+            alpha: 0.55,
+            c: 5.0,
+        }
     }
 
     fn validate(&self) -> Result<(), MicError> {
@@ -297,10 +303,7 @@ fn half_characteristic(
 /// Symmetrizes the two half-characteristic matrices: the value for shape
 /// `(x, y)` is the larger of orientation 1's `(x, y)` entry and orientation
 /// 2's `(y, x)` entry (the same grid shape seen from the transposed data).
-fn symmetrize(
-    d1: &[(usize, usize, f64)],
-    d2: &[(usize, usize, f64)],
-) -> Vec<(usize, usize, f64)> {
+fn symmetrize(d1: &[(usize, usize, f64)], d2: &[(usize, usize, f64)]) -> Vec<(usize, usize, f64)> {
     let d2_map: std::collections::HashMap<(usize, usize), f64> =
         d2.iter().map(|&(x, y, v)| ((x, y), v)).collect();
     d1.iter()
@@ -388,7 +391,9 @@ mod tests {
         let mut s1 = 1u64;
         let mut s2 = 999u64;
         let next = |s: &mut u64| {
-            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (*s >> 33) as f64 / (1u64 << 31) as f64
         };
         let xs: Vec<f64> = (0..300).map(|_| next(&mut s1)).collect();
@@ -427,7 +432,10 @@ mod tests {
             mic(&[1.0, f64::NAN, 2.0, 3.0], &[1.0, 2.0, 3.0, 4.0]).unwrap_err(),
             MicError::NonFinite
         );
-        let bad = MicParams { alpha: 0.0, c: 15.0 };
+        let bad = MicParams {
+            alpha: 0.0,
+            c: 15.0,
+        };
         assert_eq!(
             mic_with_params(&linspace(10), &linspace(10), &bad).unwrap_err(),
             MicError::BadParams
@@ -454,7 +462,11 @@ mod tests {
         assert!(s.mev > 0.8 * s.mic);
         // TIC is a mean of entries bounded by the max.
         assert!(s.tic <= s.mic + 1e-12);
-        assert!(s.tic > 0.3, "functional data should have high TIC: {}", s.tic);
+        assert!(
+            s.tic > 0.3,
+            "functional data should have high TIC: {}",
+            s.tic
+        );
     }
 
     #[test]

@@ -58,7 +58,13 @@ pub fn optimize_axis(clumps: &Clumps, x_max: usize) -> Vec<f64> {
     // w[t] for the current l: minimum total cost of partitioning the first t
     // clumps into exactly l columns (infinite when t < l).
     let mut prev: Vec<f64> = (0..=k)
-        .map(|t| if t == 0 { f64::INFINITY } else { cost[index(0, t)] })
+        .map(|t| {
+            if t == 0 {
+                f64::INFINITY
+            } else {
+                cost[index(0, t)]
+            }
+        })
         .collect();
     let mut best_full = vec![f64::INFINITY; l_cap + 1];
     best_full[1] = prev[k];

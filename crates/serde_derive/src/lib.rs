@@ -1,0 +1,236 @@
+//! Derive macros for the offline `serde` compatibility crate.
+//!
+//! Supports exactly the shapes this workspace serializes: structs with named
+//! fields and fieldless (unit-variant) enums. Anything else produces a
+//! compile error naming the unsupported construct. The generated impls
+//! target the value-tree traits `serde::Serialize::to_value` and
+//! `serde::Deserialize::from_value`; no `syn`/`quote` dependency — the
+//! input token stream is walked by hand and output is emitted as source
+//! text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Walks the item tokens and extracts the type's name plus field or variant
+/// names. Panics (compile error) on unsupported shapes.
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    let mut kind: Option<&'static str> = None;
+    let mut name = String::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + `[...]`
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        i += 1;
+                        // `pub(crate)` and friends.
+                        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            i += 1;
+                        }
+                    }
+                    "struct" | "enum" => {
+                        kind = Some(if s == "struct" { "struct" } else { "enum" });
+                        i += 1;
+                        if let Some(TokenTree::Ident(n)) = tokens.get(i) {
+                            name = n.to_string();
+                        } else {
+                            panic!("serde_derive: expected type name after `{s}`");
+                        }
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.expect("serde_derive: not a struct or enum");
+    // Generics are not supported (and not used by the workspace).
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple struct `{name}` is not supported")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: `{name}` has no braced body (unit types unsupported)"),
+        }
+    };
+
+    if kind == "struct" {
+        Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        Shape::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        }
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut expecting_name = true;
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                i += 2; // field attribute / doc comment
+            }
+            TokenTree::Ident(id) if expecting_name && id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                // A field name is an ident directly followed by `:`.
+                if matches!(&tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                    fields.push(id.to_string());
+                    expecting_name = false;
+                    i += 2;
+                } else {
+                    panic!("serde_derive: unsupported field syntax near `{id}`");
+                }
+            }
+            TokenTree::Punct(p) if !expecting_name => {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => expecting_name = true,
+                    _ => {}
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from a fieldless enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let v = id.to_string();
+                match tokens.get(i + 1) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(other) => panic!(
+                        "serde_derive: enum variant `{v}` carries data (`{other}`) — only unit variants are supported"
+                    ),
+                }
+                variants.push(v);
+                i += 2;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde_derive: unexpected token `{other}` in enum body"),
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` — emits `impl serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(match self {{\n{arms}}}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated impl parses")
+}
+
+/// `#[derive(Deserialize)]` — emits `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match value.as_str()? {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated impl parses")
+}

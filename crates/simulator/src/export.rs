@@ -54,10 +54,7 @@ pub fn import_traces(dir: &Path) -> io::Result<Vec<(usize, MetricFrame, CpiTrace
         .collect();
     csvs.sort();
     for csv in csvs {
-        let stem = csv
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or_default();
+        let stem = csv.file_stem().and_then(|s| s.to_str()).unwrap_or_default();
         let id: usize = stem
             .strip_prefix("node-")
             .and_then(|s| s.parse().ok())
@@ -103,7 +100,9 @@ mod tests {
     use crate::{simulate, RunConfig, WorkloadType};
 
     fn tmp(name: &str) -> PathBuf {
-        let d = std::env::temp_dir().join("invarnet_export_tests").join(name);
+        let d = std::env::temp_dir()
+            .join("invarnet_export_tests")
+            .join(name);
         let _ = fs::remove_dir_all(&d);
         d
     }

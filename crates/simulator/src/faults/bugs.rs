@@ -85,7 +85,13 @@ pub(super) fn apply(
             // the interleaving, so it varies run to run (at most two extra
             // channels per run).
             let mut extras = 0;
-            for ch in [Channel::Cpu, Channel::Mem, Channel::Disk, Channel::Net, Channel::Paging] {
+            for ch in [
+                Channel::Cpu,
+                Channel::Mem,
+                Channel::Disk,
+                Channel::Net,
+                Channel::Paging,
+            ] {
                 if extras < 1 && next() % 100 < 40 {
                     s.decouple_channel(ch, 0.50);
                     extras += 1;
@@ -211,9 +217,7 @@ mod tests {
     fn lock_race_always_touches_ctxsw() {
         for n in 0..10 {
             let s = apply_with(FaultType::LockRace, 0, n);
-            assert!(
-                s.effective_decouple(Channel::Sched, MetricId::ContextSwitches.index()) >= 0.4
-            );
+            assert!(s.effective_decouple(Channel::Sched, MetricId::ContextSwitches.index()) >= 0.4);
         }
     }
 }

@@ -212,9 +212,10 @@ mod tests {
         // Same channel disturbed at close magnitudes — the designed
         // signature conflict (the small consistent differences live in the
         // per-metric decouples: packet counters vs the socket table).
-        assert!((drop.decouple[Channel::Net as usize] - delay.decouple[Channel::Net as usize])
-            .abs()
-            < 0.2);
+        assert!(
+            (drop.decouple[Channel::Net as usize] - delay.decouple[Channel::Net as usize]).abs()
+                < 0.2
+        );
         assert!(drop.net_errors > 0.0 && delay.net_errors > 0.0);
         assert!(drop.net_tx < 3_000.0 && delay.net_tx < 3_000.0);
     }

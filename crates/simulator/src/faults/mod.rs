@@ -201,7 +201,10 @@ mod tests {
     fn overload_is_interactive_only() {
         assert!(FaultType::Overload.interactive_only());
         assert_eq!(
-            FaultType::ALL.iter().filter(|f| f.interactive_only()).count(),
+            FaultType::ALL
+                .iter()
+                .filter(|f| f.interactive_only())
+                .count(),
             1
         );
     }
@@ -209,7 +212,10 @@ mod tests {
     #[test]
     fn six_software_bugs() {
         assert_eq!(
-            FaultType::ALL.iter().filter(|f| f.is_software_bug()).count(),
+            FaultType::ALL
+                .iter()
+                .filter(|f| f.is_software_bug())
+                .count(),
             6
         );
     }

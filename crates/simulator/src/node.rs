@@ -39,7 +39,11 @@ impl NodeSpec {
     pub fn reference(id: usize) -> Self {
         NodeSpec {
             id,
-            role: if id == 0 { NodeRole::Master } else { NodeRole::Slave },
+            role: if id == 0 {
+                NodeRole::Master
+            } else {
+                NodeRole::Slave
+            },
             cores: 8,
             mem_mb: 16_384.0,
             disk_kbps: 120_000.0,

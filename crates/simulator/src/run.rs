@@ -139,7 +139,9 @@ pub fn simulate(config: &RunConfig) -> RunResult {
 
     let mut rngs: Vec<ChaCha8Rng> = (0..n_nodes)
         .map(|i| {
-            ChaCha8Rng::seed_from_u64(config.seed ^ 0x5851_f42d_4c95_7f2d_u64.wrapping_mul(i as u64 + 1))
+            ChaCha8Rng::seed_from_u64(
+                config.seed ^ 0x5851_f42d_4c95_7f2d_u64.wrapping_mul(i as u64 + 1),
+            )
         })
         .collect();
     // Per-run nonce for non-deterministic faults (LockRace).
@@ -223,9 +225,7 @@ pub fn simulate(config: &RunConfig) -> RunResult {
                 .frame
                 .push_tick(&metrics)
                 .expect("sampler produces finite values");
-            traces[i]
-                .cpi
-                .push(cpi_sample_from_value(cpi, &mut rngs[i]));
+            traces[i].cpi.push(cpi_sample_from_value(cpi, &mut rngs[i]));
 
             if node.role == NodeRole::Slave {
                 // Node speed does not gate progress — Hadoop's task placement
@@ -246,7 +246,11 @@ pub fn simulate(config: &RunConfig) -> RunResult {
             if work_done >= total_work {
                 break;
             }
-        } else if tick >= workload.base_ticks().max(config.max_ticks.min(workload.base_ticks())) {
+        } else if tick
+            >= workload
+                .base_ticks()
+                .max(config.max_ticks.min(workload.base_ticks()))
+        {
             // Interactive runs have a fixed observation length.
             break;
         }
@@ -341,12 +345,7 @@ impl Runner {
     }
 
     /// `n` fault runs with distinct seeds.
-    pub fn fault_runs(
-        &self,
-        workload: WorkloadType,
-        fault: FaultType,
-        n: usize,
-    ) -> Vec<RunResult> {
+    pub fn fault_runs(&self, workload: WorkloadType, fault: FaultType, n: usize) -> Vec<RunResult> {
         (0..n).map(|i| self.fault_run(workload, fault, i)).collect()
     }
 }
@@ -389,7 +388,11 @@ mod tests {
             .sum::<f64>()
             / 5.0;
         let faulty: f64 = (0..5)
-            .map(|i| runner.fault_run(WorkloadType::Wordcount, FaultType::CpuHog, i).ticks as f64)
+            .map(|i| {
+                runner
+                    .fault_run(WorkloadType::Wordcount, FaultType::CpuHog, i)
+                    .ticks as f64
+            })
             .sum::<f64>()
             / 5.0;
         assert!(
@@ -401,7 +404,9 @@ mod tests {
     #[test]
     fn suspend_is_the_worst_fault_for_duration() {
         let runner = Runner::new(43);
-        let cpu = runner.fault_run(WorkloadType::Wordcount, FaultType::CpuHog, 0).ticks;
+        let cpu = runner
+            .fault_run(WorkloadType::Wordcount, FaultType::CpuHog, 0)
+            .ticks;
         let susp = runner
             .fault_run(WorkloadType::Wordcount, FaultType::Suspend, 0)
             .ticks;
@@ -421,7 +426,12 @@ mod tests {
         let runner = Runner::new(44);
         let r = runner.fault_run(WorkloadType::Sort, FaultType::DiskHog, 0);
         let w = r.fault_window().expect("fault window exists");
-        assert_eq!(w.ticks(), runner.fault_duration_ticks.min(r.ticks - runner.fault_start_tick));
+        assert_eq!(
+            w.ticks(),
+            runner
+                .fault_duration_ticks
+                .min(r.ticks - runner.fault_start_tick)
+        );
         assert!(r.observed_node().node.id == Runner::DEFAULT_FAULT_NODE);
     }
 
@@ -443,8 +453,10 @@ mod tests {
     #[test]
     fn master_is_lightly_loaded() {
         let r = simulate(&RunConfig::new(WorkloadType::Bayes, 5));
-        let master_cpu = ix_timeseries::mean(&r.per_node[0].frame.series(ix_metrics::MetricId::CpuUser));
-        let slave_cpu = ix_timeseries::mean(&r.per_node[1].frame.series(ix_metrics::MetricId::CpuUser));
+        let master_cpu =
+            ix_timeseries::mean(&r.per_node[0].frame.series(ix_metrics::MetricId::CpuUser));
+        let slave_cpu =
+            ix_timeseries::mean(&r.per_node[1].frame.series(ix_metrics::MetricId::CpuUser));
         assert!(master_cpu < 0.6 * slave_cpu);
     }
 }

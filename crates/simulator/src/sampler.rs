@@ -20,7 +20,11 @@ const MEASUREMENT_NOISE: f64 = 0.025;
 
 /// Samples the 26 metrics for one tick. Returned values are ordered per
 /// [`MetricId::ALL`].
-pub fn sample_metrics(node: &NodeSpec, s: &LatentState, rng: &mut ChaCha8Rng) -> [f64; METRIC_COUNT] {
+pub fn sample_metrics(
+    node: &NodeSpec,
+    s: &LatentState,
+    rng: &mut ChaCha8Rng,
+) -> [f64; METRIC_COUNT] {
     // --- resource aggregates -------------------------------------------
     let total_cpu = (s.job_cpu + s.ext_cpu + 0.06 * s.task_overhead).clamp(0.0, 1.0);
     let disk_demand = s.disk_read + s.disk_write + s.ext_disk_read + s.ext_disk_write;
@@ -83,10 +87,7 @@ pub fn sample_metrics(node: &NodeSpec, s: &LatentState, rng: &mut ChaCha8Rng) ->
     // Connection counts track transfer activity closely (each mapper/
     // reducer stream holds sockets open), so the socket table is a
     // well-coupled metric in the normal state.
-    let sockets = 60.0
-        + 0.004 * (rx_kbps + tx_kbps)
-        + s.ext_sockets
-        + 30.0 * s.task_overhead;
+    let sockets = 60.0 + 0.004 * (rx_kbps + tx_kbps) + s.ext_sockets + 30.0 * s.task_overhead;
 
     let raw: [(MetricId, f64, Channel); METRIC_COUNT] = [
         (MetricId::CpuUser, cpu_user, Channel::Cpu),

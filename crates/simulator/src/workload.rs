@@ -80,18 +80,34 @@ impl WorkloadType {
         // (disk/net). base_cpi is the workload's intrinsic cycles per
         // instruction on the reference node.
         match (self, phase) {
-            (Wordcount, Phase::Map) => PhaseProfile::new(0.72, 0.35, 38_000.0, 9_000.0, 2_500.0, 0.95),
-            (Wordcount, Phase::Shuffle) => PhaseProfile::new(0.35, 0.40, 8_000.0, 16_000.0, 28_000.0, 1.10),
-            (Wordcount, Phase::Reduce) => PhaseProfile::new(0.55, 0.45, 12_000.0, 30_000.0, 6_000.0, 1.00),
+            (Wordcount, Phase::Map) => {
+                PhaseProfile::new(0.72, 0.35, 38_000.0, 9_000.0, 2_500.0, 0.95)
+            }
+            (Wordcount, Phase::Shuffle) => {
+                PhaseProfile::new(0.35, 0.40, 8_000.0, 16_000.0, 28_000.0, 1.10)
+            }
+            (Wordcount, Phase::Reduce) => {
+                PhaseProfile::new(0.55, 0.45, 12_000.0, 30_000.0, 6_000.0, 1.00)
+            }
             (Sort, Phase::Map) => PhaseProfile::new(0.45, 0.50, 55_000.0, 22_000.0, 4_000.0, 1.25),
-            (Sort, Phase::Shuffle) => PhaseProfile::new(0.30, 0.55, 15_000.0, 25_000.0, 45_000.0, 1.45),
-            (Sort, Phase::Reduce) => PhaseProfile::new(0.40, 0.60, 20_000.0, 55_000.0, 8_000.0, 1.35),
+            (Sort, Phase::Shuffle) => {
+                PhaseProfile::new(0.30, 0.55, 15_000.0, 25_000.0, 45_000.0, 1.45)
+            }
+            (Sort, Phase::Reduce) => {
+                PhaseProfile::new(0.40, 0.60, 20_000.0, 55_000.0, 8_000.0, 1.35)
+            }
             (Grep, Phase::Map) => PhaseProfile::new(0.60, 0.25, 60_000.0, 3_000.0, 1_500.0, 1.05),
-            (Grep, Phase::Shuffle) => PhaseProfile::new(0.25, 0.25, 6_000.0, 4_000.0, 9_000.0, 1.10),
+            (Grep, Phase::Shuffle) => {
+                PhaseProfile::new(0.25, 0.25, 6_000.0, 4_000.0, 9_000.0, 1.10)
+            }
             (Grep, Phase::Reduce) => PhaseProfile::new(0.30, 0.28, 4_000.0, 8_000.0, 2_000.0, 1.00),
             (Bayes, Phase::Map) => PhaseProfile::new(0.80, 0.60, 30_000.0, 8_000.0, 3_000.0, 1.15),
-            (Bayes, Phase::Shuffle) => PhaseProfile::new(0.45, 0.62, 9_000.0, 14_000.0, 24_000.0, 1.25),
-            (Bayes, Phase::Reduce) => PhaseProfile::new(0.65, 0.65, 10_000.0, 20_000.0, 5_000.0, 1.20),
+            (Bayes, Phase::Shuffle) => {
+                PhaseProfile::new(0.45, 0.62, 9_000.0, 14_000.0, 24_000.0, 1.25)
+            }
+            (Bayes, Phase::Reduce) => {
+                PhaseProfile::new(0.65, 0.65, 10_000.0, 20_000.0, 5_000.0, 1.20)
+            }
             (TpcDs, _) | (_, Phase::Interactive) => {
                 PhaseProfile::new(0.58, 0.55, 42_000.0, 15_000.0, 18_000.0, 1.30)
             }
@@ -150,7 +166,11 @@ impl PhaseProfile {
     /// The phase active after `done` of `total` work units, following the
     /// workload's phase timeline.
     pub fn phase_at(workload: WorkloadType, done: f64, total: f64) -> Phase {
-        let frac = if total > 0.0 { (done / total).clamp(0.0, 1.0) } else { 0.0 };
+        let frac = if total > 0.0 {
+            (done / total).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let mut acc = 0.0;
         for &(phase, share) in workload.phases() {
             acc += share;

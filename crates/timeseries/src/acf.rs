@@ -98,7 +98,9 @@ mod tests {
 
     #[test]
     fn autocovariance_of_alternating_series_is_negative_at_lag1() {
-        let xs: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let g = autocovariance(&xs, 2);
         assert!(g[0] > 0.0);
         assert!(g[1] < 0.0);
@@ -112,7 +114,9 @@ mod tests {
         let mut xs = vec![0.0f64; 400];
         let mut state = 42_u64;
         for t in 1..400 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             xs[t] = 0.7 * xs[t - 1] + e;
         }

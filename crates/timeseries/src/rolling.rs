@@ -82,7 +82,9 @@ mod tests {
     #[test]
     fn rolling_std_window_two_alternating() {
         // Window of 2 over alternating ±1: std = 1 everywhere after warmup.
-        let xs: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let s = rolling_std(&xs, 2);
         for &v in &s[1..] {
             assert!((v - 1.0).abs() < 1e-12, "{s:?}");

@@ -29,12 +29,18 @@ pub fn stddev(xs: &[f64]) -> f64 {
 
 /// Minimum; `0.0` for an empty slice.
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::INFINITY, f64::min).pipe_finite()
+    xs.iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .pipe_finite()
 }
 
 /// Maximum; `0.0` for an empty slice.
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+    xs.iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .pipe_finite()
 }
 
 trait PipeFinite {

@@ -14,7 +14,11 @@ use invarnet_x::simulator::{FaultType, Runner, WorkloadType};
 fn main() {
     let runner = Runner::new(99);
     let node = Runner::DEFAULT_FAULT_NODE;
-    let workloads = [WorkloadType::Wordcount, WorkloadType::Sort, WorkloadType::TpcDs];
+    let workloads = [
+        WorkloadType::Wordcount,
+        WorkloadType::Sort,
+        WorkloadType::TpcDs,
+    ];
     let known_faults = [
         FaultType::CpuHog,
         FaultType::MemHog,
@@ -38,7 +42,9 @@ fn main() {
             .expect("CPI model");
         let window = |frame: &MetricFrame| {
             let len = runner.fault_duration_ticks;
-            let start = runner.fault_start_tick.min(frame.ticks().saturating_sub(len));
+            let start = runner
+                .fault_start_tick
+                .min(frame.ticks().saturating_sub(len));
             frame.window(start..(start + len).min(frame.ticks()))
         };
         let frames: Vec<MetricFrame> = normals
@@ -87,7 +93,9 @@ fn main() {
         // standard injection window for simplicity).
         let frame = &run.per_node[node].frame;
         let len = runner.fault_duration_ticks;
-        let start = runner.fault_start_tick.min(frame.ticks().saturating_sub(len));
+        let start = runner
+            .fault_start_tick
+            .min(frame.ticks().saturating_sub(len));
         let window = frame.window(start..(start + len).min(frame.ticks()));
 
         let (det, diagnosis) = system
@@ -104,7 +112,9 @@ fn main() {
                 );
             }
             (Some(t), None) => {
-                println!("job {job_id} [{context}] ANOMALY at tick {t}, no diagnosis (truth: {truth})")
+                println!(
+                    "job {job_id} [{context}] ANOMALY at tick {t}, no diagnosis (truth: {truth})"
+                )
             }
         }
     }

@@ -19,7 +19,9 @@ fn lcg(seed: u64, n: usize) -> Vec<f64> {
     let mut s = seed;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / (1u64 << 31) as f64 - 1.0
         })
         .collect()
@@ -37,10 +39,16 @@ fn main() {
     let relationships: [(&str, Vec<f64>); 4] = [
         ("linear      y = 2x", x.iter().map(|v| 2.0 * v).collect()),
         ("quadratic   y = x^2", x.iter().map(|v| v * v).collect()),
-        ("cosine      y = cos 6x", x.iter().map(|v| (6.0 * v).cos()).collect()),
+        (
+            "cosine      y = cos 6x",
+            x.iter().map(|v| (6.0 * v).cos()).collect(),
+        ),
         ("independent noise", lcg(2, 300)),
     ];
-    println!("{:22} {:>8} {:>8} {:>8}", "relationship", "MIC", "ARX", "Pearson");
+    println!(
+        "{:22} {:>8} {:>8} {:>8}",
+        "relationship", "MIC", "ARX", "Pearson"
+    );
     for (name, y) in &relationships {
         let scores: Vec<String> = measures
             .iter()

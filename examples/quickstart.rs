@@ -35,10 +35,15 @@ fn main() {
 
     let window = |frame: &MetricFrame| {
         let len = runner.fault_duration_ticks;
-        let start = runner.fault_start_tick.min(frame.ticks().saturating_sub(len));
+        let start = runner
+            .fault_start_tick
+            .min(frame.ticks().saturating_sub(len));
         frame.window(start..(start + len).min(frame.ticks()))
     };
-    let frames: Vec<MetricFrame> = normals.iter().map(|r| window(&r.per_node[node].frame)).collect();
+    let frames: Vec<MetricFrame> = normals
+        .iter()
+        .map(|r| window(&r.per_node[node].frame))
+        .collect();
     system
         .build_invariants(context.clone(), &frames)
         .expect("Algorithm 1");
@@ -66,7 +71,10 @@ fn main() {
                 .expect("record signature");
         }
     }
-    println!("signature database: {} records\n", system.signature_database().len());
+    println!(
+        "signature database: {} records\n",
+        system.signature_database().len()
+    );
 
     // ----------------------------------------------------------- online --
     println!("== online: a fresh Mem-hog occurrence ==");
@@ -85,7 +93,11 @@ fn main() {
         None => println!("no anomaly detected"),
     }
     if let Some(d) = diagnosis {
-        println!("violated invariants: {}/{}", d.tuple.violation_count(), d.tuple.len());
+        println!(
+            "violated invariants: {}/{}",
+            d.tuple.violation_count(),
+            d.tuple.len()
+        );
         println!("ranked root causes:");
         for (rank, cause) in d.ranked.iter().enumerate().take(3) {
             println!(

@@ -21,23 +21,40 @@ fn main() {
     let normals = runner.normal_runs(workload, 6);
     let window = |frame: &MetricFrame| {
         let len = runner.fault_duration_ticks;
-        let start = runner.fault_start_tick.min(frame.ticks().saturating_sub(len));
+        let start = runner
+            .fault_start_tick
+            .min(frame.ticks().saturating_sub(len));
         frame.window(start..(start + len).min(frame.ticks()))
     };
-    let frames: Vec<MetricFrame> = normals.iter().map(|r| window(&r.per_node[node].frame)).collect();
-    system.build_invariants(context.clone(), &frames).expect("Algorithm 1");
-    let cpi: Vec<Vec<f64>> = normals.iter().map(|r| r.per_node[node].cpi.cpi_series()).collect();
-    system.train_performance_model(context.clone(), &cpi).expect("ARIMA");
+    let frames: Vec<MetricFrame> = normals
+        .iter()
+        .map(|r| window(&r.per_node[node].frame))
+        .collect();
+    system
+        .build_invariants(context.clone(), &frames)
+        .expect("Algorithm 1");
+    let cpi: Vec<Vec<f64>> = normals
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+    system
+        .train_performance_model(context.clone(), &cpi)
+        .expect("ARIMA");
 
     let invariants = system.invariant_set(&context).expect("built").clone();
-    println!("invariants for {context}: {} of 325 pairs\n", invariants.len());
+    println!(
+        "invariants for {context}: {} of 325 pairs\n",
+        invariants.len()
+    );
 
     // One signature per batch fault; show its most-violated pairs.
     for fault in FaultType::ALL.iter().filter(|f| !f.interactive_only()) {
         let r = runner.fault_run(workload, *fault, 0);
         let w = r.fault_window().expect("window");
         let tuple = system.violation_tuple(&context, &w).expect("tuple");
-        system.record_signature(&context, fault.name(), &w).expect("record");
+        system
+            .record_signature(&context, fault.name(), &w)
+            .expect("record");
 
         let mut violated: Vec<(f64, usize)> = tuple
             .graded()
@@ -66,11 +83,17 @@ fn main() {
 
     // Persist and show the paper-style XML view (truncated).
     let mut store = ModelStore::new();
-    store.put_model(&context, system.performance_model(&context).expect("trained"));
+    store.put_model(
+        &context,
+        system.performance_model(&context).expect("trained"),
+    );
     store.put_invariants(&context, &invariants);
     store.signatures = system.signature_database();
     let xml = to_xml(&store);
-    println!("\npaper-style XML store ({} bytes), first lines:", xml.len());
+    println!(
+        "\npaper-style XML store ({} bytes), first lines:",
+        xml.len()
+    );
     for line in xml.lines().take(6) {
         println!("  {line}");
     }

@@ -119,9 +119,7 @@ fn every_fault_degrades_performance() {
         / 3.0;
     let normal_cpi: f64 = (0..3)
         .map(|i| {
-            runner
-                .normal_run(WorkloadType::Wordcount, i)
-                .per_node[2]
+            runner.normal_run(WorkloadType::Wordcount, i).per_node[2]
                 .cpi
                 .cpi_p95()
         })

@@ -9,7 +9,9 @@ use invarnet_x::simulator::{FaultType, Runner, WorkloadType};
 
 fn windowed(runner: &Runner, frame: &MetricFrame) -> MetricFrame {
     let len = runner.fault_duration_ticks;
-    let start = runner.fault_start_tick.min(frame.ticks().saturating_sub(len));
+    let start = runner
+        .fault_start_tick
+        .min(frame.ticks().saturating_sub(len));
     frame.window(start..(start + len).min(frame.ticks()))
 }
 
@@ -48,7 +50,10 @@ fn save_load_roundtrip_preserves_online_behaviour() {
 
     // Persist to disk.
     let mut store = ModelStore::new();
-    store.put_model(&context, system.performance_model(&context).expect("trained"));
+    store.put_model(
+        &context,
+        system.performance_model(&context).expect("trained"),
+    );
     store.put_invariants(&context, system.invariant_set(&context).expect("built"));
     store.signatures = system.signature_database();
     let dir = std::env::temp_dir().join("invarnet_integration");
@@ -63,7 +68,10 @@ fn save_load_roundtrip_preserves_online_behaviour() {
     let key = ModelStore::context_key(&context);
     fresh.set_performance_model(
         context.clone(),
-        loaded.performance_models[&key].clone().into_model().expect("rebuild"),
+        loaded.performance_models[&key]
+            .clone()
+            .into_model()
+            .expect("rebuild"),
     );
     fresh.set_invariant_set(context.clone(), loaded.invariants[&key].clone());
     fresh.set_signature_database(loaded.signatures.clone());
@@ -73,8 +81,12 @@ fn save_load_roundtrip_preserves_online_behaviour() {
     let trace = &incident.per_node[node];
     let w = incident.fault_window().expect("window");
 
-    let det_a = system.detect(&context, &trace.cpi.cpi_series()).expect("detect");
-    let det_b = fresh.detect(&context, &trace.cpi.cpi_series()).expect("detect");
+    let det_a = system
+        .detect(&context, &trace.cpi.cpi_series())
+        .expect("detect");
+    let det_b = fresh
+        .detect(&context, &trace.cpi.cpi_series())
+        .expect("detect");
     assert_eq!(det_a, det_b);
 
     let diag_a = system.diagnose(&context, &w).expect("diagnose");
@@ -98,7 +110,9 @@ fn signature_database_grows_online() {
         .iter()
         .map(|r| windowed(&runner, &r.per_node[node].frame))
         .collect();
-    system.build_invariants(context.clone(), &frames).expect("invariants");
+    system
+        .build_invariants(context.clone(), &frames)
+        .expect("invariants");
 
     let shared: &InvarNetX = &system;
     assert_eq!(shared.signature_database().len(), 0);
@@ -126,19 +140,26 @@ fn xml_export_covers_all_artifacts() {
         .iter()
         .map(|r| r.per_node[node].cpi.cpi_series())
         .collect();
-    system.train_performance_model(context.clone(), &cpi).expect("train");
+    system
+        .train_performance_model(context.clone(), &cpi)
+        .expect("train");
     let frames: Vec<MetricFrame> = normals
         .iter()
         .map(|r| windowed(&runner, &r.per_node[node].frame))
         .collect();
-    system.build_invariants(context.clone(), &frames).expect("invariants");
+    system
+        .build_invariants(context.clone(), &frames)
+        .expect("invariants");
     let r = runner.fault_run(workload, FaultType::MemHog, 0);
     system
         .record_signature(&context, "Mem-hog", &r.fault_window().expect("window"))
         .expect("signature");
 
     let mut store = ModelStore::new();
-    store.put_model(&context, system.performance_model(&context).expect("trained"));
+    store.put_model(
+        &context,
+        system.performance_model(&context).expect("trained"),
+    );
     store.put_invariants(&context, system.invariant_set(&context).expect("built"));
     store.signatures = system.signature_database();
 
@@ -169,7 +190,9 @@ fn empty_signature_database_is_an_error_not_a_panic() {
         .iter()
         .map(|r| windowed(&runner, &r.per_node[node].frame))
         .collect();
-    system.build_invariants(context.clone(), &frames).expect("invariants");
+    system
+        .build_invariants(context.clone(), &frames)
+        .expect("invariants");
 
     let r = runner.fault_run(workload, FaultType::CpuHog, 0);
     let err = system

@@ -29,7 +29,9 @@ fn train_system(workload: WorkloadType, seed: u64, faults: &[FaultType]) -> Setu
 
     let window = |frame: &MetricFrame| {
         let len = runner.fault_duration_ticks;
-        let start = runner.fault_start_tick.min(frame.ticks().saturating_sub(len));
+        let start = runner
+            .fault_start_tick
+            .min(frame.ticks().saturating_sub(len));
         frame.window(start..(start + len).min(frame.ticks()))
     };
     let frames: Vec<MetricFrame> = normals
@@ -142,7 +144,10 @@ fn normal_windows_produce_few_violations() {
         let r = s.runner.normal_run(s.workload, run_idx);
         let frame = &r.per_node[node].frame;
         let len = s.runner.fault_duration_ticks;
-        let start = s.runner.fault_start_tick.min(frame.ticks().saturating_sub(len));
+        let start = s
+            .runner
+            .fault_start_tick
+            .min(frame.ticks().saturating_sub(len));
         let w = frame.window(start..(start + len).min(frame.ticks()));
         let tuple = s.system.violation_tuple(&s.context, &w).expect("tuple");
         let rate = tuple.violation_count() as f64 / tuple.len().max(1) as f64;

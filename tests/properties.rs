@@ -231,4 +231,31 @@ proptest! {
             prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
         }
     }
+
+    // ---------------------------------------------------------- metrics --
+
+    // The streaming ring buffer always holds exactly the suffix an
+    // equivalently-built batch frame would: eviction never reorders or
+    // corrupts rows.
+    #[test]
+    fn sliding_window_equals_batch_frame_suffix(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1.0e6f64..1.0e6, invarnet_x::metrics::METRIC_COUNT..invarnet_x::metrics::METRIC_COUNT + 1),
+            0..36,
+        ),
+        capacity in 1usize..14,
+    ) {
+        use invarnet_x::metrics::{MetricFrame, SlidingFrame};
+        let mut sliding = SlidingFrame::new(capacity);
+        let mut batch = MetricFrame::new();
+        for row in &rows {
+            sliding.push_tick(row).expect("finite row");
+            batch.push_tick(row).expect("finite row");
+        }
+        let suffix_start = rows.len().saturating_sub(capacity);
+        prop_assert_eq!(sliding.to_frame(), batch.window(suffix_start..rows.len()));
+        prop_assert_eq!(sliding.ticks(), rows.len().min(capacity));
+        prop_assert_eq!(sliding.total_pushed(), rows.len() as u64);
+        prop_assert_eq!(sliding.is_full(), rows.len() >= capacity);
+    }
 }
