@@ -18,6 +18,11 @@
 //! # demo mode: generate everything from the simulator
 //! diagnose demo
 //! ```
+//!
+//! Every subcommand accepts `--telemetry`: the run's engine work (sweeps,
+//! diagnoses, signature matches) is recorded in an
+//! [`ix_core::Telemetry`] hub and a per-context report with latency
+//! quantiles is printed before exiting.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -83,6 +88,9 @@ fn train(args: &[String]) -> Result<(), String> {
     }
 
     let mut system = InvarNetX::new(InvarNetConfig::default());
+    if let Some(t) = ix_bench::telemetry::active() {
+        system.attach_telemetry(&t);
+    }
     let frames: Result<Vec<MetricFrame>, String> = normals.iter().map(|p| read_frame(p)).collect();
     system
         .build_invariants(context.clone(), &frames?)
@@ -150,6 +158,9 @@ fn infer(args: &[String]) -> Result<(), String> {
     let store = ModelStore::load(&deployment).map_err(|e| e.to_string())?;
     let key = ModelStore::context_key(&context);
     let mut system = InvarNetX::new(InvarNetConfig::default());
+    if let Some(t) = ix_bench::telemetry::active() {
+        system.attach_telemetry(&t);
+    }
     if let Some(m) = store.performance_models.get(&key) {
         system.set_performance_model(
             context.clone(),
@@ -282,7 +293,10 @@ fn demo() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if ix_bench::telemetry::strip_flag(&mut args) {
+        ix_bench::telemetry::enable();
+    }
     let result = match args.first().map(String::as_str) {
         Some("train") => train(&args[1..]),
         Some("infer") => infer(&args[1..]),
@@ -293,12 +307,16 @@ fn main() -> ExitCode {
                  USAGE:\n  diagnose train --out FILE --context WORKLOAD@NODE \\\n\
                  \x20        --normal frame.csv... [--cpi trace.txt...] [--incident LABEL=window.csv...]\n\
                  \x20 diagnose infer --deployment FILE --context WORKLOAD@NODE --window incident.csv [--cpi live.txt]\n\
-                 \x20 diagnose demo   # end-to-end on simulator-exported files"
+                 \x20 diagnose demo   # end-to-end on simulator-exported files\n\n\
+                 Add --telemetry to any subcommand to print an engine telemetry report."
             );
             Ok(())
         }
         Some(other) => Err(format!("unknown subcommand: {other}")),
     };
+    if let Some(telemetry) = ix_bench::telemetry::active() {
+        println!("\n== engine telemetry ==\n{}", telemetry.render_report());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -14,15 +14,18 @@ struct Args {
     experiment: String,
     seed: u64,
     runs: usize,
+    telemetry: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut experiment = String::from("all");
     let mut seed = 2014u64; // the year the paper appeared
     let mut runs = 10usize;
+    let mut telemetry = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--telemetry" => telemetry = true,
             "--experiment" | "-e" => {
                 experiment = it.next().ok_or("--experiment needs a value")?;
             }
@@ -51,9 +54,10 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "repro — regenerate the InvarNet-X paper's tables and figures\n\n\
-                     USAGE: repro [--experiment <id|all>] [--seed <n>] [--runs <n>]\n\n\
+                     USAGE: repro [--experiment <id|all>] [--seed <n>] [--runs <n>] [--telemetry]\n\n\
                      Experiments: fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1\n\
-                     --runs controls test runs per fault for fig7/fig8/fig9/fig10 (paper: 38)."
+                     --runs controls test runs per fault for fig7/fig8/fig9/fig10 (paper: 38).\n\
+                     --telemetry prints an engine telemetry report after the experiments."
                 );
                 std::process::exit(0);
             }
@@ -64,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         experiment,
         seed,
         runs,
+        telemetry,
     })
 }
 
@@ -100,6 +105,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.telemetry {
+        ix_bench::telemetry::enable();
+    }
     let ids: Vec<&str> = match args.experiment.as_str() {
         "all" => vec![
             "fig2",
@@ -132,6 +140,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(telemetry) = ix_bench::telemetry::active() {
+        println!("=== engine telemetry ===\n{}", telemetry.render_report());
     }
     ExitCode::SUCCESS
 }

@@ -102,6 +102,9 @@ pub fn train(
             InvarNetX::with_measure(config.clone(), Box::new(ArxMeasure::new(config.arx)))
         }
     };
+    if let Some(telemetry) = crate::telemetry::active() {
+        system.attach_telemetry(&telemetry);
+    }
 
     let context = if opts.no_context {
         OperationContext::global()

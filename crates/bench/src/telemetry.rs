@@ -1,0 +1,59 @@
+//! Process-wide telemetry switch for the bench binaries.
+//!
+//! The `diagnose` and `repro` binaries accept a `--telemetry` flag; when
+//! given, they [`enable`] one shared [`Telemetry`] hub early in `main`,
+//! every trained system attaches to it ([`crate::harness::train`] checks
+//! [`active`]), and the binary prints [`Telemetry::render_report`] before
+//! exiting.
+
+use std::sync::{Arc, OnceLock};
+
+use ix_core::Telemetry;
+
+static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
+
+/// Turns telemetry on for the process (idempotent) and returns the hub.
+pub fn enable() -> Arc<Telemetry> {
+    Arc::clone(GLOBAL.get_or_init(Telemetry::shared))
+}
+
+/// The process hub, if [`enable`] has been called.
+pub fn active() -> Option<Arc<Telemetry>> {
+    GLOBAL.get().cloned()
+}
+
+/// Removes `--telemetry` from an argument list, reporting whether it was
+/// present (the binaries' hand-rolled parsers reject unknown flags, so the
+/// flag is stripped before subcommand parsing).
+pub fn strip_flag(args: &mut Vec<String>) -> bool {
+    let before = args.len();
+    args.retain(|a| a != "--telemetry");
+    args.len() != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_flag_removes_all_occurrences() {
+        let mut args = vec![
+            "demo".to_string(),
+            "--telemetry".to_string(),
+            "--runs".to_string(),
+            "3".to_string(),
+            "--telemetry".to_string(),
+        ];
+        assert!(strip_flag(&mut args));
+        assert_eq!(args, vec!["demo", "--runs", "3"]);
+        assert!(!strip_flag(&mut args));
+    }
+
+    #[test]
+    fn enable_is_idempotent_and_activates() {
+        let a = enable();
+        let b = enable();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(active().is_some());
+    }
+}

@@ -8,9 +8,12 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use ix_metrics::{MetricFrame, MetricId, METRIC_COUNT};
 
+use crate::engine::telemetry::ContextId;
+use crate::engine::{EngineEvent, EventSink, NullSink};
 use crate::measure::AssociationMeasure;
 
 /// Number of unordered metric pairs.
@@ -126,11 +129,14 @@ impl AssociationMatrix {
 }
 
 /// Everything one sweep's workers share: the extracted metric series, the
-/// measure, and the channel results flow back on.
+/// measure, the channel results flow back on, and where to report
+/// per-chunk scoring cost ([`EngineEvent::PairsScored`]).
 struct SweepShared {
     series: Vec<Vec<f64>>,
     measure: Arc<dyn AssociationMeasure>,
     done_tx: Sender<(usize, Vec<f64>)>,
+    sink: Arc<dyn EventSink>,
+    context: ContextId,
 }
 
 /// One contiguous chunk `[start, end)` of the flat pair index space.
@@ -185,6 +191,7 @@ impl SweepPool {
                 Err(_) => return,
             };
             let Ok(job) = job else { return };
+            let started = Instant::now();
             let mut scores = vec![0.0f64; job.end - job.start];
             for (k, slot) in scores.iter_mut().enumerate() {
                 let (a, b) = pair_of_index(job.start + k);
@@ -193,6 +200,11 @@ impl SweepPool {
                     .measure
                     .score(&job.shared.series[a.index()], &job.shared.series[b.index()]);
             }
+            job.shared.sink.record(&EngineEvent::PairsScored {
+                context: job.shared.context,
+                pairs: job.end - job.start,
+                micros: started.elapsed().as_micros() as u64,
+            });
             // The sweep may have been abandoned; ignore a closed channel.
             let _ = job.shared.done_tx.send((job.start, scores));
         }
@@ -208,6 +220,23 @@ impl SweepPool {
         frame: &MetricFrame,
         measure: &Arc<dyn AssociationMeasure>,
     ) -> AssociationMatrix {
+        self.sweep_attributed(
+            frame,
+            measure,
+            ContextId::UNATTRIBUTED,
+            &(Arc::new(NullSink) as Arc<dyn EventSink>),
+        )
+    }
+
+    /// [`SweepPool::sweep`] with per-chunk scoring cost reported to `sink`
+    /// as [`EngineEvent::PairsScored`], attributed to `context`.
+    pub fn sweep_attributed(
+        &self,
+        frame: &MetricFrame,
+        measure: &Arc<dyn AssociationMeasure>,
+        context: ContextId,
+        sink: &Arc<dyn EventSink>,
+    ) -> AssociationMatrix {
         let series: Vec<Vec<f64>> = MetricId::ALL.iter().map(|&m| frame.series(m)).collect();
         let n_pairs = pair_count();
         let (done_tx, done_rx) = channel();
@@ -215,6 +244,8 @@ impl SweepPool {
             series,
             measure: Arc::clone(measure),
             done_tx,
+            sink: Arc::clone(sink),
+            context,
         });
         let chunk = n_pairs.div_ceil(self.threads);
         let job_tx = self.job_tx.as_ref().expect("pool alive until drop");

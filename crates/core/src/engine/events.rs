@@ -1,39 +1,123 @@
 //! Engine observability: lightweight events and a pluggable sink.
 //!
 //! Every layer of the streaming engine reports what it did through an
-//! [`EventSink`]; the default [`NullSink`] drops everything, while
-//! [`EngineCounters`] aggregates events into atomic counters cheap enough
-//! to leave enabled in production. Events are context-free on purpose —
-//! cloning an [`crate::OperationContext`] per tick would dominate the cost
-//! of ingestion itself.
+//! [`EventSink`]. The default [`NullSink`] drops everything;
+//! [`EngineCounters`] aggregates events into a handful of atomic counters;
+//! the full [`crate::Telemetry`] subsystem
+//! ([`super::telemetry`]) adds per-context attribution, latency
+//! histograms, spans and exporters on top of the same events.
+//!
+//! Events carry an interned [`ContextId`] — a `Copy` `u32` from the
+//! engine's [`super::telemetry::ContextRegistry`] — instead of an
+//! [`crate::OperationContext`], because cloning a context (two heap
+//! strings) per tick would dominate the cost of ingestion itself.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use super::telemetry::{ContextId, EnginePhase};
+
 /// Something the engine did, reported to the configured [`EventSink`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EngineEvent {
     /// A CPI sample and metric row were ingested (lifetime tick index).
     TickIngested {
+        /// The operation context the tick belongs to.
+        context: ContextId,
         /// Zero-based lifetime index of the ingested tick.
         tick: u64,
+        /// The detector's score for the tick (see
+        /// [`super::detector::TickDecision::residual`]).
+        residual: f64,
+        /// Whether the residual exceeded the detector's threshold.
+        exceeded: bool,
+        /// Wall-clock cost of the ingest step (detector + window push) in
+        /// microseconds, excluding any triggered diagnosis.
+        micros: u64,
     },
     /// The detection layer flagged a new anomaly onset (edge-triggered).
     DetectionFired {
+        /// The context the detection fired in.
+        context: ContextId,
         /// Lifetime tick index at which the detection fired.
+        tick: u64,
+    },
+    /// The detection layer saw an anomalous-to-normal edge.
+    DetectionCleared {
+        /// The context the anomaly cleared in.
+        context: ContextId,
+        /// Lifetime tick index at which the anomaly cleared.
         tick: u64,
     },
     /// Cause inference ran over the sliding window.
     DiagnosisRan {
+        /// The context that was diagnosed.
+        context: ContextId,
+        /// Lifetime tick index the diagnosis is correlated with (the
+        /// triggering detection's tick for streaming ingest; the current
+        /// lifetime tick for batch [`crate::Engine::diagnose`] calls).
+        tick: u64,
         /// Wall-clock duration of the diagnosis in microseconds.
         micros: u64,
     },
+    /// A diagnosis finished ranking against the signature database.
+    SignatureMatched {
+        /// The context that was diagnosed.
+        context: ContextId,
+        /// Lifetime tick index the diagnosis is correlated with.
+        tick: u64,
+        /// Similarity of the best-ranked signature (0 when the database
+        /// held no signature for the context).
+        best_similarity: f64,
+        /// Whether the best match cleared
+        /// [`super::telemetry::CONFIDENT_SIMILARITY`].
+        confident: bool,
+    },
     /// A pairwise association sweep finished on the worker pool.
     SweepCompleted {
+        /// The context whose window was swept
+        /// ([`ContextId::UNATTRIBUTED`] for caller-supplied frames).
+        context: ContextId,
         /// Number of metric pairs scored.
         pairs: usize,
         /// Wall-clock duration of the sweep in microseconds.
         micros: u64,
     },
+    /// One sweep worker finished scoring a chunk of metric pairs (the
+    /// fine-grained cost signal behind the pair-scoring histogram).
+    PairsScored {
+        /// The context whose window was swept.
+        context: ContextId,
+        /// Pairs in the chunk.
+        pairs: usize,
+        /// Wall-clock microseconds the chunk took.
+        micros: u64,
+    },
+    /// A [`super::telemetry::Span`] guard closed.
+    SpanClosed {
+        /// The engine phase the span covered.
+        phase: EnginePhase,
+        /// The context the span was attributed to.
+        context: ContextId,
+        /// Wall-clock duration in microseconds.
+        micros: u64,
+    },
+}
+
+impl EngineEvent {
+    /// The context the event is attributed to ([`ContextId::UNATTRIBUTED`]
+    /// when unknown).
+    pub fn context(&self) -> ContextId {
+        match *self {
+            EngineEvent::TickIngested { context, .. }
+            | EngineEvent::DetectionFired { context, .. }
+            | EngineEvent::DetectionCleared { context, .. }
+            | EngineEvent::DiagnosisRan { context, .. }
+            | EngineEvent::SignatureMatched { context, .. }
+            | EngineEvent::SweepCompleted { context, .. }
+            | EngineEvent::PairsScored { context, .. }
+            | EngineEvent::SpanClosed { context, .. } => context,
+        }
+    }
 }
 
 /// Receiver of [`EngineEvent`]s. Implementations must be cheap: `record`
@@ -51,27 +135,37 @@ impl EventSink for NullSink {
     fn record(&self, _event: &EngineEvent) {}
 }
 
-/// An [`EventSink`] that aggregates events into atomic counters.
+/// An [`EventSink`] that aggregates events into atomic counters — the
+/// cheapest always-on option. For per-context attribution, histograms and
+/// exporters, use [`crate::Telemetry`] instead.
 ///
 /// Share one via `Arc` between the engine and whatever reads the numbers:
 ///
 /// ```
 /// use std::sync::Arc;
-/// use ix_core::{EngineCounters, EventSink, EngineEvent};
+/// use ix_core::{ContextId, EngineCounters, EventSink, EngineEvent};
 ///
 /// let counters = Arc::new(EngineCounters::default());
-/// counters.record(&EngineEvent::TickIngested { tick: 0 });
+/// counters.record(&EngineEvent::TickIngested {
+///     context: ContextId::UNATTRIBUTED,
+///     tick: 0,
+///     residual: 0.1,
+///     exceeded: false,
+///     micros: 3,
+/// });
 /// assert_eq!(counters.ticks_ingested(), 1);
 /// ```
 #[derive(Debug, Default)]
 pub struct EngineCounters {
     ticks_ingested: AtomicU64,
     detections_fired: AtomicU64,
+    detections_cleared: AtomicU64,
     diagnoses_run: AtomicU64,
     diagnosis_micros_total: AtomicU64,
     sweeps_completed: AtomicU64,
     sweep_micros_total: AtomicU64,
     sweep_micros_max: AtomicU64,
+    signature_matches: AtomicU64,
 }
 
 impl EngineCounters {
@@ -83,6 +177,11 @@ impl EngineCounters {
     /// Anomaly onsets the detection layer reported.
     pub fn detections_fired(&self) -> u64 {
         self.detections_fired.load(Ordering::Relaxed)
+    }
+
+    /// Anomalous-to-normal edges the detection layer reported.
+    pub fn detections_cleared(&self) -> u64 {
+        self.detections_cleared.load(Ordering::Relaxed)
     }
 
     /// Cause-inference passes run.
@@ -109,6 +208,11 @@ impl EngineCounters {
     pub fn sweep_micros_max(&self) -> u64 {
         self.sweep_micros_max.load(Ordering::Relaxed)
     }
+
+    /// Confident signature matches reported by diagnoses.
+    pub fn signature_matches(&self) -> u64 {
+        self.signature_matches.load(Ordering::Relaxed)
+    }
 }
 
 impl EventSink for EngineCounters {
@@ -120,16 +224,27 @@ impl EventSink for EngineCounters {
             EngineEvent::DetectionFired { .. } => {
                 self.detections_fired.fetch_add(1, Ordering::Relaxed);
             }
-            EngineEvent::DiagnosisRan { micros } => {
+            EngineEvent::DetectionCleared { .. } => {
+                self.detections_cleared.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::DiagnosisRan { micros, .. } => {
                 self.diagnoses_run.fetch_add(1, Ordering::Relaxed);
                 self.diagnosis_micros_total
                     .fetch_add(micros, Ordering::Relaxed);
+            }
+            EngineEvent::SignatureMatched { confident, .. } => {
+                if confident {
+                    self.signature_matches.fetch_add(1, Ordering::Relaxed);
+                }
             }
             EngineEvent::SweepCompleted { micros, .. } => {
                 self.sweeps_completed.fetch_add(1, Ordering::Relaxed);
                 self.sweep_micros_total.fetch_add(micros, Ordering::Relaxed);
                 self.sweep_micros_max.fetch_max(micros, Ordering::Relaxed);
             }
+            // Chunk- and span-level signals are histogram fodder; the flat
+            // counters ignore them.
+            EngineEvent::PairsScored { .. } | EngineEvent::SpanClosed { .. } => {}
         }
     }
 }
@@ -138,25 +253,57 @@ impl EventSink for EngineCounters {
 mod tests {
     use super::*;
 
+    fn tick(context: ContextId, tick: u64) -> EngineEvent {
+        EngineEvent::TickIngested {
+            context,
+            tick,
+            residual: 0.1,
+            exceeded: false,
+            micros: 2,
+        }
+    }
+
     #[test]
     fn counters_aggregate_events() {
+        let ctx = ContextId::UNATTRIBUTED;
         let c = EngineCounters::default();
-        c.record(&EngineEvent::TickIngested { tick: 0 });
-        c.record(&EngineEvent::TickIngested { tick: 1 });
-        c.record(&EngineEvent::DetectionFired { tick: 1 });
-        c.record(&EngineEvent::DiagnosisRan { micros: 40 });
+        c.record(&tick(ctx, 0));
+        c.record(&tick(ctx, 1));
+        c.record(&EngineEvent::DetectionFired {
+            context: ctx,
+            tick: 1,
+        });
+        c.record(&EngineEvent::DetectionCleared {
+            context: ctx,
+            tick: 5,
+        });
+        c.record(&EngineEvent::DiagnosisRan {
+            context: ctx,
+            tick: 1,
+            micros: 40,
+        });
+        c.record(&EngineEvent::SignatureMatched {
+            context: ctx,
+            tick: 1,
+            best_similarity: 0.9,
+            confident: true,
+        });
         c.record(&EngineEvent::SweepCompleted {
+            context: ctx,
             pairs: 325,
             micros: 10,
         });
         c.record(&EngineEvent::SweepCompleted {
+            context: ctx,
             pairs: 325,
             micros: 30,
         });
         assert_eq!(c.ticks_ingested(), 2);
         assert_eq!(c.detections_fired(), 1);
+        assert_eq!(c.detections_cleared(), 1);
         assert_eq!(c.diagnoses_run(), 1);
         assert_eq!(c.diagnosis_micros_total(), 40);
+        assert_eq!(c.signature_matches(), 1);
         assert_eq!(c.sweeps_completed(), 2);
         assert_eq!(c.sweep_micros_total(), 40);
         assert_eq!(c.sweep_micros_max(), 30);
@@ -164,6 +311,21 @@ mod tests {
 
     #[test]
     fn null_sink_is_a_no_op() {
-        NullSink.record(&EngineEvent::TickIngested { tick: 7 });
+        NullSink.record(&tick(ContextId::UNATTRIBUTED, 7));
+    }
+
+    #[test]
+    fn events_expose_their_context() {
+        let ctx = ContextId::UNATTRIBUTED;
+        assert_eq!(tick(ctx, 0).context(), ctx);
+        assert_eq!(
+            EngineEvent::SpanClosed {
+                phase: EnginePhase::Sweep,
+                context: ctx,
+                micros: 1,
+            }
+            .context(),
+            ctx
+        );
     }
 }

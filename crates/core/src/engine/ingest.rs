@@ -14,6 +14,7 @@ use crate::signature::ViolationTuple;
 
 use super::diagnosis::Diagnosis;
 use super::events::EngineEvent;
+use super::telemetry::{EnginePhase, Span};
 use super::Engine;
 
 /// What [`Engine::ingest`] concluded about one tick.
@@ -69,7 +70,9 @@ impl Engine {
     ) -> Result<TickOutcome, CoreError> {
         let min_frame_ticks = self.config().min_frame_ticks;
         let window_ticks = self.config().window_ticks;
-        let (tick, decision, edge, deferred) =
+        let context_id = self.intern_context(context);
+        let ingest_started = Instant::now();
+        let (tick, decision, up_edge, down_edge, deferred) =
             self.state().with_mut(context, window_ticks, |state| {
                 let Some(detector) = state.detector.clone() else {
                     return Err(CoreError::NoPerformanceModel(context.clone()));
@@ -79,9 +82,10 @@ impl Engine {
                 let decision = run.step(cpi_sample);
                 let tick = state.run_ticks;
                 state.run_ticks += 1;
-                let edge = decision.anomalous && !state.prev_anomalous;
+                let up_edge = decision.anomalous && !state.prev_anomalous;
+                let down_edge = !decision.anomalous && state.prev_anomalous;
                 state.prev_anomalous = decision.anomalous;
-                let deferred = if edge && state.window.ticks() >= min_frame_ticks {
+                let deferred = if up_edge && state.window.ticks() >= min_frame_ticks {
                     let invariants = state
                         .invariants
                         .clone()
@@ -93,28 +97,43 @@ impl Engine {
                 } else {
                     None
                 };
-                Ok((tick, decision, edge, deferred))
+                Ok((tick, decision, up_edge, down_edge, deferred))
             })?;
 
         let lifetime_tick = self.tick_counter().fetch_add(1, Ordering::Relaxed);
         self.sink().record(&EngineEvent::TickIngested {
+            context: context_id,
             tick: lifetime_tick,
+            residual: decision.residual,
+            exceeded: decision.exceeded,
+            micros: ingest_started.elapsed().as_micros() as u64,
         });
-        if edge {
+        if up_edge {
             self.sink().record(&EngineEvent::DetectionFired {
+                context: context_id,
+                tick: lifetime_tick,
+            });
+        }
+        if down_edge {
+            self.sink().record(&EngineEvent::DetectionCleared {
+                context: context_id,
                 tick: lifetime_tick,
             });
         }
 
         let diagnosis = match deferred {
             Some(DeferredDiagnosis { frame, invariants }) => {
+                let _span = Span::enter(self.sink(), EnginePhase::Diagnosis, context_id);
                 let started = Instant::now();
-                let matrix = self.association_matrix(&frame)?;
+                let matrix = self.association_matrix_for(context_id, &frame)?;
                 let tuple = ViolationTuple::build(&invariants, &matrix, self.config().epsilon);
                 let diagnosis = self.rank_tuple(context, tuple)?;
                 self.sink().record(&EngineEvent::DiagnosisRan {
+                    context: context_id,
+                    tick: lifetime_tick,
                     micros: started.elapsed().as_micros() as u64,
                 });
+                self.emit_signature_match(context_id, lifetime_tick, &diagnosis);
                 Some(diagnosis)
             }
             None => None,

@@ -13,7 +13,10 @@
 //!   against the signature database, with association sweeps on a
 //!   persistent [`SweepPool`];
 //! - **events** ([`events`]) — counters and timings through a pluggable
-//!   [`EventSink`].
+//!   [`EventSink`];
+//! - **telemetry** ([`telemetry`]) — the full observability stack on top of
+//!   the events: context-attributed metrics, phase spans, and Prometheus /
+//!   JSON / report exporters (attach with [`Engine::attach_telemetry`]).
 //!
 //! The original [`crate::InvarNetX`] facade remains as a thin wrapper for
 //! batch (whole-trace) use.
@@ -23,9 +26,10 @@ pub mod diagnosis;
 pub mod events;
 mod ingest;
 mod state;
+pub mod telemetry;
 
 use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Instant;
 
 use ix_metrics::MetricFrame;
@@ -44,8 +48,10 @@ pub use detector::{ArimaDetector, CusumStreamDetector, Detector, DetectorRun, Ti
 pub use diagnosis::{Diagnosis, RankedCause};
 pub use events::{EngineCounters, EngineEvent, EventSink, NullSink};
 pub use ingest::TickOutcome;
+pub use telemetry::Telemetry;
 
 use state::ShardedStateMap;
+use telemetry::{ContextId, ContextRegistry, EnginePhase, Span, CONFIDENT_SIMILARITY};
 
 /// The streaming diagnosis engine. All methods take `&self`; state lives
 /// behind sharded locks, so one engine can be shared across ingestion
@@ -57,6 +63,7 @@ pub struct Engine {
     signatures: RwLock<SignatureDatabase>,
     pool: SweepPool,
     sink: Arc<dyn EventSink>,
+    contexts: Arc<ContextRegistry>,
     ticks: AtomicU64,
 }
 
@@ -79,6 +86,7 @@ impl Engine {
             signatures: RwLock::new(SignatureDatabase::new()),
             pool: SweepPool::new(threads),
             sink: Arc::new(NullSink),
+            contexts: Arc::new(ContextRegistry::new()),
             ticks: AtomicU64::new(0),
         }
     }
@@ -91,6 +99,24 @@ impl Engine {
     /// Installs an observability sink; all subsequent events go to it.
     pub fn set_event_sink(&mut self, sink: Arc<dyn EventSink>) {
         self.sink = sink;
+    }
+
+    /// Attaches a [`Telemetry`] hub: the hub becomes the engine's event
+    /// sink *and* the engine interns contexts into the hub's registry, so
+    /// exporters can resolve [`ContextId`]s back to labels. Several engines
+    /// may attach to one hub.
+    pub fn attach_telemetry(&mut self, telemetry: &Arc<Telemetry>) {
+        self.contexts = Arc::clone(telemetry.contexts());
+        self.sink = Arc::<Telemetry>::clone(telemetry);
+    }
+
+    /// The registry the engine interns [`crate::OperationContext`]s into.
+    pub fn context_registry(&self) -> &Arc<ContextRegistry> {
+        &self.contexts
+    }
+
+    pub(crate) fn intern_context(&self, context: &OperationContext) -> ContextId {
+        self.contexts.intern(context)
     }
 
     /// The configuration.
@@ -140,6 +166,8 @@ impl Engine {
         context: OperationContext,
         cpi_traces: &[Vec<f64>],
     ) -> Result<(), CoreError> {
+        let id = self.intern_context(&context);
+        let _span = Span::enter(&self.sink, EnginePhase::Train, id);
         let model = Arc::new(PerformanceModel::train(cpi_traces, self.config.beta)?);
         let detector: Arc<dyn Detector> = match self.config.detector {
             DetectorChoice::Arima => Arc::new(ArimaDetector::new(
@@ -167,15 +195,29 @@ impl Engine {
     ///
     /// [`CoreError::FrameTooShort`] when the frame has too few ticks.
     pub fn association_matrix(&self, frame: &MetricFrame) -> Result<AssociationMatrix, CoreError> {
+        self.association_matrix_for(ContextId::UNATTRIBUTED, frame)
+    }
+
+    /// [`Engine::association_matrix`] with the sweep attributed to an
+    /// interned context (internal callers that know whose window this is).
+    pub(crate) fn association_matrix_for(
+        &self,
+        context: ContextId,
+        frame: &MetricFrame,
+    ) -> Result<AssociationMatrix, CoreError> {
         if frame.ticks() < self.config.min_frame_ticks {
             return Err(CoreError::FrameTooShort {
                 required: self.config.min_frame_ticks,
                 got: frame.ticks(),
             });
         }
+        let _span = Span::enter(&self.sink, EnginePhase::Sweep, context);
         let started = Instant::now();
-        let matrix = self.pool.sweep(frame, &self.measure);
+        let matrix = self
+            .pool
+            .sweep_attributed(frame, &self.measure, context, &self.sink);
         self.sink.record(&EngineEvent::SweepCompleted {
+            context,
             pairs: pair_count(),
             micros: started.elapsed().as_micros() as u64,
         });
@@ -202,9 +244,11 @@ impl Engine {
                 got: normal_frames.len(),
             });
         }
+        let id = self.intern_context(&context);
+        let _span = Span::enter(&self.sink, EnginePhase::InvariantBuild, id);
         let mut matrices = Vec::with_capacity(normal_frames.len());
         for frame in normal_frames {
-            matrices.push(self.association_matrix(frame)?);
+            matrices.push(self.association_matrix_for(id, frame)?);
         }
         let set = Arc::new(InvariantSet::select(&matrices, self.config.tau));
         self.state
@@ -228,7 +272,7 @@ impl Engine {
         let invariants = self
             .invariant_set(context)
             .ok_or_else(|| CoreError::NoInvariants(context.clone()))?;
-        let matrix = self.association_matrix(abnormal)?;
+        let matrix = self.association_matrix_for(self.intern_context(context), abnormal)?;
         Ok(ViolationTuple::build(
             &invariants,
             &matrix,
@@ -251,7 +295,7 @@ impl Engine {
         let tuple = self.violation_tuple(context, abnormal)?;
         self.signatures
             .write()
-            .expect("signature lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .add(Signature {
                 tuple,
                 problem: problem.to_string(),
@@ -275,7 +319,14 @@ impl Engine {
         let detector = self
             .detector(context)
             .ok_or_else(|| CoreError::NoPerformanceModel(context.clone()))?;
-        Ok(detector.score(cpi))
+        let result = detector.score(cpi);
+        if result.is_anomalous() {
+            self.sink.record(&EngineEvent::DetectionFired {
+                context: self.intern_context(context),
+                tick: self.ticks.load(std::sync::atomic::Ordering::Relaxed),
+            });
+        }
+        Ok(result)
     }
 
     /// Cause inference: matches the abnormal window's violation tuple
@@ -289,12 +340,18 @@ impl Engine {
         context: &OperationContext,
         abnormal: &MetricFrame,
     ) -> Result<Diagnosis, CoreError> {
+        let id = self.intern_context(context);
+        let tick = self.ticks.load(std::sync::atomic::Ordering::Relaxed);
+        let _span = Span::enter(&self.sink, EnginePhase::Diagnosis, id);
         let started = Instant::now();
         let tuple = self.violation_tuple(context, abnormal)?;
         let diagnosis = self.rank_tuple(context, tuple)?;
         self.sink.record(&EngineEvent::DiagnosisRan {
+            context: id,
+            tick,
             micros: started.elapsed().as_micros() as u64,
         });
+        self.emit_signature_match(id, tick, &diagnosis);
         Ok(diagnosis)
     }
 
@@ -308,7 +365,7 @@ impl Engine {
         let ranked = self
             .signatures
             .read()
-            .expect("signature lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .rank(context, &tuple, self.config.similarity)?
             .into_iter()
             .map(|(problem, similarity)| RankedCause {
@@ -317,6 +374,18 @@ impl Engine {
             })
             .collect();
         Ok(Diagnosis { ranked, tuple })
+    }
+
+    /// Reports how well a finished diagnosis matched the signature
+    /// database ([`EngineEvent::SignatureMatched`]).
+    pub(crate) fn emit_signature_match(&self, context: ContextId, tick: u64, diag: &Diagnosis) {
+        let best_similarity = diag.ranked.first().map_or(0.0, |r| r.similarity);
+        self.sink.record(&EngineEvent::SignatureMatched {
+            context,
+            tick,
+            best_similarity,
+            confident: best_similarity >= CONFIDENT_SIMILARITY,
+        });
     }
 
     /// The full batch online step: detect on CPI, and only when anomalous
@@ -360,7 +429,10 @@ impl Engine {
 
     /// A snapshot of the signature database.
     pub fn signature_database(&self) -> SignatureDatabase {
-        self.signatures.read().expect("signature lock").clone()
+        self.signatures
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Contexts with trained models, sorted.
@@ -378,7 +450,10 @@ impl Engine {
 
     /// Replaces the signature database (used when loading persisted state).
     pub fn set_signature_database(&self, db: SignatureDatabase) {
-        *self.signatures.write().expect("signature lock") = db;
+        *self
+            .signatures
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = db;
     }
 
     /// Installs a prebuilt invariant set (used when loading persisted
@@ -428,7 +503,11 @@ impl std::fmt::Debug for Engine {
             .field("invariant_sets", &self.state.invariant_contexts())
             .field(
                 "signatures",
-                &self.signatures.read().expect("signature lock").len(),
+                &self
+                    .signatures
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len(),
             )
             .field("shards", &self.state.shard_count())
             .field("threads", &self.pool.threads())

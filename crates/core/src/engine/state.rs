@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use ix_metrics::SlidingFrame;
 
@@ -91,7 +91,13 @@ impl ShardedStateMap {
         context: &OperationContext,
         f: impl FnOnce(&ContextState) -> R,
     ) -> Option<R> {
-        let shard = self.shard_of(context).read().expect("state shard lock");
+        // Shard state stays usable even if a panic poisoned the lock: the
+        // per-context values are either immutable Arcs or per-run scratch
+        // that the next reset_run discards.
+        let shard = self
+            .shard_of(context)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
         shard.get(context).map(f)
     }
 
@@ -102,7 +108,10 @@ impl ShardedStateMap {
         window_ticks: usize,
         f: impl FnOnce(&mut ContextState) -> R,
     ) -> R {
-        let mut shard = self.shard_of(context).write().expect("state shard lock");
+        let mut shard = self
+            .shard_of(context)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let state = shard
             .entry(context.clone())
             .or_insert_with(|| ContextState::new(window_ticks));
@@ -115,7 +124,10 @@ impl ShardedStateMap {
         context: &OperationContext,
         f: impl FnOnce(&mut ContextState) -> R,
     ) -> Option<R> {
-        let mut shard = self.shard_of(context).write().expect("state shard lock");
+        let mut shard = self
+            .shard_of(context)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         shard.get_mut(context).map(f)
     }
 
@@ -126,7 +138,7 @@ impl ShardedStateMap {
             .iter()
             .flat_map(|s| {
                 s.read()
-                    .expect("state shard lock")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .keys()
                     .cloned()
                     .collect::<Vec<_>>()
@@ -142,7 +154,7 @@ impl ShardedStateMap {
             .iter()
             .map(|s| {
                 s.read()
-                    .expect("state shard lock")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .values()
                     .filter(|c| c.perf_model.is_some())
                     .count()
@@ -156,7 +168,7 @@ impl ShardedStateMap {
             .iter()
             .map(|s| {
                 s.read()
-                    .expect("state shard lock")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .values()
                     .filter(|c| c.invariants.is_some())
                     .count()
@@ -194,5 +206,22 @@ mod tests {
     fn zero_shards_clamps_to_one() {
         let map = ShardedStateMap::new(0);
         assert_eq!(map.shard_count(), 1);
+    }
+
+    #[test]
+    fn poisoned_shard_stays_usable() {
+        let map = ShardedStateMap::new(1);
+        let c = OperationContext::new("n", "W");
+        map.with_mut(&c, 10, |s| s.run_ticks = 3);
+        // Poison the single shard's lock by panicking while holding it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map.with_mut(&c, 10, |_| panic!("injected"));
+        }));
+        assert!(result.is_err());
+        // Reads and writes recover the poisoned lock instead of panicking.
+        assert_eq!(map.with(&c, |s| s.run_ticks), Some(3));
+        map.with_mut(&c, 10, |s| s.run_ticks = 7);
+        assert_eq!(map.with(&c, |s| s.run_ticks), Some(7));
+        assert_eq!(map.contexts().len(), 1);
     }
 }

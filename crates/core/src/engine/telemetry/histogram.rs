@@ -1,0 +1,229 @@
+//! Fixed-bucket log-scale latency histograms with atomic counters.
+//!
+//! Buckets are powers of two: bucket 0 holds the value `0`, bucket `i >= 1`
+//! holds `[2^(i-1), 2^i)`. Recording is a single relaxed `fetch_add` on the
+//! bucket plus count/sum/max bookkeeping, so histograms are safe to hammer
+//! from every engine thread without locks. Quantiles are read from a
+//! [`HistogramSnapshot`] and are upper bounds with at most 2x relative
+//! error (the bucket's inclusive upper edge, capped at the observed max —
+//! the standard trade of log-bucketed histograms).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: `{0}`, then 31 power-of-two ranges; the last bucket
+/// (`>= 2^30`, about 18 minutes in microseconds) is the overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// The bucket a value lands in.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper edge of a bucket; `u64::MAX` for the overflow
+/// bucket.
+pub fn bucket_upper_edge(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A lock-free fixed-bucket log-scale histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy (relaxed loads; exact once
+    /// writers are quiescent).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], serializable and mergeable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_upper_edge`] for the bucket scheme).
+    pub buckets: Vec<u64>,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one (bucket-wise sums).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the inclusive upper edge of
+    /// the bucket holding the ranked value, capped at the observed max.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether the per-bucket counts add up to `count` — the structural
+    /// invariant concurrency tests assert.
+    pub fn is_consistent(&self) -> bool {
+        self.buckets.iter().sum::<u64>() == self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_partition_the_axis() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every value <= its bucket's upper edge, > the previous bucket's.
+        for v in [0u64, 1, 2, 5, 100, 1023, 1024, 1 << 29, 1 << 31] {
+            let b = bucket_index(v);
+            assert!(v <= bucket_upper_edge(b), "{v} in bucket {b}");
+            if b > 0 && b < HISTOGRAM_BUCKETS - 1 {
+                assert!(v > bucket_upper_edge(b - 1), "{v} in bucket {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.is_consistent());
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        // Log buckets: upper bound with <= 2x relative error.
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert!((990..=1023).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 1000); // capped at the exact max
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v * 10);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 200);
+        assert_eq!(m.max, 990);
+        assert!(m.is_consistent());
+    }
+}

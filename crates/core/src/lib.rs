@@ -48,6 +48,11 @@ pub use assoc::{pair_count, pair_index, pair_of_index, AssociationMatrix, SweepP
 pub use config::{DetectorChoice, InvarNetConfig};
 pub use context::OperationContext;
 pub use cusum::{CusumDetector, CusumResult};
+pub use engine::telemetry::{
+    bucket_upper_edge, ContextId, ContextRegistry, ContextScope, EnginePhase, Histogram,
+    HistogramSnapshot, MetricsRegistry, PhaseSnapshot, ScopeSnapshot, Span, SpanRecord, SpanRing,
+    SpanSnapshot, Telemetry, TelemetrySnapshot, CONFIDENT_SIMILARITY, HISTOGRAM_BUCKETS,
+};
 pub use engine::{
     ArimaDetector, CusumStreamDetector, Detector, DetectorRun, Engine, EngineCounters, EngineEvent,
     EventSink, NullSink, TickDecision, TickOutcome,

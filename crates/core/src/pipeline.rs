@@ -61,6 +61,12 @@ impl InvarNetX {
         self.engine.set_threads(threads);
     }
 
+    /// Attaches a [`crate::Telemetry`] hub to the underlying engine (see
+    /// [`Engine::attach_telemetry`]).
+    pub fn attach_telemetry(&mut self, telemetry: &Arc<crate::Telemetry>) {
+        self.engine.attach_telemetry(telemetry);
+    }
+
     /// The configuration.
     pub fn config(&self) -> &InvarNetConfig {
         self.engine.config()

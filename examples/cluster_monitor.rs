@@ -7,7 +7,7 @@
 //! cargo run --release --example cluster_monitor
 //! ```
 
-use invarnet_x::core::{InvarNetConfig, InvarNetX, OperationContext};
+use invarnet_x::core::{InvarNetConfig, InvarNetX, OperationContext, Telemetry};
 use invarnet_x::metrics::MetricFrame;
 use invarnet_x::simulator::{FaultType, Runner, WorkloadType};
 
@@ -29,6 +29,8 @@ fn main() {
 
     // ---- offline: train one context per workload on the observed node ----
     let mut system = InvarNetX::new(InvarNetConfig::default());
+    let telemetry = Telemetry::shared();
+    system.attach_telemetry(&telemetry);
     println!("== training contexts ==");
     for &workload in &workloads {
         let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
@@ -118,4 +120,7 @@ fn main() {
             }
         }
     }
+
+    // ---- what the monitor itself cost, per context ---------------------
+    println!("\n== engine telemetry ==\n{}", telemetry.render_report());
 }

@@ -5,15 +5,14 @@
 //! 1. simulate normal Wordcount runs and train the engine offline;
 //! 2. replay a fault run tick by tick through `Engine::ingest`;
 //! 3. watch the detection fire at the anomaly onset, get the ranked
-//!    diagnosis from the sliding window, and dump the engine counters.
+//!    diagnosis from the sliding window, and dump the telemetry report
+//!    (per-context counters plus sweep/diagnosis latency quantiles).
 //!
 //! ```text
 //! cargo run --release --example streaming_engine
 //! ```
 
-use std::sync::Arc;
-
-use invarnet_x::core::{Engine, EngineCounters, EventSink, InvarNetConfig, OperationContext};
+use invarnet_x::core::{Engine, InvarNetConfig, OperationContext, Telemetry};
 use invarnet_x::metrics::MetricFrame;
 use invarnet_x::simulator::{FaultType, Runner, WorkloadType};
 
@@ -29,8 +28,8 @@ fn main() {
         window_ticks: runner.fault_duration_ticks,
         ..InvarNetConfig::default()
     });
-    let counters = Arc::new(EngineCounters::default());
-    engine.set_event_sink(Arc::clone(&counters) as Arc<dyn EventSink>);
+    let telemetry = Telemetry::shared();
+    engine.attach_telemetry(&telemetry);
 
     let normals = runner.normal_runs(workload, 6);
     let cpi_traces: Vec<Vec<f64>> = normals
@@ -134,12 +133,14 @@ fn main() {
         detection.first_anomaly,
         detection.anomalies.iter().filter(|&&a| a).count(),
     );
+    let snapshot = telemetry.snapshot();
     println!(
-        "engine counters: {} ticks, {} detections, {} diagnoses, {} sweeps ({} µs max)",
-        counters.ticks_ingested(),
-        counters.detections_fired(),
-        counters.diagnoses_run(),
-        counters.sweeps_completed(),
-        counters.sweep_micros_max(),
+        "telemetry: {} ticks, {} detections, {} diagnoses, {} sweeps ({} pairs scored)",
+        snapshot.total.ticks,
+        snapshot.total.detections,
+        snapshot.total.diagnoses,
+        snapshot.total.sweeps,
+        snapshot.total.pairs_scored,
     );
+    println!("\n== engine telemetry ==\n{}", snapshot.render_report());
 }
