@@ -34,6 +34,23 @@ fn frame(ticks: usize) -> MetricFrame {
     f
 }
 
+/// MIC scored pair-by-pair with no shared sweep plan: every pair re-sorts
+/// and re-partitions both series, the pre-profile-cache behaviour. Keeping
+/// it benchable isolates what the per-series [`ix_mic::SeriesProfile`]
+/// cache buys.
+struct UnplannedMic(MicMeasure);
+
+impl AssociationMeasure for UnplannedMic {
+    fn score(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.0.score(x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        "MIC(unplanned)"
+    }
+    // No `prepare` override: the sweep falls back to per-pair `score`.
+}
+
 fn bench_sweep(c: &mut Criterion) {
     let threads = 4;
     let window = frame(45);
@@ -68,6 +85,33 @@ fn bench_sweep(c: &mut Criterion) {
         &threads,
         |b, _| b.iter(|| pool.sweep(black_box(&window), &mic_dyn)),
     );
+    group.finish();
+
+    // What the shared-profile plan buys: the same MIC sweep with and
+    // without per-series profiles, single-threaded so the kernel (not
+    // dispatch) is what's measured.
+    let mut group = c.benchmark_group("assoc_sweep_mic_profiles");
+    group.sample_size(10);
+    let unplanned = UnplannedMic(MicMeasure::new(MicParams::fast()));
+    group.bench_function(BenchmarkId::new("profiles", "on"), |b| {
+        b.iter(|| AssociationMatrix::compute(black_box(&window), &mic, 1))
+    });
+    group.bench_function(BenchmarkId::new("profiles", "off"), |b| {
+        b.iter(|| AssociationMatrix::compute(black_box(&window), &unplanned, 1))
+    });
+    group.finish();
+
+    // Work-stealing scaling across pool sizes.
+    let mut group = c.benchmark_group("assoc_sweep_mic_pool_scaling");
+    group.sample_size(10);
+    for pool_threads in [1usize, 4, 8] {
+        let sized_pool = SweepPool::new(pool_threads);
+        group.bench_with_input(
+            BenchmarkId::new("pool", pool_threads),
+            &pool_threads,
+            |b, _| b.iter(|| sized_pool.sweep(black_box(&window), &mic_dyn)),
+        );
+    }
     group.finish();
 }
 

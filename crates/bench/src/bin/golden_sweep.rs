@@ -1,0 +1,67 @@
+//! Regenerates `tests/data/golden_sweep_26x120.txt`: the exact bit
+//! patterns of every pairwise association score on a fixed synthetic
+//! window, for MIC (fast params), ARX and Pearson.
+//!
+//! The fixture was captured from the pre-profile-cache kernel; the
+//! `tests/golden_sweep.rs` suite asserts the optimized sweep reproduces
+//! every score bit-for-bit. Regenerate only when a deliberate numeric
+//! change is made:
+//!
+//! ```bash
+//! cargo run --release -p ix-bench --bin golden_sweep > tests/data/golden_sweep_26x120.txt
+//! ```
+
+use ix_core::{ArxMeasure, AssociationMatrix, MicMeasure, PearsonMeasure};
+use ix_metrics::{MetricFrame, METRIC_COUNT};
+use ix_mic::MicParams;
+
+/// The fixed window: identical to the generator in `tests/golden_sweep.rs`.
+fn frame(ticks: usize) -> MetricFrame {
+    let mut f = MetricFrame::new();
+    let mut state = 42u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for t in 0..ticks {
+        let latent = (t as f64 * 0.23).sin() * 5.0 + 10.0 + 0.2 * next();
+        let row: Vec<f64> = (0..METRIC_COUNT)
+            .map(|k| {
+                // Quantize half the metrics so the window carries ties —
+                // the hard case for sort/equipartition equivalence.
+                let v = latent * (k + 1) as f64 + 0.1 * next();
+                if k % 2 == 0 {
+                    (v * 8.0).round() / 8.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        f.push_tick(&row).expect("full-width row");
+    }
+    f
+}
+
+fn main() {
+    let window = frame(120);
+    for (name, matrix) in [
+        (
+            "mic_fast",
+            AssociationMatrix::compute(&window, &MicMeasure::new(MicParams::fast()), 1),
+        ),
+        (
+            "arx",
+            AssociationMatrix::compute(&window, &ArxMeasure::default(), 1),
+        ),
+        (
+            "pearson",
+            AssociationMatrix::compute(&window, &PearsonMeasure, 1),
+        ),
+    ] {
+        for (idx, score) in matrix.scores().iter().enumerate() {
+            println!("{name} {idx} {:016x}", score.to_bits());
+        }
+    }
+}

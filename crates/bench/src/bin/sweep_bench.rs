@@ -1,0 +1,114 @@
+//! Wall-clock timing of the 26-metric pairwise association sweep, printed
+//! as JSON (redirect to `BENCH_sweep.json`).
+//!
+//! Unlike the criterion benches this is a plain binary so the numbers can
+//! be regenerated and diffed across commits without the criterion harness:
+//!
+//! ```bash
+//! cargo run --release -p ix-bench --bin sweep_bench > BENCH_sweep.json
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ix_core::{AssociationMatrix, AssociationMeasure, MicMeasure, PearsonMeasure, SweepPool};
+use ix_metrics::{MetricFrame, METRIC_COUNT};
+use ix_mic::MicParams;
+
+/// A latent-coupled frame, the shape the online window actually has.
+fn frame(ticks: usize) -> MetricFrame {
+    let mut f = MetricFrame::new();
+    let mut state = 42u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for t in 0..ticks {
+        let latent = (t as f64 * 0.23).sin() * 5.0 + 10.0 + 0.2 * next();
+        let row: Vec<f64> = (0..METRIC_COUNT)
+            .map(|k| latent * (k + 1) as f64 + 0.1 * next())
+            .collect();
+        f.push_tick(&row).expect("full-width row");
+    }
+    f
+}
+
+/// Median wall-clock milliseconds of `iters` runs of `run`.
+fn time_ms(iters: usize, mut run: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// MIC without a sweep plan: per-pair re-sort/re-partition, the
+/// pre-profile-cache path, kept for before/after comparison.
+struct UnplannedMic(MicMeasure);
+
+impl AssociationMeasure for UnplannedMic {
+    fn score(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.0.score(x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        "MIC(unplanned)"
+    }
+}
+
+fn main() {
+    let ticks = 120;
+    let window = frame(ticks);
+    let mic = MicMeasure::new(MicParams::fast());
+    let mic_dyn: Arc<dyn AssociationMeasure> = Arc::new(MicMeasure::new(MicParams::fast()));
+    let pearson_dyn: Arc<dyn AssociationMeasure> = Arc::new(PearsonMeasure);
+
+    // Warm up (page in, spin up allocator arenas).
+    let reference = AssociationMatrix::compute(&window, &mic, 1);
+
+    let single = time_ms(7, || {
+        let m = AssociationMatrix::compute(&window, &mic, 1);
+        assert_eq!(m, reference);
+    });
+
+    // The same sweep with profile sharing disabled (per-pair score calls),
+    // to isolate what the per-series profile cache buys.
+    let unplanned_mic = UnplannedMic(MicMeasure::new(MicParams::fast()));
+    let unplanned = time_ms(7, || {
+        let m = AssociationMatrix::compute(&window, &unplanned_mic, 1);
+        assert_eq!(m, reference);
+    });
+
+    let mut pool_lines = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let pool = SweepPool::new(threads);
+        let ms = time_ms(7, || {
+            let m = pool.sweep(&window, &mic_dyn);
+            assert_eq!(m, reference);
+        });
+        pool_lines.push(format!("    \"mic_pool{threads}_ms\": {ms:.3}"));
+    }
+
+    let pearson_pool = SweepPool::new(4);
+    let pearson = time_ms(21, || {
+        pearson_pool.sweep(&window, &pearson_dyn);
+    });
+
+    println!("{{");
+    println!("  \"bench\": \"assoc_sweep_26x{ticks}\",");
+    println!("  \"pairs\": {},", ix_core::pair_count());
+    println!("  \"mic_params\": \"fast (alpha=0.55, c=5)\",");
+    println!("  \"results\": {{");
+    println!("    \"mic_single_thread_ms\": {single:.3},");
+    println!("    \"mic_unplanned_single_thread_ms\": {unplanned:.3},");
+    println!("{},", pool_lines.join(",\n"));
+    println!("    \"pearson_pool4_ms\": {pearson:.3}");
+    println!("  }}");
+    println!("}}");
+}

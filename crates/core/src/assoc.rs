@@ -5,6 +5,7 @@
 //! addressed by a canonical flat index so violation tuples across the whole
 //! pipeline agree on ordering.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -12,9 +13,14 @@ use std::time::Instant;
 
 use ix_metrics::{MetricFrame, MetricId, METRIC_COUNT};
 
-use crate::engine::telemetry::ContextId;
+use crate::engine::telemetry::{ContextId, EnginePhase};
 use crate::engine::{EngineEvent, EventSink, NullSink};
-use crate::measure::AssociationMeasure;
+use crate::measure::{AssociationMeasure, PairScorer, SweepPlan};
+
+/// Pairs claimed per cursor increment. MIC cost is data-dependent, so small
+/// batches keep workers load-balanced; 4 pairs amortize the atomic to noise
+/// while bounding the straggler tail to one batch.
+const STEAL_BATCH: usize = 4;
 
 /// Number of unordered metric pairs.
 pub const fn pair_count() -> usize {
@@ -42,16 +48,21 @@ pub fn pair_index(i: usize, j: usize) -> usize {
 /// Panics when `index >= pair_count()`.
 pub fn pair_of_index(index: usize) -> (MetricId, MetricId) {
     assert!(index < pair_count(), "pair index {index} out of range");
-    let mut i = 0;
-    let mut offset = index;
-    loop {
-        let row_len = METRIC_COUNT - i - 1;
-        if offset < row_len {
-            return (MetricId::ALL[i], MetricId::ALL[i + 1 + offset]);
-        }
-        offset -= row_len;
+    // Row i starts at preceding(i) = i (2M - i - 1) / 2; the wanted row is
+    // the largest i with preceding(i) <= index. Solving the quadratic gives
+    // i = floor((2M - 1 - sqrt((2M - 1)^2 - 8 index)) / 2); the loops
+    // below absorb any floating-point rounding at row boundaries.
+    let preceding = |i: usize| i * (2 * METRIC_COUNT - i - 1) / 2;
+    let a = (2 * METRIC_COUNT - 1) as f64;
+    let mut i = ((a - (a * a - 8.0 * index as f64).sqrt()) / 2.0) as usize;
+    while preceding(i) > index {
+        i -= 1;
+    }
+    while preceding(i + 1) <= index {
         i += 1;
     }
+    let j = i + 1 + (index - preceding(i));
+    (MetricId::ALL[i], MetricId::ALL[j])
 }
 
 /// The pairwise association scores of one metric frame under one measure —
@@ -64,7 +75,13 @@ pub struct AssociationMatrix {
 impl AssociationMatrix {
     /// Computes all pairwise scores of `frame` under `measure`,
     /// parallelizing the 325-pair sweep across `threads` workers.
-    pub fn compute<M: AssociationMeasure>(
+    ///
+    /// When the measure offers a [`SweepPlan`], per-series preprocessing is
+    /// done once here and shared by every pair; scores are identical either
+    /// way. Multi-threaded sweeps pull small pair batches off an atomic
+    /// cursor, so data-dependent per-pair cost cannot strand one worker
+    /// with a slow static chunk.
+    pub fn compute<M: AssociationMeasure + ?Sized>(
         frame: &MetricFrame,
         measure: &M,
         threads: usize,
@@ -73,24 +90,44 @@ impl AssociationMatrix {
         let n_pairs = pair_count();
         let mut scores = vec![0.0f64; n_pairs];
         let threads = threads.max(1);
+        let plan = measure.prepare(&series);
 
         if threads == 1 {
+            let mut scorer = plan.as_deref().map(SweepPlan::scorer);
             for (idx, slot) in scores.iter_mut().enumerate() {
                 let (a, b) = pair_of_index(idx);
-                *slot = measure.score(&series[a.index()], &series[b.index()]);
+                *slot = score_one(&mut scorer, measure, &series, a.index(), b.index());
             }
         } else {
-            let chunk = n_pairs.div_ceil(threads);
+            let cursor = AtomicUsize::new(0);
             std::thread::scope(|scope| {
-                for (t, slice) in scores.chunks_mut(chunk).enumerate() {
-                    let series = &series;
-                    scope.spawn(move || {
-                        for (k, slot) in slice.iter_mut().enumerate() {
-                            let idx = t * chunk + k;
-                            let (a, b) = pair_of_index(idx);
-                            *slot = measure.score(&series[a.index()], &series[b.index()]);
-                        }
-                    });
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let (series, cursor, plan) = (&series, &cursor, plan.as_deref());
+                        scope.spawn(move || {
+                            let mut local: Vec<(usize, f64)> = Vec::new();
+                            let mut scorer = plan.map(SweepPlan::scorer);
+                            while let Some((start, end)) = claim_batch(cursor, n_pairs) {
+                                for idx in start..end {
+                                    let (a, b) = pair_of_index(idx);
+                                    let v = score_one(
+                                        &mut scorer,
+                                        measure,
+                                        series,
+                                        a.index(),
+                                        b.index(),
+                                    );
+                                    local.push((idx, v));
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for worker in workers {
+                    for (idx, v) in worker.join().expect("sweep worker panicked") {
+                        scores[idx] = v;
+                    }
                 }
             });
         }
@@ -128,22 +165,47 @@ impl AssociationMatrix {
     }
 }
 
+/// Scores one pair through the plan's scorer when there is one, falling
+/// back to the measure's pairwise entry point.
+fn score_one<M: AssociationMeasure + ?Sized>(
+    scorer: &mut Option<Box<dyn PairScorer + '_>>,
+    measure: &M,
+    series: &[Vec<f64>],
+    a: usize,
+    b: usize,
+) -> f64 {
+    match scorer {
+        Some(s) => s.score_pair(a, b),
+        None => measure.score(&series[a], &series[b]),
+    }
+}
+
+/// Claims the next batch `[start, end)` of the flat pair index space off the
+/// shared cursor; `None` once the space is exhausted.
+fn claim_batch(cursor: &AtomicUsize, n_pairs: usize) -> Option<(usize, usize)> {
+    let start = cursor.fetch_add(STEAL_BATCH, Ordering::Relaxed);
+    (start < n_pairs).then(|| (start, (start + STEAL_BATCH).min(n_pairs)))
+}
+
 /// Everything one sweep's workers share: the extracted metric series, the
-/// measure, the channel results flow back on, and where to report
-/// per-chunk scoring cost ([`EngineEvent::PairsScored`]).
+/// measure and its per-sweep plan, the atomic work cursor, the channel
+/// results flow back on, and where to report per-batch scoring cost
+/// ([`EngineEvent::PairsScored`]).
 struct SweepShared {
     series: Vec<Vec<f64>>,
     measure: Arc<dyn AssociationMeasure>,
-    done_tx: Sender<(usize, Vec<f64>)>,
+    plan: Option<Box<dyn SweepPlan>>,
+    cursor: AtomicUsize,
+    done_tx: Sender<Vec<(usize, f64)>>,
     sink: Arc<dyn EventSink>,
     context: ContextId,
 }
 
-/// One contiguous chunk `[start, end)` of the flat pair index space.
+/// One worker's membership in one sweep: every worker receives a handle to
+/// the same [`SweepShared`] and steals pair batches from its cursor until
+/// the sweep is drained.
 struct SweepJob {
     shared: Arc<SweepShared>,
-    start: usize,
-    end: usize,
 }
 
 /// A persistent worker pool for pairwise association sweeps.
@@ -191,22 +253,34 @@ impl SweepPool {
                 Err(_) => return,
             };
             let Ok(job) = job else { return };
-            let started = Instant::now();
-            let mut scores = vec![0.0f64; job.end - job.start];
-            for (k, slot) in scores.iter_mut().enumerate() {
-                let (a, b) = pair_of_index(job.start + k);
-                *slot = job
-                    .shared
-                    .measure
-                    .score(&job.shared.series[a.index()], &job.shared.series[b.index()]);
+            let shared = &job.shared;
+            let n_pairs = pair_count();
+            let mut scorer = shared.plan.as_deref().map(SweepPlan::scorer);
+            let mut local: Vec<(usize, f64)> = Vec::new();
+            // Work-stealing: claim small batches off the sweep's cursor
+            // until the pair space is drained. Each batch's cost feeds the
+            // pair-scoring histogram.
+            while let Some((start, end)) = claim_batch(&shared.cursor, n_pairs) {
+                let started = Instant::now();
+                for idx in start..end {
+                    let (a, b) = pair_of_index(idx);
+                    let v = score_one(
+                        &mut scorer,
+                        shared.measure.as_ref(),
+                        &shared.series,
+                        a.index(),
+                        b.index(),
+                    );
+                    local.push((idx, v));
+                }
+                shared.sink.record(&EngineEvent::PairsScored {
+                    context: shared.context,
+                    pairs: end - start,
+                    micros: started.elapsed().as_micros() as u64,
+                });
             }
-            job.shared.sink.record(&EngineEvent::PairsScored {
-                context: job.shared.context,
-                pairs: job.end - job.start,
-                micros: started.elapsed().as_micros() as u64,
-            });
             // The sweep may have been abandoned; ignore a closed channel.
-            let _ = job.shared.done_tx.send((job.start, scores));
+            let _ = shared.done_tx.send(local);
         }
     }
 
@@ -228,8 +302,10 @@ impl SweepPool {
         )
     }
 
-    /// [`SweepPool::sweep`] with per-chunk scoring cost reported to `sink`
-    /// as [`EngineEvent::PairsScored`], attributed to `context`.
+    /// [`SweepPool::sweep`] with per-batch scoring cost reported to `sink`
+    /// as [`EngineEvent::PairsScored`], attributed to `context`. When the
+    /// measure builds a [`SweepPlan`], the shared profile-construction time
+    /// is reported as an [`EnginePhase::ProfileBuild`] span.
     pub fn sweep_attributed(
         &self,
         frame: &MetricFrame,
@@ -239,35 +315,43 @@ impl SweepPool {
     ) -> AssociationMatrix {
         let series: Vec<Vec<f64>> = MetricId::ALL.iter().map(|&m| frame.series(m)).collect();
         let n_pairs = pair_count();
+        let prepare_started = Instant::now();
+        let plan = measure.prepare(&series);
+        if plan.is_some() {
+            sink.record(&EngineEvent::SpanClosed {
+                phase: EnginePhase::ProfileBuild,
+                context,
+                micros: prepare_started.elapsed().as_micros() as u64,
+            });
+        }
         let (done_tx, done_rx) = channel();
         let shared = Arc::new(SweepShared {
             series,
             measure: Arc::clone(measure),
+            plan,
+            cursor: AtomicUsize::new(0),
             done_tx,
             sink: Arc::clone(sink),
             context,
         });
-        let chunk = n_pairs.div_ceil(self.threads);
+        // Every worker joins the sweep; the cursor hands out the actual
+        // work, so a worker that arrives late (or draws expensive pairs)
+        // simply claims fewer batches.
         let job_tx = self.job_tx.as_ref().expect("pool alive until drop");
-        let mut jobs = 0usize;
-        let mut start = 0usize;
-        while start < n_pairs {
-            let end = (start + chunk).min(n_pairs);
+        for _ in 0..self.threads {
             job_tx
                 .send(SweepJob {
                     shared: Arc::clone(&shared),
-                    start,
-                    end,
                 })
                 .expect("sweep workers alive until drop");
-            jobs += 1;
-            start = end;
         }
         drop(shared);
         let mut scores = vec![0.0f64; n_pairs];
-        for _ in 0..jobs {
-            let (at, part) = done_rx.recv().expect("sweep workers alive until drop");
-            scores[at..at + part.len()].copy_from_slice(&part);
+        for _ in 0..self.threads {
+            let part = done_rx.recv().expect("sweep workers alive until drop");
+            for (idx, v) in part {
+                scores[idx] = v;
+            }
         }
         AssociationMatrix { scores }
     }
@@ -334,6 +418,30 @@ mod tests {
         let serial = AssociationMatrix::compute(&frame, &PearsonMeasure, 1);
         let parallel = AssociationMatrix::compute(&frame, &PearsonMeasure, 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn work_stealing_is_bit_identical_to_serial_for_mic() {
+        use crate::measure::MicMeasure;
+        use ix_mic::MicParams;
+
+        let frame = synthetic_frame(40);
+        let mic = MicMeasure::new(MicParams::fast());
+        let bits = |m: &AssociationMatrix| -> Vec<u64> {
+            m.scores().iter().map(|s| s.to_bits()).collect()
+        };
+        let serial = AssociationMatrix::compute(&frame, &mic, 1);
+        // Scoped work-stealing compute.
+        let parallel = AssociationMatrix::compute(&frame, &mic, 4);
+        assert_eq!(bits(&serial), bits(&parallel));
+        // Persistent-pool work-stealing dispatch, twice on one pool to
+        // exercise cursor reset between sweeps.
+        let pool = SweepPool::new(4);
+        let measure: Arc<dyn AssociationMeasure> = Arc::new(MicMeasure::new(MicParams::fast()));
+        for _ in 0..2 {
+            let stolen = pool.sweep(&frame, &measure);
+            assert_eq!(bits(&serial), bits(&stolen));
+        }
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub struct InvarNetConfig {
     /// (concurrent ingestion from different contexts contends only within
     /// a shard).
     pub state_shards: usize,
+    /// Capacity of the engine's frame-fingerprint → association-matrix
+    /// cache: re-diagnosing an unchanged window skips the pairwise sweep
+    /// entirely. `0` disables caching.
+    pub sweep_cache_entries: usize,
 }
 
 impl Default for InvarNetConfig {
@@ -94,6 +98,7 @@ impl Default for InvarNetConfig {
             detector: DetectorChoice::Arima,
             window_ticks: 60,
             state_shards: 8,
+            sweep_cache_entries: 8,
         }
     }
 }

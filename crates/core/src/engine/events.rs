@@ -92,6 +92,15 @@ pub enum EngineEvent {
         /// Wall-clock microseconds the chunk took.
         micros: u64,
     },
+    /// The engine consulted its frame-fingerprint → association-matrix
+    /// cache before sweeping.
+    SweepCacheLookup {
+        /// The context whose window was looked up.
+        context: ContextId,
+        /// Whether the cached matrix was reused (`true`) or a full sweep
+        /// had to run (`false`).
+        hit: bool,
+    },
     /// A [`super::telemetry::Span`] guard closed.
     SpanClosed {
         /// The engine phase the span covered.
@@ -115,6 +124,7 @@ impl EngineEvent {
             | EngineEvent::SignatureMatched { context, .. }
             | EngineEvent::SweepCompleted { context, .. }
             | EngineEvent::PairsScored { context, .. }
+            | EngineEvent::SweepCacheLookup { context, .. }
             | EngineEvent::SpanClosed { context, .. } => context,
         }
     }
@@ -165,6 +175,8 @@ pub struct EngineCounters {
     sweeps_completed: AtomicU64,
     sweep_micros_total: AtomicU64,
     sweep_micros_max: AtomicU64,
+    sweep_cache_hits: AtomicU64,
+    sweep_cache_misses: AtomicU64,
     signature_matches: AtomicU64,
 }
 
@@ -209,6 +221,16 @@ impl EngineCounters {
         self.sweep_micros_max.load(Ordering::Relaxed)
     }
 
+    /// Sweeps skipped because the window's association matrix was cached.
+    pub fn sweep_cache_hits(&self) -> u64 {
+        self.sweep_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache lookups that fell through to a full sweep.
+    pub fn sweep_cache_misses(&self) -> u64 {
+        self.sweep_cache_misses.load(Ordering::Relaxed)
+    }
+
     /// Confident signature matches reported by diagnoses.
     pub fn signature_matches(&self) -> u64 {
         self.signature_matches.load(Ordering::Relaxed)
@@ -241,6 +263,13 @@ impl EventSink for EngineCounters {
                 self.sweeps_completed.fetch_add(1, Ordering::Relaxed);
                 self.sweep_micros_total.fetch_add(micros, Ordering::Relaxed);
                 self.sweep_micros_max.fetch_max(micros, Ordering::Relaxed);
+            }
+            EngineEvent::SweepCacheLookup { hit, .. } => {
+                if hit {
+                    self.sweep_cache_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.sweep_cache_misses.fetch_add(1, Ordering::Relaxed);
+                }
             }
             // Chunk- and span-level signals are histogram fodder; the flat
             // counters ignore them.
@@ -298,6 +327,18 @@ mod tests {
             pairs: 325,
             micros: 30,
         });
+        c.record(&EngineEvent::SweepCacheLookup {
+            context: ctx,
+            hit: true,
+        });
+        c.record(&EngineEvent::SweepCacheLookup {
+            context: ctx,
+            hit: false,
+        });
+        c.record(&EngineEvent::SweepCacheLookup {
+            context: ctx,
+            hit: false,
+        });
         assert_eq!(c.ticks_ingested(), 2);
         assert_eq!(c.detections_fired(), 1);
         assert_eq!(c.detections_cleared(), 1);
@@ -307,6 +348,8 @@ mod tests {
         assert_eq!(c.sweeps_completed(), 2);
         assert_eq!(c.sweep_micros_total(), 40);
         assert_eq!(c.sweep_micros_max(), 30);
+        assert_eq!(c.sweep_cache_hits(), 1);
+        assert_eq!(c.sweep_cache_misses(), 2);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod diagnosis;
 pub mod events;
 mod ingest;
 mod state;
+mod sweep_cache;
 pub mod telemetry;
 
 use std::sync::atomic::AtomicU64;
@@ -51,6 +52,7 @@ pub use ingest::TickOutcome;
 pub use telemetry::Telemetry;
 
 use state::ShardedStateMap;
+use sweep_cache::SweepCache;
 use telemetry::{ContextId, ContextRegistry, EnginePhase, Span, CONFIDENT_SIMILARITY};
 
 /// The streaming diagnosis engine. All methods take `&self`; state lives
@@ -62,6 +64,7 @@ pub struct Engine {
     state: ShardedStateMap,
     signatures: RwLock<SignatureDatabase>,
     pool: SweepPool,
+    sweep_cache: SweepCache,
     sink: Arc<dyn EventSink>,
     contexts: Arc<ContextRegistry>,
     ticks: AtomicU64,
@@ -79,12 +82,14 @@ impl Engine {
     pub fn with_measure(config: InvarNetConfig, measure: Arc<dyn AssociationMeasure>) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
         let shards = config.state_shards;
+        let sweep_cache = SweepCache::new(config.sweep_cache_entries);
         Engine {
             config,
             measure,
             state: ShardedStateMap::new(shards),
             signatures: RwLock::new(SignatureDatabase::new()),
             pool: SweepPool::new(threads),
+            sweep_cache,
             sink: Arc::new(NullSink),
             contexts: Arc::new(ContextRegistry::new()),
             ticks: AtomicU64::new(0),
@@ -211,6 +216,21 @@ impl Engine {
                 got: frame.ticks(),
             });
         }
+        // The matrix is a pure function of the frame's values under this
+        // engine's fixed measure, so an unchanged window (a re-diagnosed
+        // sliding window, `violation_tuple` + `record_signature` on one
+        // frame) is served from the MRU cache bit-for-bit.
+        if self.sweep_cache.is_enabled() {
+            if let Some(matrix) = self.sweep_cache.get(frame.values()) {
+                self.sink
+                    .record(&EngineEvent::SweepCacheLookup { context, hit: true });
+                return Ok(matrix);
+            }
+            self.sink.record(&EngineEvent::SweepCacheLookup {
+                context,
+                hit: false,
+            });
+        }
         let _span = Span::enter(&self.sink, EnginePhase::Sweep, context);
         let started = Instant::now();
         let matrix = self
@@ -221,6 +241,7 @@ impl Engine {
             pairs: pair_count(),
             micros: started.elapsed().as_micros() as u64,
         });
+        self.sweep_cache.insert(frame.values(), matrix.clone());
         Ok(matrix)
     }
 

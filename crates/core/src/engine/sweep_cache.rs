@@ -1,0 +1,221 @@
+//! A small frame-fingerprint → [`AssociationMatrix`] cache for the
+//! diagnosis path.
+//!
+//! An engine often re-diagnoses the same sliding window — repeated
+//! `diagnose` calls while an anomaly persists, or `violation_tuple`
+//! followed by `record_signature` on the identical frame. The pairwise
+//! sweep is the dominant cost of those calls, and its result is a pure
+//! function of the frame's values (the measure and its parameters are
+//! fixed per engine), so an unchanged window can be served from cache
+//! bit-for-bit.
+//!
+//! Lookup is two-stage: a 64-bit FNV-1a fingerprint over the raw value
+//! bits rejects non-matches cheaply, then an exact `[f64]` bit comparison
+//! guards against fingerprint collisions — a hit is never approximate.
+//! Entries are kept in most-recently-used order in a small `Vec` behind a
+//! `Mutex`; with single-digit capacities a scan beats any map.
+
+use std::sync::{Mutex, PoisonError};
+
+use crate::assoc::AssociationMatrix;
+
+/// One cached sweep: the exact frame values it was computed from plus the
+/// resulting matrix.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    fingerprint: u64,
+    values: Vec<f64>,
+    matrix: AssociationMatrix,
+}
+
+/// MRU cache of sweep results keyed by frame contents. Capacity `0`
+/// disables the cache (every lookup misses, inserts are dropped).
+#[derive(Debug)]
+pub(crate) struct SweepCache {
+    capacity: usize,
+    entries: Mutex<Vec<CacheEntry>>,
+}
+
+impl SweepCache {
+    /// A cache holding at most `capacity` matrices.
+    pub(crate) fn new(capacity: usize) -> Self {
+        SweepCache {
+            capacity,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether lookups can ever hit.
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The matrix previously inserted for exactly these frame values, if
+    /// still cached. A hit moves the entry to the front (most recent).
+    pub(crate) fn get(&self, values: &[f64]) -> Option<AssociationMatrix> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let fingerprint = fingerprint_values(values);
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let pos = entries
+            .iter()
+            .position(|e| e.fingerprint == fingerprint && bits_equal(&e.values, values))?;
+        let entry = entries.remove(pos);
+        let matrix = entry.matrix.clone();
+        entries.insert(0, entry);
+        Some(matrix)
+    }
+
+    /// Caches a freshly computed matrix for these frame values, evicting
+    /// the least recently used entry when full.
+    pub(crate) fn insert(&self, values: &[f64], matrix: AssociationMatrix) {
+        if self.capacity == 0 {
+            return;
+        }
+        let fingerprint = fingerprint_values(values);
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        // Replace an existing entry for the same frame instead of
+        // duplicating it (two concurrent misses on one frame, say).
+        if let Some(pos) = entries
+            .iter()
+            .position(|e| e.fingerprint == fingerprint && bits_equal(&e.values, values))
+        {
+            entries.remove(pos);
+        }
+        entries.insert(
+            0,
+            CacheEntry {
+                fingerprint,
+                values: values.to_vec(),
+                matrix,
+            },
+        );
+        entries.truncate(self.capacity);
+    }
+
+    /// Number of cached matrices (for tests and diagnostics).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+/// 64-bit FNV-1a over the IEEE-754 bit patterns of the samples. Bitwise
+/// hashing (rather than numeric) keeps `0.0` and `-0.0` distinct — the
+/// cache must only hit on frames the sweep would treat identically down
+/// to the last bit.
+fn fingerprint_values(values: &[f64]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    // Fold the length in first so a prefix and its extension never share
+    // a fingerprint trivially.
+    for byte in (values.len() as u64).to_le_bytes() {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(PRIME);
+    }
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            hash = (hash ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
+/// Exact bit-pattern equality (`NaN`-safe, distinguishes `0.0`/`-0.0`).
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::PearsonMeasure;
+    use ix_metrics::{MetricFrame, METRIC_COUNT};
+
+    fn matrix_for(seed: u64) -> (Vec<f64>, AssociationMatrix) {
+        let mut frame = MetricFrame::new();
+        let mut state = seed.max(1);
+        for _ in 0..24 {
+            let tick: Vec<f64> = (0..METRIC_COUNT)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as f64 / (1u64 << 31) as f64
+                })
+                .collect();
+            frame.push_tick(&tick).unwrap();
+        }
+        let matrix = AssociationMatrix::compute(&frame, &PearsonMeasure, 1);
+        (frame.values().to_vec(), matrix)
+    }
+
+    #[test]
+    fn hit_returns_the_exact_matrix() {
+        let cache = SweepCache::new(4);
+        let (values, matrix) = matrix_for(7);
+        assert!(cache.get(&values).is_none());
+        cache.insert(&values, matrix.clone());
+        assert_eq!(cache.get(&values), Some(matrix));
+    }
+
+    #[test]
+    fn distinct_frames_do_not_collide() {
+        let cache = SweepCache::new(4);
+        let (va, ma) = matrix_for(1);
+        let (vb, mb) = matrix_for(2);
+        cache.insert(&va, ma.clone());
+        cache.insert(&vb, mb.clone());
+        assert_eq!(cache.get(&va), Some(ma));
+        assert_eq!(cache.get(&vb), Some(mb));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = SweepCache::new(2);
+        let (va, ma) = matrix_for(1);
+        let (vb, mb) = matrix_for(2);
+        let (vc, mc) = matrix_for(3);
+        cache.insert(&va, ma.clone());
+        cache.insert(&vb, mb);
+        // Touch `a` so `b` becomes the eviction candidate.
+        assert!(cache.get(&va).is_some());
+        cache.insert(&vc, mc);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&va), Some(ma));
+        assert!(cache.get(&vb).is_none());
+        assert!(cache.get(&vc).is_some());
+    }
+
+    #[test]
+    fn reinserting_the_same_frame_does_not_duplicate() {
+        let cache = SweepCache::new(4);
+        let (values, matrix) = matrix_for(5);
+        cache.insert(&values, matrix.clone());
+        cache.insert(&values, matrix);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = SweepCache::new(0);
+        let (values, matrix) = matrix_for(9);
+        assert!(!cache.is_enabled());
+        cache.insert(&values, matrix);
+        assert!(cache.get(&values).is_none());
+    }
+
+    #[test]
+    fn negative_zero_is_distinct_from_zero() {
+        let cache = SweepCache::new(4);
+        let (mut values, matrix) = matrix_for(11);
+        values[0] = 0.0;
+        cache.insert(&values, matrix);
+        let mut flipped = values.clone();
+        flipped[0] = -0.0;
+        assert!(cache.get(&values).is_some());
+        assert!(cache.get(&flipped).is_none());
+    }
+}

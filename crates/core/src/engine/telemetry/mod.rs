@@ -217,6 +217,15 @@ impl EventSink for Telemetry {
                     .fetch_add(pairs as u64, std::sync::atomic::Ordering::Relaxed);
                 scope.sweep_micros.record(micros);
             }
+            EngineEvent::SweepCacheLookup { context, hit } => {
+                let scope = self.metrics.scope(context);
+                let counter = if hit {
+                    &scope.sweep_cache_hits
+                } else {
+                    &scope.sweep_cache_misses
+                };
+                counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
             EngineEvent::PairsScored {
                 context,
                 pairs,

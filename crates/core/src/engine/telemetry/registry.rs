@@ -59,6 +59,10 @@ pub struct ContextScope {
     pub sweeps: AtomicU64,
     /// Metric pairs scored across all sweeps.
     pub pairs_scored: AtomicU64,
+    /// Sweeps skipped because the window's association matrix was cached.
+    pub sweep_cache_hits: AtomicU64,
+    /// Sweep-cache lookups that fell through to a full sweep.
+    pub sweep_cache_misses: AtomicU64,
     /// Signature matches confident enough to report as a known problem.
     pub matches_confident: AtomicU64,
     /// Diagnoses whose best match stayed below the confidence bar.
@@ -103,6 +107,8 @@ impl ContextScope {
             diagnoses: self.diagnoses.load(Ordering::Relaxed),
             sweeps: self.sweeps.load(Ordering::Relaxed),
             pairs_scored: self.pairs_scored.load(Ordering::Relaxed),
+            sweep_cache_hits: self.sweep_cache_hits.load(Ordering::Relaxed),
+            sweep_cache_misses: self.sweep_cache_misses.load(Ordering::Relaxed),
             matches_confident: self.matches_confident.load(Ordering::Relaxed),
             matches_unknown: self.matches_unknown.load(Ordering::Relaxed),
             last_residual: gauge_get(&self.last_residual),
@@ -135,6 +141,10 @@ pub struct ScopeSnapshot {
     pub sweeps: u64,
     /// Metric pairs scored.
     pub pairs_scored: u64,
+    /// Sweeps skipped via the association-matrix cache.
+    pub sweep_cache_hits: u64,
+    /// Sweep-cache lookups that missed.
+    pub sweep_cache_misses: u64,
     /// Confident signature matches.
     pub matches_confident: u64,
     /// Below-confidence diagnoses.
@@ -167,6 +177,8 @@ impl ScopeSnapshot {
             diagnoses: 0,
             sweeps: 0,
             pairs_scored: 0,
+            sweep_cache_hits: 0,
+            sweep_cache_misses: 0,
             matches_confident: 0,
             matches_unknown: 0,
             last_residual: 0.0,
@@ -189,6 +201,8 @@ impl ScopeSnapshot {
         self.diagnoses += other.diagnoses;
         self.sweeps += other.sweeps;
         self.pairs_scored += other.pairs_scored;
+        self.sweep_cache_hits += other.sweep_cache_hits;
+        self.sweep_cache_misses += other.sweep_cache_misses;
         self.matches_confident += other.matches_confident;
         self.matches_unknown += other.matches_unknown;
         // "Last" gauges have no global order across scopes; keep the

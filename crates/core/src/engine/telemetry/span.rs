@@ -32,16 +32,20 @@ pub enum EnginePhase {
     /// [`EngineEvent::TickIngested`] instead. The phase exists for callers
     /// that want to time their own ingest batches.
     Ingest,
+    /// Per-series profile construction at the start of a sweep (the shared
+    /// preprocessing the profiled MIC kernel amortizes across all pairs).
+    ProfileBuild,
 }
 
 impl EnginePhase {
     /// Every phase, in reporting order.
-    pub const ALL: [EnginePhase; 5] = [
+    pub const ALL: [EnginePhase; 6] = [
         EnginePhase::Train,
         EnginePhase::InvariantBuild,
         EnginePhase::Sweep,
         EnginePhase::Diagnosis,
         EnginePhase::Ingest,
+        EnginePhase::ProfileBuild,
     ];
 
     /// Stable snake_case name (used as the metric label).
@@ -52,6 +56,7 @@ impl EnginePhase {
             EnginePhase::Sweep => "sweep",
             EnginePhase::Diagnosis => "diagnosis",
             EnginePhase::Ingest => "ingest",
+            EnginePhase::ProfileBuild => "profile_build",
         }
     }
 
@@ -63,6 +68,7 @@ impl EnginePhase {
             EnginePhase::Sweep => 2,
             EnginePhase::Diagnosis => 3,
             EnginePhase::Ingest => 4,
+            EnginePhase::ProfileBuild => 5,
         }
     }
 

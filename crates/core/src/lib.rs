@@ -60,7 +60,9 @@ pub use engine::{
 pub use error::CoreError;
 pub use eval::{ConfusionMatrix, EvalOutcome, PrecisionRecall};
 pub use invariants::InvariantSet;
-pub use measure::{ArxMeasure, AssociationMeasure, MicMeasure, PearsonMeasure};
+pub use measure::{
+    ArxMeasure, AssociationMeasure, MicMeasure, PairScorer, PearsonMeasure, SweepPlan,
+};
 pub use pipeline::{Diagnosis, InvarNetX, RankedCause};
 pub use signature::{Signature, SignatureDatabase, ViolationTuple};
 pub use similarity::Similarity;

@@ -6,8 +6,26 @@
 //! over this trait.
 
 use ix_arx::ArxSearch;
-use ix_mic::MicParams;
+use ix_mic::{mic_with_profiles_scratch, MicParams, MineScratch, SeriesProfile};
 use ix_timeseries::pearson;
+
+/// Per-sweep shared preprocessing of all metric series, produced by
+/// [`AssociationMeasure::prepare`]. A plan owns whatever a measure can
+/// amortize across the sweep's pairs (for MIC: one [`SeriesProfile`] per
+/// series); workers then pull per-thread [`PairScorer`]s from it.
+pub trait SweepPlan: Send + Sync {
+    /// A scorer with its own mutable scratch. Each sweep worker takes one,
+    /// so scoring needs no locking.
+    fn scorer(&self) -> Box<dyn PairScorer + '_>;
+}
+
+/// Scores pairs by series index against a [`SweepPlan`]'s shared state,
+/// carrying per-worker scratch so the hot loop does not allocate.
+pub trait PairScorer {
+    /// The association score of series `a` versus series `b` (indices into
+    /// the series slice the plan was prepared from).
+    fn score_pair(&mut self, a: usize, b: usize) -> f64;
+}
 
 /// A symmetric association score between two metric series, in `[0, 1]`.
 pub trait AssociationMeasure: Send + Sync {
@@ -18,6 +36,21 @@ pub trait AssociationMeasure: Send + Sync {
 
     /// Short human-readable name ("MIC", "ARX", ...).
     fn name(&self) -> &'static str;
+
+    /// Per-sweep preprocessing shared across all pairs of `series`.
+    /// Measures with nothing to amortize return `None` (the default) and
+    /// are scored through [`AssociationMeasure::score`] directly. Any plan
+    /// returned MUST score bit-identically to `score` on the same series.
+    fn prepare(&self, series: &[Vec<f64>]) -> Option<Box<dyn SweepPlan>> {
+        let _ = series;
+        None
+    }
+}
+
+/// `true` when every sample equals the first — the measure-independent
+/// "no association" fast path.
+fn is_constant(xs: &[f64]) -> bool {
+    xs.windows(2).all(|w| w[0] == w[1])
 }
 
 /// The Maximal Information Coefficient measure (InvarNet-X proper).
@@ -36,11 +69,65 @@ impl MicMeasure {
 
 impl AssociationMeasure for MicMeasure {
     fn score(&self, x: &[f64], y: &[f64]) -> f64 {
+        // Degenerate inputs score exactly 0.0 without entering the kernel:
+        // the kernel errors on short/mismatched input (mapped to 0.0 below)
+        // and provably returns 0.0 for a constant axis (a single row or
+        // column carries no information).
+        if x.len() != y.len() || x.len() < 4 || is_constant(x) || is_constant(y) {
+            return 0.0;
+        }
         ix_mic::mic_with_params(x, y, &self.params).unwrap_or(0.0)
     }
 
     fn name(&self) -> &'static str {
         "MIC"
+    }
+
+    fn prepare(&self, series: &[Vec<f64>]) -> Option<Box<dyn SweepPlan>> {
+        // A series the kernel would reject (too short; a frame is finite by
+        // construction) gets a `None` slot and scores 0.0 against every
+        // partner — exactly what `score`'s error path yields.
+        let profiles = series
+            .iter()
+            .map(|s| SeriesProfile::build(s, &self.params).ok())
+            .collect();
+        Some(Box::new(MicSweepPlan {
+            params: self.params,
+            profiles,
+        }))
+    }
+}
+
+/// The shared half of a MIC sweep: one profile per series.
+struct MicSweepPlan {
+    params: MicParams,
+    profiles: Vec<Option<SeriesProfile>>,
+}
+
+impl SweepPlan for MicSweepPlan {
+    fn scorer(&self) -> Box<dyn PairScorer + '_> {
+        Box::new(MicScorer {
+            plan: self,
+            scratch: MineScratch::new(),
+        })
+    }
+}
+
+/// Per-worker MIC scorer: borrows the shared profiles, owns the scratch.
+struct MicScorer<'p> {
+    plan: &'p MicSweepPlan,
+    scratch: MineScratch,
+}
+
+impl PairScorer for MicScorer<'_> {
+    fn score_pair(&mut self, a: usize, b: usize) -> f64 {
+        match (&self.plan.profiles[a], &self.plan.profiles[b]) {
+            (Some(xp), Some(yp)) => {
+                mic_with_profiles_scratch(xp, yp, &self.plan.params, &mut self.scratch)
+                    .unwrap_or(0.0)
+            }
+            _ => 0.0,
+        }
     }
 }
 
@@ -75,6 +162,13 @@ pub struct PearsonMeasure;
 
 impl AssociationMeasure for PearsonMeasure {
     fn score(&self, x: &[f64], y: &[f64]) -> f64 {
+        // Same degenerate-input policy as MIC: fewer than four samples or a
+        // constant axis is "no measurable association", scored 0.0 without
+        // touching the kernel (a constant axis has zero variance, so the
+        // correlation would come back 0.0 anyway).
+        if x.len() != y.len() || x.len() < 4 || is_constant(x) || is_constant(y) {
+            return 0.0;
+        }
         pearson(x, y).abs()
     }
 
@@ -145,5 +239,53 @@ mod tests {
         assert_eq!(MicMeasure::default().name(), "MIC");
         assert_eq!(ArxMeasure::default().name(), "ARX");
         assert_eq!(PearsonMeasure.name(), "Pearson");
+    }
+
+    #[test]
+    fn degenerate_inputs_short_circuit_to_zero() {
+        let short = [1.0, 2.0, 3.0];
+        let constant = vec![5.0; 30];
+        let ramp: Vec<f64> = (0..30).map(f64::from).collect();
+        for m in [
+            &MicMeasure::default() as &dyn AssociationMeasure,
+            &PearsonMeasure,
+        ] {
+            assert_eq!(m.score(&short, &short), 0.0, "{}: n < 4", m.name());
+            assert_eq!(m.score(&constant, &ramp), 0.0, "{}: constant x", m.name());
+            assert_eq!(m.score(&ramp, &constant), 0.0, "{}: constant y", m.name());
+            assert_eq!(m.score(&ramp, &ramp[..20]), 0.0, "{}: mismatch", m.name());
+        }
+    }
+
+    #[test]
+    fn mic_plan_scores_bit_identical_to_direct() {
+        let mut series: Vec<Vec<f64>> = (0..4)
+            .map(|k| {
+                (0..40)
+                    .map(|t| ((t * (k + 1)) as f64 * 0.37).sin() * 10.0)
+                    .collect()
+            })
+            .collect();
+        series.push(vec![3.0; 40]);
+        let measure = MicMeasure::default();
+        let plan = measure.prepare(&series).expect("MIC always plans");
+        let mut scorer = plan.scorer();
+        for i in 0..series.len() {
+            for j in 0..series.len() {
+                if i == j {
+                    continue;
+                }
+                let direct = measure.score(&series[i], &series[j]);
+                let planned = scorer.score_pair(i, j);
+                assert_eq!(planned.to_bits(), direct.to_bits(), "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn default_measures_do_not_plan() {
+        let series = vec![vec![1.0, 2.0, 3.0, 4.0]; 2];
+        assert!(ArxMeasure::default().prepare(&series).is_none());
+        assert!(PearsonMeasure.prepare(&series).is_none());
     }
 }

@@ -122,6 +122,13 @@ impl MetricFrame {
         &self.values[tick * METRIC_COUNT..(tick + 1) * METRIC_COUNT]
     }
 
+    /// The raw row-major value storage (`ticks() * METRIC_COUNT` samples).
+    /// Callers that need a cheap identity for the frame's contents — e.g.
+    /// a sweep-result cache — fingerprint this slice directly.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// A frame containing only ticks in `range`.
     ///
     /// # Panics

@@ -9,6 +9,11 @@
 //!   of points falling in one identical row;
 //! - *superclumps* cap the number of clumps the dynamic program must
 //!   consider, by equipartitioning clumps into at most `max_clumps` blocks.
+//!
+//! The clump tables are plain flat vectors owned by a [`ClumpScratch`] so
+//! the sweep hot path can rebuild them in place, pair after pair, without
+//! allocating; the public [`Clumps`] type wraps one rebuild into an owning
+//! value for direct use and tests.
 
 /// Adaptive equipartition of `values` into at most `k` bins.
 ///
@@ -52,106 +57,25 @@ pub fn equipartition(values: &[f64], k: usize) -> Vec<usize> {
     assignment
 }
 
-/// The clump decomposition of a point set, with cumulative row counts at
-/// clump boundaries — the input the `optimize_axis` dynamic program
-/// consumes.
-#[derive(Debug, Clone)]
-pub struct Clumps {
+/// A borrowed, read-only view of one clump decomposition — what the
+/// `optimize_axis` dynamic program consumes. Backed either by a
+/// [`ClumpScratch`] (hot path) or an owning [`Clumps`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClumpView<'a> {
     /// Cumulative point counts at clump boundaries: `boundaries[0] == 0`,
     /// `boundaries[len] == n`.
-    boundaries: Vec<usize>,
-    /// `cum_rows[t][r]`: number of points among the first `boundaries[t]`
+    boundaries: &'a [usize],
+    /// Flattened cumulative row counts, stride `n_rows`: entry
+    /// `[t * n_rows + r]` counts points among the first `boundaries[t]`
     /// (in x order) assigned to row `r`.
-    cum_rows: Vec<Vec<usize>>,
+    cum_rows: &'a [usize],
     n_rows: usize,
 }
 
-impl Clumps {
-    /// Builds clumps from points already sorted by x.
-    ///
-    /// `xs` are the sorted x values, `rows` the row assignment of each point
-    /// (aligned with `xs`), `n_rows` the number of rows in the y partition,
-    /// and `max_clumps` the superclump cap (`c * x` in MINE terms).
-    pub fn build(xs: &[f64], rows: &[usize], n_rows: usize, max_clumps: usize) -> Clumps {
-        assert_eq!(xs.len(), rows.len(), "xs and rows must align");
-        let n = xs.len();
-
-        // Pass 1: group same-x runs; a run spanning several rows is an
-        // unsplittable "mixed" block, a run within one row may merge with
-        // pure neighbours of the same row.
-        #[derive(Clone, Copy)]
-        struct Block {
-            start: usize,
-            end: usize,              // exclusive
-            pure_row: Option<usize>, // Some(r) when every point is in row r
-        }
-        let mut blocks: Vec<Block> = Vec::new();
-        let mut i = 0;
-        while i < n {
-            let mut j = i + 1;
-            let mut pure_row = Some(rows[i]);
-            while j < n && xs[j] == xs[i] {
-                if rows[j] != rows[i] {
-                    pure_row = None;
-                }
-                j += 1;
-            }
-            blocks.push(Block {
-                start: i,
-                end: j,
-                pure_row,
-            });
-            i = j;
-        }
-
-        // Pass 2: merge consecutive pure blocks sharing a row.
-        let mut clump_ranges: Vec<(usize, usize)> = Vec::with_capacity(blocks.len());
-        for b in blocks {
-            match clump_ranges.last_mut() {
-                Some(last) if mergeable(&rows[last.0..last.1], b.pure_row) => {
-                    last.1 = b.end;
-                }
-                _ => clump_ranges.push((b.start, b.end)),
-            }
-        }
-
-        // Pass 3: superclumps — equipartition clumps by point count when the
-        // DP would otherwise see too many.
-        let clump_ranges = if max_clumps >= 1 && clump_ranges.len() > max_clumps {
-            superclump(&clump_ranges, n, max_clumps)
-        } else {
-            clump_ranges
-        };
-
-        // Cumulative tables.
-        let k = clump_ranges.len();
-        let mut boundaries = Vec::with_capacity(k + 1);
-        let mut cum_rows = Vec::with_capacity(k + 1);
-        boundaries.push(0);
-        cum_rows.push(vec![0usize; n_rows]);
-        let mut acc = vec![0usize; n_rows];
-        for &(s, e) in &clump_ranges {
-            for &r in &rows[s..e] {
-                acc[r] += 1;
-            }
-            boundaries.push(e);
-            cum_rows.push(acc.clone());
-        }
-        Clumps {
-            boundaries,
-            cum_rows,
-            n_rows,
-        }
-    }
-
+impl ClumpView<'_> {
     /// Number of clumps.
     pub fn len(&self) -> usize {
         self.boundaries.len() - 1
-    }
-
-    /// Whether there are no clumps (empty point set).
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
     }
 
     /// Total number of points.
@@ -170,15 +94,9 @@ impl Clumps {
         self.boundaries[t] - self.boundaries[s]
     }
 
-    /// Cumulative point count at clump boundary `t` (`0 <= t <= len`).
-    #[inline]
-    pub fn boundary(&self, t: usize) -> usize {
-        self.boundaries[t]
-    }
-
     /// Row totals over the full point set.
     pub fn row_totals(&self) -> &[usize] {
-        self.cum_rows.last().expect("boundaries never empty")
+        &self.cum_rows[self.cum_rows.len() - self.n_rows..]
     }
 
     /// Unnormalized column cost in bits: `sum_r -n_r * log2(n_r / n_col)`
@@ -190,8 +108,8 @@ impl Clumps {
             return 0.0;
         }
         let n_col_f = n_col as f64;
-        let lo = &self.cum_rows[s];
-        let hi = &self.cum_rows[t];
+        let lo = &self.cum_rows[s * self.n_rows..(s + 1) * self.n_rows];
+        let hi = &self.cum_rows[t * self.n_rows..(t + 1) * self.n_rows];
         let mut acc = 0.0;
         for r in 0..self.n_rows {
             let c = (hi[r] - lo[r]) as f64;
@@ -203,18 +121,167 @@ impl Clumps {
     }
 }
 
-/// A block may merge into the previous clump only when both are pure runs of
-/// the same row.
-fn mergeable(prev_rows: &[usize], block_pure_row: Option<usize>) -> bool {
-    match block_pure_row {
-        Some(r) => prev_rows.iter().all(|&pr| pr == r),
-        None => false,
+/// Reusable buffers holding one clump decomposition; `rebuild` refills them
+/// in place without allocating once warm.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ClumpScratch {
+    /// Clump ranges before the superclump pass.
+    ranges: Vec<(usize, usize)>,
+    /// Clump ranges after the superclump pass (used only when capping).
+    merged: Vec<(usize, usize)>,
+    boundaries: Vec<usize>,
+    cum_rows: Vec<usize>,
+    n_rows: usize,
+}
+
+impl ClumpScratch {
+    /// Rebuilds the clump decomposition of points already sorted by x.
+    ///
+    /// `xs` are the sorted x values, `rows` the row assignment of each point
+    /// (aligned with `xs`), `n_rows` the number of rows in the y partition,
+    /// and `max_clumps` the superclump cap (`c * x` in MINE terms).
+    pub fn rebuild(&mut self, xs: &[f64], rows: &[usize], n_rows: usize, max_clumps: usize) {
+        assert_eq!(xs.len(), rows.len(), "xs and rows must align");
+        let n = xs.len();
+        self.n_rows = n_rows;
+
+        // Pass 1 (fused with the merge pass): group same-x runs; a run
+        // spanning several rows is an unsplittable "mixed" block, a run
+        // within one row merges into a pure predecessor of the same row.
+        self.ranges.clear();
+        let mut last_pure: Option<usize> = None;
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            let mut pure = Some(rows[i]);
+            while j < n && xs[j] == xs[i] {
+                if rows[j] != rows[i] {
+                    pure = None;
+                }
+                j += 1;
+            }
+            match (last_pure, pure, self.ranges.last_mut()) {
+                (Some(prev_row), Some(row), Some(last)) if prev_row == row => last.1 = j,
+                _ => {
+                    self.ranges.push((i, j));
+                    last_pure = pure;
+                }
+            }
+            i = j;
+        }
+
+        // Pass 2: superclumps — equipartition clumps by point count when the
+        // DP would otherwise see too many.
+        let ranges: &[(usize, usize)] = if max_clumps >= 1 && self.ranges.len() > max_clumps {
+            superclump_into(&self.ranges, n, max_clumps, &mut self.merged);
+            &self.merged
+        } else {
+            &self.ranges
+        };
+
+        // Cumulative tables: stride `n_rows`, first stride all zero, each
+        // following stride extends the previous by one clump's row counts.
+        self.boundaries.clear();
+        self.boundaries.push(0);
+        self.cum_rows.clear();
+        self.cum_rows.resize(n_rows, 0);
+        for &(s, e) in ranges {
+            let prev = self.cum_rows.len() - n_rows;
+            for r in 0..n_rows {
+                let carried = self.cum_rows[prev + r];
+                self.cum_rows.push(carried);
+            }
+            let at = self.cum_rows.len() - n_rows;
+            for &r in &rows[s..e] {
+                self.cum_rows[at + r] += 1;
+            }
+            self.boundaries.push(e);
+        }
+    }
+
+    /// A read-only view of the most recent rebuild.
+    pub fn view(&self) -> ClumpView<'_> {
+        ClumpView {
+            boundaries: &self.boundaries,
+            cum_rows: &self.cum_rows,
+            n_rows: self.n_rows,
+        }
+    }
+}
+
+/// The clump decomposition of a point set, with cumulative row counts at
+/// clump boundaries — the owning form of [`ClumpView`], for direct use and
+/// tests. The sweep hot path rebuilds a [`ClumpScratch`] instead.
+#[derive(Debug, Clone)]
+pub struct Clumps {
+    scratch: ClumpScratch,
+}
+
+impl Clumps {
+    /// Builds clumps from points already sorted by x.
+    ///
+    /// `xs` are the sorted x values, `rows` the row assignment of each point
+    /// (aligned with `xs`), `n_rows` the number of rows in the y partition,
+    /// and `max_clumps` the superclump cap (`c * x` in MINE terms).
+    pub fn build(xs: &[f64], rows: &[usize], n_rows: usize, max_clumps: usize) -> Clumps {
+        let mut scratch = ClumpScratch::default();
+        scratch.rebuild(xs, rows, n_rows, max_clumps);
+        Clumps { scratch }
+    }
+
+    pub(crate) fn view(&self) -> ClumpView<'_> {
+        self.scratch.view()
+    }
+
+    /// Number of clumps.
+    pub fn len(&self) -> usize {
+        self.view().len()
+    }
+
+    /// Whether there are no clumps (empty point set).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of points.
+    pub fn points(&self) -> usize {
+        self.view().points()
+    }
+
+    /// Number of rows in the fixed y partition.
+    pub fn n_rows(&self) -> usize {
+        self.view().n_rows()
+    }
+
+    /// Points contained in the column formed by clumps `(s, t]`.
+    #[inline]
+    pub fn col_count(&self, s: usize, t: usize) -> usize {
+        self.view().col_count(s, t)
+    }
+
+    /// Cumulative point count at clump boundary `t` (`0 <= t <= len`).
+    #[inline]
+    pub fn boundary(&self, t: usize) -> usize {
+        self.scratch.boundaries[t]
+    }
+
+    /// Row totals over the full point set.
+    pub fn row_totals(&self) -> &[usize] {
+        let stride = self.scratch.n_rows;
+        &self.scratch.cum_rows[self.scratch.cum_rows.len() - stride..]
+    }
+
+    /// Unnormalized column cost in bits: `sum_r -n_r * log2(n_r / n_col)`
+    /// where `n_r` counts the column's points in row `r`. Dividing the sum of
+    /// column costs by the total point count gives `H(Q|P)`.
+    pub fn cost(&self, s: usize, t: usize) -> f64 {
+        self.view().cost(s, t)
     }
 }
 
 /// Equipartitions clump ranges into at most `k` superclumps by point count.
-fn superclump(ranges: &[(usize, usize)], n: usize, k: usize) -> Vec<(usize, usize)> {
-    let mut out: Vec<(usize, usize)> = Vec::with_capacity(k);
+fn superclump_into(ranges: &[(usize, usize)], n: usize, k: usize, out: &mut Vec<(usize, usize)>) {
+    out.clear();
     let mut in_bin = 0usize;
     let mut consumed = 0usize;
     let mut bins_done = 0usize;
@@ -236,7 +303,6 @@ fn superclump(ranges: &[(usize, usize)], n: usize, k: usize) -> Vec<(usize, usiz
         in_bin += group;
         consumed += group;
     }
-    out
 }
 
 #[cfg(test)]
@@ -300,6 +366,18 @@ mod tests {
     }
 
     #[test]
+    fn mixed_block_never_merges_into_pure_run() {
+        // A pure row-0 run, then a mixed same-x block containing row 0, then
+        // another pure row-0 run: three separate clumps (the mixed block is
+        // impure, so neither neighbour may absorb it).
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let rows = [0, 0, 1, 0];
+        let c = Clumps::build(&xs, &rows, 2, usize::MAX);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.col_count(1, 2), 2);
+    }
+
+    #[test]
     fn superclumps_cap_count() {
         // Alternating rows force one clump per point.
         let xs: Vec<f64> = (0..100).map(f64::from).collect();
@@ -334,5 +412,23 @@ mod tests {
         let rows = [0, 1, 1, 1];
         let c = Clumps::build(&xs, &rows, 2, usize::MAX);
         assert_eq!(c.row_totals(), &[1, 3]);
+    }
+
+    #[test]
+    fn scratch_rebuild_reuses_buffers_across_inputs() {
+        let mut scratch = ClumpScratch::default();
+        scratch.rebuild(
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            &[0, 0, 0, 1, 1, 0],
+            2,
+            usize::MAX,
+        );
+        assert_eq!(scratch.view().len(), 3);
+        // A smaller rebuild must fully replace the previous tables.
+        scratch.rebuild(&[1.0, 2.0], &[0, 1], 2, usize::MAX);
+        let v = scratch.view();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.points(), 2);
+        assert_eq!(v.row_totals(), &[1, 1]);
     }
 }

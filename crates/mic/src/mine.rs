@@ -1,9 +1,19 @@
 //! The MINE driver: characteristic matrix, MIC and companion statistics.
+//!
+//! Since the shared-profile sweep optimization, all entry points funnel into
+//! one profiled kernel: [`SeriesProfile`] hoists per-series preprocessing
+//! (sorting, tie groups, equipartitions) out of the pair loop, and
+//! [`MineScratch`] holds every buffer the kernel needs so steady-state
+//! sweeps allocate nothing per pair. The classic allocating entry points
+//! ([`mic`], [`mine`], [`characteristic_matrix`]) are thin wrappers that
+//! build two profiles and a scratch on the fly — same public API, same
+//! scores bit-for-bit.
 
 use std::fmt;
 
-use crate::grid::{equipartition, Clumps};
-use crate::optimize::optimize_axis;
+use crate::grid::ClumpScratch;
+use crate::optimize::{optimize_axis_into, DpScratch};
+use crate::profile::{MineScratch, SeriesProfile};
 
 /// Errors produced by MINE computations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,7 +83,7 @@ impl MicParams {
         }
     }
 
-    fn validate(&self) -> Result<(), MicError> {
+    pub(crate) fn validate(&self) -> Result<(), MicError> {
         if self.alpha > 0.0 && self.alpha <= 1.0 && self.c >= 1.0 {
             Ok(())
         } else {
@@ -142,12 +152,79 @@ pub fn mic_with_params(xs: &[f64], ys: &[f64], params: &MicParams) -> Result<f64
     Ok(mine(xs, ys, params)?.mic)
 }
 
+/// MIC from two prebuilt [`SeriesProfile`]s, allocating a fresh scratch.
+/// Bit-identical to [`mic_with_params`] on the same samples; the profiles
+/// amortize per-series preprocessing across all of a series' pairs.
+///
+/// # Errors
+///
+/// [`MicError::BadParams`] when either profile was built under different
+/// parameters, [`MicError::LengthMismatch`] when the profiles cover a
+/// different number of samples.
+pub fn mic_with_profiles(
+    xp: &SeriesProfile,
+    yp: &SeriesProfile,
+    params: &MicParams,
+) -> Result<f64, MicError> {
+    mic_with_profiles_scratch(xp, yp, params, &mut MineScratch::new())
+}
+
+/// [`mic_with_profiles`] reusing a caller-held [`MineScratch`]: zero
+/// allocations per pair once the scratch is warm.
+///
+/// # Errors
+///
+/// See [`mic_with_profiles`].
+pub fn mic_with_profiles_scratch(
+    xp: &SeriesProfile,
+    yp: &SeriesProfile,
+    params: &MicParams,
+    scratch: &mut MineScratch,
+) -> Result<f64, MicError> {
+    params.validate()?;
+    if xp.params() != params || yp.params() != params {
+        return Err(MicError::BadParams);
+    }
+    if xp.len() != yp.len() {
+        return Err(MicError::LengthMismatch {
+            xs: xp.len(),
+            ys: yp.len(),
+        });
+    }
+    // A constant axis admits only one row/column: every grid carries zero
+    // information, exactly what the full kernel would compute.
+    if xp.is_constant() || yp.is_constant() {
+        return Ok(0.0);
+    }
+    let b = xp.grid_budget();
+    let MineScratch {
+        sorted_rows,
+        clumps,
+        dp,
+        d1,
+        d2,
+    } = scratch;
+    half_characteristic_into(xp, yp, b, params.c, sorted_rows, clumps, dp, d1);
+    half_characteristic_into(yp, xp, b, params.c, sorted_rows, clumps, dp, d2);
+    // The shape sets of the two orientations are mutually transposed-complete
+    // (x*y <= B is symmetric), so the max over the symmetrized matrix equals
+    // the max over both halves — no per-shape pairing needed on the hot path.
+    let best = d1
+        .iter()
+        .chain(d2.iter())
+        .map(|&(_, _, v)| v)
+        .fold(0.0f64, f64::max);
+    Ok(best.clamp(0.0, 1.0))
+}
+
 /// Full MINE statistics.
 ///
 /// # Errors
 ///
 /// See [`MicError`].
 pub fn mine(xs: &[f64], ys: &[f64], params: &MicParams) -> Result<MineStats, MicError> {
+    // Validation order (params, lengths, count, finiteness) is part of the
+    // public contract; profile construction would report count first.
     params.validate()?;
     if xs.len() != ys.len() {
         return Err(MicError::LengthMismatch {
@@ -163,14 +240,15 @@ pub fn mine(xs: &[f64], ys: &[f64], params: &MicParams) -> Result<MineStats, Mic
         return Err(MicError::NonFinite);
     }
 
-    let b = (n as f64).powf(params.alpha).floor().max(4.0) as usize;
+    let mut scratch = MineScratch::new();
+    let (xp, yp) = (
+        SeriesProfile::build(xs, params)?,
+        SeriesProfile::build(ys, params)?,
+    );
+    half_halves(&xp, &yp, params.c, &mut scratch);
+    let (d1, d2) = (&scratch.d1, &scratch.d2);
 
-    // One orientation: equipartition ys into rows, optimize columns over xs.
-    let d1 = half_characteristic(xs, ys, b, params.c);
-    // The transposed orientation.
-    let d2 = half_characteristic(ys, xs, b, params.c);
-
-    let entries = symmetrize(&d1, &d2);
+    let entries = symmetrize(d1, d2);
     let mut mic_val = 0.0f64;
     let mut mcn_grid = usize::MAX;
     let mut mev = 0.0f64;
@@ -239,57 +317,74 @@ pub fn mic_e(xs: &[f64], ys: &[f64], params: &MicParams) -> Result<f64, MicError
     if xs.iter().chain(ys).any(|v| !v.is_finite()) {
         return Err(MicError::NonFinite);
     }
-    let b = (n as f64).powf(params.alpha).floor().max(4.0) as usize;
+    let mut scratch = MineScratch::new();
+    let (xp, yp) = (
+        SeriesProfile::build(xs, params)?,
+        SeriesProfile::build(ys, params)?,
+    );
     // Orientation 1 optimizes columns over xs given equipartitioned ys; its
     // (cols, rows) entries with cols <= rows satisfy the MICe restriction.
     // Orientation 2 covers the shapes whose denser axis is x.
-    let d1 = half_characteristic(xs, ys, b, params.c);
-    let d2 = half_characteristic(ys, xs, b, params.c);
-    let best = d1
+    half_halves(&xp, &yp, params.c, &mut scratch);
+    let best = scratch
+        .d1
         .iter()
-        .chain(&d2)
+        .chain(&scratch.d2)
         .filter(|&&(cols, rows, _)| cols <= rows)
         .map(|&(_, _, v)| v)
         .fold(0.0f64, f64::max);
     Ok(best.clamp(0.0, 1.0))
 }
 
+/// Fills `scratch.d1`/`scratch.d2` with the two half-characteristic
+/// orientations of a profiled pair.
+fn half_halves(xp: &SeriesProfile, yp: &SeriesProfile, c: f64, scratch: &mut MineScratch) {
+    let b = xp.grid_budget();
+    let MineScratch {
+        sorted_rows,
+        clumps,
+        dp,
+        d1,
+        d2,
+    } = scratch;
+    half_characteristic_into(xp, yp, b, c, sorted_rows, clumps, dp, d1);
+    half_characteristic_into(yp, xp, b, c, sorted_rows, clumps, dp, d2);
+}
+
 /// Computes the characteristic matrix holding for every shape `(cols, rows)`
-/// with `cols * rows <= b` the normalized maximal MI when `axis_b` is
-/// equipartitioned into `rows` and `axis_a` is optimized into `cols`.
+/// with `cols * rows <= b` the normalized maximal MI when the `yp` axis is
+/// equipartitioned into `rows` and the `xp` axis is optimized into `cols`.
 ///
-/// Entries come back sorted by `(cols, rows)` so the two orientations align.
-fn half_characteristic(
-    axis_a: &[f64],
-    axis_b: &[f64],
+/// Entries land in `out` sorted by `(cols, rows)` so the two orientations
+/// align. All working memory comes from the caller; nothing is allocated
+/// once the buffers are warm.
+#[allow(clippy::too_many_arguments)]
+fn half_characteristic_into(
+    xp: &SeriesProfile,
+    yp: &SeriesProfile,
     b: usize,
     c: f64,
-) -> Vec<(usize, usize, f64)> {
-    let n = axis_a.len();
-    // Sort points by the axis being optimized (ties by the other axis).
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| {
-        axis_a[i]
-            .partial_cmp(&axis_a[j])
-            .expect("finite")
-            .then(axis_b[i].partial_cmp(&axis_b[j]).expect("finite"))
-    });
-    let sorted_a: Vec<f64> = order.iter().map(|&i| axis_a[i]).collect();
-
+    sorted_rows: &mut Vec<usize>,
+    clumps: &mut ClumpScratch,
+    dp: &mut DpScratch,
+    out: &mut Vec<(usize, usize, f64)>,
+) {
+    out.clear();
+    let order = xp.order();
+    let sorted_a = xp.sorted();
     let max_rows = b / 2;
-    let mut out = Vec::new();
     for rows in 2..=max_rows.max(2) {
         let x_max = b / rows;
         if x_max < 2 {
             break;
         }
-        let assignment = equipartition(axis_b, rows);
-        let n_rows = assignment.iter().max().map_or(0, |m| m + 1);
-        let sorted_rows: Vec<usize> = order.iter().map(|&i| assignment[i]).collect();
+        let part = yp.partition(rows);
+        sorted_rows.clear();
+        sorted_rows.extend(order.iter().map(|&i| part.assignment[i]));
         let max_clumps = ((c * x_max as f64).ceil() as usize).max(1);
-        let clumps = Clumps::build(&sorted_a, &sorted_rows, n_rows.max(1), max_clumps);
-        let mi = optimize_axis(&clumps, x_max);
-        for (idx, &i_val) in mi.iter().enumerate() {
+        clumps.rebuild(sorted_a, sorted_rows, part.bins.max(1), max_clumps);
+        optimize_axis_into(clumps.view(), x_max, dp);
+        for (idx, &i_val) in dp.mi.iter().enumerate() {
             let cols = idx + 2;
             let denom = (cols.min(rows) as f64).log2();
             let v = if denom > 0.0 { i_val / denom } else { 0.0 };
@@ -297,7 +392,6 @@ fn half_characteristic(
         }
     }
     out.sort_by_key(|&(x, y, _)| (x, y));
-    out
 }
 
 /// Symmetrizes the two half-characteristic matrices: the value for shape
@@ -337,12 +431,14 @@ pub fn characteristic_matrix(
     if xs.iter().chain(ys).any(|v| !v.is_finite()) {
         return Err(MicError::NonFinite);
     }
-    let n = xs.len();
-    let b = (n as f64).powf(params.alpha).floor().max(4.0) as usize;
-    let d1 = half_characteristic(xs, ys, b, params.c);
-    let d2 = half_characteristic(ys, xs, b, params.c);
+    let mut scratch = MineScratch::new();
+    let (xp, yp) = (
+        SeriesProfile::build(xs, params)?,
+        SeriesProfile::build(ys, params)?,
+    );
+    half_halves(&xp, &yp, params.c, &mut scratch);
     Ok(CharacteristicMatrix {
-        entries: symmetrize(&d1, &d2),
+        entries: symmetrize(&scratch.d1, &scratch.d2),
     })
 }
 
@@ -440,6 +536,43 @@ mod tests {
             mic_with_params(&linspace(10), &linspace(10), &bad).unwrap_err(),
             MicError::BadParams
         );
+    }
+
+    #[test]
+    fn profiled_entry_points_validate() {
+        let params = MicParams::default();
+        let other = MicParams::fast();
+        let xp = SeriesProfile::build(&linspace(20), &params).unwrap();
+        let yp_other = SeriesProfile::build(&linspace(20), &other).unwrap();
+        let yp_short = SeriesProfile::build(&linspace(10), &params).unwrap();
+        assert_eq!(
+            mic_with_profiles(&xp, &yp_other, &params).unwrap_err(),
+            MicError::BadParams
+        );
+        assert_eq!(
+            mic_with_profiles(&xp, &yp_short, &params).unwrap_err(),
+            MicError::LengthMismatch { xs: 20, ys: 10 }
+        );
+    }
+
+    #[test]
+    fn profiled_mic_matches_classic_entry_point() {
+        let params = MicParams::default();
+        let xs = linspace(90);
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 6.0).cos() + 0.2 * x).collect();
+        let xp = SeriesProfile::build(&xs, &params).unwrap();
+        let yp = SeriesProfile::build(&ys, &params).unwrap();
+        let classic = mic_with_params(&xs, &ys, &params).unwrap();
+        let profiled = mic_with_profiles(&xp, &yp, &params).unwrap();
+        assert_eq!(classic.to_bits(), profiled.to_bits());
+        // Scratch reuse across pairs must not perturb results.
+        let mut scratch = MineScratch::new();
+        for _ in 0..3 {
+            let v = mic_with_profiles_scratch(&xp, &yp, &params, &mut scratch).unwrap();
+            assert_eq!(v.to_bits(), classic.to_bits());
+            let sym = mic_with_profiles_scratch(&yp, &xp, &params, &mut scratch).unwrap();
+            assert!((sym - classic).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -16,7 +16,24 @@
 //! over "at most `l`" equals the running minimum over "exactly `l' <= l`".
 
 use crate::entropy::entropy_from_counts;
-use crate::grid::Clumps;
+use crate::grid::{ClumpView, Clumps};
+
+/// Reusable working memory for the DP: the cost triangle, the two rolling DP
+/// rows, the per-column-count optima, and the output MI vector. Held inside
+/// [`crate::MineScratch`] so steady-state sweeps never allocate here.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct DpScratch {
+    /// Column-cost upper triangle, flattened.
+    cost: Vec<f64>,
+    /// DP row for `l - 1` allowed columns.
+    prev: Vec<f64>,
+    /// DP row for `l` allowed columns.
+    cur: Vec<f64>,
+    /// Best full-partition cost per allowed column count.
+    best_full: Vec<f64>,
+    /// Output: mutual information per allowed column count (`mi[l - 2]`).
+    pub mi: Vec<f64>,
+}
 
 /// Maximal mutual information (bits) achievable by partitioning the x axis
 /// into at most `l` columns, for every `l` in `2..=x_max`, given the fixed
@@ -25,25 +42,36 @@ use crate::grid::Clumps;
 /// Returns a vector `v` with `v[l - 2]` holding the value for `l` columns.
 /// Degenerate inputs (fewer than two clumps or rows, or `x_max < 2`) yield
 /// all-zero values of the appropriate length.
+pub fn optimize_axis(clumps: &Clumps, x_max: usize) -> Vec<f64> {
+    let mut dp = DpScratch::default();
+    optimize_axis_into(clumps.view(), x_max, &mut dp);
+    dp.mi
+}
+
+/// In-place form of [`optimize_axis`]: results land in `dp.mi`, every buffer
+/// in `dp` is reused across calls.
 // The DP walks `l` (allowed columns) as an index into several arrays at
 // once; iterator adaptors would obscure the recurrence.
 #[allow(clippy::needless_range_loop)]
-pub fn optimize_axis(clumps: &Clumps, x_max: usize) -> Vec<f64> {
+pub(crate) fn optimize_axis_into(clumps: ClumpView<'_>, x_max: usize, dp: &mut DpScratch) {
+    dp.mi.clear();
     if x_max < 2 {
-        return Vec::new();
+        return;
     }
     let out_len = x_max - 1;
     let k = clumps.len();
     let n = clumps.points();
     let h_q = entropy_from_counts(clumps.row_totals());
     if k < 2 || n == 0 || clumps.n_rows() < 2 || h_q == 0.0 {
-        return vec![0.0; out_len];
+        dp.mi.resize(out_len, 0.0);
+        return;
     }
     let l_cap = x_max.min(k);
 
     // cost[s][t - s - 1] for 0 <= s < t <= k: cost of column (s, t].
     // Stored as a flattened upper triangle for cache friendliness.
-    let mut cost = vec![0.0f64; k * (k + 1) / 2];
+    dp.cost.clear();
+    dp.cost.resize(k * (k + 1) / 2, 0.0);
     let index = |s: usize, t: usize| -> usize {
         // Row s stores entries for t = s+1..=k; offset of row s is
         // sum_{r<s} (k - r) = s * (2k - s + 1) / 2.
@@ -51,58 +79,58 @@ pub fn optimize_axis(clumps: &Clumps, x_max: usize) -> Vec<f64> {
     };
     for s in 0..k {
         for t in s + 1..=k {
-            cost[index(s, t)] = clumps.cost(s, t);
+            dp.cost[index(s, t)] = clumps.cost(s, t);
         }
     }
+    let cost = &dp.cost;
 
-    // w[t] for the current l: minimum total cost of partitioning the first t
-    // clumps into exactly l columns (infinite when t < l).
-    let mut prev: Vec<f64> = (0..=k)
-        .map(|t| {
-            if t == 0 {
-                f64::INFINITY
-            } else {
-                cost[index(0, t)]
-            }
-        })
-        .collect();
-    let mut best_full = vec![f64::INFINITY; l_cap + 1];
-    best_full[1] = prev[k];
+    // prev[t] for the current l: minimum total cost of partitioning the first
+    // t clumps into exactly l columns (infinite when t < l).
+    dp.prev.clear();
+    dp.prev.extend((0..=k).map(|t| {
+        if t == 0 {
+            f64::INFINITY
+        } else {
+            cost[index(0, t)]
+        }
+    }));
+    dp.best_full.clear();
+    dp.best_full.resize(l_cap + 1, f64::INFINITY);
+    dp.best_full[1] = dp.prev[k];
 
-    let mut cur = vec![f64::INFINITY; k + 1];
+    dp.cur.clear();
+    dp.cur.resize(k + 1, f64::INFINITY);
     for l in 2..=l_cap {
-        for item in cur.iter_mut() {
+        for item in dp.cur.iter_mut() {
             *item = f64::INFINITY;
         }
         for t in l..=k {
             let mut best = f64::INFINITY;
             for s in l - 1..t {
-                let v = prev[s] + cost[index(s, t)];
+                let v = dp.prev[s] + cost[index(s, t)];
                 if v < best {
                     best = v;
                 }
             }
-            cur[t] = best;
+            dp.cur[t] = best;
         }
-        best_full[l] = cur[k];
-        std::mem::swap(&mut prev, &mut cur);
+        dp.best_full[l] = dp.cur[k];
+        std::mem::swap(&mut dp.prev, &mut dp.cur);
     }
 
     // Convert to mutual information, enforcing monotonicity over "at most l".
-    let mut out = Vec::with_capacity(out_len);
-    let mut running_min = best_full[1];
+    let mut running_min = dp.best_full[1];
     for l in 2..=x_max {
         if l <= l_cap {
-            running_min = running_min.min(best_full[l]);
+            running_min = running_min.min(dp.best_full[l]);
         }
         let i = if running_min.is_finite() {
             (h_q - running_min / n as f64).max(0.0)
         } else {
             0.0
         };
-        out.push(i);
+        dp.mi.push(i);
     }
-    out
 }
 
 #[cfg(test)]
@@ -212,6 +240,20 @@ mod tests {
         assert!(optimize_axis(&clumps, 4).iter().all(|&v| v == 0.0));
         // x_max < 2 yields empty.
         assert!(optimize_axis(&clumps, 1).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let xs: Vec<f64> = (0..30).map(f64::from).collect();
+        let rows: Vec<usize> = (0..30).map(|i| (i / 3) % 3).collect();
+        let clumps = Clumps::build(&xs, &rows, 3, usize::MAX);
+        let mut dp = DpScratch::default();
+        // Larger problem first so every buffer is oversized for the second.
+        optimize_axis_into(clumps.view(), 8, &mut dp);
+        let big = dp.mi.clone();
+        optimize_axis_into(clumps.view(), 3, &mut dp);
+        assert_eq!(dp.mi, optimize_axis(&clumps, 3));
+        assert_eq!(big, optimize_axis(&clumps, 8));
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Per-series preprocessing for shared-profile MIC sweeps.
+//!
+//! MINE's per-pair cost is dominated by axis preprocessing: sorting the
+//! optimized axis and equipartitioning the row axis once per bin count.
+//! In a pairwise sweep every series participates in `M - 1` pairs, so that
+//! work is redone `M - 1` times per series. A [`SeriesProfile`] hoists it
+//! out: one stable sort plus the equipartition assignment for every bin
+//! count `k <= B(n) / 2`, computed once per series and reused by
+//! [`crate::mic_with_profiles`] across all of the series' pairs.
+//!
+//! Bit-exactness: the legacy kernel sorted each pair by `(x, tie-break y)`
+//! while a profile sorts by `(x, tie-break input index)`. The clump
+//! decomposition treats an equal-`x` run as one atomic block whose row
+//! *multiset* is all that matters (purity, merging, cumulative counts and
+//! column costs are all order-free within the run), so any tie-break
+//! yields the identical characteristic matrix. The property tests in
+//! `crates/mic/tests/profile_equivalence.rs` assert this bit-for-bit.
+
+use crate::grid::ClumpScratch;
+use crate::mine::{MicError, MicParams};
+use crate::optimize::DpScratch;
+
+/// The per-`k` equipartition of one series.
+#[derive(Debug, Clone)]
+pub(crate) struct Partition {
+    /// Bin index per input position (ties always share a bin).
+    pub assignment: Vec<usize>,
+    /// Number of distinct bins actually used (`<= k` under ties).
+    pub bins: usize,
+}
+
+/// Reusable preprocessing of one series for MIC against any partner of the
+/// same length under the same [`MicParams`].
+#[derive(Debug, Clone)]
+pub struct SeriesProfile {
+    params: MicParams,
+    /// Grid budget `B(n) = max(4, floor(n^alpha))`.
+    budget: usize,
+    /// Stable sort permutation by value: `order[i]` is the input index of
+    /// the i-th smallest sample.
+    order: Vec<usize>,
+    /// The samples in sorted order (`values[order[i]]`).
+    sorted: Vec<f64>,
+    /// Whether every sample is identical (MIC is exactly 0 against any
+    /// partner).
+    constant: bool,
+    /// `partitions[k - 2]`: the equipartition into `k` bins, for
+    /// `k in 2..=budget / 2`.
+    partitions: Vec<Partition>,
+}
+
+impl SeriesProfile {
+    /// Preprocesses one series: one stable sort plus the equipartition for
+    /// every row count the MINE grid search will visit.
+    ///
+    /// # Errors
+    ///
+    /// [`MicError::TooFewPoints`] (< 4 samples), [`MicError::NonFinite`],
+    /// [`MicError::BadParams`] — the same validation [`crate::mine`]
+    /// applies to each input.
+    pub fn build(values: &[f64], params: &MicParams) -> Result<SeriesProfile, MicError> {
+        params.validate()?;
+        let n = values.len();
+        if n < 4 {
+            return Err(MicError::TooFewPoints { got: n });
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(MicError::NonFinite);
+        }
+        let budget = (n as f64).powf(params.alpha).floor().max(4.0) as usize;
+
+        let mut order: Vec<usize> = (0..n).collect();
+        // Stable, so ties keep input order; any tie order yields identical
+        // MINE output (see module docs).
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+        let sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+        let constant = sorted.first() == sorted.last();
+
+        // Tie-group boundaries in sorted order, shared by every k below.
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && sorted[j] == sorted[i] {
+                j += 1;
+            }
+            groups.push((i, j));
+            i = j;
+        }
+
+        let max_rows = (budget / 2).max(2);
+        let mut partitions = Vec::with_capacity(max_rows - 1);
+        for k in 2..=max_rows {
+            partitions.push(equipartition_groups(&order, &groups, n, k));
+        }
+        Ok(SeriesProfile {
+            params: *params,
+            budget,
+            order,
+            sorted,
+            constant,
+            partitions,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the profile covers no samples (never true — construction
+    /// requires at least four).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Whether every sample is identical.
+    pub fn is_constant(&self) -> bool {
+        self.constant
+    }
+
+    /// The grid budget `B(n)` the profile was prepared for.
+    pub fn grid_budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The parameters the profile was built with.
+    pub fn params(&self) -> &MicParams {
+        &self.params
+    }
+
+    pub(crate) fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    pub(crate) fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The equipartition into `k` bins (`2 <= k <= budget / 2`).
+    pub(crate) fn partition(&self, k: usize) -> &Partition {
+        &self.partitions[k - 2]
+    }
+}
+
+/// Equipartition over precomputed tie groups: identical arithmetic to
+/// [`crate::equipartition`], minus the per-call sort.
+fn equipartition_groups(
+    order: &[usize],
+    groups: &[(usize, usize)],
+    n: usize,
+    k: usize,
+) -> Partition {
+    let mut assignment = vec![0usize; n];
+    let mut current_bin = 0usize;
+    let mut in_bin = 0usize;
+    let mut target = n as f64 / k as f64;
+    for &(i, j) in groups {
+        let group = j - i;
+        let overshoot = (in_bin as f64 + group as f64 - target).abs();
+        let undershoot = (in_bin as f64 - target).abs();
+        if in_bin != 0 && overshoot >= undershoot && current_bin + 1 < k {
+            current_bin += 1;
+            in_bin = 0;
+            target = (n - i) as f64 / (k - current_bin) as f64;
+        }
+        for &p in &order[i..j] {
+            assignment[p] = current_bin;
+        }
+        in_bin += group;
+    }
+    Partition {
+        assignment,
+        bins: current_bin + 1,
+    }
+}
+
+/// Reusable working memory for the MINE kernel: clump tables, DP arrays
+/// and characteristic-matrix entry buffers. One scratch per worker thread
+/// makes steady-state sweeps allocation-free per pair — every buffer grows
+/// to the high-water mark of the first few pairs and is then reused.
+#[derive(Debug, Default, Clone)]
+pub struct MineScratch {
+    /// Row assignment of each point in x-sorted order.
+    pub(crate) sorted_rows: Vec<usize>,
+    /// Clump tables (ranges, boundaries, cumulative row counts).
+    pub(crate) clumps: ClumpScratch,
+    /// DP working memory (cost triangle, rolling rows, MI output).
+    pub(crate) dp: DpScratch,
+    /// Half-characteristic entries, first orientation.
+    pub(crate) d1: Vec<(usize, usize, f64)>,
+    /// Half-characteristic entries, second orientation.
+    pub(crate) d2: Vec<(usize, usize, f64)>,
+}
+
+impl MineScratch {
+    /// An empty scratch arena; buffers grow on first use.
+    pub fn new() -> Self {
+        MineScratch::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equipartition;
+
+    #[test]
+    fn profile_partitions_match_equipartition() {
+        // Values with heavy ties in unsorted order.
+        let values = [3.0, 1.0, 2.0, 2.0, 1.0, 3.0, 2.0, 0.5, 4.0, 2.0];
+        let p = SeriesProfile::build(&values, &MicParams::default()).unwrap();
+        for k in 2..=p.grid_budget() / 2 {
+            assert_eq!(
+                p.partition(k).assignment,
+                equipartition(&values, k),
+                "k = {k}"
+            );
+            let max_bin = p.partition(k).assignment.iter().max().unwrap();
+            assert_eq!(p.partition(k).bins, max_bin + 1);
+        }
+    }
+
+    #[test]
+    fn profile_sort_is_stable_and_aligned() {
+        let values = [2.0, 1.0, 2.0, 1.0, 3.0];
+        let p = SeriesProfile::build(&values, &MicParams::default()).unwrap();
+        assert_eq!(p.order(), &[1, 3, 0, 2, 4]);
+        assert_eq!(p.sorted(), &[1.0, 1.0, 2.0, 2.0, 3.0]);
+        assert!(!p.is_constant());
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn profile_flags_constant_series() {
+        let p = SeriesProfile::build(&[7.0; 12], &MicParams::default()).unwrap();
+        assert!(p.is_constant());
+    }
+
+    #[test]
+    fn profile_validation_matches_mine() {
+        assert_eq!(
+            SeriesProfile::build(&[1.0, 2.0, 3.0], &MicParams::default()).unwrap_err(),
+            MicError::TooFewPoints { got: 3 }
+        );
+        assert_eq!(
+            SeriesProfile::build(&[1.0, f64::NAN, 2.0, 3.0], &MicParams::default()).unwrap_err(),
+            MicError::NonFinite
+        );
+        let bad = MicParams { alpha: 0.0, c: 1.0 };
+        assert_eq!(
+            SeriesProfile::build(&[1.0, 2.0, 3.0, 4.0], &bad).unwrap_err(),
+            MicError::BadParams
+        );
+    }
+}

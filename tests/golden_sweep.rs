@@ -1,0 +1,111 @@
+//! Bit-exactness acceptance suite for the shared-profile sweep.
+//!
+//! `tests/data/golden_sweep_26x120.txt` holds the exact IEEE-754 bit
+//! pattern of all 325 pairwise scores on a fixed synthetic 26×120 window,
+//! for MIC (fast params), ARX and Pearson — captured from the
+//! pre-profile-cache kernel. The optimized path (per-series profiles,
+//! allocation-free scratch kernel, work-stealing pool) must reproduce
+//! every score bit-for-bit, serial and parallel alike. Regenerate the
+//! fixture only on a deliberate numeric change:
+//! `cargo run --release -p ix-bench --bin golden_sweep`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use invarnet_x::core::{
+    ArxMeasure, AssociationMatrix, AssociationMeasure, MicMeasure, PearsonMeasure, SweepPool,
+};
+use invarnet_x::metrics::{MetricFrame, METRIC_COUNT};
+use invarnet_x::mic::MicParams;
+
+/// The fixed window: identical to the generator in the `golden_sweep`
+/// fixture binary (`crates/bench/src/bin/golden_sweep.rs`).
+fn frame(ticks: usize) -> MetricFrame {
+    let mut f = MetricFrame::new();
+    let mut state = 42u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for t in 0..ticks {
+        let latent = (t as f64 * 0.23).sin() * 5.0 + 10.0 + 0.2 * next();
+        let row: Vec<f64> = (0..METRIC_COUNT)
+            .map(|k| {
+                let v = latent * (k + 1) as f64 + 0.1 * next();
+                if k % 2 == 0 {
+                    (v * 8.0).round() / 8.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        f.push_tick(&row).expect("full-width row");
+    }
+    f
+}
+
+/// Parses the fixture into `measure -> bits-per-pair-index`.
+fn golden() -> HashMap<String, Vec<u64>> {
+    let text = include_str!("data/golden_sweep_26x120.txt");
+    let mut out: HashMap<String, Vec<u64>> = HashMap::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("measure name").to_string();
+        let idx: usize = parts.next().expect("pair index").parse().unwrap();
+        let bits = u64::from_str_radix(parts.next().expect("bit pattern"), 16).unwrap();
+        let scores = out.entry(name).or_default();
+        assert_eq!(scores.len(), idx, "fixture indices must be dense");
+        scores.push(bits);
+    }
+    out
+}
+
+fn assert_matches_golden(
+    name: &str,
+    matrix: &AssociationMatrix,
+    golden: &HashMap<String, Vec<u64>>,
+) {
+    let expected = &golden[name];
+    assert_eq!(matrix.scores().len(), expected.len(), "{name}: pair count");
+    for (idx, (score, &bits)) in matrix.scores().iter().zip(expected).enumerate() {
+        assert_eq!(
+            score.to_bits(),
+            bits,
+            "{name}: pair {idx} drifted ({} vs golden {})",
+            score,
+            f64::from_bits(bits)
+        );
+    }
+}
+
+#[test]
+fn optimized_sweep_reproduces_golden_bits_for_every_measure() {
+    let window = frame(120);
+    let golden = golden();
+    let measures: [(&str, Arc<dyn AssociationMeasure>); 3] = [
+        ("mic_fast", Arc::new(MicMeasure::new(MicParams::fast()))),
+        ("arx", Arc::new(ArxMeasure::default())),
+        ("pearson", Arc::new(PearsonMeasure)),
+    ];
+    for (name, measure) in &measures {
+        // Serial, statically threaded, and persistent work-stealing pool
+        // must all land on the recorded bits.
+        for threads in [1, 4] {
+            let matrix = AssociationMatrix::compute(&window, measure.as_ref(), threads);
+            assert_matches_golden(name, &matrix, &golden);
+        }
+        let pool = SweepPool::new(4);
+        assert_matches_golden(name, &pool.sweep(&window, measure), &golden);
+    }
+}
+
+#[test]
+fn fixture_is_complete() {
+    let golden = golden();
+    assert_eq!(golden.len(), 3, "three measures");
+    for (name, scores) in &golden {
+        assert_eq!(scores.len(), 325, "{name}: 26 metrics -> 325 pairs");
+    }
+}
