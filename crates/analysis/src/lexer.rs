@@ -1,0 +1,429 @@
+//! A lightweight hand-rolled Rust lexer.
+//!
+//! The lint pass needs exactly three things from a tokenizer: (1) never
+//! mistake the inside of a string or comment for code, (2) keep comments
+//! (with their line spans and text) so justification rules like
+//! `// ordering:` and `// SAFETY:` can be checked, and (3) line numbers on
+//! every token so findings are clickable. Full fidelity to rustc's lexer
+//! (numeric suffix grammar, raw identifiers in every position, etc.) is
+//! explicitly *not* a goal — the pass runs over this repository's own
+//! style-consistent sources, in the spirit of the other in-repo compat
+//! crates.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Ordering`, `unwrap`, ...).
+    Ident,
+    /// A lifetime (`'a`) — kept distinct so char literals are never
+    /// confused with borrows.
+    Lifetime,
+    /// A single punctuation character (`.`/`:`/`{`/`!`/...). Multi-char
+    /// operators appear as consecutive punct tokens.
+    Punct,
+    /// Integer or float literal (one token, suffix included).
+    Number,
+    /// String / raw-string / byte-string literal (contents dropped).
+    Str,
+    /// Character or byte literal.
+    Char,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokKind,
+    /// The token text (single character for [`TokKind::Punct`]; literal
+    /// bodies are replaced by an empty string).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block, doc or plain), with its original prefix
+/// (`//`, `///`, `//!`, `/*`, ...) preserved in `text`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Full comment text including the `//` / `/*` prefix.
+    pub text: String,
+}
+
+/// The lexed form of one source file: code tokens and comments,
+/// side by side.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All non-comment tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl LexedFile {
+    /// Comments whose span intersects the inclusive line range
+    /// `[from, to]`.
+    pub fn comments_in(&self, from: u32, to: u32) -> impl Iterator<Item = &Comment> {
+        self.comments
+            .iter()
+            .filter(move |c| c.end_line >= from && c.line <= to)
+    }
+}
+
+/// Tokenizes `source`. Never panics: malformed trailing constructs simply
+/// truncate (an unterminated string swallows the rest of the file, which
+/// is also what it does to the program's meaning).
+pub fn lex(source: &str) -> LexedFile {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: LexedFile::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: LexedFile,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string();
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_lit();
+                }
+                'r' if self.peek(1) == Some('"')
+                    || (self.peek(1) == Some('#') && self.raw_ahead()) =>
+                {
+                    self.raw_string()
+                }
+                'b' if self.peek(1) == Some('r') => {
+                    self.bump();
+                    self.raw_string();
+                }
+                '\'' => self.lifetime_or_char(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                _ => {
+                    self.bump();
+                    self.push_tok(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// After an `r`: does `#...` lead to a raw string (`r#"`/`r##"`)
+    /// rather than a raw identifier (`r#match`)?
+    fn raw_ahead(&self) -> bool {
+        let mut i = 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push_tok(TokKind::Str, String::new(), line);
+    }
+
+    fn raw_string(&mut self) {
+        let line = self.line;
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push_tok(TokKind::Str, String::new(), line);
+    }
+
+    fn char_lit(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push_tok(TokKind::Char, String::new(), line);
+    }
+
+    fn lifetime_or_char(&mut self) {
+        // `'` then ident-char then NOT `'` → lifetime ('a, 'static);
+        // otherwise a char literal ('x', '\n', '\u{1F600}').
+        let is_lifetime = matches!(self.peek(1), Some(c) if c.is_alphabetic() || c == '_')
+            && self.peek(2) != Some('\'');
+        if !is_lifetime {
+            self.char_lit();
+            return;
+        }
+        let line = self.line;
+        self.bump(); // '\''
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Lifetime, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // Fraction — but `0..n` stays three tokens (the second dot
+                // check rejects `1..2`, and `.` followed by ident is a
+                // method call like `1.max(2)`).
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e') | Some('E'))
+                && text.contains('.')
+            {
+                // Float exponent sign: 1.5e-3.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Number, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        // Raw identifier prefix r#ident.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated_from_code() {
+        let src = r#"
+// ordering: a justification
+fn f() -> &'static str {
+    let _x = "not // a comment";
+    /* block /* nested */ still comment */
+    "s"
+}
+"#;
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("ordering:"));
+        assert!(lexed.comments[1].text.contains("nested"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+        // The string body never leaks tokens.
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("comment")));
+        // 'static is a lifetime, not a char literal.
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "fn a() {}\nfn b() {}\n";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn numbers_ranges_and_floats() {
+        let lexed = lex("let x = 1.5e-3; for i in 0..10 { a[i.0] }");
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "0", "10", "0"]);
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let lexed = lex(r##"let s = r#"raw " body"#; let c = '}'; fn f<'a>() {}"##);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .count(),
+            1
+        );
+        // `'}'` is a char literal ('a' followed by `>` is a lifetime) and
+        // must not unbalance brace tracking.
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            1
+        );
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        let opens = lexed.tokens.iter().filter(|t| t.is_punct('{')).count();
+        let closes = lexed.tokens.iter().filter(|t| t.is_punct('}')).count();
+        assert_eq!(opens, closes);
+    }
+}

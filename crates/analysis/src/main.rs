@@ -1,0 +1,169 @@
+//! The `ix-analysis` command-line front end.
+//!
+//! - `ix-analysis check [--root PATH]` — run the lint pass; nonzero exit
+//!   on any violation.
+//! - `ix-analysis sched [--bound N]` — run the interleaving models:
+//!   shipped algorithms must pass exhaustively, seeded racy variants must
+//!   be caught; nonzero exit otherwise.
+//! - `ix-analysis rules` — print the rule catalog, the lock-order map,
+//!   and the hot-function list.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ix_analysis::rules::{all_rules, run_all, HOT_FUNCTIONS, LOCK_ORDER};
+use ix_analysis::sched::models::{
+    CounterModel, CursorModel, GaugeMaxModel, MruCacheModel, ScopeGrowModel, TwoLockModel,
+};
+use ix_analysis::sched::{explore, Model, DEFAULT_BOUND};
+use ix_analysis::workspace::Workspace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("sched") => sched(&args[1..]),
+        Some("rules") => rules(),
+        _ => {
+            eprintln!("usage: ix-analysis <check [--root PATH] | sched [--bound N] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let root = match flag_value(args, "--root") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match Workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "ix-analysis: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let ws = match Workspace::scan(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("ix-analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let violations = run_all(&ws);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "ix-analysis check: {} files, {} rules, 0 violations",
+            ws.files.len(),
+            all_rules().len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "ix-analysis check: {} violation(s) in {} files",
+            violations.len(),
+            ws.files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs one model that must pass exhaustively. Returns failure text.
+fn expect_clean<M: Model>(model: &M, bound: usize) -> Result<String, String> {
+    match explore(model, bound) {
+        Ok(stats) => Ok(format!(
+            "pass  {:<48} {} schedules, {} steps, depth {}, bound {}",
+            model.name(),
+            stats.schedules,
+            stats.steps,
+            stats.max_depth,
+            stats.bound
+        )),
+        Err(cex) => Err(format!("FAIL  {:<48} {cex}", model.name())),
+    }
+}
+
+/// Runs one seeded-bug model that the explorer must catch.
+fn expect_caught<M: Model>(model: &M, bound: usize) -> Result<String, String> {
+    match explore(model, bound) {
+        Err(cex) => Ok(format!("catch {:<48} {cex}", model.name())),
+        Ok(_) => Err(format!(
+            "FAIL  {:<48} seeded bug was NOT caught — the checker is broken",
+            model.name()
+        )),
+    }
+}
+
+fn sched(args: &[String]) -> ExitCode {
+    let bound = flag_value(args, "--bound")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_BOUND);
+    let runs = [
+        expect_clean(&CursorModel::new(2, 6, 2, false), bound),
+        expect_caught(&CursorModel::new(2, 6, 2, true), bound),
+        expect_clean(&CounterModel::new(2, 2, false), bound),
+        expect_caught(&CounterModel::new(2, 2, true), bound),
+        expect_clean(&GaugeMaxModel::new(&[3, 7, 5], false), bound),
+        expect_caught(&GaugeMaxModel::new(&[3, 7], true), bound),
+        expect_clean(&ScopeGrowModel::new(2, 42, false), bound),
+        expect_caught(&ScopeGrowModel::new(2, 42, true), bound),
+        expect_clean(&MruCacheModel::new(2, 7, &[10], 2, false), bound),
+        expect_caught(&MruCacheModel::new(2, 7, &[], 4, true), bound),
+        expect_clean(&TwoLockModel::new(false), bound.max(4)),
+        expect_caught(&TwoLockModel::new(true), bound.max(4)),
+    ];
+    let mut failed = false;
+    for run in &runs {
+        match run {
+            Ok(line) => println!("{line}"),
+            Err(line) => {
+                failed = true;
+                println!("{line}");
+            }
+        }
+    }
+    if failed {
+        println!("ix-analysis sched: FAILED (bound {bound})");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "ix-analysis sched: {} models ok at preemption bound {bound}",
+            runs.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn rules() -> ExitCode {
+    println!("lint rules:");
+    for rule in all_rules() {
+        println!("  {:<26} {}", rule.id(), rule.description());
+    }
+    println!("\nlock-acquisition order (outermost first):");
+    for class in LOCK_ORDER {
+        println!(
+            "  rank {}  {:<12} {:<8} on {:<16} — {}",
+            class.rank, class.field, class.kind, class.holder, class.why
+        );
+    }
+    println!("\nhot (allocation/clock-free) functions:");
+    for (file, name) in HOT_FUNCTIONS {
+        println!("  {file}::{name}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,131 @@
+//! Rule `engine-missing-docs`: every `pub` item under
+//! `crates/core/src/engine/` needs a doc comment.
+//!
+//! The engine directory is the crate's public API surface; `ix-core`
+//! additionally compiles with `#![warn(missing_docs)]`, and this rule
+//! keeps the same bar inside the lint pass (so `ix-analysis check` fails
+//! fast without a compile). A `pub mod name;` declaration is satisfied by
+//! module-level `//!` docs in the target file.
+
+use super::{Rule, Violation};
+use crate::lexer::Token;
+use crate::workspace::{SourceFile, Workspace};
+
+/// Item keywords whose `pub` form requires docs.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "mod", "const", "type", "static",
+];
+
+/// See module docs.
+pub struct MissingDocs;
+
+impl Rule for MissingDocs {
+    fn id(&self) -> &'static str {
+        "engine-missing-docs"
+    }
+
+    fn description(&self) -> &'static str {
+        "pub items under crates/core/src/engine/ need doc comments"
+    }
+
+    fn check(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Violation>) {
+        if !file.rel.starts_with("crates/core/src/engine/") {
+            return;
+        }
+        let toks = &file.lex.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("pub") || file.in_test(i) {
+                continue;
+            }
+            // `pub(crate)` / `pub(super)` are not public API.
+            if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            let Some(kw) = toks.get(i + 1) else {
+                continue;
+            };
+            if !ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+                continue; // `pub use` re-exports, fields, etc.
+            }
+            let Some(name) = toks.get(i + 2) else {
+                continue;
+            };
+            let anchor_line = item_anchor_line(toks, i);
+            if documented_above(file, anchor_line) {
+                continue;
+            }
+            // `pub mod x;` is fine when the target file opens with `//!`.
+            if kw.is_ident("mod")
+                && toks.get(i + 3).is_some_and(|t| t.is_punct(';'))
+                && target_module_has_inner_docs(ws, &file.rel, &name.text)
+            {
+                continue;
+            }
+            out.push(Violation {
+                rule: self.id(),
+                path: file.rel.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "public {} `{}` has no doc comment (engine items are public API)",
+                    kw.text, name.text
+                ),
+            });
+        }
+    }
+}
+
+/// Whether a `///` doc comment sits in the contiguous comment block
+/// directly above `anchor_line` (plain `//` comments — e.g. `// ordering:`
+/// justifications — may sit between the doc and the item).
+fn documented_above(file: &SourceFile, anchor_line: u32) -> bool {
+    let mut expected = anchor_line.saturating_sub(1);
+    while expected > 0 {
+        let Some(c) = file.lex.comments.iter().find(|c| c.end_line == expected) else {
+            return false;
+        };
+        if c.text.starts_with("///") {
+            return true;
+        }
+        expected = c.line.saturating_sub(1);
+    }
+    false
+}
+
+/// The line of the item's first token, stepping back over any attributes
+/// preceding the `pub` at `pub_idx` so docs above `#[derive(..)]` count.
+fn item_anchor_line(toks: &[Token], pub_idx: usize) -> u32 {
+    let mut j = pub_idx;
+    while j >= 1 && toks[j - 1].is_punct(']') {
+        let mut depth = 1usize;
+        let mut k = j - 1;
+        while k > 0 && depth > 0 {
+            k -= 1;
+            if toks[k].is_punct(']') {
+                depth += 1;
+            } else if toks[k].is_punct('[') {
+                depth -= 1;
+            }
+        }
+        if k >= 1 && toks[k - 1].is_punct('#') {
+            j = k - 1;
+        } else {
+            break;
+        }
+    }
+    toks[j].line
+}
+
+/// Whether `<dir of rel>/<name>.rs` or `.../<name>/mod.rs` starts with
+/// module-level `//!` docs.
+fn target_module_has_inner_docs(ws: &Workspace, rel: &str, name: &str) -> bool {
+    let dir = rel.rsplit_once('/').map_or("", |(d, _)| d);
+    [format!("{dir}/{name}.rs"), format!("{dir}/{name}/mod.rs")]
+        .iter()
+        .filter_map(|cand| ws.file(cand))
+        .any(|f| {
+            f.lex
+                .comments
+                .first()
+                .is_some_and(|c| c.text.starts_with("//!"))
+        })
+}

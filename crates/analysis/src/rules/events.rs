@@ -1,0 +1,177 @@
+//! Rule `event-match-exhaustive`: every `match` over [`EngineEvent`]
+//! outside tests must name each variant explicitly and must not use a `_`
+//! wildcard arm.
+//!
+//! Event sinks (counters, exporters, the span ring) are the engine's
+//! observable surface. A wildcard arm means a newly added event variant
+//! silently disappears from an exporter instead of failing to compile —
+//! precisely the class of drift the telemetry PR introduced these sinks to
+//! prevent. The variant list is parsed from
+//! `crates/core/src/engine/events.rs` at scan time, so the rule tracks the
+//! enum without a hand-maintained copy.
+
+use super::{Rule, Violation};
+use crate::workspace::{SourceFile, Workspace};
+
+/// See module docs.
+pub struct EventMatchExhaustive;
+
+impl Rule for EventMatchExhaustive {
+    fn id(&self) -> &'static str {
+        "event-match-exhaustive"
+    }
+
+    fn description(&self) -> &'static str {
+        "matches over EngineEvent must name every variant, with no `_` arm"
+    }
+
+    fn check(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Violation>) {
+        if ws.engine_event_variants.is_empty() {
+            return; // events.rs not in the scan set (unit-test workspaces)
+        }
+        let toks = &file.lex.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("match") || file.in_test(i) {
+                continue;
+            }
+            // Find the match body: the first `{` at group depth 0 after
+            // the scrutinee expression.
+            let mut j = i + 1;
+            let mut body = None;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('(') || t.is_punct('[') {
+                    let (open, close) = if t.is_punct('(') {
+                        ('(', ')')
+                    } else {
+                        ('[', ']')
+                    };
+                    match matching(toks, j, open, close) {
+                        Some(e) => j = e + 1,
+                        None => break,
+                    }
+                    continue;
+                }
+                if t.is_punct('{') {
+                    body = matching(toks, j, '{', '}').map(|e| (j, e));
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            let Some((open, close)) = body else {
+                continue;
+            };
+
+            // Collect `EngineEvent::Variant` mentions and depth-1 `_ =>`
+            // arms inside the body.
+            let mut named: Vec<&str> = Vec::new();
+            let mut wildcard_line = None;
+            let mut depth = 0usize;
+            for k in open..=close {
+                let t = &toks[k];
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 1
+                    && t.is_ident("EngineEvent")
+                    && toks.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                    && toks.get(k + 2).is_some_and(|x| x.is_punct(':'))
+                    && in_pattern_position(toks, k + 4, close)
+                {
+                    if let Some(v) = toks.get(k + 3) {
+                        named.push(v.text.as_str());
+                    }
+                } else if depth == 1
+                    && t.is_ident("_")
+                    && toks.get(k + 1).is_some_and(|x| x.is_punct('='))
+                    && toks.get(k + 2).is_some_and(|x| x.is_punct('>'))
+                {
+                    wildcard_line = Some(t.line);
+                }
+            }
+            if named.is_empty() {
+                continue; // not a match over EngineEvent
+            }
+            if let Some(line) = wildcard_line {
+                out.push(Violation {
+                    rule: self.id(),
+                    path: file.rel.clone(),
+                    line,
+                    message: "`_` arm in a match over EngineEvent — name every variant so new \
+                              events fail to compile instead of vanishing"
+                        .into(),
+                });
+            }
+            let missing: Vec<&str> = ws
+                .engine_event_variants
+                .iter()
+                .map(String::as_str)
+                .filter(|v| !named.contains(v))
+                .collect();
+            if !missing.is_empty() && wildcard_line.is_none() {
+                out.push(Violation {
+                    rule: self.id(),
+                    path: file.rel.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "match over EngineEvent does not name variant(s): {}",
+                        missing.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether the `EngineEvent::Variant` path whose payload starts at `from`
+/// sits in *pattern* position: scanning forward at arm depth, the `=>` of
+/// an arm appears before an arm-ending `,` or the match body's end. Arm
+/// *bodies* that construct events (`Some(d) => sink.record(&EngineEvent::X
+/// { .. })`) hit the `,`/end first and are not patterns.
+fn in_pattern_position(toks: &[crate::lexer::Token], from: usize, body_close: usize) -> bool {
+    let mut depth = 0usize;
+    let mut k = from;
+    while k < body_close {
+        let t = &toks[k];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            if depth == 0 {
+                return false; // fell out of the arm without seeing `=>`
+            }
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct(',') {
+                return false;
+            }
+            if t.is_punct('=') && toks.get(k + 1).is_some_and(|x| x.is_punct('>')) {
+                return true;
+            }
+        }
+        k += 1;
+    }
+    false
+}
+
+fn matching(
+    toks: &[crate::lexer::Token],
+    open_idx: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,118 @@
+//! The lint rule catalog.
+//!
+//! Each rule checks one repo-specific invariant that `rustc`/`clippy`
+//! cannot express — mostly concurrency-hygiene contracts of the streaming
+//! engine (justified atomic orderings, the declared lock order, panic-free
+//! hot paths) plus a few API-quality gates. Rules report [`Violation`]s
+//! with workspace-relative paths and 1-based lines.
+//!
+//! Suppression: a finding at line `L` is suppressed by a
+//! `// lint: allow(<rule-id>) <reason>` comment on line `L` or up to two
+//! lines above. Every suppression should carry a reason; the escape is for
+//! sites where the rule's invariant is upheld by construction.
+
+mod docs;
+mod events;
+mod locks;
+mod must_use;
+mod ordering;
+mod panics;
+mod printing;
+mod purity;
+mod safety;
+
+use crate::workspace::{SourceFile, Workspace};
+
+pub use locks::{LockClass, LOCK_ORDER};
+pub use purity::HOT_FUNCTIONS;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending site.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A lint rule: scans one file at a time against workspace-level facts.
+pub trait Rule {
+    /// Stable kebab-case identifier (used in output and allow-escapes).
+    fn id(&self) -> &'static str;
+
+    /// One-line description for `ix-analysis rules`.
+    fn description(&self) -> &'static str;
+
+    /// Appends this rule's findings in `file` to `out`.
+    fn check(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Violation>);
+}
+
+/// Every rule, in catalog order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(ordering::AtomicOrderingComment),
+        Box::new(panics::HotPathPanic),
+        Box::new(locks::LockOrder),
+        Box::new(locks::PoisonRecovery),
+        Box::new(events::EventMatchExhaustive),
+        Box::new(safety::UnsafeSafetyComment),
+        Box::new(purity::ScoringPathPurity),
+        Box::new(must_use::MustUseGuards),
+        Box::new(printing::NoPrint),
+        Box::new(docs::MissingDocs),
+    ]
+}
+
+/// Runs every rule over every scanned file; findings are sorted by path,
+/// line, then rule id.
+pub fn run_all(ws: &Workspace) -> Vec<Violation> {
+    let rules = all_rules();
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for rule in &rules {
+            let mut found = Vec::new();
+            rule.check(file, ws, &mut found);
+            found.retain(|v| !file.allowed(rule.id(), v.line));
+            out.append(&mut found);
+        }
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    out
+}
+
+/// Shared helper: whether a justification comment containing `needle`
+/// covers the site at token `tok_idx` / line `line` — same line, up to
+/// `window` lines above, or in the header of the enclosing function (up to
+/// 8 lines above the `fn` keyword through the body's opening line).
+pub(crate) fn justified(
+    file: &SourceFile,
+    tok_idx: usize,
+    line: u32,
+    needle: &str,
+    window: u32,
+) -> bool {
+    if file.comment_contains(line.saturating_sub(window), line, needle) {
+        return true;
+    }
+    if let Some(f) = file.enclosing_fn(tok_idx) {
+        let body_open_line = file.lex.tokens.get(f.body_open).map_or(f.line, |t| t.line);
+        if file.comment_contains(f.line.saturating_sub(8), body_open_line, needle) {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,105 @@
+//! Rule `must-use-guards`: RAII guards, builders, and sweep plans must be
+//! marked `#[must_use]`.
+//!
+//! A silently dropped [`Span`] closes its phase instantly (timings become
+//! lies), a dropped `ConfigBuilder` discards its settings, and a dropped
+//! `SweepPool` joins its workers early. Any type with a `Drop` impl in the
+//! scanned workspace, any `*Guard`/`*Builder`-named type, and the trait
+//! objects listed in [`EXPLICIT`] must carry `#[must_use]` so call sites
+//! that ignore them warn under `-D warnings`.
+
+use super::{Rule, Violation};
+use crate::lexer::Token;
+use crate::workspace::{SourceFile, Workspace};
+
+/// Type/trait names that must be `#[must_use]` regardless of naming.
+const EXPLICIT: &[&str] = &["Span", "SweepPool", "SweepPlan"];
+
+/// See module docs.
+pub struct MustUseGuards;
+
+impl Rule for MustUseGuards {
+    fn id(&self) -> &'static str {
+        "must-use-guards"
+    }
+
+    fn description(&self) -> &'static str {
+        "Drop types, *Guard/*Builder types, and sweep plans need #[must_use]"
+    }
+
+    fn check(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Violation>) {
+        let toks = &file.lex.tokens;
+        for i in 0..toks.len() {
+            let is_decl = toks[i].is_ident("struct") || toks[i].is_ident("trait");
+            if !is_decl || file.in_test(i) {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1) else {
+                continue;
+            };
+            let needs = ws.drop_types.iter().any(|d| d == &name.text)
+                || name.text.ends_with("Guard")
+                || name.text.ends_with("Builder")
+                || EXPLICIT.contains(&name.text.as_str());
+            if !needs {
+                continue;
+            }
+            if has_must_use_attr(toks, i) {
+                continue;
+            }
+            out.push(Violation {
+                rule: self.id(),
+                path: file.rel.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "`{}` is a guard/builder (or has a Drop impl) but is not #[must_use] — \
+                     dropping it silently discards its effect",
+                    name.text
+                ),
+            });
+        }
+    }
+}
+
+/// Whether any attribute directly preceding the item at `decl_idx`
+/// contains `must_use` (skipping `pub`, visibility groups, and other
+/// attributes).
+fn has_must_use_attr(toks: &[Token], decl_idx: usize) -> bool {
+    let mut j = decl_idx;
+    loop {
+        // Step back over `pub` / `pub(crate)` / `pub(super)`.
+        if j >= 1 && toks[j - 1].is_ident("pub") {
+            j -= 1;
+            continue;
+        }
+        if j >= 4
+            && toks[j - 1].is_punct(')')
+            && toks[j - 3].is_punct('(')
+            && toks[j - 4].is_ident("pub")
+        {
+            j -= 4;
+            continue;
+        }
+        // Step back over one `#[...]` group, checking it for must_use.
+        if j >= 1 && toks[j - 1].is_punct(']') {
+            let mut depth = 1usize;
+            let mut k = j - 1;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                if toks[k].is_punct(']') {
+                    depth += 1;
+                } else if toks[k].is_punct('[') {
+                    depth -= 1;
+                }
+            }
+            if k >= 1 && toks[k - 1].is_punct('#') {
+                if toks[k..j].iter().any(|t| t.is_ident("must_use")) {
+                    return true;
+                }
+                j = k - 1;
+                continue;
+            }
+        }
+        return false;
+    }
+}

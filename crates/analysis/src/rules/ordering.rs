@@ -1,0 +1,65 @@
+//! Rule `atomic-ordering-comment`: every atomic memory-ordering argument
+//! must carry a written justification.
+//!
+//! The engine's correctness story for its lock-free structures (sweep
+//! cursor, telemetry counters) is "every `Relaxed` is justified by an
+//! external happens-before edge or by single-variable monotonicity". That
+//! story only stays true if each site says *which* edge. This rule makes
+//! the justification a build-enforced artifact: any `Ordering::Relaxed`,
+//! `::Acquire`, `::Release`, `::AcqRel` or `::SeqCst` outside tests needs
+//! an `// ordering:` comment on the same line, within the three lines
+//! above, or in the enclosing function's header.
+
+use super::{justified, Rule, Violation};
+use crate::workspace::{SourceFile, Workspace};
+
+/// Atomic (not `cmp`) ordering variant names.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// See module docs.
+pub struct AtomicOrderingComment;
+
+impl Rule for AtomicOrderingComment {
+    fn id(&self) -> &'static str {
+        "atomic-ordering-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "atomic Ordering arguments need an adjacent `// ordering:` justification"
+    }
+
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Violation>) {
+        let toks = &file.lex.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("Ordering") {
+                continue;
+            }
+            let Some(variant) = toks.get(i + 3) else {
+                continue;
+            };
+            if !(toks[i + 1].is_punct(':') && toks[i + 2].is_punct(':')) {
+                continue;
+            }
+            if !ATOMIC_ORDERINGS.contains(&variant.text.as_str()) {
+                continue; // cmp::Ordering::{Less, Equal, Greater} etc.
+            }
+            if file.in_test(i) {
+                continue;
+            }
+            let line = toks[i].line;
+            if justified(file, i, line, "ordering:", 3) {
+                continue;
+            }
+            out.push(Violation {
+                rule: self.id(),
+                path: file.rel.clone(),
+                line,
+                message: format!(
+                    "Ordering::{} without an `// ordering:` justification (same line, \
+                     3 lines above, or the enclosing fn's header)",
+                    variant.text
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Rule `hot-path-panic`: the streaming-engine and MIC-kernel hot paths
+//! must not contain panicking shortcuts.
+//!
+//! A panic inside `Engine::ingest` or the pairwise scoring kernel poisons
+//! shard locks and kills sweep workers mid-sweep — the diagnosis verdict
+//! then silently degrades, which is exactly what the paper's "trustworthy
+//! invariants" promise forbids. Outside `#[cfg(test)]`, the directories
+//! `crates/core/src/engine/` and `crates/mic/src/` may not call
+//! `.unwrap()` / `.expect(..)` or invoke `panic!` / `unreachable!` /
+//! `todo!` / `unimplemented!`. Invariants that genuinely cannot fail are
+//! documented with a `// lint: allow(hot-path-panic) <why>` escape.
+
+use super::{Rule, Violation};
+use crate::workspace::{SourceFile, Workspace};
+
+/// Directories the rule polices (workspace-relative prefixes).
+const HOT_DIRS: &[&str] = &["crates/core/src/engine/", "crates/mic/src/"];
+
+/// Panicking macros.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// See module docs.
+pub struct HotPathPanic;
+
+impl Rule for HotPathPanic {
+    fn id(&self) -> &'static str {
+        "hot-path-panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "no .unwrap()/.expect()/panic-family macros in engine and MIC hot paths"
+    }
+
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Violation>) {
+        if !HOT_DIRS.iter().any(|d| file.rel.starts_with(d)) {
+            return;
+        }
+        let toks = &file.lex.tokens;
+        for i in 0..toks.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            // `.unwrap()` / `.expect(` — the dot requirement keeps local
+            // functions that happen to be named `unwrap` out of scope, and
+            // exact ident match leaves `.unwrap_or_else(..)` alone.
+            let method_panic = i >= 1
+                && toks[i - 1].is_punct('.')
+                && (toks[i].is_ident("unwrap") || toks[i].is_ident("expect"))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+            let macro_panic = PANIC_MACROS.iter().any(|m| toks[i].is_ident(m))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if !(method_panic || macro_panic) {
+                continue;
+            }
+            let what = if method_panic {
+                format!(".{}()", toks[i].text)
+            } else {
+                format!("{}!", toks[i].text)
+            };
+            out.push(Violation {
+                rule: self.id(),
+                path: file.rel.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "{what} in a hot path — return an error, use a total \
+                     comparison/fallback, or add `// lint: allow(hot-path-panic) <why>`"
+                ),
+            });
+        }
+    }
+}

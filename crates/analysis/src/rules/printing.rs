@@ -1,0 +1,50 @@
+//! Rule `no-print-in-lib`: library code must not print.
+//!
+//! The engine's observable surface is the event sink and the metrics
+//! registry; exporters render those on demand. A stray `println!` in
+//! library code bypasses that surface, corrupts downstream pipes (the
+//! bench harness parses stdout), and cannot be turned off. Binaries
+//! (`src/main.rs`, `src/bin/**`) are exempt — printing is their job.
+
+use super::{Rule, Violation};
+use crate::workspace::{SourceFile, Workspace};
+
+/// Printing macros the rule bans in library code.
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// See module docs.
+pub struct NoPrint;
+
+impl Rule for NoPrint {
+    fn id(&self) -> &'static str {
+        "no-print-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "no println!/eprintln!/dbg! outside binary roots"
+    }
+
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Violation>) {
+        if file.is_bin {
+            return;
+        }
+        let toks = &file.lex.tokens;
+        for i in 0..toks.len() {
+            let is_print = PRINT_MACROS.iter().any(|m| toks[i].is_ident(m))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if !is_print || file.in_test(i) {
+                continue;
+            }
+            out.push(Violation {
+                rule: self.id(),
+                path: file.rel.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "{}! in library code — emit an EngineEvent or write through an \
+                     exporter instead",
+                    toks[i].text
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Rule `scoring-path-purity`: the per-pair scoring path must stay
+//! allocation-free and clock-free.
+//!
+//! The sweep optimization PR got its speedup by making the inner loop
+//! reuse caller-held scratch: one pair's score costs zero allocations once
+//! the buffers are warm, and never reads a clock (timing is attributed at
+//! batch granularity by the pool, not per pair). [`HOT_FUNCTIONS`] lists
+//! the functions on that path; inside their bodies the rule bans clock
+//! reads (`Instant`, `SystemTime`) and the common allocating constructs
+//! (`vec!`, `Vec::new`, `with_capacity`, `to_vec`, `Box::new`, `format!`,
+//! `String::new`, `collect`).
+
+use super::{Rule, Violation};
+use crate::workspace::{SourceFile, Workspace};
+
+/// `(workspace-relative file, fn name)` pairs on the per-pair scoring path.
+pub const HOT_FUNCTIONS: &[(&str, &str)] = &[
+    ("crates/mic/src/mine.rs", "mic_with_profiles_scratch"),
+    ("crates/mic/src/mine.rs", "half_characteristic_into"),
+    ("crates/core/src/measure.rs", "score_pair"),
+    ("crates/core/src/assoc.rs", "score_one"),
+    ("crates/core/src/assoc.rs", "claim_batch"),
+];
+
+/// Idents banned inside hot-function bodies, with why.
+const BANNED: &[(&str, &str)] = &[
+    ("Instant", "clock read in the per-pair path"),
+    ("SystemTime", "clock read in the per-pair path"),
+    ("vec", "allocates per call"),
+    ("with_capacity", "allocates per call"),
+    ("to_vec", "allocates per call"),
+    ("format", "allocates per call"),
+    ("collect", "allocates per call"),
+];
+
+/// See module docs.
+pub struct ScoringPathPurity;
+
+impl Rule for ScoringPathPurity {
+    fn id(&self) -> &'static str {
+        "scoring-path-purity"
+    }
+
+    fn description(&self) -> &'static str {
+        "no clocks or allocation in the per-pair scoring path (HOT_FUNCTIONS)"
+    }
+
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Violation>) {
+        let hot: Vec<&str> = HOT_FUNCTIONS
+            .iter()
+            .filter(|(f, _)| *f == file.rel)
+            .map(|(_, name)| *name)
+            .collect();
+        if hot.is_empty() {
+            return;
+        }
+        let toks = &file.lex.tokens;
+        for f in file.fns.iter().filter(|f| hot.contains(&f.name.as_str())) {
+            for i in f.body_open..=f.body_close.min(toks.len().saturating_sub(1)) {
+                let t = &toks[i];
+                // `Vec::new` / `String::new` / `Box::new`.
+                let alloc_new = t.is_ident("new")
+                    && i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && (toks[i - 3].is_ident("Vec")
+                        || toks[i - 3].is_ident("String")
+                        || toks[i - 3].is_ident("Box"));
+                let banned = BANNED.iter().find(|(name, _)| {
+                    t.is_ident(name)
+                        // `vec` and `format` only as macros.
+                        && (!matches!(*name, "vec" | "format")
+                            || toks.get(i + 1).is_some_and(|x| x.is_punct('!')))
+                });
+                let why = if alloc_new {
+                    Some("allocates per call")
+                } else {
+                    banned.map(|(_, why)| *why)
+                };
+                let Some(why) = why else { continue };
+                out.push(Violation {
+                    rule: self.id(),
+                    path: file.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` inside hot fn `{}` — {why}; hoist into scratch/plan state",
+                        if alloc_new {
+                            format!("{}::new", toks[i - 3].text)
+                        } else {
+                            t.text.clone()
+                        },
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}

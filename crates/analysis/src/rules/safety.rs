@@ -1,0 +1,45 @@
+//! Rule `unsafe-safety-comment`: every `unsafe` keyword outside tests
+//! needs an adjacent `// SAFETY:` comment stating the invariant that makes
+//! it sound.
+//!
+//! The workspace is currently `unsafe`-free by design (the kernels get
+//! their speed from layout and reuse, not from `unchecked` indexing). If
+//! an unsafe block ever does land, this rule makes the soundness argument
+//! a checked artifact from day one.
+
+use super::{justified, Rule, Violation};
+use crate::workspace::{SourceFile, Workspace};
+
+/// See module docs.
+pub struct UnsafeSafetyComment;
+
+impl Rule for UnsafeSafetyComment {
+    fn id(&self) -> &'static str {
+        "unsafe-safety-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "`unsafe` requires an adjacent `// SAFETY:` justification"
+    }
+
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Violation>) {
+        let toks = &file.lex.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if !tok.is_ident("unsafe") || file.in_test(i) {
+                continue;
+            }
+            let line = tok.line;
+            if justified(file, i, line, "SAFETY", 3) {
+                continue;
+            }
+            out.push(Violation {
+                rule: self.id(),
+                path: file.rel.clone(),
+                line,
+                message: "`unsafe` without a `// SAFETY:` comment (same line, 3 lines above, \
+                          or the enclosing fn's header)"
+                    .into(),
+            });
+        }
+    }
+}

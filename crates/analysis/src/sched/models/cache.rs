@@ -1,0 +1,157 @@
+//! Model of sweep-cache insertion and MRU eviction
+//! (`crates/core/src/engine/sweep_cache.rs`).
+//!
+//! Two engine threads diagnosing the same window both miss the cache,
+//! both run the sweep, and both insert the result. The shipped insert
+//! dedups under the entry mutex (second inserter refreshes the existing
+//! entry instead of pushing a duplicate) and evicts from the LRU end on
+//! overflow. Invariants: the key ends up cached exactly once, capacity is
+//! never exceeded, and the freshest other key survives eviction. The racy
+//! variant pushes without the dedup re-check — a duplicate entry means a
+//! later eviction can leave a stale copy that shadows invalidation
+//! (double dispatch of one logical frame).
+
+use crate::sched::{Model, ShimMutex};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Pc {
+    /// Probe the cache under the lock (one short critical section).
+    Probe,
+    /// Compute the sweep result (no lock held).
+    Compute,
+    /// Waiting to take the entry lock for insert.
+    Acquire,
+    /// Insert (and release the lock).
+    Insert,
+    Done,
+}
+
+/// See module docs.
+#[derive(Clone)]
+pub struct MruCacheModel {
+    racy: bool,
+    /// Cached keys, most-recently-used first.
+    entries: Vec<u32>,
+    cap: usize,
+    key: u32,
+    lock: ShimMutex,
+    threads: Vec<Pc>,
+    /// Whether any thread observed a hit on probe (used by the final
+    /// check: a hit thread never inserts).
+    hits: usize,
+}
+
+impl MruCacheModel {
+    /// `threads` threads all resolving `key` against a cache pre-seeded
+    /// with `seed` (MRU-first) and capacity `cap`.
+    pub fn new(threads: usize, key: u32, seed: &[u32], cap: usize, racy: bool) -> Self {
+        Self {
+            racy,
+            entries: seed.to_vec(),
+            cap,
+            key,
+            lock: ShimMutex::new(),
+            threads: vec![Pc::Probe; threads],
+            hits: 0,
+        }
+    }
+}
+
+impl Model for MruCacheModel {
+    fn name(&self) -> &'static str {
+        if self.racy {
+            "sweep-cache insert (no dedup re-check)"
+        } else {
+            "sweep-cache insert (dedup + MRU evict)"
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        self.threads[tid] == Pc::Done
+    }
+
+    fn is_blocked(&self, tid: usize) -> bool {
+        self.threads[tid] == Pc::Acquire && self.lock.would_block(tid)
+    }
+
+    fn step(&mut self, tid: usize) -> Result<(), String> {
+        match self.threads[tid] {
+            Pc::Probe => {
+                if self.entries.contains(&self.key) {
+                    self.hits += 1;
+                    self.threads[tid] = Pc::Done;
+                } else {
+                    self.threads[tid] = Pc::Compute;
+                }
+            }
+            Pc::Compute => {
+                self.threads[tid] = Pc::Acquire;
+            }
+            Pc::Acquire => {
+                if !self.lock.try_acquire(tid) {
+                    return Err(format!("t{tid} stepped while blocked on the entry lock"));
+                }
+                self.threads[tid] = Pc::Insert;
+            }
+            Pc::Insert => {
+                if self.racy {
+                    // Push without re-checking: the other miss may have
+                    // inserted while we were computing.
+                    self.entries.insert(0, self.key);
+                } else if let Some(pos) = self.entries.iter().position(|&k| k == self.key) {
+                    // Dedup: refresh the existing entry to MRU instead.
+                    let k = self.entries.remove(pos);
+                    self.entries.insert(0, k);
+                } else {
+                    self.entries.insert(0, self.key);
+                }
+                self.entries.truncate(self.cap);
+                self.lock.release(tid);
+                self.threads[tid] = Pc::Done;
+            }
+            Pc::Done => return Err(format!("t{tid} stepped past completion")),
+        }
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let copies = self.entries.iter().filter(|&&k| k == self.key).count();
+        if copies != 1 {
+            return Err(format!(
+                "key cached {copies} times (duplicate frame survives eviction)"
+            ));
+        }
+        if self.entries.len() > self.cap {
+            return Err(format!(
+                "cache holds {} entries over capacity {}",
+                self.entries.len(),
+                self.cap
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{explore, DEFAULT_BOUND};
+
+    #[test]
+    fn dedup_insert_caches_the_frame_exactly_once() {
+        // Seeded with one colder key and cap 2: insertion must evict the
+        // cold key, never duplicate the new one.
+        let stats = explore(&MruCacheModel::new(2, 7, &[10], 2, false), DEFAULT_BOUND).unwrap();
+        assert!(stats.schedules > 1);
+    }
+
+    #[test]
+    fn unchecked_insert_duplicates_the_frame() {
+        let cex = explore(&MruCacheModel::new(2, 7, &[], 4, true), 1).unwrap_err();
+        assert!(cex.error.contains("cached 2 times"), "{cex}");
+    }
+}

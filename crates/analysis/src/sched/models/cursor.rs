@@ -1,0 +1,152 @@
+//! Model of the work-stealing pair cursor
+//! (`crates/core/src/assoc.rs::claim_batch`).
+//!
+//! Sweep workers claim batches of the flat pair index space off a shared
+//! `AtomicUsize` via `fetch_add`. The invariant: every pair is scored
+//! exactly once — no pair lost, no pair scored twice. The shipped
+//! algorithm's claim is a single atomic read-modify-write; the racy
+//! variant splits it into a load and a store, which is exactly the bug a
+//! "load, add, store" refactor would introduce.
+
+use crate::sched::Model;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Pc {
+    /// About to claim (atomic variant does the whole claim here).
+    Claim,
+    /// Racy variant only: loaded the cursor, about to store it back.
+    Store,
+    Done,
+}
+
+#[derive(Clone)]
+struct Worker {
+    pc: Pc,
+    /// Cursor value observed by the racy split load.
+    loaded: usize,
+    /// Claimed batch starts.
+    claimed: Vec<usize>,
+}
+
+/// See module docs.
+#[derive(Clone)]
+pub struct CursorModel {
+    racy: bool,
+    cursor: usize,
+    n_pairs: usize,
+    batch: usize,
+    workers: Vec<Worker>,
+}
+
+impl CursorModel {
+    /// `threads` workers over `n_pairs` pairs in batches of `batch`;
+    /// `racy` selects the split load/store claim.
+    pub fn new(threads: usize, n_pairs: usize, batch: usize, racy: bool) -> Self {
+        Self {
+            racy,
+            cursor: 0,
+            n_pairs,
+            batch,
+            workers: vec![
+                Worker {
+                    pc: Pc::Claim,
+                    loaded: 0,
+                    claimed: Vec::new(),
+                };
+                threads
+            ],
+        }
+    }
+
+    fn finish_claim(&mut self, tid: usize, start: usize) {
+        let w = &mut self.workers[tid];
+        if start < self.n_pairs {
+            w.claimed.push(start);
+            w.pc = Pc::Claim;
+        } else {
+            w.pc = Pc::Done;
+        }
+    }
+}
+
+impl Model for CursorModel {
+    fn name(&self) -> &'static str {
+        if self.racy {
+            "work-stealing cursor (racy split load/store)"
+        } else {
+            "work-stealing cursor (fetch_add)"
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        self.workers[tid].pc == Pc::Done
+    }
+
+    fn step(&mut self, tid: usize) -> Result<(), String> {
+        match self.workers[tid].pc {
+            Pc::Claim if !self.racy => {
+                // claim_batch: one atomic fetch_add.
+                let start = self.cursor;
+                self.cursor += self.batch;
+                self.finish_claim(tid, start);
+            }
+            Pc::Claim => {
+                // Racy: the load is its own step...
+                self.workers[tid].loaded = self.cursor;
+                self.workers[tid].pc = Pc::Store;
+            }
+            Pc::Store => {
+                // ...and the store happens later, clobbering interleaved
+                // claims.
+                let start = self.workers[tid].loaded;
+                self.cursor = start + self.batch;
+                self.finish_claim(tid, start);
+            }
+            Pc::Done => return Err(format!("t{tid} stepped past completion")),
+        }
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let mut times_claimed = vec![0usize; self.n_pairs];
+        for (tid, w) in self.workers.iter().enumerate() {
+            for &start in &w.claimed {
+                let end = (start + self.batch).min(self.n_pairs);
+                for (pair, count) in times_claimed.iter_mut().enumerate().take(end).skip(start) {
+                    *count += 1;
+                    if *count > 1 {
+                        return Err(format!(
+                            "pair {pair} claimed twice (t{tid} re-claimed a stolen batch)"
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(pair) = times_claimed.iter().position(|&c| c == 0) {
+            return Err(format!("pair {pair} never claimed (lost batch)"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{explore, DEFAULT_BOUND};
+
+    #[test]
+    fn fetch_add_claim_is_exhaustively_exact() {
+        let stats = explore(&CursorModel::new(2, 6, 2, false), DEFAULT_BOUND).unwrap();
+        assert!(stats.schedules > 1);
+    }
+
+    #[test]
+    fn split_claim_double_claims_under_one_preemption() {
+        let cex = explore(&CursorModel::new(2, 6, 2, true), 1).unwrap_err();
+        assert!(cex.error.contains("claimed twice"), "{cex}");
+    }
+}

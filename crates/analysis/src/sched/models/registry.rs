@@ -1,0 +1,354 @@
+//! Models of the lock-free telemetry registry
+//! (`crates/core/src/engine/telemetry/registry.rs`).
+//!
+//! Three algorithms live there: plain `fetch_add` counters (exact-total
+//! invariant), the `gauge_max` CAS-raise loop (the gauge must end at the
+//! true maximum no matter how the CASes interleave), and the
+//! read-check-then-write-grow scope table (two threads racing to register
+//! the same scope must agree on one slot). Each gets a racy variant with
+//! the key atomicity removed.
+
+use crate::sched::Model;
+
+// --- exact-total counter ---------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum CounterPc {
+    /// Next increment (atomic variant completes it in one step).
+    Add,
+    /// Racy variant: value loaded, store pending.
+    Store,
+    Done,
+}
+
+/// Counter model: `threads` threads each add 1 `increments` times; the
+/// total must be exact. Mirrors `ContextScope`'s event counters.
+#[derive(Clone)]
+pub struct CounterModel {
+    racy: bool,
+    value: u64,
+    increments: usize,
+    /// Per thread: (pc, loaded value, increments remaining).
+    threads: Vec<(CounterPc, u64, usize)>,
+}
+
+impl CounterModel {
+    /// `threads` × `increments` increments; `racy` splits load from store.
+    pub fn new(threads: usize, increments: usize, racy: bool) -> Self {
+        Self {
+            racy,
+            value: 0,
+            increments,
+            threads: vec![(CounterPc::Add, 0, increments); threads],
+        }
+    }
+}
+
+impl Model for CounterModel {
+    fn name(&self) -> &'static str {
+        if self.racy {
+            "telemetry counter (racy load+store)"
+        } else {
+            "telemetry counter (fetch_add)"
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        self.threads[tid].0 == CounterPc::Done
+    }
+
+    fn step(&mut self, tid: usize) -> Result<(), String> {
+        let (pc, loaded, left) = self.threads[tid];
+        match pc {
+            CounterPc::Add if !self.racy => {
+                self.value += 1;
+                let left = left - 1;
+                self.threads[tid] = (
+                    if left == 0 {
+                        CounterPc::Done
+                    } else {
+                        CounterPc::Add
+                    },
+                    0,
+                    left,
+                );
+            }
+            CounterPc::Add => {
+                self.threads[tid] = (CounterPc::Store, self.value, left);
+            }
+            CounterPc::Store => {
+                self.value = loaded + 1;
+                let left = left - 1;
+                self.threads[tid] = (
+                    if left == 0 {
+                        CounterPc::Done
+                    } else {
+                        CounterPc::Add
+                    },
+                    0,
+                    left,
+                );
+            }
+            CounterPc::Done => return Err(format!("t{tid} stepped past completion")),
+        }
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let expected = (self.threads.len() * self.increments) as u64;
+        if self.value == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "lost update: counter is {} after {} increments",
+                self.value, expected
+            ))
+        }
+    }
+}
+
+// --- CAS max gauge ---------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum GaugePc {
+    /// Load the current gauge value.
+    Load,
+    /// CAS (correct) or blind store (racy) the raise.
+    Raise,
+    Done,
+}
+
+/// Gauge model: each thread raises a shared gauge to its own target via
+/// the `gauge_max` CAS loop; the gauge must end at the global maximum.
+/// The racy variant replaces the CAS with a checked-then-blind store
+/// (i.e. `gauge_set` misused for a running maximum).
+#[derive(Clone)]
+pub struct GaugeMaxModel {
+    racy: bool,
+    gauge: u64,
+    targets: Vec<u64>,
+    /// Per thread: (pc, observed value).
+    threads: Vec<(GaugePc, u64)>,
+}
+
+impl GaugeMaxModel {
+    /// One thread per target; `racy` drops the compare from the exchange.
+    pub fn new(targets: &[u64], racy: bool) -> Self {
+        Self {
+            racy,
+            gauge: 0,
+            targets: targets.to_vec(),
+            threads: vec![(GaugePc::Load, 0); targets.len()],
+        }
+    }
+}
+
+impl Model for GaugeMaxModel {
+    fn name(&self) -> &'static str {
+        if self.racy {
+            "gauge_max (racy blind store)"
+        } else {
+            "gauge_max (CAS loop)"
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        self.threads[tid].0 == GaugePc::Done
+    }
+
+    fn step(&mut self, tid: usize) -> Result<(), String> {
+        let (pc, observed) = self.threads[tid];
+        let target = self.targets[tid];
+        match pc {
+            GaugePc::Load => {
+                if self.gauge >= target {
+                    // Someone already raised past us: done, like the
+                    // real loop's early return.
+                    self.threads[tid] = (GaugePc::Done, 0);
+                } else {
+                    self.threads[tid] = (GaugePc::Raise, self.gauge);
+                }
+            }
+            GaugePc::Raise if !self.racy => {
+                // compare_exchange_weak: succeeds only if unchanged.
+                if self.gauge == observed {
+                    self.gauge = target;
+                    self.threads[tid] = (GaugePc::Done, 0);
+                } else {
+                    self.threads[tid] = (GaugePc::Load, 0);
+                }
+            }
+            GaugePc::Raise => {
+                // Blind store: clobbers raises that landed in between.
+                self.gauge = target;
+                self.threads[tid] = (GaugePc::Done, 0);
+            }
+            GaugePc::Done => return Err(format!("t{tid} stepped past completion")),
+        }
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let max = self.targets.iter().copied().max().unwrap_or(0);
+        if self.gauge == max {
+            Ok(())
+        } else {
+            Err(format!(
+                "gauge ended at {} but the maximum raise was {max}",
+                self.gauge
+            ))
+        }
+    }
+}
+
+// --- scope table grow ------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum ScopePc {
+    /// Read-locked lookup.
+    Check,
+    /// Write-locked insert (correct variant re-checks here).
+    Insert,
+    Done,
+}
+
+/// Scope-registration model: two threads race to register the same scope
+/// key in the registry's grow-only table. The shipped code re-checks under
+/// the write lock before pushing; both threads must end up with the same
+/// slot and the table must hold the key once. The racy variant pushes
+/// without the re-check.
+#[derive(Clone)]
+pub struct ScopeGrowModel {
+    racy: bool,
+    key: u32,
+    table: Vec<u32>,
+    /// Per thread: (pc, resolved slot).
+    threads: Vec<(ScopePc, Option<usize>)>,
+}
+
+impl ScopeGrowModel {
+    /// `threads` threads all registering `key`; `racy` drops the re-check
+    /// under the write lock.
+    pub fn new(threads: usize, key: u32, racy: bool) -> Self {
+        Self {
+            racy,
+            key,
+            table: Vec::new(),
+            threads: vec![(ScopePc::Check, None); threads],
+        }
+    }
+}
+
+impl Model for ScopeGrowModel {
+    fn name(&self) -> &'static str {
+        if self.racy {
+            "scope table grow (no re-check under write lock)"
+        } else {
+            "scope table grow (double-checked)"
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn is_done(&self, tid: usize) -> bool {
+        self.threads[tid].0 == ScopePc::Done
+    }
+
+    fn step(&mut self, tid: usize) -> Result<(), String> {
+        let (pc, _) = self.threads[tid];
+        match pc {
+            ScopePc::Check => {
+                if let Some(slot) = self.table.iter().position(|&k| k == self.key) {
+                    self.threads[tid] = (ScopePc::Done, Some(slot));
+                } else {
+                    self.threads[tid] = (ScopePc::Insert, None);
+                }
+            }
+            ScopePc::Insert => {
+                let slot = if self.racy {
+                    // Push without re-checking: the race window between
+                    // the read check and the write insert.
+                    self.table.push(self.key);
+                    self.table.len() - 1
+                } else {
+                    match self.table.iter().position(|&k| k == self.key) {
+                        Some(slot) => slot,
+                        None => {
+                            self.table.push(self.key);
+                            self.table.len() - 1
+                        }
+                    }
+                };
+                self.threads[tid] = (ScopePc::Done, Some(slot));
+            }
+            ScopePc::Done => return Err(format!("t{tid} stepped past completion")),
+        }
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let occurrences = self.table.iter().filter(|&&k| k == self.key).count();
+        if occurrences != 1 {
+            return Err(format!(
+                "scope key registered {occurrences} times (split-brain counters)"
+            ));
+        }
+        let slots: Vec<Option<usize>> = self.threads.iter().map(|&(_, s)| s).collect();
+        if slots.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!("threads resolved different slots: {slots:?}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{explore, DEFAULT_BOUND};
+
+    #[test]
+    fn fetch_add_counter_total_is_exact() {
+        let stats = explore(&CounterModel::new(2, 2, false), DEFAULT_BOUND).unwrap();
+        assert!(stats.schedules > 1);
+    }
+
+    #[test]
+    fn split_counter_loses_updates_under_one_preemption() {
+        let cex = explore(&CounterModel::new(2, 2, true), 1).unwrap_err();
+        assert!(cex.error.contains("lost update"), "{cex}");
+    }
+
+    #[test]
+    fn cas_gauge_always_ends_at_max() {
+        let stats = explore(&GaugeMaxModel::new(&[3, 7, 5], false), DEFAULT_BOUND).unwrap();
+        assert!(stats.schedules > 1);
+    }
+
+    #[test]
+    fn blind_store_gauge_drops_the_max() {
+        let cex = explore(&GaugeMaxModel::new(&[3, 7], true), 1).unwrap_err();
+        assert!(cex.error.contains("maximum raise"), "{cex}");
+    }
+
+    #[test]
+    fn double_checked_grow_agrees_on_one_slot() {
+        let stats = explore(&ScopeGrowModel::new(2, 42, false), DEFAULT_BOUND).unwrap();
+        assert!(stats.schedules > 1);
+    }
+
+    #[test]
+    fn unchecked_grow_splits_the_scope() {
+        let cex = explore(&ScopeGrowModel::new(2, 42, true), 1).unwrap_err();
+        assert!(cex.error.contains("registered 2 times"), "{cex}");
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: atomic memory-order argument with no adjacent justification.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tick(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

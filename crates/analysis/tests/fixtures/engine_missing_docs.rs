@@ -1,0 +1,2 @@
+// Fixture: an undocumented pub item inside crates/core/src/engine/.
+pub fn undocumented() {}

@@ -1,0 +1,7 @@
+// Fixture: wildcard arm in a match over EngineEvent.
+fn handle(event: &EngineEvent) {
+    match event {
+        EngineEvent::TickIngested { .. } => {}
+        _ => {}
+    }
+}

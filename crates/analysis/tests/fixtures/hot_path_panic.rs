@@ -1,0 +1,4 @@
+// Fixture: .unwrap() in an engine hot path.
+fn risky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

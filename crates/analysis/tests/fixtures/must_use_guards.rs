@@ -1,0 +1,10 @@
+// Fixture: a *Guard type with a Drop impl but no #[must_use].
+pub struct FrameGuard {
+    active: bool,
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        self.active = false;
+    }
+}

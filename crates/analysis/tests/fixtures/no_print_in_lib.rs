@@ -1,0 +1,4 @@
+// Fixture: println! in library (non-binary) code.
+fn debug_dump(x: u64) {
+    println!("x = {x}");
+}

@@ -1,0 +1,5 @@
+// Fixture: .unwrap() on a declared-lock guard instead of poison recovery.
+fn read_all(&self) {
+    let g = self.scopes.read().unwrap();
+    drop(g);
+}

@@ -1,0 +1,5 @@
+// Fixture: allocation inside a HOT_FUNCTIONS body (claim_batch).
+fn claim_batch(n: usize) -> Vec<usize> {
+    let v: Vec<usize> = (0..n).collect();
+    v
+}

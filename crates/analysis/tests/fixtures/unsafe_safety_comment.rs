@@ -1,0 +1,4 @@
+// Fixture: raw-pointer deref with no soundness justification.
+fn spooky(p: *const u8) -> u8 {
+    unsafe { *p }
+}

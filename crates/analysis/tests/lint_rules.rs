@@ -1,0 +1,193 @@
+//! Every lint rule fires on its minimal bad-code fixture at the expected
+//! path and line — and the real workspace is clean.
+//!
+//! Fixtures live in `tests/fixtures/`, one per rule. Each is lexed with a
+//! fabricated workspace-relative path (some rules key off the path — hot
+//! dirs, the engine tree, `HOT_FUNCTIONS`), then run against the *real*
+//! scanned workspace for cross-file facts (`EngineEvent` variants, Drop
+//! impls).
+
+use std::path::Path;
+
+use ix_analysis::rules::{all_rules, run_all};
+use ix_analysis::workspace::{build_file, Workspace};
+
+fn real_workspace() -> Workspace {
+    let root = Workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above CARGO_MANIFEST_DIR");
+    Workspace::scan(&root).expect("scan workspace")
+}
+
+/// Asserts `rule_id` fires on `fixture_name` (lexed as if it lived at
+/// `rel`) at exactly `line`.
+fn assert_fires(ws: &Workspace, rule_id: &str, fixture_name: &str, rel: &str, line: u32) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture_name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let file = build_file(Path::new("/ws"), &Path::new("/ws").join(rel), &src);
+    let rules = all_rules();
+    let rule = rules
+        .iter()
+        .find(|r| r.id() == rule_id)
+        .unwrap_or_else(|| panic!("no rule with id {rule_id}"));
+    let mut out = Vec::new();
+    rule.check(&file, ws, &mut out);
+    assert!(
+        out.iter()
+            .any(|v| v.rule == rule_id && v.path == rel && v.line == line),
+        "{rule_id} did not fire at {rel}:{line} on {fixture_name}; got: {out:#?}"
+    );
+}
+
+#[test]
+fn atomic_ordering_comment_fires() {
+    let ws = real_workspace();
+    assert_fires(
+        &ws,
+        "atomic-ordering-comment",
+        "atomic_ordering_comment.rs",
+        "crates/core/src/bad_ordering.rs",
+        5,
+    );
+}
+
+#[test]
+fn hot_path_panic_fires() {
+    let ws = real_workspace();
+    assert_fires(
+        &ws,
+        "hot-path-panic",
+        "hot_path_panic.rs",
+        "crates/core/src/engine/bad_panic.rs",
+        3,
+    );
+}
+
+#[test]
+fn lock_order_fires() {
+    let ws = real_workspace();
+    assert_fires(
+        &ws,
+        "lock-order",
+        "lock_order.rs",
+        "crates/core/src/bad_locks.rs",
+        5,
+    );
+}
+
+#[test]
+fn poison_recovery_fires() {
+    let ws = real_workspace();
+    assert_fires(
+        &ws,
+        "poison-recovery",
+        "poison_recovery.rs",
+        "crates/core/src/bad_poison.rs",
+        3,
+    );
+}
+
+#[test]
+fn event_match_exhaustive_fires() {
+    let ws = real_workspace();
+    assert!(
+        !ws.engine_event_variants.is_empty(),
+        "EngineEvent variants should be parsed from the real tree"
+    );
+    assert_fires(
+        &ws,
+        "event-match-exhaustive",
+        "event_match_exhaustive.rs",
+        "crates/core/src/bad_events.rs",
+        5,
+    );
+}
+
+#[test]
+fn unsafe_safety_comment_fires() {
+    let ws = real_workspace();
+    assert_fires(
+        &ws,
+        "unsafe-safety-comment",
+        "unsafe_safety_comment.rs",
+        "crates/core/src/bad_unsafe.rs",
+        3,
+    );
+}
+
+#[test]
+fn scoring_path_purity_fires() {
+    let ws = real_workspace();
+    // The fabricated rel must be a HOT_FUNCTIONS file for the rule to
+    // look at the fixture's `claim_batch` body at all.
+    assert_fires(
+        &ws,
+        "scoring-path-purity",
+        "scoring_path_purity.rs",
+        "crates/core/src/assoc.rs",
+        3,
+    );
+}
+
+#[test]
+fn must_use_guards_fires() {
+    let ws = real_workspace();
+    assert_fires(
+        &ws,
+        "must-use-guards",
+        "must_use_guards.rs",
+        "crates/core/src/bad_guard.rs",
+        2,
+    );
+}
+
+#[test]
+fn no_print_in_lib_fires() {
+    let ws = real_workspace();
+    assert_fires(
+        &ws,
+        "no-print-in-lib",
+        "no_print_in_lib.rs",
+        "crates/core/src/bad_print.rs",
+        3,
+    );
+}
+
+#[test]
+fn engine_missing_docs_fires() {
+    let ws = real_workspace();
+    assert_fires(
+        &ws,
+        "engine-missing-docs",
+        "engine_missing_docs.rs",
+        "crates/core/src/engine/bad_docs.rs",
+        2,
+    );
+}
+
+#[test]
+fn rule_catalog_is_complete() {
+    let ids: Vec<&str> = all_rules().iter().map(|r| r.id()).collect();
+    assert_eq!(ids.len(), 10, "rule catalog: {ids:?}");
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "duplicate rule ids: {ids:?}");
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let ws = real_workspace();
+    let violations = run_all(&ws);
+    assert!(
+        violations.is_empty(),
+        "the real tree must lint clean; violations:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

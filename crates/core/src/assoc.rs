@@ -183,6 +183,9 @@ fn score_one<M: AssociationMeasure + ?Sized>(
 /// Claims the next batch `[start, end)` of the flat pair index space off the
 /// shared cursor; `None` once the space is exhausted.
 fn claim_batch(cursor: &AtomicUsize, n_pairs: usize) -> Option<(usize, usize)> {
+    // ordering: Relaxed — fetch_add atomicity alone hands each start out
+    // once; results publish via the channel send (the happens-before edge).
+    // Modeled exhaustively by ix-analysis sched::models::CursorModel.
     let start = cursor.fetch_add(STEAL_BATCH, Ordering::Relaxed);
     (start < n_pairs).then(|| (start, (start + STEAL_BATCH).min(n_pairs)))
 }
@@ -215,6 +218,7 @@ struct SweepJob {
 /// sweep runs on every fired detection, so the engine keeps this pool
 /// alive instead and re-dispatches chunks to long-lived workers over a
 /// channel. Dropping the pool shuts the workers down.
+#[must_use = "dropping a SweepPool joins and discards its worker threads"]
 pub struct SweepPool {
     job_tx: Option<Sender<SweepJob>>,
     workers: Vec<JoinHandle<()>>,

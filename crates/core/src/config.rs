@@ -82,6 +82,118 @@ pub struct InvarNetConfig {
     pub sweep_cache_entries: usize,
 }
 
+impl InvarNetConfig {
+    /// Starts a [`ConfigBuilder`] from the paper defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+}
+
+/// Fluent builder over [`InvarNetConfig`]: start from the paper defaults,
+/// override the knobs under study, `build()`.
+///
+/// ```
+/// use ix_core::InvarNetConfig;
+///
+/// let config = InvarNetConfig::builder()
+///     .epsilon(0.25)
+///     .window_ticks(120)
+///     .sweep_cache_entries(16)
+///     .build();
+/// assert_eq!(config.epsilon, 0.25);
+/// assert_eq!(config.tau, 0.2); // untouched defaults stay at paper values
+/// ```
+#[derive(Debug, Clone, Default)]
+#[must_use = "builder methods return the builder; call .build() to produce the config"]
+pub struct ConfigBuilder {
+    config: InvarNetConfig,
+}
+
+impl ConfigBuilder {
+    /// Violation threshold ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Invariant stability threshold τ.
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.config.tau = tau;
+        self
+    }
+
+    /// Fluctuation factor β of the beta-max threshold rule.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Consecutive anomalous residuals required before reporting.
+    pub fn consecutive_anomalies(mut self, n: usize) -> Self {
+        self.config.consecutive_anomalies = n;
+        self
+    }
+
+    /// The residual threshold rule.
+    pub fn threshold_rule(mut self, rule: ThresholdRule) -> Self {
+        self.config.threshold_rule = rule;
+        self
+    }
+
+    /// Signature similarity measure.
+    pub fn similarity(mut self, similarity: Similarity) -> Self {
+        self.config.similarity = similarity;
+        self
+    }
+
+    /// MIC parameters for the pairwise scan.
+    pub fn mic(mut self, mic: ix_mic::MicParams) -> Self {
+        self.config.mic = mic;
+        self
+    }
+
+    /// The streaming detector family the engine instantiates per context.
+    pub fn detector(mut self, detector: DetectorChoice) -> Self {
+        self.config.detector = detector;
+        self
+    }
+
+    /// Capacity (ticks) of the per-context sliding metric window.
+    pub fn window_ticks(mut self, ticks: usize) -> Self {
+        self.config.window_ticks = ticks;
+        self
+    }
+
+    /// Number of locks the per-context engine state is sharded across.
+    pub fn state_shards(mut self, shards: usize) -> Self {
+        self.config.state_shards = shards;
+        self
+    }
+
+    /// Capacity of the frame-fingerprint → association-matrix cache.
+    pub fn sweep_cache_entries(mut self, entries: usize) -> Self {
+        self.config.sweep_cache_entries = entries;
+        self
+    }
+
+    /// Minimum runs Algorithm 1 needs to judge stability.
+    pub fn min_training_runs(mut self, runs: usize) -> Self {
+        self.config.min_training_runs = runs;
+        self
+    }
+
+    /// Minimum ticks a frame must have for association analysis.
+    pub fn min_frame_ticks(mut self, ticks: usize) -> Self {
+        self.config.min_frame_ticks = ticks;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> InvarNetConfig {
+        self.config
+    }
+}
+
 impl Default for InvarNetConfig {
     fn default() -> Self {
         InvarNetConfig {
@@ -106,6 +218,21 @@ impl Default for InvarNetConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_overrides_only_what_it_is_told() {
+        let c = InvarNetConfig::builder()
+            .tau(0.3)
+            .detector(DetectorChoice::cusum_default())
+            .state_shards(4)
+            .build();
+        assert_eq!(c.tau, 0.3);
+        assert_eq!(c.detector, DetectorChoice::cusum_default());
+        assert_eq!(c.state_shards, 4);
+        // Everything else stays at the paper defaults.
+        assert_eq!(c.epsilon, 0.2);
+        assert_eq!(c.window_ticks, 60);
+    }
 
     #[test]
     fn defaults_match_paper() {

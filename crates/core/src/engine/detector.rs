@@ -246,6 +246,8 @@ impl DetectorRun for ArimaRun {
         let forecast = if t < self.warm {
             x
         } else {
+            // lint: allow(hot-path-panic) t >= warm guarantees the cascade
+            // above ran to completion and produced w_hat
             let mut pred = w_hat.expect("past warmup implies full cascade");
             let mut sign = 1.0;
             let mut binom = 1.0;

@@ -79,7 +79,7 @@ impl Diagnosis {
                 (a, b, v)
             })
             .collect();
-        out.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite deviations"));
+        out.sort_by(|x, y| y.2.total_cmp(&x.2));
         Ok(out)
     }
 }

@@ -181,63 +181,72 @@ pub struct EngineCounters {
 }
 
 impl EngineCounters {
+    // ordering: Relaxed — every counter is an independent monotone u64;
+    // readers need only eventual visibility, never cross-counter ordering.
+    fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
     /// Ticks ingested across all contexts.
     pub fn ticks_ingested(&self) -> u64 {
-        self.ticks_ingested.load(Ordering::Relaxed)
+        Self::get(&self.ticks_ingested)
     }
 
     /// Anomaly onsets the detection layer reported.
     pub fn detections_fired(&self) -> u64 {
-        self.detections_fired.load(Ordering::Relaxed)
+        Self::get(&self.detections_fired)
     }
 
     /// Anomalous-to-normal edges the detection layer reported.
     pub fn detections_cleared(&self) -> u64 {
-        self.detections_cleared.load(Ordering::Relaxed)
+        Self::get(&self.detections_cleared)
     }
 
     /// Cause-inference passes run.
     pub fn diagnoses_run(&self) -> u64 {
-        self.diagnoses_run.load(Ordering::Relaxed)
+        Self::get(&self.diagnoses_run)
     }
 
     /// Total wall-clock microseconds spent in cause inference.
     pub fn diagnosis_micros_total(&self) -> u64 {
-        self.diagnosis_micros_total.load(Ordering::Relaxed)
+        Self::get(&self.diagnosis_micros_total)
     }
 
     /// Association sweeps completed on the worker pool.
     pub fn sweeps_completed(&self) -> u64 {
-        self.sweeps_completed.load(Ordering::Relaxed)
+        Self::get(&self.sweeps_completed)
     }
 
     /// Total wall-clock microseconds spent sweeping.
     pub fn sweep_micros_total(&self) -> u64 {
-        self.sweep_micros_total.load(Ordering::Relaxed)
+        Self::get(&self.sweep_micros_total)
     }
 
     /// Slowest single sweep in microseconds.
     pub fn sweep_micros_max(&self) -> u64 {
-        self.sweep_micros_max.load(Ordering::Relaxed)
+        Self::get(&self.sweep_micros_max)
     }
 
     /// Sweeps skipped because the window's association matrix was cached.
     pub fn sweep_cache_hits(&self) -> u64 {
-        self.sweep_cache_hits.load(Ordering::Relaxed)
+        Self::get(&self.sweep_cache_hits)
     }
 
     /// Cache lookups that fell through to a full sweep.
     pub fn sweep_cache_misses(&self) -> u64 {
-        self.sweep_cache_misses.load(Ordering::Relaxed)
+        Self::get(&self.sweep_cache_misses)
     }
 
     /// Confident signature matches reported by diagnoses.
     pub fn signature_matches(&self) -> u64 {
-        self.signature_matches.load(Ordering::Relaxed)
+        Self::get(&self.signature_matches)
     }
 }
 
 impl EventSink for EngineCounters {
+    // ordering: Relaxed throughout — each event mutates independent
+    // monotone counters (fetch_add/fetch_max are single-variable RMWs);
+    // cross-thread publication rides the engine's channel/join edges.
     fn record(&self, event: &EngineEvent) {
         match *event {
             EngineEvent::TickIngested { .. } => {

@@ -100,6 +100,9 @@ impl Engine {
                 Ok((tick, decision, up_edge, down_edge, deferred))
             })?;
 
+        // ordering: Relaxed — the lifetime tick is a monotone ticket;
+        // atomicity of fetch_add gives uniqueness, and per-context state
+        // is already serialized by the shard lock above.
         let lifetime_tick = self.tick_counter().fetch_add(1, Ordering::Relaxed);
         self.sink().record(&EngineEvent::TickIngested {
             context: context_id,

@@ -344,6 +344,9 @@ impl Engine {
         if result.is_anomalous() {
             self.sink.record(&EngineEvent::DetectionFired {
                 context: self.intern_context(context),
+                // ordering: Relaxed — tick labels the event with the
+                // monotone lifetime counter; exactness under concurrent
+                // ingest is not part of the event contract.
                 tick: self.ticks.load(std::sync::atomic::Ordering::Relaxed),
             });
         }
@@ -362,6 +365,8 @@ impl Engine {
         abnormal: &MetricFrame,
     ) -> Result<Diagnosis, CoreError> {
         let id = self.intern_context(context);
+        // ordering: Relaxed — tick only labels the emitted events with the
+        // monotone lifetime counter (see detect above).
         let tick = self.ticks.load(std::sync::atomic::Ordering::Relaxed);
         let _span = Span::enter(&self.sink, EnginePhase::Diagnosis, id);
         let started = Instant::now();

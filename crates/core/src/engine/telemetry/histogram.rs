@@ -63,6 +63,8 @@ impl Histogram {
     }
 
     /// Records one value.
+    // ordering: Relaxed — bucket/count/sum/max are each monotone and
+    // independently meaningful; readers accept torn cross-field views.
     pub fn record(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -71,12 +73,15 @@ impl Histogram {
     }
 
     /// Number of recorded values.
+    // ordering: Relaxed — monotone counter read, no cross-field invariant.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
 
     /// A consistent-enough point-in-time copy (relaxed loads; exact once
     /// writers are quiescent).
+    // ordering: Relaxed — by the doc contract above, the snapshot is only
+    // exact once writers are quiescent; no acquire edge would tighten it.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: self

@@ -148,6 +148,10 @@ impl Telemetry {
 }
 
 impl EventSink for Telemetry {
+    // ordering: Relaxed throughout — every update is a fetch_add/store on
+    // an independent per-scope counter or last-write-wins gauge; snapshot
+    // readers tolerate torn cross-counter views, and quiescence (engine
+    // drop/join) makes the final numbers exact.
     fn record(&self, event: &EngineEvent) {
         match *event {
             EngineEvent::TickIngested {

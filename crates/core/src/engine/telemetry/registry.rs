@@ -16,6 +16,8 @@ use super::context::ContextId;
 use super::histogram::{Histogram, HistogramSnapshot};
 
 /// Sets an f64 gauge stored as bits in an `AtomicU64`.
+// ordering: Relaxed — a last-write-wins gauge; no reader infers anything
+// from its value about other memory.
 fn gauge_set(gauge: &AtomicU64, value: f64) {
     gauge.store(value.to_bits(), Ordering::Relaxed);
 }
@@ -23,6 +25,9 @@ fn gauge_set(gauge: &AtomicU64, value: f64) {
 /// Monotone-max update of an f64 gauge (residuals are non-negative, so a
 /// CAS loop on the numeric value is required only for correctness under
 /// racing writers, not for ordering).
+// ordering: Relaxed on load and both CAS sides — the loop's atomicity is
+// what protects the max, not inter-variable ordering; single variable,
+// monotone value.
 fn gauge_max(gauge: &AtomicU64, value: f64) {
     let mut current = gauge.load(Ordering::Relaxed);
     while value > f64::from_bits(current) {
@@ -38,6 +43,8 @@ fn gauge_max(gauge: &AtomicU64, value: f64) {
     }
 }
 
+// ordering: Relaxed — point-in-time gauge read; staleness is acceptable by
+// the snapshot contract.
 fn gauge_get(gauge: &AtomicU64) -> f64 {
     f64::from_bits(gauge.load(Ordering::Relaxed))
 }
@@ -86,6 +93,8 @@ pub struct ContextScope {
 
 impl ContextScope {
     /// Records one ingested tick.
+    // ordering: Relaxed — independent monotone counters on the record path;
+    // snapshot readers tolerate torn cross-counter views by contract.
     pub fn record_tick(&self, residual: f64, exceeded: bool, micros: u64) {
         self.ticks.fetch_add(1, Ordering::Relaxed);
         if exceeded {
@@ -97,6 +106,8 @@ impl ContextScope {
     }
 
     /// Plain-data copy of every metric in the scope.
+    // ordering: Relaxed loads throughout — the snapshot is documented as
+    // point-in-time-ish; exact once writers are quiescent (drop/join).
     pub fn snapshot(&self, context: String) -> ScopeSnapshot {
         ScopeSnapshot {
             context,

@@ -86,6 +86,7 @@ impl std::fmt::Display for EnginePhase {
 
 /// An RAII timer over one engine phase. Dropping the span emits
 /// [`EngineEvent::SpanClosed`] with the elapsed wall-clock microseconds.
+#[must_use = "dropping a Span immediately closes its phase with a zero-length timing"]
 pub struct Span {
     sink: Arc<dyn EventSink>,
     phase: EnginePhase,
@@ -161,6 +162,9 @@ impl SpanRing {
 
     /// Records one closed span; returns its sequence number.
     pub fn push(&self, phase: EnginePhase, context: ContextId, micros: u64) -> u64 {
+        // ordering: Relaxed — seq is a monotone ticket; uniqueness comes
+        // from fetch_add's atomicity, and record visibility from the ring
+        // mutex right below.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
         if ring.len() == self.capacity {
@@ -187,6 +191,7 @@ impl SpanRing {
 
     /// Total spans ever pushed (including evicted ones).
     pub fn total(&self) -> u64 {
+        // ordering: Relaxed — monotone counter read, no paired data.
         self.seq.load(Ordering::Relaxed)
     }
 

@@ -28,6 +28,8 @@
 //! The facade type is [`InvarNetX`]; `examples/quickstart.rs` in the
 //! workspace root shows the full train → detect → diagnose loop.
 
+#![warn(missing_docs)]
+
 mod anomaly;
 mod assoc;
 mod config;
@@ -45,7 +47,7 @@ mod store;
 
 pub use anomaly::{DetectionResult, PerformanceModel, ThresholdRule};
 pub use assoc::{pair_count, pair_index, pair_of_index, AssociationMatrix, SweepPool};
-pub use config::{DetectorChoice, InvarNetConfig};
+pub use config::{ConfigBuilder, DetectorChoice, InvarNetConfig};
 pub use context::OperationContext;
 pub use cusum::{CusumDetector, CusumResult};
 pub use engine::telemetry::{

@@ -13,6 +13,7 @@ use ix_timeseries::pearson;
 /// [`AssociationMeasure::prepare`]. A plan owns whatever a measure can
 /// amortize across the sweep's pairs (for MIC: one [`SeriesProfile`] per
 /// series); workers then pull per-thread [`PairScorer`]s from it.
+#[must_use = "a SweepPlan holds the sweep's amortized preprocessing; dropping it redoes that work"]
 pub trait SweepPlan: Send + Sync {
     /// A scorer with its own mutable scratch. Each sweep worker takes one,
     /// so scoring needs no locking.

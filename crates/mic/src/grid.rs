@@ -27,7 +27,13 @@ pub fn equipartition(values: &[f64], k: usize) -> Vec<usize> {
         return assignment;
     }
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    // NaN never reaches here (profiles reject non-finite input); Equal on
+    // the impossible branch keeps the sort total without reordering ties.
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut current_bin = 0usize;
     let mut in_bin = 0usize; // points placed in the current bin so far
@@ -80,6 +86,8 @@ impl ClumpView<'_> {
 
     /// Total number of points.
     pub fn points(&self) -> usize {
+        // lint: allow(hot-path-panic) boundaries always holds the leading 0
+        // sentinel (see rebuild), so last() cannot be None
         *self.boundaries.last().expect("boundaries never empty")
     }
 

@@ -71,8 +71,13 @@ impl SeriesProfile {
 
         let mut order: Vec<usize> = (0..n).collect();
         // Stable, so ties keep input order; any tie order yields identical
-        // MINE output (see module docs).
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+        // MINE output (see module docs). Non-finite values were rejected
+        // above, so the Equal fallback is unreachable and tie-neutral.
+        order.sort_by(|&a, &b| {
+            values[a]
+                .partial_cmp(&values[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
         let constant = sorted.first() == sorted.last();
 

@@ -83,6 +83,7 @@ fn gaussian<R: Rng>(rng: &mut R) -> f64 {
 /// Fluent builder composing trend, seasonality, AR colouring and noise into
 /// a [`TimeSeries`] — handy for constructing workload-like test fixtures.
 #[derive(Debug, Clone)]
+#[must_use = "builder methods return a new builder; call .build() to produce the series"]
 pub struct SeriesBuilder {
     n: usize,
     interval_secs: f64,
