@@ -1,0 +1,62 @@
+//! Rule `degradation-emits-event`: every function that constructs a
+//! `SweepDegradation` must also emit the corresponding engine event.
+//!
+//! The resilience layer's contract is *correct or explicitly degraded* —
+//! a degraded verdict attached to a [`ix_core::Diagnosis`] is only half
+//! the declaration; operators watch the event stream, so the same site
+//! must raise `EngineEvent::SweepDegraded` (directly or via the
+//! `note_degradation` helper). A construction site whose enclosing
+//! function never mentions either is a degradation the telemetry surface
+//! will not see.
+
+use super::{Rule, Violation};
+use crate::workspace::{SourceFile, Workspace};
+
+/// See module docs.
+pub struct DegradationEmitsEvent;
+
+impl Rule for DegradationEmitsEvent {
+    fn id(&self) -> &'static str {
+        "degradation-emits-event"
+    }
+
+    fn description(&self) -> &'static str {
+        "functions constructing SweepDegradation must emit SweepDegraded (or call note_degradation)"
+    }
+
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Violation>) {
+        let toks = &file.lex.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("SweepDegradation") || file.in_test(i) {
+                continue;
+            }
+            // Construction sites only: `SweepDegradation {` that is not the
+            // struct's own declaration.
+            if !toks.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+                continue;
+            }
+            if i >= 1 && toks[i - 1].is_ident("struct") {
+                continue;
+            }
+            let Some(f) = file.enclosing_fn(i) else {
+                continue; // const/static initializers have no event path
+            };
+            let emits = toks[f.fn_tok..=f.body_close]
+                .iter()
+                .any(|t| t.is_ident("note_degradation") || t.is_ident("SweepDegraded"));
+            if !emits {
+                out.push(Violation {
+                    rule: self.id(),
+                    path: file.rel.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "`{}` constructs a SweepDegradation but never emits \
+                         EngineEvent::SweepDegraded (or calls note_degradation) — \
+                         the degradation is invisible to event sinks",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}

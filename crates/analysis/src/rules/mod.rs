@@ -11,6 +11,7 @@
 //! lines above. Every suppression should carry a reason; the escape is for
 //! sites where the rule's invariant is upheld by construction.
 
+mod degradation;
 mod docs;
 mod events;
 mod locks;
@@ -69,6 +70,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(locks::LockOrder),
         Box::new(locks::PoisonRecovery),
         Box::new(events::EventMatchExhaustive),
+        Box::new(degradation::DegradationEmitsEvent),
         Box::new(safety::UnsafeSafetyComment),
         Box::new(purity::ScoringPathPurity),
         Box::new(must_use::MustUseGuards),

@@ -19,6 +19,7 @@ pub const PRODUCT_CRATES: &[&str] = &[
     "arima",
     "arx",
     "bench",
+    "chaos",
     "core",
     "linalg",
     "metrics",

@@ -1,0 +1,28 @@
+// Fixture: a sweep helper that degrades silently — it builds the
+// SweepDegradation verdict but never surfaces it on the event stream.
+
+fn quiet_fallback(reason: DegradationReason) -> SweepVerdict {
+    let degradation = SweepDegradation {
+        tier: DegradationTier::CachedMatrix,
+        reason,
+    };
+    SweepVerdict {
+        matrix: CorrelationMatrix::default(),
+        degradation: Some(degradation),
+        scored: None,
+    }
+}
+
+// Clean: the same construction alongside the emission helper.
+fn loud_fallback(&self, context: ContextId, reason: DegradationReason) -> SweepVerdict {
+    let degradation = SweepDegradation {
+        tier: DegradationTier::CachedMatrix,
+        reason,
+    };
+    self.note_degradation(context, degradation.tier, reason);
+    SweepVerdict {
+        matrix: CorrelationMatrix::default(),
+        degradation: Some(degradation),
+        scored: None,
+    }
+}

@@ -168,9 +168,43 @@ fn engine_missing_docs_fires() {
 }
 
 #[test]
+fn degradation_emits_event_fires() {
+    let ws = real_workspace();
+    assert_fires(
+        &ws,
+        "degradation-emits-event",
+        "degradation_emits_event.rs",
+        "crates/core/src/engine/bad_degrade.rs",
+        5,
+    );
+}
+
+#[test]
+fn degradation_emits_event_accepts_emitting_functions() {
+    let ws = real_workspace();
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/degradation_emits_event.rs");
+    let src = std::fs::read_to_string(&path).expect("read fixture");
+    let rel = "crates/core/src/engine/bad_degrade.rs";
+    let file = build_file(Path::new("/ws"), &Path::new("/ws").join(rel), &src);
+    let rules = all_rules();
+    let rule = rules
+        .iter()
+        .find(|r| r.id() == "degradation-emits-event")
+        .expect("registered");
+    let mut out = Vec::new();
+    rule.check(&file, &ws, &mut out);
+    assert_eq!(out.len(), 1, "only the silent site fires: {out:#?}");
+    assert!(
+        out[0].message.contains("quiet_fallback"),
+        "loud_fallback (which calls note_degradation) must pass: {out:#?}"
+    );
+}
+
+#[test]
 fn rule_catalog_is_complete() {
     let ids: Vec<&str> = all_rules().iter().map(|r| r.id()).collect();
-    assert_eq!(ids.len(), 10, "rule catalog: {ids:?}");
+    assert_eq!(ids.len(), 11, "rule catalog: {ids:?}");
     let mut sorted = ids.clone();
     sorted.sort_unstable();
     sorted.dedup();

@@ -16,13 +16,17 @@ use ix_core::{
 };
 use ix_simulator::{Runner, WorkloadType};
 
-/// A trained engine plus a normal run to replay through it.
-fn trained_engine() -> (Engine, OperationContext, Vec<f64>, ix_metrics::MetricFrame) {
+/// A trained engine plus a normal run to replay through it. The closure
+/// customizes the [`ix_core::EngineBuilder`] (event sink, telemetry) before
+/// the engine is built.
+fn trained_engine(
+    wire: impl FnOnce(ix_core::EngineBuilder) -> ix_core::EngineBuilder,
+) -> (Engine, OperationContext, Vec<f64>, ix_metrics::MetricFrame) {
     let runner = Runner::new(11);
     let node = Runner::DEFAULT_FAULT_NODE;
     let workload = WorkloadType::Wordcount;
     let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
-    let engine = Engine::new(InvarNetConfig::default());
+    let engine = wire(Engine::builder().config(InvarNetConfig::default())).build();
 
     let normals = runner.normal_runs(workload, 4);
     let cpi_traces: Vec<Vec<f64>> = normals
@@ -67,19 +71,20 @@ fn replay(
 fn bench_telemetry(c: &mut Criterion) {
     // Ingest hot path under each sink. A normal run fires no detections,
     // so the difference is pure per-tick event cost.
-    let (mut engine, context, cpi, frame) = trained_engine();
+    let (engine, context, cpi, frame) = trained_engine(|b| b);
     c.bench_function("ingest_run_null_sink", |b| {
         b.iter(|| replay(black_box(&engine), &context, &cpi, &frame))
     });
 
     let counters = Arc::new(EngineCounters::default());
-    engine.set_event_sink(Arc::clone(&counters) as Arc<dyn EventSink>);
+    let (engine, context, cpi, frame) =
+        trained_engine(|b| b.event_sink(Arc::clone(&counters) as Arc<dyn EventSink>));
     c.bench_function("ingest_run_engine_counters", |b| {
         b.iter(|| replay(black_box(&engine), &context, &cpi, &frame))
     });
 
-    let telemetry = Telemetry::shared();
-    engine.attach_telemetry(&telemetry);
+    let hub = Telemetry::shared();
+    let (engine, context, cpi, frame) = trained_engine(|b| b.telemetry(&hub));
     c.bench_function("ingest_run_full_telemetry", |b| {
         b.iter(|| replay(black_box(&engine), &context, &cpi, &frame))
     });

@@ -13,7 +13,8 @@
 //!
 //! # online: score a fresh window
 //! diagnose infer --deployment deployment.json \
-//!     --context Wordcount@192.168.1.102 --window incident.csv [--cpi live.txt]
+//!     --context Wordcount@192.168.1.102 --window incident.csv \
+//!     [--cpi live.txt] [--budget-ms 5]
 //!
 //! # demo mode: generate everything from the simulator
 //! diagnose demo
@@ -27,8 +28,32 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ix_core::{InvarNetConfig, InvarNetX, ModelStore, OperationContext};
+use ix_core::{
+    CoreError, Engine, InvarNetConfig, InvarNetX, ModelStore, OperationContext, SweepBudget,
+};
 use ix_metrics::MetricFrame;
+
+/// Renders a [`CoreError`] with its full `source()` chain, so an I/O or
+/// parse failure names the underlying cause.
+fn render_error(e: CoreError) -> String {
+    let mut out = e.to_string();
+    let mut cause: Option<&dyn std::error::Error> = std::error::Error::source(&e);
+    while let Some(c) = cause {
+        out.push_str(&format!(": {c}"));
+        cause = c.source();
+    }
+    out
+}
+
+/// Builds an [`InvarNetX`] pipeline from `config`, attaching the shared
+/// telemetry hub when `--telemetry` was passed.
+fn build_system(config: InvarNetConfig) -> InvarNetX {
+    let mut builder = Engine::builder().config(config);
+    if let Some(t) = ix_bench::telemetry::active() {
+        builder = builder.telemetry(&t);
+    }
+    InvarNetX::from_engine(builder.build())
+}
 
 fn read_frame(path: &Path) -> Result<MetricFrame, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -87,10 +112,7 @@ fn train(args: &[String]) -> Result<(), String> {
         return Err("need at least two --normal frames for Algorithm 1".into());
     }
 
-    let mut system = InvarNetX::new(InvarNetConfig::default());
-    if let Some(t) = ix_bench::telemetry::active() {
-        system.attach_telemetry(&t);
-    }
+    let mut system = build_system(InvarNetConfig::default());
     let frames: Result<Vec<MetricFrame>, String> = normals.iter().map(|p| read_frame(p)).collect();
     system
         .build_invariants(context.clone(), &frames?)
@@ -117,7 +139,7 @@ fn train(args: &[String]) -> Result<(), String> {
         system.invariant_set(&context).expect("just built"),
     );
     store.signatures = system.signature_database();
-    store.save(&out).map_err(|e| e.to_string())?;
+    store.save(&out).map_err(render_error)?;
     println!(
         "wrote {} ({} invariants, {} signatures{})",
         out.display(),
@@ -137,6 +159,7 @@ fn infer(args: &[String]) -> Result<(), String> {
     let mut context = None;
     let mut window = None;
     let mut cpi = None;
+    let mut budget_ms = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |name: &str| {
@@ -149,22 +172,30 @@ fn infer(args: &[String]) -> Result<(), String> {
             "--context" => context = Some(parse_context(&next("--context")?)?),
             "--window" => window = Some(PathBuf::from(next("--window")?)),
             "--cpi" => cpi = Some(PathBuf::from(next("--cpi")?)),
+            "--budget-ms" => {
+                let v = next("--budget-ms")?;
+                budget_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--budget-ms wants milliseconds, got {v:?}"))?,
+                );
+            }
             other => return Err(format!("unknown infer argument: {other}")),
         }
     }
     let context = context.ok_or("--context is required")?;
     let window = window.ok_or("--window is required")?;
 
-    let store = ModelStore::load(&deployment).map_err(|e| e.to_string())?;
+    let store = ModelStore::load(&deployment).map_err(render_error)?;
     let key = ModelStore::context_key(&context);
-    let mut system = InvarNetX::new(InvarNetConfig::default());
-    if let Some(t) = ix_bench::telemetry::active() {
-        system.attach_telemetry(&t);
+    let mut config = InvarNetConfig::default();
+    if let Some(ms) = budget_ms {
+        config.sweep_budget = SweepBudget::wall_millis(ms);
     }
+    let mut system = build_system(config);
     if let Some(m) = store.performance_models.get(&key) {
         system.set_performance_model(
             context.clone(),
-            m.clone().into_model().map_err(|e| e.to_string())?,
+            m.clone().into_model().map_err(render_error)?,
         );
     }
     let invariants = store
@@ -201,6 +232,14 @@ fn infer(args: &[String]) -> Result<(), String> {
         diagnosis.tuple.violation_count(),
         diagnosis.tuple.len()
     );
+    if let Some(deg) = diagnosis.degradation {
+        println!(
+            "NOTE: sweep degraded to tier {} ({}) — reason: {}",
+            deg.tier.level(),
+            deg.tier.name(),
+            deg.reason.name()
+        );
+    }
     println!("ranked causes:");
     for (i, c) in diagnosis.ranked.iter().enumerate().take(5) {
         println!(
@@ -306,7 +345,8 @@ fn main() -> ExitCode {
                 "diagnose — InvarNet-X as a CLI\n\n\
                  USAGE:\n  diagnose train --out FILE --context WORKLOAD@NODE \\\n\
                  \x20        --normal frame.csv... [--cpi trace.txt...] [--incident LABEL=window.csv...]\n\
-                 \x20 diagnose infer --deployment FILE --context WORKLOAD@NODE --window incident.csv [--cpi live.txt]\n\
+                 \x20 diagnose infer --deployment FILE --context WORKLOAD@NODE --window incident.csv\n\
+                 \x20        [--cpi live.txt] [--budget-ms MS]\n\
                  \x20 diagnose demo   # end-to-end on simulator-exported files\n\n\
                  Add --telemetry to any subcommand to print an engine telemetry report."
             );

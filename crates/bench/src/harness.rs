@@ -94,17 +94,15 @@ pub fn train(
     opts: TrainOptions,
 ) -> TrainedSystem {
     let config = InvarNetConfig::default();
-    let mut system = match opts.measure {
-        MeasureKind::Mic => {
-            InvarNetX::with_measure(config.clone(), Box::new(MicMeasure::new(config.mic)))
-        }
-        MeasureKind::Arx => {
-            InvarNetX::with_measure(config.clone(), Box::new(ArxMeasure::new(config.arx)))
-        }
+    let measure: std::sync::Arc<dyn ix_core::AssociationMeasure> = match opts.measure {
+        MeasureKind::Mic => std::sync::Arc::new(MicMeasure::new(config.mic)),
+        MeasureKind::Arx => std::sync::Arc::new(ArxMeasure::new(config.arx)),
     };
+    let mut engine_builder = ix_core::Engine::builder().config(config).measure(measure);
     if let Some(telemetry) = crate::telemetry::active() {
-        system.attach_telemetry(&telemetry);
+        engine_builder = engine_builder.telemetry(&telemetry);
     }
+    let mut system = InvarNetX::from_engine(engine_builder.build());
 
     let context = if opts.no_context {
         OperationContext::global()

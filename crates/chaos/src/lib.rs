@@ -1,0 +1,60 @@
+//! `ix-chaos` — fault injection against a live InvarNet-X engine.
+//!
+//! The resilience layer's contract is *correct or explicitly degraded,
+//! never silently wrong*: a diagnosis is either computed at full fidelity
+//! or carries a [`ix_core::SweepDegradation`] marker; a persistence
+//! failure is a typed [`ix_core::CoreError`] plus a health transition;
+//! overload sheds ticks loudly through [`ix_core::EngineEvent::TickShed`].
+//! This crate is the harness that tries to break that contract.
+//!
+//! Six host-level faults are injected into trained deployments
+//! ([`fixture::Fixture`]), each driven by a scenario in [`scenarios`]:
+//!
+//! | scenario | fault |
+//! |---|---|
+//! | `slow-measure` | every MIC score call stalls under a 5 ms budget |
+//! | `clock-jitter` | bimodal per-pair latency spikes |
+//! | `allocator-pressure` | background allocation churn |
+//! | `truncated-store` | the persisted model store is cut mid-file |
+//! | `poisoned-lock` | a detector panics while a shard lock is held |
+//! | `queue-flood` | bounded-queue overload under both shed policies |
+//!
+//! Run the whole suite with `cargo run --release -p ix-chaos`; the binary
+//! exits nonzero if any scenario observes a silent wrong answer.
+
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod fixture;
+pub mod report;
+pub mod scenarios;
+
+pub use report::{ScenarioReport, Verdict};
+pub use scenarios::{all_scenarios, Scenario};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_holds_six_distinct_scenarios() {
+        let scenarios = all_scenarios();
+        assert_eq!(scenarios.len(), 6, "the harness injects six fault types");
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6, "scenario names must be unique");
+    }
+
+    #[test]
+    fn poisoned_lock_scenario_passes() {
+        // The cheapest scenario (no MIC training) doubles as an in-tree
+        // regression test for the engine's poison recovery.
+        let scenario = all_scenarios()
+            .into_iter()
+            .find(|s| s.name == "poisoned-lock")
+            .expect("registered");
+        let report = (scenario.run)();
+        assert!(report.passed(), "notes: {:?}", report.notes);
+    }
+}

@@ -1,0 +1,40 @@
+//! Chaos suite runner: executes every scenario against a live engine and
+//! fails the process if any of them observes a silently wrong answer.
+
+use std::process::ExitCode;
+
+use ix_chaos::{all_scenarios, Verdict};
+
+fn main() -> ExitCode {
+    let scenarios = all_scenarios();
+    println!("ix-chaos: {} fault scenarios\n", scenarios.len());
+
+    let mut failures = 0usize;
+    let mut degraded = 0usize;
+    for scenario in scenarios {
+        println!("=== {} — {}", scenario.name, scenario.description);
+        let report = (scenario.run)();
+        for note in &report.notes {
+            println!("    {note}");
+        }
+        println!(
+            "    verdict: {} ({} ms)\n",
+            report.verdict.name(),
+            report.millis
+        );
+        match report.verdict {
+            Verdict::Correct => {}
+            Verdict::Degraded => degraded += 1,
+            Verdict::Failed => failures += 1,
+        }
+    }
+
+    println!("summary: {failures} failed, {degraded} explicitly degraded, rest correct");
+    if failures > 0 {
+        println!("chaos run FAILED: a fault produced a silent wrong answer");
+        ExitCode::FAILURE
+    } else {
+        println!("chaos run passed: every answer was correct or explicitly degraded");
+        ExitCode::SUCCESS
+    }
+}

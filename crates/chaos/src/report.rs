@@ -1,0 +1,97 @@
+//! Scenario outcomes: the harness's correct-or-explicitly-degraded oracle.
+
+/// How a scenario's engine run related to the fault injected into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The engine absorbed the fault and produced full-fidelity answers
+    /// that match the pristine baseline.
+    Correct,
+    /// The engine could not complete at full fidelity and *said so* — via
+    /// [`ix_core::Diagnosis::degradation`], a typed error, or a health
+    /// transition. This is the designed response to an overwhelming fault.
+    Degraded,
+    /// The engine produced a wrong answer without declaring degradation,
+    /// or violated one of the scenario's invariants. Any `Failed` verdict
+    /// fails the whole chaos run.
+    Failed,
+}
+
+impl Verdict {
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Correct => "correct",
+            Verdict::Degraded => "degraded (explicit)",
+            Verdict::Failed => "FAILED",
+        }
+    }
+}
+
+/// The outcome of one chaos scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name (kebab-case).
+    pub scenario: &'static str,
+    /// The oracle's verdict.
+    pub verdict: Verdict,
+    /// Human-readable evidence lines backing the verdict.
+    pub notes: Vec<String>,
+    /// Wall-clock duration of the scenario.
+    pub millis: u128,
+}
+
+impl ScenarioReport {
+    /// A fresh report in the `Correct` state; scenarios downgrade it as
+    /// they observe degradations or failures.
+    pub fn new(scenario: &'static str) -> Self {
+        ScenarioReport {
+            scenario,
+            verdict: Verdict::Correct,
+            notes: Vec::new(),
+            millis: 0,
+        }
+    }
+
+    /// Records a note.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Downgrades `Correct` to `Degraded` (a `Failed` verdict is sticky).
+    pub fn mark_degraded(&mut self, line: impl Into<String>) {
+        if self.verdict == Verdict::Correct {
+            self.verdict = Verdict::Degraded;
+        }
+        self.notes.push(line.into());
+    }
+
+    /// Marks the scenario failed; `Failed` is terminal.
+    pub fn mark_failed(&mut self, line: impl Into<String>) {
+        self.verdict = Verdict::Failed;
+        self.notes.push(line.into());
+    }
+
+    /// Whether the scenario upheld the correct-or-explicitly-degraded
+    /// contract.
+    pub fn passed(&self) -> bool {
+        self.verdict != Verdict::Failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failed_is_sticky() {
+        let mut r = ScenarioReport::new("x");
+        assert!(r.passed());
+        r.mark_degraded("slow");
+        assert_eq!(r.verdict, Verdict::Degraded);
+        r.mark_failed("wrong");
+        r.mark_degraded("slow again");
+        assert_eq!(r.verdict, Verdict::Failed);
+        assert!(!r.passed());
+        assert_eq!(r.notes.len(), 3);
+    }
+}

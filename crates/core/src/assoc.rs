@@ -202,6 +202,9 @@ struct SweepShared {
     done_tx: Sender<Vec<(usize, f64)>>,
     sink: Arc<dyn EventSink>,
     context: ContextId,
+    /// Workers stop claiming batches once this instant passes (the sweep
+    /// then reports itself incomplete). `None` = run to completion.
+    deadline: Option<Instant>,
 }
 
 /// One worker's membership in one sweep: every worker receives a handle to
@@ -262,9 +265,17 @@ impl SweepPool {
             let mut scorer = shared.plan.as_deref().map(SweepPlan::scorer);
             let mut local: Vec<(usize, f64)> = Vec::new();
             // Work-stealing: claim small batches off the sweep's cursor
-            // until the pair space is drained. Each batch's cost feeds the
+            // until the pair space is drained — or the sweep's deadline
+            // passes, checked per batch so an expired sweep stops within
+            // one STEAL_BATCH of pairs. Each batch's cost feeds the
             // pair-scoring histogram.
-            while let Some((start, end)) = claim_batch(&shared.cursor, n_pairs) {
+            loop {
+                if shared.deadline.is_some_and(|d| Instant::now() >= d) {
+                    break;
+                }
+                let Some((start, end)) = claim_batch(&shared.cursor, n_pairs) else {
+                    break;
+                };
                 let started = Instant::now();
                 for idx in start..end {
                     let (a, b) = pair_of_index(idx);
@@ -317,6 +328,23 @@ impl SweepPool {
         context: ContextId,
         sink: &Arc<dyn EventSink>,
     ) -> AssociationMatrix {
+        self.sweep_bounded(frame, measure, context, sink, None)
+            .matrix
+    }
+
+    /// [`SweepPool::sweep_attributed`] under an optional deadline: workers
+    /// stop claiming pair batches once `deadline` passes, and the returned
+    /// [`BoundedSweep`] says exactly which pairs were scored. With
+    /// `deadline: None` the sweep always completes and is identical to
+    /// [`SweepPool::sweep_attributed`].
+    pub fn sweep_bounded(
+        &self,
+        frame: &MetricFrame,
+        measure: &Arc<dyn AssociationMeasure>,
+        context: ContextId,
+        sink: &Arc<dyn EventSink>,
+        deadline: Option<Instant>,
+    ) -> BoundedSweep {
         let series: Vec<Vec<f64>> = MetricId::ALL.iter().map(|&m| frame.series(m)).collect();
         let n_pairs = pair_count();
         let prepare_started = Instant::now();
@@ -337,6 +365,7 @@ impl SweepPool {
             done_tx,
             sink: Arc::clone(sink),
             context,
+            deadline,
         });
         // Every worker joins the sweep; the cursor hands out the actual
         // work, so a worker that arrives late (or draws expensive pairs)
@@ -351,14 +380,38 @@ impl SweepPool {
         }
         drop(shared);
         let mut scores = vec![0.0f64; n_pairs];
+        let mut scored = vec![false; n_pairs];
+        let mut scored_count = 0usize;
+        // Each worker sends exactly once per job — deadline or not — so
+        // this recv protocol cannot hang on an expired sweep.
         for _ in 0..self.threads {
             let part = done_rx.recv().expect("sweep workers alive until drop");
             for (idx, v) in part {
                 scores[idx] = v;
+                if !scored[idx] {
+                    scored[idx] = true;
+                    scored_count += 1;
+                }
             }
         }
-        AssociationMatrix { scores }
+        BoundedSweep {
+            matrix: AssociationMatrix { scores },
+            completed: scored_count == n_pairs,
+            scored,
+        }
     }
+}
+
+/// The result of a deadline-bounded sweep ([`SweepPool::sweep_bounded`]).
+#[derive(Debug, Clone)]
+pub struct BoundedSweep {
+    /// Pairwise scores; unscored pairs hold `0.0` — consult `scored`
+    /// before trusting any entry of an incomplete sweep.
+    pub matrix: AssociationMatrix,
+    /// `scored[pair_index]` is `true` iff that pair was actually computed.
+    pub scored: Vec<bool>,
+    /// Whether every pair was scored (`scored` is all-`true`).
+    pub completed: bool,
 }
 
 impl Drop for SweepPool {
@@ -475,5 +528,41 @@ mod tests {
     #[should_panic(expected = "invalid pair")]
     fn pair_index_rejects_bad_order() {
         pair_index(5, 5);
+    }
+
+    #[test]
+    fn unbounded_sweep_reports_complete_and_matches_serial() {
+        let frame = synthetic_frame(40);
+        let pool = SweepPool::new(3);
+        let measure: Arc<dyn AssociationMeasure> = Arc::new(PearsonMeasure);
+        let sink: Arc<dyn EventSink> = Arc::new(NullSink);
+        let bounded = pool.sweep_bounded(&frame, &measure, ContextId::UNATTRIBUTED, &sink, None);
+        assert!(bounded.completed);
+        assert!(bounded.scored.iter().all(|&s| s));
+        let serial = AssociationMatrix::compute(&frame, &PearsonMeasure, 1);
+        assert_eq!(bounded.matrix, serial);
+    }
+
+    #[test]
+    fn expired_deadline_yields_an_incomplete_sweep() {
+        let frame = synthetic_frame(40);
+        let pool = SweepPool::new(2);
+        let measure: Arc<dyn AssociationMeasure> = Arc::new(PearsonMeasure);
+        let sink: Arc<dyn EventSink> = Arc::new(NullSink);
+        // A deadline already in the past: workers must give up before
+        // claiming anything, and the protocol must still terminate.
+        let expired = Instant::now() - std::time::Duration::from_millis(1);
+        let bounded = pool.sweep_bounded(
+            &frame,
+            &measure,
+            ContextId::UNATTRIBUTED,
+            &sink,
+            Some(expired),
+        );
+        assert!(!bounded.completed);
+        assert!(bounded.scored.iter().all(|&s| !s));
+        // The pool survives an expired sweep and completes the next one.
+        let again = pool.sweep_bounded(&frame, &measure, ContextId::UNATTRIBUTED, &sink, None);
+        assert!(again.completed);
     }
 }

@@ -1,4 +1,5 @@
 use crate::anomaly::ThresholdRule;
+use crate::engine::resilience::{OverloadPolicy, RetryPolicy, SweepBudget};
 use crate::similarity::Similarity;
 
 /// Which streaming anomaly detector the engine's detection layer runs on
@@ -80,6 +81,20 @@ pub struct InvarNetConfig {
     /// cache: re-diagnosing an unchanged window skips the pairwise sweep
     /// entirely. `0` disables caching.
     pub sweep_cache_entries: usize,
+    /// Wall-clock / pair-count budget for diagnosis sweeps; on overrun the
+    /// engine degrades along its declared ladder instead of blocking.
+    /// Defaults to [`SweepBudget::UNLIMITED`].
+    pub sweep_budget: SweepBudget,
+    /// What [`crate::Engine::submit`] does when a tick's ingest-queue
+    /// shard is full.
+    pub overload: OverloadPolicy,
+    /// Per-shard capacity (ticks) of the bounded ingest queue. Clamped up
+    /// to `consecutive_anomalies` so shedding can never retain fewer
+    /// contiguous ticks than anomaly confirmation needs.
+    pub ingest_queue_ticks: usize,
+    /// Retry schedule for [`crate::ModelStore`] persistence
+    /// ([`crate::Engine::save_store`] / [`crate::Engine::load_store`]).
+    pub store_retry: RetryPolicy,
 }
 
 impl InvarNetConfig {
@@ -188,9 +203,40 @@ impl ConfigBuilder {
         self
     }
 
+    /// Wall-clock / pair-count budget for diagnosis sweeps.
+    pub fn sweep_budget(mut self, budget: SweepBudget) -> Self {
+        self.config.sweep_budget = budget;
+        self
+    }
+
+    /// Overload policy of the bounded ingest queue.
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        self.config.overload = policy;
+        self
+    }
+
+    /// Per-shard capacity (ticks) of the bounded ingest queue.
+    pub fn ingest_queue_ticks(mut self, ticks: usize) -> Self {
+        self.config.ingest_queue_ticks = ticks;
+        self
+    }
+
+    /// Retry schedule for model-store persistence.
+    pub fn store_retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.store_retry = policy;
+        self
+    }
+
     /// The finished configuration.
     pub fn build(self) -> InvarNetConfig {
         self.config
+    }
+
+    /// Finishes the configuration and starts an
+    /// [`crate::EngineBuilder`] from it — `InvarNetConfig::builder()
+    /// .…. engine() .…. build()` reads as one fluent chain.
+    pub fn engine(self) -> crate::engine::EngineBuilder {
+        crate::engine::Engine::builder().config(self.build())
     }
 }
 
@@ -211,6 +257,10 @@ impl Default for InvarNetConfig {
             window_ticks: 60,
             state_shards: 8,
             sweep_cache_entries: 8,
+            sweep_budget: SweepBudget::UNLIMITED,
+            overload: OverloadPolicy::Block,
+            ingest_queue_ticks: 64,
+            store_retry: RetryPolicy::default(),
         }
     }
 }

@@ -1,0 +1,235 @@
+//! The builder-first construction path for [`Engine`].
+//!
+//! [`EngineBuilder`] folds what used to be a `new` + a handful of `&mut`
+//! setters ([`Engine::set_threads`], [`Engine::set_event_sink`],
+//! [`Engine::attach_telemetry`], the `install_*` family) into one fluent
+//! expression that yields a ready, immutable engine:
+//!
+//! ```
+//! use ix_core::{Engine, InvarNetConfig, Telemetry};
+//!
+//! let telemetry = Telemetry::shared();
+//! let engine = Engine::builder()
+//!     .config(InvarNetConfig::default())
+//!     .threads(2)
+//!     .telemetry(&telemetry)
+//!     .build();
+//! assert_eq!(engine.threads(), 2);
+//! ```
+
+use std::sync::Arc;
+
+use crate::anomaly::PerformanceModel;
+use crate::config::InvarNetConfig;
+use crate::context::OperationContext;
+use crate::invariants::InvariantSet;
+use crate::measure::AssociationMeasure;
+use crate::signature::SignatureDatabase;
+
+use super::detector::Detector;
+use super::events::EventSink;
+use super::telemetry::Telemetry;
+use super::Engine;
+
+/// Assembles a fully configured [`Engine`] in one expression; obtain one
+/// from [`Engine::builder`] (or [`crate::ConfigBuilder::engine`]) and
+/// finish with [`EngineBuilder::build`], which is infallible.
+#[must_use = "builder methods return the builder; call .build() to produce the engine"]
+pub struct EngineBuilder {
+    config: InvarNetConfig,
+    measure: Option<Arc<dyn AssociationMeasure>>,
+    threads: Option<usize>,
+    sink: Option<Arc<dyn EventSink>>,
+    telemetry: Option<Arc<Telemetry>>,
+    signatures: Option<SignatureDatabase>,
+    models: Vec<(OperationContext, PerformanceModel)>,
+    invariants: Vec<(OperationContext, InvariantSet)>,
+    detectors: Vec<(OperationContext, Arc<dyn Detector>)>,
+}
+
+impl EngineBuilder {
+    pub(crate) fn new() -> Self {
+        EngineBuilder {
+            config: InvarNetConfig::default(),
+            measure: None,
+            threads: None,
+            sink: None,
+            telemetry: None,
+            signatures: None,
+            models: Vec::new(),
+            invariants: Vec::new(),
+            detectors: Vec::new(),
+        }
+    }
+
+    /// The engine configuration (defaults to the paper values).
+    pub fn config(mut self, config: InvarNetConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The association measure (defaults to MIC with the configured
+    /// parameters).
+    pub fn measure(mut self, measure: Arc<dyn AssociationMeasure>) -> Self {
+        self.measure = Some(measure);
+        self
+    }
+
+    /// Number of sweep workers (defaults to the available parallelism,
+    /// capped at 8).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The observability sink every engine event goes to. Superseded by
+    /// [`EngineBuilder::telemetry`] when both are set (a [`Telemetry`] hub
+    /// *is* an event sink, plus a shared context registry).
+    pub fn event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a [`Telemetry`] hub: the hub becomes the engine's event
+    /// sink and the engine interns contexts into the hub's registry, so
+    /// exporters can resolve context ids back to labels. Several engines
+    /// may attach to one hub.
+    pub fn telemetry(mut self, telemetry: &Arc<Telemetry>) -> Self {
+        self.telemetry = Some(Arc::clone(telemetry));
+        self
+    }
+
+    /// Seeds the signature database (e.g. from a persisted
+    /// [`crate::ModelStore`]).
+    pub fn signature_database(mut self, db: SignatureDatabase) -> Self {
+        self.signatures = Some(db);
+        self
+    }
+
+    /// Installs a prebuilt performance model for a context; its streaming
+    /// detector becomes an ARIMA detector over the model (see
+    /// [`crate::Engine::load_state`] for the persisted-state path).
+    pub fn performance_model(mut self, context: OperationContext, model: PerformanceModel) -> Self {
+        self.models.push((context, model));
+        self
+    }
+
+    /// Installs a prebuilt invariant set for a context.
+    pub fn invariant_set(mut self, context: OperationContext, set: InvariantSet) -> Self {
+        self.invariants.push((context, set));
+        self
+    }
+
+    /// Installs a custom streaming detector for a context (applied after
+    /// any [`EngineBuilder::performance_model`] for the same context, so
+    /// it wins).
+    pub fn detector(mut self, context: OperationContext, detector: Arc<dyn Detector>) -> Self {
+        self.detectors.push((context, detector));
+        self
+    }
+
+    /// The finished engine.
+    pub fn build(self) -> Engine {
+        let mut engine = match self.measure {
+            Some(measure) => Engine::with_measure(self.config, measure),
+            None => Engine::new(self.config),
+        };
+        if let Some(threads) = self.threads {
+            engine.set_threads_internal(threads);
+        }
+        if let Some(telemetry) = &self.telemetry {
+            engine.attach_telemetry_internal(telemetry);
+        } else if let Some(sink) = self.sink {
+            engine.set_event_sink_internal(sink);
+        }
+        if let Some(db) = self.signatures {
+            engine.set_signature_database(db);
+        }
+        for (context, model) in self.models {
+            engine.install_performance_model_internal(context, model);
+        }
+        for (context, set) in self.invariants {
+            engine.install_invariant_set_internal(context, set);
+        }
+        for (context, detector) in self.detectors {
+            engine.install_detector_internal(context, detector);
+        }
+        engine
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder::new()
+    }
+}
+
+impl std::fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("measure", &self.measure.as_ref().map(|m| m.name()))
+            .field("threads", &self.threads)
+            .field("telemetry", &self.telemetry.is_some())
+            .field("event_sink", &self.sink.is_some())
+            .field("signatures", &self.signatures.as_ref().map(|db| db.len()))
+            .field("models", &self.models.len())
+            .field("invariant_sets", &self.invariants.len())
+            .field("detectors", &self.detectors.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::PearsonMeasure;
+    use crate::signature::{Signature, ViolationTuple};
+
+    fn ctx() -> OperationContext {
+        OperationContext::new("10.0.0.1", "Sort")
+    }
+
+    #[test]
+    fn builder_wires_measure_threads_and_signatures() {
+        let mut db = SignatureDatabase::new();
+        db.add(Signature {
+            tuple: ViolationTuple::from_graded(vec![0.5; 4]),
+            problem: "CPU-hog".into(),
+            context: ctx(),
+        });
+        let engine = Engine::builder()
+            .config(InvarNetConfig::builder().state_shards(4).build())
+            .measure(Arc::new(PearsonMeasure))
+            .threads(2)
+            .signature_database(db)
+            .build();
+        assert_eq!(engine.measure_name(), "Pearson");
+        assert_eq!(engine.threads(), 2);
+        assert_eq!(engine.state_shards(), 4);
+        assert_eq!(engine.with_signature_database(|db| db.len()), 1);
+    }
+
+    #[test]
+    fn telemetry_supersedes_event_sink() {
+        let telemetry = Telemetry::shared();
+        let counters = Arc::new(crate::engine::EngineCounters::default());
+        let engine = Engine::builder()
+            .event_sink(counters)
+            .telemetry(&telemetry)
+            .build();
+        // The engine interns into the hub's registry — the telemetry
+        // attachment won.
+        assert!(Arc::ptr_eq(engine.context_registry(), telemetry.contexts()));
+    }
+
+    #[test]
+    fn config_builder_flows_into_engine_builder() {
+        let engine = InvarNetConfig::builder()
+            .epsilon(0.3)
+            .engine()
+            .threads(1)
+            .build();
+        assert_eq!(engine.config().epsilon, 0.3);
+        assert_eq!(engine.threads(), 1);
+    }
+}

@@ -1,5 +1,6 @@
 //! The diagnosis layer: ranked root causes from signature matching.
 
+use crate::engine::resilience::SweepDegradation;
 use crate::error::CoreError;
 use crate::invariants::InvariantSet;
 use crate::signature::ViolationTuple;
@@ -22,6 +23,11 @@ pub struct Diagnosis {
     pub ranked: Vec<RankedCause>,
     /// The violation tuple that was matched.
     pub tuple: ViolationTuple,
+    /// `Some` when the association matrix behind the tuple was produced by
+    /// a degradation tier rather than a full-fidelity sweep — the explicit
+    /// marker the resilience layer guarantees in place of a silently
+    /// degraded answer. `None` means full fidelity.
+    pub degradation: Option<SweepDegradation>,
 }
 
 impl Diagnosis {

@@ -14,6 +14,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use super::resilience::{DegradationReason, DegradationTier, HealthState, OverloadPolicy};
 use super::telemetry::{ContextId, EnginePhase};
 
 /// Something the engine did, reported to the configured [`EventSink`].
@@ -110,6 +111,52 @@ pub enum EngineEvent {
         /// Wall-clock duration in microseconds.
         micros: u64,
     },
+    /// A sweep could not finish inside its [`crate::SweepBudget`] and a
+    /// declared fallback tier produced the answer instead.
+    SweepDegraded {
+        /// The context whose diagnosis was degraded.
+        context: ContextId,
+        /// The fallback tier that answered.
+        tier: DegradationTier,
+        /// Why the full-fidelity sweep was abandoned.
+        reason: DegradationReason,
+    },
+    /// A tick entered the bounded ingest queue
+    /// ([`crate::Engine::submit`]).
+    TickEnqueued {
+        /// The context the tick belongs to.
+        context: ContextId,
+        /// Depth of the tick's queue shard after the enqueue.
+        depth: usize,
+    },
+    /// The bounded ingest queue shed a tick under overload.
+    TickShed {
+        /// The context of the *dropped* tick (the oldest queued tick for
+        /// `ShedOldest`, the incoming tick for `ShedNewest`).
+        context: ContextId,
+        /// The overload policy that shed it.
+        policy: OverloadPolicy,
+    },
+    /// A [`crate::ModelStore`] save/load failed and is about to be
+    /// retried after a backoff sleep.
+    StoreRetried {
+        /// Always [`ContextId::UNATTRIBUTED`]: stores span contexts.
+        context: ContextId,
+        /// The 1-based attempt that just failed.
+        attempt: u32,
+        /// The jittered backoff about to be slept, in microseconds.
+        backoff_micros: u64,
+    },
+    /// The engine's health state machine transitioned.
+    HealthChanged {
+        /// The context whose operation drove the transition
+        /// ([`ContextId::UNATTRIBUTED`] for store operations).
+        context: ContextId,
+        /// The state before the transition.
+        from: HealthState,
+        /// The state after the transition.
+        to: HealthState,
+    },
 }
 
 impl EngineEvent {
@@ -125,7 +172,12 @@ impl EngineEvent {
             | EngineEvent::SweepCompleted { context, .. }
             | EngineEvent::PairsScored { context, .. }
             | EngineEvent::SweepCacheLookup { context, .. }
-            | EngineEvent::SpanClosed { context, .. } => context,
+            | EngineEvent::SpanClosed { context, .. }
+            | EngineEvent::SweepDegraded { context, .. }
+            | EngineEvent::TickEnqueued { context, .. }
+            | EngineEvent::TickShed { context, .. }
+            | EngineEvent::StoreRetried { context, .. }
+            | EngineEvent::HealthChanged { context, .. } => context,
         }
     }
 }
@@ -178,6 +230,11 @@ pub struct EngineCounters {
     sweep_cache_hits: AtomicU64,
     sweep_cache_misses: AtomicU64,
     signature_matches: AtomicU64,
+    sweeps_degraded: AtomicU64,
+    ticks_enqueued: AtomicU64,
+    ticks_shed: AtomicU64,
+    store_retries: AtomicU64,
+    health_transitions: AtomicU64,
 }
 
 impl EngineCounters {
@@ -241,6 +298,31 @@ impl EngineCounters {
     pub fn signature_matches(&self) -> u64 {
         Self::get(&self.signature_matches)
     }
+
+    /// Sweeps answered by a degradation-ladder fallback tier.
+    pub fn sweeps_degraded(&self) -> u64 {
+        Self::get(&self.sweeps_degraded)
+    }
+
+    /// Ticks accepted into the bounded ingest queue.
+    pub fn ticks_enqueued(&self) -> u64 {
+        Self::get(&self.ticks_enqueued)
+    }
+
+    /// Ticks shed by the ingest queue's overload policy.
+    pub fn ticks_shed(&self) -> u64 {
+        Self::get(&self.ticks_shed)
+    }
+
+    /// Store save/load attempts that failed and were retried.
+    pub fn store_retries(&self) -> u64 {
+        Self::get(&self.store_retries)
+    }
+
+    /// Health state machine transitions.
+    pub fn health_transitions(&self) -> u64 {
+        Self::get(&self.health_transitions)
+    }
 }
 
 impl EventSink for EngineCounters {
@@ -279,6 +361,21 @@ impl EventSink for EngineCounters {
                 } else {
                     self.sweep_cache_misses.fetch_add(1, Ordering::Relaxed);
                 }
+            }
+            EngineEvent::SweepDegraded { .. } => {
+                self.sweeps_degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::TickEnqueued { .. } => {
+                self.ticks_enqueued.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::TickShed { .. } => {
+                self.ticks_shed.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::StoreRetried { .. } => {
+                self.store_retries.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::HealthChanged { .. } => {
+                self.health_transitions.fetch_add(1, Ordering::Relaxed);
             }
             // Chunk- and span-level signals are histogram fodder; the flat
             // counters ignore them.
@@ -359,6 +456,40 @@ mod tests {
         assert_eq!(c.sweep_micros_max(), 30);
         assert_eq!(c.sweep_cache_hits(), 1);
         assert_eq!(c.sweep_cache_misses(), 2);
+    }
+
+    #[test]
+    fn counters_aggregate_resilience_events() {
+        let ctx = ContextId::UNATTRIBUTED;
+        let c = EngineCounters::default();
+        c.record(&EngineEvent::SweepDegraded {
+            context: ctx,
+            tier: DegradationTier::PearsonFallback,
+            reason: DegradationReason::WallClockExceeded,
+        });
+        c.record(&EngineEvent::TickEnqueued {
+            context: ctx,
+            depth: 4,
+        });
+        c.record(&EngineEvent::TickShed {
+            context: ctx,
+            policy: OverloadPolicy::ShedOldest,
+        });
+        c.record(&EngineEvent::StoreRetried {
+            context: ctx,
+            attempt: 1,
+            backoff_micros: 1000,
+        });
+        c.record(&EngineEvent::HealthChanged {
+            context: ctx,
+            from: HealthState::Healthy,
+            to: HealthState::Degraded(DegradationTier::PearsonFallback),
+        });
+        assert_eq!(c.sweeps_degraded(), 1);
+        assert_eq!(c.ticks_enqueued(), 1);
+        assert_eq!(c.ticks_shed(), 1);
+        assert_eq!(c.store_retries(), 1);
+        assert_eq!(c.health_transitions(), 1);
     }
 
     #[test]

@@ -10,7 +10,6 @@ use crate::anomaly::DetectionResult;
 use crate::context::OperationContext;
 use crate::error::CoreError;
 use crate::invariants::InvariantSet;
-use crate::signature::ViolationTuple;
 
 use super::diagnosis::Diagnosis;
 use super::events::EngineEvent;
@@ -128,9 +127,11 @@ impl Engine {
             Some(DeferredDiagnosis { frame, invariants }) => {
                 let _span = Span::enter(self.sink(), EnginePhase::Diagnosis, context_id);
                 let started = Instant::now();
-                let matrix = self.association_matrix_for(context_id, &frame)?;
-                let tuple = ViolationTuple::build(&invariants, &matrix, self.config().epsilon);
-                let diagnosis = self.rank_tuple(context, tuple)?;
+                let verdict =
+                    self.budgeted_matrix_for(context_id, &frame, self.config().sweep_budget)?;
+                let tuple = verdict.violation_tuple(&invariants, self.config().epsilon);
+                let mut diagnosis = self.rank_tuple(context, tuple)?;
+                diagnosis.degradation = verdict.degradation;
                 self.sink().record(&EngineEvent::DiagnosisRan {
                     context: context_id,
                     tick: lifetime_tick,

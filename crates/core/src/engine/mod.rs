@@ -21,36 +21,42 @@
 //! The original [`crate::InvarNetX`] facade remains as a thin wrapper for
 //! batch (whole-trace) use.
 
+mod builder;
 pub mod detector;
 pub mod diagnosis;
 pub mod events;
 mod ingest;
+pub mod resilience;
 mod state;
 mod sweep_cache;
 pub mod telemetry;
 
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use ix_metrics::MetricFrame;
+use ix_metrics::{MetricFrame, MetricId, METRIC_COUNT};
 
 use crate::anomaly::{DetectionResult, PerformanceModel};
-use crate::assoc::{pair_count, AssociationMatrix, SweepPool};
+use crate::assoc::{pair_count, pair_index, AssociationMatrix, SweepPool};
 use crate::config::{DetectorChoice, InvarNetConfig};
 use crate::context::OperationContext;
 use crate::cusum::CusumDetector;
 use crate::error::CoreError;
 use crate::invariants::InvariantSet;
-use crate::measure::{AssociationMeasure, MicMeasure};
+use crate::measure::{AssociationMeasure, MicMeasure, PearsonMeasure};
 use crate::signature::{Signature, SignatureDatabase, ViolationTuple};
 
+pub use builder::EngineBuilder;
 pub use detector::{ArimaDetector, CusumStreamDetector, Detector, DetectorRun, TickDecision};
 pub use diagnosis::{Diagnosis, RankedCause};
 pub use events::{EngineCounters, EngineEvent, EventSink, NullSink};
 pub use ingest::TickOutcome;
 pub use telemetry::Telemetry;
 
+use resilience::{
+    DegradationReason, DegradationTier, HealthMonitor, IngestQueue, SweepBudget, SweepDegradation,
+};
 use state::ShardedStateMap;
 use sweep_cache::SweepCache;
 use telemetry::{ContextId, ContextRegistry, EnginePhase, Span, CONFIDENT_SIMILARITY};
@@ -61,6 +67,9 @@ use telemetry::{ContextId, ContextRegistry, EnginePhase, Span, CONFIDENT_SIMILAR
 pub struct Engine {
     config: InvarNetConfig,
     measure: Arc<dyn AssociationMeasure>,
+    /// The degradation ladder's tier-2 measure: a full sweep under a
+    /// cheap, always-available score (Pearson).
+    fallback: Arc<dyn AssociationMeasure>,
     state: ShardedStateMap,
     signatures: RwLock<SignatureDatabase>,
     pool: SweepPool,
@@ -68,6 +77,12 @@ pub struct Engine {
     sink: Arc<dyn EventSink>,
     contexts: Arc<ContextRegistry>,
     ticks: AtomicU64,
+    health: HealthMonitor,
+    queue: IngestQueue,
+    /// EWMA of recent full-sweep durations in microseconds (`0` = no
+    /// completed sweep yet), consulted to predict budget overruns before
+    /// burning wall-clock on a doomed sweep.
+    sweep_ewma: AtomicU64,
 }
 
 impl Engine {
@@ -77,15 +92,28 @@ impl Engine {
         Self::with_measure(config, Arc::new(mic))
     }
 
+    /// Starts an [`EngineBuilder`] — the preferred way to assemble a
+    /// configured engine in one expression.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
     /// An engine with an explicit association measure (e.g. the ARX
     /// baseline).
     pub fn with_measure(config: InvarNetConfig, measure: Arc<dyn AssociationMeasure>) -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
         let shards = config.state_shards;
         let sweep_cache = SweepCache::new(config.sweep_cache_entries);
+        let queue = IngestQueue::new(
+            shards,
+            config.ingest_queue_ticks,
+            config.consecutive_anomalies,
+            config.overload,
+        );
         Engine {
             config,
             measure,
+            fallback: Arc::new(PearsonMeasure),
             state: ShardedStateMap::new(shards),
             signatures: RwLock::new(SignatureDatabase::new()),
             pool: SweepPool::new(threads),
@@ -93,16 +121,29 @@ impl Engine {
             sink: Arc::new(NullSink),
             contexts: Arc::new(ContextRegistry::new()),
             ticks: AtomicU64::new(0),
+            health: HealthMonitor::new(),
+            queue,
+            sweep_ewma: AtomicU64::new(0),
         }
     }
 
     /// Replaces the sweep worker pool with one of `threads` workers.
+    #[deprecated(note = "use Engine::builder().threads(n) instead")]
     pub fn set_threads(&mut self, threads: usize) {
+        self.set_threads_internal(threads);
+    }
+
+    pub(crate) fn set_threads_internal(&mut self, threads: usize) {
         self.pool = SweepPool::new(threads);
     }
 
     /// Installs an observability sink; all subsequent events go to it.
+    #[deprecated(note = "use Engine::builder().event_sink(sink) instead")]
     pub fn set_event_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.set_event_sink_internal(sink);
+    }
+
+    pub(crate) fn set_event_sink_internal(&mut self, sink: Arc<dyn EventSink>) {
         self.sink = sink;
     }
 
@@ -110,7 +151,12 @@ impl Engine {
     /// sink *and* the engine interns contexts into the hub's registry, so
     /// exporters can resolve [`ContextId`]s back to labels. Several engines
     /// may attach to one hub.
+    #[deprecated(note = "use Engine::builder().telemetry(&hub) instead")]
     pub fn attach_telemetry(&mut self, telemetry: &Arc<Telemetry>) {
+        self.attach_telemetry_internal(telemetry);
+    }
+
+    pub(crate) fn attach_telemetry_internal(&mut self, telemetry: &Arc<Telemetry>) {
         self.contexts = Arc::clone(telemetry.contexts());
         self.sink = Arc::<Telemetry>::clone(telemetry);
     }
@@ -154,6 +200,14 @@ impl Engine {
 
     pub(crate) fn tick_counter(&self) -> &AtomicU64 {
         &self.ticks
+    }
+
+    pub(crate) fn health_monitor(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    pub(crate) fn ingest_queue(&self) -> &IngestQueue {
+        &self.queue
     }
 
     // ------------------------------------------------------- offline part
@@ -210,6 +264,23 @@ impl Engine {
         context: ContextId,
         frame: &MetricFrame,
     ) -> Result<AssociationMatrix, CoreError> {
+        self.budgeted_matrix_for(context, frame, SweepBudget::UNLIMITED)
+            .map(|verdict| verdict.matrix)
+    }
+
+    /// The budget-aware sweep: full fidelity when the budget allows,
+    /// otherwise the first answer a declared degradation ladder can give —
+    /// stale cached matrix, full Pearson sweep, or a partial matrix over
+    /// the highest-variance metrics. Every degraded outcome is reported as
+    /// [`EngineEvent::SweepDegraded`]; the verdict says exactly which tier
+    /// answered, so no caller can mistake a degraded matrix for a full
+    /// one.
+    pub(crate) fn budgeted_matrix_for(
+        &self,
+        context: ContextId,
+        frame: &MetricFrame,
+        budget: SweepBudget,
+    ) -> Result<SweepVerdict, CoreError> {
         if frame.ticks() < self.config.min_frame_ticks {
             return Err(CoreError::FrameTooShort {
                 required: self.config.min_frame_ticks,
@@ -219,30 +290,204 @@ impl Engine {
         // The matrix is a pure function of the frame's values under this
         // engine's fixed measure, so an unchanged window (a re-diagnosed
         // sliding window, `violation_tuple` + `record_signature` on one
-        // frame) is served from the MRU cache bit-for-bit.
+        // frame) is served from the MRU cache bit-for-bit — full fidelity
+        // at zero cost, whatever the budget.
         if self.sweep_cache.is_enabled() {
             if let Some(matrix) = self.sweep_cache.get(frame.values()) {
                 self.sink
                     .record(&EngineEvent::SweepCacheLookup { context, hit: true });
-                return Ok(matrix);
+                self.note_health_ok(context);
+                return Ok(SweepVerdict::full(matrix));
             }
             self.sink.record(&EngineEvent::SweepCacheLookup {
                 context,
                 hit: false,
             });
         }
-        let _span = Span::enter(&self.sink, EnginePhase::Sweep, context);
+        // A pair budget below the full pair population can never be met by
+        // a full sweep under any measure: degrade without trying (and
+        // without the Pearson tier, which scores every pair too).
+        if budget.max_pairs.is_some_and(|max| max < pair_count()) {
+            return Ok(self.degrade(
+                context,
+                frame,
+                budget,
+                DegradationReason::PairBudgetExceeded,
+                false,
+            ));
+        }
+        // When past full sweeps averaged longer than the wall budget,
+        // predict the overrun instead of paying for it.
+        if let Some(wall) = budget.wall {
+            // ordering: Relaxed — the EWMA is an advisory load estimate;
+            // a stale read merely degrades one sweep earlier or later.
+            let ewma_micros = self.sweep_ewma.load(Ordering::Relaxed);
+            if ewma_micros > 0 && Duration::from_micros(ewma_micros) > wall {
+                return Ok(self.degrade(
+                    context,
+                    frame,
+                    budget,
+                    DegradationReason::PredictedOverrun,
+                    true,
+                ));
+            }
+        }
         let started = Instant::now();
-        let matrix = self
-            .pool
-            .sweep_attributed(frame, &self.measure, context, &self.sink);
+        let bounded = {
+            let _span = Span::enter(&self.sink, EnginePhase::Sweep, context);
+            self.pool.sweep_bounded(
+                frame,
+                &self.measure,
+                context,
+                &self.sink,
+                budget.deadline(started),
+            )
+        };
+        if !bounded.completed {
+            return Ok(self.degrade(
+                context,
+                frame,
+                budget,
+                DegradationReason::WallClockExceeded,
+                true,
+            ));
+        }
+        let micros = started.elapsed().as_micros() as u64;
         self.sink.record(&EngineEvent::SweepCompleted {
             context,
             pairs: pair_count(),
-            micros: started.elapsed().as_micros() as u64,
+            micros,
         });
-        self.sweep_cache.insert(frame.values(), matrix.clone());
-        Ok(matrix)
+        self.update_sweep_ewma(micros);
+        self.sweep_cache
+            .insert(context, frame.values(), bounded.matrix.clone());
+        self.note_health_ok(context);
+        Ok(SweepVerdict::full(bounded.matrix))
+    }
+
+    /// Folds one completed full-sweep duration into the EWMA the overrun
+    /// predictor consults (`new = (3·old + sample) / 4`).
+    fn update_sweep_ewma(&self, micros: u64) {
+        // ordering: Relaxed — the EWMA is advisory; losing a concurrent
+        // update skews the estimate by one sample at worst.
+        let old = self.sweep_ewma.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            micros.max(1)
+        } else {
+            ((3 * old + micros) / 4).max(1)
+        };
+        // ordering: Relaxed — same advisory-estimate reasoning as the load.
+        self.sweep_ewma.store(new, Ordering::Relaxed);
+    }
+
+    /// Walks the degradation ladder until a tier produces a matrix. Tier 3
+    /// always succeeds, so this function always returns a degraded — never
+    /// silently absent — verdict.
+    fn degrade(
+        &self,
+        context: ContextId,
+        frame: &MetricFrame,
+        budget: SweepBudget,
+        reason: DegradationReason,
+        allow_pearson: bool,
+    ) -> SweepVerdict {
+        // Tier 1: the last full-fidelity matrix computed from *this
+        // context's* window — stale, but structurally sound.
+        if let Some(matrix) = self.sweep_cache.most_recent_for(context) {
+            let degradation = SweepDegradation {
+                tier: DegradationTier::CachedMatrix,
+                reason,
+            };
+            self.note_degradation(context, degradation.tier, reason);
+            return SweepVerdict {
+                matrix,
+                degradation: Some(degradation),
+                scored: None,
+            };
+        }
+        // Tier 2: a full sweep under the cheap Pearson fallback, granted a
+        // fresh wall budget of its own. Skipped when the pair budget rules
+        // out any full sweep.
+        if allow_pearson {
+            let started = Instant::now();
+            let bounded = {
+                let _span = Span::enter(&self.sink, EnginePhase::Sweep, context);
+                self.pool.sweep_bounded(
+                    frame,
+                    &self.fallback,
+                    context,
+                    &self.sink,
+                    budget.deadline(started),
+                )
+            };
+            if bounded.completed {
+                let degradation = SweepDegradation {
+                    tier: DegradationTier::PearsonFallback,
+                    reason,
+                };
+                self.note_degradation(context, degradation.tier, reason);
+                return SweepVerdict {
+                    matrix: bounded.matrix,
+                    degradation: Some(degradation),
+                    scored: None,
+                };
+            }
+        }
+        // Tier 3: a partial Pearson matrix over the highest-variance
+        // metrics — bounded work, always completes.
+        let (matrix, scored) = self.partial_matrix(frame, budget);
+        let degradation = SweepDegradation {
+            tier: DegradationTier::PartialMatrix,
+            reason,
+        };
+        self.note_degradation(context, degradation.tier, reason);
+        SweepVerdict {
+            matrix,
+            degradation: Some(degradation),
+            scored: Some(scored),
+        }
+    }
+
+    /// The ladder's last resort: Pearson scores for the pairs among the
+    /// `k` highest-variance metrics, where `k(k-1)/2` fits the pair
+    /// budget. Returns the matrix (unscored pairs hold `0.0`) and the
+    /// scored mask — diagnosis masks unscored pairs out of the violation
+    /// tuple rather than reading the placeholder zeros as evidence.
+    fn partial_matrix(
+        &self,
+        frame: &MetricFrame,
+        budget: SweepBudget,
+    ) -> (AssociationMatrix, Vec<bool>) {
+        const DEFAULT_PARTIAL_PAIRS: usize = 66; // 12 metrics' worth
+        let pair_budget = budget
+            .max_pairs
+            .unwrap_or(DEFAULT_PARTIAL_PAIRS)
+            .min(pair_count());
+        // Largest k with k(k-1)/2 <= pair_budget, at least 2 so the
+        // matrix is never empty.
+        let mut k = 2;
+        while k < METRIC_COUNT && (k + 1) * k / 2 <= pair_budget {
+            k += 1;
+        }
+        let series: Vec<Vec<f64>> = MetricId::ALL.iter().map(|&m| frame.series(m)).collect();
+        let mut by_variance: Vec<usize> = (0..METRIC_COUNT).collect();
+        by_variance.sort_by(|&a, &b| {
+            variance(&series[b])
+                .total_cmp(&variance(&series[a]))
+                .then(a.cmp(&b))
+        });
+        let mut chosen = by_variance[..k].to_vec();
+        chosen.sort_unstable();
+        let mut scores = vec![0.0f64; pair_count()];
+        let mut scored = vec![false; pair_count()];
+        for (pos, &i) in chosen.iter().enumerate() {
+            for &j in &chosen[pos + 1..] {
+                let pair = pair_index(i, j);
+                scores[pair] = self.fallback.score(&series[i], &series[j]);
+                scored[pair] = true;
+            }
+        }
+        (AssociationMatrix::from_scores(scores), scored)
     }
 
     /// Runs Algorithm 1: builds the invariant set of a context from the
@@ -354,7 +599,9 @@ impl Engine {
     }
 
     /// Cause inference: matches the abnormal window's violation tuple
-    /// against the signature database.
+    /// against the signature database, under the configured
+    /// [`SweepBudget`] ([`InvarNetConfig::sweep_budget`], unlimited by
+    /// default).
     ///
     /// # Errors
     ///
@@ -364,14 +611,36 @@ impl Engine {
         context: &OperationContext,
         abnormal: &MetricFrame,
     ) -> Result<Diagnosis, CoreError> {
+        self.diagnose_with_budget(context, abnormal, self.config.sweep_budget)
+    }
+
+    /// [`Engine::diagnose`] under an explicit [`SweepBudget`]. On budget
+    /// overrun the sweep degrades along the declared ladder instead of
+    /// blocking; the returned [`Diagnosis::degradation`] names the tier
+    /// that answered (or is `None` for a full-fidelity answer).
+    ///
+    /// # Errors
+    ///
+    /// Missing invariants/signatures for the context, or frame errors.
+    pub fn diagnose_with_budget(
+        &self,
+        context: &OperationContext,
+        abnormal: &MetricFrame,
+        budget: SweepBudget,
+    ) -> Result<Diagnosis, CoreError> {
         let id = self.intern_context(context);
         // ordering: Relaxed — tick only labels the emitted events with the
         // monotone lifetime counter (see detect above).
         let tick = self.ticks.load(std::sync::atomic::Ordering::Relaxed);
         let _span = Span::enter(&self.sink, EnginePhase::Diagnosis, id);
         let started = Instant::now();
-        let tuple = self.violation_tuple(context, abnormal)?;
-        let diagnosis = self.rank_tuple(context, tuple)?;
+        let invariants = self
+            .invariant_set(context)
+            .ok_or_else(|| CoreError::NoInvariants(context.clone()))?;
+        let verdict = self.budgeted_matrix_for(id, abnormal, budget)?;
+        let tuple = verdict.violation_tuple(&invariants, self.config.epsilon);
+        let mut diagnosis = self.rank_tuple(context, tuple)?;
+        diagnosis.degradation = verdict.degradation;
         self.sink.record(&EngineEvent::DiagnosisRan {
             context: id,
             tick,
@@ -399,7 +668,11 @@ impl Engine {
                 similarity,
             })
             .collect();
-        Ok(Diagnosis { ranked, tuple })
+        Ok(Diagnosis {
+            ranked,
+            tuple,
+            degradation: None,
+        })
     }
 
     /// Reports how well a finished diagnosis matched the signature
@@ -453,12 +726,21 @@ impl Engine {
         self.state.with(context, |s| s.invariants.clone()).flatten()
     }
 
-    /// A snapshot of the signature database.
+    /// A snapshot of the signature database. This clones the whole
+    /// database; for read-only access prefer
+    /// [`Engine::with_signature_database`], which borrows it under the
+    /// read guard instead.
     pub fn signature_database(&self) -> SignatureDatabase {
-        self.signatures
+        self.with_signature_database(|db| db.clone())
+    }
+
+    /// Runs `f` over the signature database under its read lock, without
+    /// cloning — the cheap way to count, scan or serialize signatures.
+    pub fn with_signature_database<R>(&self, f: impl FnOnce(&SignatureDatabase) -> R) -> R {
+        f(&self
+            .signatures
             .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+            .unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Contexts with trained models, sorted.
@@ -484,7 +766,16 @@ impl Engine {
 
     /// Installs a prebuilt invariant set (used when loading persisted
     /// state).
+    #[deprecated(note = "use Engine::builder().invariant_set(..) or Engine::load_state instead")]
     pub fn install_invariant_set(&self, context: OperationContext, set: InvariantSet) {
+        self.install_invariant_set_internal(context, set);
+    }
+
+    pub(crate) fn install_invariant_set_internal(
+        &self,
+        context: OperationContext,
+        set: InvariantSet,
+    ) {
         let set = Arc::new(set);
         self.state
             .with_mut(&context, self.config.window_ticks, |s| {
@@ -495,8 +786,19 @@ impl Engine {
     /// Installs a prebuilt performance model (used when loading persisted
     /// state). The streaming detector becomes an [`ArimaDetector`] over the
     /// model regardless of [`DetectorChoice`] — calibrating CUSUM needs the
-    /// training traces; use [`Engine::install_detector`] to override.
+    /// training traces; use a custom detector to override.
+    #[deprecated(
+        note = "use Engine::builder().performance_model(..) or Engine::load_state instead"
+    )]
     pub fn install_performance_model(&self, context: OperationContext, model: PerformanceModel) {
+        self.install_performance_model_internal(context, model);
+    }
+
+    pub(crate) fn install_performance_model_internal(
+        &self,
+        context: OperationContext,
+        model: PerformanceModel,
+    ) {
         let model = Arc::new(model);
         let detector: Arc<dyn Detector> = Arc::new(ArimaDetector::new(
             Arc::clone(&model),
@@ -512,13 +814,66 @@ impl Engine {
     }
 
     /// Installs a custom streaming detector for a context.
+    #[deprecated(note = "use Engine::builder().detector(..) instead")]
     pub fn install_detector(&self, context: OperationContext, detector: Arc<dyn Detector>) {
+        self.install_detector_internal(context, detector);
+    }
+
+    pub(crate) fn install_detector_internal(
+        &self,
+        context: OperationContext,
+        detector: Arc<dyn Detector>,
+    ) {
         self.state
             .with_mut(&context, self.config.window_ticks, |s| {
                 s.detector = Some(detector);
                 s.reset_run();
             });
     }
+}
+
+/// What [`Engine::budgeted_matrix_for`] produced: the matrix, which
+/// degradation tier (if any) answered, and — for a partial matrix — which
+/// pairs were actually scored.
+pub(crate) struct SweepVerdict {
+    pub(crate) matrix: AssociationMatrix,
+    pub(crate) degradation: Option<SweepDegradation>,
+    pub(crate) scored: Option<Vec<bool>>,
+}
+
+impl SweepVerdict {
+    fn full(matrix: AssociationMatrix) -> Self {
+        SweepVerdict {
+            matrix,
+            degradation: None,
+            scored: None,
+        }
+    }
+
+    /// Builds the violation tuple of this verdict's matrix, masking out
+    /// pairs a partial sweep never scored (their placeholder zeros must
+    /// not read as evidence of broken associations).
+    pub(crate) fn violation_tuple(
+        &self,
+        invariants: &InvariantSet,
+        epsilon: f64,
+    ) -> ViolationTuple {
+        match &self.scored {
+            Some(mask) => ViolationTuple::build_masked(invariants, &self.matrix, epsilon, mask),
+            None => ViolationTuple::build(invariants, &self.matrix, epsilon),
+        }
+    }
+}
+
+/// Sample variance (biased, `n` denominator) — only used to rank metrics,
+/// so the normalization constant is irrelevant.
+fn variance(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    series.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n
 }
 
 impl std::fmt::Debug for Engine {

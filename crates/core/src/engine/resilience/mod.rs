@@ -1,0 +1,202 @@
+//! The resilience layer: bounded work, bounded queues, retries and health.
+//!
+//! A production engine must keep diagnosing while the host itself is
+//! degraded — slow disks, contended CPUs, skewed clocks. This module makes
+//! every failure mode *bounded and observable* instead of silent:
+//!
+//! - [`SweepBudget`] — a wall-clock + pair-count budget for diagnosis
+//!   sweeps. On overrun the engine degrades along a declared ladder
+//!   (cached matrix → Pearson fallback → partial matrix over the
+//!   highest-variance metrics), each step emitting
+//!   [`super::EngineEvent::SweepDegraded`] with its [`DegradationTier`]
+//!   and [`DegradationReason`];
+//! - [`OverloadPolicy`] — the bounded ingest queue's behavior when full
+//!   ([`crate::Engine::submit`] / [`crate::Engine::drain`]);
+//! - [`RetryPolicy`] — jittered exponential backoff for
+//!   [`crate::ModelStore`] persistence ([`crate::Engine::save_store`] /
+//!   [`crate::Engine::load_store`]);
+//! - [`HealthState`] — the poison-safe health state machine
+//!   (`Healthy → Degraded(tier) → Recovering → Healthy`), queryable via
+//!   [`crate::Engine::health`].
+//!
+//! The invariant the whole layer upholds: a diagnosis is either computed
+//! at full fidelity or explicitly marked degraded
+//! ([`crate::Diagnosis::degradation`]) — never silently wrong.
+
+mod budget;
+mod health;
+pub(crate) mod queue;
+mod retry;
+
+pub use budget::{DegradationReason, DegradationTier, SweepBudget, SweepDegradation};
+pub use health::HealthState;
+pub use queue::{OverloadPolicy, SubmitOutcome};
+pub use retry::RetryPolicy;
+
+pub(crate) use health::HealthMonitor;
+pub(crate) use queue::IngestQueue;
+
+use std::path::Path;
+
+use crate::context::OperationContext;
+use crate::engine::telemetry::ContextId;
+use crate::engine::{Engine, EngineEvent};
+use crate::error::CoreError;
+use crate::store::ModelStore;
+
+impl Engine {
+    /// The engine's current health state.
+    ///
+    /// `Healthy` means recent work completed at full fidelity. A degraded
+    /// sweep or a failed store operation moves the machine to
+    /// `Degraded(tier)`; the first subsequent full-fidelity operation moves
+    /// it to `Recovering`, and a short streak of clean operations restores
+    /// `Healthy`. Transitions are reported as
+    /// [`EngineEvent::HealthChanged`].
+    pub fn health(&self) -> HealthState {
+        self.health_monitor().current()
+    }
+
+    /// Records a degradation: emits [`EngineEvent::SweepDegraded`] and
+    /// advances the health machine (emitting
+    /// [`EngineEvent::HealthChanged`] on a transition).
+    pub(crate) fn note_degradation(
+        &self,
+        context: ContextId,
+        tier: DegradationTier,
+        reason: DegradationReason,
+    ) {
+        self.sink().record(&EngineEvent::SweepDegraded {
+            context,
+            tier,
+            reason,
+        });
+        if let Some((from, to)) = self.health_monitor().note_degraded(tier) {
+            self.sink()
+                .record(&EngineEvent::HealthChanged { context, from, to });
+        }
+    }
+
+    /// Records a full-fidelity operation: advances the health machine
+    /// toward `Healthy`, emitting [`EngineEvent::HealthChanged`] on a
+    /// transition.
+    pub(crate) fn note_health_ok(&self, context: ContextId) {
+        if let Some((from, to)) = self.health_monitor().note_ok() {
+            self.sink()
+                .record(&EngineEvent::HealthChanged { context, from, to });
+        }
+    }
+
+    /// Saves `store` to `path` with the configured [`RetryPolicy`]
+    /// (jittered exponential backoff); each retry is reported as
+    /// [`EngineEvent::StoreRetried`], and exhausting the attempts degrades
+    /// the engine's health ([`DegradationTier::Persistence`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] with kind `Io`/`Serialization` once every attempt has
+    /// failed.
+    pub fn save_store(&self, store: &ModelStore, path: &Path) -> Result<(), CoreError> {
+        self.store_op(path, |p| store.save(p))
+    }
+
+    /// Loads a [`ModelStore`] from `path` with the configured
+    /// [`RetryPolicy`] — the retrying dual of [`Engine::save_store`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] with kind `Io`/`Serialization` once every attempt has
+    /// failed.
+    pub fn load_store(&self, path: &Path) -> Result<ModelStore, CoreError> {
+        self.store_op(path, ModelStore::load)
+    }
+
+    fn store_op<T>(
+        &self,
+        path: &Path,
+        mut op: impl FnMut(&Path) -> Result<T, CoreError>,
+    ) -> Result<T, CoreError> {
+        let policy = self.config().store_retry.clone();
+        let seed = retry::path_seed(path);
+        let result = policy.run(
+            seed,
+            |_attempt| op(path),
+            |attempt, delay| {
+                self.sink().record(&EngineEvent::StoreRetried {
+                    context: ContextId::UNATTRIBUTED,
+                    attempt,
+                    backoff_micros: delay.as_micros() as u64,
+                });
+            },
+        );
+        match result {
+            Ok(v) => {
+                self.note_health_ok(ContextId::UNATTRIBUTED);
+                Ok(v)
+            }
+            Err(e) => {
+                if let Some((from, to)) = self
+                    .health_monitor()
+                    .note_degraded(DegradationTier::Persistence)
+                {
+                    self.sink().record(&EngineEvent::HealthChanged {
+                        context: ContextId::UNATTRIBUTED,
+                        from,
+                        to,
+                    });
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Installs everything a persisted [`ModelStore`] holds — performance
+    /// models, invariant sets and the signature database — into this
+    /// engine. Context keys are parsed back from the store's
+    /// `workload@node` form.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] with kind `Arima` when a stored model is internally
+    /// inconsistent, or kind `Serialization` for an unparseable context
+    /// key.
+    pub fn load_state(&self, store: &ModelStore) -> Result<(), CoreError> {
+        for (key, stored) in &store.performance_models {
+            let context = parse_context_key(key)?;
+            let model = stored.clone().into_model()?;
+            self.install_performance_model_internal(context, model);
+        }
+        for (key, set) in &store.invariants {
+            let context = parse_context_key(key)?;
+            self.install_invariant_set_internal(context, set.clone());
+        }
+        self.set_signature_database(store.signatures.clone());
+        Ok(())
+    }
+
+    /// Captures this engine's trained state — every context's performance
+    /// model and invariant set plus the signature database — into a
+    /// [`ModelStore`] ready for [`Engine::save_store`].
+    pub fn snapshot_state(&self) -> ModelStore {
+        let mut store = ModelStore::new();
+        for context in self.state().contexts() {
+            if let Some(model) = self.performance_model(&context) {
+                store.put_model(&context, model.as_ref());
+            }
+            if let Some(set) = self.invariant_set(&context) {
+                store.put_invariants(&context, set.as_ref());
+            }
+        }
+        store.signatures = self.with_signature_database(|db| db.clone());
+        store
+    }
+}
+
+/// Parses a [`ModelStore`] context key (`workload@node`) back into an
+/// [`OperationContext`].
+fn parse_context_key(key: &str) -> Result<OperationContext, CoreError> {
+    match key.split_once('@') {
+        Some((workload, node)) => Ok(OperationContext::new(node, workload)),
+        None => Err(CoreError::InvalidStoreKey { key: key.into() }),
+    }
+}

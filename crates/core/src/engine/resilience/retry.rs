@@ -1,0 +1,208 @@
+//! Jittered exponential backoff for persistence operations.
+
+use std::path::Path;
+use std::time::Duration;
+
+/// Retry policy for [`crate::ModelStore`] persistence: exponential backoff
+/// with deterministic jitter.
+///
+/// The jitter is derived from a caller-supplied seed (the engine uses a
+/// hash of the store path), not from a global RNG — retries are
+/// reproducible, which keeps chaos runs and tests deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` disables retrying).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay, applied before jitter.
+    pub max_delay: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor in
+    /// `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, fail fast).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff delay before retry number `attempt` (1-based: the delay
+    /// slept after the first failure is `backoff(1, ..)`).
+    pub fn backoff(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self.base_delay.saturating_mul(1u32 << exp.min(20));
+        let capped = raw.min(self.max_delay);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return capped;
+        }
+        // Deterministic per-(seed, attempt) factor in [1 - j, 1 + j].
+        let unit = splitmix64(seed ^ u64::from(attempt)) as f64 / u64::MAX as f64;
+        let factor = 1.0 - jitter + 2.0 * jitter * unit;
+        capped.mul_f64(factor)
+    }
+
+    /// Runs `op` up to `max_attempts` times, sleeping the jittered backoff
+    /// between attempts and reporting each retry through `on_retry(attempt,
+    /// delay)` before the sleep. Returns the first success or the last
+    /// error.
+    pub fn run<T, E>(
+        &self,
+        seed: u64,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+        mut on_retry: impl FnMut(u32, Duration),
+    ) -> Result<T, E> {
+        let attempts = self.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt >= attempts => return Err(e),
+                Err(_) => {
+                    let delay = self.backoff(attempt, seed);
+                    on_retry(attempt, delay);
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A stable seed for a store path's retry jitter.
+pub(crate) fn path_seed(path: &Path) -> u64 {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let mut hasher = DefaultHasher::new();
+    path.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// SplitMix64: a tiny, well-mixed 64-bit permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_up_to_the_cap() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff(1, 7), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2, 7), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3, 7), Duration::from_millis(40));
+        // 10ms << 6 = 640ms, capped at 200ms.
+        assert_eq!(policy.backoff(7, 7), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_deterministic() {
+        let policy = RetryPolicy::default();
+        let no_jitter = RetryPolicy {
+            jitter: 0.0,
+            ..policy.clone()
+        };
+        for attempt in 1..6 {
+            let d = policy.backoff(attempt, 42);
+            assert_eq!(d, policy.backoff(attempt, 42));
+            let nominal = no_jitter.backoff(attempt, 42);
+            let (lo, hi) = (nominal.mul_f64(0.75), nominal.mul_f64(1.25));
+            assert!(
+                d >= lo && d <= hi,
+                "attempt {attempt}: {d:?} not in [{lo:?}, {hi:?}]"
+            );
+        }
+    }
+
+    #[test]
+    fn run_retries_then_succeeds() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_micros(100),
+            ..RetryPolicy::default()
+        };
+        let mut retries = Vec::new();
+        let mut calls = 0;
+        let out: Result<u32, &str> = policy.run(
+            9,
+            |attempt| {
+                calls += 1;
+                if attempt < 3 {
+                    Err("transient")
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |attempt, _| retries.push(attempt),
+        );
+        assert_eq!(out, Ok(3));
+        assert_eq!(calls, 3);
+        assert_eq!(retries, vec![1, 2]);
+    }
+
+    #[test]
+    fn run_exhausts_attempts_and_returns_last_error() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(20),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let out: Result<(), u32> = policy.run(
+            1,
+            |attempt| {
+                calls += 1;
+                Err(attempt)
+            },
+            |_, _| {},
+        );
+        assert_eq!(out, Err(3));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn none_never_retries() {
+        let mut calls = 0;
+        let out: Result<(), &str> = RetryPolicy::none().run(
+            0,
+            |_| {
+                calls += 1;
+                Err("boom")
+            },
+            |_, _| panic!("no retries expected"),
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn path_seed_is_stable() {
+        let p = Path::new("/tmp/store.json");
+        assert_eq!(path_seed(p), path_seed(Path::new("/tmp/store.json")));
+        assert_ne!(path_seed(p), path_seed(Path::new("/tmp/other.json")));
+    }
+}

@@ -18,12 +18,14 @@
 use std::sync::{Mutex, PoisonError};
 
 use crate::assoc::AssociationMatrix;
+use crate::engine::telemetry::ContextId;
 
-/// One cached sweep: the exact frame values it was computed from plus the
-/// resulting matrix.
+/// One cached sweep: the exact frame values it was computed from, the
+/// context whose window produced them, and the resulting matrix.
 #[derive(Debug, Clone)]
 struct CacheEntry {
     fingerprint: u64,
+    context: ContextId,
     values: Vec<f64>,
     matrix: AssociationMatrix,
 }
@@ -69,7 +71,7 @@ impl SweepCache {
 
     /// Caches a freshly computed matrix for these frame values, evicting
     /// the least recently used entry when full.
-    pub(crate) fn insert(&self, values: &[f64], matrix: AssociationMatrix) {
+    pub(crate) fn insert(&self, context: ContextId, values: &[f64], matrix: AssociationMatrix) {
         if self.capacity == 0 {
             return;
         }
@@ -87,11 +89,32 @@ impl SweepCache {
             0,
             CacheEntry {
                 fingerprint,
+                context,
                 values: values.to_vec(),
                 matrix,
             },
         );
         entries.truncate(self.capacity);
+    }
+
+    /// The most recently cached matrix computed from *this context's*
+    /// window, regardless of whether the window has since moved on — the
+    /// degradation ladder's tier-1 answer (stale but full-fidelity).
+    ///
+    /// The context filter is soundness-critical: an engine-global "most
+    /// recent entry" could hand one context another context's association
+    /// structure, which is exactly the silently-wrong answer the
+    /// resilience layer exists to rule out.
+    pub(crate) fn most_recent_for(&self, context: ContextId) -> Option<AssociationMatrix> {
+        if self.capacity == 0 || context.is_unattributed() {
+            return None;
+        }
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .find(|e| e.context == context)
+            .map(|e| e.matrix.clone())
     }
 
     /// Number of cached matrices (for tests and diagnostics).
@@ -157,7 +180,7 @@ mod tests {
         let cache = SweepCache::new(4);
         let (values, matrix) = matrix_for(7);
         assert!(cache.get(&values).is_none());
-        cache.insert(&values, matrix.clone());
+        cache.insert(ContextId::UNATTRIBUTED, &values, matrix.clone());
         assert_eq!(cache.get(&values), Some(matrix));
     }
 
@@ -166,8 +189,8 @@ mod tests {
         let cache = SweepCache::new(4);
         let (va, ma) = matrix_for(1);
         let (vb, mb) = matrix_for(2);
-        cache.insert(&va, ma.clone());
-        cache.insert(&vb, mb.clone());
+        cache.insert(ContextId::UNATTRIBUTED, &va, ma.clone());
+        cache.insert(ContextId::UNATTRIBUTED, &vb, mb.clone());
         assert_eq!(cache.get(&va), Some(ma));
         assert_eq!(cache.get(&vb), Some(mb));
     }
@@ -178,11 +201,11 @@ mod tests {
         let (va, ma) = matrix_for(1);
         let (vb, mb) = matrix_for(2);
         let (vc, mc) = matrix_for(3);
-        cache.insert(&va, ma.clone());
-        cache.insert(&vb, mb);
+        cache.insert(ContextId::UNATTRIBUTED, &va, ma.clone());
+        cache.insert(ContextId::UNATTRIBUTED, &vb, mb);
         // Touch `a` so `b` becomes the eviction candidate.
         assert!(cache.get(&va).is_some());
-        cache.insert(&vc, mc);
+        cache.insert(ContextId::UNATTRIBUTED, &vc, mc);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(&va), Some(ma));
         assert!(cache.get(&vb).is_none());
@@ -193,8 +216,8 @@ mod tests {
     fn reinserting_the_same_frame_does_not_duplicate() {
         let cache = SweepCache::new(4);
         let (values, matrix) = matrix_for(5);
-        cache.insert(&values, matrix.clone());
-        cache.insert(&values, matrix);
+        cache.insert(ContextId::UNATTRIBUTED, &values, matrix.clone());
+        cache.insert(ContextId::UNATTRIBUTED, &values, matrix);
         assert_eq!(cache.len(), 1);
     }
 
@@ -203,8 +226,27 @@ mod tests {
         let cache = SweepCache::new(0);
         let (values, matrix) = matrix_for(9);
         assert!(!cache.is_enabled());
-        cache.insert(&values, matrix);
+        cache.insert(ContextId::UNATTRIBUTED, &values, matrix);
         assert!(cache.get(&values).is_none());
+    }
+
+    #[test]
+    fn most_recent_for_is_context_scoped() {
+        let cache = SweepCache::new(4);
+        let ctx_a = ContextId::from_index(0);
+        let ctx_b = ContextId::from_index(1);
+        let (va, ma) = matrix_for(1);
+        let (va2, ma2) = matrix_for(2);
+        let (vb, mb) = matrix_for(3);
+        cache.insert(ctx_a, &va, ma.clone());
+        cache.insert(ctx_b, &vb, mb.clone());
+        cache.insert(ctx_a, &va2, ma2.clone());
+        // Each context sees only its own latest matrix — never a
+        // neighbor's, and never anything for an unknown context.
+        assert_eq!(cache.most_recent_for(ctx_a), Some(ma2));
+        assert_eq!(cache.most_recent_for(ctx_b), Some(mb));
+        assert_eq!(cache.most_recent_for(ContextId::from_index(9)), None);
+        assert_eq!(cache.most_recent_for(ContextId::UNATTRIBUTED), None);
     }
 
     #[test]
@@ -212,7 +254,7 @@ mod tests {
         let cache = SweepCache::new(4);
         let (mut values, matrix) = matrix_for(11);
         values[0] = 0.0;
-        cache.insert(&values, matrix);
+        cache.insert(ContextId::UNATTRIBUTED, &values, matrix);
         let mut flipped = values.clone();
         flipped[0] = -0.0;
         assert!(cache.get(&values).is_some());

@@ -70,7 +70,7 @@ impl TelemetrySnapshot {
     /// one time series per context.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [SeriesSpec<u64>; 11] = [
+        let counters: [SeriesSpec<u64>; 15] = [
             ("invarnet_ticks_ingested_total", "Ticks ingested.", |s| {
                 s.ticks
             }),
@@ -122,6 +122,26 @@ impl TelemetrySnapshot {
                 "Diagnosis sweeps that had to run the full pairwise sweep.",
                 |s| s.sweep_cache_misses,
             ),
+            (
+                "invarnet_sweep_degraded_total",
+                "Sweeps answered by a degradation-ladder fallback tier.",
+                |s| s.sweeps_degraded,
+            ),
+            (
+                "invarnet_ticks_shed_total",
+                "Ticks shed by the ingest queue's overload policy.",
+                |s| s.ticks_shed,
+            ),
+            (
+                "invarnet_store_retries_total",
+                "Model-store save/load attempts that were retried.",
+                |s| s.store_retries,
+            ),
+            (
+                "invarnet_health_transitions_total",
+                "Engine health state machine transitions.",
+                |s| s.health_transitions,
+            ),
         ];
         for (name, help, get) in counters {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -135,7 +155,7 @@ impl TelemetrySnapshot {
                 );
             }
         }
-        let gauges: [SeriesSpec<f64>; 3] = [
+        let gauges: [SeriesSpec<f64>; 5] = [
             (
                 "invarnet_last_residual",
                 "Most recent detector residual.",
@@ -150,6 +170,16 @@ impl TelemetrySnapshot {
                 "invarnet_last_similarity",
                 "Similarity of the most recent best signature match.",
                 |s| s.last_similarity,
+            ),
+            (
+                "invarnet_queue_depth",
+                "Ingest-queue shard depth after the most recent enqueue.",
+                |s| s.queue_depth_last as f64,
+            ),
+            (
+                "invarnet_queue_depth_max",
+                "Deepest ingest-queue shard depth seen.",
+                |s| s.queue_depth_max as f64,
             ),
         ];
         for (name, help, get) in gauges {
@@ -233,6 +263,23 @@ impl TelemetrySnapshot {
                 scope.matches_confident,
                 scope.sweep_micros.quantile(0.5),
                 scope.sweep_micros.quantile(0.99),
+            );
+        }
+        if self.total.sweeps_degraded > 0
+            || self.total.ticks_shed > 0
+            || self.total.store_retries > 0
+            || self.total.health_transitions > 0
+        {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "resilience: {} degraded sweep(s), {} shed tick(s), {} store retry(ies), \
+                 {} health transition(s), max queue depth {}",
+                self.total.sweeps_degraded,
+                self.total.ticks_shed,
+                self.total.store_retries,
+                self.total.health_transitions,
+                self.total.queue_depth_max,
             );
         }
         let _ = writeln!(out);
@@ -419,5 +466,26 @@ mod tests {
     #[test]
     fn labels_are_escaped() {
         assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn resilience_series_and_report_line() {
+        let mut snap = sample_snapshot();
+        snap.contexts[0].sweeps_degraded = 2;
+        snap.contexts[0].ticks_shed = 5;
+        snap.contexts[0].queue_depth_max = 7;
+        snap.total = ScopeSnapshot::empty("(all)".into());
+        let scope = snap.contexts[0].clone();
+        snap.total.merge(&scope);
+        let text = snap.render_prometheus();
+        assert!(text.contains("invarnet_sweep_degraded_total{context=\"W@n1\"} 2"));
+        assert!(text.contains("invarnet_ticks_shed_total{context=\"W@n1\"} 5"));
+        assert!(text.contains("invarnet_queue_depth_max{context=\"W@n1\"} 7"));
+        assert!(text.contains("invarnet_store_retries_total{context=\"W@n1\"} 0"));
+        let report = snap.render_report();
+        assert!(report.contains("resilience: 2 degraded sweep(s), 5 shed tick(s)"));
+        assert!(report.contains("max queue depth 7"));
+        // Quiet engines don't print the resilience line at all.
+        assert!(!sample_snapshot().render_report().contains("resilience:"));
     }
 }

@@ -14,8 +14,10 @@
 //! use ix_core::{Engine, InvarNetConfig, Telemetry};
 //!
 //! let telemetry = Telemetry::shared();
-//! let mut engine = Engine::new(InvarNetConfig::default());
-//! engine.attach_telemetry(&telemetry);
+//! let engine = Engine::builder()
+//!     .config(InvarNetConfig::default())
+//!     .telemetry(&telemetry)
+//!     .build();
 //! // ... train and ingest ...
 //! let snapshot = telemetry.snapshot();
 //! println!("{}", snapshot.render_report());
@@ -248,6 +250,33 @@ impl EventSink for Telemetry {
             } => {
                 self.phases[phase.index()].record(micros);
                 self.spans.push(phase, context, micros);
+            }
+            EngineEvent::SweepDegraded { context, .. } => {
+                self.metrics
+                    .scope(context)
+                    .sweeps_degraded
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            EngineEvent::TickEnqueued { context, depth } => {
+                self.metrics.scope(context).record_queue_depth(depth as u64);
+            }
+            EngineEvent::TickShed { context, .. } => {
+                self.metrics
+                    .scope(context)
+                    .ticks_shed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            EngineEvent::StoreRetried { context, .. } => {
+                self.metrics
+                    .scope(context)
+                    .store_retries
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            EngineEvent::HealthChanged { context, .. } => {
+                self.metrics
+                    .scope(context)
+                    .health_transitions
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
         }
     }

@@ -74,6 +74,18 @@ pub struct ContextScope {
     pub matches_confident: AtomicU64,
     /// Diagnoses whose best match stayed below the confidence bar.
     pub matches_unknown: AtomicU64,
+    /// Sweeps answered by a degradation-ladder fallback tier.
+    pub sweeps_degraded: AtomicU64,
+    /// Ticks shed by the ingest queue's overload policy.
+    pub ticks_shed: AtomicU64,
+    /// Store save/load attempts that failed and were retried.
+    pub store_retries: AtomicU64,
+    /// Health state machine transitions.
+    pub health_transitions: AtomicU64,
+    /// Gauge: ingest-queue shard depth after the most recent enqueue.
+    pub queue_depth_last: AtomicU64,
+    /// Gauge: deepest ingest-queue shard depth seen.
+    pub queue_depth_max: AtomicU64,
     /// Gauge: the most recent detector residual (f64 bits).
     pub last_residual: AtomicU64,
     /// Gauge: the largest detector residual seen (f64 bits).
@@ -105,6 +117,14 @@ impl ContextScope {
         self.ingest_micros.record(micros);
     }
 
+    /// Records one ingest-queue enqueue at the given shard depth.
+    // ordering: Relaxed — both gauges are single-variable (store /
+    // fetch_max); no reader infers cross-variable state from them.
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.queue_depth_last.store(depth, Ordering::Relaxed);
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Plain-data copy of every metric in the scope.
     // ordering: Relaxed loads throughout — the snapshot is documented as
     // point-in-time-ish; exact once writers are quiescent (drop/join).
@@ -122,6 +142,12 @@ impl ContextScope {
             sweep_cache_misses: self.sweep_cache_misses.load(Ordering::Relaxed),
             matches_confident: self.matches_confident.load(Ordering::Relaxed),
             matches_unknown: self.matches_unknown.load(Ordering::Relaxed),
+            sweeps_degraded: self.sweeps_degraded.load(Ordering::Relaxed),
+            ticks_shed: self.ticks_shed.load(Ordering::Relaxed),
+            store_retries: self.store_retries.load(Ordering::Relaxed),
+            health_transitions: self.health_transitions.load(Ordering::Relaxed),
+            queue_depth_last: self.queue_depth_last.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
             last_residual: gauge_get(&self.last_residual),
             max_residual: gauge_get(&self.max_residual),
             last_similarity: gauge_get(&self.last_similarity),
@@ -160,6 +186,18 @@ pub struct ScopeSnapshot {
     pub matches_confident: u64,
     /// Below-confidence diagnoses.
     pub matches_unknown: u64,
+    /// Sweeps answered by a degradation-ladder fallback tier.
+    pub sweeps_degraded: u64,
+    /// Ticks shed by the ingest queue's overload policy.
+    pub ticks_shed: u64,
+    /// Store save/load attempts that were retried.
+    pub store_retries: u64,
+    /// Health state machine transitions.
+    pub health_transitions: u64,
+    /// Ingest-queue shard depth after the most recent enqueue.
+    pub queue_depth_last: u64,
+    /// Deepest ingest-queue shard depth seen.
+    pub queue_depth_max: u64,
     /// Most recent detector residual.
     pub last_residual: f64,
     /// Largest detector residual seen.
@@ -192,6 +230,12 @@ impl ScopeSnapshot {
             sweep_cache_misses: 0,
             matches_confident: 0,
             matches_unknown: 0,
+            sweeps_degraded: 0,
+            ticks_shed: 0,
+            store_retries: 0,
+            health_transitions: 0,
+            queue_depth_last: 0,
+            queue_depth_max: 0,
             last_residual: 0.0,
             max_residual: 0.0,
             last_similarity: 0.0,
@@ -216,6 +260,12 @@ impl ScopeSnapshot {
         self.sweep_cache_misses += other.sweep_cache_misses;
         self.matches_confident += other.matches_confident;
         self.matches_unknown += other.matches_unknown;
+        self.sweeps_degraded += other.sweeps_degraded;
+        self.ticks_shed += other.ticks_shed;
+        self.store_retries += other.store_retries;
+        self.health_transitions += other.health_transitions;
+        self.queue_depth_last = self.queue_depth_last.max(other.queue_depth_last);
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
         // "Last" gauges have no global order across scopes; keep the
         // strongest signal so the aggregate stays meaningful.
         self.last_residual = self.last_residual.max(other.last_residual);

@@ -1,9 +1,57 @@
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use crate::OperationContext;
 
+/// Coarse classification of a [`CoreError`], for callers that branch on
+/// failure class (retry I/O, surface configuration gaps, reject input)
+/// without matching every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// A context is missing its trained performance model.
+    MissingModel,
+    /// A context is missing its invariant set.
+    MissingInvariants,
+    /// The signature database holds nothing for the context.
+    EmptySignatureDatabase,
+    /// Too few training runs were supplied.
+    NotEnoughRuns,
+    /// A metric frame is too short for association analysis.
+    FrameTooShort,
+    /// The underlying ARIMA machinery failed.
+    Arima,
+    /// A metric row was rejected by the sliding window.
+    Frame,
+    /// Violation tuples from different invariant sets were mixed.
+    TupleLengthMismatch,
+    /// (De)serialization of persisted state failed.
+    Serialization,
+    /// A filesystem operation on persisted state failed.
+    Io,
+}
+
+impl ErrorKind {
+    /// Stable kebab-case name (logs, reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::MissingModel => "missing-model",
+            ErrorKind::MissingInvariants => "missing-invariants",
+            ErrorKind::EmptySignatureDatabase => "empty-signature-database",
+            ErrorKind::NotEnoughRuns => "not-enough-runs",
+            ErrorKind::FrameTooShort => "frame-too-short",
+            ErrorKind::Arima => "arima",
+            ErrorKind::Frame => "frame",
+            ErrorKind::TupleLengthMismatch => "tuple-length-mismatch",
+            ErrorKind::Serialization => "serialization",
+            ErrorKind::Io => "io",
+        }
+    }
+}
+
 /// Errors produced by the InvarNet-X pipeline.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum CoreError {
     /// No performance model has been trained for the context.
     NoPerformanceModel(OperationContext),
@@ -37,6 +85,110 @@ pub enum CoreError {
         /// Supplied length.
         got: usize,
     },
+    /// (De)serializing persisted state failed.
+    Serialization {
+        /// What was being (de)serialized ("model store", ...).
+        op: &'static str,
+        /// The underlying serializer error.
+        source: serde_json::Error,
+    },
+    /// A filesystem operation on persisted state failed.
+    Io {
+        /// What was being done ("save model store", "load model store").
+        op: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error (shared so the variant stays `Clone`).
+        source: Arc<std::io::Error>,
+    },
+    /// A persisted context key was not in `workload@node` form.
+    InvalidStoreKey {
+        /// The offending key.
+        key: String,
+    },
+}
+
+impl CoreError {
+    /// The coarse [`ErrorKind`] of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            CoreError::NoPerformanceModel(_) => ErrorKind::MissingModel,
+            CoreError::NoInvariants(_) => ErrorKind::MissingInvariants,
+            CoreError::EmptySignatureDatabase(_) => ErrorKind::EmptySignatureDatabase,
+            CoreError::NotEnoughRuns { .. } => ErrorKind::NotEnoughRuns,
+            CoreError::FrameTooShort { .. } => ErrorKind::FrameTooShort,
+            CoreError::Arima(_) => ErrorKind::Arima,
+            CoreError::Frame(_) => ErrorKind::Frame,
+            CoreError::TupleLengthMismatch { .. } => ErrorKind::TupleLengthMismatch,
+            CoreError::Serialization { .. } | CoreError::InvalidStoreKey { .. } => {
+                ErrorKind::Serialization
+            }
+            CoreError::Io { .. } => ErrorKind::Io,
+        }
+    }
+}
+
+// Manual because `std::io::Error` is not `PartialEq`; two `Io` errors
+// compare equal when they describe the same operation, file and error
+// kind.
+impl PartialEq for CoreError {
+    fn eq(&self, other: &Self) -> bool {
+        use CoreError::*;
+        match (self, other) {
+            (NoPerformanceModel(a), NoPerformanceModel(b)) => a == b,
+            (NoInvariants(a), NoInvariants(b)) => a == b,
+            (EmptySignatureDatabase(a), EmptySignatureDatabase(b)) => a == b,
+            (
+                NotEnoughRuns {
+                    required: r1,
+                    got: g1,
+                },
+                NotEnoughRuns {
+                    required: r2,
+                    got: g2,
+                },
+            ) => (r1, g1) == (r2, g2),
+            (
+                FrameTooShort {
+                    required: r1,
+                    got: g1,
+                },
+                FrameTooShort {
+                    required: r2,
+                    got: g2,
+                },
+            ) => (r1, g1) == (r2, g2),
+            (Arima(a), Arima(b)) => a == b,
+            (Frame(a), Frame(b)) => a == b,
+            (
+                TupleLengthMismatch {
+                    expected: e1,
+                    got: g1,
+                },
+                TupleLengthMismatch {
+                    expected: e2,
+                    got: g2,
+                },
+            ) => (e1, g1) == (e2, g2),
+            (Serialization { op: o1, source: s1 }, Serialization { op: o2, source: s2 }) => {
+                o1 == o2 && s1 == s2
+            }
+            (
+                Io {
+                    op: o1,
+                    path: p1,
+                    source: s1,
+                },
+                Io {
+                    op: o2,
+                    path: p2,
+                    source: s2,
+                },
+            ) => o1 == o2 && p1 == p2 && s1.kind() == s2.kind(),
+            (InvalidStoreKey { key: k1 }, InvalidStoreKey { key: k2 }) => k1 == k2,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -66,11 +218,30 @@ impl fmt::Display for CoreError {
                     "violation tuple length {got} does not match invariant set {expected}"
                 )
             }
+            CoreError::Serialization { op, source } => {
+                write!(f, "serializing {op}: {source}")
+            }
+            CoreError::Io { op, path, source } => {
+                write!(f, "{op} at {}: {source}", path.display())
+            }
+            CoreError::InvalidStoreKey { key } => {
+                write!(f, "store key {key:?} is not in workload@node form")
+            }
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Arima(e) => Some(e),
+            CoreError::Frame(e) => Some(e),
+            CoreError::Serialization { source, .. } => Some(source),
+            CoreError::Io { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<ix_arima::ArimaError> for CoreError {
     fn from(e: ix_arima::ArimaError) -> Self {
@@ -81,5 +252,65 @@ impl From<ix_arima::ArimaError> for CoreError {
 impl From<ix_metrics::FrameError> for CoreError {
     fn from(e: ix_metrics::FrameError) -> Self {
         CoreError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify_every_variant() {
+        let io = CoreError::Io {
+            op: "load model store",
+            path: PathBuf::from("/tmp/x.json"),
+            source: Arc::new(std::io::Error::other("boom")),
+        };
+        assert_eq!(io.kind(), ErrorKind::Io);
+        assert_eq!(io.kind().name(), "io");
+        let key = CoreError::InvalidStoreKey { key: "bad".into() };
+        assert_eq!(key.kind(), ErrorKind::Serialization);
+        assert_eq!(
+            CoreError::FrameTooShort {
+                required: 20,
+                got: 3
+            }
+            .kind(),
+            ErrorKind::FrameTooShort
+        );
+    }
+
+    #[test]
+    fn io_errors_compare_by_op_path_and_kind() {
+        let mk = |kind| CoreError::Io {
+            op: "save model store",
+            path: PathBuf::from("/tmp/x.json"),
+            source: Arc::new(std::io::Error::new(kind, "detail")),
+        };
+        assert_eq!(
+            mk(std::io::ErrorKind::NotFound),
+            mk(std::io::ErrorKind::NotFound)
+        );
+        assert_ne!(
+            mk(std::io::ErrorKind::NotFound),
+            mk(std::io::ErrorKind::PermissionDenied)
+        );
+    }
+
+    #[test]
+    fn source_chains_are_exposed() {
+        use std::error::Error as _;
+        let e = CoreError::Io {
+            op: "load model store",
+            path: PathBuf::from("/nope"),
+            source: Arc::new(std::io::Error::other("disk fell over")),
+        };
+        assert!(e.source().unwrap().to_string().contains("disk fell over"));
+        assert!(CoreError::NotEnoughRuns {
+            required: 2,
+            got: 0
+        }
+        .source()
+        .is_none());
     }
 }

@@ -46,20 +46,26 @@ mod similarity;
 mod store;
 
 pub use anomaly::{DetectionResult, PerformanceModel, ThresholdRule};
-pub use assoc::{pair_count, pair_index, pair_of_index, AssociationMatrix, SweepPool};
+pub use assoc::{
+    pair_count, pair_index, pair_of_index, AssociationMatrix, BoundedSweep, SweepPool,
+};
 pub use config::{ConfigBuilder, DetectorChoice, InvarNetConfig};
 pub use context::OperationContext;
 pub use cusum::{CusumDetector, CusumResult};
+pub use engine::resilience::{
+    DegradationReason, DegradationTier, HealthState, OverloadPolicy, RetryPolicy, SubmitOutcome,
+    SweepBudget, SweepDegradation,
+};
 pub use engine::telemetry::{
     bucket_upper_edge, ContextId, ContextRegistry, ContextScope, EnginePhase, Histogram,
     HistogramSnapshot, MetricsRegistry, PhaseSnapshot, ScopeSnapshot, Span, SpanRecord, SpanRing,
     SpanSnapshot, Telemetry, TelemetrySnapshot, CONFIDENT_SIMILARITY, HISTOGRAM_BUCKETS,
 };
 pub use engine::{
-    ArimaDetector, CusumStreamDetector, Detector, DetectorRun, Engine, EngineCounters, EngineEvent,
-    EventSink, NullSink, TickDecision, TickOutcome,
+    ArimaDetector, CusumStreamDetector, Detector, DetectorRun, Engine, EngineBuilder,
+    EngineCounters, EngineEvent, EventSink, NullSink, TickDecision, TickOutcome,
 };
-pub use error::CoreError;
+pub use error::{CoreError, ErrorKind};
 pub use eval::{ConfusionMatrix, EvalOutcome, PrecisionRecall};
 pub use invariants::InvariantSet;
 pub use measure::{

@@ -49,22 +49,33 @@ impl InvarNetX {
     /// A system with an explicit association measure (e.g. the ARX
     /// baseline).
     pub fn with_measure(config: InvarNetConfig, measure: Box<dyn AssociationMeasure>) -> Self {
+        Self::from_engine(Engine::with_measure(config, Arc::from(measure)))
+    }
+
+    /// Wraps an already-assembled [`Engine`] (typically from
+    /// [`Engine::builder`]) in the batch facade.
+    pub fn from_engine(engine: Engine) -> Self {
         InvarNetX {
-            engine: Engine::with_measure(config, Arc::from(measure)),
+            engine,
             perf_models: HashMap::new(),
             invariants: HashMap::new(),
         }
     }
 
     /// Overrides the worker count of the pairwise association sweep.
+    #[deprecated(
+        note = "assemble the engine with Engine::builder().threads(n) and wrap it with InvarNetX::from_engine"
+    )]
     pub fn set_threads(&mut self, threads: usize) {
-        self.engine.set_threads(threads);
+        self.engine.set_threads_internal(threads);
     }
 
-    /// Attaches a [`crate::Telemetry`] hub to the underlying engine (see
-    /// [`Engine::attach_telemetry`]).
+    /// Attaches a [`crate::Telemetry`] hub to the underlying engine.
+    #[deprecated(
+        note = "assemble the engine with Engine::builder().telemetry(&hub) and wrap it with InvarNetX::from_engine"
+    )]
     pub fn attach_telemetry(&mut self, telemetry: &Arc<crate::Telemetry>) {
-        self.engine.attach_telemetry(telemetry);
+        self.engine.attach_telemetry_internal(telemetry);
     }
 
     /// The configuration.
@@ -227,8 +238,17 @@ impl InvarNetX {
     }
 
     /// A snapshot of the signature database.
+    ///
+    /// Clones the whole database; prefer
+    /// [`InvarNetX::with_signature_database`] for read-only access.
     pub fn signature_database(&self) -> SignatureDatabase {
         self.engine.signature_database()
+    }
+
+    /// Runs `f` against the signature database under its lock, without
+    /// cloning — the cheap read path for queries like `len()`.
+    pub fn with_signature_database<R>(&self, f: impl FnOnce(&SignatureDatabase) -> R) -> R {
+        self.engine.with_signature_database(f)
     }
 
     /// Contexts with trained models.
@@ -246,7 +266,7 @@ impl InvarNetX {
     /// Installs a prebuilt invariant set (used when loading persisted state).
     pub fn set_invariant_set(&mut self, context: OperationContext, set: InvariantSet) {
         self.engine
-            .install_invariant_set(context.clone(), set.clone());
+            .install_invariant_set_internal(context.clone(), set.clone());
         self.invariants.insert(context, Arc::new(set));
     }
 
@@ -254,7 +274,7 @@ impl InvarNetX {
     /// state).
     pub fn set_performance_model(&mut self, context: OperationContext, model: PerformanceModel) {
         self.engine
-            .install_performance_model(context.clone(), model.clone());
+            .install_performance_model_internal(context.clone(), model.clone());
         self.perf_models.insert(context, Arc::new(model));
     }
 }
@@ -265,7 +285,7 @@ impl std::fmt::Debug for InvarNetX {
             .field("measure", &self.measure_name())
             .field("contexts", &self.perf_models.len())
             .field("invariant_sets", &self.invariants.len())
-            .field("signatures", &self.signature_database().len())
+            .field("signatures", &self.with_signature_database(|db| db.len()))
             .finish()
     }
 }
@@ -312,8 +332,8 @@ mod tests {
 
     #[test]
     fn end_to_end_single_context() {
-        let mut ix = InvarNetX::new(tiny_config());
-        ix.set_threads(2);
+        let mut ix =
+            InvarNetX::from_engine(Engine::builder().config(tiny_config()).threads(2).build());
 
         // Invariants from 3 normal frames.
         let frames: Vec<MetricFrame> = (0..3).map(|s| coupled_frame(60, s, false)).collect();
@@ -341,8 +361,8 @@ mod tests {
 
     #[test]
     fn detection_gates_diagnosis() {
-        let mut ix = InvarNetX::new(tiny_config());
-        ix.set_threads(1);
+        let mut ix =
+            InvarNetX::from_engine(Engine::builder().config(tiny_config()).threads(1).build());
         let cpi_traces: Vec<Vec<f64>> = (0..3)
             .map(|s| {
                 ix_timeseries::SeriesBuilder::new(120)
@@ -405,8 +425,8 @@ mod tests {
 
     #[test]
     fn top_causes_and_hints() {
-        let mut ix = InvarNetX::new(tiny_config());
-        ix.set_threads(1);
+        let mut ix =
+            InvarNetX::from_engine(Engine::builder().config(tiny_config()).threads(1).build());
         let frames: Vec<MetricFrame> = (0..2).map(|s| coupled_frame(50, s, false)).collect();
         ix.build_invariants(ctx(), &frames).unwrap();
         ix.record_signature(&ctx(), "break-a", &coupled_frame(50, 7, true))
@@ -437,8 +457,8 @@ mod tests {
 
     #[test]
     fn hints_reject_mismatched_invariant_set() {
-        let mut ix = InvarNetX::new(tiny_config());
-        ix.set_threads(1);
+        let mut ix =
+            InvarNetX::from_engine(Engine::builder().config(tiny_config()).threads(1).build());
         let frames: Vec<MetricFrame> = (0..2).map(|s| coupled_frame(50, s, false)).collect();
         ix.build_invariants(ctx(), &frames).unwrap();
         ix.record_signature(&ctx(), "p", &coupled_frame(50, 7, true))
@@ -464,8 +484,8 @@ mod tests {
 
     #[test]
     fn contexts_are_isolated() {
-        let mut ix = InvarNetX::new(tiny_config());
-        ix.set_threads(1);
+        let mut ix =
+            InvarNetX::from_engine(Engine::builder().config(tiny_config()).threads(1).build());
         let a = OperationContext::new("n1", "W");
         let b = OperationContext::new("n2", "W");
         let frames: Vec<MetricFrame> = (0..2).map(|s| coupled_frame(40, s, false)).collect();

@@ -36,6 +36,34 @@ impl ViolationTuple {
         ViolationTuple { graded }
     }
 
+    /// [`ViolationTuple::build`] over a partial matrix: invariants whose
+    /// pair was never scored (`scored[pair] == false`) contribute `0.0`
+    /// instead of reading the matrix's placeholder value as a deviation.
+    /// `scored` is indexed by [`crate::assoc::pair_index`] like the matrix
+    /// itself.
+    pub fn build_masked(
+        invariants: &InvariantSet,
+        abnormal: &AssociationMatrix,
+        epsilon: f64,
+        scored: &[bool],
+    ) -> Self {
+        let graded = invariants
+            .deviations(abnormal)
+            .into_iter()
+            .enumerate()
+            .map(|(k, d)| {
+                let (a, b) = invariants.metrics_of(k);
+                let pair = crate::assoc::pair_index(a.index(), b.index());
+                if scored.get(pair).copied().unwrap_or(false) && d >= epsilon {
+                    d
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        ViolationTuple { graded }
+    }
+
     /// Builds a tuple from raw graded values (deserialization, tests).
     pub fn from_graded(graded: Vec<f64>) -> Self {
         ViolationTuple { graded }
@@ -246,6 +274,22 @@ mod tests {
         assert!(t.binary()[0]);
         assert!(!t.binary()[1]);
         assert!((t.graded()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_build_ignores_unscored_pairs() {
+        let set = invariant_set();
+        let mut scores = vec![0.8; pair_count()];
+        scores[0] = 0.3; // deviation 0.5 on a scored pair -> violated
+        scores[1] = 0.1; // deviation 0.7, but the pair is unscored
+        let abnormal = AssociationMatrix::from_scores(scores);
+        let mut mask = vec![true; pair_count()];
+        mask[1] = false;
+        let t = ViolationTuple::build_masked(&set, &abnormal, 0.2, &mask);
+        assert!(t.binary()[0], "scored violation must survive");
+        assert!(!t.binary()[1], "unscored pair must not read as violated");
+        // The unmasked build over the same matrix *would* flag pair 1.
+        assert!(ViolationTuple::build(&set, &abnormal, 0.2).binary()[1]);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +18,7 @@ use ix_arima::{ArimaModel, ArimaSpec};
 
 use crate::anomaly::{PerformanceModel, ResidualStats};
 use crate::context::OperationContext;
+use crate::error::CoreError;
 use crate::invariants::InvariantSet;
 use crate::signature::SignatureDatabase;
 
@@ -68,8 +69,11 @@ impl StoredPerformanceModel {
     ///
     /// # Errors
     ///
-    /// [`ix_arima::ArimaError::Degenerate`] on inconsistent stored parts.
-    pub fn into_model(self) -> Result<PerformanceModel, ix_arima::ArimaError> {
+    /// [`CoreError`] of kind [`crate::ErrorKind::Arima`] on inconsistent
+    /// stored parts (the underlying
+    /// [`ix_arima::ArimaError::Degenerate`] rides along as the
+    /// [`std::error::Error::source`]).
+    pub fn into_model(self) -> Result<PerformanceModel, CoreError> {
         let arima = ArimaModel::from_coefficients(
             ArimaSpec::new(self.p, self.d, self.q),
             self.intercept,
@@ -122,38 +126,58 @@ impl ModelStore {
     ///
     /// # Errors
     ///
-    /// Serialization failures (effectively unreachable for this type).
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string_pretty(self)
+    /// [`CoreError`] of kind [`crate::ErrorKind::Serialization`]
+    /// (effectively unreachable for this type).
+    pub fn to_json(&self) -> Result<String, CoreError> {
+        serde_json::to_string_pretty(self).map_err(|source| CoreError::Serialization {
+            op: "model store",
+            source,
+        })
     }
 
     /// Parses from JSON.
     ///
     /// # Errors
     ///
-    /// Malformed JSON.
-    pub fn from_json(text: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(text)
+    /// [`CoreError`] of kind [`crate::ErrorKind::Serialization`] on
+    /// malformed JSON; the parser error is the
+    /// [`std::error::Error::source`].
+    pub fn from_json(text: &str) -> Result<Self, CoreError> {
+        serde_json::from_str(text).map_err(|source| CoreError::Serialization {
+            op: "model store",
+            source,
+        })
     }
 
     /// Writes the JSON form to a file.
     ///
     /// # Errors
     ///
-    /// I/O failures.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        let json = self.to_json().map_err(io::Error::other)?;
-        fs::write(path, json)
+    /// [`CoreError`] of kind [`crate::ErrorKind::Io`] carrying the path
+    /// and the underlying [`std::io::Error`].
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        let json = self.to_json()?;
+        fs::write(path, json).map_err(|source| CoreError::Io {
+            op: "save model store",
+            path: path.to_path_buf(),
+            source: Arc::new(source),
+        })
     }
 
     /// Reads the JSON form from a file.
     ///
     /// # Errors
     ///
-    /// I/O or parse failures.
-    pub fn load(path: &Path) -> io::Result<Self> {
-        let text = fs::read_to_string(path)?;
-        Self::from_json(&text).map_err(io::Error::other)
+    /// [`CoreError`] of kind [`crate::ErrorKind::Io`] when the file cannot
+    /// be read, kind [`crate::ErrorKind::Serialization`] when its contents
+    /// do not parse.
+    pub fn load(path: &Path) -> Result<Self, CoreError> {
+        let text = fs::read_to_string(path).map_err(|source| CoreError::Io {
+            op: "load model store",
+            path: path.to_path_buf(),
+            source: Arc::new(source),
+        })?;
+        Self::from_json(&text)
     }
 }
 
@@ -299,6 +323,18 @@ mod tests {
         let back = ModelStore::load(&path).unwrap();
         assert_eq!(store, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_failures_carry_kind_and_source() {
+        use std::error::Error as _;
+        let missing = ModelStore::load(Path::new("/nonexistent/invarnet-store.json")).unwrap_err();
+        assert_eq!(missing.kind(), crate::ErrorKind::Io);
+        assert!(missing.source().is_some());
+
+        let garbled = ModelStore::from_json("{ not json").unwrap_err();
+        assert_eq!(garbled.kind(), crate::ErrorKind::Serialization);
+        assert!(garbled.source().is_some());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! cargo run --release --example cluster_monitor
 //! ```
 
-use invarnet_x::core::{InvarNetConfig, InvarNetX, OperationContext, Telemetry};
+use invarnet_x::core::{Engine, InvarNetConfig, InvarNetX, OperationContext, Telemetry};
 use invarnet_x::metrics::MetricFrame;
 use invarnet_x::simulator::{FaultType, Runner, WorkloadType};
 
@@ -28,9 +28,13 @@ fn main() {
     ];
 
     // ---- offline: train one context per workload on the observed node ----
-    let mut system = InvarNetX::new(InvarNetConfig::default());
     let telemetry = Telemetry::shared();
-    system.attach_telemetry(&telemetry);
+    let mut system = InvarNetX::from_engine(
+        Engine::builder()
+            .config(InvarNetConfig::default())
+            .telemetry(&telemetry)
+            .build(),
+    );
     println!("== training contexts ==");
     for &workload in &workloads {
         let context = OperationContext::new(runner.nodes[node].ip(), workload.name());

@@ -73,7 +73,7 @@ fn main() {
     }
     println!(
         "signature database: {} records\n",
-        system.signature_database().len()
+        system.with_signature_database(|db| db.len())
     );
 
     // ----------------------------------------------------------- online --

@@ -24,12 +24,14 @@ fn main() {
 
     // ---------------------------------------------------------- offline --
     println!("== offline training for context {context} ==");
-    let mut engine = Engine::new(InvarNetConfig {
-        window_ticks: runner.fault_duration_ticks,
-        ..InvarNetConfig::default()
-    });
     let telemetry = Telemetry::shared();
-    engine.attach_telemetry(&telemetry);
+    let engine = Engine::builder()
+        .config(InvarNetConfig {
+            window_ticks: runner.fault_duration_ticks,
+            ..InvarNetConfig::default()
+        })
+        .telemetry(&telemetry)
+        .build();
 
     let normals = runner.normal_runs(workload, 6);
     let cpi_traces: Vec<Vec<f64>> = normals
@@ -82,7 +84,10 @@ fn main() {
                 .expect("record signature");
         }
     }
-    println!("signatures recorded: {}", engine.signature_database().len());
+    println!(
+        "signatures recorded: {}",
+        engine.with_signature_database(|db| db.len())
+    );
 
     // ----------------------------------------------------------- online --
     // A fresh Mem-hog run, streamed tick by tick as it would arrive live.

@@ -1,0 +1,140 @@
+//! Compatibility coverage for the deprecated mutating setters.
+//!
+//! The builder-first API (`Engine::builder()`) replaced the post-hoc
+//! setters in the resilience PR; the old methods remain as thin shims so
+//! existing deployments keep compiling. This is the only place they are
+//! exercised — everything else in the workspace builds warning-free on the
+//! new API.
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use invarnet_x::core::{
+    ArimaDetector, Detector, Engine, EngineCounters, EventSink, InvarNetConfig, InvarNetX,
+    OperationContext, Telemetry, ThresholdRule,
+};
+use invarnet_x::metrics::{MetricFrame, METRIC_COUNT};
+use invarnet_x::timeseries::SeriesBuilder;
+
+fn ctx() -> OperationContext {
+    OperationContext::new("10.0.0.3", "Wordcount")
+}
+
+fn normal_cpi(seed: u64, len: usize) -> Vec<f64> {
+    SeriesBuilder::new(len)
+        .level(1.0)
+        .ar1(0.6)
+        .noise(0.02)
+        .build(seed)
+        .unwrap()
+        .into_values()
+}
+
+fn coupled_frame(ticks: usize, seed: u64) -> MetricFrame {
+    let mut f = MetricFrame::new();
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for t in 0..ticks {
+        let latent = (t as f64 * 0.23).sin() * 5.0 + 10.0 + 0.2 * next();
+        let row: Vec<f64> = (0..METRIC_COUNT)
+            .map(|k| latent * (k + 1) as f64 + 0.1 * next())
+            .collect();
+        f.push_tick(&row).unwrap();
+    }
+    f
+}
+
+/// The deprecated engine setters still mutate the engine exactly like
+/// their builder equivalents.
+#[test]
+fn engine_setters_still_function() {
+    let mut engine = Engine::new(InvarNetConfig {
+        min_frame_ticks: 5,
+        window_ticks: 40,
+        ..InvarNetConfig::default()
+    });
+
+    engine.set_threads(3);
+    assert_eq!(engine.threads(), 3);
+
+    let counters = Arc::new(EngineCounters::default());
+    engine.set_event_sink(Arc::clone(&counters) as Arc<dyn EventSink>);
+
+    let cpi: Vec<Vec<f64>> = (0..3).map(|s| normal_cpi(s, 120)).collect();
+    engine.train_performance_model(ctx(), &cpi).unwrap();
+
+    let metrics = coupled_frame(30, 5);
+    let samples = normal_cpi(9, 30);
+    for (t, &sample) in samples.iter().enumerate() {
+        engine.ingest(&ctx(), sample, metrics.tick(t)).unwrap();
+    }
+    assert_eq!(counters.ticks_ingested(), samples.len() as u64);
+
+    // Attaching telemetry replaces the sink and shares the context
+    // registry — the same wiring Engine::builder().telemetry(&hub) does;
+    // attribution starts from the attach point.
+    let telemetry = Telemetry::shared();
+    engine.attach_telemetry(&telemetry);
+    assert!(Arc::ptr_eq(engine.context_registry(), telemetry.contexts()));
+    for (t, &sample) in samples.iter().enumerate() {
+        engine.ingest(&ctx(), sample, metrics.tick(t)).unwrap();
+    }
+    assert_eq!(telemetry.snapshot().total.ticks, samples.len() as u64);
+    assert_eq!(
+        counters.ticks_ingested(),
+        samples.len() as u64,
+        "the replaced sink sees nothing further"
+    );
+}
+
+/// The deprecated install shims feed state into the engine the same way
+/// `Engine::load_state` does.
+#[test]
+fn engine_install_shims_still_function() {
+    let trained = Engine::new(InvarNetConfig {
+        min_frame_ticks: 5,
+        ..InvarNetConfig::default()
+    });
+    let cpi: Vec<Vec<f64>> = (0..3).map(|s| normal_cpi(s, 120)).collect();
+    trained.train_performance_model(ctx(), &cpi).unwrap();
+    let frames: Vec<MetricFrame> = (0..2).map(|s| coupled_frame(40, 100 + s)).collect();
+    trained.build_invariants(ctx(), &frames).unwrap();
+    let model = trained.performance_model(&ctx()).unwrap().as_ref().clone();
+    let invariants = trained.invariant_set(&ctx()).unwrap().as_ref().clone();
+
+    let engine = Engine::new(InvarNetConfig::default());
+    engine.install_performance_model(ctx(), model.clone());
+    assert!(engine.performance_model(&ctx()).is_some());
+
+    engine.install_invariant_set(ctx(), invariants);
+    assert!(engine.invariant_set(&ctx()).is_some());
+
+    let detector: Arc<dyn Detector> = Arc::new(ArimaDetector::new(
+        Arc::new(model),
+        ThresholdRule::MaxMin,
+        3,
+    ));
+    engine.install_detector(ctx(), detector);
+    assert_eq!(engine.detector(&ctx()).unwrap().name(), "ARIMA");
+}
+
+/// The deprecated facade setters keep compiling and delegating.
+#[test]
+fn pipeline_setters_still_function() {
+    let mut system = InvarNetX::new(InvarNetConfig::default());
+    system.set_threads(2);
+    let telemetry = Telemetry::shared();
+    system.attach_telemetry(&telemetry);
+    let cpi: Vec<Vec<f64>> = (0..3).map(|s| normal_cpi(s, 120)).collect();
+    system.train_performance_model(ctx(), &cpi).unwrap();
+    assert!(telemetry
+        .snapshot()
+        .phases
+        .iter()
+        .any(|p| p.phase == "train"));
+}

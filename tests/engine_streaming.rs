@@ -68,9 +68,11 @@ fn train_context(engine: &Engine, ctx: &OperationContext, cpi_traces: &[Vec<f64>
 
 #[test]
 fn streamed_ticks_reproduce_batch_detection_and_diagnosis() {
-    let mut engine = Engine::new(streaming_config());
     let counters = Arc::new(EngineCounters::default());
-    engine.set_event_sink(Arc::clone(&counters) as Arc<dyn EventSink>);
+    let engine = Engine::builder()
+        .config(streaming_config())
+        .event_sink(Arc::clone(&counters) as Arc<dyn EventSink>)
+        .build();
 
     let ctx = OperationContext::new("10.0.0.1", "Wordcount");
     let cpi_traces: Vec<Vec<f64>> = (0..3).map(|s| normal_cpi(s, 120)).collect();

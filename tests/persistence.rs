@@ -115,7 +115,7 @@ fn signature_database_grows_online() {
         .expect("invariants");
 
     let shared: &InvarNetX = &system;
-    assert_eq!(shared.signature_database().len(), 0);
+    assert_eq!(shared.with_signature_database(|db| db.len()), 0);
     for (i, fault) in [FaultType::CpuHog, FaultType::MemHog, FaultType::NetDrop]
         .iter()
         .enumerate()
@@ -124,7 +124,7 @@ fn signature_database_grows_online() {
         shared
             .record_signature(&context, fault.name(), &r.fault_window().expect("window"))
             .expect("record through shared reference");
-        assert_eq!(shared.signature_database().len(), i + 1);
+        assert_eq!(shared.with_signature_database(|db| db.len()), i + 1);
     }
 }
 
@@ -205,5 +205,65 @@ fn empty_signature_database_is_an_error_not_a_panic() {
 
     // Using a second, isolated signature database wired in is fine.
     system.set_signature_database(SignatureDatabase::new());
-    assert_eq!(system.signature_database().len(), 0);
+    assert_eq!(system.with_signature_database(|db| db.len()), 0);
+}
+
+#[test]
+fn engine_store_roundtrip_with_retry_and_typed_errors() {
+    use invarnet_x::core::{CoreError, Engine, ErrorKind};
+
+    let workload = WorkloadType::Grep;
+    let runner = Runner::new(405);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+
+    let engine = Engine::builder().config(InvarNetConfig::default()).build();
+    let normals = runner.normal_runs(workload, 5);
+    let cpi: Vec<Vec<f64>> = normals
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+    engine
+        .train_performance_model(context.clone(), &cpi)
+        .expect("train");
+    let frames: Vec<MetricFrame> = normals
+        .iter()
+        .map(|r| windowed(&runner, &r.per_node[node].frame))
+        .collect();
+    engine
+        .build_invariants(context.clone(), &frames)
+        .expect("invariants");
+    let r = runner.fault_run(workload, FaultType::CpuHog, 0);
+    engine
+        .record_signature(&context, "CPU-hog", &r.fault_window().expect("window"))
+        .expect("signature");
+
+    // Snapshot → save (with retry policy) → load → rehydrate a fresh engine.
+    let dir = std::env::temp_dir().join("invarnet_engine_roundtrip");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("deployment.json");
+    let store = engine.snapshot_state();
+    engine.save_store(&store, &path).expect("save with retry");
+
+    let fresh = Engine::builder().config(InvarNetConfig::default()).build();
+    let loaded = fresh.load_store(&path).expect("load with retry");
+    std::fs::remove_file(&path).ok();
+    fresh.load_state(&loaded).expect("rehydrate");
+
+    assert!(fresh.performance_model(&context).is_some());
+    assert!(fresh.invariant_set(&context).is_some());
+    assert_eq!(fresh.with_signature_database(|db| db.len()), 1);
+
+    let w = r.fault_window().expect("window");
+    let a = engine.diagnose(&context, &w).expect("diagnose original");
+    let b = fresh.diagnose(&context, &w).expect("diagnose rehydrated");
+    assert_eq!(a.ranked, b.ranked);
+
+    // A missing file surfaces as a typed Io error with a source chain.
+    let err = fresh
+        .load_store(&dir.join("does_not_exist.json"))
+        .expect_err("missing file");
+    assert_eq!(err.kind(), ErrorKind::Io);
+    assert!(std::error::Error::source(&err).is_some());
+    assert!(matches!(err, CoreError::Io { .. }));
 }

@@ -206,9 +206,9 @@ fn signature_conflict_detector_flags_the_net_faults() {
         FaultType::MemHog,
     ];
     let s = train_system(WorkloadType::Wordcount, 107, &faults);
-    let db = s.system.signature_database();
-    let conflicts = db
-        .conflicts(&s.context, Similarity::Cosine, 0.85)
+    let conflicts = s
+        .system
+        .with_signature_database(|db| db.conflicts(&s.context, Similarity::Cosine, 0.85))
         .expect("consistent tuples");
     // The deliberate Net-drop/Net-delay conflict must surface; the
     // resource hogs must not conflict with each other at this bar.

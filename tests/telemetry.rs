@@ -245,12 +245,14 @@ fn prometheus_text_parses_back_to_snapshot_values() {
 #[test]
 fn streamed_fault_run_is_attributed_and_json_round_trips() {
     let telemetry = Telemetry::shared();
-    let mut engine = Engine::new(InvarNetConfig {
-        min_frame_ticks: 5,
-        window_ticks: 40,
-        ..InvarNetConfig::default()
-    });
-    engine.attach_telemetry(&telemetry);
+    let engine = Engine::builder()
+        .config(InvarNetConfig {
+            min_frame_ticks: 5,
+            window_ticks: 40,
+            ..InvarNetConfig::default()
+        })
+        .telemetry(&telemetry)
+        .build();
 
     let ctx = OperationContext::new("10.0.0.1", "Wordcount");
     let cpi_traces: Vec<Vec<f64>> = (0..3).map(|s| normal_cpi(s, 120)).collect();
@@ -319,11 +321,13 @@ fn streamed_fault_run_is_attributed_and_json_round_trips() {
 #[test]
 fn sweep_cache_and_profile_build_flow_through_exporters() {
     let telemetry = Telemetry::shared();
-    let mut engine = Engine::new(InvarNetConfig {
-        min_frame_ticks: 5,
-        ..InvarNetConfig::default()
-    });
-    engine.attach_telemetry(&telemetry);
+    let engine = Engine::builder()
+        .config(InvarNetConfig {
+            min_frame_ticks: 5,
+            ..InvarNetConfig::default()
+        })
+        .telemetry(&telemetry)
+        .build();
 
     // Three sweeps over two distinct windows: miss, miss, hit — and the
     // cached matrix must be bit-identical to the freshly swept one.
@@ -371,12 +375,14 @@ fn sweep_cache_and_profile_build_flow_through_exporters() {
 #[test]
 fn zero_capacity_config_disables_the_sweep_cache() {
     let telemetry = Telemetry::shared();
-    let mut engine = Engine::new(InvarNetConfig {
-        min_frame_ticks: 5,
-        sweep_cache_entries: 0,
-        ..InvarNetConfig::default()
-    });
-    engine.attach_telemetry(&telemetry);
+    let engine = Engine::builder()
+        .config(InvarNetConfig {
+            min_frame_ticks: 5,
+            sweep_cache_entries: 0,
+            ..InvarNetConfig::default()
+        })
+        .telemetry(&telemetry)
+        .build();
     let frame = coupled_frame(40, 3, false);
     let first = engine.association_matrix(&frame).unwrap();
     let second = engine.association_matrix(&frame).unwrap();
@@ -391,14 +397,17 @@ fn zero_capacity_config_disables_the_sweep_cache() {
 }
 
 #[test]
-fn null_sink_engine_still_works_and_attaching_is_additive() {
+fn null_sink_engine_still_works() {
     // The default engine (NullSink) runs the same pipeline with no
-    // telemetry; attaching later starts attribution from that point.
-    let mut engine = Engine::new(InvarNetConfig {
-        min_frame_ticks: 5,
-        window_ticks: 40,
-        ..InvarNetConfig::default()
-    });
+    // telemetry attached. (Late attachment through the deprecated setter
+    // is covered by tests/deprecated_api.rs.)
+    let engine = Engine::builder()
+        .config(InvarNetConfig {
+            min_frame_ticks: 5,
+            window_ticks: 40,
+            ..InvarNetConfig::default()
+        })
+        .build();
     let ctx = OperationContext::new("10.0.0.9", "Grep");
     let cpi_traces: Vec<Vec<f64>> = (0..3).map(|s| normal_cpi(s, 120)).collect();
     engine
@@ -410,14 +419,5 @@ fn null_sink_engine_still_works_and_attaching_is_additive() {
     for (t, &sample) in cpi.iter().enumerate() {
         engine.ingest(&ctx, sample, metrics.tick(t)).unwrap();
     }
-
-    let telemetry = Telemetry::shared();
-    engine.attach_telemetry(&telemetry);
-    for (t, &sample) in cpi.iter().enumerate() {
-        engine.ingest(&ctx, sample, metrics.tick(t)).unwrap();
-    }
-    let snap = telemetry.snapshot();
-    assert_eq!(snap.total.ticks, cpi.len() as u64, "only post-attach ticks");
-    assert_eq!(snap.contexts.len(), 1);
-    assert_eq!(snap.contexts[0].context, ctx.to_string());
+    assert!(engine.detection_result(&ctx).is_some());
 }
