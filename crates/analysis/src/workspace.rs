@@ -21,9 +21,11 @@ pub const PRODUCT_CRATES: &[&str] = &[
     "bench",
     "chaos",
     "core",
+    "history",
     "linalg",
     "metrics",
     "mic",
+    "query",
     "simulator",
     "timeseries",
 ];

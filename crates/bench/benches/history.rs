@@ -1,0 +1,138 @@
+//! Recording overhead and scan latency of the `ix-history` store.
+//!
+//! The contract behind `Engine::builder().history(...)` is that recording
+//! is cheap enough to leave on in production: well under a microsecond per
+//! tick on top of the ingest path. The scan benches size the read side —
+//! materializing diagnosis windows and metric series out of a store
+//! holding 10k ticks.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ix_core::{ContextId, Engine, HistoryRecorder, InvarNetConfig, OperationContext};
+use ix_history::HistoryStore;
+use ix_metrics::METRIC_COUNT;
+use ix_simulator::{Runner, WorkloadType};
+
+/// A trained engine plus a normal run to replay through it, with an
+/// optional history store attached.
+fn trained_engine(
+    store: Option<Arc<HistoryStore>>,
+) -> (Engine, OperationContext, Vec<f64>, ix_metrics::MetricFrame) {
+    let runner = Runner::new(11);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let workload = WorkloadType::Wordcount;
+    let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+    let mut builder = Engine::builder().config(InvarNetConfig::default());
+    if let Some(store) = store {
+        builder = builder.history(store);
+    }
+    let engine = builder.build();
+
+    let normals = runner.normal_runs(workload, 4);
+    let cpi_traces: Vec<Vec<f64>> = normals
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+    engine
+        .train_performance_model(context.clone(), &cpi_traces)
+        .expect("train");
+    let frames: Vec<_> = normals
+        .iter()
+        .map(|r| {
+            let f = &r.per_node[node].frame;
+            f.window(30..75.min(f.ticks()))
+        })
+        .collect();
+    engine
+        .build_invariants(context.clone(), &frames)
+        .expect("invariants");
+
+    let live = runner.normal_run(workload, 50);
+    let cpi = live.per_node[node].cpi.cpi_series();
+    let frame = live.per_node[node].frame.clone();
+    (engine, context, cpi, frame)
+}
+
+/// Replays the whole normal run through `Engine::ingest` once.
+fn replay(
+    engine: &Engine,
+    context: &OperationContext,
+    cpi: &[f64],
+    frame: &ix_metrics::MetricFrame,
+) {
+    engine.reset_run(context);
+    for (t, &sample) in cpi.iter().enumerate() {
+        engine
+            .ingest(context, sample, frame.tick(t))
+            .expect("ingest");
+    }
+}
+
+/// A store holding `ticks` rows for one context, in runs of 1000.
+fn filled_store(ticks: usize) -> (HistoryStore, ContextId) {
+    let store = HistoryStore::new();
+    let id = ContextId::from_index(0);
+    let row: Vec<f64> = (0..METRIC_COUNT).map(|m| m as f64).collect();
+    for t in 0..ticks {
+        if t % 1000 == 0 {
+            store.record_run_reset(id);
+        }
+        store.record_tick(id, t as u64, 1.0, 0.1, false, &row);
+    }
+    (store, id)
+}
+
+fn bench_history(c: &mut Criterion) {
+    // Ingest hot path with and without a recorder; the delta over the run
+    // length is the per-tick recording overhead.
+    let (engine, context, cpi, frame) = trained_engine(None);
+    c.bench_function("ingest_run_no_history", |b| {
+        b.iter(|| replay(black_box(&engine), &context, &cpi, &frame))
+    });
+
+    let store = HistoryStore::shared();
+    let (engine, context, cpi, frame) = trained_engine(Some(store));
+    c.bench_function("ingest_run_with_history", |b| {
+        b.iter(|| replay(black_box(&engine), &context, &cpi, &frame))
+    });
+
+    // The recorder call in isolation: one row into the columnar store.
+    let (store, id) = filled_store(0);
+    let row: Vec<f64> = (0..METRIC_COUNT).map(|m| m as f64).collect();
+    c.bench_function("record_tick_direct", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            store.record_tick(black_box(id), t, 1.0, 0.1, false, &row);
+        })
+    });
+
+    // Read side over a 10k-tick store.
+    let (store, id) = filled_store(10_000);
+    c.bench_function("window_frame_10k_store", |b| {
+        b.iter(|| store.window_frame(black_box(id), 60).expect("window"))
+    });
+    c.bench_function("frame_for_ticks_10k_store", |b| {
+        b.iter(|| {
+            store
+                .frame_for_ticks(black_box(id), 5_000..5_060)
+                .expect("window")
+        })
+    });
+    c.bench_function("series_scan_10k_rows", |b| {
+        b.iter(|| {
+            store
+                .series(black_box(id), ix_metrics::MetricId::MemUsed, 0..10_000)
+                .expect("series")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_history
+}
+criterion_main!(benches);

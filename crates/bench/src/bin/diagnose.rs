@@ -18,6 +18,10 @@
 //!
 //! # demo mode: generate everything from the simulator
 //! diagnose demo
+//!
+//! # query mode: record simulated runs in an ix-history store, then
+//! # answer explanation / co-occurrence / counterfactual queries over it
+//! diagnose query [--seed N] [--pin mem.used] [--save history.ixh]
 //! ```
 //!
 //! Every subcommand accepts `--telemetry`: the run's engine work (sweeps,
@@ -331,6 +335,203 @@ fn demo() -> Result<(), String> {
     ])
 }
 
+fn query(args: &[String]) -> Result<(), String> {
+    use ix_core::Diagnosis;
+    use ix_history::HistoryStore;
+    use ix_metrics::MetricId;
+    use ix_query::Query;
+    use ix_simulator::{FaultType, RunResult, Runner, WorkloadType};
+
+    let mut seed: u64 = 1;
+    let mut pin = MetricId::SwapUsed;
+    let mut save: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => {
+                let v = next("--seed")?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed wants an integer, got {v:?}"))?;
+            }
+            "--pin" => {
+                let v = next("--pin")?;
+                pin = MetricId::from_name(&v).ok_or_else(|| {
+                    format!("--pin wants a metric name (e.g. mem.used), got {v:?}")
+                })?;
+            }
+            "--save" => save = Some(PathBuf::from(next("--save")?)),
+            other => return Err(format!("unknown query argument: {other}")),
+        }
+    }
+
+    let runner = Runner::new(seed);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let workload = WorkloadType::Wordcount;
+    let context = parse_context(&format!("{}@{}", workload.name(), runner.nodes[node].ip()))?;
+
+    // Offline phase (as `diagnose train`, but in-process), with a history
+    // store attached so everything the engine sees afterwards is recorded.
+    let store = HistoryStore::shared();
+    let mut builder = Engine::builder()
+        .config(InvarNetConfig::default())
+        .history(store.clone());
+    if let Some(t) = ix_bench::telemetry::active() {
+        builder = builder.telemetry(&t);
+    }
+    let engine = builder.build();
+
+    let normals = runner.normal_runs(workload, 5);
+    let frames: Vec<MetricFrame> = normals[..4]
+        .iter()
+        .map(|r| {
+            let f = &r.per_node[node].frame;
+            f.window(30..75.min(f.ticks()))
+        })
+        .collect();
+    let traces: Vec<Vec<f64>> = normals[..4]
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+    engine
+        .train_performance_model(context.clone(), &traces)
+        .map_err(render_error)?;
+    engine
+        .build_invariants(context.clone(), &frames)
+        .map_err(render_error)?;
+    for fault in [FaultType::CpuHog, FaultType::MemHog, FaultType::DiskHog] {
+        let r = runner.fault_run(workload, fault, 0);
+        engine
+            .record_signature(
+                &context,
+                fault.name(),
+                &r.fault_window().expect("fault window"),
+            )
+            .map_err(render_error)?;
+    }
+
+    // Online phase: stream whole runs through `Engine::ingest`; each run
+    // becomes one run in history. `stop` cuts the last run at the tick the
+    // live diagnosis fired, so the recorded current-run window *is* the
+    // engine's diagnosis window.
+    let stream = |r: &RunResult, stop: bool| -> Result<Option<Diagnosis>, String> {
+        engine.reset_run(&context);
+        let cpi = r.per_node[node].cpi.cpi_series();
+        let frame = &r.per_node[node].frame;
+        let mut first = None;
+        for (t, &sample) in cpi.iter().enumerate().take(frame.ticks()) {
+            let out = engine
+                .ingest(&context, sample, frame.tick(t))
+                .map_err(render_error)?;
+            if out.diagnosis.is_some() && first.is_none() {
+                first = out.diagnosis;
+                if stop {
+                    break;
+                }
+            }
+        }
+        Ok(first)
+    };
+    stream(&normals[4], false)?; // run 0: healthy baseline for counterfactuals
+    for (fault, run_idx) in [
+        (FaultType::CpuHog, 3),
+        (FaultType::DiskHog, 3),
+        (FaultType::MemHog, 4),
+    ] {
+        stream(&runner.fault_run(workload, fault, run_idx), false)?;
+    }
+    let live = stream(&runner.fault_run(workload, FaultType::MemHog, 5), true)?
+        .ok_or("the final mem-hog run produced no live diagnosis")?;
+
+    let query = Query::over(&engine, &store);
+
+    println!("== explanations (current-run window) ==");
+    let explain = query.explanations(&context);
+    println!("{}", explain.plan().map_err(|e| e.to_string())?);
+    let recomputed = explain.rank().map_err(|e| e.to_string())?;
+    println!("ranked causes:");
+    for (i, c) in recomputed.ranked.iter().enumerate().take(5) {
+        println!(
+            "  {}. {:16} similarity {:.3}",
+            i + 1,
+            c.problem,
+            c.similarity
+        );
+    }
+    if recomputed != live {
+        return Err("query ranking diverged from the live streaming diagnosis".into());
+    }
+    println!("recomputed from history == live streaming diagnosis: yes");
+    let replay = query
+        .explanations(&context)
+        .replay_recorded()
+        .rank()
+        .map_err(|e| e.to_string())?;
+    if replay.ranked != live.ranked || replay.tuple != live.tuple {
+        return Err("replay of recorded sweep scores diverged from the live diagnosis".into());
+    }
+    println!("replayed from recorded sweep scores == live diagnosis: yes");
+
+    let cooccur = query.cooccurrence().compute().map_err(|e| e.to_string())?;
+    println!(
+        "\n== co-occurrence across {} recorded diagnoses ==",
+        cooccur.diagnoses
+    );
+    let invariants = engine
+        .invariant_set(&context)
+        .ok_or("no invariants for the context")?;
+    for pair in cooccur.pairs.iter().take(5) {
+        let (a1, a2) = invariants.metrics_of(pair.a);
+        let (b1, b2) = invariants.metrics_of(pair.b);
+        println!("  {:>2}x  [{a1} ~ {a2}] with [{b1} ~ {b2}]", pair.count);
+    }
+
+    println!("\n== counterfactual: pin {pin} to the baseline run ==");
+    let report = query
+        .counterfactual(&context, pin)
+        .baseline_run(0)
+        .compute()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "factual violations {}, cleared by pinning {}, introduced {}",
+        report.factual.violation_count(),
+        report.cleared.len(),
+        report.introduced.len()
+    );
+    println!(
+        "attribution: {:.2} of the anomaly's violations involve {pin}",
+        report.attribution
+    );
+
+    // The on-disk format is canonical: save(load(x)) is byte-identical.
+    let bytes = store.to_bytes();
+    let reloaded = HistoryStore::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    if reloaded.to_bytes() != bytes {
+        return Err("history serialization round-trip diverged".into());
+    }
+    let id = engine
+        .context_registry()
+        .lookup(&context)
+        .ok_or("context was never interned")?;
+    println!(
+        "\nhistory: {} rows over {} runs, {} events, {} bytes (round-trip verified)",
+        store.rows(id),
+        store.run_count(id),
+        store.events().len(),
+        bytes.len()
+    );
+    if let Some(path) = save {
+        store.save(&path).map_err(|e| e.to_string())?;
+        println!("saved history to {}", path.display());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if ix_bench::telemetry::strip_flag(&mut args) {
@@ -340,6 +541,7 @@ fn main() -> ExitCode {
         Some("train") => train(&args[1..]),
         Some("infer") => infer(&args[1..]),
         Some("demo") => demo(),
+        Some("query") => query(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!(
                 "diagnose — InvarNet-X as a CLI\n\n\
@@ -347,7 +549,10 @@ fn main() -> ExitCode {
                  \x20        --normal frame.csv... [--cpi trace.txt...] [--incident LABEL=window.csv...]\n\
                  \x20 diagnose infer --deployment FILE --context WORKLOAD@NODE --window incident.csv\n\
                  \x20        [--cpi live.txt] [--budget-ms MS]\n\
-                 \x20 diagnose demo   # end-to-end on simulator-exported files\n\n\
+                 \x20 diagnose demo   # end-to-end on simulator-exported files\n\
+                 \x20 diagnose query [--seed N] [--pin METRIC] [--save FILE]\n\
+                 \x20        # record simulated runs into an ix-history store, then answer\n\
+                 \x20        # explanation / co-occurrence / counterfactual queries over it\n\n\
                  Add --telemetry to any subcommand to print an engine telemetry report."
             );
             Ok(())

@@ -1,0 +1,146 @@
+//! Wall-clock cost of the `ix-history` recording and scan paths, printed
+//! as JSON (redirect to `BENCH_history.json`).
+//!
+//! Unlike the criterion benches this is a plain binary so the numbers can
+//! be regenerated and diffed across commits without the criterion harness:
+//!
+//! ```bash
+//! cargo run --release -p ix-bench --bin history_bench > BENCH_history.json
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ix_core::{ContextId, Engine, HistoryRecorder, InvarNetConfig, OperationContext};
+use ix_history::HistoryStore;
+use ix_metrics::{MetricId, METRIC_COUNT};
+use ix_simulator::{Runner, WorkloadType};
+
+/// Median wall-clock milliseconds of `iters` runs of `run`.
+fn time_ms(iters: usize, mut run: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// A trained engine plus a normal run to replay, optionally recording.
+fn trained(
+    store: Option<Arc<HistoryStore>>,
+) -> (Engine, OperationContext, Vec<f64>, ix_metrics::MetricFrame) {
+    let runner = Runner::new(11);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let workload = WorkloadType::Wordcount;
+    let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+    let mut builder = Engine::builder().config(InvarNetConfig::default());
+    if let Some(store) = store {
+        builder = builder.history(store);
+    }
+    let engine = builder.build();
+    let normals = runner.normal_runs(workload, 4);
+    let cpi_traces: Vec<Vec<f64>> = normals
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+    engine
+        .train_performance_model(context.clone(), &cpi_traces)
+        .expect("train");
+    let frames: Vec<_> = normals
+        .iter()
+        .map(|r| {
+            let f = &r.per_node[node].frame;
+            f.window(30..75.min(f.ticks()))
+        })
+        .collect();
+    engine
+        .build_invariants(context.clone(), &frames)
+        .expect("invariants");
+    let live = runner.normal_run(workload, 50);
+    let cpi = live.per_node[node].cpi.cpi_series();
+    let frame = live.per_node[node].frame.clone();
+    (engine, context, cpi, frame)
+}
+
+fn replay_ms(store: Option<Arc<HistoryStore>>) -> (f64, usize) {
+    let (engine, context, cpi, frame) = trained(store);
+    let ticks = frame.ticks().min(cpi.len());
+    let ms = time_ms(15, || {
+        engine.reset_run(&context);
+        for (t, &sample) in cpi.iter().enumerate().take(ticks) {
+            engine
+                .ingest(&context, sample, frame.tick(t))
+                .expect("ingest");
+        }
+    });
+    (ms, ticks)
+}
+
+fn main() {
+    // Recording overhead: the same run replayed through `Engine::ingest`
+    // with and without a recorder attached.
+    let (base_ms, ticks) = replay_ms(None);
+    let (rec_ms, _) = replay_ms(Some(HistoryStore::shared()));
+    let overhead_ns = ((rec_ms - base_ms) * 1e6 / ticks as f64).max(0.0);
+
+    // The recorder call in isolation.
+    let store = HistoryStore::new();
+    let id = ContextId::from_index(0);
+    let row: Vec<f64> = (0..METRIC_COUNT).map(|m| m as f64).collect();
+    let direct_batch = 10_000usize;
+    let direct_ms = time_ms(15, || {
+        for t in 0..direct_batch {
+            store.record_tick(id, t as u64, 1.0, 0.1, false, &row);
+        }
+    });
+    let direct_ns = direct_ms * 1e6 / direct_batch as f64;
+
+    // Scan latency over a 10k-tick store (runs of 1000 ticks).
+    let store = HistoryStore::new();
+    for t in 0..10_000u64 {
+        if t % 1000 == 0 {
+            store.record_run_reset(id);
+        }
+        store.record_tick(id, t, 1.0, 0.1, false, &row);
+    }
+    let window_us = time_ms(51, || {
+        store.window_frame(id, 60).expect("window");
+    }) * 1e3;
+    let tick_window_us = time_ms(51, || {
+        store.frame_for_ticks(id, 5_000..5_060).expect("window");
+    }) * 1e3;
+    let series_us = time_ms(51, || {
+        store
+            .series(id, MetricId::MemUsed, 0..10_000)
+            .expect("series");
+    }) * 1e3;
+    let bytes = store.to_bytes();
+    let serialize_ms = time_ms(7, || {
+        store.to_bytes();
+    });
+    let parse_ms = time_ms(7, || {
+        HistoryStore::from_bytes(&bytes).expect("parse");
+    });
+
+    println!("{{");
+    println!("  \"bench\": \"history_record_and_scan\",");
+    println!("  \"run_ticks\": {ticks},");
+    println!("  \"store_ticks\": 10000,");
+    println!("  \"results\": {{");
+    println!("    \"ingest_run_no_history_ms\": {base_ms:.3},");
+    println!("    \"ingest_run_with_history_ms\": {rec_ms:.3},");
+    println!("    \"recording_overhead_ns_per_tick\": {overhead_ns:.1},");
+    println!("    \"record_tick_direct_ns\": {direct_ns:.1},");
+    println!("    \"window_frame_60_of_10k_us\": {window_us:.2},");
+    println!("    \"frame_for_ticks_60_of_10k_us\": {tick_window_us:.2},");
+    println!("    \"series_scan_10k_rows_us\": {series_us:.2},");
+    println!("    \"serialize_10k_ms\": {serialize_ms:.3},");
+    println!("    \"parse_10k_ms\": {parse_ms:.3},");
+    println!("    \"file_bytes\": {}", bytes.len());
+    println!("  }}");
+    println!("}}");
+}

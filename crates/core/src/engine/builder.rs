@@ -1,9 +1,9 @@
 //! The builder-first construction path for [`Engine`].
 //!
 //! [`EngineBuilder`] folds what used to be a `new` + a handful of `&mut`
-//! setters ([`Engine::set_threads`], [`Engine::set_event_sink`],
-//! [`Engine::attach_telemetry`], the `install_*` family) into one fluent
-//! expression that yields a ready, immutable engine:
+//! setters (`set_threads`, `set_event_sink`, `attach_telemetry`, the
+//! `install_*` family — all removed now that every caller builds) into one
+//! fluent expression that yields a ready, immutable engine:
 //!
 //! ```
 //! use ix_core::{Engine, InvarNetConfig, Telemetry};
@@ -28,6 +28,7 @@ use crate::signature::SignatureDatabase;
 
 use super::detector::Detector;
 use super::events::EventSink;
+use super::recorder::HistoryRecorder;
 use super::telemetry::Telemetry;
 use super::Engine;
 
@@ -41,6 +42,7 @@ pub struct EngineBuilder {
     threads: Option<usize>,
     sink: Option<Arc<dyn EventSink>>,
     telemetry: Option<Arc<Telemetry>>,
+    history: Option<Arc<dyn HistoryRecorder>>,
     signatures: Option<SignatureDatabase>,
     models: Vec<(OperationContext, PerformanceModel)>,
     invariants: Vec<(OperationContext, InvariantSet)>,
@@ -55,6 +57,7 @@ impl EngineBuilder {
             threads: None,
             sink: None,
             telemetry: None,
+            history: None,
             signatures: None,
             models: Vec::new(),
             invariants: Vec::new(),
@@ -96,6 +99,17 @@ impl EngineBuilder {
     /// may attach to one hub.
     pub fn telemetry(mut self, telemetry: &Arc<Telemetry>) -> Self {
         self.telemetry = Some(Arc::clone(telemetry));
+        self
+    }
+
+    /// Attaches a history recorder (e.g. an `ix-history` `HistoryStore`):
+    /// every tick row, event, sweep score and diagnosis is appended to it,
+    /// and a recorder that serves windows back becomes the source of
+    /// diagnosis frames. The engine behaves identically — bit for bit —
+    /// with or without a recorder attached; see
+    /// [`crate::HistoryRecorder`].
+    pub fn history(mut self, recorder: Arc<dyn HistoryRecorder>) -> Self {
+        self.history = Some(recorder);
         self
     }
 
@@ -142,6 +156,11 @@ impl EngineBuilder {
         } else if let Some(sink) = self.sink {
             engine.set_event_sink_internal(sink);
         }
+        // After the sink/telemetry wiring, so the recorder tee wraps the
+        // final sink and binds the final context registry.
+        if let Some(recorder) = self.history {
+            engine.attach_history_internal(recorder);
+        }
         if let Some(db) = self.signatures {
             engine.set_signature_database(db);
         }
@@ -171,6 +190,7 @@ impl std::fmt::Debug for EngineBuilder {
             .field("threads", &self.threads)
             .field("telemetry", &self.telemetry.is_some())
             .field("event_sink", &self.sink.is_some())
+            .field("history", &self.history.is_some())
             .field("signatures", &self.signatures.as_ref().map(|db| db.len()))
             .field("models", &self.models.len())
             .field("invariant_sets", &self.invariants.len())

@@ -1,12 +1,14 @@
 //! The diagnosis layer: ranked root causes from signature matching.
 
+use serde::{Deserialize, Serialize};
+
 use crate::engine::resilience::SweepDegradation;
 use crate::error::CoreError;
 use crate::invariants::InvariantSet;
 use crate::signature::ViolationTuple;
 
 /// One ranked root-cause candidate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RankedCause {
     /// Problem label from the signature database.
     pub problem: String,
@@ -17,7 +19,7 @@ pub struct RankedCause {
 
 /// The outcome of cause inference: "a list of root causes which puts the
 /// most probable causes in the top".
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Diagnosis {
     /// Candidates, best first.
     pub ranked: Vec<RankedCause>,

@@ -36,7 +36,10 @@ pub struct TickOutcome {
 
 /// Work the ingest path defers until after the shard lock is released.
 struct DeferredDiagnosis {
-    frame: MetricFrame,
+    /// The abnormal window. `None` when a history recorder is attached —
+    /// the frame is then read back from history after the lock drops,
+    /// instead of being copied out of engine state.
+    frame: Option<MetricFrame>,
     invariants: Arc<InvariantSet>,
 }
 
@@ -71,7 +74,7 @@ impl Engine {
         let window_ticks = self.config().window_ticks;
         let context_id = self.intern_context(context);
         let ingest_started = Instant::now();
-        let (tick, decision, up_edge, down_edge, deferred) =
+        let (tick, lifetime_tick, decision, up_edge, down_edge, deferred) =
             self.state().with_mut(context, window_ticks, |state| {
                 let Some(detector) = state.detector.clone() else {
                     return Err(CoreError::NoPerformanceModel(context.clone()));
@@ -81,6 +84,23 @@ impl Engine {
                 let decision = run.step(cpi_sample);
                 let tick = state.run_ticks;
                 state.run_ticks += 1;
+                // ordering: Relaxed — the lifetime tick is a monotone
+                // ticket; atomicity of fetch_add gives uniqueness, and
+                // per-context state is serialized by the shard lock.
+                let lifetime_tick = self.tick_counter().fetch_add(1, Ordering::Relaxed);
+                // Record under the shard lock so history rows land in
+                // exactly the order the sliding window saw them — the
+                // contract behind history-served diagnosis windows.
+                if let Some(recorder) = self.recorder() {
+                    recorder.record_tick(
+                        context_id,
+                        lifetime_tick,
+                        cpi_sample,
+                        decision.residual,
+                        decision.exceeded,
+                        metric_row,
+                    );
+                }
                 let up_edge = decision.anomalous && !state.prev_anomalous;
                 let down_edge = !decision.anomalous && state.prev_anomalous;
                 state.prev_anomalous = decision.anomalous;
@@ -89,20 +109,21 @@ impl Engine {
                         .invariants
                         .clone()
                         .ok_or_else(|| CoreError::NoInvariants(context.clone()))?;
-                    Some(DeferredDiagnosis {
-                        frame: state.window.to_frame(),
-                        invariants,
-                    })
+                    // With a recorder attached the window is read back
+                    // from history after the lock drops; the ad-hoc copy
+                    // is only taken when the engine must self-serve.
+                    let frame = if self.recorder().is_some() {
+                        None
+                    } else {
+                        Some(state.window.to_frame())
+                    };
+                    Some(DeferredDiagnosis { frame, invariants })
                 } else {
                     None
                 };
-                Ok((tick, decision, up_edge, down_edge, deferred))
+                Ok((tick, lifetime_tick, decision, up_edge, down_edge, deferred))
             })?;
 
-        // ordering: Relaxed — the lifetime tick is a monotone ticket;
-        // atomicity of fetch_add gives uniqueness, and per-context state
-        // is already serialized by the shard lock above.
-        let lifetime_tick = self.tick_counter().fetch_add(1, Ordering::Relaxed);
         self.sink().record(&EngineEvent::TickIngested {
             context: context_id,
             tick: lifetime_tick,
@@ -127,6 +148,15 @@ impl Engine {
             Some(DeferredDiagnosis { frame, invariants }) => {
                 let _span = Span::enter(self.sink(), EnginePhase::Diagnosis, context_id);
                 let started = Instant::now();
+                // History-backed window when the recorder serves one;
+                // otherwise the copy taken under the shard lock above.
+                let frame = match frame {
+                    Some(frame) => frame,
+                    None => self
+                        .recorder()
+                        .and_then(|r| r.window_frame(context_id, self.config().window_ticks))
+                        .unwrap_or_else(|| self.window_frame(context).unwrap_or_default()),
+                };
                 let verdict =
                     self.budgeted_matrix_for(context_id, &frame, self.config().sweep_budget)?;
                 let tuple = verdict.violation_tuple(&invariants, self.config().epsilon);
@@ -138,6 +168,7 @@ impl Engine {
                     micros: started.elapsed().as_micros() as u64,
                 });
                 self.emit_signature_match(context_id, lifetime_tick, &diagnosis);
+                self.record_diagnosis_history(context_id, lifetime_tick, &verdict, &diagnosis);
                 Some(diagnosis)
             }
             None => None,
@@ -156,6 +187,7 @@ impl Engine {
     /// (call at the start of a new job execution).
     pub fn reset_run(&self, context: &OperationContext) {
         self.state().with_existing_mut(context, |s| s.reset_run());
+        self.note_run_reset(context);
     }
 
     /// The batch-shaped detection result accumulated by the current run,

@@ -14,9 +14,13 @@
 //!   persistent [`SweepPool`];
 //! - **events** ([`events`]) — counters and timings through a pluggable
 //!   [`EventSink`];
+//! - **recording** ([`recorder`]) — an optional append-only history sink
+//!   ([`HistoryRecorder`], attach with [`EngineBuilder::history`]) that
+//!   observes tick rows, events, sweep scores and diagnoses, and can serve
+//!   diagnosis windows back to the engine;
 //! - **telemetry** ([`telemetry`]) — the full observability stack on top of
 //!   the events: context-attributed metrics, phase spans, and Prometheus /
-//!   JSON / report exporters (attach with [`Engine::attach_telemetry`]).
+//!   JSON / report exporters (attach with [`EngineBuilder::telemetry`]).
 //!
 //! The original [`crate::InvarNetX`] facade remains as a thin wrapper for
 //! batch (whole-trace) use.
@@ -26,10 +30,12 @@ pub mod detector;
 pub mod diagnosis;
 pub mod events;
 mod ingest;
+pub mod recorder;
 pub mod resilience;
 mod state;
 mod sweep_cache;
 pub mod telemetry;
+mod wire;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
@@ -52,7 +58,10 @@ pub use detector::{ArimaDetector, CusumStreamDetector, Detector, DetectorRun, Ti
 pub use diagnosis::{Diagnosis, RankedCause};
 pub use events::{EngineCounters, EngineEvent, EventSink, NullSink};
 pub use ingest::TickOutcome;
+pub use recorder::{HistoryRecorder, NullRecorder};
 pub use telemetry::Telemetry;
+
+use recorder::RecorderTee;
 
 use resilience::{
     DegradationReason, DegradationTier, HealthMonitor, IngestQueue, SweepBudget, SweepDegradation,
@@ -75,6 +84,8 @@ pub struct Engine {
     pool: SweepPool,
     sweep_cache: SweepCache,
     sink: Arc<dyn EventSink>,
+    /// The attached history recorder, if any (see [`EngineBuilder::history`]).
+    recorder: Option<Arc<dyn HistoryRecorder>>,
     contexts: Arc<ContextRegistry>,
     ticks: AtomicU64,
     health: HealthMonitor,
@@ -119,6 +130,7 @@ impl Engine {
             pool: SweepPool::new(threads),
             sweep_cache,
             sink: Arc::new(NullSink),
+            recorder: None,
             contexts: Arc::new(ContextRegistry::new()),
             ticks: AtomicU64::new(0),
             health: HealthMonitor::new(),
@@ -127,38 +139,41 @@ impl Engine {
         }
     }
 
-    /// Replaces the sweep worker pool with one of `threads` workers.
-    #[deprecated(note = "use Engine::builder().threads(n) instead")]
-    pub fn set_threads(&mut self, threads: usize) {
-        self.set_threads_internal(threads);
-    }
-
     pub(crate) fn set_threads_internal(&mut self, threads: usize) {
         self.pool = SweepPool::new(threads);
-    }
-
-    /// Installs an observability sink; all subsequent events go to it.
-    #[deprecated(note = "use Engine::builder().event_sink(sink) instead")]
-    pub fn set_event_sink(&mut self, sink: Arc<dyn EventSink>) {
-        self.set_event_sink_internal(sink);
     }
 
     pub(crate) fn set_event_sink_internal(&mut self, sink: Arc<dyn EventSink>) {
         self.sink = sink;
     }
 
-    /// Attaches a [`Telemetry`] hub: the hub becomes the engine's event
-    /// sink *and* the engine interns contexts into the hub's registry, so
-    /// exporters can resolve [`ContextId`]s back to labels. Several engines
-    /// may attach to one hub.
-    #[deprecated(note = "use Engine::builder().telemetry(&hub) instead")]
-    pub fn attach_telemetry(&mut self, telemetry: &Arc<Telemetry>) {
-        self.attach_telemetry_internal(telemetry);
-    }
-
     pub(crate) fn attach_telemetry_internal(&mut self, telemetry: &Arc<Telemetry>) {
         self.contexts = Arc::clone(telemetry.contexts());
         self.sink = Arc::<Telemetry>::clone(telemetry);
+    }
+
+    /// Attaches a history recorder: the recorder is teed behind the event
+    /// sink (it observes the identical event stream), receives tick rows,
+    /// sweep scores and diagnoses first-class, and — when it can serve
+    /// windows back — becomes the source of diagnosis frames. Must run
+    /// after the sink/telemetry wiring so the tee wraps the final sink.
+    pub(crate) fn attach_history_internal(&mut self, recorder: Arc<dyn HistoryRecorder>) {
+        recorder.bind_registry(&self.contexts);
+        self.sink = Arc::new(RecorderTee::new(
+            Arc::clone(&self.sink),
+            Arc::clone(&recorder),
+        ));
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached history recorder, if any.
+    pub(crate) fn recorder(&self) -> Option<&Arc<dyn HistoryRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Whether a history recorder is attached.
+    pub fn has_history(&self) -> bool {
+        self.recorder.is_some()
     }
 
     /// The registry the engine interns [`crate::OperationContext`]s into.
@@ -244,6 +259,7 @@ impl Engine {
                 s.detector = Some(detector);
                 s.reset_run();
             });
+        self.note_run_reset(&context);
         Ok(())
     }
 
@@ -647,7 +663,23 @@ impl Engine {
             micros: started.elapsed().as_micros() as u64,
         });
         self.emit_signature_match(id, tick, &diagnosis);
+        self.record_diagnosis_history(id, tick, &verdict, &diagnosis);
         Ok(diagnosis)
+    }
+
+    /// Feeds one finished diagnosis (and the sweep scores behind it) to
+    /// the attached recorder, if any.
+    pub(crate) fn record_diagnosis_history(
+        &self,
+        context: ContextId,
+        tick: u64,
+        verdict: &SweepVerdict,
+        diagnosis: &Diagnosis,
+    ) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record_sweep(context, tick, verdict.matrix.scores(), verdict.degradation);
+            recorder.record_diagnosis(context, tick, diagnosis);
+        }
     }
 
     /// Ranks an already-built violation tuple against the signature
@@ -764,13 +796,6 @@ impl Engine {
             .unwrap_or_else(PoisonError::into_inner) = db;
     }
 
-    /// Installs a prebuilt invariant set (used when loading persisted
-    /// state).
-    #[deprecated(note = "use Engine::builder().invariant_set(..) or Engine::load_state instead")]
-    pub fn install_invariant_set(&self, context: OperationContext, set: InvariantSet) {
-        self.install_invariant_set_internal(context, set);
-    }
-
     pub(crate) fn install_invariant_set_internal(
         &self,
         context: OperationContext,
@@ -781,17 +806,6 @@ impl Engine {
             .with_mut(&context, self.config.window_ticks, |s| {
                 s.invariants = Some(set);
             });
-    }
-
-    /// Installs a prebuilt performance model (used when loading persisted
-    /// state). The streaming detector becomes an [`ArimaDetector`] over the
-    /// model regardless of [`DetectorChoice`] — calibrating CUSUM needs the
-    /// training traces; use a custom detector to override.
-    #[deprecated(
-        note = "use Engine::builder().performance_model(..) or Engine::load_state instead"
-    )]
-    pub fn install_performance_model(&self, context: OperationContext, model: PerformanceModel) {
-        self.install_performance_model_internal(context, model);
     }
 
     pub(crate) fn install_performance_model_internal(
@@ -811,12 +825,7 @@ impl Engine {
                 s.detector = Some(detector);
                 s.reset_run();
             });
-    }
-
-    /// Installs a custom streaming detector for a context.
-    #[deprecated(note = "use Engine::builder().detector(..) instead")]
-    pub fn install_detector(&self, context: OperationContext, detector: Arc<dyn Detector>) {
-        self.install_detector_internal(context, detector);
+        self.note_run_reset(&context);
     }
 
     pub(crate) fn install_detector_internal(
@@ -829,6 +838,16 @@ impl Engine {
                 s.detector = Some(detector);
                 s.reset_run();
             });
+        self.note_run_reset(&context);
+    }
+
+    /// Tells the attached recorder (if any) that `context`'s sliding
+    /// window was just discarded, so history keeps run boundaries aligned
+    /// with the live window.
+    pub(crate) fn note_run_reset(&self, context: &OperationContext) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record_run_reset(self.intern_context(context));
+        }
     }
 }
 

@@ -1,0 +1,180 @@
+//! First-class recording: the engine's append-only history sink.
+//!
+//! Everything the engine observes — tick rows, the event stream, sweep
+//! scores and finished diagnoses — can flow into a [`HistoryRecorder`]
+//! attached with [`crate::EngineBuilder::history`]. The engine calls the
+//! recorder at fixed points on its data path:
+//!
+//! - [`HistoryRecorder::record_tick`] inside the ingest step, under the
+//!   context's shard lock, so recorded rows are in exactly the order the
+//!   sliding window saw them;
+//! - [`HistoryRecorder::record_event`] for every [`EngineEvent`] (the
+//!   recorder is teed behind the configured [`EventSink`], which observes
+//!   the identical stream);
+//! - [`HistoryRecorder::record_sweep`] / [`HistoryRecorder::record_diagnosis`]
+//!   after each cause-inference pass, with the association scores and the
+//!   ranked result;
+//! - [`HistoryRecorder::record_run_reset`] whenever a context's sliding
+//!   window is discarded, so run boundaries survive into history.
+//!
+//! A recorder that implements [`HistoryRecorder::window_frame`] becomes
+//! the source of diagnosis windows: the ingest path skips its ad-hoc
+//! window copy and reads the frame back from history instead. The
+//! contract is bit-exactness — the returned frame must hold the same
+//! `f64` values, in the same order, as the context's sliding window; the
+//! engine falls back to the in-state copy when the recorder returns
+//! `None`. With no recorder attached, nothing on the data path changes.
+
+use std::sync::Arc;
+
+use ix_metrics::MetricFrame;
+
+use super::diagnosis::Diagnosis;
+use super::events::{EngineEvent, EventSink};
+use super::resilience::SweepDegradation;
+use super::telemetry::{ContextId, ContextRegistry};
+
+/// Receiver of the engine's history stream. Implementations must be
+/// cheap and thread-safe: `record_tick` runs under a state-shard lock on
+/// the ingestion path.
+pub trait HistoryRecorder: Send + Sync {
+    /// One ingested tick: the lifetime tick label, the CPI sample, the
+    /// detector's residual/threshold verdict, and the full metric row.
+    /// Called in sliding-window order for each context.
+    fn record_tick(
+        &self,
+        context: ContextId,
+        tick: u64,
+        cpi: f64,
+        residual: f64,
+        exceeded: bool,
+        row: &[f64],
+    );
+
+    /// The context's sliding window was discarded (new job run, model
+    /// re-install). Rows recorded before this call belong to the previous
+    /// run.
+    fn record_run_reset(&self, context: ContextId);
+
+    /// One engine event, in emission order (the same stream the
+    /// [`EventSink`] sees).
+    fn record_event(&self, event: &EngineEvent);
+
+    /// The association scores behind one diagnosis: the flat upper
+    /// triangle (indexed by [`crate::pair_index`]) and the degradation
+    /// tier that produced it (`None` for a full-fidelity sweep).
+    fn record_sweep(
+        &self,
+        context: ContextId,
+        tick: u64,
+        scores: &[f64],
+        degradation: Option<SweepDegradation>,
+    );
+
+    /// One finished cause-inference pass, correlated with the lifetime
+    /// tick stamped on its [`EngineEvent::DiagnosisRan`].
+    fn record_diagnosis(&self, context: ContextId, tick: u64, diagnosis: &Diagnosis);
+
+    /// Shares the engine's context registry so the recorder can resolve
+    /// [`ContextId`]s back to labels (called once, at attach time).
+    fn bind_registry(&self, registry: &Arc<ContextRegistry>) {
+        let _ = registry;
+    }
+
+    /// The last `max_ticks` recorded rows of the context's *current run*,
+    /// as a frame — the history-backed replacement for the ingest path's
+    /// ad-hoc window copy. Return `None` to keep the engine on the
+    /// in-state copy.
+    fn window_frame(&self, context: ContextId, max_ticks: usize) -> Option<MetricFrame> {
+        let _ = (context, max_ticks);
+        None
+    }
+}
+
+/// A recorder that drops everything (placeholder for tests and docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl HistoryRecorder for NullRecorder {
+    fn record_tick(&self, _: ContextId, _: u64, _: f64, _: f64, _: bool, _: &[f64]) {}
+    fn record_run_reset(&self, _: ContextId) {}
+    fn record_event(&self, _: &EngineEvent) {}
+    fn record_sweep(&self, _: ContextId, _: u64, _: &[f64], _: Option<SweepDegradation>) {}
+    fn record_diagnosis(&self, _: ContextId, _: u64, _: &Diagnosis) {}
+}
+
+/// The event tee installed by [`crate::EngineBuilder::history`]: forwards
+/// every event to the configured sink first, then to the recorder's event
+/// log, so attaching history never changes what the sink observes.
+pub(crate) struct RecorderTee {
+    inner: Arc<dyn EventSink>,
+    recorder: Arc<dyn HistoryRecorder>,
+}
+
+impl RecorderTee {
+    pub(crate) fn new(inner: Arc<dyn EventSink>, recorder: Arc<dyn HistoryRecorder>) -> Self {
+        RecorderTee { inner, recorder }
+    }
+}
+
+impl EventSink for RecorderTee {
+    fn record(&self, event: &EngineEvent) {
+        self.inner.record(event);
+        self.recorder.record_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_defaults_are_inert() {
+        let recorder = NullRecorder;
+        recorder.record_tick(ContextId::UNATTRIBUTED, 0, 1.0, 0.0, false, &[]);
+        recorder.record_run_reset(ContextId::UNATTRIBUTED);
+        recorder.record_event(&EngineEvent::DetectionFired {
+            context: ContextId::UNATTRIBUTED,
+            tick: 0,
+        });
+        recorder.record_sweep(ContextId::UNATTRIBUTED, 0, &[], None);
+        assert!(recorder.window_frame(ContextId::UNATTRIBUTED, 8).is_none());
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Count(AtomicUsize);
+        impl EventSink for Count {
+            fn record(&self, _: &EngineEvent) {
+                // ordering: Relaxed — independent test counter.
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        #[derive(Default)]
+        struct RecCount(AtomicUsize);
+        impl HistoryRecorder for RecCount {
+            fn record_tick(&self, _: ContextId, _: u64, _: f64, _: f64, _: bool, _: &[f64]) {}
+            fn record_run_reset(&self, _: ContextId) {}
+            fn record_event(&self, _: &EngineEvent) {
+                // ordering: Relaxed — independent test counter.
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+            fn record_sweep(&self, _: ContextId, _: u64, _: &[f64], _: Option<SweepDegradation>) {}
+            fn record_diagnosis(&self, _: ContextId, _: u64, _: &Diagnosis) {}
+        }
+        let sink = Arc::new(Count::default());
+        let recorder = Arc::new(RecCount::default());
+        let tee = RecorderTee::new(
+            Arc::clone(&sink) as Arc<dyn EventSink>,
+            Arc::clone(&recorder) as Arc<dyn HistoryRecorder>,
+        );
+        tee.record(&EngineEvent::DetectionFired {
+            context: ContextId::UNATTRIBUTED,
+            tick: 1,
+        });
+        assert_eq!(sink.0.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(recorder.0.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+}

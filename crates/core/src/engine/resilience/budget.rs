@@ -2,6 +2,8 @@
 
 use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
+
 /// A budget for one diagnosis sweep: optional wall-clock and pair-count
 /// limits.
 ///
@@ -62,7 +64,7 @@ impl SweepBudget {
 /// [`SweepBudget`], the engine walks these tiers in order and takes the
 /// first one that yields an answer. `level()` orders the tiers by how far
 /// they sit from full fidelity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DegradationTier {
     /// Tier 1: reuse the most recent cached association matrix for this
     /// context (stale but full-fidelity MIC scores).
@@ -102,7 +104,7 @@ impl DegradationTier {
 }
 
 /// Why a sweep left the full-fidelity path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DegradationReason {
     /// The sweep's wall-clock deadline expired mid-sweep.
     WallClockExceeded,
@@ -126,7 +128,7 @@ impl DegradationReason {
 
 /// How a degraded diagnosis was produced: the tier that answered and the
 /// reason the full sweep was abandoned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SweepDegradation {
     /// The fallback tier that produced the association matrix.
     pub tier: DegradationTier,

@@ -17,13 +17,15 @@ use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
 
+use serde::{Deserialize, Serialize};
+
 use crate::context::OperationContext;
 use crate::engine::ingest::TickOutcome;
 use crate::engine::{Engine, EngineEvent};
 use crate::error::CoreError;
 
 /// What a full ingest queue does with the next tick.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum OverloadPolicy {
     /// Block the submitting thread until a slot frees up (lossless).
     #[default]

@@ -63,7 +63,8 @@ pub use engine::telemetry::{
 };
 pub use engine::{
     ArimaDetector, CusumStreamDetector, Detector, DetectorRun, Engine, EngineBuilder,
-    EngineCounters, EngineEvent, EventSink, NullSink, TickDecision, TickOutcome,
+    EngineCounters, EngineEvent, EventSink, HistoryRecorder, NullRecorder, NullSink, TickDecision,
+    TickOutcome,
 };
 pub use error::{CoreError, ErrorKind};
 pub use eval::{ConfusionMatrix, EvalOutcome, PrecisionRecall};

@@ -62,22 +62,6 @@ impl InvarNetX {
         }
     }
 
-    /// Overrides the worker count of the pairwise association sweep.
-    #[deprecated(
-        note = "assemble the engine with Engine::builder().threads(n) and wrap it with InvarNetX::from_engine"
-    )]
-    pub fn set_threads(&mut self, threads: usize) {
-        self.engine.set_threads_internal(threads);
-    }
-
-    /// Attaches a [`crate::Telemetry`] hub to the underlying engine.
-    #[deprecated(
-        note = "assemble the engine with Engine::builder().telemetry(&hub) and wrap it with InvarNetX::from_engine"
-    )]
-    pub fn attach_telemetry(&mut self, telemetry: &Arc<crate::Telemetry>) {
-        self.engine.attach_telemetry_internal(telemetry);
-    }
-
     /// The configuration.
     pub fn config(&self) -> &InvarNetConfig {
         self.engine.config()

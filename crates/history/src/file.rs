@@ -1,0 +1,407 @@
+//! The file-backed segment format: `IXHIST01`.
+//!
+//! A saved store is one little-endian binary file:
+//!
+//! ```text
+//! magic            8 bytes  b"IXHIST01"
+//! labels           u32 count, then per label: u32 byte-length + UTF-8
+//! context logs     u32 count, then per log:
+//!   context        u32 dense id
+//!   rows           u64
+//!   run starts     u32 count + u64 each
+//!   columns        rows × u64 ticks, rows × f64 cpi, rows × f64 residual,
+//!                  rows × u8 exceeded, then METRIC_COUNT × rows f64
+//!                  metric-major metric columns
+//! events           u32 count, then per event: u32 byte-length + the
+//!                  pinned JSON wire form from `ix-core`
+//! sweeps           u32 count, length-prefixed JSON records
+//! diagnoses        u32 count, length-prefixed JSON records
+//! ```
+//!
+//! Floating-point columns are raw IEEE-754 bits, so a load reproduces the
+//! saved values bit-exactly. The JSON sections ride on the wire encodings
+//! pinned by tests in `ix-core` — a wire break fails there first.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use ix_core::EngineEvent;
+use ix_metrics::METRIC_COUNT;
+
+use crate::store::{ContextLog, DiagnosisRecord, HistoryStore, Inner, SweepRecord};
+
+/// Leading magic of every history file (format name + version).
+const MAGIC: &[u8; 8] = b"IXHIST01";
+
+/// Why a history file failed to load.
+#[derive(Debug)]
+pub enum HistoryFileError {
+    /// The underlying read or write failed.
+    Io(std::io::Error),
+    /// The bytes are not a well-formed `IXHIST01` file.
+    Format(String),
+}
+
+impl fmt::Display for HistoryFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryFileError::Io(e) => write!(f, "history file I/O: {e}"),
+            HistoryFileError::Format(msg) => write!(f, "malformed history file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HistoryFileError {}
+
+impl From<std::io::Error> for HistoryFileError {
+    fn from(e: std::io::Error) -> Self {
+        HistoryFileError::Io(e)
+    }
+}
+
+/// Sequential little-endian writer over a growable buffer.
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64s(&mut self, vs: &[f64]) {
+        for v in vs {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Sequential little-endian reader with bounds-checked cursor.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], HistoryFileError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| HistoryFileError::Format(format!("truncated at byte {}", self.at)))?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, HistoryFileError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, HistoryFileError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, HistoryFileError> {
+        let raw = self.take(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], HistoryFileError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn json<T: serde::Deserialize>(&mut self) -> Result<T, HistoryFileError> {
+        let raw = self.bytes()?;
+        let text = std::str::from_utf8(raw)
+            .map_err(|e| HistoryFileError::Format(format!("non-UTF-8 JSON record: {e}")))?;
+        serde_json::from_str(text).map_err(|e| HistoryFileError::Format(format!("bad record: {e}")))
+    }
+}
+
+fn json_section<T: serde::Serialize>(w: &mut Writer, records: &[T]) {
+    w.u32(records.len() as u32);
+    for record in records {
+        let text = serde_json::to_string(record).expect("wire forms always serialize");
+        w.bytes(text.as_bytes());
+    }
+}
+
+impl HistoryStore {
+    /// Serializes the store into the `IXHIST01` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.with_inner(|inner| {
+            let mut w = Writer::default();
+            w.buf.extend_from_slice(MAGIC);
+            // Labels: prefer the bound registry's current table so saved
+            // files resolve ids without the live engine.
+            let labels = match &inner.registry {
+                Some(registry) => registry.labels(),
+                None => inner.labels.clone(),
+            };
+            w.u32(labels.len() as u32);
+            for label in &labels {
+                w.bytes(label.as_bytes());
+            }
+            let logs: Vec<(usize, &ContextLog)> = inner
+                .logs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, log)| log.as_ref().map(|log| (i, log)))
+                .collect();
+            w.u32(logs.len() as u32);
+            for (ctx, log) in logs {
+                w.u32(ctx as u32);
+                w.u64(log.rows as u64);
+                w.u32(log.run_starts.len() as u32);
+                for &start in &log.run_starts {
+                    w.u64(start as u64);
+                }
+                for seg in &log.segments {
+                    for &t in seg.ticks() {
+                        w.u64(t);
+                    }
+                }
+                for seg in &log.segments {
+                    w.f64s(seg.cpi());
+                }
+                for seg in &log.segments {
+                    w.f64s(seg.residual());
+                }
+                for seg in &log.segments {
+                    w.buf.extend(seg.exceeded().iter().map(|&b| u8::from(b)));
+                }
+                for m in 0..METRIC_COUNT {
+                    for seg in &log.segments {
+                        w.f64s(seg.column(m));
+                    }
+                }
+            }
+            json_section(&mut w, &inner.events);
+            json_section(&mut w, &inner.sweeps);
+            json_section(&mut w, &inner.diagnoses);
+            w.buf
+        })
+    }
+
+    /// Reconstructs a store from `IXHIST01` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`HistoryFileError::Format`] on a bad magic, truncation, or a JSON
+    /// record that no longer parses.
+    pub fn from_bytes(bytes: &[u8]) -> Result<HistoryStore, HistoryFileError> {
+        let mut r = Reader { buf: bytes, at: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err(HistoryFileError::Format(
+                "missing IXHIST01 magic".to_string(),
+            ));
+        }
+        let mut inner = Inner::default();
+        let label_count = r.u32()? as usize;
+        for _ in 0..label_count {
+            let raw = r.bytes()?;
+            let label = std::str::from_utf8(raw)
+                .map_err(|e| HistoryFileError::Format(format!("non-UTF-8 label: {e}")))?;
+            inner.labels.push(label.to_string());
+        }
+        let log_count = r.u32()? as usize;
+        for _ in 0..log_count {
+            let ctx = r.u32()? as usize;
+            let rows = usize::try_from(r.u64()?)
+                .map_err(|_| HistoryFileError::Format("row count overflow".to_string()))?;
+            let run_count = r.u32()? as usize;
+            let mut run_starts = Vec::with_capacity(run_count);
+            for _ in 0..run_count {
+                run_starts.push(
+                    usize::try_from(r.u64()?)
+                        .map_err(|_| HistoryFileError::Format("run start overflow".to_string()))?,
+                );
+            }
+            if run_starts.first() != Some(&0) {
+                return Err(HistoryFileError::Format(
+                    "run starts must begin at row 0".to_string(),
+                ));
+            }
+            let mut ticks = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                ticks.push(r.u64()?);
+            }
+            let cpi = r.f64s(rows)?;
+            let residual = r.f64s(rows)?;
+            let exceeded: Vec<bool> = r.take(rows)?.iter().map(|&b| b != 0).collect();
+            let mut columns = Vec::with_capacity(METRIC_COUNT);
+            for _ in 0..METRIC_COUNT {
+                columns.push(r.f64s(rows)?);
+            }
+            let mut log = ContextLog {
+                segments: Vec::new(),
+                rows: 0,
+                run_starts,
+            };
+            let mut row = vec![0.0; METRIC_COUNT];
+            for i in 0..rows {
+                for (m, slot) in row.iter_mut().enumerate() {
+                    *slot = columns[m][i];
+                }
+                log.push(ticks[i], cpi[i], residual[i], exceeded[i], &row);
+            }
+            let idx = ctx;
+            if inner.logs.len() <= idx {
+                inner.logs.resize_with(idx + 1, || None);
+            }
+            inner.logs[idx] = Some(log);
+        }
+        let event_count = r.u32()? as usize;
+        for _ in 0..event_count {
+            inner.events.push(r.json::<EngineEvent>()?);
+        }
+        let sweep_count = r.u32()? as usize;
+        for _ in 0..sweep_count {
+            inner.sweeps.push(r.json::<SweepRecord>()?);
+        }
+        let diagnosis_count = r.u32()? as usize;
+        for _ in 0..diagnosis_count {
+            inner.diagnoses.push(r.json::<DiagnosisRecord>()?);
+        }
+        if r.at != bytes.len() {
+            return Err(HistoryFileError::Format(format!(
+                "{} trailing bytes",
+                bytes.len() - r.at
+            )));
+        }
+        Ok(HistoryStore::from_inner(inner))
+    }
+
+    /// Saves the store to `path` in the `IXHIST01` format.
+    ///
+    /// # Errors
+    ///
+    /// [`HistoryFileError::Io`] when the write fails.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), HistoryFileError> {
+        fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a store saved with [`HistoryStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`HistoryFileError::Io`] when the read fails,
+    /// [`HistoryFileError::Format`] when the bytes are malformed.
+    pub fn load(path: impl AsRef<Path>) -> Result<HistoryStore, HistoryFileError> {
+        let bytes = fs::read(path)?;
+        HistoryStore::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::{ContextId, Diagnosis, HistoryRecorder, RankedCause, ViolationTuple};
+    use ix_metrics::MetricId;
+
+    fn sample_store() -> HistoryStore {
+        let store = HistoryStore::new();
+        let ctx = ContextId::from_index(0);
+        for t in 0..600u64 {
+            let row: Vec<f64> = (0..METRIC_COUNT)
+                .map(|m| (t as f64).mul_add(0.25, m as f64) + 0.125)
+                .collect();
+            store.record_tick(ctx, t, 1.5 + t as f64, 0.0625 * t as f64, t % 7 == 0, &row);
+            if t == 199 {
+                store.record_run_reset(ctx);
+            }
+        }
+        store.record_event(&EngineEvent::DetectionFired {
+            context: ctx,
+            tick: 42,
+        });
+        store.record_sweep(ctx, 42, &[0.5, 0.25, 0.125], None);
+        store.record_diagnosis(
+            ctx,
+            42,
+            &Diagnosis {
+                ranked: vec![RankedCause {
+                    problem: "disk hog".to_string(),
+                    similarity: 0.875,
+                }],
+                tuple: ViolationTuple::from_graded(vec![0.0, 0.5, 1.0]),
+                degradation: None,
+            },
+        );
+        store
+    }
+
+    #[test]
+    fn bytes_round_trip_bit_exactly() {
+        let store = sample_store();
+        let bytes = store.to_bytes();
+        let loaded = HistoryStore::from_bytes(&bytes).expect("well-formed");
+        let ctx = ContextId::from_index(0);
+        assert_eq!(loaded.rows(ctx), 600);
+        assert_eq!(loaded.run_count(ctx), 2);
+        assert_eq!(loaded.run_rows(ctx, 0), Some(0..200));
+        assert_eq!(
+            store.frame(ctx, 0..600).expect("frame"),
+            loaded.frame(ctx, 0..600).expect("frame")
+        );
+        assert_eq!(
+            store.series(ctx, MetricId::ALL[13], 100..550),
+            loaded.series(ctx, MetricId::ALL[13], 100..550)
+        );
+        assert_eq!(
+            store.cpi_series(ctx, 0..600),
+            loaded.cpi_series(ctx, 0..600)
+        );
+        assert_eq!(store.events(), loaded.events());
+        assert_eq!(store.sweeps(), loaded.sweeps());
+        assert_eq!(store.diagnoses(), loaded.diagnoses());
+        // Serialization is canonical: a save of the load reproduces the
+        // original bytes.
+        assert_eq!(loaded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let store = sample_store();
+        let path = std::env::temp_dir().join("ix-history-file-test.ixh");
+        store.save(&path).expect("save");
+        let loaded = HistoryStore::load(&path).expect("load");
+        assert_eq!(loaded.to_bytes(), store.to_bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            HistoryStore::from_bytes(b"not a history file"),
+            Err(HistoryFileError::Format(_))
+        ));
+        let mut bytes = sample_store().to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(HistoryStore::from_bytes(&bytes).is_err());
+        bytes = sample_store().to_bytes();
+        bytes.push(0);
+        assert!(HistoryStore::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! `ix-history`: the columnar history store behind InvarNet-X's RCA
+//! query layer.
+//!
+//! The engine (`ix-core`) diagnoses one anomaly at a time and then forgets
+//! it: the sliding window rolls on, the next sweep overwrites the last.
+//! This crate is the engine's memory. A [`HistoryStore`] attached with
+//! `Engine::builder().history(...)` receives the whole stream first-hand —
+//! every accepted tick row, every [`ix_core::EngineEvent`], every sweep's
+//! association scores and every finished diagnosis — and lays it out for
+//! later interrogation:
+//!
+//! - **Tick columns** ([`TickSegment`]): per-context, append-only columnar
+//!   segments — lifetime tick labels, the CPI sample, the detector
+//!   residual/verdict, and the 26-wide metric row stored metric-major so a
+//!   single metric's series over thousands of ticks is one contiguous
+//!   `memcpy`-shaped scan.
+//! - **The event log**: the exact [`ix_core::EngineEvent`] stream the
+//!   engine's sink saw (the recorder is teed *behind* the sink), persisted
+//!   through the pinned wire form in `ix-core`.
+//! - **Sweep and diagnosis records** ([`SweepRecord`],
+//!   [`DiagnosisRecord`]): the flat association-score triangle with its
+//!   degradation tier, and the ranked [`ix_core::Diagnosis`], both stamped
+//!   with the lifetime tick that produced them.
+//!
+//! Scans come in two shapes: *row ranges* ([`HistoryStore::frame`],
+//! [`HistoryStore::series`]) and *time windows* over lifetime ticks
+//! ([`HistoryStore::frame_for_ticks`], [`HistoryStore::rows_for_ticks`]).
+//! Run boundaries are first-class ([`HistoryStore::run_count`],
+//! [`HistoryStore::run_rows`]) because the engine's own diagnosis windows
+//! never cross them.
+//!
+//! The store doubles as the engine's window server: its
+//! `HistoryRecorder::window_frame` impl reconstructs the last
+//! `window_ticks` rows of the current run bit-exactly, so a
+//! recorder-attached engine diagnoses *from history* and still produces
+//! output identical to a recorder-free twin.
+//!
+//! Stores round-trip through a little-endian binary segment file
+//! ([`HistoryStore::save`] / [`HistoryStore::load`]); columns are written
+//! as raw IEEE-754 bits, so saved values reload bit-exactly too.
+
+#![warn(missing_docs)]
+
+mod file;
+mod segment;
+mod store;
+
+pub use file::HistoryFileError;
+pub use segment::{TickSegment, SEGMENT_CAPACITY};
+pub use store::{DiagnosisRecord, HistoryStore, SweepRecord};

@@ -1,0 +1,187 @@
+//! Columnar tick segments: the storage unit of a context's history.
+
+use ix_metrics::METRIC_COUNT;
+
+/// Rows per [`TickSegment`]. Small enough that a partially-filled tail
+/// segment wastes little, large enough that column scans amortize the
+/// per-segment bookkeeping.
+pub const SEGMENT_CAPACITY: usize = 512;
+
+/// A fixed-capacity columnar block of consecutive ticks for one context.
+///
+/// Scalar columns (`ticks`, `cpi`, `residual`, `exceeded`) are plain
+/// vectors; the 26 metric columns live in one preallocated metric-major
+/// buffer, so [`TickSegment::column`] is a contiguous slice — the layout
+/// the query layer's series scans and the file format both read directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickSegment {
+    cap: usize,
+    /// Lifetime tick labels, strictly increasing within a segment.
+    ticks: Vec<u64>,
+    /// The CPI sample fed to the detector at each row.
+    cpi: Vec<f64>,
+    /// The detector residual at each row.
+    residual: Vec<f64>,
+    /// Whether the residual exceeded the detector threshold.
+    exceeded: Vec<bool>,
+    /// Metric-major storage: metric `m`'s column occupies
+    /// `metrics[m * cap .. m * cap + len()]`.
+    metrics: Vec<f64>,
+}
+
+impl TickSegment {
+    /// An empty segment with the default [`SEGMENT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(SEGMENT_CAPACITY)
+    }
+
+    /// An empty segment holding up to `cap` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap == 0`.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "tick segment needs a non-zero capacity");
+        TickSegment {
+            cap,
+            ticks: Vec::with_capacity(cap),
+            cpi: Vec::with_capacity(cap),
+            residual: Vec::with_capacity(cap),
+            exceeded: Vec::with_capacity(cap),
+            metrics: vec![0.0; cap * METRIC_COUNT],
+        }
+    }
+
+    /// Rows stored so far.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// Whether the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// Whether the segment has reached its capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.cap
+    }
+
+    /// Maximum rows this segment can hold.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the segment is full or `row` is not `METRIC_COUNT`
+    /// wide — both are recorder-side invariants, not data errors.
+    pub fn push(&mut self, tick: u64, cpi: f64, residual: f64, exceeded: bool, row: &[f64]) {
+        assert!(!self.is_full(), "push into a full tick segment");
+        assert_eq!(row.len(), METRIC_COUNT, "metric row width");
+        let at = self.len();
+        self.ticks.push(tick);
+        self.cpi.push(cpi);
+        self.residual.push(residual);
+        self.exceeded.push(exceeded);
+        for (m, &v) in row.iter().enumerate() {
+            self.metrics[m * self.cap + at] = v;
+        }
+    }
+
+    /// The stored lifetime tick labels.
+    pub fn ticks(&self) -> &[u64] {
+        &self.ticks
+    }
+
+    /// The CPI column.
+    pub fn cpi(&self) -> &[f64] {
+        &self.cpi
+    }
+
+    /// The detector-residual column.
+    pub fn residual(&self) -> &[f64] {
+        &self.residual
+    }
+
+    /// The threshold-exceeded column.
+    pub fn exceeded(&self) -> &[bool] {
+        &self.exceeded
+    }
+
+    /// Metric `m`'s column as one contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m >= METRIC_COUNT`.
+    pub fn column(&self, m: usize) -> &[f64] {
+        assert!(m < METRIC_COUNT, "metric index {m} out of range");
+        &self.metrics[m * self.cap..m * self.cap + self.len()]
+    }
+
+    /// Copies row `i` (ordered per `MetricId::ALL`) into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()` or `out` is not `METRIC_COUNT` wide.
+    pub fn copy_row(&self, i: usize, out: &mut [f64]) {
+        assert!(i < self.len(), "row {i} out of range");
+        assert_eq!(out.len(), METRIC_COUNT, "output row width");
+        for (m, slot) in out.iter_mut().enumerate() {
+            *slot = self.metrics[m * self.cap + i];
+        }
+    }
+}
+
+impl Default for TickSegment {
+    fn default() -> Self {
+        TickSegment::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(base: f64) -> Vec<f64> {
+        (0..METRIC_COUNT).map(|m| base + m as f64).collect()
+    }
+
+    #[test]
+    fn columnar_layout_round_trips_rows() {
+        let mut seg = TickSegment::with_capacity(4);
+        assert!(seg.is_empty());
+        for t in 0..3u64 {
+            seg.push(t, 1.0 + t as f64, 0.1, t == 2, &row(t as f64 * 100.0));
+        }
+        assert_eq!(seg.len(), 3);
+        assert!(!seg.is_full());
+        assert_eq!(seg.ticks(), &[0, 1, 2]);
+        assert_eq!(seg.cpi(), &[1.0, 2.0, 3.0]);
+        assert_eq!(seg.exceeded(), &[false, false, true]);
+        // Column 5 holds metric 5 across rows.
+        assert_eq!(seg.column(5), &[5.0, 105.0, 205.0]);
+        let mut out = vec![0.0; METRIC_COUNT];
+        seg.copy_row(1, &mut out);
+        assert_eq!(out, row(100.0));
+    }
+
+    #[test]
+    fn fills_to_capacity() {
+        let mut seg = TickSegment::with_capacity(2);
+        seg.push(0, 0.0, 0.0, false, &row(0.0));
+        seg.push(1, 0.0, 0.0, false, &row(1.0));
+        assert!(seg.is_full());
+        assert_eq!(seg.column(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full tick segment")]
+    fn push_past_capacity_panics() {
+        let mut seg = TickSegment::with_capacity(1);
+        seg.push(0, 0.0, 0.0, false, &row(0.0));
+        seg.push(1, 0.0, 0.0, false, &row(1.0));
+    }
+}

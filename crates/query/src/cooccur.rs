@@ -1,0 +1,129 @@
+//! Violation co-occurrence across recorded diagnoses.
+
+use ix_core::{Engine, OperationContext};
+use ix_history::HistoryStore;
+
+use crate::error::QueryError;
+use crate::plan::{QueryPlan, ScanStep};
+use crate::resolve_context;
+
+/// Two invariant indices violated together, with how often.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CooccurrencePair {
+    /// The smaller invariant index.
+    pub a: usize,
+    /// The larger invariant index.
+    pub b: usize,
+    /// Diagnoses in which both were violated.
+    pub count: usize,
+}
+
+/// The result of a co-occurrence query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CooccurrenceReport {
+    /// Diagnoses scanned.
+    pub diagnoses: usize,
+    /// Largest violation-tuple length observed (invariant count).
+    pub invariants: usize,
+    /// Co-violated pairs, most frequent first (ties break on indices).
+    pub pairs: Vec<CooccurrencePair>,
+}
+
+/// A co-occurrence query: which invariants are violated *together*
+/// across the recorded diagnoses — over every run in history, not just
+/// the latest one.
+#[derive(Clone)]
+pub struct Cooccurrence<'a> {
+    engine: &'a Engine,
+    history: &'a HistoryStore,
+    context: Option<OperationContext>,
+    min_count: usize,
+}
+
+impl<'a> Cooccurrence<'a> {
+    pub(crate) fn new(engine: &'a Engine, history: &'a HistoryStore) -> Self {
+        Cooccurrence {
+            engine,
+            history,
+            context: None,
+            min_count: 1,
+        }
+    }
+
+    /// Restricts the scan to one context's diagnoses.
+    pub fn for_context(mut self, context: &OperationContext) -> Self {
+        self.context = Some(context.clone());
+        self
+    }
+
+    /// Drops pairs co-violated fewer than `min_count` times (default 1).
+    pub fn min_count(mut self, min_count: usize) -> Self {
+        self.min_count = min_count;
+        self
+    }
+
+    /// The compiled plan.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownContext`] when a context filter names a
+    /// context with no history.
+    pub fn plan(&self) -> Result<QueryPlan, QueryError> {
+        let context = match &self.context {
+            Some(ctx) => Some(resolve_context(self.engine, self.history, ctx)?),
+            None => None,
+        };
+        Ok(QueryPlan {
+            steps: vec![
+                ScanStep::ScanDiagnoses { context },
+                ScanStep::CountCooccurrence,
+            ],
+        })
+    }
+
+    /// Executes the query: scans the diagnosis records and counts, for
+    /// each pair of invariant indices, the diagnoses violating both.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownContext`] when a context filter names a
+    /// context with no history.
+    pub fn compute(&self) -> Result<CooccurrenceReport, QueryError> {
+        let filter = match &self.context {
+            Some(ctx) => Some(resolve_context(self.engine, self.history, ctx)?),
+            None => None,
+        };
+        let records = match filter {
+            Some(id) => self.history.diagnoses_for(id),
+            None => self.history.diagnoses(),
+        };
+        let mut invariants = 0;
+        let mut counts: std::collections::BTreeMap<(usize, usize), usize> = Default::default();
+        for record in &records {
+            let binary = record.diagnosis.tuple.binary();
+            invariants = invariants.max(binary.len());
+            let violated: Vec<usize> = binary
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v)
+                .map(|(i, _)| i)
+                .collect();
+            for (i, &a) in violated.iter().enumerate() {
+                for &b in &violated[i + 1..] {
+                    *counts.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut pairs: Vec<CooccurrencePair> = counts
+            .into_iter()
+            .filter(|&(_, count)| count >= self.min_count)
+            .map(|((a, b), count)| CooccurrencePair { a, b, count })
+            .collect();
+        pairs.sort_by(|x, y| y.count.cmp(&x.count).then((x.a, x.b).cmp(&(y.a, y.b))));
+        Ok(CooccurrenceReport {
+            diagnoses: records.len(),
+            invariants,
+            pairs,
+        })
+    }
+}

@@ -1,0 +1,192 @@
+//! Counterfactual scoring: one metric pinned to baseline behavior.
+
+use std::ops::Range;
+
+use ix_core::{ContextId, CoreError, Engine, OperationContext, ViolationTuple};
+use ix_history::HistoryStore;
+use ix_metrics::{MetricFrame, MetricId};
+
+use crate::error::QueryError;
+use crate::plan::{QueryPlan, ScanStep};
+use crate::resolve_context;
+
+/// The answer to "would the violations survive if `pinned` had behaved?".
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterfactualReport {
+    /// The metric whose column was pinned to baseline values.
+    pub pinned: MetricId,
+    /// The tuple graded over the window as recorded.
+    pub factual: ViolationTuple,
+    /// The tuple graded after pinning.
+    pub counterfactual: ViolationTuple,
+    /// Invariant indices violated factually but not counterfactually —
+    /// the violations the pinned metric accounts for.
+    pub cleared: Vec<usize>,
+    /// Invariant indices violated only counterfactually (the substitution
+    /// broke an invariant the faulty metric happened to satisfy).
+    pub introduced: Vec<usize>,
+    /// `cleared / factual violations` — the fraction of the anomaly's
+    /// violations attributable to the pinned metric (0 when the factual
+    /// window had no violations).
+    pub attribution: f64,
+}
+
+/// A counterfactual query over the context's current-run window, with one
+/// metric's column replaced by values from a baseline (earlier) run.
+#[derive(Clone)]
+pub struct Counterfactual<'a> {
+    engine: &'a Engine,
+    history: &'a HistoryStore,
+    context: OperationContext,
+    pin: MetricId,
+    baseline_run: Option<usize>,
+}
+
+impl<'a> Counterfactual<'a> {
+    pub(crate) fn new(
+        engine: &'a Engine,
+        history: &'a HistoryStore,
+        context: OperationContext,
+        pin: MetricId,
+    ) -> Self {
+        Counterfactual {
+            engine,
+            history,
+            context,
+            pin,
+            baseline_run: None,
+        }
+    }
+
+    /// Selects an explicit baseline run (0-based; default is the run
+    /// before the current one).
+    pub fn baseline_run(mut self, run: usize) -> Self {
+        self.baseline_run = Some(run);
+        self
+    }
+
+    fn window_rows(&self, id: ContextId) -> Result<Range<usize>, QueryError> {
+        let runs = self.history.run_count(id);
+        let run = self
+            .history
+            .run_rows(id, runs.saturating_sub(1))
+            .ok_or_else(|| QueryError::UnknownContext(self.context.clone()))?;
+        let take = run.len().min(self.engine.config().window_ticks.max(1));
+        Ok(run.end - take..run.end)
+    }
+
+    /// The baseline rows serving the pinned column: the tail of the
+    /// baseline run, matched to the window length.
+    fn baseline_rows(&self, id: ContextId, window: usize) -> Result<Range<usize>, QueryError> {
+        let runs = self.history.run_count(id);
+        let run = match self.baseline_run {
+            Some(run) => run,
+            None => runs
+                .checked_sub(2)
+                .ok_or_else(|| QueryError::NoBaselineRun(self.context.clone()))?,
+        };
+        // The current run is not a baseline for itself.
+        if run + 1 >= runs {
+            return Err(QueryError::NoBaselineRun(self.context.clone()));
+        }
+        let rows = self
+            .history
+            .run_rows(id, run)
+            .ok_or_else(|| QueryError::NoBaselineRun(self.context.clone()))?;
+        if rows.len() < window {
+            return Err(QueryError::NoBaselineRun(self.context.clone()));
+        }
+        Ok(rows.end - window..rows.end)
+    }
+
+    /// The compiled plan.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Counterfactual::compute`], for the window/baseline
+    /// resolution steps.
+    pub fn plan(&self) -> Result<QueryPlan, QueryError> {
+        let id = resolve_context(self.engine, self.history, &self.context)?;
+        let window = self.window_rows(id)?;
+        let baseline = self.baseline_rows(id, window.len())?;
+        Ok(QueryPlan {
+            steps: vec![
+                ScanStep::RowRange {
+                    context: id,
+                    rows: window,
+                },
+                ScanStep::SeriesScan {
+                    context: id,
+                    metric: self.pin,
+                    rows: baseline,
+                },
+                ScanStep::Associate {
+                    pairs: ix_core::pair_count(),
+                },
+                ScanStep::Grade,
+                ScanStep::PinAndDiff { metric: self.pin },
+            ],
+        })
+    }
+
+    /// Executes the query: grades the factual window, re-grades it with
+    /// the pinned column substituted, and diffs the two tuples.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownContext`] / [`QueryError::EmptyWindow`] /
+    /// [`QueryError::NoBaselineRun`], or [`QueryError::Core`] when the
+    /// engine lacks invariants for the context.
+    pub fn compute(&self) -> Result<CounterfactualReport, QueryError> {
+        let id = resolve_context(self.engine, self.history, &self.context)?;
+        let window = self.window_rows(id)?;
+        if window.is_empty() {
+            return Err(QueryError::EmptyWindow(self.context.clone()));
+        }
+        let factual_frame = self
+            .history
+            .frame(id, window.clone())
+            .ok_or_else(|| QueryError::UnknownContext(self.context.clone()))?;
+        let baseline_rows = self.baseline_rows(id, window.len())?;
+        let baseline = self
+            .history
+            .series(id, self.pin, baseline_rows)
+            .ok_or_else(|| QueryError::NoBaselineRun(self.context.clone()))?;
+        let mut patched = MetricFrame::with_interval(factual_frame.interval_secs());
+        let mut row = vec![0.0; ix_metrics::METRIC_COUNT];
+        for (t, &pinned) in baseline.iter().enumerate().take(factual_frame.ticks()) {
+            row.copy_from_slice(factual_frame.tick(t));
+            row[self.pin.index()] = pinned;
+            patched
+                .push_tick(&row)
+                .expect("history rows and baselines are finite");
+        }
+        let invariants = self
+            .engine
+            .invariant_set(&self.context)
+            .ok_or_else(|| CoreError::NoInvariants(self.context.clone()))?;
+        let epsilon = self.engine.config().epsilon;
+        let factual_matrix = self.engine.association_matrix(&factual_frame)?;
+        let factual = ViolationTuple::build(&invariants, &factual_matrix, epsilon);
+        let patched_matrix = self.engine.association_matrix(&patched)?;
+        let counterfactual = ViolationTuple::build(&invariants, &patched_matrix, epsilon);
+        let was = factual.binary();
+        let now = counterfactual.binary();
+        let cleared: Vec<usize> = (0..was.len()).filter(|&k| was[k] && !now[k]).collect();
+        let introduced: Vec<usize> = (0..was.len()).filter(|&k| !was[k] && now[k]).collect();
+        let violations = factual.violation_count();
+        let attribution = if violations == 0 {
+            0.0
+        } else {
+            cleared.len() as f64 / violations as f64
+        };
+        Ok(CounterfactualReport {
+            pinned: self.pin,
+            factual,
+            counterfactual,
+            cleared,
+            introduced,
+            attribution,
+        })
+    }
+}

@@ -1,0 +1,58 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+use ix_core::{CoreError, OperationContext};
+
+/// Why a query could not produce an answer.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The context has no recorded history.
+    UnknownContext(OperationContext),
+    /// The selected window holds no rows.
+    EmptyWindow(OperationContext),
+    /// A counterfactual asked for a baseline run the history does not
+    /// hold (e.g. the context only ever recorded one run).
+    NoBaselineRun(OperationContext),
+    /// A replay asked for recorded sweep scores, but the context has no
+    /// recorded diagnosis.
+    NoRecordedDiagnosis(OperationContext),
+    /// The engine refused the underlying computation (missing invariants,
+    /// empty signature database, frame errors, ...).
+    Core(CoreError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownContext(ctx) => {
+                write!(f, "no recorded history for context {ctx}")
+            }
+            QueryError::EmptyWindow(ctx) => {
+                write!(f, "selected window holds no rows for context {ctx}")
+            }
+            QueryError::NoBaselineRun(ctx) => {
+                write!(f, "no baseline run recorded for context {ctx}")
+            }
+            QueryError::NoRecordedDiagnosis(ctx) => {
+                write!(f, "no recorded diagnosis for context {ctx}")
+            }
+            QueryError::Core(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for QueryError {
+    fn from(e: CoreError) -> Self {
+        QueryError::Core(e)
+    }
+}

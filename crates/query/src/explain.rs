@@ -1,0 +1,180 @@
+//! Ranked root-cause explanations over a recorded window.
+
+use std::ops::Range;
+
+use ix_core::{
+    AssociationMatrix, ContextId, CoreError, Diagnosis, Engine, OperationContext, RankedCause,
+    ViolationTuple,
+};
+use ix_history::HistoryStore;
+
+use crate::error::QueryError;
+use crate::plan::{QueryPlan, ScanStep};
+use crate::resolve_context;
+
+/// Which recorded rows the explanation ranks over.
+#[derive(Debug, Clone)]
+enum Window {
+    /// The tail of the current run — the engine's own diagnosis window.
+    CurrentRun,
+    /// An explicit lifetime-tick window.
+    Ticks(Range<u64>),
+    /// An explicit row range.
+    Rows(Range<usize>),
+    /// No recompute: rank from the latest recorded sweep scores.
+    Replay,
+}
+
+/// A ranked-explanations query: select a window, then [`Explanations::rank`].
+///
+/// The default window is [the current run's tail]; over a recorded fault
+/// run it reproduces the live engine's signature-match ranking bit-exactly
+/// (same frame values, same association scores, same tuple, same order).
+#[derive(Clone)]
+pub struct Explanations<'a> {
+    engine: &'a Engine,
+    history: &'a HistoryStore,
+    context: OperationContext,
+    window: Window,
+}
+
+impl<'a> Explanations<'a> {
+    pub(crate) fn new(
+        engine: &'a Engine,
+        history: &'a HistoryStore,
+        context: OperationContext,
+    ) -> Self {
+        Explanations {
+            engine,
+            history,
+            context,
+            window: Window::CurrentRun,
+        }
+    }
+
+    /// Ranks over the rows whose lifetime ticks fall in `ticks`.
+    pub fn ticks(mut self, ticks: Range<u64>) -> Self {
+        self.window = Window::Ticks(ticks);
+        self
+    }
+
+    /// Ranks over an explicit row range of the context's history.
+    pub fn rows(mut self, rows: Range<usize>) -> Self {
+        self.window = Window::Rows(rows);
+        self
+    }
+
+    /// Skips the association recompute entirely: ranks from the latest
+    /// recorded sweep's scores (and carries its degradation tier).
+    pub fn replay_recorded(mut self) -> Self {
+        self.window = Window::Replay;
+        self
+    }
+
+    fn current_run_rows(&self, id: ContextId) -> Result<Range<usize>, QueryError> {
+        let runs = self.history.run_count(id);
+        let run = self
+            .history
+            .run_rows(id, runs.saturating_sub(1))
+            .ok_or_else(|| QueryError::UnknownContext(self.context.clone()))?;
+        let take = run.len().min(self.engine.config().window_ticks.max(1));
+        Ok(run.end - take..run.end)
+    }
+
+    /// The compiled plan: which scans and computations [`Explanations::rank`]
+    /// will run.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownContext`] when the context has no history.
+    pub fn plan(&self) -> Result<QueryPlan, QueryError> {
+        let id = resolve_context(self.engine, self.history, &self.context)?;
+        let mut steps = Vec::new();
+        match &self.window {
+            Window::CurrentRun => steps.push(ScanStep::CurrentRunWindow {
+                context: id,
+                max_ticks: self.engine.config().window_ticks.max(1),
+            }),
+            Window::Ticks(ticks) => steps.push(ScanStep::TickWindow {
+                context: id,
+                ticks: ticks.clone(),
+            }),
+            Window::Rows(rows) => steps.push(ScanStep::RowRange {
+                context: id,
+                rows: rows.clone(),
+            }),
+            Window::Replay => steps.push(ScanStep::ReplaySweep { context: id }),
+        }
+        if !matches!(self.window, Window::Replay) {
+            steps.push(ScanStep::Associate {
+                pairs: ix_core::pair_count(),
+            });
+        }
+        steps.push(ScanStep::Grade);
+        steps.push(ScanStep::RankSignatures);
+        Ok(QueryPlan { steps })
+    }
+
+    /// Executes the query: materializes the window, scores associations
+    /// (or replays recorded scores), grades against the context's
+    /// invariants and ranks against the signature database.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownContext`] / [`QueryError::EmptyWindow`] /
+    /// [`QueryError::NoRecordedDiagnosis`], or [`QueryError::Core`] when
+    /// the engine lacks invariants or signatures for the context.
+    pub fn rank(&self) -> Result<Diagnosis, QueryError> {
+        let id = resolve_context(self.engine, self.history, &self.context)?;
+        let (matrix, degradation) = match &self.window {
+            Window::Replay => {
+                let record = self
+                    .history
+                    .sweeps_for(id)
+                    .pop()
+                    .ok_or_else(|| QueryError::NoRecordedDiagnosis(self.context.clone()))?;
+                (
+                    AssociationMatrix::from_scores(record.scores),
+                    record.degradation,
+                )
+            }
+            window => {
+                let frame = match window {
+                    Window::CurrentRun => {
+                        let rows = self.current_run_rows(id)?;
+                        self.history.frame(id, rows)
+                    }
+                    Window::Ticks(ticks) => self.history.frame_for_ticks(id, ticks.clone()),
+                    Window::Rows(rows) => self.history.frame(id, rows.clone()),
+                    Window::Replay => unreachable!("matched above"),
+                }
+                .ok_or_else(|| QueryError::UnknownContext(self.context.clone()))?;
+                if frame.is_empty() {
+                    return Err(QueryError::EmptyWindow(self.context.clone()));
+                }
+                (self.engine.association_matrix(&frame)?, None)
+            }
+        };
+        let invariants = self
+            .engine
+            .invariant_set(&self.context)
+            .ok_or_else(|| CoreError::NoInvariants(self.context.clone()))?;
+        let tuple = ViolationTuple::build(&invariants, &matrix, self.engine.config().epsilon);
+        let ranked = self
+            .engine
+            .with_signature_database(|db| {
+                db.rank(&self.context, &tuple, self.engine.config().similarity)
+            })?
+            .into_iter()
+            .map(|(problem, similarity)| RankedCause {
+                problem,
+                similarity,
+            })
+            .collect();
+        Ok(Diagnosis {
+            ranked,
+            tuple,
+            degradation,
+        })
+    }
+}

@@ -1,0 +1,99 @@
+//! `ix-query`: declarative RCA queries over recorded engine history.
+//!
+//! Where the live engine answers "what is wrong *right now*", this crate
+//! answers questions about everything an attached `ix-history` store has
+//! seen. A [`Query`] borrows an [`ix_core::Engine`] (for the trained
+//! invariants, the signature database and the association measure) and a
+//! [`ix_history::HistoryStore`] (for the data), and offers three typed
+//! query families, each compiling to scans over the store:
+//!
+//! - [`Query::explanations`] — ranked root-cause explanations for a
+//!   context's window. The default window is the engine's own diagnosis
+//!   window (the tail of the current run), so a query over a recorded
+//!   fault run reproduces the live signature-match ranking bit-exactly;
+//!   [`Explanations::replay_recorded`] goes one step further and re-ranks
+//!   straight from the recorded sweep scores, with no recompute at all.
+//! - [`Query::cooccurrence`] — which invariant pairs are violated
+//!   *together* across the recorded diagnoses (across runs and, if asked,
+//!   across contexts): the repeat offenders that point at a shared cause.
+//! - [`Query::counterfactual`] — "would the violations survive if metric
+//!   M had behaved?": one metric's column is pinned to a baseline run's
+//!   values, the association sweep re-runs on the patched window, and the
+//!   report lists which violations clear, which appear, and the fraction
+//!   of the factual violations attributable to the pinned metric.
+//!
+//! Every query exposes [`QueryPlan`] via a `plan()` method — the exact
+//! sequence of history scans and engine computations it will run —
+//! so "what will this cost" is answerable before running it.
+
+#![warn(missing_docs)]
+
+mod cooccur;
+mod counterfactual;
+mod error;
+mod explain;
+mod plan;
+
+pub use cooccur::{Cooccurrence, CooccurrencePair, CooccurrenceReport};
+pub use counterfactual::{Counterfactual, CounterfactualReport};
+pub use error::QueryError;
+pub use explain::Explanations;
+pub use plan::{QueryPlan, ScanStep};
+
+use ix_core::{Engine, OperationContext};
+use ix_history::HistoryStore;
+use ix_metrics::MetricId;
+
+/// The entry point: a borrowed engine (trained state) plus a borrowed
+/// history store (recorded data).
+#[derive(Clone, Copy)]
+pub struct Query<'a> {
+    engine: &'a Engine,
+    history: &'a HistoryStore,
+}
+
+impl<'a> Query<'a> {
+    /// A query surface over `engine`'s trained state and `history`'s
+    /// recorded data. The store need not be the one attached to the
+    /// engine — a store loaded from disk works the same.
+    pub fn over(engine: &'a Engine, history: &'a HistoryStore) -> Self {
+        Query { engine, history }
+    }
+
+    /// Ranked root-cause explanations for `context`'s recorded window.
+    pub fn explanations(&self, context: &OperationContext) -> Explanations<'a> {
+        Explanations::new(self.engine, self.history, context.clone())
+    }
+
+    /// Violation co-occurrence across every recorded diagnosis.
+    pub fn cooccurrence(&self) -> Cooccurrence<'a> {
+        Cooccurrence::new(self.engine, self.history)
+    }
+
+    /// Counterfactual scoring: re-diagnose `context`'s window with `pin`'s
+    /// column replaced by baseline-run values.
+    pub fn counterfactual(&self, context: &OperationContext, pin: MetricId) -> Counterfactual<'a> {
+        Counterfactual::new(self.engine, self.history, context.clone(), pin)
+    }
+}
+
+/// Resolves a context to its history id: the engine's registry first, then
+/// a label scan over the store (covers stores loaded from disk next to a
+/// fresh engine).
+pub(crate) fn resolve_context(
+    engine: &Engine,
+    history: &HistoryStore,
+    context: &OperationContext,
+) -> Result<ix_core::ContextId, QueryError> {
+    if let Some(id) = engine.context_registry().lookup(context) {
+        if history.rows(id) > 0 {
+            return Ok(id);
+        }
+    }
+    let label = context.to_string();
+    history
+        .contexts()
+        .into_iter()
+        .find(|&id| history.label(id) == label)
+        .ok_or_else(|| QueryError::UnknownContext(context.clone()))
+}

@@ -1,0 +1,165 @@
+//! Query plans: the scans and computations a query will run.
+
+use std::fmt;
+use std::ops::Range;
+
+use ix_core::ContextId;
+use ix_metrics::MetricId;
+
+/// One step of a compiled query: either a scan over the history store or
+/// a computation on the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanStep {
+    /// Materialize a row range of a context's tick columns as a frame.
+    RowRange {
+        /// The context scanned.
+        context: ContextId,
+        /// Row indices (half-open).
+        rows: Range<usize>,
+    },
+    /// Materialize a lifetime-tick window of a context's tick columns.
+    TickWindow {
+        /// The context scanned.
+        context: ContextId,
+        /// Lifetime-tick bounds (half-open).
+        ticks: Range<u64>,
+    },
+    /// Materialize the tail of the context's current run — the engine's
+    /// own diagnosis window.
+    CurrentRunWindow {
+        /// The context scanned.
+        context: ContextId,
+        /// Maximum rows served (the engine's `window_ticks`).
+        max_ticks: usize,
+    },
+    /// Read recorded sweep scores instead of recomputing associations.
+    ReplaySweep {
+        /// The context whose latest recorded sweep is read.
+        context: ContextId,
+    },
+    /// Scan recorded diagnoses (all contexts when `context` is `None`).
+    ScanDiagnoses {
+        /// The context filter.
+        context: Option<ContextId>,
+    },
+    /// Read one metric's column over a row range (a columnar series scan).
+    SeriesScan {
+        /// The context scanned.
+        context: ContextId,
+        /// The metric column read.
+        metric: MetricId,
+        /// Row indices (half-open).
+        rows: Range<usize>,
+    },
+    /// Compute the pairwise association matrix of the materialized frame.
+    Associate {
+        /// Number of metric pairs scored.
+        pairs: usize,
+    },
+    /// Grade the association matrix against the context's invariants.
+    Grade,
+    /// Rank the violation tuple against the signature database.
+    RankSignatures,
+    /// Count pairwise co-violations across the scanned diagnoses.
+    CountCooccurrence,
+    /// Substitute the pinned metric's column and diff the two tuples.
+    PinAndDiff {
+        /// The pinned metric.
+        metric: MetricId,
+    },
+}
+
+impl fmt::Display for ScanStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanStep::RowRange { context, rows } => {
+                write!(
+                    f,
+                    "scan rows {}..{} of context {}",
+                    rows.start,
+                    rows.end,
+                    context.index()
+                )
+            }
+            ScanStep::TickWindow { context, ticks } => write!(
+                f,
+                "scan ticks {}..{} of context {}",
+                ticks.start,
+                ticks.end,
+                context.index()
+            ),
+            ScanStep::CurrentRunWindow { context, max_ticks } => write!(
+                f,
+                "scan last {} rows of context {}'s current run",
+                max_ticks,
+                context.index()
+            ),
+            ScanStep::ReplaySweep { context } => {
+                write!(f, "replay recorded sweep of context {}", context.index())
+            }
+            ScanStep::ScanDiagnoses { context: Some(ctx) } => {
+                write!(f, "scan diagnoses of context {}", ctx.index())
+            }
+            ScanStep::ScanDiagnoses { context: None } => write!(f, "scan all diagnoses"),
+            ScanStep::SeriesScan {
+                context,
+                metric,
+                rows,
+            } => write!(
+                f,
+                "scan {} rows {}..{} of context {}",
+                metric.name(),
+                rows.start,
+                rows.end,
+                context.index()
+            ),
+            ScanStep::Associate { pairs } => write!(f, "associate {pairs} metric pairs"),
+            ScanStep::Grade => write!(f, "grade against invariants"),
+            ScanStep::RankSignatures => write!(f, "rank against signature database"),
+            ScanStep::CountCooccurrence => write!(f, "count pairwise co-violations"),
+            ScanStep::PinAndDiff { metric } => {
+                write!(f, "pin {} to baseline and diff tuples", metric.name())
+            }
+        }
+    }
+}
+
+/// The compiled form of a query: an ordered list of [`ScanStep`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// The steps, in execution order.
+    pub steps: Vec<ScanStep>,
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "{}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_render_one_step_per_line() {
+        let plan = QueryPlan {
+            steps: vec![
+                ScanStep::CurrentRunWindow {
+                    context: ContextId::from_index(1),
+                    max_ticks: 45,
+                },
+                ScanStep::Associate { pairs: 325 },
+                ScanStep::Grade,
+                ScanStep::RankSignatures,
+            ],
+        };
+        let text = plan.to_string();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("1. scan last 45 rows of context 1's current run"));
+        assert!(text.contains("2. associate 325 metric pairs"));
+    }
+}

@@ -12,6 +12,10 @@
 //! - [`simulator`] — a Hadoop-cluster simulator substituting for the paper's
 //!   five-node testbed: workloads, latent-driver metric generation and
 //!   fifteen fault injectors.
+//! - [`history`] — the columnar engine history: tick columns, the event
+//!   log, sweep/diagnosis records, and the `IXHIST01` segment file format.
+//! - [`query`] — declarative RCA queries over recorded history: ranked
+//!   explanations, violation co-occurrence, counterfactual scoring.
 //! - [`metrics`] — the 26-metric collectl-style catalog and sample frames.
 //! - [`arima`], [`mic`], [`arx`], [`timeseries`], [`linalg`] — the
 //!   statistical substrates, all implemented from scratch.
@@ -28,8 +32,10 @@
 pub use ix_arima as arima;
 pub use ix_arx as arx;
 pub use ix_core as core;
+pub use ix_history as history;
 pub use ix_linalg as linalg;
 pub use ix_metrics as metrics;
 pub use ix_mic as mic;
+pub use ix_query as query;
 pub use ix_simulator as simulator;
 pub use ix_timeseries as timeseries;

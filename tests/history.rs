@@ -1,0 +1,255 @@
+//! History-backed diagnosis parity: attaching an `ix-history` recorder
+//! must not change what the engine computes — only record it.
+//!
+//! Two identically trained engines stream the same simulated fault run;
+//! one records into a [`HistoryStore`], the other runs bare. Every
+//! per-tick outcome, every diagnosis and every event (modulo wall-clock
+//! timing fields) must be bit-identical, and `ix-query` explanations
+//! over the recording must reproduce the live ranking bit-exactly.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use invarnet_x::core::{
+    AssociationMatrix, Engine, EngineEvent, EventSink, HistoryRecorder, InvarNetConfig,
+    OperationContext,
+};
+use invarnet_x::history::HistoryStore;
+use invarnet_x::query::Query;
+use invarnet_x::simulator::{FaultType, RunResult, Runner, WorkloadType};
+
+/// An [`EventSink`] that keeps every event, so the bare twin's stream can
+/// be compared against what the recorder captured.
+#[derive(Default)]
+struct VecSink(Mutex<Vec<EngineEvent>>);
+
+impl EventSink for VecSink {
+    fn record(&self, event: &EngineEvent) {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(*event);
+    }
+}
+
+impl VecSink {
+    fn events(&self) -> Vec<EngineEvent> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// Zeroes the wall-clock fields so two otherwise-identical event streams
+/// compare equal, and drops the events whose multiplicity or order depends
+/// on worker-pool scheduling rather than on what was computed.
+fn normalize(events: &[EngineEvent]) -> Vec<EngineEvent> {
+    events
+        .iter()
+        .filter(|e| {
+            !matches!(
+                e,
+                EngineEvent::PairsScored { .. } | EngineEvent::SpanClosed { .. }
+            )
+        })
+        .map(|e| match *e {
+            EngineEvent::TickIngested {
+                context,
+                tick,
+                residual,
+                exceeded,
+                ..
+            } => EngineEvent::TickIngested {
+                context,
+                tick,
+                residual,
+                exceeded,
+                micros: 0,
+            },
+            EngineEvent::DiagnosisRan { context, tick, .. } => EngineEvent::DiagnosisRan {
+                context,
+                tick,
+                micros: 0,
+            },
+            EngineEvent::SweepCompleted { context, pairs, .. } => EngineEvent::SweepCompleted {
+                context,
+                pairs,
+                micros: 0,
+            },
+            other => other,
+        })
+        .collect()
+}
+
+/// One identically trained engine per call: deterministic simulator data,
+/// wired through the caller's builder customization.
+fn trained_engine(
+    wire: impl FnOnce(invarnet_x::core::EngineBuilder) -> invarnet_x::core::EngineBuilder,
+) -> (Engine, OperationContext, RunResult) {
+    let runner = Runner::new(11);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let workload = WorkloadType::Wordcount;
+    let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+    let engine = wire(Engine::builder().config(InvarNetConfig::default())).build();
+
+    let normals = runner.normal_runs(workload, 4);
+    let cpi_traces: Vec<Vec<f64>> = normals
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+    engine
+        .train_performance_model(context.clone(), &cpi_traces)
+        .expect("train detector");
+    let frames: Vec<_> = normals
+        .iter()
+        .map(|r| {
+            let f = &r.per_node[node].frame;
+            f.window(30..75.min(f.ticks()))
+        })
+        .collect();
+    engine
+        .build_invariants(context.clone(), &frames)
+        .expect("build invariants");
+    for fault in [FaultType::CpuHog, FaultType::MemHog, FaultType::DiskHog] {
+        let run = runner.fault_run(workload, fault, 0);
+        engine
+            .record_signature(&context, fault.name(), &run.fault_window().expect("window"))
+            .expect("record signature");
+    }
+    let live = runner.fault_run(workload, FaultType::MemHog, 5);
+    (engine, context, live)
+}
+
+/// Per-tick outcome fields that must match between the twins.
+type Outcome = (usize, f64, bool, bool, Option<invarnet_x::core::Diagnosis>);
+
+fn stream(engine: &Engine, context: &OperationContext, run: &RunResult) -> Vec<Outcome> {
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let cpi = run.per_node[node].cpi.cpi_series();
+    let frame = &run.per_node[node].frame;
+    engine.reset_run(context);
+    (0..frame.ticks().min(cpi.len()))
+        .map(|t| {
+            let out = engine
+                .ingest(context, cpi[t], frame.tick(t))
+                .expect("ingest tick");
+            (
+                out.tick,
+                out.residual,
+                out.exceeded,
+                out.anomalous,
+                out.diagnosis,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn recorder_attached_engine_is_bit_identical() {
+    let (bare, context, run) = trained_engine(|b| b);
+    let store = HistoryStore::shared();
+    let (recorded, context2, run2) = trained_engine(|b| b.history(store.clone()));
+    assert_eq!(context, context2);
+    assert!(!bare.has_history());
+    assert!(recorded.has_history());
+
+    let bare_outcomes = stream(&bare, &context, &run);
+    let recorded_outcomes = stream(&recorded, &context2, &run2);
+    assert_eq!(
+        bare_outcomes, recorded_outcomes,
+        "every tick outcome — residuals, flags and full diagnoses — must \
+         be bit-identical with a recorder attached"
+    );
+
+    // The recording itself holds exactly the diagnoses the live run saw.
+    let id = recorded
+        .context_registry()
+        .lookup(&context)
+        .expect("interned");
+    let live_diagnoses: Vec<_> = recorded_outcomes
+        .iter()
+        .filter_map(|(_, _, _, _, d)| d.clone())
+        .collect();
+    let stored: Vec<_> = store
+        .diagnoses_for(id)
+        .into_iter()
+        .map(|r| r.diagnosis)
+        .collect();
+    assert!(!stored.is_empty(), "the fault run must diagnose");
+    assert_eq!(stored, live_diagnoses);
+    assert_eq!(store.sweeps_for(id).len(), stored.len());
+}
+
+#[test]
+fn recorded_events_match_a_bare_engine_modulo_timing() {
+    let sink = Arc::new(VecSink::default());
+    let (bare, context, run) = trained_engine(|b| b.event_sink(sink.clone() as Arc<dyn EventSink>));
+    let store = HistoryStore::shared();
+    let (recorded, _, run2) = trained_engine(|b| b.history(store.clone()));
+
+    stream(&bare, &context, &run);
+    stream(&recorded, &context, &run2);
+    assert_eq!(
+        normalize(&sink.events()),
+        normalize(&store.events()),
+        "the recorder must capture the same event stream a plain sink sees"
+    );
+}
+
+#[test]
+fn query_explanations_reproduce_the_live_ranking() {
+    let store = HistoryStore::shared();
+    let (engine, context, run) = trained_engine(|b| b.history(store.clone()));
+
+    // Stop at the diagnosis tick so the recorded current-run window is
+    // exactly the window the live diagnosis ranked over.
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let cpi = run.per_node[node].cpi.cpi_series();
+    let frame = &run.per_node[node].frame;
+    engine.reset_run(&context);
+    let mut live = None;
+    for (t, &sample) in cpi.iter().enumerate().take(frame.ticks()) {
+        let out = engine
+            .ingest(&context, sample, frame.tick(t))
+            .expect("ingest tick");
+        if let Some(d) = out.diagnosis {
+            live = Some(d);
+            break;
+        }
+    }
+    let live = live.expect("the fault run must diagnose");
+
+    let query = Query::over(&engine, &store);
+    let recomputed = query
+        .explanations(&context)
+        .rank()
+        .expect("rank from the recorded window");
+    assert_eq!(
+        recomputed, live,
+        "recomputing from history must reproduce the live ranking bit-exactly"
+    );
+
+    let replayed = query
+        .explanations(&context)
+        .replay_recorded()
+        .rank()
+        .expect("rank from recorded sweep scores");
+    assert_eq!(replayed.ranked, live.ranked);
+    assert_eq!(replayed.tuple, live.tuple);
+
+    // The recorded sweep scores are the association matrix of the
+    // history-served window — recomputing the sweep over that window
+    // lands on identical scores.
+    let id = engine
+        .context_registry()
+        .lookup(&context)
+        .expect("interned");
+    let record = store.sweeps_for(id).pop().expect("sweep recorded");
+    let window = store
+        .window_frame(id, engine.config().window_ticks)
+        .expect("window served from history");
+    let resweep = engine
+        .association_matrix(&window)
+        .expect("sweep the recorded window");
+    assert_eq!(AssociationMatrix::from_scores(record.scores), resweep);
+}

@@ -399,8 +399,7 @@ fn zero_capacity_config_disables_the_sweep_cache() {
 #[test]
 fn null_sink_engine_still_works() {
     // The default engine (NullSink) runs the same pipeline with no
-    // telemetry attached. (Late attachment through the deprecated setter
-    // is covered by tests/deprecated_api.rs.)
+    // telemetry attached.
     let engine = Engine::builder()
         .config(InvarNetConfig {
             min_frame_ticks: 5,
