@@ -36,11 +36,21 @@ pub struct TickOutcome {
 
 /// Work the ingest path defers until after the shard lock is released.
 struct DeferredDiagnosis {
-    /// The abnormal window. `None` when a history recorder is attached —
-    /// the frame is then read back from history after the lock drops,
-    /// instead of being copied out of engine state.
-    frame: Option<MetricFrame>,
+    window: DeferredWindow,
     invariants: Arc<InvariantSet>,
+}
+
+/// The abnormal window, snapshotted *under the shard lock* so concurrent
+/// ingest of the same context (or a concurrent reset) between lock
+/// release and diagnosis cannot shift it.
+enum DeferredWindow {
+    /// A copy of the sliding window, taken when no recorder can serve
+    /// history-backed windows.
+    Frame(MetricFrame),
+    /// The exact history row range of the window at the triggering tick.
+    /// History is append-only, so the range keeps naming the same rows —
+    /// and materializes bit-identically — after the lock drops.
+    HistoryRows(std::ops::Range<usize>),
 }
 
 impl Engine {
@@ -63,7 +73,9 @@ impl Engine {
     /// - [`CoreError::Frame`] — the metric row has the wrong width or
     ///   non-finite values (the tick is rejected without mutating state);
     /// - [`CoreError::NoInvariants`] / signature errors — an anomaly onset
-    ///   triggered diagnosis but the offline state is missing.
+    ///   triggered diagnosis but the offline state is missing;
+    /// - [`CoreError::HistoryWindow`] — the attached recorder failed to
+    ///   serve the window rows it promised under the shard lock.
     pub fn ingest(
         &self,
         context: &OperationContext,
@@ -109,15 +121,16 @@ impl Engine {
                         .invariants
                         .clone()
                         .ok_or_else(|| CoreError::NoInvariants(context.clone()))?;
-                    // With a recorder attached the window is read back
-                    // from history after the lock drops; the ad-hoc copy
-                    // is only taken when the engine must self-serve.
-                    let frame = if self.recorder().is_some() {
-                        None
-                    } else {
-                        Some(state.window.to_frame())
-                    };
-                    Some(DeferredDiagnosis { frame, invariants })
+                    // Snapshot the window while the shard lock still
+                    // serializes this context: a recorder that serves
+                    // windows yields the row range the tick above just
+                    // closed; otherwise copy the sliding window itself.
+                    let window = self
+                        .recorder()
+                        .and_then(|r| r.window_rows(context_id, window_ticks))
+                        .map(DeferredWindow::HistoryRows)
+                        .unwrap_or_else(|| DeferredWindow::Frame(state.window.to_frame()));
+                    Some(DeferredDiagnosis { window, invariants })
                 } else {
                     None
                 };
@@ -145,17 +158,20 @@ impl Engine {
         }
 
         let diagnosis = match deferred {
-            Some(DeferredDiagnosis { frame, invariants }) => {
+            Some(DeferredDiagnosis { window, invariants }) => {
                 let _span = Span::enter(self.sink(), EnginePhase::Diagnosis, context_id);
                 let started = Instant::now();
-                // History-backed window when the recorder serves one;
-                // otherwise the copy taken under the shard lock above.
-                let frame = match frame {
-                    Some(frame) => frame,
-                    None => self
+                // Materialize the in-lock snapshot: either the frame copy
+                // itself, or the captured history rows — which resolve to
+                // the same values no matter what was ingested since. A
+                // recorder that cannot serve rows it promised is an
+                // error, never a silently empty window.
+                let frame = match window {
+                    DeferredWindow::Frame(frame) => frame,
+                    DeferredWindow::HistoryRows(rows) => self
                         .recorder()
-                        .and_then(|r| r.window_frame(context_id, self.config().window_ticks))
-                        .unwrap_or_else(|| self.window_frame(context).unwrap_or_default()),
+                        .and_then(|r| r.frame_rows(context_id, rows))
+                        .ok_or_else(|| CoreError::HistoryWindow(context.clone()))?,
                 };
                 let verdict =
                     self.budgeted_matrix_for(context_id, &frame, self.config().sweep_budget)?;

@@ -17,14 +17,22 @@
 //! - [`HistoryRecorder::record_run_reset`] whenever a context's sliding
 //!   window is discarded, so run boundaries survive into history.
 //!
-//! A recorder that implements [`HistoryRecorder::window_frame`] becomes
-//! the source of diagnosis windows: the ingest path skips its ad-hoc
-//! window copy and reads the frame back from history instead. The
-//! contract is bit-exactness — the returned frame must hold the same
-//! `f64` values, in the same order, as the context's sliding window; the
-//! engine falls back to the in-state copy when the recorder returns
-//! `None`. With no recorder attached, nothing on the data path changes.
+//! A recorder that implements [`HistoryRecorder::window_rows`] and
+//! [`HistoryRecorder::frame_rows`] becomes the source of diagnosis
+//! windows, through a two-step snapshot protocol that survives
+//! concurrent ingest of the same context: still under the shard lock
+//! that serialized [`HistoryRecorder::record_tick`], the engine asks for
+//! the *row range* of the current window ([`HistoryRecorder::window_rows`]);
+//! after the lock drops it materializes exactly those rows
+//! ([`HistoryRecorder::frame_rows`]). Because history is append-only, a
+//! range captured under the lock keeps naming the same rows no matter
+//! how many ticks or run resets land in between — so the diagnosed frame
+//! is bit-identical to the sliding window at the moment detection fired.
+//! The engine falls back to an in-lock copy of the sliding window when
+//! `window_rows` returns `None`. With no recorder attached, nothing on
+//! the data path changes.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use ix_metrics::MetricFrame;
@@ -81,12 +89,27 @@ pub trait HistoryRecorder: Send + Sync {
         let _ = registry;
     }
 
-    /// The last `max_ticks` recorded rows of the context's *current run*,
-    /// as a frame — the history-backed replacement for the ingest path's
-    /// ad-hoc window copy. Return `None` to keep the engine on the
-    /// in-state copy.
-    fn window_frame(&self, context: ContextId, max_ticks: usize) -> Option<MetricFrame> {
+    /// The row range of the last `max_ticks` recorded rows of the
+    /// context's *current run* — step one of history-served diagnosis
+    /// windows. The engine calls this under the same shard lock as
+    /// [`HistoryRecorder::record_tick`], immediately after the
+    /// triggering tick lands, so the returned range names exactly the
+    /// rows the sliding window holds at that instant. Return `None` to
+    /// keep the engine on its in-lock window copy.
+    fn window_rows(&self, context: ContextId, max_ticks: usize) -> Option<Range<usize>> {
         let _ = (context, max_ticks);
+        None
+    }
+
+    /// Materializes an exact row range captured by
+    /// [`HistoryRecorder::window_rows`] — step two, called after the
+    /// shard lock is released. Recorders must treat history as
+    /// append-only so a previously returned range stays servable (and
+    /// bit-identical) regardless of concurrent ingest or run resets;
+    /// `None` here is a contract violation the engine surfaces as an
+    /// error rather than diagnosing a fabricated window.
+    fn frame_rows(&self, context: ContextId, rows: Range<usize>) -> Option<MetricFrame> {
+        let _ = (context, rows);
         None
     }
 }
@@ -138,7 +161,8 @@ mod tests {
             tick: 0,
         });
         recorder.record_sweep(ContextId::UNATTRIBUTED, 0, &[], None);
-        assert!(recorder.window_frame(ContextId::UNATTRIBUTED, 8).is_none());
+        assert!(recorder.window_rows(ContextId::UNATTRIBUTED, 8).is_none());
+        assert!(recorder.frame_rows(ContextId::UNATTRIBUTED, 0..8).is_none());
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub enum ErrorKind {
     Arima,
     /// A metric row was rejected by the sliding window.
     Frame,
+    /// The attached history recorder could not serve a diagnosis window.
+    HistoryWindow,
     /// Violation tuples from different invariant sets were mixed.
     TupleLengthMismatch,
     /// (De)serialization of persisted state failed.
@@ -43,6 +45,7 @@ impl ErrorKind {
             ErrorKind::FrameTooShort => "frame-too-short",
             ErrorKind::Arima => "arima",
             ErrorKind::Frame => "frame",
+            ErrorKind::HistoryWindow => "history-window",
             ErrorKind::TupleLengthMismatch => "tuple-length-mismatch",
             ErrorKind::Serialization => "serialization",
             ErrorKind::Io => "io",
@@ -77,6 +80,11 @@ pub enum CoreError {
     Arima(ix_arima::ArimaError),
     /// An ingested metric row was rejected by the sliding window.
     Frame(ix_metrics::FrameError),
+    /// The attached history recorder failed to serve the diagnosis-window
+    /// row range it promised under the shard lock — a recorder contract
+    /// violation (history must be append-only), surfaced instead of
+    /// diagnosing a fabricated window.
+    HistoryWindow(OperationContext),
     /// Two violation tuples (or a tuple and an invariant set) have
     /// mismatched lengths — they come from different invariant sets.
     TupleLengthMismatch {
@@ -119,6 +127,7 @@ impl CoreError {
             CoreError::FrameTooShort { .. } => ErrorKind::FrameTooShort,
             CoreError::Arima(_) => ErrorKind::Arima,
             CoreError::Frame(_) => ErrorKind::Frame,
+            CoreError::HistoryWindow(_) => ErrorKind::HistoryWindow,
             CoreError::TupleLengthMismatch { .. } => ErrorKind::TupleLengthMismatch,
             CoreError::Serialization { .. } | CoreError::InvalidStoreKey { .. } => {
                 ErrorKind::Serialization
@@ -160,6 +169,7 @@ impl PartialEq for CoreError {
             ) => (r1, g1) == (r2, g2),
             (Arima(a), Arima(b)) => a == b,
             (Frame(a), Frame(b)) => a == b,
+            (HistoryWindow(a), HistoryWindow(b)) => a == b,
             (
                 TupleLengthMismatch {
                     expected: e1,
@@ -212,6 +222,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::Arima(e) => write!(f, "ARIMA: {e}"),
             CoreError::Frame(e) => write!(f, "metric frame: {e}"),
+            CoreError::HistoryWindow(ctx) => {
+                write!(
+                    f,
+                    "history recorder could not serve the diagnosis window for context {ctx}"
+                )
+            }
             CoreError::TupleLengthMismatch { expected, got } => {
                 write!(
                     f,
@@ -270,6 +286,9 @@ mod tests {
         assert_eq!(io.kind().name(), "io");
         let key = CoreError::InvalidStoreKey { key: "bad".into() };
         assert_eq!(key.kind(), ErrorKind::Serialization);
+        let window = CoreError::HistoryWindow(OperationContext::new("node1", "Wordcount"));
+        assert_eq!(window.kind(), ErrorKind::HistoryWindow);
+        assert_eq!(window.kind().name(), "history-window");
         assert_eq!(
             CoreError::FrameTooShort {
                 required: 20,

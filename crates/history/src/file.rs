@@ -34,6 +34,16 @@ use crate::store::{ContextLog, DiagnosisRecord, HistoryStore, Inner, SweepRecord
 /// Leading magic of every history file (format name + version).
 const MAGIC: &[u8; 8] = b"IXHIST01";
 
+/// Upper bound on the dense context ids a file may claim. Context logs
+/// live in a `Vec` indexed by id, so an unchecked hostile id would force
+/// a multi-gigabyte `resize_with`; no deployment approaches a million
+/// contexts.
+const MAX_CONTEXT_ID: usize = 1 << 20;
+
+/// Bytes one row occupies in the columnar image: tick (8) + CPI (8) +
+/// residual (8) + exceeded flag (1) + the metric columns.
+const ROW_BYTES: usize = 25 + 8 * METRIC_COUNT;
+
 /// Why a history file failed to load.
 #[derive(Debug)]
 pub enum HistoryFileError {
@@ -71,6 +81,15 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Encodes a count/length/id the format stores as `u32`, refusing
+    /// loudly — instead of silently truncating into a corrupt file —
+    /// when the value does not fit the field.
+    fn u32_field(&mut self, v: usize) {
+        let v = u32::try_from(v)
+            .expect("IXHIST01 u32 field overflow: count, length or id exceeds u32::MAX");
+        self.u32(v);
+    }
+
     fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -82,7 +101,7 @@ impl Writer {
     }
 
     fn bytes(&mut self, b: &[u8]) {
-        self.u32(b.len() as u32);
+        self.u32_field(b.len());
         self.buf.extend_from_slice(b);
     }
 }
@@ -117,8 +136,30 @@ impl<'a> Reader<'a> {
         ))
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Reads a `u32` element count, rejecting counts whose payload
+    /// (`count × min_elem_size` bytes) cannot possibly fit in the rest
+    /// of the buffer — so a hostile count can never drive a huge
+    /// preallocation or unbounded loop.
+    fn count(&mut self, min_elem_size: usize) -> Result<usize, HistoryFileError> {
+        let n = self.u32()? as usize;
+        match n.checked_mul(min_elem_size) {
+            Some(bytes) if bytes <= self.remaining() => Ok(n),
+            _ => Err(HistoryFileError::Format(format!(
+                "count {n} exceeds the {} bytes remaining",
+                self.remaining()
+            ))),
+        }
+    }
+
     fn f64s(&mut self, n: usize) -> Result<Vec<f64>, HistoryFileError> {
-        let raw = self.take(n * 8)?;
+        let bytes = n
+            .checked_mul(8)
+            .ok_or_else(|| HistoryFileError::Format(format!("f64 column of {n} rows overflows")))?;
+        let raw = self.take(bytes)?;
         Ok(raw
             .chunks_exact(8)
             .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
@@ -139,7 +180,7 @@ impl<'a> Reader<'a> {
 }
 
 fn json_section<T: serde::Serialize>(w: &mut Writer, records: &[T]) {
-    w.u32(records.len() as u32);
+    w.u32_field(records.len());
     for record in records {
         let text = serde_json::to_string(record).expect("wire forms always serialize");
         w.bytes(text.as_bytes());
@@ -158,7 +199,7 @@ impl HistoryStore {
                 Some(registry) => registry.labels(),
                 None => inner.labels.clone(),
             };
-            w.u32(labels.len() as u32);
+            w.u32_field(labels.len());
             for label in &labels {
                 w.bytes(label.as_bytes());
             }
@@ -168,11 +209,11 @@ impl HistoryStore {
                 .enumerate()
                 .filter_map(|(i, log)| log.as_ref().map(|log| (i, log)))
                 .collect();
-            w.u32(logs.len() as u32);
+            w.u32_field(logs.len());
             for (ctx, log) in logs {
-                w.u32(ctx as u32);
+                w.u32_field(ctx);
                 w.u64(log.rows as u64);
-                w.u32(log.run_starts.len() as u32);
+                w.u32_field(log.run_starts.len());
                 for &start in &log.run_starts {
                     w.u64(start as u64);
                 }
@@ -207,8 +248,13 @@ impl HistoryStore {
     ///
     /// # Errors
     ///
-    /// [`HistoryFileError::Format`] on a bad magic, truncation, or a JSON
-    /// record that no longer parses.
+    /// [`HistoryFileError::Format`] on a bad magic, truncation, a count
+    /// or context id larger than the buffer can back, run starts that are
+    /// not strictly increasing within the recorded rows, non-finite
+    /// metric values, or a JSON record that no longer parses. Counts are
+    /// validated against the remaining bytes *before* anything is
+    /// preallocated, so a hostile file fails with `Format` instead of
+    /// aborting on allocation.
     pub fn from_bytes(bytes: &[u8]) -> Result<HistoryStore, HistoryFileError> {
         let mut r = Reader { buf: bytes, at: 0 };
         if r.take(MAGIC.len())? != MAGIC {
@@ -217,19 +263,36 @@ impl HistoryStore {
             ));
         }
         let mut inner = Inner::default();
-        let label_count = r.u32()? as usize;
+        // Each label costs at least its 4-byte length prefix.
+        let label_count = r.count(4)?;
         for _ in 0..label_count {
             let raw = r.bytes()?;
             let label = std::str::from_utf8(raw)
                 .map_err(|e| HistoryFileError::Format(format!("non-UTF-8 label: {e}")))?;
             inner.labels.push(label.to_string());
         }
-        let log_count = r.u32()? as usize;
+        // Each log costs at least context id (4) + row count (8) + run
+        // count (4) + the mandatory row-0 run start (8).
+        let log_count = r.count(24)?;
         for _ in 0..log_count {
             let ctx = r.u32()? as usize;
+            if ctx > MAX_CONTEXT_ID {
+                return Err(HistoryFileError::Format(format!(
+                    "context id {ctx} exceeds the format cap {MAX_CONTEXT_ID}"
+                )));
+            }
             let rows = usize::try_from(r.u64()?)
                 .map_err(|_| HistoryFileError::Format("row count overflow".to_string()))?;
-            let run_count = r.u32()? as usize;
+            if rows
+                .checked_mul(ROW_BYTES)
+                .is_none_or(|b| b > r.remaining())
+            {
+                return Err(HistoryFileError::Format(format!(
+                    "row count {rows} exceeds the {} bytes remaining",
+                    r.remaining()
+                )));
+            }
+            let run_count = r.count(8)?;
             let mut run_starts = Vec::with_capacity(run_count);
             for _ in 0..run_count {
                 run_starts.push(
@@ -242,16 +305,43 @@ impl HistoryStore {
                     "run starts must begin at row 0".to_string(),
                 ));
             }
+            if run_starts.windows(2).any(|w| w[1] <= w[0]) {
+                return Err(HistoryFileError::Format(
+                    "run starts must be strictly increasing".to_string(),
+                ));
+            }
+            // `window_frame` subtracts the last start from `rows`; a
+            // start past the end would underflow every current-run scan.
+            if run_starts.last().is_some_and(|&s| s > rows) {
+                return Err(HistoryFileError::Format(
+                    "run start beyond the recorded rows".to_string(),
+                ));
+            }
             let mut ticks = Vec::with_capacity(rows);
             for _ in 0..rows {
                 ticks.push(r.u64()?);
+            }
+            // Time-window scans binary-search the tick column.
+            if ticks.windows(2).any(|w| w[1] < w[0]) {
+                return Err(HistoryFileError::Format(
+                    "tick labels must be non-decreasing".to_string(),
+                ));
             }
             let cpi = r.f64s(rows)?;
             let residual = r.f64s(rows)?;
             let exceeded: Vec<bool> = r.take(rows)?.iter().map(|&b| b != 0).collect();
             let mut columns = Vec::with_capacity(METRIC_COUNT);
             for _ in 0..METRIC_COUNT {
-                columns.push(r.f64s(rows)?);
+                let column = r.f64s(rows)?;
+                // The live ingest path only records rows the sliding
+                // window accepted (finite values); frames served from a
+                // loaded store rely on the same invariant.
+                if column.iter().any(|v| !v.is_finite()) {
+                    return Err(HistoryFileError::Format(
+                        "non-finite metric value".to_string(),
+                    ));
+                }
+                columns.push(column);
             }
             let mut log = ContextLog {
                 segments: Vec::new(),
@@ -271,15 +361,16 @@ impl HistoryStore {
             }
             inner.logs[idx] = Some(log);
         }
-        let event_count = r.u32()? as usize;
+        // Each JSON record costs at least its 4-byte length prefix.
+        let event_count = r.count(4)?;
         for _ in 0..event_count {
             inner.events.push(r.json::<EngineEvent>()?);
         }
-        let sweep_count = r.u32()? as usize;
+        let sweep_count = r.count(4)?;
         for _ in 0..sweep_count {
             inner.sweeps.push(r.json::<SweepRecord>()?);
         }
-        let diagnosis_count = r.u32()? as usize;
+        let diagnosis_count = r.count(4)?;
         for _ in 0..diagnosis_count {
             inner.diagnoses.push(r.json::<DiagnosisRecord>()?);
         }
@@ -389,6 +480,114 @@ mod tests {
         let loaded = HistoryStore::load(&path).expect("load");
         assert_eq!(loaded.to_bytes(), store.to_bytes());
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Hand-writes a one-log file with `data_rows` real rows behind a
+    /// `claimed_rows` header, so tests can corrupt the header fields
+    /// independently of the payload.
+    fn crafted(
+        claimed_rows: u64,
+        data_rows: usize,
+        run_starts: &[u64],
+        ctx: u32,
+        metric: f64,
+    ) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u32.to_le_bytes()); // no labels
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one log
+        buf.extend_from_slice(&ctx.to_le_bytes());
+        buf.extend_from_slice(&claimed_rows.to_le_bytes());
+        buf.extend_from_slice(&(run_starts.len() as u32).to_le_bytes());
+        for &s in run_starts {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        for t in 0..data_rows as u64 {
+            buf.extend_from_slice(&t.to_le_bytes()); // ticks
+        }
+        for _ in 0..data_rows {
+            buf.extend_from_slice(&1.0f64.to_bits().to_le_bytes()); // cpi
+        }
+        for _ in 0..data_rows {
+            buf.extend_from_slice(&0.0f64.to_bits().to_le_bytes()); // residual
+        }
+        buf.extend(vec![0u8; data_rows]); // exceeded
+        for _ in 0..METRIC_COUNT {
+            for _ in 0..data_rows {
+                buf.extend_from_slice(&metric.to_bits().to_le_bytes());
+            }
+        }
+        for _ in 0..3 {
+            buf.extend_from_slice(&0u32.to_le_bytes()); // events/sweeps/diagnoses
+        }
+        buf
+    }
+
+    fn expect_format_error(bytes: &[u8]) {
+        assert!(matches!(
+            HistoryStore::from_bytes(bytes),
+            Err(HistoryFileError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn crafted_baseline_is_well_formed() {
+        let store = HistoryStore::from_bytes(&crafted(3, 3, &[0], 0, 1.0)).expect("valid");
+        assert_eq!(store.rows(ContextId::from_index(0)), 3);
+    }
+
+    #[test]
+    fn hostile_counts_fail_instead_of_allocating() {
+        // A claimed row count near u64::MAX with no data behind it.
+        expect_format_error(&crafted(u64::MAX, 0, &[0], 0, 1.0));
+        expect_format_error(&crafted(u64::MAX / 8, 0, &[0], 0, 1.0));
+        // A context id far past the dense-id cap.
+        expect_format_error(&crafted(3, 3, &[0], u32::MAX, 1.0));
+        // A label section claiming u32::MAX entries in an empty buffer.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        expect_format_error(&bytes);
+        // A run-start section claiming more entries than bytes remain.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no labels
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one log
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // ctx
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // rows
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // run count
+        expect_format_error(&bytes);
+        // An event section claiming u32::MAX records after a valid log.
+        let mut bytes = crafted(3, 3, &[0], 0, 1.0);
+        let events_at = bytes.len() - 12;
+        bytes[events_at..events_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        expect_format_error(&bytes);
+    }
+
+    #[test]
+    fn rejects_inconsistent_run_starts() {
+        // First start not at row 0.
+        expect_format_error(&crafted(3, 3, &[1], 0, 1.0));
+        // A start beyond the recorded rows (would underflow window
+        // scans).
+        expect_format_error(&crafted(3, 3, &[0, 5], 0, 1.0));
+        // Not strictly increasing.
+        expect_format_error(&crafted(3, 3, &[0, 2, 2], 0, 1.0));
+        // The run-boundary edge case is legal: a reset recorded after
+        // the last row leaves the final start == rows.
+        assert!(HistoryStore::from_bytes(&crafted(3, 3, &[0, 3], 0, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn rejects_unsorted_ticks_and_non_finite_metrics() {
+        expect_format_error(&crafted(3, 3, &[0], 0, f64::NAN));
+        expect_format_error(&crafted(3, 3, &[0], 0, f64::INFINITY));
+        // Swap the first two tick labels so the column decreases.
+        let mut bytes = crafted(3, 3, &[0], 0, 1.0);
+        let ticks_at = MAGIC.len() + 4 + 4 + 4 + 8 + 4 + 8;
+        let (a, b) = (ticks_at, ticks_at + 8);
+        for i in 0..8 {
+            bytes.swap(a + i, b + i);
+        }
+        expect_format_error(&bytes);
     }
 
     #[test]

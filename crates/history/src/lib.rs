@@ -29,11 +29,15 @@
 //! [`HistoryStore::run_rows`]) because the engine's own diagnosis windows
 //! never cross them.
 //!
-//! The store doubles as the engine's window server: its
-//! `HistoryRecorder::window_frame` impl reconstructs the last
-//! `window_ticks` rows of the current run bit-exactly, so a
-//! recorder-attached engine diagnoses *from history* and still produces
-//! output identical to a recorder-free twin.
+//! The store doubles as the engine's window server through the two-step
+//! `HistoryRecorder::window_rows` / `HistoryRecorder::frame_rows`
+//! protocol: under the ingest path's shard lock the engine captures the
+//! row range of the current run's tail, and after the lock drops it
+//! materializes exactly those rows — append-only columns guarantee the
+//! range resolves to the same values even if concurrent ticks or resets
+//! landed in between. A recorder-attached engine therefore diagnoses
+//! *from history* and still produces output bit-identical to a
+//! recorder-free twin.
 //!
 //! Stores round-trip through a little-endian binary segment file
 //! ([`HistoryStore::save`] / [`HistoryStore::load`]); columns are written

@@ -323,6 +323,18 @@ impl HistoryStore {
         Some(start..end)
     }
 
+    /// The last `max_ticks` rows of the context's *current run* as a
+    /// frame — the store's view of the engine's diagnosis window.
+    ///
+    /// This reads the run tail live, so under concurrent ingest it is a
+    /// moving target; the engine itself snapshots the window race-free
+    /// through the two-step [`HistoryRecorder::window_rows`] /
+    /// [`HistoryRecorder::frame_rows`] protocol instead.
+    pub fn window_frame(&self, context: ContextId, max_ticks: usize) -> Option<MetricFrame> {
+        let rows = HistoryRecorder::window_rows(self, context, max_ticks)?;
+        self.frame(context, rows)
+    }
+
     /// The full event log, in emission order.
     pub fn events(&self) -> Vec<EngineEvent> {
         self.read().events.clone()
@@ -429,14 +441,21 @@ impl HistoryRecorder for HistoryStore {
         self.write().registry = Some(Arc::clone(registry));
     }
 
-    fn window_frame(&self, context: ContextId, max_ticks: usize) -> Option<MetricFrame> {
+    fn window_rows(&self, context: ContextId, max_ticks: usize) -> Option<Range<usize>> {
         let inner = self.read();
         let log = inner.log(context)?;
         let start = *log.run_starts.last().expect("run_starts is never empty");
         // The engine's sliding window holds at least one tick even when
         // configured with zero, so mirror that floor for bit-exactness.
         let take = (log.rows - start).min(max_ticks.max(1));
-        Some(log.frame(log.rows - take..log.rows))
+        Some(log.rows - take..log.rows)
+    }
+
+    // Rows are append-only, so a range captured by `window_rows` under
+    // the engine's shard lock materializes the same values here even
+    // after concurrent ticks or run resets have landed.
+    fn frame_rows(&self, context: ContextId, rows: Range<usize>) -> Option<MetricFrame> {
+        self.frame(context, rows)
     }
 }
 
@@ -522,6 +541,31 @@ mod tests {
         let window = store.window_frame(ctx, 3).expect("window");
         assert_eq!(window.ticks(), 3);
         assert_eq!(window.get(0, MetricId::ALL[0]), 11.0);
+    }
+
+    #[test]
+    fn window_row_snapshots_survive_concurrent_appends_and_resets() {
+        let store = HistoryStore::new();
+        let ctx = ContextId::from_index(0);
+        for t in 0..10u64 {
+            store.record_tick(ctx, t, 1.0, 0.0, false, &row(t as f64));
+        }
+        let rows = store.window_rows(ctx, 4).expect("window rows");
+        assert_eq!(rows, 6..10);
+        let before = store.frame_rows(ctx, rows.clone()).expect("frame");
+        // Later ingest and run resets of the same context must not move
+        // what a captured range resolves to (the engine relies on this
+        // between releasing the shard lock and diagnosing).
+        store.record_run_reset(ctx);
+        for t in 10..30u64 {
+            store.record_tick(ctx, t, 9.0, 9.0, true, &row(100.0 + t as f64));
+        }
+        let after = store.frame_rows(ctx, rows).expect("frame");
+        assert_eq!(before, after);
+        assert_eq!(after.get(0, MetricId::ALL[0]), 6.0);
+        // And the convenience view now serves the new run's tail instead.
+        let live = store.window_frame(ctx, 4).expect("window");
+        assert_eq!(live.get(0, MetricId::ALL[0]), 126.0);
     }
 
     #[test]

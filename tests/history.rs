@@ -10,8 +10,7 @@
 use std::sync::{Arc, Mutex, PoisonError};
 
 use invarnet_x::core::{
-    AssociationMatrix, Engine, EngineEvent, EventSink, HistoryRecorder, InvarNetConfig,
-    OperationContext,
+    AssociationMatrix, Engine, EngineEvent, EventSink, InvarNetConfig, OperationContext,
 };
 use invarnet_x::history::HistoryStore;
 use invarnet_x::query::Query;
