@@ -26,8 +26,10 @@ pub const PRODUCT_CRATES: &[&str] = &[
     "metrics",
     "mic",
     "query",
+    "replay",
     "simulator",
     "timeseries",
+    "top",
 ];
 
 /// The span of one `fn` item (or method) in a file.

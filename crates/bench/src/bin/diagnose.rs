@@ -22,6 +22,15 @@
 //! # query mode: record simulated runs in an ix-history store, then
 //! # answer explanation / co-occurrence / counterfactual queries over it
 //! diagnose query [--seed N] [--pin mem.used] [--save history.ixh]
+//!
+//! # replay mode: record a replayable trace, verify one bit-exactly
+//! # against a fresh engine, or bisect two traces to the first divergence
+//! diagnose replay --record trace.ixh [--seed N]
+//! diagnose replay trace.ixh
+//! diagnose replay a.ixh --bisect b.ixh
+//!
+//! # operator console over a recorded trace (see also the ix-top binary)
+//! diagnose top trace.ixh [--headless] [--frames N] [--width N] [--speed X]
 //! ```
 //!
 //! Every subcommand accepts `--telemetry`: the run's engine work (sweeps,
@@ -532,6 +541,182 @@ fn query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `diagnose replay`: record the canonical simulated scenario into a
+/// replayable trace, verify a trace against a fresh engine, or bisect two
+/// traces for their first divergent tick.
+fn replay(args: &[String]) -> Result<(), String> {
+    use ix_history::HistoryStore;
+    use ix_replay::Replayer;
+    use std::sync::Arc;
+
+    let mut trace: Option<PathBuf> = None;
+    let mut record: Option<PathBuf> = None;
+    let mut bisect_with: Option<PathBuf> = None;
+    let mut seed: u64 = 11;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--record" => record = Some(PathBuf::from(next("--record")?)),
+            "--bisect" => bisect_with = Some(PathBuf::from(next("--bisect")?)),
+            "--seed" => {
+                let v = next("--seed")?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed wants an integer, got {v:?}"))?;
+            }
+            other if !other.starts_with("--") => trace = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown replay argument: {other}")),
+        }
+    }
+
+    if let Some(out) = record {
+        let scenario = ix_bench::scenario::record_fault_scenario(seed)?;
+        scenario.trace.save(&out).map_err(|e| e.to_string())?;
+        println!(
+            "recorded {} ticks of {} ({} events, {} diagnoses) to {}",
+            scenario.ticks,
+            scenario.context,
+            scenario.trace.events().len(),
+            scenario.trace.diagnoses().len(),
+            out.display()
+        );
+        return Ok(());
+    }
+
+    let trace_path = trace
+        .ok_or("usage: diagnose replay <trace.ixh> [--bisect other.ixh] | --record out.ixh")?;
+    let (recorded, warnings) =
+        HistoryStore::load_with_warnings(&trace_path).map_err(|e| e.to_string())?;
+    for warning in &warnings {
+        eprintln!("warning: {warning}");
+    }
+
+    if let Some(other_path) = bisect_with {
+        let (other, other_warnings) =
+            HistoryStore::load_with_warnings(&other_path).map_err(|e| e.to_string())?;
+        for warning in &other_warnings {
+            eprintln!("warning: {warning}");
+        }
+        return match ix_replay::bisect(&recorded, &other) {
+            None => {
+                println!("traces agree on every recorded row");
+                Ok(())
+            }
+            Some(report) => {
+                println!("{report}");
+                Err("traces diverge".into())
+            }
+        };
+    }
+
+    let mut replayer = Replayer::from_store(Arc::new(recorded)).map_err(|e| e.to_string())?;
+    println!(
+        "replaying {} ticks across {} contexts...",
+        replayer.schedule().len(),
+        replayer.recorded().contexts().len()
+    );
+    let report = replayer.verify().map_err(|e| e.to_string())?;
+    if report.is_clean() {
+        println!(
+            "replayed {} ticks: outcome is bit-exact (rows, events, sweeps, diagnoses)",
+            report.ticks_replayed
+        );
+        Ok(())
+    } else {
+        for divergence in &report.divergences {
+            println!("divergence: {divergence}");
+        }
+        Err(format!(
+            "replay diverged from the recording in {} place(s)",
+            report.divergences.len()
+        ))
+    }
+}
+
+/// `diagnose top`: drive the `ix-top` console from a recorded trace.
+fn top(args: &[String]) -> Result<(), String> {
+    use ix_history::HistoryStore;
+    use ix_top::{render_frame, ReplayFeed, Screen, TopConsole};
+
+    let mut trace: Option<PathBuf> = None;
+    let mut headless = false;
+    let mut frames: Option<u64> = None;
+    let mut width = 100usize;
+    let mut speed = 1.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--headless" => headless = true,
+            "--frames" => {
+                frames = Some(
+                    next("--frames")?
+                        .parse()
+                        .map_err(|_| "--frames wants an integer")?,
+                );
+            }
+            "--width" => {
+                width = next("--width")?
+                    .parse()
+                    .map_err(|_| "--width wants an integer")?;
+            }
+            "--speed" => {
+                speed = next("--speed")?
+                    .parse()
+                    .map_err(|_| "--speed wants a number")?;
+            }
+            other if !other.starts_with("--") => trace = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown top argument: {other}")),
+        }
+    }
+    let trace_path = trace.ok_or(
+        "usage: diagnose top <trace.ixh> [--headless] [--frames N] [--width N] [--speed X]",
+    )?;
+    let (store, warnings) =
+        HistoryStore::load_with_warnings(&trace_path).map_err(|e| e.to_string())?;
+    for warning in &warnings {
+        eprintln!("warning: {warning}");
+    }
+
+    let mut feed = ReplayFeed::new(&store, TopConsole::new(), speed);
+    let batch = (feed.total() / 200).max(1) * feed.ticks_per_frame();
+    let mut screen = if headless {
+        None
+    } else {
+        Some(Screen::enter().map_err(|e| e.to_string())?)
+    };
+    let mut prev = None;
+    let mut rendered = 0u64;
+    while !feed.is_done() {
+        if frames.is_some_and(|max| rendered >= max) {
+            break;
+        }
+        feed.advance(batch);
+        let snap = feed.snapshot();
+        if let Some(live) = screen.as_mut() {
+            let frame = render_frame(&snap, prev.as_ref(), width);
+            live.paint(&frame).map_err(|e| e.to_string())?;
+            std::thread::sleep(std::time::Duration::from_millis(
+                (50.0 / speed.max(0.01)) as u64,
+            ));
+        }
+        prev = Some(snap);
+        rendered += 1;
+    }
+    drop(screen);
+    print!("{}", render_frame(&feed.snapshot(), prev.as_ref(), width));
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if ix_bench::telemetry::strip_flag(&mut args) {
@@ -542,6 +727,8 @@ fn main() -> ExitCode {
         Some("infer") => infer(&args[1..]),
         Some("demo") => demo(),
         Some("query") => query(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        Some("top") => top(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!(
                 "diagnose — InvarNet-X as a CLI\n\n\
@@ -552,7 +739,12 @@ fn main() -> ExitCode {
                  \x20 diagnose demo   # end-to-end on simulator-exported files\n\
                  \x20 diagnose query [--seed N] [--pin METRIC] [--save FILE]\n\
                  \x20        # record simulated runs into an ix-history store, then answer\n\
-                 \x20        # explanation / co-occurrence / counterfactual queries over it\n\n\
+                 \x20        # explanation / co-occurrence / counterfactual queries over it\n\
+                 \x20 diagnose replay --record out.ixh [--seed N]   # record a replayable trace\n\
+                 \x20 diagnose replay trace.ixh                     # re-run it, assert bit-exact\n\
+                 \x20 diagnose replay a.ixh --bisect b.ixh          # first divergent tick\n\
+                 \x20 diagnose top trace.ixh [--headless] [--frames N] [--width N] [--speed X]\n\
+                 \x20        # ix-top operator console over a recorded trace\n\n\
                  Add --telemetry to any subcommand to print an engine telemetry report."
             );
             Ok(())

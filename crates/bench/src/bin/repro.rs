@@ -14,18 +14,15 @@ struct Args {
     experiment: String,
     seed: u64,
     runs: usize,
-    telemetry: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(raw: Vec<String>) -> Result<Args, String> {
     let mut experiment = String::from("all");
     let mut seed = 2014u64; // the year the paper appeared
     let mut runs = 10usize;
-    let mut telemetry = false;
-    let mut it = std::env::args().skip(1);
+    let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--telemetry" => telemetry = true,
             "--experiment" | "-e" => {
                 experiment = it.next().ok_or("--experiment needs a value")?;
             }
@@ -68,7 +65,6 @@ fn parse_args() -> Result<Args, String> {
         experiment,
         seed,
         runs,
-        telemetry,
     })
 }
 
@@ -98,16 +94,19 @@ fn run_one(id: &str, seed: u64, runs: usize) -> Result<String, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    // The same shared handling `diagnose` uses: strip the flag before
+    // subcommand parsing so every experiment sees a clean argument list.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if ix_bench::telemetry::strip_flag(&mut raw) {
+        ix_bench::telemetry::enable();
+    }
+    let args = match parse_args(raw) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\nrun with --help for usage");
             return ExitCode::FAILURE;
         }
     };
-    if args.telemetry {
-        ix_bench::telemetry::enable();
-    }
     let ids: Vec<&str> = match args.experiment.as_str() {
         "all" => vec![
             "fig2",

@@ -13,4 +13,5 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod scenario;
 pub mod telemetry;

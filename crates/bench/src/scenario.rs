@@ -1,0 +1,83 @@
+//! The canonical recorded scenario: one trained context streaming a
+//! simulated MemHog fault run into a replayable (header-stamped) trace.
+//!
+//! Shared by `diagnose replay --record`, the `ix-top` fixture generator
+//! and the replay throughput bench, so they all exercise the identical
+//! record → ship → replay path.
+
+use std::sync::Arc;
+
+use ix_core::{Engine, InvarNetConfig, OperationContext};
+use ix_history::HistoryStore;
+use ix_replay::RecordingSession;
+use ix_simulator::{FaultType, Runner, WorkloadType};
+
+/// A finished recording of the canonical scenario.
+pub struct RecordedScenario {
+    /// The header-stamped, self-contained trace.
+    pub trace: Arc<HistoryStore>,
+    /// The (single) recorded operation context.
+    pub context: OperationContext,
+    /// Ticks streamed into the trace.
+    pub ticks: usize,
+}
+
+/// Trains a Wordcount context on `seed`'s simulator, then records a
+/// MemHog fault run through a [`RecordingSession`].
+///
+/// # Errors
+///
+/// Renders any training or ingest failure as a message.
+pub fn record_fault_scenario(seed: u64) -> Result<RecordedScenario, String> {
+    let runner = Runner::new(seed);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let workload = WorkloadType::Wordcount;
+    let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+    let config = InvarNetConfig::default();
+    let trainer = Engine::builder().config(config.clone()).build();
+
+    let normals = runner.normal_runs(workload, 4);
+    let cpi_traces: Vec<Vec<f64>> = normals
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+    trainer
+        .train_performance_model(context.clone(), &cpi_traces)
+        .map_err(|e| e.to_string())?;
+    let frames: Vec<_> = normals
+        .iter()
+        .map(|r| {
+            let f = &r.per_node[node].frame;
+            f.window(30..75.min(f.ticks()))
+        })
+        .collect();
+    trainer
+        .build_invariants(context.clone(), &frames)
+        .map_err(|e| e.to_string())?;
+    for fault in [FaultType::CpuHog, FaultType::MemHog, FaultType::DiskHog] {
+        let run = runner.fault_run(workload, fault, 0);
+        let window = run.fault_window().ok_or("fault run without a window")?;
+        trainer
+            .record_signature(&context, fault.name(), &window)
+            .map_err(|e| e.to_string())?;
+    }
+
+    let session =
+        RecordingSession::new(config, trainer.snapshot_state()).map_err(|e| e.to_string())?;
+    let live = runner.fault_run(workload, FaultType::MemHog, 5);
+    let cpi = live.per_node[node].cpi.cpi_series();
+    let frame = &live.per_node[node].frame;
+    session.engine().reset_run(&context);
+    let ticks = frame.ticks().min(cpi.len());
+    for (t, &sample) in cpi.iter().enumerate().take(ticks) {
+        session
+            .engine()
+            .ingest(&context, sample, frame.tick(t))
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(RecordedScenario {
+        trace: session.finish(),
+        context,
+        ticks,
+    })
+}

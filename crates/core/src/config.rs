@@ -1,3 +1,5 @@
+use serde::{DeError, Deserialize, Serialize, Value};
+
 use crate::anomaly::ThresholdRule;
 use crate::engine::resilience::{OverloadPolicy, RetryPolicy, SweepBudget};
 use crate::similarity::Similarity;
@@ -32,6 +34,36 @@ impl DetectorChoice {
         DetectorChoice::Cusum {
             k: crate::CusumDetector::DEFAULT_K,
             h: crate::CusumDetector::DEFAULT_H,
+        }
+    }
+}
+
+// Hand-written because one variant carries data, which the offline
+// derive macro does not support: the wire form is a `kind`-tagged object.
+impl Serialize for DetectorChoice {
+    fn to_value(&self) -> Value {
+        match *self {
+            DetectorChoice::Arima => {
+                Value::Object(vec![("kind".to_string(), Value::Str("Arima".to_string()))])
+            }
+            DetectorChoice::Cusum { k, h } => Value::Object(vec![
+                ("kind".to_string(), Value::Str("Cusum".to_string())),
+                ("k".to_string(), k.to_value()),
+                ("h".to_string(), h.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for DetectorChoice {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value.field("kind")?.as_str()? {
+            "Arima" => Ok(DetectorChoice::Arima),
+            "Cusum" => Ok(DetectorChoice::Cusum {
+                k: f64::from_value(value.field("k")?)?,
+                h: f64::from_value(value.field("h")?)?,
+            }),
+            other => Err(DeError::unknown_variant(other)),
         }
     }
 }
@@ -101,6 +133,108 @@ impl InvarNetConfig {
     /// Starts a [`ConfigBuilder`] from the paper defaults.
     pub fn builder() -> ConfigBuilder {
         ConfigBuilder::default()
+    }
+}
+
+// The mic/arx parameter structs live in foreign crates without `serde`
+// support, so they are flattened through their public fields here — the
+// orphan rule forbids implementing the traits for them directly.
+fn mic_to_value(mic: &ix_mic::MicParams) -> Value {
+    Value::Object(vec![
+        ("alpha".to_string(), mic.alpha.to_value()),
+        ("c".to_string(), mic.c.to_value()),
+    ])
+}
+
+fn mic_from_value(value: &Value) -> Result<ix_mic::MicParams, DeError> {
+    Ok(ix_mic::MicParams {
+        alpha: f64::from_value(value.field("alpha")?)?,
+        c: f64::from_value(value.field("c")?)?,
+    })
+}
+
+fn arx_to_value(arx: &ix_arx::ArxSearch) -> Value {
+    Value::Object(vec![
+        ("max_n".to_string(), arx.max_n.to_value()),
+        ("max_m".to_string(), arx.max_m.to_value()),
+        ("max_k".to_string(), arx.max_k.to_value()),
+    ])
+}
+
+fn arx_from_value(value: &Value) -> Result<ix_arx::ArxSearch, DeError> {
+    Ok(ix_arx::ArxSearch {
+        max_n: usize::from_value(value.field("max_n")?)?,
+        max_m: usize::from_value(value.field("max_m")?)?,
+        max_k: usize::from_value(value.field("max_k")?)?,
+    })
+}
+
+// Hand-written because the mic/arx fields are foreign types (see above);
+// every other field uses its own (derived or hand-written) impl. The
+// field order is the struct's declaration order and is pinned by tests —
+// replay trace headers depend on this encoding staying stable.
+impl Serialize for InvarNetConfig {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("epsilon".to_string(), self.epsilon.to_value()),
+            ("tau".to_string(), self.tau.to_value()),
+            ("beta".to_string(), self.beta.to_value()),
+            (
+                "consecutive_anomalies".to_string(),
+                self.consecutive_anomalies.to_value(),
+            ),
+            ("threshold_rule".to_string(), self.threshold_rule.to_value()),
+            ("similarity".to_string(), self.similarity.to_value()),
+            ("mic".to_string(), mic_to_value(&self.mic)),
+            ("arx".to_string(), arx_to_value(&self.arx)),
+            (
+                "min_training_runs".to_string(),
+                self.min_training_runs.to_value(),
+            ),
+            (
+                "min_frame_ticks".to_string(),
+                self.min_frame_ticks.to_value(),
+            ),
+            ("detector".to_string(), self.detector.to_value()),
+            ("window_ticks".to_string(), self.window_ticks.to_value()),
+            ("state_shards".to_string(), self.state_shards.to_value()),
+            (
+                "sweep_cache_entries".to_string(),
+                self.sweep_cache_entries.to_value(),
+            ),
+            ("sweep_budget".to_string(), self.sweep_budget.to_value()),
+            ("overload".to_string(), self.overload.to_value()),
+            (
+                "ingest_queue_ticks".to_string(),
+                self.ingest_queue_ticks.to_value(),
+            ),
+            ("store_retry".to_string(), self.store_retry.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for InvarNetConfig {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(InvarNetConfig {
+            epsilon: f64::from_value(value.field("epsilon")?)?,
+            tau: f64::from_value(value.field("tau")?)?,
+            beta: f64::from_value(value.field("beta")?)?,
+            consecutive_anomalies: usize::from_value(value.field("consecutive_anomalies")?)?,
+            threshold_rule: ThresholdRule::from_value(value.field("threshold_rule")?)?,
+            similarity: Similarity::from_value(value.field("similarity")?)?,
+            mic: mic_from_value(value.field("mic")?)?,
+            arx: arx_from_value(value.field("arx")?)?,
+            min_training_runs: usize::from_value(value.field("min_training_runs")?)?,
+            min_frame_ticks: usize::from_value(value.field("min_frame_ticks")?)?,
+            detector: DetectorChoice::from_value(value.field("detector")?)?,
+            window_ticks: usize::from_value(value.field("window_ticks")?)?,
+            state_shards: usize::from_value(value.field("state_shards")?)?,
+            sweep_cache_entries: usize::from_value(value.field("sweep_cache_entries")?)?,
+            sweep_budget: SweepBudget::from_value(value.field("sweep_budget")?)?,
+            overload: OverloadPolicy::from_value(value.field("overload")?)?,
+            ingest_queue_ticks: usize::from_value(value.field("ingest_queue_ticks")?)?,
+            store_retry: RetryPolicy::from_value(value.field("store_retry")?)?,
+        })
     }
 }
 
@@ -282,6 +416,70 @@ mod tests {
         // Everything else stays at the paper defaults.
         assert_eq!(c.epsilon, 0.2);
         assert_eq!(c.window_ticks, 60);
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let config = InvarNetConfig::builder()
+            .epsilon(0.25)
+            .detector(DetectorChoice::cusum_default())
+            .sweep_budget(SweepBudget::wall_millis(7).with_max_pairs(100))
+            .build();
+        let json = serde_json::to_string(&config).expect("encode");
+        let back: InvarNetConfig = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn detector_wire_encoding_is_pinned() {
+        assert_eq!(
+            serde_json::to_string(&DetectorChoice::Arima).expect("encode"),
+            r#"{"kind":"Arima"}"#
+        );
+        assert_eq!(
+            serde_json::to_string(&DetectorChoice::Cusum { k: 0.5, h: 5.0 }).expect("encode"),
+            r#"{"kind":"Cusum","k":0.5,"h":5.0}"#
+        );
+        let back: DetectorChoice =
+            serde_json::from_str(r#"{"kind":"Cusum","k":0.5,"h":5.0}"#).expect("decode");
+        assert_eq!(back, DetectorChoice::Cusum { k: 0.5, h: 5.0 });
+        assert!(serde_json::from_str::<DetectorChoice>(r#"{"kind":"Wavelet"}"#).is_err());
+    }
+
+    #[test]
+    fn config_field_names_are_pinned() {
+        // Replay trace headers embed this encoding: renaming a field is a
+        // wire-format break and must be caught here, not in a replay.
+        let value = InvarNetConfig::default().to_value();
+        let names: Vec<&str> = value
+            .as_object()
+            .expect("object")
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "epsilon",
+                "tau",
+                "beta",
+                "consecutive_anomalies",
+                "threshold_rule",
+                "similarity",
+                "mic",
+                "arx",
+                "min_training_runs",
+                "min_frame_ticks",
+                "detector",
+                "window_ticks",
+                "state_shards",
+                "sweep_cache_entries",
+                "sweep_budget",
+                "overload",
+                "ingest_queue_ticks",
+                "store_retry",
+            ]
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub struct EngineBuilder {
     measure: Option<Arc<dyn AssociationMeasure>>,
     threads: Option<usize>,
     sink: Option<Arc<dyn EventSink>>,
+    extra_sinks: Vec<Arc<dyn EventSink>>,
     telemetry: Option<Arc<Telemetry>>,
     history: Option<Arc<dyn HistoryRecorder>>,
     signatures: Option<SignatureDatabase>,
@@ -56,6 +57,7 @@ impl EngineBuilder {
             measure: None,
             threads: None,
             sink: None,
+            extra_sinks: Vec::new(),
             telemetry: None,
             history: None,
             signatures: None,
@@ -99,6 +101,17 @@ impl EngineBuilder {
     /// may attach to one hub.
     pub fn telemetry(mut self, telemetry: &Arc<Telemetry>) -> Self {
         self.telemetry = Some(Arc::clone(telemetry));
+        self
+    }
+
+    /// Adds a side observer of the event stream *in addition to* the
+    /// primary sink or telemetry hub. Extras see every event after the
+    /// primary sink, in attachment order, and before any attached history
+    /// recorder's tee — so a live console can watch an engine that also
+    /// exports telemetry and records history, without changing what either
+    /// of those observes. May be called multiple times.
+    pub fn extra_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.extra_sinks.push(sink);
         self
     }
 
@@ -156,6 +169,9 @@ impl EngineBuilder {
         } else if let Some(sink) = self.sink {
             engine.set_event_sink_internal(sink);
         }
+        // After the sink/telemetry wiring and before the history tee, so
+        // extras observe the identical stream the recorder does.
+        engine.attach_extra_sinks_internal(self.extra_sinks);
         // After the sink/telemetry wiring, so the recorder tee wraps the
         // final sink and binds the final context registry.
         if let Some(recorder) = self.history {
@@ -190,6 +206,7 @@ impl std::fmt::Debug for EngineBuilder {
             .field("threads", &self.threads)
             .field("telemetry", &self.telemetry.is_some())
             .field("event_sink", &self.sink.is_some())
+            .field("extra_sinks", &self.extra_sinks.len())
             .field("history", &self.history.is_some())
             .field("signatures", &self.signatures.as_ref().map(|db| db.len()))
             .field("models", &self.models.len())
@@ -240,6 +257,22 @@ mod tests {
         // The engine interns into the hub's registry — the telemetry
         // attachment won.
         assert!(Arc::ptr_eq(engine.context_registry(), telemetry.contexts()));
+    }
+
+    #[test]
+    fn extra_sinks_observe_alongside_primary() {
+        let primary = Arc::new(crate::engine::EngineCounters::default());
+        let extra = Arc::new(crate::engine::EngineCounters::default());
+        let engine = Engine::builder()
+            .event_sink(Arc::clone(&primary) as Arc<dyn EventSink>)
+            .extra_sink(Arc::clone(&extra) as Arc<dyn EventSink>)
+            .build();
+        engine.sink().record(&crate::EngineEvent::DetectionFired {
+            context: crate::ContextId::UNATTRIBUTED,
+            tick: 3,
+        });
+        assert_eq!(primary.detections_fired(), 1);
+        assert_eq!(extra.detections_fired(), 1);
     }
 
     #[test]

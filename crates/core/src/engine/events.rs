@@ -13,6 +13,7 @@
 //! strings) per tick would dominate the cost of ingestion itself.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use super::resilience::{DegradationReason, DegradationTier, HealthState, OverloadPolicy};
 use super::telemetry::{ContextId, EnginePhase};
@@ -195,6 +196,30 @@ pub struct NullSink;
 
 impl EventSink for NullSink {
     fn record(&self, _event: &EngineEvent) {}
+}
+
+/// The sink installed by [`crate::EngineBuilder::extra_sink`]: forwards
+/// every event to the primary sink first, then to each extra observer in
+/// attachment order, so side observers (live consoles, loggers) never
+/// change what the primary sink or a teed recorder sees.
+pub(crate) struct FanOutSink {
+    primary: Arc<dyn EventSink>,
+    extras: Vec<Arc<dyn EventSink>>,
+}
+
+impl FanOutSink {
+    pub(crate) fn new(primary: Arc<dyn EventSink>, extras: Vec<Arc<dyn EventSink>>) -> Self {
+        FanOutSink { primary, extras }
+    }
+}
+
+impl EventSink for FanOutSink {
+    fn record(&self, event: &EngineEvent) {
+        self.primary.record(event);
+        for extra in &self.extras {
+            extra.record(event);
+        }
+    }
 }
 
 /// An [`EventSink`] that aggregates events into atomic counters — the

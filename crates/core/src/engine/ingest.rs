@@ -86,7 +86,7 @@ impl Engine {
         let window_ticks = self.config().window_ticks;
         let context_id = self.intern_context(context);
         let ingest_started = Instant::now();
-        let (tick, lifetime_tick, decision, up_edge, down_edge, deferred) =
+        let (tick, lifetime_tick, decision, up_edge, down_edge, deferred, append_nanos) =
             self.state().with_mut(context, window_ticks, |state| {
                 let Some(detector) = state.detector.clone() else {
                     return Err(CoreError::NoPerformanceModel(context.clone()));
@@ -102,8 +102,13 @@ impl Engine {
                 let lifetime_tick = self.tick_counter().fetch_add(1, Ordering::Relaxed);
                 // Record under the shard lock so history rows land in
                 // exactly the order the sliding window saw them — the
-                // contract behind history-served diagnosis windows.
-                if let Some(recorder) = self.recorder() {
+                // contract behind history-served diagnosis windows. The
+                // append is timed only when telemetry wants the cost
+                // histogram; the scope update itself happens after the
+                // lock drops.
+                let append_nanos = if let Some(recorder) = self.recorder() {
+                    let timed = self.telemetry().is_some();
+                    let append_started = timed.then(Instant::now);
                     recorder.record_tick(
                         context_id,
                         lifetime_tick,
@@ -112,7 +117,10 @@ impl Engine {
                         decision.exceeded,
                         metric_row,
                     );
-                }
+                    append_started.map(|t| t.elapsed().as_nanos() as u64)
+                } else {
+                    None
+                };
                 let up_edge = decision.anomalous && !state.prev_anomalous;
                 let down_edge = !decision.anomalous && state.prev_anomalous;
                 state.prev_anomalous = decision.anomalous;
@@ -134,8 +142,28 @@ impl Engine {
                 } else {
                     None
                 };
-                Ok((tick, lifetime_tick, decision, up_edge, down_edge, deferred))
+                Ok((
+                    tick,
+                    lifetime_tick,
+                    decision,
+                    up_edge,
+                    down_edge,
+                    deferred,
+                    append_nanos,
+                ))
             })?;
+
+        // Attribute the recorder-append cost to the context's telemetry
+        // scope — outside the shard lock, so metrics bookkeeping never
+        // extends the ingest critical section.
+        if let Some(nanos) = append_nanos {
+            if let (Some(telemetry), Some(recorder)) = (self.telemetry(), self.recorder()) {
+                telemetry
+                    .metrics()
+                    .scope(context_id)
+                    .record_history_append(nanos, recorder.segment_count(context_id));
+            }
+        }
 
         self.sink().record(&EngineEvent::TickIngested {
             context: context_id,

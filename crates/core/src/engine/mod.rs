@@ -30,6 +30,7 @@ pub mod detector;
 pub mod diagnosis;
 pub mod events;
 mod ingest;
+pub mod inspect;
 pub mod recorder;
 pub mod resilience;
 mod state;
@@ -58,6 +59,7 @@ pub use detector::{ArimaDetector, CusumStreamDetector, Detector, DetectorRun, Ti
 pub use diagnosis::{Diagnosis, RankedCause};
 pub use events::{EngineCounters, EngineEvent, EventSink, NullSink};
 pub use ingest::TickOutcome;
+pub use inspect::{ContextStateSnapshot, EngineInspector};
 pub use recorder::{HistoryRecorder, NullRecorder};
 pub use telemetry::Telemetry;
 
@@ -86,6 +88,10 @@ pub struct Engine {
     sink: Arc<dyn EventSink>,
     /// The attached history recorder, if any (see [`EngineBuilder::history`]).
     recorder: Option<Arc<dyn HistoryRecorder>>,
+    /// The attached telemetry hub, if any — kept alongside the sink so the
+    /// ingest path can attribute recorder-append costs to context scopes
+    /// without downcasting the sink.
+    telemetry: Option<Arc<Telemetry>>,
     contexts: Arc<ContextRegistry>,
     ticks: AtomicU64,
     health: HealthMonitor,
@@ -131,6 +137,7 @@ impl Engine {
             sweep_cache,
             sink: Arc::new(NullSink),
             recorder: None,
+            telemetry: None,
             contexts: Arc::new(ContextRegistry::new()),
             ticks: AtomicU64::new(0),
             health: HealthMonitor::new(),
@@ -150,6 +157,23 @@ impl Engine {
     pub(crate) fn attach_telemetry_internal(&mut self, telemetry: &Arc<Telemetry>) {
         self.contexts = Arc::clone(telemetry.contexts());
         self.sink = Arc::<Telemetry>::clone(telemetry);
+        self.telemetry = Some(Arc::clone(telemetry));
+    }
+
+    /// Fans the event stream out to extra sinks behind the primary one
+    /// (see [`EngineBuilder::extra_sink`]). Must run after the
+    /// sink/telemetry wiring and before the history tee, so the recorder
+    /// still observes the identical stream.
+    pub(crate) fn attach_extra_sinks_internal(&mut self, extras: Vec<Arc<dyn EventSink>>) {
+        if extras.is_empty() {
+            return;
+        }
+        self.sink = Arc::new(events::FanOutSink::new(Arc::clone(&self.sink), extras));
+    }
+
+    /// The attached telemetry hub, if any.
+    pub(crate) fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Attaches a history recorder: the recorder is teed behind the event

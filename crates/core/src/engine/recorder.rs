@@ -112,6 +112,15 @@ pub trait HistoryRecorder: Send + Sync {
         let _ = (context, rows);
         None
     }
+
+    /// How many storage segments the recorder currently holds for a
+    /// context, for the `history_segments` telemetry gauge. `None` (the
+    /// default) means the recorder has no segment notion — the gauge is
+    /// simply not updated.
+    fn segment_count(&self, context: ContextId) -> Option<u64> {
+        let _ = context;
+        None
+    }
 }
 
 /// A recorder that drops everything (placeholder for tests and docs).

@@ -126,6 +126,32 @@ impl DegradationReason {
     }
 }
 
+// Hand-written because `Duration` has no `serde` impl in the offline
+// compat crate: the wall limit travels as integer microseconds, which
+// keeps the wire form exact (no float rounding) and stable across
+// platforms.
+impl Serialize for SweepBudget {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "wall_micros".to_string(),
+                self.wall.map(|w| w.as_micros() as u64).to_value(),
+            ),
+            ("max_pairs".to_string(), self.max_pairs.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SweepBudget {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let wall = Option::<u64>::from_value(value.field("wall_micros")?)?;
+        Ok(SweepBudget {
+            wall: wall.map(Duration::from_micros),
+            max_pairs: Option::<usize>::from_value(value.field("max_pairs")?)?,
+        })
+    }
+}
+
 /// How a degraded diagnosis was produced: the tier that answered and the
 /// reason the full sweep was abandoned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -155,6 +181,19 @@ mod tests {
         assert!(!b.is_unlimited());
         let start = Instant::now();
         assert_eq!(b.deadline(start), Some(start + Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn budget_wire_encoding_is_pinned() {
+        let b = SweepBudget::wall_millis(5).with_max_pairs(40);
+        let json = serde_json::to_string(&b).expect("encode");
+        assert_eq!(json, r#"{"wall_micros":5000,"max_pairs":40}"#);
+        let back: SweepBudget = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, b);
+        let unlimited = serde_json::to_string(&SweepBudget::UNLIMITED).expect("encode");
+        assert_eq!(unlimited, r#"{"wall_micros":null,"max_pairs":null}"#);
+        let back: SweepBudget = serde_json::from_str(&unlimited).expect("decode");
+        assert_eq!(back, SweepBudget::UNLIMITED);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use std::path::Path;
 use std::time::Duration;
 
+use serde::{Deserialize, Serialize};
+
 /// Retry policy for [`crate::ModelStore`] persistence: exponential backoff
 /// with deterministic jitter.
 ///
@@ -30,6 +32,36 @@ impl Default for RetryPolicy {
             max_delay: Duration::from_millis(200),
             jitter: 0.25,
         }
+    }
+}
+
+// Hand-written because `Duration` has no `serde` impl in the offline
+// compat crate: delays travel as integer microseconds.
+impl Serialize for RetryPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("max_attempts".to_string(), self.max_attempts.to_value()),
+            (
+                "base_delay_micros".to_string(),
+                (self.base_delay.as_micros() as u64).to_value(),
+            ),
+            (
+                "max_delay_micros".to_string(),
+                (self.max_delay.as_micros() as u64).to_value(),
+            ),
+            ("jitter".to_string(), self.jitter.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RetryPolicy {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(RetryPolicy {
+            max_attempts: u32::from_value(value.field("max_attempts")?)?,
+            base_delay: Duration::from_micros(u64::from_value(value.field("base_delay_micros")?)?),
+            max_delay: Duration::from_micros(u64::from_value(value.field("max_delay_micros")?)?),
+            jitter: f64::from_value(value.field("jitter")?)?,
+        })
     }
 }
 
@@ -104,6 +136,17 @@ fn splitmix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_wire_encoding_is_pinned() {
+        let json = serde_json::to_string(&RetryPolicy::default()).expect("encode");
+        assert_eq!(
+            json,
+            r#"{"max_attempts":4,"base_delay_micros":10000,"max_delay_micros":200000,"jitter":0.25}"#
+        );
+        let back: RetryPolicy = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, RetryPolicy::default());
+    }
 
     #[test]
     fn backoff_doubles_up_to_the_cap() {

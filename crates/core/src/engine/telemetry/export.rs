@@ -70,7 +70,7 @@ impl TelemetrySnapshot {
     /// one time series per context.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [SeriesSpec<u64>; 15] = [
+        let counters: [SeriesSpec<u64>; 16] = [
             ("invarnet_ticks_ingested_total", "Ticks ingested.", |s| {
                 s.ticks
             }),
@@ -142,6 +142,11 @@ impl TelemetrySnapshot {
                 "Engine health state machine transitions.",
                 |s| s.health_transitions,
             ),
+            (
+                "invarnet_history_rows_recorded_total",
+                "Tick rows appended to the attached history recorder.",
+                |s| s.history_rows_recorded,
+            ),
         ];
         for (name, help, get) in counters {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -155,7 +160,7 @@ impl TelemetrySnapshot {
                 );
             }
         }
-        let gauges: [SeriesSpec<f64>; 5] = [
+        let gauges: [SeriesSpec<f64>; 6] = [
             (
                 "invarnet_last_residual",
                 "Most recent detector residual.",
@@ -181,6 +186,11 @@ impl TelemetrySnapshot {
                 "Deepest ingest-queue shard depth seen.",
                 |s| s.queue_depth_max as f64,
             ),
+            (
+                "invarnet_history_segments",
+                "Storage segments the attached history recorder holds.",
+                |s| s.history_segments as f64,
+            ),
         ];
         for (name, help, get) in gauges {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -194,7 +204,7 @@ impl TelemetrySnapshot {
                 );
             }
         }
-        let histograms: [HistogramSpec; 4] = [
+        let histograms: [HistogramSpec; 5] = [
             (
                 "invarnet_ingest_micros",
                 "Per-tick ingest latency in microseconds.",
@@ -214,6 +224,11 @@ impl TelemetrySnapshot {
                 "invarnet_pair_score_nanos",
                 "Association-measure cost in nanoseconds per metric pair.",
                 |s| &s.pair_score_nanos,
+            ),
+            (
+                "invarnet_recorder_append_nanos",
+                "History recorder append cost in nanoseconds per recorded tick.",
+                |s| &s.recorder_append_nanos,
             ),
         ];
         for (name, help, get) in histograms {
@@ -288,11 +303,12 @@ impl TelemetrySnapshot {
             "{:<20} {:>8} {:>9} {:>9} {:>9} {:>9}",
             "latency", "count", "p50", "p90", "p99", "max"
         );
-        let latency_rows: [(&str, &HistogramSnapshot); 4] = [
+        let latency_rows: [(&str, &HistogramSnapshot); 5] = [
             ("ingest (µs/tick)", &self.total.ingest_micros),
             ("sweep (µs)", &self.total.sweep_micros),
             ("diagnosis (µs)", &self.total.diagnosis_micros),
             ("pair score (ns)", &self.total.pair_score_nanos),
+            ("rec append (ns)", &self.total.recorder_append_nanos),
         ];
         for (label, hist) in latency_rows {
             let _ = writeln!(
@@ -461,6 +477,31 @@ mod tests {
         assert!(report.contains("W@n1"));
         assert!(report.contains("(all)"));
         assert!(report.contains("sweep"));
+    }
+
+    #[test]
+    fn history_recording_series_are_exported() {
+        let mut snap = sample_snapshot();
+        snap.contexts[0].history_rows_recorded = 600;
+        snap.contexts[0].history_segments = 2;
+        snap.contexts[0].recorder_append_nanos.buckets = vec![0u64; 32];
+        snap.contexts[0].recorder_append_nanos.buckets[7] = 600;
+        snap.contexts[0].recorder_append_nanos.count = 600;
+        snap.contexts[0].recorder_append_nanos.sum = 72_000;
+        snap.contexts[0].recorder_append_nanos.max = 380;
+        snap.total = ScopeSnapshot::empty("(all)".into());
+        let scope = snap.contexts[0].clone();
+        snap.total.merge(&scope);
+        let text = snap.render_prometheus();
+        assert!(text.contains("invarnet_history_rows_recorded_total{context=\"W@n1\"} 600"));
+        assert!(text.contains("invarnet_history_segments{context=\"W@n1\"} 2"));
+        assert!(text.contains("invarnet_recorder_append_nanos_count{context=\"W@n1\"} 600"));
+        assert!(text.contains("invarnet_recorder_append_nanos_sum{context=\"W@n1\"} 72000"));
+        let report = snap.render_report();
+        assert!(report.contains("rec append (ns)"));
+        // The JSON round-trip carries the new fields bit-exactly.
+        let back = TelemetrySnapshot::from_json(&snap.to_json().unwrap()).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

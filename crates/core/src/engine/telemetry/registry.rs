@@ -82,6 +82,11 @@ pub struct ContextScope {
     pub store_retries: AtomicU64,
     /// Health state machine transitions.
     pub health_transitions: AtomicU64,
+    /// Tick rows appended to an attached history recorder.
+    pub history_rows_recorded: AtomicU64,
+    /// Gauge: storage segments the attached recorder holds for this
+    /// context (last reported).
+    pub history_segments: AtomicU64,
     /// Gauge: ingest-queue shard depth after the most recent enqueue.
     pub queue_depth_last: AtomicU64,
     /// Gauge: deepest ingest-queue shard depth seen.
@@ -101,6 +106,9 @@ pub struct ContextScope {
     /// Association-measure scoring cost (ns per metric pair, averaged over
     /// each worker chunk).
     pub pair_score_nanos: Histogram,
+    /// Recorder-append cost (ns per `record_tick` call under the shard
+    /// lock).
+    pub recorder_append_nanos: Histogram,
 }
 
 impl ContextScope {
@@ -115,6 +123,18 @@ impl ContextScope {
         gauge_set(&self.last_residual, residual);
         gauge_max(&self.max_residual, residual);
         self.ingest_micros.record(micros);
+    }
+
+    /// Records one history append: the recorder's `record_tick` cost and,
+    /// when the recorder reports one, its current segment count.
+    // ordering: Relaxed — independent monotone counter and a last-write
+    // gauge; no reader infers cross-variable state from them.
+    pub fn record_history_append(&self, nanos: u64, segments: Option<u64>) {
+        self.history_rows_recorded.fetch_add(1, Ordering::Relaxed);
+        self.recorder_append_nanos.record(nanos);
+        if let Some(segments) = segments {
+            self.history_segments.store(segments, Ordering::Relaxed);
+        }
     }
 
     /// Records one ingest-queue enqueue at the given shard depth.
@@ -146,6 +166,8 @@ impl ContextScope {
             ticks_shed: self.ticks_shed.load(Ordering::Relaxed),
             store_retries: self.store_retries.load(Ordering::Relaxed),
             health_transitions: self.health_transitions.load(Ordering::Relaxed),
+            history_rows_recorded: self.history_rows_recorded.load(Ordering::Relaxed),
+            history_segments: self.history_segments.load(Ordering::Relaxed),
             queue_depth_last: self.queue_depth_last.load(Ordering::Relaxed),
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
             last_residual: gauge_get(&self.last_residual),
@@ -155,6 +177,7 @@ impl ContextScope {
             sweep_micros: self.sweep_micros.snapshot(),
             diagnosis_micros: self.diagnosis_micros.snapshot(),
             pair_score_nanos: self.pair_score_nanos.snapshot(),
+            recorder_append_nanos: self.recorder_append_nanos.snapshot(),
         }
     }
 }
@@ -194,6 +217,10 @@ pub struct ScopeSnapshot {
     pub store_retries: u64,
     /// Health state machine transitions.
     pub health_transitions: u64,
+    /// Tick rows appended to an attached history recorder.
+    pub history_rows_recorded: u64,
+    /// Storage segments the attached recorder holds (last reported).
+    pub history_segments: u64,
     /// Ingest-queue shard depth after the most recent enqueue.
     pub queue_depth_last: u64,
     /// Deepest ingest-queue shard depth seen.
@@ -212,6 +239,8 @@ pub struct ScopeSnapshot {
     pub diagnosis_micros: HistogramSnapshot,
     /// Pair-scoring cost histogram (ns per pair).
     pub pair_score_nanos: HistogramSnapshot,
+    /// Recorder-append cost histogram (ns per recorded tick).
+    pub recorder_append_nanos: HistogramSnapshot,
 }
 
 impl ScopeSnapshot {
@@ -234,6 +263,8 @@ impl ScopeSnapshot {
             ticks_shed: 0,
             store_retries: 0,
             health_transitions: 0,
+            history_rows_recorded: 0,
+            history_segments: 0,
             queue_depth_last: 0,
             queue_depth_max: 0,
             last_residual: 0.0,
@@ -243,6 +274,7 @@ impl ScopeSnapshot {
             sweep_micros: HistogramSnapshot::default(),
             diagnosis_micros: HistogramSnapshot::default(),
             pair_score_nanos: HistogramSnapshot::default(),
+            recorder_append_nanos: HistogramSnapshot::default(),
         }
     }
 
@@ -264,6 +296,8 @@ impl ScopeSnapshot {
         self.ticks_shed += other.ticks_shed;
         self.store_retries += other.store_retries;
         self.health_transitions += other.health_transitions;
+        self.history_rows_recorded += other.history_rows_recorded;
+        self.history_segments += other.history_segments;
         self.queue_depth_last = self.queue_depth_last.max(other.queue_depth_last);
         self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
         // "Last" gauges have no global order across scopes; keep the
@@ -275,6 +309,8 @@ impl ScopeSnapshot {
         self.sweep_micros.merge(&other.sweep_micros);
         self.diagnosis_micros.merge(&other.diagnosis_micros);
         self.pair_score_nanos.merge(&other.pair_score_nanos);
+        self.recorder_append_nanos
+            .merge(&other.recorder_append_nanos);
     }
 
     /// Whether any event has been recorded in this scope.

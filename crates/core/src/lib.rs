@@ -62,9 +62,9 @@ pub use engine::telemetry::{
     SpanSnapshot, Telemetry, TelemetrySnapshot, CONFIDENT_SIMILARITY, HISTOGRAM_BUCKETS,
 };
 pub use engine::{
-    ArimaDetector, CusumStreamDetector, Detector, DetectorRun, Engine, EngineBuilder,
-    EngineCounters, EngineEvent, EventSink, HistoryRecorder, NullRecorder, NullSink, TickDecision,
-    TickOutcome,
+    ArimaDetector, ContextStateSnapshot, CusumStreamDetector, Detector, DetectorRun, Engine,
+    EngineBuilder, EngineCounters, EngineEvent, EngineInspector, EventSink, HistoryRecorder,
+    NullRecorder, NullSink, TickDecision, TickOutcome,
 };
 pub use error::{CoreError, ErrorKind};
 pub use eval::{ConfusionMatrix, EvalOutcome, PrecisionRecall};

@@ -16,11 +16,21 @@
 //!                  pinned JSON wire form from `ix-core`
 //! sweeps           u32 count, length-prefixed JSON records
 //! diagnoses        u32 count, length-prefixed JSON records
+//! sections         zero or more trailing sections, each: 4-byte ASCII
+//!                  tag + u32 byte-length + opaque payload
 //! ```
 //!
 //! Floating-point columns are raw IEEE-754 bits, so a load reproduces the
 //! saved values bit-exactly. The JSON sections ride on the wire encodings
 //! pinned by tests in `ix-core` — a wire break fails there first.
+//!
+//! Trailing sections are the format's versioned extension point (the
+//! original `IXHIST01` files simply have none): `ix-replay` stores its
+//! config/seed header under [`REPLAY_SECTION`]. Unknown tags load with a
+//! warning instead of an error — a file written by a newer writer stays
+//! readable — and are preserved verbatim so a save of the load reproduces
+//! the original bytes. A truncated section frame is still a hard
+//! [`HistoryFileError::Format`].
 
 use std::fmt;
 use std::fs;
@@ -33,6 +43,13 @@ use crate::store::{ContextLog, DiagnosisRecord, HistoryStore, Inner, SweepRecord
 
 /// Leading magic of every history file (format name + version).
 const MAGIC: &[u8; 8] = b"IXHIST01";
+
+/// Tag of the trailing section holding `ix-replay`'s config/seed header.
+pub const REPLAY_SECTION: [u8; 4] = *b"RPLY";
+
+/// Section tags this version of the crate understands; anything else
+/// loads with a warning (forward-compat) and is carried verbatim.
+const KNOWN_SECTIONS: &[[u8; 4]] = &[REPLAY_SECTION];
 
 /// Upper bound on the dense context ids a file may claim. Context logs
 /// live in a `Vec` indexed by id, so an unchecked hostile id would force
@@ -240,6 +257,10 @@ impl HistoryStore {
             json_section(&mut w, &inner.events);
             json_section(&mut w, &inner.sweeps);
             json_section(&mut w, &inner.diagnoses);
+            for (tag, payload) in &inner.sections {
+                w.buf.extend_from_slice(tag);
+                w.bytes(payload);
+            }
             w.buf
         })
     }
@@ -256,6 +277,22 @@ impl HistoryStore {
     /// preallocated, so a hostile file fails with `Format` instead of
     /// aborting on allocation.
     pub fn from_bytes(bytes: &[u8]) -> Result<HistoryStore, HistoryFileError> {
+        HistoryStore::from_bytes_with_warnings(bytes).map(|(store, _)| store)
+    }
+
+    /// [`HistoryStore::from_bytes`], additionally reporting non-fatal
+    /// warnings — currently one per unknown trailing section tag, which a
+    /// newer writer may have appended (the section is preserved verbatim,
+    /// so re-saving keeps it).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`HistoryStore::from_bytes`]; a *truncated* trailing
+    /// section (fewer bytes than its tag + length frame promise) is still
+    /// a hard [`HistoryFileError::Format`].
+    pub fn from_bytes_with_warnings(
+        bytes: &[u8],
+    ) -> Result<(HistoryStore, Vec<String>), HistoryFileError> {
         let mut r = Reader { buf: bytes, at: 0 };
         if r.take(MAGIC.len())? != MAGIC {
             return Err(HistoryFileError::Format(
@@ -374,13 +411,33 @@ impl HistoryStore {
         for _ in 0..diagnosis_count {
             inner.diagnoses.push(r.json::<DiagnosisRecord>()?);
         }
-        if r.at != bytes.len() {
-            return Err(HistoryFileError::Format(format!(
-                "{} trailing bytes",
-                bytes.len() - r.at
-            )));
+        // Trailing sections: 4-byte tag + u32 length + payload, until the
+        // buffer ends. Unknown tags warn instead of failing so files from
+        // newer writers stay loadable; a short frame still errors.
+        let mut warnings = Vec::new();
+        while r.remaining() > 0 {
+            let tag: [u8; 4] = r
+                .take(4)
+                .map_err(|_| {
+                    HistoryFileError::Format(format!(
+                        "truncated trailing section ({} bytes left, tag needs 4)",
+                        bytes.len() - r.at
+                    ))
+                })?
+                .try_into()
+                .expect("take(4) yields 4 bytes");
+            let payload = r.bytes()?.to_vec();
+            if !KNOWN_SECTIONS.contains(&tag) {
+                warnings.push(format!(
+                    "unknown trailing section {:?} ({} bytes) — written by a newer \
+                     ix-history; preserved but not interpreted",
+                    String::from_utf8_lossy(&tag),
+                    payload.len()
+                ));
+            }
+            inner.sections.push((tag, payload));
         }
-        Ok(HistoryStore::from_inner(inner))
+        Ok((HistoryStore::from_inner(inner), warnings))
     }
 
     /// Saves the store to `path` in the `IXHIST01` format.
@@ -402,6 +459,19 @@ impl HistoryStore {
     pub fn load(path: impl AsRef<Path>) -> Result<HistoryStore, HistoryFileError> {
         let bytes = fs::read(path)?;
         HistoryStore::from_bytes(&bytes)
+    }
+
+    /// [`HistoryStore::load`], additionally reporting the non-fatal
+    /// warnings of [`HistoryStore::from_bytes_with_warnings`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`HistoryStore::load`].
+    pub fn load_with_warnings(
+        path: impl AsRef<Path>,
+    ) -> Result<(HistoryStore, Vec<String>), HistoryFileError> {
+        let bytes = fs::read(path)?;
+        HistoryStore::from_bytes_with_warnings(&bytes)
     }
 }
 
@@ -587,6 +657,69 @@ mod tests {
         for i in 0..8 {
             bytes.swap(a + i, b + i);
         }
+        expect_format_error(&bytes);
+    }
+
+    #[test]
+    fn known_sections_round_trip_canonically() {
+        let store = sample_store();
+        store.set_section(REPLAY_SECTION, vec![1, 2, 3, 4, 5]);
+        let bytes = store.to_bytes();
+        let (loaded, warnings) =
+            HistoryStore::from_bytes_with_warnings(&bytes).expect("well-formed");
+        assert!(
+            warnings.is_empty(),
+            "known tags must not warn: {warnings:?}"
+        );
+        assert_eq!(loaded.section(REPLAY_SECTION), Some(vec![1, 2, 3, 4, 5]));
+        assert_eq!(loaded.section(*b"none"), None);
+        assert_eq!(loaded.to_bytes(), bytes);
+        // Replacing a section keeps one copy under the tag.
+        loaded.set_section(REPLAY_SECTION, vec![9]);
+        assert_eq!(loaded.section(REPLAY_SECTION), Some(vec![9]));
+        assert_eq!(loaded.section_tags(), vec![REPLAY_SECTION]);
+    }
+
+    #[test]
+    fn unknown_trailing_section_loads_with_a_warning() {
+        // A file written by a hypothetical newer ix-history: a valid body
+        // followed by a section tag this version has never heard of.
+        let mut bytes = crafted(3, 3, &[0], 0, 1.0);
+        bytes.extend_from_slice(b"ZZT9");
+        bytes.extend_from_slice(&6u32.to_le_bytes());
+        bytes.extend_from_slice(b"future");
+        let (store, warnings) =
+            HistoryStore::from_bytes_with_warnings(&bytes).expect("forward-compat load");
+        assert_eq!(store.rows(ContextId::from_index(0)), 3);
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].contains("ZZT9"),
+            "the warning must name the tag: {}",
+            warnings[0]
+        );
+        // The unknown section is preserved verbatim: canonical round-trip.
+        assert_eq!(store.to_bytes(), bytes);
+        assert_eq!(store.section(*b"ZZT9"), Some(b"future".to_vec()));
+        // The warning-discarding entry point still loads the file.
+        assert!(HistoryStore::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn truncated_trailing_section_still_errors() {
+        let base = crafted(3, 3, &[0], 0, 1.0);
+        // Fewer bytes than a tag needs.
+        let mut bytes = base.clone();
+        bytes.extend_from_slice(b"ZZ");
+        expect_format_error(&bytes);
+        // A tag with no length frame.
+        let mut bytes = base.clone();
+        bytes.extend_from_slice(b"ZZT9");
+        expect_format_error(&bytes);
+        // A length frame promising more payload than remains.
+        let mut bytes = base;
+        bytes.extend_from_slice(b"ZZT9");
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        bytes.extend_from_slice(b"short");
         expect_format_error(&bytes);
     }
 

@@ -131,6 +131,11 @@ pub(crate) struct Inner {
     /// Labels resolved from the bound registry (or loaded from a file).
     pub(crate) labels: Vec<String>,
     pub(crate) registry: Option<Arc<ContextRegistry>>,
+    /// Tagged trailing sections carried at the end of the `IXHIST01`
+    /// image, in file order. Known tags (e.g. the replay header) are
+    /// interpreted by their owners; unknown tags are preserved verbatim so
+    /// saving a loaded file stays byte-canonical.
+    pub(crate) sections: Vec<([u8; 4], Vec<u8>)>,
 }
 
 impl Inner {
@@ -262,6 +267,25 @@ impl HistoryStore {
             .then(|| log.gather(range, TickSegment::residual))
     }
 
+    /// The detector threshold-exceeded column over a row range.
+    pub fn exceeded_series(&self, context: ContextId, range: Range<usize>) -> Option<Vec<bool>> {
+        let inner = self.read();
+        let log = inner.log(context)?;
+        if range.start > range.end || range.end > log.rows {
+            return None;
+        }
+        let mut out = Vec::with_capacity(range.len());
+        let mut i = range.start;
+        while i < range.end {
+            let (seg, off) = log.locate(i);
+            let col = log.segments[seg].exceeded();
+            let take = (range.end - i).min(col.len() - off);
+            out.extend_from_slice(&col[off..off + take]);
+            i += take;
+        }
+        Some(out)
+    }
+
     /// The lifetime tick labels over a row range.
     pub fn tick_labels(&self, context: ContextId, range: Range<usize>) -> Option<Vec<u64>> {
         let inner = self.read();
@@ -379,6 +403,34 @@ impl HistoryStore {
             .cloned()
             .collect()
     }
+
+    /// The payload of the trailing section tagged `tag`, if present.
+    ///
+    /// Sections are the format's forward-compat extension point: a
+    /// four-byte tag plus an opaque payload appended after the diagnosis
+    /// log (see the `IXHIST01` layout in the crate docs). `ix-replay`
+    /// stores its config/seed header under `REPLAY_SECTION`.
+    pub fn section(&self, tag: [u8; 4]) -> Option<Vec<u8>> {
+        self.read()
+            .sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, payload)| payload.clone())
+    }
+
+    /// Installs (or replaces) the trailing section tagged `tag`.
+    pub fn set_section(&self, tag: [u8; 4], payload: Vec<u8>) {
+        let mut inner = self.write();
+        match inner.sections.iter_mut().find(|(t, _)| *t == tag) {
+            Some((_, existing)) => *existing = payload,
+            None => inner.sections.push((tag, payload)),
+        }
+    }
+
+    /// The tags of all trailing sections, in file order.
+    pub fn section_tags(&self) -> Vec<[u8; 4]> {
+        self.read().sections.iter().map(|(t, _)| *t).collect()
+    }
 }
 
 impl HistoryRecorder for HistoryStore {
@@ -456,6 +508,12 @@ impl HistoryRecorder for HistoryStore {
     // after concurrent ticks or run resets have landed.
     fn frame_rows(&self, context: ContextId, rows: Range<usize>) -> Option<MetricFrame> {
         self.frame(context, rows)
+    }
+
+    fn segment_count(&self, context: ContextId) -> Option<u64> {
+        self.read()
+            .log(context)
+            .map(|log| log.segments.len() as u64)
     }
 }
 

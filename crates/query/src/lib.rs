@@ -33,12 +33,14 @@ mod counterfactual;
 mod error;
 mod explain;
 mod plan;
+mod scan;
 
 pub use cooccur::{Cooccurrence, CooccurrencePair, CooccurrenceReport};
 pub use counterfactual::{Counterfactual, CounterfactualReport};
 pub use error::QueryError;
 pub use explain::Explanations;
 pub use plan::{QueryPlan, ScanStep};
+pub use scan::{all_context_rows, context_rows, TickRow};
 
 use ix_core::{Engine, OperationContext};
 use ix_history::HistoryStore;

@@ -1,0 +1,71 @@
+//! Row-scan helpers: materializing recorded tick rows from the columnar
+//! store.
+//!
+//! The store lays ticks out column-major (one contiguous slice per
+//! metric), which is the right shape for series queries but the wrong
+//! shape for row-by-row comparison — the operation replay bisection and
+//! trace diffing are built on. [`context_rows`] gathers a row range back
+//! into per-tick [`TickRow`]s with one columnar scan per column, so
+//! callers never hand-roll the segment walk.
+
+use std::ops::Range;
+
+use ix_core::ContextId;
+use ix_history::HistoryStore;
+use ix_metrics::METRIC_COUNT;
+
+/// One recorded tick row, materialized from the columnar store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickRow {
+    /// Row index within the context's log.
+    pub row: usize,
+    /// The engine's lifetime tick label.
+    pub tick: u64,
+    /// The ingested CPI sample.
+    pub cpi: f64,
+    /// The detector's residual for the tick.
+    pub residual: f64,
+    /// Whether the residual exceeded the detector threshold.
+    pub exceeded: bool,
+    /// The full metric row (`METRIC_COUNT` wide).
+    pub metrics: Vec<f64>,
+}
+
+/// Materializes the rows `range` of `context` as per-tick [`TickRow`]s,
+/// or `None` when the context is unknown or the range exceeds the
+/// recorded rows. Each column is gathered with one contiguous scan.
+pub fn context_rows(
+    store: &HistoryStore,
+    context: ContextId,
+    range: Range<usize>,
+) -> Option<Vec<TickRow>> {
+    let start = range.start;
+    let ticks = store.tick_labels(context, range.clone())?;
+    let cpi = store.cpi_series(context, range.clone())?;
+    let residual = store.residual_series(context, range.clone())?;
+    let exceeded = store.exceeded_series(context, range.clone())?;
+    let frame = store.frame(context, range)?;
+    Some(
+        (0..ticks.len())
+            .map(|i| {
+                let mut metrics = vec![0.0; METRIC_COUNT];
+                metrics.copy_from_slice(frame.tick(i));
+                TickRow {
+                    row: start + i,
+                    tick: ticks[i],
+                    cpi: cpi[i],
+                    residual: residual[i],
+                    exceeded: exceeded[i],
+                    metrics,
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Every recorded row of `context`, in row order (empty for an unknown
+/// context).
+pub fn all_context_rows(store: &HistoryStore, context: ContextId) -> Vec<TickRow> {
+    let rows = store.rows(context);
+    context_rows(store, context, 0..rows).unwrap_or_default()
+}

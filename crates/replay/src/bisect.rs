@@ -1,0 +1,156 @@
+//! Trace bisection: find the first lifetime tick at which two traces of
+//! the same scenario diverge.
+//!
+//! The predicate "the traces agree on every row with lifetime tick `< t`"
+//! is monotone in `t` (rows are append-only and lifetime ticks are the
+//! global ingestion order), so the first divergent tick is found by
+//! binary search — `O(log T)` prefix comparisons, each one a columnar
+//! row scan through `ix-query` rather than a hand-rolled segment walk.
+
+use ix_history::HistoryStore;
+use ix_query::context_rows;
+
+use crate::driver::row_diff;
+
+/// Where and how two traces first diverge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BisectReport {
+    /// The first lifetime tick whose rows differ between the traces.
+    pub tick: u64,
+    /// The `workload@node` label of the context whose row differs —
+    /// `None` when the divergence is a row present in only one trace.
+    pub context: Option<String>,
+    /// Field-level description of the difference.
+    pub detail: String,
+}
+
+impl std::fmt::Display for BisectReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.context {
+            Some(context) => write!(
+                f,
+                "first divergence at tick {} ({}): {}",
+                self.tick, context, self.detail
+            ),
+            None => write!(f, "first divergence at tick {}: {}", self.tick, self.detail),
+        }
+    }
+}
+
+/// Binary-searches the first lifetime tick at which `a` and `b` diverge.
+/// Returns `None` when every row of both traces agrees.
+pub fn bisect(a: &HistoryStore, b: &HistoryStore) -> Option<BisectReport> {
+    // The search space is lifetime ticks 0..=max+1; `prefix_equal(t)`
+    // asks whether everything strictly before tick `t` agrees.
+    let max_tick = last_tick(a).max(last_tick(b))?;
+    let upper = max_tick + 1;
+    if prefix_equal(a, b, upper + 1) {
+        return None;
+    }
+    // Invariant: prefix_equal(lo) holds, prefix_equal(hi) does not.
+    let (mut lo, mut hi) = (0u64, upper + 1);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if prefix_equal(a, b, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Rows before `lo` agree; tick `lo` itself is the first divergence.
+    Some(describe_divergence(a, b, lo))
+}
+
+/// The highest lifetime tick recorded in either store, if any rows exist.
+fn last_tick(store: &HistoryStore) -> Option<u64> {
+    store
+        .contexts()
+        .into_iter()
+        .filter_map(|c| {
+            let rows = store.rows(c);
+            store
+                .tick_labels(c, rows.saturating_sub(1)..rows)?
+                .first()
+                .copied()
+        })
+        .max()
+}
+
+/// Whether every row with lifetime tick `< t` agrees between the stores
+/// (bit-exact, per context label).
+fn prefix_equal(a: &HistoryStore, b: &HistoryStore, t: u64) -> bool {
+    for label in labels(a).into_iter().chain(labels(b)) {
+        let rows_a = rows_before(a, &label, t);
+        let rows_b = rows_before(b, &label, t);
+        if rows_a.len() != rows_b.len() {
+            return false;
+        }
+        for (x, y) in rows_a.iter().zip(rows_b.iter()) {
+            if row_diff(x, y).is_some() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn labels(store: &HistoryStore) -> Vec<String> {
+    store
+        .contexts()
+        .into_iter()
+        .map(|c| store.label(c))
+        .collect()
+}
+
+/// A context's rows with lifetime tick `< t`, by label; empty when the
+/// store has no such context.
+fn rows_before(store: &HistoryStore, label: &str, t: u64) -> Vec<ix_query::TickRow> {
+    let Some(context) = store
+        .contexts()
+        .into_iter()
+        .find(|&c| store.label(c) == *label)
+    else {
+        return Vec::new();
+    };
+    let Some(range) = store.rows_for_ticks(context, 0..t) else {
+        return Vec::new();
+    };
+    context_rows(store, context, range).unwrap_or_default()
+}
+
+/// Builds the report for the (already located) first divergent tick.
+fn describe_divergence(a: &HistoryStore, b: &HistoryStore, tick: u64) -> BisectReport {
+    // Rows before `tick` agree, rows before `tick + 1` do not — so the
+    // difference is a row labelled exactly `tick` in one (or both) traces.
+    for label in labels(a).into_iter().chain(labels(b)) {
+        let rows_a = rows_before(a, &label, tick + 1);
+        let rows_b = rows_before(b, &label, tick + 1);
+        if rows_a.len() != rows_b.len() {
+            return BisectReport {
+                tick,
+                context: Some(label.clone()),
+                detail: format!(
+                    "row present in only one trace ({} vs {} rows up to tick {})",
+                    rows_a.len(),
+                    rows_b.len(),
+                    tick
+                ),
+            };
+        }
+        for (x, y) in rows_a.iter().zip(rows_b.iter()) {
+            if let Some(detail) = row_diff(x, y) {
+                return BisectReport {
+                    tick,
+                    context: Some(label.clone()),
+                    detail,
+                };
+            }
+        }
+    }
+    BisectReport {
+        tick,
+        context: None,
+        detail: "traces diverge at this tick but no per-context row differs (context set change)"
+            .to_string(),
+    }
+}

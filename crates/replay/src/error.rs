@@ -1,0 +1,58 @@
+//! Replay error type.
+
+use std::fmt;
+
+use ix_core::CoreError;
+
+/// Why a trace could not be recorded, reconstructed or replayed.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The trace has no `RPLY` header section — it was recorded without a
+    /// [`crate::RecordingSession`] and cannot be replayed standalone.
+    MissingHeader,
+    /// The header section exists but does not parse.
+    Header(String),
+    /// The header's version is newer than this crate understands.
+    Version(u32),
+    /// Reconstructing the engine from the header failed.
+    Engine(CoreError),
+    /// The trace's row data is internally inconsistent (e.g. a context
+    /// whose columns disagree in length).
+    Trace(String),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::MissingHeader => {
+                write!(f, "trace has no replay header (RPLY section)")
+            }
+            ReplayError::Header(msg) => write!(f, "replay header does not parse: {msg}"),
+            ReplayError::Version(v) => write!(
+                f,
+                "replay header version {v} is newer than supported version {}",
+                crate::REPLAY_HEADER_VERSION
+            ),
+            ReplayError::Engine(e) => write!(f, "engine reconstruction failed: {e}"),
+            ReplayError::Trace(msg) => write!(f, "trace is inconsistent: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Engine(e) => Some(e),
+            ReplayError::MissingHeader
+            | ReplayError::Header(_)
+            | ReplayError::Version(_)
+            | ReplayError::Trace(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for ReplayError {
+    fn from(e: CoreError) -> Self {
+        ReplayError::Engine(e)
+    }
+}

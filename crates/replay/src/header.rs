@@ -1,0 +1,134 @@
+//! The replay header: configuration + trained state embedded in a trace.
+//!
+//! A trace is replayable only if the replayer can rebuild the *exact*
+//! engine that produced it. The header carries the two inputs that
+//! determine the engine — the [`InvarNetConfig`] and the trained
+//! [`ModelStore`] — as JSON in the trace file's `RPLY` trailing section
+//! (see `ix_history::REPLAY_SECTION`). Readers that predate the section
+//! mechanism reject such files; readers that know the mechanism but not
+//! this tag load the trace with a warning and simply cannot replay it —
+//! the forward-compatibility contract of the `IXHIST01` format.
+
+use ix_core::{InvarNetConfig, ModelStore};
+use ix_history::{HistoryStore, REPLAY_SECTION};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::error::ReplayError;
+
+/// The header version this crate writes and the newest it reads.
+pub const REPLAY_HEADER_VERSION: u32 = 1;
+
+/// Everything needed to rebuild the engine a trace was recorded with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayHeader {
+    /// Header format version (see [`REPLAY_HEADER_VERSION`]).
+    pub version: u32,
+    /// The engine configuration of the recording run.
+    pub config: InvarNetConfig,
+    /// The trained state the recording engine was loaded with.
+    pub store: ModelStore,
+}
+
+impl Serialize for ReplayHeader {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".to_string(), self.version.to_value()),
+            ("config".to_string(), self.config.to_value()),
+            ("store".to_string(), self.store.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ReplayHeader {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(ReplayHeader {
+            version: u32::from_value(value.field("version")?)?,
+            config: InvarNetConfig::from_value(value.field("config")?)?,
+            store: ModelStore::from_value(value.field("store")?)?,
+        })
+    }
+}
+
+impl ReplayHeader {
+    /// A version-1 header for the given recording inputs.
+    pub fn new(config: InvarNetConfig, store: ModelStore) -> Self {
+        ReplayHeader {
+            version: REPLAY_HEADER_VERSION,
+            config,
+            store,
+        }
+    }
+
+    /// Writes this header into the trace's `RPLY` section (replacing any
+    /// previous one).
+    pub fn embed(&self, history: &HistoryStore) {
+        let json = serde_json::to_string(self).expect("header serialization is infallible");
+        history.set_section(REPLAY_SECTION, json.into_bytes());
+    }
+
+    /// Reads the header back out of a trace.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::MissingHeader`] when the trace has no `RPLY`
+    /// section, [`ReplayError::Header`] when it does not parse, and
+    /// [`ReplayError::Version`] when it was written by a newer crate.
+    pub fn extract(history: &HistoryStore) -> Result<Self, ReplayError> {
+        let payload = history
+            .section(REPLAY_SECTION)
+            .ok_or(ReplayError::MissingHeader)?;
+        let text = String::from_utf8(payload)
+            .map_err(|e| ReplayError::Header(format!("not UTF-8: {e}")))?;
+        let header: ReplayHeader =
+            serde_json::from_str(&text).map_err(|e| ReplayError::Header(e.to_string()))?;
+        if header.version > REPLAY_HEADER_VERSION {
+            return Err(ReplayError::Version(header.version));
+        }
+        Ok(header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips_through_a_store_section() {
+        let store = HistoryStore::new();
+        let header = ReplayHeader::new(InvarNetConfig::default(), ModelStore::new());
+        header.embed(&store);
+        let back = ReplayHeader::extract(&store).expect("extract");
+        assert_eq!(back, header);
+    }
+
+    #[test]
+    fn missing_header_is_a_typed_error() {
+        let store = HistoryStore::new();
+        assert!(matches!(
+            ReplayHeader::extract(&store),
+            Err(ReplayError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn newer_version_is_rejected() {
+        let store = HistoryStore::new();
+        let mut header = ReplayHeader::new(InvarNetConfig::default(), ModelStore::new());
+        header.version = REPLAY_HEADER_VERSION + 1;
+        header.embed(&store);
+        assert!(matches!(
+            ReplayHeader::extract(&store),
+            Err(ReplayError::Version(v)) if v == REPLAY_HEADER_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn garbage_section_is_a_header_error() {
+        let store = HistoryStore::new();
+        store.set_section(REPLAY_SECTION, b"not json".to_vec());
+        assert!(matches!(
+            ReplayHeader::extract(&store),
+            Err(ReplayError::Header(_))
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! Minimal hand-rolled ANSI terminal control.
+//!
+//! The workspace is fully offline, so there is no terminal crate to lean
+//! on; the console needs exactly four control sequences (home, clear,
+//! hide/show cursor), written with `write!` against a locked stdout.
+//! Frame *content* is produced by [`crate::render_frame`] as plain text,
+//! so headless runs and golden tests never see an escape byte.
+
+use std::io::{self, Write};
+
+/// Move the cursor home and clear to the end of the screen.
+pub const CLEAR_AND_HOME: &str = "\x1b[H\x1b[J";
+/// Hide the cursor while frames repaint.
+pub const HIDE_CURSOR: &str = "\x1b[?25l";
+/// Restore the cursor.
+pub const SHOW_CURSOR: &str = "\x1b[?25h";
+
+/// A live-painting guard: hides the cursor on entry and restores it on
+/// drop, so a panicking or interrupted console never leaves the terminal
+/// cursorless.
+#[must_use = "dropping the screen restores the cursor; hold it for the paint loop"]
+#[derive(Debug)]
+pub struct Screen {
+    out: io::Stdout,
+}
+
+impl Screen {
+    /// Takes over the terminal: hides the cursor and clears the screen.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `write` failure.
+    pub fn enter() -> io::Result<Screen> {
+        let screen = Screen { out: io::stdout() };
+        {
+            let mut lock = screen.out.lock();
+            write!(lock, "{HIDE_CURSOR}{CLEAR_AND_HOME}")?;
+            lock.flush()?;
+        }
+        Ok(screen)
+    }
+
+    /// Repaints the whole screen with `frame` (home + clear + content).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `write` failure.
+    pub fn paint(&mut self, frame: &str) -> io::Result<()> {
+        let mut lock = self.out.lock();
+        write!(lock, "{CLEAR_AND_HOME}{frame}")?;
+        lock.flush()
+    }
+}
+
+impl Drop for Screen {
+    fn drop(&mut self) {
+        let mut lock = self.out.lock();
+        let _ = write!(lock, "{SHOW_CURSOR}");
+        let _ = lock.flush();
+    }
+}

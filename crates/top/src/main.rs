@@ -1,0 +1,175 @@
+//! `ix-top` — the operator console binary.
+//!
+//! Live attachment happens in-process (see the library docs); the binary
+//! is the *replay* face of the console: point it at a recorded
+//! `ix-history` trace and watch the run unfold at an adjustable speed,
+//! or render headless frames for CI and piped output.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ix_history::HistoryStore;
+use ix_top::{render_frame, ReplayFeed, Screen, TopConsole};
+
+const USAGE: &str = "\
+ix-top — operator console over recorded InvarNet-X traces
+
+USAGE:
+    ix-top --replay <trace.ixh> [OPTIONS]
+
+OPTIONS:
+    --replay <path>   trace to replay (required)
+    --speed <mult>    playback speed multiplier       [default: 1.0]
+    --frames <n>      stop after n rendered frames    [default: unbounded]
+    --width <cols>    frame width in columns          [default: 100]
+    --tail <n>        event tail length               [default: 12]
+    --headless        no ANSI, no pacing; print the final frame to stdout
+    --help            this text
+";
+
+struct Args {
+    replay: Option<String>,
+    speed: f64,
+    frames: Option<u64>,
+    width: usize,
+    tail: usize,
+    headless: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        replay: None,
+        speed: 1.0,
+        frames: None,
+        width: 100,
+        tail: 12,
+        headless: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--speed" => {
+                args.speed = value("--speed")?
+                    .parse()
+                    .map_err(|e| format!("--speed: {e}"))?;
+            }
+            "--frames" => {
+                args.frames = Some(
+                    value("--frames")?
+                        .parse()
+                        .map_err(|e| format!("--frames: {e}"))?,
+                );
+            }
+            "--width" => {
+                args.width = value("--width")?
+                    .parse()
+                    .map_err(|e| format!("--width: {e}"))?;
+            }
+            "--tail" => {
+                args.tail = value("--tail")?
+                    .parse()
+                    .map_err(|e| format!("--tail: {e}"))?;
+            }
+            "--headless" => args.headless = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(path) = args.replay.as_deref() else {
+        eprintln!("error: --replay <trace.ixh> is required\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let (store, warnings) = match HistoryStore::load_with_warnings(path) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("error: cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for warning in &warnings {
+        eprintln!("warning: {warning}");
+    }
+
+    let console = TopConsole::with_tail(args.tail);
+    let mut feed = ReplayFeed::new(&store, console, args.speed);
+    eprintln!(
+        "replaying {} events across {} contexts from {path}",
+        feed.total(),
+        store.contexts().len()
+    );
+
+    let mut screen = if args.headless {
+        None
+    } else {
+        match Screen::enter() {
+            Ok(screen) => Some(screen),
+            Err(e) => {
+                eprintln!("error: cannot take over the terminal: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    // Pace one frame per tick batch at 1x; faster speeds cover more
+    // events per frame and sleep proportionally less.
+    let batch = (feed.total() / 200).max(1) * feed.ticks_per_frame();
+    let frame_delay = Duration::from_millis((50.0 / args.speed.max(0.01)) as u64);
+    let mut prev = None;
+    let mut rendered = 0u64;
+    let mut paint_error = None;
+    while !feed.is_done() && paint_error.is_none() {
+        if args.frames.is_some_and(|max| rendered >= max) {
+            break;
+        }
+        feed.advance(batch);
+        let snap = feed.snapshot();
+        let frame = render_frame(&snap, prev.as_ref(), args.width);
+        match screen.as_mut() {
+            Some(live) => match live.paint(&frame) {
+                Ok(()) => std::thread::sleep(frame_delay),
+                Err(e) => paint_error = Some(e),
+            },
+            None => {
+                // Headless: only the final frame goes to stdout; render
+                // intermediates anyway so drift sparklines are exercised.
+            }
+        }
+        prev = Some(snap);
+        rendered += 1;
+    }
+    drop(screen);
+    if let Some(e) = paint_error {
+        eprintln!("error: paint failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // Final frame on stdout for headless runs (and a clean last frame
+    // after the live screen restores the cursor).
+    let final_snap = feed.snapshot();
+    let frame = render_frame(&final_snap, prev.as_ref(), args.width);
+    print!("{frame}");
+    eprintln!(
+        "replayed {}/{} events in {} frames",
+        feed.position(),
+        feed.total(),
+        rendered
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,157 @@
+//! Headless golden rendering: the same fixture snapshot must always
+//! produce byte-identical frames — no TTY, no clock, no locale.
+//!
+//! Regenerate the goldens after an intentional layout change with
+//! `IX_TOP_BLESS=1 cargo test -p ix-top --test golden`.
+
+use std::path::PathBuf;
+
+use ix_core::{HistogramSnapshot, ScopeSnapshot, TelemetrySnapshot, HISTOGRAM_BUCKETS};
+use ix_top::{render_frame, ReplayPosition, TopSnapshot};
+
+fn data_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = data_path(name);
+    if std::env::var_os("IX_TOP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("data dir")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (bless with IX_TOP_BLESS=1)", name));
+    assert_eq!(
+        actual, expected,
+        "frame drifted from golden {name}; bless with IX_TOP_BLESS=1 if intentional"
+    );
+}
+
+fn histogram(mass: &[(usize, u64)]) -> HistogramSnapshot {
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    let mut count = 0;
+    let mut sum = 0;
+    let mut max = 0;
+    for &(bucket, n) in mass {
+        buckets[bucket] += n;
+        count += n;
+        // A representative value inside the bucket keeps sum/max coherent.
+        let value = 1u64 << bucket;
+        sum += value * n;
+        max = max.max(value);
+    }
+    HistogramSnapshot {
+        buckets,
+        count,
+        sum,
+        max,
+    }
+}
+
+fn scope(label: &str, ticks: u64, ingest: &[(usize, u64)]) -> ScopeSnapshot {
+    let mut scope = ScopeSnapshot::empty(label.to_string());
+    scope.ticks = ticks;
+    scope.threshold_exceedances = ticks / 10;
+    scope.detections = 2;
+    scope.diagnoses = 2;
+    scope.sweeps = 2;
+    scope.matches_confident = 1;
+    scope.history_rows_recorded = ticks;
+    scope.history_segments = 1 + ticks / 512;
+    scope.ingest_micros = histogram(ingest);
+    scope.recorder_append_nanos = histogram(&[(7, ticks / 2), (8, ticks / 2)]);
+    scope
+}
+
+/// The committed fixture: two contexts mid-fault, one diagnosis in, a
+/// short event tail.
+fn fixture(ticks: u64) -> TopSnapshot {
+    let contexts = vec![
+        scope(
+            "Wordcount@192.168.1.105",
+            ticks,
+            &[(3, ticks / 2), (4, ticks / 3), (5, ticks / 6)],
+        ),
+        scope(
+            "Sort@192.168.1.102",
+            ticks / 2,
+            &[(3, ticks / 4), (4, ticks / 4)],
+        ),
+    ];
+    let mut total = ScopeSnapshot::empty("(all)".to_string());
+    for c in &contexts {
+        total.merge(c);
+    }
+    let telemetry = TelemetrySnapshot {
+        contexts,
+        total,
+        phases: Vec::new(),
+        spans: Vec::new(),
+    };
+    TopSnapshot {
+        telemetry,
+        tail: vec![
+            "t   312  DETECT   Wordcount@192.168.1.105 anomaly onset".to_string(),
+            "t   312  DIAGNOSE Wordcount@192.168.1.105 (1843 us)".to_string(),
+            "t   312  MATCH    Wordcount@192.168.1.105 sim 0.914".to_string(),
+        ],
+        latest_tick: ticks,
+        queue_depth: 12,
+        queue_capacity: 64,
+        shed_ticks: 0,
+        degraded_sweeps: 1,
+        health: "healthy".to_string(),
+        replay: Some(ReplayPosition {
+            position: 640,
+            total: 1280,
+            speed: 2.0,
+        }),
+    }
+}
+
+#[test]
+fn fixture_frame_matches_golden() {
+    let snap = fixture(400);
+    check_golden("frame.golden", &render_frame(&snap, None, 100));
+}
+
+#[test]
+fn drift_frame_matches_golden() {
+    // The second frame has more histogram mass in higher buckets; the
+    // sparkline must show only the delta.
+    let before = fixture(400);
+    let after = fixture(520);
+    check_golden(
+        "frame_drift.golden",
+        &render_frame(&after, Some(&before), 100),
+    );
+}
+
+#[test]
+fn narrow_frame_clips_by_characters() {
+    let snap = fixture(400);
+    let frame = render_frame(&snap, None, 48);
+    for line in frame.lines() {
+        assert!(
+            line.chars().count() <= 48,
+            "line wider than requested: {line:?}"
+        );
+    }
+    // The header contains a multi-byte dash; clipping must not panic or
+    // split it (both proven by rendering at every narrow width).
+    for width in 40..60 {
+        let _ = render_frame(&snap, None, width);
+    }
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    let snap = fixture(400);
+    assert_eq!(
+        render_frame(&snap, None, 100),
+        render_frame(&snap, None, 100)
+    );
+}

@@ -37,5 +37,7 @@ pub use ix_linalg as linalg;
 pub use ix_metrics as metrics;
 pub use ix_mic as mic;
 pub use ix_query as query;
+pub use ix_replay as replay;
 pub use ix_simulator as simulator;
 pub use ix_timeseries as timeseries;
+pub use ix_top as top;

@@ -252,3 +252,126 @@ fn query_explanations_reproduce_the_live_ranking() {
         .expect("sweep the recorded window");
     assert_eq!(AssociationMatrix::from_scores(record.scores), resweep);
 }
+
+/// A trivially cheap streaming detector: residual is the sample itself,
+/// threshold fixed high enough that nothing fires, so eight threads can
+/// hammer the ingest path without triggering sweeps.
+struct FlatDetector;
+
+/// One in-flight run of [`FlatDetector`].
+#[derive(Default)]
+struct FlatRun {
+    residuals: Vec<f64>,
+}
+
+impl invarnet_x::core::DetectorRun for FlatRun {
+    fn step(&mut self, x: f64) -> invarnet_x::core::TickDecision {
+        self.residuals.push(x);
+        invarnet_x::core::TickDecision {
+            residual: x,
+            exceeded: x > 0.9,
+            anomalous: false,
+        }
+    }
+
+    fn result(&self) -> invarnet_x::core::DetectionResult {
+        invarnet_x::core::DetectionResult {
+            exceedances: self.residuals.iter().map(|&x| x > 0.9).collect(),
+            anomalies: vec![false; self.residuals.len()],
+            residuals: self.residuals.clone(),
+            threshold: 0.9,
+            first_anomaly: None,
+        }
+    }
+}
+
+impl invarnet_x::core::Detector for FlatDetector {
+    fn name(&self) -> &'static str {
+        "FLAT"
+    }
+
+    fn begin_run(&self) -> Box<dyn invarnet_x::core::DetectorRun> {
+        Box::<FlatRun>::default()
+    }
+}
+
+/// The `RecorderTee` contract under contention: with eight threads each
+/// streaming their own context, the recorder must observe every context's
+/// events in exactly the order the live sink saw them, and the global
+/// event populations must match as multisets (the *interleaving* across
+/// contexts is scheduling-dependent and deliberately unconstrained).
+#[test]
+fn tee_preserves_per_context_order_under_concurrent_ingest() {
+    use invarnet_x::metrics::METRIC_COUNT;
+
+    const THREADS: usize = 8;
+    const TICKS: usize = 200;
+
+    let store = HistoryStore::shared();
+    let sink = Arc::new(VecSink::default());
+    let mut builder = Engine::builder()
+        .config(InvarNetConfig::default())
+        .event_sink(sink.clone())
+        .history(store.clone());
+    let contexts: Vec<OperationContext> = (0..THREADS)
+        .map(|i| OperationContext::new(format!("10.0.0.{i}"), format!("Workload{i}")))
+        .collect();
+    for context in &contexts {
+        builder = builder.detector(context.clone(), Arc::new(FlatDetector));
+    }
+    let engine = Arc::new(builder.build());
+
+    std::thread::scope(|scope| {
+        for (i, context) in contexts.iter().enumerate() {
+            let engine = Arc::clone(&engine);
+            scope.spawn(move || {
+                engine.reset_run(context);
+                for t in 0..TICKS {
+                    let sample = ((i * TICKS + t) as f64).sin().abs() * 0.8;
+                    let row = vec![sample; METRIC_COUNT];
+                    engine
+                        .ingest(context, sample, &row)
+                        .expect("concurrent ingest");
+                }
+            });
+        }
+    });
+
+    let live = sink.events();
+    let recorded = store.events();
+    assert_eq!(live.len(), recorded.len(), "the tee must not drop events");
+
+    for context in &contexts {
+        let id = engine
+            .context_registry()
+            .lookup(context)
+            .expect("ingested context is interned");
+        let live_ctx: Vec<EngineEvent> =
+            live.iter().filter(|e| e.context() == id).copied().collect();
+        let recorded_ctx = store.events_for(id);
+        assert_eq!(
+            live_ctx.len(),
+            TICKS,
+            "one TickIngested per tick for {context}"
+        );
+        assert_eq!(
+            live_ctx, recorded_ctx,
+            "recorder must preserve the sink's per-context order for {context}"
+        );
+        // The recorded rows are the same ticks, in ingest order.
+        assert_eq!(store.rows(id), TICKS);
+        let rows = invarnet_x::query::context_rows(&store, id, 0..TICKS)
+            .expect("recorded rows materialize");
+        assert!(rows.windows(2).all(|w| w[0].tick < w[1].tick));
+    }
+
+    // Across contexts the interleavings may differ; the populations may not.
+    let mut live_sorted: Vec<String> = live.iter().map(|e| format!("{e:?}")).collect();
+    let mut recorded_sorted: Vec<String> = recorded.iter().map(|e| format!("{e:?}")).collect();
+    live_sorted.sort_unstable();
+    recorded_sorted.sort_unstable();
+    assert_eq!(
+        live_sorted, recorded_sorted,
+        "global event multisets must match"
+    );
+}
