@@ -214,6 +214,23 @@ struct SweepJob {
     shared: Arc<SweepShared>,
 }
 
+/// A parallel for-each dispatched to the pool: workers claim indices in
+/// `0..count` off the shared cursor and run `task` on each. Used to
+/// parallelize per-series sweep preprocessing
+/// ([`crate::measure::AssociationMeasure::prepare_on`]).
+struct ScatterJob {
+    task: Arc<dyn Fn(usize) + Send + Sync>,
+    cursor: Arc<AtomicUsize>,
+    count: usize,
+    done_tx: Sender<()>,
+}
+
+/// What a pool worker can be asked to do.
+enum PoolJob {
+    Sweep(SweepJob),
+    Scatter(ScatterJob),
+}
+
 /// A persistent worker pool for pairwise association sweeps.
 ///
 /// The original `AssociationMatrix::compute` spawns (and joins) a fresh
@@ -223,7 +240,7 @@ struct SweepJob {
 /// channel. Dropping the pool shuts the workers down.
 #[must_use = "dropping a SweepPool joins and discards its worker threads"]
 pub struct SweepPool {
-    job_tx: Option<Sender<SweepJob>>,
+    job_tx: Option<Sender<PoolJob>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
 }
@@ -232,7 +249,7 @@ impl SweepPool {
     /// Starts `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (job_tx, job_rx) = channel::<SweepJob>();
+        let (job_tx, job_rx) = channel::<PoolJob>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let workers = (0..threads)
             .map(|_| {
@@ -252,14 +269,56 @@ impl SweepPool {
         self.threads
     }
 
-    fn worker_loop(job_rx: &Mutex<Receiver<SweepJob>>) {
+    /// Runs `task(i)` for every `i` in `0..count` across the pool's
+    /// workers, blocking until all indices have executed. Index order is
+    /// unspecified; each index runs exactly once. The task must synchronize
+    /// its own output (the pool only guarantees the happens-before edge
+    /// between every `task(i)` and this method's return).
+    pub fn scatter(&self, count: usize, task: Arc<dyn Fn(usize) + Send + Sync>) {
+        let (done_tx, done_rx) = channel();
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let job_tx = self.job_tx.as_ref().expect("pool alive until drop");
+        for _ in 0..self.threads {
+            job_tx
+                .send(PoolJob::Scatter(ScatterJob {
+                    task: Arc::clone(&task),
+                    cursor: Arc::clone(&cursor),
+                    count,
+                    done_tx: done_tx.clone(),
+                }))
+                .expect("pool workers alive until drop");
+        }
+        drop(done_tx);
+        for _ in 0..self.threads {
+            let _ = done_rx.recv();
+        }
+    }
+
+    fn worker_loop(job_rx: &Mutex<Receiver<PoolJob>>) {
         loop {
             // Hold the lock only while receiving, not while scoring.
             let job = match job_rx.lock() {
                 Ok(rx) => rx.recv(),
                 Err(_) => return,
             };
-            let Ok(job) = job else { return };
+            let job = match job {
+                Ok(PoolJob::Sweep(job)) => job,
+                Ok(PoolJob::Scatter(job)) => {
+                    loop {
+                        // ordering: Relaxed — fetch_add atomicity alone hands
+                        // each index out once; the task's own writes publish
+                        // through the done channel send below.
+                        let i = job.cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= job.count {
+                            break;
+                        }
+                        (job.task)(i);
+                    }
+                    let _ = job.done_tx.send(());
+                    continue;
+                }
+                Err(_) => return,
+            };
             let shared = &job.shared;
             let n_pairs = pair_count();
             let mut scorer = shared.plan.as_deref().map(SweepPlan::scorer);
@@ -348,7 +407,7 @@ impl SweepPool {
         let series: Vec<Vec<f64>> = MetricId::ALL.iter().map(|&m| frame.series(m)).collect();
         let n_pairs = pair_count();
         let prepare_started = Instant::now();
-        let plan = measure.prepare(&series);
+        let plan = measure.prepare_on(&series, self);
         if plan.is_some() {
             sink.record(&EngineEvent::SpanClosed {
                 phase: EnginePhase::ProfileBuild,
@@ -373,9 +432,9 @@ impl SweepPool {
         let job_tx = self.job_tx.as_ref().expect("pool alive until drop");
         for _ in 0..self.threads {
             job_tx
-                .send(SweepJob {
+                .send(PoolJob::Sweep(SweepJob {
                     shared: Arc::clone(&shared),
-                })
+                }))
                 .expect("sweep workers alive until drop");
         }
         drop(shared);

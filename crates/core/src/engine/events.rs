@@ -94,6 +94,21 @@ pub enum EngineEvent {
         /// Wall-clock microseconds the chunk took.
         micros: u64,
     },
+    /// An incremental sweep's screen-then-confirm pass finished: the
+    /// diagnosis window was a bounded slide of the previous one, profiles
+    /// advanced by delta, and each pair was either reused, screened out by
+    /// the conservative bound, or confirmed with the full measure.
+    SweepScreened {
+        /// The context whose window was incrementally swept.
+        context: ContextId,
+        /// Pairs whose cached score was kept with no fresh work.
+        reused: usize,
+        /// Stale invariant pairs the conservative bound proved unable to
+        /// cross the violation threshold.
+        screened: usize,
+        /// Stale invariant pairs re-scored with the full measure.
+        confirmed: usize,
+    },
     /// The engine consulted its frame-fingerprint → association-matrix
     /// cache before sweeping.
     SweepCacheLookup {
@@ -172,6 +187,7 @@ impl EngineEvent {
             | EngineEvent::SignatureMatched { context, .. }
             | EngineEvent::SweepCompleted { context, .. }
             | EngineEvent::PairsScored { context, .. }
+            | EngineEvent::SweepScreened { context, .. }
             | EngineEvent::SweepCacheLookup { context, .. }
             | EngineEvent::SpanClosed { context, .. }
             | EngineEvent::SweepDegraded { context, .. }
@@ -254,6 +270,9 @@ pub struct EngineCounters {
     sweep_micros_max: AtomicU64,
     sweep_cache_hits: AtomicU64,
     sweep_cache_misses: AtomicU64,
+    sweep_pairs_reused: AtomicU64,
+    sweep_pairs_screened: AtomicU64,
+    sweep_pairs_confirmed: AtomicU64,
     signature_matches: AtomicU64,
     sweeps_degraded: AtomicU64,
     ticks_enqueued: AtomicU64,
@@ -317,6 +336,21 @@ impl EngineCounters {
     /// Cache lookups that fell through to a full sweep.
     pub fn sweep_cache_misses(&self) -> u64 {
         Self::get(&self.sweep_cache_misses)
+    }
+
+    /// Pairs incremental sweeps reused verbatim from the score cache.
+    pub fn sweep_pairs_reused(&self) -> u64 {
+        Self::get(&self.sweep_pairs_reused)
+    }
+
+    /// Pairs incremental sweeps screened out with the conservative bound.
+    pub fn sweep_pairs_screened(&self) -> u64 {
+        Self::get(&self.sweep_pairs_screened)
+    }
+
+    /// Pairs incremental sweeps confirmed with the full measure.
+    pub fn sweep_pairs_confirmed(&self) -> u64 {
+        Self::get(&self.sweep_pairs_confirmed)
     }
 
     /// Confident signature matches reported by diagnoses.
@@ -386,6 +420,19 @@ impl EventSink for EngineCounters {
                 } else {
                     self.sweep_cache_misses.fetch_add(1, Ordering::Relaxed);
                 }
+            }
+            EngineEvent::SweepScreened {
+                reused,
+                screened,
+                confirmed,
+                ..
+            } => {
+                self.sweep_pairs_reused
+                    .fetch_add(reused as u64, Ordering::Relaxed);
+                self.sweep_pairs_screened
+                    .fetch_add(screened as u64, Ordering::Relaxed);
+                self.sweep_pairs_confirmed
+                    .fetch_add(confirmed as u64, Ordering::Relaxed);
             }
             EngineEvent::SweepDegraded { .. } => {
                 self.sweeps_degraded.fetch_add(1, Ordering::Relaxed);
@@ -470,6 +517,12 @@ mod tests {
             context: ctx,
             hit: false,
         });
+        c.record(&EngineEvent::SweepScreened {
+            context: ctx,
+            reused: 300,
+            screened: 20,
+            confirmed: 5,
+        });
         assert_eq!(c.ticks_ingested(), 2);
         assert_eq!(c.detections_fired(), 1);
         assert_eq!(c.detections_cleared(), 1);
@@ -481,6 +534,9 @@ mod tests {
         assert_eq!(c.sweep_micros_max(), 30);
         assert_eq!(c.sweep_cache_hits(), 1);
         assert_eq!(c.sweep_cache_misses(), 2);
+        assert_eq!(c.sweep_pairs_reused(), 300);
+        assert_eq!(c.sweep_pairs_screened(), 20);
+        assert_eq!(c.sweep_pairs_confirmed(), 5);
     }
 
     #[test]

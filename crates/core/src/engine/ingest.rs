@@ -201,8 +201,12 @@ impl Engine {
                         .and_then(|r| r.frame_rows(context_id, rows))
                         .ok_or_else(|| CoreError::HistoryWindow(context.clone()))?,
                 };
-                let verdict =
-                    self.budgeted_matrix_for(context_id, &frame, self.config().sweep_budget)?;
+                let verdict = self.diagnosis_matrix_for(
+                    context_id,
+                    &frame,
+                    self.config().sweep_budget,
+                    &invariants,
+                )?;
                 let tuple = verdict.violation_tuple(&invariants, self.config().epsilon);
                 let mut diagnosis = self.rank_tuple(context, tuple)?;
                 diagnosis.degradation = verdict.degradation;

@@ -38,8 +38,9 @@ mod sweep_cache;
 pub mod telemetry;
 mod wire;
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use ix_metrics::{MetricFrame, MetricId, METRIC_COUNT};
@@ -50,6 +51,7 @@ use crate::config::{DetectorChoice, InvarNetConfig};
 use crate::context::OperationContext;
 use crate::cusum::CusumDetector;
 use crate::error::CoreError;
+use crate::incremental::{AdvanceOutcome, IncrementalSweep};
 use crate::invariants::InvariantSet;
 use crate::measure::{AssociationMeasure, MicMeasure, PearsonMeasure};
 use crate::signature::{Signature, SignatureDatabase, ViolationTuple};
@@ -66,7 +68,8 @@ pub use telemetry::Telemetry;
 use recorder::RecorderTee;
 
 use resilience::{
-    DegradationReason, DegradationTier, HealthMonitor, IngestQueue, SweepBudget, SweepDegradation,
+    DegradationReason, DegradationTier, HealthMonitor, IngestQueue, SweepBudget,
+    SweepCostPredictor, SweepDegradation,
 };
 use state::ShardedStateMap;
 use sweep_cache::SweepCache;
@@ -96,10 +99,14 @@ pub struct Engine {
     ticks: AtomicU64,
     health: HealthMonitor,
     queue: IngestQueue,
-    /// EWMA of recent full-sweep durations in microseconds (`0` = no
-    /// completed sweep yet), consulted to predict budget overruns before
-    /// burning wall-clock on a doomed sweep.
-    sweep_ewma: AtomicU64,
+    /// EWMA estimates of full and incremental sweep cost, consulted to
+    /// predict budget overruns before burning wall-clock on a doomed
+    /// sweep (and to probe out of a stale over-budget estimate).
+    sweep_cost: SweepCostPredictor,
+    /// Per-context incremental sweep state: the delta-maintained plan and
+    /// score cache [`Engine::diagnosis_matrix_for`] advances instead of
+    /// re-sweeping from scratch when consecutive diagnosis windows slide.
+    incremental: Mutex<HashMap<ContextId, IncrementalSweep>>,
 }
 
 impl Engine {
@@ -142,7 +149,8 @@ impl Engine {
             ticks: AtomicU64::new(0),
             health: HealthMonitor::new(),
             queue,
-            sweep_ewma: AtomicU64::new(0),
+            sweep_cost: SweepCostPredictor::new(),
+            incremental: Mutex::new(HashMap::new()),
         }
     }
 
@@ -357,12 +365,16 @@ impl Engine {
             ));
         }
         // When past full sweeps averaged longer than the wall budget,
-        // predict the overrun instead of paying for it.
+        // predict the overrun instead of paying for it — except for the
+        // periodic probe that keeps the estimate honest: a skipped sweep
+        // produces no sample, so without probes a stale over-budget
+        // estimate would pin the engine in the degraded tier forever.
         if let Some(wall) = budget.wall {
-            // ordering: Relaxed — the EWMA is an advisory load estimate;
-            // a stale read merely degrades one sweep earlier or later.
-            let ewma_micros = self.sweep_ewma.load(Ordering::Relaxed);
-            if ewma_micros > 0 && Duration::from_micros(ewma_micros) > wall {
+            let predicted = self.sweep_cost.predicted_full_micros();
+            if predicted > 0
+                && Duration::from_micros(predicted) > wall
+                && !self.sweep_cost.note_skipped_should_probe()
+            {
                 return Ok(self.degrade(
                     context,
                     frame,
@@ -384,6 +396,11 @@ impl Engine {
             )
         };
         if !bounded.completed {
+            // The abandoned sweep still cost its deadline's worth of
+            // wall-clock; fold that in so the estimate converges upward
+            // even when full sweeps never complete.
+            self.sweep_cost
+                .observe_full(started.elapsed().as_micros() as u64);
             return Ok(self.degrade(
                 context,
                 frame,
@@ -398,26 +415,115 @@ impl Engine {
             pairs: pair_count(),
             micros,
         });
-        self.update_sweep_ewma(micros);
+        self.sweep_cost.observe_full(micros);
         self.sweep_cache
             .insert(context, frame.values(), bounded.matrix.clone());
         self.note_health_ok(context);
         Ok(SweepVerdict::full(bounded.matrix))
     }
 
-    /// Folds one completed full-sweep duration into the EWMA the overrun
-    /// predictor consults (`new = (3·old + sample) / 4`).
-    fn update_sweep_ewma(&self, micros: u64) {
-        // ordering: Relaxed — the EWMA is advisory; losing a concurrent
-        // update skews the estimate by one sample at worst.
-        let old = self.sweep_ewma.load(Ordering::Relaxed);
-        let new = if old == 0 {
-            micros.max(1)
-        } else {
-            ((3 * old + micros) / 4).max(1)
-        };
-        // ordering: Relaxed — same advisory-estimate reasoning as the load.
-        self.sweep_ewma.store(new, Ordering::Relaxed);
+    /// The diagnosis-path sweep: [`Engine::budgeted_matrix_for`] fronted
+    /// by per-context incremental state. When the context's previous
+    /// window is alive and the new window is a bounded forward slide of
+    /// it, the sweep is answered by delta: profiles slide in place, clean
+    /// pair scores are reused verbatim, and stale invariant pairs go
+    /// through the screen-then-confirm pass ([`IncrementalSweep::rescore`])
+    /// — the violation tuple built from the result is bit-identical to a
+    /// full from-scratch sweep's. Otherwise the full budgeted path runs
+    /// and (when it answers at full fidelity) reseeds the state.
+    pub(crate) fn diagnosis_matrix_for(
+        &self,
+        context: ContextId,
+        frame: &MetricFrame,
+        budget: SweepBudget,
+        invariants: &InvariantSet,
+    ) -> Result<SweepVerdict, CoreError> {
+        if frame.ticks() < self.config.min_frame_ticks {
+            return Err(CoreError::FrameTooShort {
+                required: self.config.min_frame_ticks,
+                got: frame.ticks(),
+            });
+        }
+        let series: Vec<Vec<f64>> = MetricId::ALL.iter().map(|&m| frame.series(m)).collect();
+        let state = self
+            .incremental
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&context);
+        let mut reseed = true;
+        if let Some(mut state) = state {
+            // Compose with the budget ladder: when even the incremental
+            // pass is predicted over the wall budget, keep the (untouched)
+            // state for a roomier window and let the ladder answer.
+            let predicted = self.sweep_cost.predicted_incremental_micros();
+            let over_wall = budget
+                .wall
+                .is_some_and(|wall| predicted > 0 && Duration::from_micros(predicted) > wall);
+            if over_wall {
+                self.put_incremental(context, state);
+                reseed = false;
+            } else {
+                match state.advance(&series) {
+                    AdvanceOutcome::Identical => {
+                        // Nothing moved: the sweep cache serves this window
+                        // bit-for-bit below; the state stays valid.
+                        self.put_incremental(context, state);
+                        reseed = false;
+                    }
+                    AdvanceOutcome::Advanced { .. } => {
+                        let started = Instant::now();
+                        let outcome = {
+                            let _span = Span::enter(&self.sink, EnginePhase::Screen, context);
+                            state.rescore(invariants, self.config.epsilon)
+                        };
+                        let micros = started.elapsed().as_micros() as u64;
+                        let matrix = state.matrix();
+                        self.sink.record(&EngineEvent::SweepScreened {
+                            context,
+                            reused: outcome.reused,
+                            screened: outcome.screened,
+                            confirmed: outcome.confirmed,
+                        });
+                        self.sink.record(&EngineEvent::SweepCompleted {
+                            context,
+                            pairs: outcome.confirmed,
+                            micros,
+                        });
+                        self.sweep_cost.observe_incremental(micros);
+                        self.note_health_ok(context);
+                        self.put_incremental(context, state);
+                        return Ok(SweepVerdict::full(matrix));
+                    }
+                    // The state is spent (window jumped, or a profile
+                    // refused to slide): fall through to the full path,
+                    // which reseeds.
+                    AdvanceOutcome::Unsupported => {}
+                }
+            }
+        }
+        let verdict = self.budgeted_matrix_for(context, frame, budget)?;
+        if reseed && verdict.degradation.is_none() {
+            // Only a full-fidelity matrix may seed the score cache —
+            // degraded tiers score under a different measure (or not at
+            // all), and the soundness contract starts from exact scores.
+            if let Some(state) = IncrementalSweep::seed(
+                &self.measure,
+                &self.pool,
+                series,
+                verdict.matrix.scores().to_vec(),
+            ) {
+                self.put_incremental(context, state);
+            }
+        }
+        Ok(verdict)
+    }
+
+    /// Stores `state` as `context`'s live incremental sweep state.
+    fn put_incremental(&self, context: ContextId, state: IncrementalSweep) {
+        self.incremental
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(context, state);
     }
 
     /// Walks the degradation ladder until a tier produces a matrix. Tier 3
@@ -677,7 +783,7 @@ impl Engine {
         let invariants = self
             .invariant_set(context)
             .ok_or_else(|| CoreError::NoInvariants(context.clone()))?;
-        let verdict = self.budgeted_matrix_for(id, abnormal, budget)?;
+        let verdict = self.diagnosis_matrix_for(id, abnormal, budget, &invariants)?;
         let tuple = verdict.violation_tuple(&invariants, self.config.epsilon);
         let mut diagnosis = self.rank_tuple(context, tuple)?;
         diagnosis.degradation = verdict.degradation;

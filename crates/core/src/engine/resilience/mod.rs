@@ -25,6 +25,7 @@
 
 mod budget;
 mod health;
+mod predictor;
 pub(crate) mod queue;
 mod retry;
 
@@ -34,6 +35,7 @@ pub use queue::{OverloadPolicy, SubmitOutcome};
 pub use retry::RetryPolicy;
 
 pub(crate) use health::HealthMonitor;
+pub(crate) use predictor::SweepCostPredictor;
 pub(crate) use queue::IngestQueue;
 
 use std::path::Path;

@@ -70,7 +70,7 @@ impl TelemetrySnapshot {
     /// one time series per context.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [SeriesSpec<u64>; 16] = [
+        let counters: [SeriesSpec<u64>; 19] = [
             ("invarnet_ticks_ingested_total", "Ticks ingested.", |s| {
                 s.ticks
             }),
@@ -121,6 +121,21 @@ impl TelemetrySnapshot {
                 "invarnet_sweep_cache_misses_total",
                 "Diagnosis sweeps that had to run the full pairwise sweep.",
                 |s| s.sweep_cache_misses,
+            ),
+            (
+                "invarnet_sweep_pairs_reused_total",
+                "Pair scores served verbatim from the incremental sweep state.",
+                |s| s.sweep_pairs_reused,
+            ),
+            (
+                "invarnet_sweep_pairs_screened_total",
+                "Stale pairs cleared by the conservative screen bound alone.",
+                |s| s.sweep_pairs_screened,
+            ),
+            (
+                "invarnet_sweep_pairs_confirmed_total",
+                "Stale pairs confirmed with the full association measure.",
+                |s| s.sweep_pairs_confirmed,
             ),
             (
                 "invarnet_sweep_degraded_total",
@@ -295,6 +310,19 @@ impl TelemetrySnapshot {
                 self.total.store_retries,
                 self.total.health_transitions,
                 self.total.queue_depth_max,
+            );
+        }
+        if self.total.sweep_pairs_reused > 0
+            || self.total.sweep_pairs_screened > 0
+            || self.total.sweep_pairs_confirmed > 0
+        {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "incremental sweeps: {} pair score(s) reused, {} screened, {} confirmed",
+                self.total.sweep_pairs_reused,
+                self.total.sweep_pairs_screened,
+                self.total.sweep_pairs_confirmed,
             );
         }
         let _ = writeln!(out);

@@ -223,6 +223,23 @@ impl EventSink for Telemetry {
                     .fetch_add(pairs as u64, std::sync::atomic::Ordering::Relaxed);
                 scope.sweep_micros.record(micros);
             }
+            EngineEvent::SweepScreened {
+                context,
+                reused,
+                screened,
+                confirmed,
+            } => {
+                let scope = self.metrics.scope(context);
+                scope
+                    .sweep_pairs_reused
+                    .fetch_add(reused as u64, std::sync::atomic::Ordering::Relaxed);
+                scope
+                    .sweep_pairs_screened
+                    .fetch_add(screened as u64, std::sync::atomic::Ordering::Relaxed);
+                scope
+                    .sweep_pairs_confirmed
+                    .fetch_add(confirmed as u64, std::sync::atomic::Ordering::Relaxed);
+            }
             EngineEvent::SweepCacheLookup { context, hit } => {
                 let scope = self.metrics.scope(context);
                 let counter = if hit {

@@ -70,6 +70,12 @@ pub struct ContextScope {
     pub sweep_cache_hits: AtomicU64,
     /// Sweep-cache lookups that fell through to a full sweep.
     pub sweep_cache_misses: AtomicU64,
+    /// Pair scores served verbatim from the incremental sweep state.
+    pub sweep_pairs_reused: AtomicU64,
+    /// Stale pairs cleared by the conservative screen bound alone.
+    pub sweep_pairs_screened: AtomicU64,
+    /// Stale pairs confirmed with the full association measure.
+    pub sweep_pairs_confirmed: AtomicU64,
     /// Signature matches confident enough to report as a known problem.
     pub matches_confident: AtomicU64,
     /// Diagnoses whose best match stayed below the confidence bar.
@@ -160,6 +166,9 @@ impl ContextScope {
             pairs_scored: self.pairs_scored.load(Ordering::Relaxed),
             sweep_cache_hits: self.sweep_cache_hits.load(Ordering::Relaxed),
             sweep_cache_misses: self.sweep_cache_misses.load(Ordering::Relaxed),
+            sweep_pairs_reused: self.sweep_pairs_reused.load(Ordering::Relaxed),
+            sweep_pairs_screened: self.sweep_pairs_screened.load(Ordering::Relaxed),
+            sweep_pairs_confirmed: self.sweep_pairs_confirmed.load(Ordering::Relaxed),
             matches_confident: self.matches_confident.load(Ordering::Relaxed),
             matches_unknown: self.matches_unknown.load(Ordering::Relaxed),
             sweeps_degraded: self.sweeps_degraded.load(Ordering::Relaxed),
@@ -205,6 +214,12 @@ pub struct ScopeSnapshot {
     pub sweep_cache_hits: u64,
     /// Sweep-cache lookups that missed.
     pub sweep_cache_misses: u64,
+    /// Pair scores served verbatim from the incremental sweep state.
+    pub sweep_pairs_reused: u64,
+    /// Stale pairs cleared by the conservative screen bound alone.
+    pub sweep_pairs_screened: u64,
+    /// Stale pairs confirmed with the full association measure.
+    pub sweep_pairs_confirmed: u64,
     /// Confident signature matches.
     pub matches_confident: u64,
     /// Below-confidence diagnoses.
@@ -257,6 +272,9 @@ impl ScopeSnapshot {
             pairs_scored: 0,
             sweep_cache_hits: 0,
             sweep_cache_misses: 0,
+            sweep_pairs_reused: 0,
+            sweep_pairs_screened: 0,
+            sweep_pairs_confirmed: 0,
             matches_confident: 0,
             matches_unknown: 0,
             sweeps_degraded: 0,
@@ -290,6 +308,9 @@ impl ScopeSnapshot {
         self.pairs_scored += other.pairs_scored;
         self.sweep_cache_hits += other.sweep_cache_hits;
         self.sweep_cache_misses += other.sweep_cache_misses;
+        self.sweep_pairs_reused += other.sweep_pairs_reused;
+        self.sweep_pairs_screened += other.sweep_pairs_screened;
+        self.sweep_pairs_confirmed += other.sweep_pairs_confirmed;
         self.matches_confident += other.matches_confident;
         self.matches_unknown += other.matches_unknown;
         self.sweeps_degraded += other.sweeps_degraded;

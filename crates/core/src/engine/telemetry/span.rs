@@ -37,17 +37,22 @@ pub enum EnginePhase {
     /// Per-series profile construction at the start of a sweep (the shared
     /// preprocessing the profiled MIC kernel amortizes across all pairs).
     ProfileBuild,
+    /// The screen-then-confirm pass of an incremental sweep (slide the
+    /// profiles, screen stale invariant pairs with the conservative bound,
+    /// confirm the rest with the full measure).
+    Screen,
 }
 
 impl EnginePhase {
     /// Every phase, in reporting order.
-    pub const ALL: [EnginePhase; 6] = [
+    pub const ALL: [EnginePhase; 7] = [
         EnginePhase::Train,
         EnginePhase::InvariantBuild,
         EnginePhase::Sweep,
         EnginePhase::Diagnosis,
         EnginePhase::Ingest,
         EnginePhase::ProfileBuild,
+        EnginePhase::Screen,
     ];
 
     /// Stable snake_case name (used as the metric label).
@@ -59,6 +64,7 @@ impl EnginePhase {
             EnginePhase::Diagnosis => "diagnosis",
             EnginePhase::Ingest => "ingest",
             EnginePhase::ProfileBuild => "profile_build",
+            EnginePhase::Screen => "screen",
         }
     }
 
@@ -71,6 +77,7 @@ impl EnginePhase {
             EnginePhase::Diagnosis => 3,
             EnginePhase::Ingest => 4,
             EnginePhase::ProfileBuild => 5,
+            EnginePhase::Screen => 6,
         }
     }
 

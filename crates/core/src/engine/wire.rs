@@ -92,6 +92,18 @@ impl Serialize for EngineEvent {
                 ("pairs", pairs),
                 ("micros", micros),
             ),
+            EngineEvent::SweepScreened {
+                context,
+                reused,
+                screened,
+                confirmed,
+            } => tagged!(
+                "sweep-screened",
+                ("context", context),
+                ("reused", reused),
+                ("screened", screened),
+                ("confirmed", confirmed),
+            ),
             EngineEvent::SweepCacheLookup { context, hit } => {
                 tagged!("sweep-cache-lookup", ("context", context), ("hit", hit))
             }
@@ -184,6 +196,12 @@ impl Deserialize for EngineEvent {
                 pairs: get(value, "pairs")?,
                 micros: get(value, "micros")?,
             },
+            "sweep-screened" => EngineEvent::SweepScreened {
+                context: get(value, "context")?,
+                reused: get(value, "reused")?,
+                screened: get(value, "screened")?,
+                confirmed: get(value, "confirmed")?,
+            },
             "sweep-cache-lookup" => EngineEvent::SweepCacheLookup {
                 context: get(value, "context")?,
                 hit: get(value, "hit")?,
@@ -275,6 +293,12 @@ mod tests {
                 context: ctx,
                 pairs: 40,
                 micros: 600,
+            },
+            EngineEvent::SweepScreened {
+                context: ctx,
+                reused: 300,
+                screened: 20,
+                confirmed: 5,
             },
             EngineEvent::SweepCacheLookup {
                 context: ctx,
@@ -369,6 +393,15 @@ mod tests {
                     backoff_micros: 2048,
                 },
                 r#"{"type":"store-retried","context":4294967295,"attempt":2,"backoff_micros":2048}"#,
+            ),
+            (
+                EngineEvent::SweepScreened {
+                    context: ctx,
+                    reused: 300,
+                    screened: 20,
+                    confirmed: 5,
+                },
+                r#"{"type":"sweep-screened","context":3,"reused":300,"screened":20,"confirmed":5}"#,
             ),
         ];
         for (event, expected) in cases {

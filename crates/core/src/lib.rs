@@ -38,6 +38,7 @@ mod cusum;
 mod engine;
 mod error;
 mod eval;
+mod incremental;
 mod invariants;
 mod measure;
 mod pipeline;
@@ -68,9 +69,10 @@ pub use engine::{
 };
 pub use error::{CoreError, ErrorKind};
 pub use eval::{ConfusionMatrix, EvalOutcome, PrecisionRecall};
+pub use incremental::{AdvanceOutcome, IncrementalSweep, ScreenOutcome, MAX_SLIDE};
 pub use invariants::InvariantSet;
 pub use measure::{
-    ArxMeasure, AssociationMeasure, MicMeasure, PairScorer, PearsonMeasure, SweepPlan,
+    ArxMeasure, AssociationMeasure, MicMeasure, PairScorer, PearsonMeasure, SlideOutcome, SweepPlan,
 };
 pub use pipeline::{Diagnosis, InvarNetX, RankedCause};
 pub use signature::{Signature, SignatureDatabase, ViolationTuple};

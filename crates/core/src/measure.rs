@@ -5,19 +5,70 @@
 //! construction", so the whole invariant/signature machinery is generic
 //! over this trait.
 
+use std::sync::{Arc, Mutex};
+
 use ix_arx::ArxSearch;
-use ix_mic::{mic_with_profiles_scratch, MicParams, MineScratch, SeriesProfile};
+use ix_mic::{
+    mic_screen_bound_scratch, mic_with_profiles_scratch, MicParams, MineScratch, SeriesProfile,
+};
 use ix_timeseries::pearson;
+
+use crate::assoc::SweepPool;
+
+/// How a [`SweepPlan`] absorbed one sliding-window step for one series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlideOutcome {
+    /// The entering sample is bit-identical to the departing one: the
+    /// series' (value, partner) multiset is unchanged, so every cached
+    /// score involving it is still the fresh value.
+    Clean,
+    /// The series' preprocessing was updated in place; pairs involving it
+    /// must be re-screened or re-scored before their cached scores can be
+    /// trusted as fresh.
+    Moved,
+    /// The plan could not absorb the step for this series; the caller must
+    /// hand it the full window via [`SweepPlan::rebuild_series`].
+    Rebuild,
+    /// This plan does not maintain per-series state incrementally.
+    Unsupported,
+}
 
 /// Per-sweep shared preprocessing of all metric series, produced by
 /// [`AssociationMeasure::prepare`]. A plan owns whatever a measure can
 /// amortize across the sweep's pairs (for MIC: one [`SeriesProfile`] per
 /// series); workers then pull per-thread [`PairScorer`]s from it.
+///
+/// Plans that report [`SweepPlan::incremental`] additionally support
+/// delta-maintenance: [`SweepPlan::slide`] advances one series by one
+/// sliding-window step in place, bit-identically to rebuilding the plan
+/// from the slid window.
 #[must_use = "a SweepPlan holds the sweep's amortized preprocessing; dropping it redoes that work"]
 pub trait SweepPlan: Send + Sync {
     /// A scorer with its own mutable scratch. Each sweep worker takes one,
     /// so scoring needs no locking.
     fn scorer(&self) -> Box<dyn PairScorer + '_>;
+
+    /// Whether this plan maintains per-series state incrementally via
+    /// [`SweepPlan::slide`]. Defaults to `false` (plans are immutable
+    /// per-sweep snapshots).
+    fn incremental(&self) -> bool {
+        false
+    }
+
+    /// Advances series `index` by one sliding-window step: the window loses
+    /// `departing` (its oldest sample) and gains `entering` (appended at
+    /// the end). Implementations must leave the plan exactly as if it had
+    /// been prepared from the slid window.
+    fn slide(&mut self, index: usize, departing: f64, entering: f64) -> SlideOutcome {
+        let _ = (index, departing, entering);
+        SlideOutcome::Unsupported
+    }
+
+    /// Rebuilds series `index` from its full window — the recovery path
+    /// when [`SweepPlan::slide`] answered [`SlideOutcome::Rebuild`].
+    fn rebuild_series(&mut self, index: usize, series: &[f64]) {
+        let _ = (index, series);
+    }
 }
 
 /// Scores pairs by series index against a [`SweepPlan`]'s shared state,
@@ -26,6 +77,15 @@ pub trait PairScorer {
     /// The association score of series `a` versus series `b` (indices into
     /// the series slice the plan was prepared from).
     fn score_pair(&mut self, a: usize, b: usize) -> f64;
+
+    /// A conservative lower bound on [`PairScorer::score_pair`] for the
+    /// same pair, cheap enough to run as a screen: the exact score is
+    /// guaranteed to lie in `[bound, 1]`. Measures without a sound cheap
+    /// bound return `None` (the default) and are always scored in full.
+    fn screen_bound(&mut self, a: usize, b: usize) -> Option<f64> {
+        let _ = (a, b);
+        None
+    }
 }
 
 /// A symmetric association score between two metric series, in `[0, 1]`.
@@ -45,6 +105,15 @@ pub trait AssociationMeasure: Send + Sync {
     fn prepare(&self, series: &[Vec<f64>]) -> Option<Box<dyn SweepPlan>> {
         let _ = series;
         None
+    }
+
+    /// [`AssociationMeasure::prepare`] with a worker pool available for
+    /// parallelizing the per-series preprocessing itself. The default
+    /// ignores the pool; any override MUST produce a plan bit-identical to
+    /// `prepare` on the same series.
+    fn prepare_on(&self, series: &[Vec<f64>], pool: &SweepPool) -> Option<Box<dyn SweepPlan>> {
+        let _ = pool;
+        self.prepare(series)
     }
 }
 
@@ -97,6 +166,36 @@ impl AssociationMeasure for MicMeasure {
             profiles,
         }))
     }
+
+    fn prepare_on(&self, series: &[Vec<f64>], pool: &SweepPool) -> Option<Box<dyn SweepPlan>> {
+        // Profile construction dominates warm-cache sweep cost and is
+        // embarrassingly parallel (one independent profile per series), so
+        // scatter it across the pool's workers. Each slot is written by
+        // exactly one worker; output is bit-identical to `prepare`.
+        let shared: Arc<Vec<Vec<f64>>> = Arc::new(series.to_vec());
+        let slots: Arc<Vec<Mutex<Option<SeriesProfile>>>> =
+            Arc::new(series.iter().map(|_| Mutex::new(None)).collect());
+        let params = self.params;
+        let task = {
+            let shared = Arc::clone(&shared);
+            let slots = Arc::clone(&slots);
+            Arc::new(move |i: usize| {
+                let profile = SeriesProfile::build(&shared[i], &params).ok();
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = profile;
+                }
+            })
+        };
+        pool.scatter(series.len(), task);
+        let profiles = slots
+            .iter()
+            .map(|slot| slot.lock().map(|mut guard| guard.take()).unwrap_or(None))
+            .collect();
+        Some(Box::new(MicSweepPlan {
+            params: self.params,
+            profiles,
+        }))
+    }
 }
 
 /// The shared half of a MIC sweep: one profile per series.
@@ -111,6 +210,30 @@ impl SweepPlan for MicSweepPlan {
             plan: self,
             scratch: MineScratch::new(),
         })
+    }
+
+    fn incremental(&self) -> bool {
+        true
+    }
+
+    fn slide(&mut self, index: usize, departing: f64, entering: f64) -> SlideOutcome {
+        match self.profiles.get_mut(index) {
+            Some(Some(profile)) => match profile.slide(departing, entering) {
+                Ok(true) => SlideOutcome::Moved,
+                Ok(false) => SlideOutcome::Clean,
+                // A non-finite entering sample: hand the window back to the
+                // caller, whose rebuild lands on the same `None`-slot path
+                // as a fresh `prepare` (the pair scores 0.0 either way).
+                Err(_) => SlideOutcome::Rebuild,
+            },
+            _ => SlideOutcome::Rebuild,
+        }
+    }
+
+    fn rebuild_series(&mut self, index: usize, series: &[f64]) {
+        if let Some(slot) = self.profiles.get_mut(index) {
+            *slot = SeriesProfile::build(series, &self.params).ok();
+        }
     }
 }
 
@@ -128,6 +251,17 @@ impl PairScorer for MicScorer<'_> {
                     .unwrap_or(0.0)
             }
             _ => 0.0,
+        }
+    }
+
+    fn screen_bound(&mut self, a: usize, b: usize) -> Option<f64> {
+        match (&self.plan.profiles[a], &self.plan.profiles[b]) {
+            (Some(xp), Some(yp)) => {
+                mic_screen_bound_scratch(xp, yp, &self.plan.params, &mut self.scratch).ok()
+            }
+            // A missing profile scores exactly 0.0, so 0.0 is the exact
+            // (and therefore conservative) bound.
+            _ => Some(0.0),
         }
     }
 }

@@ -217,6 +217,115 @@ pub fn mic_with_profiles_scratch(
     Ok(best.clamp(0.0, 1.0))
 }
 
+/// A conservative lower bound on the MIC of a profiled pair: the
+/// characteristic matrix's `(2, 2)` entry, taken over both orientations.
+///
+/// The bound is computed with the *kernel's own* machinery — the same
+/// `rows = 2` equipartition, the same clump decomposition under the same
+/// superclump cap, and the same two-column minimization the dynamic program
+/// performs for `l = 2` — so the returned value is bit-identical to one
+/// entry of the set [`mic_with_profiles_scratch`] maximizes over. That
+/// makes `bound <= mic` exact at the bit level, not merely up to rounding:
+/// a screen that drops a pair because `[bound, 1]` cannot cross a
+/// threshold can never disagree with the full kernel.
+///
+/// Cost is `O(c * B(n) + n)` per pair (one clump rebuild and a linear scan
+/// over column splits) versus the full kernel's `O(B(n)^2)`-ish dynamic
+/// program over every grid shape — roughly two orders of magnitude cheaper
+/// at sweep sizes.
+///
+/// A bare Pearson screen was considered and rejected: no finite-sample
+/// inequality ties `|r|` to MIC, so any Pearson threshold either misses
+/// violations (unsound) or needs a slack term wide enough to screen
+/// nothing. The `(2, 2)` entry is the cheapest member of MIC's own maximized
+/// family, which is the only way to get a sound bound for free.
+///
+/// # Errors
+///
+/// [`MicError::BadParams`] when either profile was built under different
+/// parameters, [`MicError::LengthMismatch`] when the profiles cover a
+/// different number of samples — the same contract as
+/// [`mic_with_profiles_scratch`].
+pub fn mic_screen_bound_scratch(
+    xp: &SeriesProfile,
+    yp: &SeriesProfile,
+    params: &MicParams,
+    scratch: &mut MineScratch,
+) -> Result<f64, MicError> {
+    params.validate()?;
+    if xp.params() != params || yp.params() != params {
+        return Err(MicError::BadParams);
+    }
+    if xp.len() != yp.len() {
+        return Err(MicError::LengthMismatch {
+            xs: xp.len(),
+            ys: yp.len(),
+        });
+    }
+    // Mirrors the full kernel: a constant axis scores exactly zero.
+    if xp.is_constant() || yp.is_constant() {
+        return Ok(0.0);
+    }
+    let b = xp.grid_budget();
+    let MineScratch {
+        sorted_rows,
+        clumps,
+        ..
+    } = scratch;
+    let e1 = corner_entry_into(xp, yp, b, params.c, sorted_rows, clumps);
+    let e2 = corner_entry_into(yp, xp, b, params.c, sorted_rows, clumps);
+    Ok(e1.max(e2).clamp(0.0, 1.0))
+}
+
+/// The `(cols = 2, rows = 2)` half-characteristic entry for one orientation,
+/// bit-identical to what [`half_characteristic_into`] pushes for that shape.
+///
+/// Every step reproduces the `rows = 2` iteration of the full kernel: same
+/// partition, same `sorted_rows` mapping, same superclump cap, and the
+/// `l = 2` slice of the dynamic program collapsed to its closed form
+/// `min(cost(0, k), min_t cost(0, t) + cost(t, k))` — the DP's
+/// `best_full[1].min(best_full[2])` without materializing the cost
+/// triangle.
+fn corner_entry_into(
+    xp: &SeriesProfile,
+    yp: &SeriesProfile,
+    b: usize,
+    c: f64,
+    sorted_rows: &mut Vec<usize>,
+    clumps: &mut ClumpScratch,
+) -> f64 {
+    let rows = 2usize;
+    let x_max = b / rows;
+    if x_max < 2 {
+        return 0.0;
+    }
+    let part = yp.partition(rows);
+    sorted_rows.clear();
+    sorted_rows.extend(xp.order().iter().map(|&i| part.assignment[i]));
+    let max_clumps = ((c * x_max as f64).ceil() as usize).max(1);
+    clumps.rebuild(xp.sorted(), sorted_rows, part.bins.max(1), max_clumps);
+    let view = clumps.view();
+    let k = view.len();
+    let n = view.points();
+    let h_q = crate::entropy::entropy_from_counts(view.row_totals());
+    // The same degenerate guards as `optimize_axis_into`: any of these makes
+    // every entry of the orientation zero.
+    if k < 2 || n == 0 || view.n_rows() < 2 || h_q == 0.0 {
+        return 0.0;
+    }
+    let mut best = view.cost(0, k);
+    for t in 1..k {
+        let v = view.cost(0, t) + view.cost(t, k);
+        if v < best {
+            best = v;
+        }
+    }
+    let mi = (h_q - best / n as f64).max(0.0);
+    // denom = log2(min(cols, rows)) = log2(2) = 1.0, so normalization is the
+    // identity for this shape.
+    mi.clamp(0.0, 1.0)
+}
+
 /// Full MINE statistics.
 ///
 /// # Errors
@@ -665,6 +774,125 @@ mod tests {
             assert!((0.0..=1.0).contains(&v));
         }
         assert!((cm.mic() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn screen_bound_never_exceeds_mic_bit_exactly() {
+        // The bound is one member of the set MIC maximizes over, so
+        // `bound <= mic` must hold exactly — no epsilon.
+        let params = MicParams::fast();
+        let mut scratch = MineScratch::new();
+        let mut s1 = 42u64;
+        let next = |s: &mut u64| {
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let n = 120;
+        let shapes: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            {
+                // Noisy linear.
+                let xs: Vec<f64> = (0..n).map(|_| next(&mut s1)).collect();
+                let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 0.3 * next(&mut s1)).collect();
+                (xs, ys)
+            },
+            {
+                // Parabola (zero Pearson, high MIC).
+                let xs: Vec<f64> = (0..n).map(|i| i as f64 / 60.0 - 1.0).collect();
+                let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+                (xs, ys)
+            },
+            {
+                // Independent noise.
+                let xs: Vec<f64> = (0..n).map(|_| next(&mut s1)).collect();
+                let ys: Vec<f64> = (0..n).map(|_| next(&mut s1)).collect();
+                (xs, ys)
+            },
+            {
+                // Heavy ties.
+                let xs: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+                let ys: Vec<f64> = (0..n).map(|i| ((i * 3) % 5) as f64).collect();
+                (xs, ys)
+            },
+        ];
+        for (xs, ys) in &shapes {
+            let xp = SeriesProfile::build(xs, &params).unwrap();
+            let yp = SeriesProfile::build(ys, &params).unwrap();
+            let full = mic_with_profiles_scratch(&xp, &yp, &params, &mut scratch).unwrap();
+            let bound = mic_screen_bound_scratch(&xp, &yp, &params, &mut scratch).unwrap();
+            assert!(
+                bound <= full,
+                "bound {bound} must never exceed mic {full} (exact, no tolerance)"
+            );
+            assert!((0.0..=1.0).contains(&bound));
+        }
+    }
+
+    #[test]
+    fn screen_bound_is_the_2x2_characteristic_entry() {
+        // Symmetrized (2, 2) entry of the full characteristic matrix ==
+        // the bound, bit for bit: the bound IS that entry, recomputed
+        // without the DP triangle.
+        let params = MicParams::fast();
+        let xs = linspace(120);
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 9.0).sin() + 0.1 * x).collect();
+        let cm = characteristic_matrix(&xs, &ys, &params).unwrap();
+        let entry = cm
+            .entries()
+            .iter()
+            .find(|&&(c, r, _)| c == 2 && r == 2)
+            .map(|&(_, _, v)| v)
+            .unwrap();
+        let xp = SeriesProfile::build(&xs, &params).unwrap();
+        let yp = SeriesProfile::build(&ys, &params).unwrap();
+        let mut scratch = MineScratch::new();
+        let bound = mic_screen_bound_scratch(&xp, &yp, &params, &mut scratch).unwrap();
+        assert_eq!(bound.to_bits(), entry.to_bits());
+    }
+
+    #[test]
+    fn screen_bound_high_on_linear_data() {
+        // A 2x2 grid captures a monotone relation almost perfectly, so the
+        // bound is tight exactly where cached invariants sit (near 1).
+        let params = MicParams::fast();
+        let xs = linspace(120);
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let xp = SeriesProfile::build(&xs, &params).unwrap();
+        let yp = SeriesProfile::build(&ys, &params).unwrap();
+        let mut scratch = MineScratch::new();
+        let bound = mic_screen_bound_scratch(&xp, &yp, &params, &mut scratch).unwrap();
+        assert!(bound > 0.95, "linear bound = {bound}");
+    }
+
+    #[test]
+    fn screen_bound_zero_for_constant_series() {
+        let params = MicParams::fast();
+        let xp = SeriesProfile::build(&linspace(50), &params).unwrap();
+        let yp = SeriesProfile::build(&[2.5; 50], &params).unwrap();
+        let mut scratch = MineScratch::new();
+        assert_eq!(
+            mic_screen_bound_scratch(&xp, &yp, &params, &mut scratch).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn screen_bound_validates_like_the_kernel() {
+        let params = MicParams::default();
+        let other = MicParams::fast();
+        let xp = SeriesProfile::build(&linspace(20), &params).unwrap();
+        let yp_other = SeriesProfile::build(&linspace(20), &other).unwrap();
+        let yp_short = SeriesProfile::build(&linspace(10), &params).unwrap();
+        let mut scratch = MineScratch::new();
+        assert_eq!(
+            mic_screen_bound_scratch(&xp, &yp_other, &params, &mut scratch).unwrap_err(),
+            MicError::BadParams
+        );
+        assert_eq!(
+            mic_screen_bound_scratch(&xp, &yp_short, &params, &mut scratch).unwrap_err(),
+            MicError::LengthMismatch { xs: 20, ys: 10 }
+        );
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct SeriesProfile {
     /// `partitions[k - 2]`: the equipartition into `k` bins, for
     /// `k in 2..=budget / 2`.
     partitions: Vec<Partition>,
+    /// Tie-group `(start, end)` boundaries in sorted order — kept so
+    /// [`SeriesProfile::slide`] can re-derive partitions without
+    /// allocating.
+    groups: Vec<(usize, usize)>,
 }
 
 impl SeriesProfile {
@@ -105,7 +109,95 @@ impl SeriesProfile {
             sorted,
             constant,
             partitions,
+            groups,
         })
+    }
+
+    /// Slides the profile one tick: the window's oldest sample leaves and
+    /// `entering` joins at the back.
+    ///
+    /// The caller guarantees the underlying window really did shift by one
+    /// — `departing` must be the value at input index 0 of the window this
+    /// profile currently describes, and every other sample's input index
+    /// drops by one while `entering` becomes index `n - 1`. Under that
+    /// contract the result is bit-identical to
+    /// [`SeriesProfile::build`] on the slid window: the stable-sort
+    /// invariant is preserved directly (index 0 is globally smallest, so it
+    /// leads its tie run; index `n - 1` is globally largest, so it is
+    /// inserted after every tie of `entering`), and partitions are either
+    /// rotated (value multiset unchanged) or re-derived with the same
+    /// arithmetic as a fresh build.
+    ///
+    /// Returns `true` when the value multiset actually changed (`departing
+    /// != entering` bitwise) — only then can scores involving this series
+    /// move. A `false` return means every pair score against a partner
+    /// whose profile also did not move is reusable verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`MicError::NonFinite`] when `entering` is not finite; the profile
+    /// is left unchanged.
+    pub fn slide(&mut self, departing: f64, entering: f64) -> Result<bool, MicError> {
+        if !entering.is_finite() {
+            return Err(MicError::NonFinite);
+        }
+        let n = self.order.len();
+        // Drop the departing sample (input index 0) and shift every
+        // remaining input index down by one. Removal keeps the stable
+        // order of the survivors: equal values stay in ascending index
+        // order whichever run member leaves.
+        // lint: allow(hot-path-panic) order is a permutation of 0..n, so 0 is present.
+        let p0 = self.order.iter().position(|&i| i == 0).unwrap_or(0);
+        self.order.remove(p0);
+        self.sorted.remove(p0);
+        for idx in &mut self.order {
+            *idx -= 1;
+        }
+        // Insert the entering sample after all of its ties: index n - 1 is
+        // globally largest, so "after every equal value" is exactly where a
+        // fresh stable sort would put it. Capacity was freed by the remove
+        // above, so neither insert reallocates.
+        let pos = self.sorted.partition_point(|&v| v <= entering);
+        self.order.insert(pos, n - 1);
+        self.sorted.insert(pos, entering);
+        self.constant = self.sorted.first() == self.sorted.last();
+
+        let moved = departing.to_bits() != entering.to_bits();
+        if moved {
+            // The value multiset changed: re-derive tie groups and every
+            // equipartition with the same arithmetic as a fresh build,
+            // reusing the buffers in place.
+            self.groups.clear();
+            let mut i = 0;
+            while i < n {
+                let mut j = i + 1;
+                while j < n && self.sorted[j] == self.sorted[i] {
+                    j += 1;
+                }
+                self.groups.push((i, j));
+                i = j;
+            }
+            let max_rows = (self.budget / 2).max(2);
+            for k in 2..=max_rows {
+                equipartition_groups_into(
+                    &self.order,
+                    &self.groups,
+                    n,
+                    k,
+                    &mut self.partitions[k - 2],
+                );
+            }
+        } else {
+            // Same value out and in: the bin of every value is unchanged,
+            // and input positions all shift down by one, so each
+            // assignment vector rotates left — new[i] = old[i + 1], and
+            // the entering sample (index n - 1) inherits the departing
+            // sample's bin, old[0].
+            for part in &mut self.partitions {
+                part.assignment.rotate_left(1);
+            }
+        }
+        Ok(moved)
     }
 
     /// Number of samples.
@@ -156,7 +248,25 @@ fn equipartition_groups(
     n: usize,
     k: usize,
 ) -> Partition {
-    let mut assignment = vec![0usize; n];
+    let mut out = Partition {
+        assignment: vec![0usize; n],
+        bins: 1,
+    };
+    equipartition_groups_into(order, groups, n, k, &mut out);
+    out
+}
+
+/// [`equipartition_groups`] writing into an existing [`Partition`] —
+/// allocation-free once the assignment buffer is warm (the slide path
+/// keeps `n` constant, so `resize` never grows past build-time capacity).
+fn equipartition_groups_into(
+    order: &[usize],
+    groups: &[(usize, usize)],
+    n: usize,
+    k: usize,
+    out: &mut Partition,
+) {
+    out.assignment.resize(n, 0);
     let mut current_bin = 0usize;
     let mut in_bin = 0usize;
     let mut target = n as f64 / k as f64;
@@ -170,14 +280,11 @@ fn equipartition_groups(
             target = (n - i) as f64 / (k - current_bin) as f64;
         }
         for &p in &order[i..j] {
-            assignment[p] = current_bin;
+            out.assignment[p] = current_bin;
         }
         in_bin += group;
     }
-    Partition {
-        assignment,
-        bins: current_bin + 1,
-    }
+    out.bins = current_bin + 1;
 }
 
 /// Reusable working memory for the MINE kernel: clump tables, DP arrays
@@ -241,6 +348,96 @@ mod tests {
     fn profile_flags_constant_series() {
         let p = SeriesProfile::build(&[7.0; 12], &MicParams::default()).unwrap();
         assert!(p.is_constant());
+    }
+
+    /// Asserts every observable component of two profiles is bit-equal.
+    fn assert_profiles_identical(a: &SeriesProfile, b: &SeriesProfile) {
+        assert_eq!(a.order, b.order);
+        let a_bits: Vec<u64> = a.sorted.iter().map(|v| v.to_bits()).collect();
+        let b_bits: Vec<u64> = b.sorted.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a_bits, b_bits);
+        assert_eq!(a.constant, b.constant);
+        assert_eq!(a.budget, b.budget);
+        assert_eq!(a.partitions.len(), b.partitions.len());
+        for (pa, pb) in a.partitions.iter().zip(&b.partitions) {
+            assert_eq!(pa.assignment, pb.assignment);
+            assert_eq!(pa.bins, pb.bins);
+        }
+    }
+
+    #[test]
+    fn slide_matches_rebuild_bit_for_bit() {
+        // A window with ties, then a stream of entering values that hit
+        // every interesting case: new minimum, new maximum, duplicate of
+        // an existing value, duplicate of the departing value (clean).
+        let mut window = vec![3.0, 1.0, 2.0, 2.0, 1.0, 3.0, 2.0, 0.5, 4.0, 2.0];
+        let entering = [2.0, -1.0, 9.0, 3.0, 2.0, 2.0, 0.5, 4.0, 1.0, 1.0];
+        let params = MicParams::default();
+        let mut profile = SeriesProfile::build(&window, &params).unwrap();
+        for &e in &entering {
+            let departing = window.remove(0);
+            window.push(e);
+            let moved = profile.slide(departing, e).unwrap();
+            assert_eq!(moved, departing.to_bits() != e.to_bits());
+            let fresh = SeriesProfile::build(&window, &params).unwrap();
+            assert_profiles_identical(&profile, &fresh);
+        }
+    }
+
+    #[test]
+    fn clean_slide_reports_unmoved() {
+        let window = [5.0, 1.0, 5.0, 2.0, 5.0, 3.0];
+        let mut profile = SeriesProfile::build(&window, &MicParams::default()).unwrap();
+        // The departing front value re-enters at the back: multiset
+        // unchanged, so the profile reports "not moved".
+        assert!(!profile.slide(5.0, 5.0).unwrap());
+        let slid = [1.0, 5.0, 2.0, 5.0, 3.0, 5.0];
+        let fresh = SeriesProfile::build(&slid, &MicParams::default()).unwrap();
+        assert_profiles_identical(&profile, &fresh);
+    }
+
+    #[test]
+    fn slide_through_constant_and_back() {
+        let mut window = vec![7.0, 7.0, 7.0, 7.0, 1.0];
+        let mut profile = SeriesProfile::build(&window, &MicParams::default()).unwrap();
+        // 1.0 stays; sliding 7.0 out and 7.0 in keeps it non-constant.
+        for (dep, ent) in [(7.0, 7.0), (7.0, 7.0), (7.0, 7.0), (7.0, 7.0)] {
+            window.remove(0);
+            window.push(ent);
+            profile.slide(dep, ent).unwrap();
+        }
+        // Now the 1.0 departs and a 7.0 enters: all equal.
+        window.remove(0);
+        window.push(7.0);
+        assert!(profile.slide(1.0, 7.0).unwrap());
+        assert!(profile.is_constant());
+        assert_profiles_identical(
+            &profile,
+            &SeriesProfile::build(&window, &MicParams::default()).unwrap(),
+        );
+        // And back out of constant.
+        window.remove(0);
+        window.push(2.5);
+        assert!(profile.slide(7.0, 2.5).unwrap());
+        assert!(!profile.is_constant());
+        assert_profiles_identical(
+            &profile,
+            &SeriesProfile::build(&window, &MicParams::default()).unwrap(),
+        );
+    }
+
+    #[test]
+    fn slide_rejects_non_finite_and_leaves_profile_intact() {
+        let window = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut profile = SeriesProfile::build(&window, &MicParams::default()).unwrap();
+        assert_eq!(
+            profile.slide(1.0, f64::NAN).unwrap_err(),
+            MicError::NonFinite
+        );
+        assert_profiles_identical(
+            &profile,
+            &SeriesProfile::build(&window, &MicParams::default()).unwrap(),
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub enum EventKind {
     SignatureMatched,
     SweepCompleted,
     PairsScored,
+    SweepScreened,
     SweepCacheLookup,
     SpanClosed,
     SweepDegraded,
@@ -42,6 +43,7 @@ impl EventKind {
             EngineEvent::SignatureMatched { .. } => EventKind::SignatureMatched,
             EngineEvent::SweepCompleted { .. } => EventKind::SweepCompleted,
             EngineEvent::PairsScored { .. } => EventKind::PairsScored,
+            EngineEvent::SweepScreened { .. } => EventKind::SweepScreened,
             EngineEvent::SweepCacheLookup { .. } => EventKind::SweepCacheLookup,
             EngineEvent::SpanClosed { .. } => EventKind::SpanClosed,
             EngineEvent::SweepDegraded { .. } => EventKind::SweepDegraded,

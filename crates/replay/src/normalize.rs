@@ -49,6 +49,7 @@ pub fn normalize_events(events: &[EngineEvent]) -> Vec<EngineEvent> {
             | EngineEvent::DetectionCleared { .. }
             | EngineEvent::SignatureMatched { .. }
             | EngineEvent::PairsScored { .. }
+            | EngineEvent::SweepScreened { .. }
             | EngineEvent::SweepCacheLookup { .. }
             | EngineEvent::SpanClosed { .. }
             | EngineEvent::SweepDegraded { .. }

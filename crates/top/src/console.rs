@@ -182,6 +182,15 @@ impl EventSink for TopConsole {
                 self.label(context)
             )),
             EngineEvent::PairsScored { .. } => None,
+            EngineEvent::SweepScreened {
+                context,
+                reused,
+                screened,
+                confirmed,
+            } => Some(format!(
+                "        SCREEN   {} {reused} reused / {screened} screened / {confirmed} confirmed",
+                self.label(context)
+            )),
             EngineEvent::SweepCacheLookup { .. } => None,
             EngineEvent::SpanClosed { .. } => None,
             EngineEvent::SweepDegraded {

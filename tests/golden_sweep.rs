@@ -1,4 +1,5 @@
-//! Bit-exactness acceptance suite for the shared-profile sweep.
+//! Bit-exactness acceptance suite for the shared-profile sweep and the
+//! incremental two-stage (screen-then-confirm) sweep.
 //!
 //! `tests/data/golden_sweep_26x120.txt` holds the exact IEEE-754 bit
 //! pattern of all 325 pairwise scores on a fixed synthetic 26×120 window,
@@ -8,15 +9,33 @@
 //! every score bit-for-bit, serial and parallel alike. Regenerate the
 //! fixture only on a deliberate numeric change:
 //! `cargo run --release -p ix-bench --bin golden_sweep`.
+//!
+//! The property half pins the incremental sweep's soundness contract
+//! (see `crates/core/src/incremental.rs`):
+//!
+//! - **no false negatives** — the screen's conservative bound never
+//!   exceeds the full MIC score, at the bit level, so a pair screened out
+//!   because `[bound, 1]` cannot cross the violation threshold can never
+//!   disagree with the full kernel;
+//! - **bit-exactness hammer** — over randomized tick streams, a diagnosis
+//!   built from delta-maintained state is bit-identical (violation tuple
+//!   and every consulted score) to a full from-scratch sweep of the same
+//!   window.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use proptest::prelude::*;
+
 use invarnet_x::core::{
-    ArxMeasure, AssociationMatrix, AssociationMeasure, MicMeasure, PearsonMeasure, SweepPool,
+    pair_count, AdvanceOutcome, ArxMeasure, AssociationMatrix, AssociationMeasure,
+    IncrementalSweep, InvariantSet, MicMeasure, PearsonMeasure, SweepPool, ViolationTuple,
+    MAX_SLIDE,
 };
-use invarnet_x::metrics::{MetricFrame, METRIC_COUNT};
-use invarnet_x::mic::MicParams;
+use invarnet_x::metrics::{MetricFrame, MetricId, METRIC_COUNT};
+use invarnet_x::mic::{
+    mic_screen_bound_scratch, mic_with_profiles_scratch, MicParams, MineScratch, SeriesProfile,
+};
 
 /// The fixed window: identical to the generator in the `golden_sweep`
 /// fixture binary (`crates/bench/src/bin/golden_sweep.rs`).
@@ -107,5 +126,140 @@ fn fixture_is_complete() {
     assert_eq!(golden.len(), 3, "three measures");
     for (name, scores) in &golden {
         assert_eq!(scores.len(), 325, "{name}: 26 metrics -> 325 pairs");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental two-stage sweep properties.
+// ---------------------------------------------------------------------------
+
+/// One tick of a deterministic infinite metric stream: a latent sinusoid
+/// per metric plus hash noise keyed on `(seed, t, k)` only, so two windows
+/// at overlapping offsets share their overlap bit-for-bit — the property
+/// the slide detector relies on.
+fn stream_value(seed: u64, t: usize, k: usize) -> f64 {
+    let mut h = seed
+        ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ ((k as u64) << 40).wrapping_add(0x2545_f491_4f6c_dd1d);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    let noise = (h >> 11) as f64 / (1u64 << 53) as f64;
+    (t as f64 * 0.21).sin() * 4.0 * (k + 1) as f64 + 10.0 * (k + 1) as f64 + noise
+}
+
+/// The stream's window `[offset, offset + ticks)` as a batch frame.
+fn streamed_window(seed: u64, offset: usize, ticks: usize) -> MetricFrame {
+    let mut f = MetricFrame::new();
+    for t in offset..offset + ticks {
+        let row: Vec<f64> = (0..METRIC_COUNT)
+            .map(|k| stream_value(seed, t, k))
+            .collect();
+        f.push_tick(&row).expect("full-width row");
+    }
+    f
+}
+
+fn series_of(frame: &MetricFrame) -> Vec<Vec<f64>> {
+    MetricId::ALL.iter().map(|&m| frame.series(m)).collect()
+}
+
+proptest! {
+    // No false negatives: the screen's conservative bound is one entry of
+    // the characteristic set the full kernel maximizes over, so
+    // `bound <= mic` must hold bit-exactly — on unrelated noise and on
+    // strongly associated (affine-image) pairs alike.
+    #[test]
+    fn screen_bound_never_exceeds_full_mic(
+        xs in prop::collection::vec(-100.0f64..100.0, 8..48),
+        ys in prop::collection::vec(-100.0f64..100.0, 8..48),
+        scale in 0.1f64..5.0,
+        shift in -20.0f64..20.0,
+    ) {
+        let n = xs.len().min(ys.len());
+        let params = MicParams::fast();
+        let linked: Vec<f64> = xs[..n].iter().map(|v| scale * v + shift).collect();
+        for other in [&ys[..n], &linked[..]] {
+            let xp = SeriesProfile::build(&xs[..n], &params).expect("profile");
+            let yp = SeriesProfile::build(other, &params).expect("profile");
+            let mut scratch = MineScratch::new();
+            let bound = mic_screen_bound_scratch(&xp, &yp, &params, &mut scratch).expect("bound");
+            let full = mic_with_profiles_scratch(&xp, &yp, &params, &mut scratch).expect("mic");
+            prop_assert!((0.0..=1.0).contains(&bound), "bound {} out of range", bound);
+            prop_assert!(
+                bound <= full,
+                "screen bound {} exceeds full MIC {} — a screened pair could be a false negative",
+                bound,
+                full
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Bit-exactness hammer: drive one IncrementalSweep through a random
+    // stream of window shifts (including zero-shift repeats) and check
+    // after every advance that the violation tuple — and every score the
+    // tuple consults — is indistinguishable from a full from-scratch
+    // sweep of the same window.
+    #[test]
+    fn incremental_sweep_matches_from_scratch_over_random_streams(
+        seed in 0u64..10_000,
+        shifts in prop::collection::vec(0usize..MAX_SLIDE + 1, 1..5),
+        epsilon in 0.02f64..0.4,
+    ) {
+        let ticks = 30;
+        let mic_measure = MicMeasure::new(MicParams::fast());
+        let measure: Arc<dyn AssociationMeasure> = Arc::new(MicMeasure::new(MicParams::fast()));
+        let pool = SweepPool::new(2);
+        let mut offset = 0usize;
+        let base = streamed_window(seed, offset, ticks);
+        let matrix = AssociationMatrix::compute(&base, &mic_measure, 1);
+        let invariants = InvariantSet::select(std::slice::from_ref(&matrix), 0.2);
+        let mut inc = IncrementalSweep::seed(
+            &measure,
+            &pool,
+            series_of(&base),
+            matrix.scores().to_vec(),
+        )
+        .expect("MIC plans support delta maintenance");
+        for &shift in &shifts {
+            offset += shift;
+            let next = streamed_window(seed, offset, ticks);
+            let outcome = inc.advance(&series_of(&next));
+            if shift == 0 {
+                prop_assert_eq!(outcome, AdvanceOutcome::Identical);
+            } else {
+                prop_assert_eq!(outcome, AdvanceOutcome::Advanced { shift });
+            }
+            let screen = inc.rescore(&invariants, epsilon);
+            prop_assert_eq!(
+                screen.reused + screen.screened + screen.confirmed,
+                pair_count()
+            );
+            let fresh = AssociationMatrix::compute(&next, &mic_measure, 1);
+            let inc_tuple = ViolationTuple::build(&invariants, &inc.matrix(), epsilon);
+            let fresh_tuple = ViolationTuple::build(&invariants, &fresh, epsilon);
+            prop_assert_eq!(inc_tuple, fresh_tuple, "offset {} shift {}", offset, shift);
+            // Wherever MIC was actually consulted the score is bit-exact;
+            // screened pairs may keep the cache only when both scores
+            // provably grade to zero deviation.
+            for e in invariants.entries() {
+                let got = inc.matrix().at(e.pair);
+                let want = fresh.at(e.pair);
+                let both_zero_grade =
+                    (e.value - got).abs() < epsilon && (e.value - want).abs() < epsilon;
+                prop_assert!(
+                    got.to_bits() == want.to_bits() || both_zero_grade,
+                    "pair {}: incremental {} vs fresh {} (offset {})",
+                    e.pair,
+                    got,
+                    want,
+                    offset
+                );
+            }
+        }
     }
 }
