@@ -148,7 +148,12 @@ impl Lexer {
                 {
                     self.raw_string()
                 }
-                'b' if self.peek(1) == Some('r') => {
+                // `br"..."` / `br#"..."#` only — a bare `r` after `b` is
+                // an identifier (`break`, `branch`...), not a prefix.
+                'b' if self.peek(1) == Some('r')
+                    && (self.peek(2) == Some('"')
+                        || (self.peek(2) == Some('#') && self.raw_ahead_from(2))) =>
+                {
                     self.bump();
                     self.raw_string();
                 }
@@ -167,7 +172,13 @@ impl Lexer {
     /// After an `r`: does `#...` lead to a raw string (`r#"`/`r##"`)
     /// rather than a raw identifier (`r#match`)?
     fn raw_ahead(&self) -> bool {
-        let mut i = 1;
+        self.raw_ahead_from(1)
+    }
+
+    /// Same as [`Lexer::raw_ahead`] from an arbitrary offset (used for the
+    /// `br#...` prefix, where the hashes start two chars ahead).
+    fn raw_ahead_from(&self, start: usize) -> bool {
+        let mut i = start;
         while self.peek(i) == Some('#') {
             i += 1;
         }
@@ -425,5 +436,23 @@ fn f() -> &'static str {
         let opens = lexed.tokens.iter().filter(|t| t.is_punct('{')).count();
         let closes = lexed.tokens.iter().filter(|t| t.is_punct('}')).count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn break_is_an_ident_not_a_byte_raw_string_prefix() {
+        // Regression: `b` + `r` used to enter raw-string mode on the
+        // keyword `break`, swallowing everything to the next `"` and
+        // silently hiding the rest of the file from every rule.
+        let lexed = lex("loop { break; }\nfn after() { let s = br\"x\"; let t = br#\"y\"#; }");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("break")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("after")));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .count(),
+            2
+        );
     }
 }

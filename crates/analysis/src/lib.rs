@@ -3,11 +3,13 @@
 //!
 //! Two halves:
 //!
-//! - [`rules`]: a lint pass built on a hand-rolled lexer ([`lexer`]) and a
-//!   lightweight workspace scanner ([`workspace`]). The rules encode
+//! - [`rules`]: a lint pass built on a hand-rolled lexer ([`lexer`]), a
+//!   lightweight workspace scanner ([`workspace`]), and a conservative
+//!   whole-workspace call graph ([`callgraph`]). The rules encode
 //!   repo-specific contracts — justified atomic orderings, the global
 //!   lock-acquisition order, panic-free hot paths, exhaustive event
-//!   matches — that `rustc` and `clippy` cannot express.
+//!   matches, and a transitive determinism-taint pass from the engine's
+//!   entry points — that `rustc` and `clippy` cannot express.
 //! - [`sched`]: a bounded-interleaving model checker (mini-loom) with
 //!   models of the engine's work-stealing cursor, telemetry registry, and
 //!   sweep cache, explored exhaustively up to a preemption bound.
@@ -18,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
 pub mod sched;

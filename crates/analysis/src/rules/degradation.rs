@@ -5,11 +5,14 @@
 //! a degraded verdict attached to a [`ix_core::Diagnosis`] is only half
 //! the declaration; operators watch the event stream, so the same site
 //! must raise `EngineEvent::SweepDegraded` (directly or via the
-//! `note_degradation` helper). A construction site whose enclosing
-//! function never mentions either is a degradation the telemetry surface
-//! will not see.
+//! `note_degradation` helper). The emit may live in a *callee*: the rule
+//! closes over the constructing function's confident call-graph
+//! descendants, so routing the event through a helper satisfies the
+//! contract, while a construction whose whole closure never mentions the
+//! event is flagged.
 
-use super::{Rule, Violation};
+use super::{graph_for, Rule, Violation};
+use crate::callgraph::EdgeFilter;
 use crate::workspace::{SourceFile, Workspace};
 
 /// See module docs.
@@ -24,7 +27,8 @@ impl Rule for DegradationEmitsEvent {
         "functions constructing SweepDegradation must emit SweepDegraded (or call note_degradation)"
     }
 
-    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Violation>) {
+    fn check(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Violation>) {
+        let graph = graph_for(file, ws);
         let toks = &file.lex.tokens;
         for i in 0..toks.len() {
             if !toks[i].is_ident("SweepDegradation") || file.in_test(i) {
@@ -41,9 +45,36 @@ impl Rule for DegradationEmitsEvent {
             let Some(f) = file.enclosing_fn(i) else {
                 continue; // const/static initializers have no event path
             };
-            let emits = toks[f.fn_tok..=f.body_close]
-                .iter()
-                .any(|t| t.is_ident("note_degradation") || t.is_ident("SweepDegraded"));
+            // The emit may happen transitively: walk every function
+            // confidently reachable from the constructing one and accept
+            // a mention anywhere in the closure.
+            let emits = match graph.node_at(&file.rel, i) {
+                Some(root) => graph
+                    .reach(&[root], EdgeFilter::Confident)
+                    .keys()
+                    .any(|&n| {
+                        let node = &graph.nodes[n];
+                        // `file` first: for fixture checks the graph was
+                        // built with `file` spliced over the same-rel
+                        // workspace file, so its token offsets win.
+                        let Some(nf) = (node.file == file.rel)
+                            .then_some(file)
+                            .or_else(|| ws.file(&node.file))
+                        else {
+                            return false;
+                        };
+                        let ntoks = &nf.lex.tokens;
+                        let end = node.body.1.min(ntoks.len().saturating_sub(1));
+                        ntoks[node.body.0..=end]
+                            .iter()
+                            .any(|t| t.is_ident("note_degradation") || t.is_ident("SweepDegraded"))
+                    }),
+                // Not a graph node (e.g. a test-only fn): fall back to the
+                // enclosing fn's own body.
+                None => toks[f.fn_tok..=f.body_close]
+                    .iter()
+                    .any(|t| t.is_ident("note_degradation") || t.is_ident("SweepDegraded")),
+            };
             if !emits {
                 out.push(Violation {
                     rule: self.id(),
@@ -55,6 +86,7 @@ impl Rule for DegradationEmitsEvent {
                          the degradation is invisible to event sinks",
                         f.name
                     ),
+                    chain: Vec::new(),
                 });
             }
         }

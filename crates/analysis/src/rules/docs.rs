@@ -69,6 +69,7 @@ impl Rule for MissingDocs {
                     "public {} `{}` has no doc comment (engine items are public API)",
                     kw.text, name.text
                 ),
+                chain: Vec::new(),
             });
         }
     }

@@ -103,6 +103,7 @@ impl Rule for EventMatchExhaustive {
                     message: "`_` arm in a match over EngineEvent — name every variant so new \
                               events fail to compile instead of vanishing"
                         .into(),
+                    chain: Vec::new(),
                 });
             }
             let missing: Vec<&str> = ws
@@ -120,6 +121,7 @@ impl Rule for EventMatchExhaustive {
                         "match over EngineEvent does not name variant(s): {}",
                         missing.join(", ")
                     ),
+                    chain: Vec::new(),
                 });
             }
         }

@@ -176,6 +176,7 @@ impl Rule for LockOrder {
                             h.line,
                             order_summary(),
                         ),
+                        chain: Vec::new(),
                     });
                 }
             }
@@ -296,6 +297,7 @@ impl Rule for PoisonRecovery {
                         // receiver_class returned Some above.
                         receiver_class(toks, i - 1).map_or("?", |c| c.field),
                     ),
+                    chain: Vec::new(),
                 });
             }
         }

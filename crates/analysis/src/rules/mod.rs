@@ -12,6 +12,7 @@
 //! sites where the rule's invariant is upheld by construction.
 
 mod degradation;
+mod determinism;
 mod docs;
 mod events;
 mod locks;
@@ -21,9 +22,14 @@ mod panics;
 mod printing;
 mod purity;
 mod safety;
+mod wire;
 
+use std::borrow::Cow;
+
+use crate::callgraph::{CallGraph, ChainHop};
 use crate::workspace::{SourceFile, Workspace};
 
+pub use determinism::{SinkClass, ROOT_FUNCTIONS};
 pub use locks::{LockClass, LOCK_ORDER};
 pub use purity::HOT_FUNCTIONS;
 
@@ -38,6 +44,32 @@ pub struct Violation {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Root→site call chain for call-graph rules (empty otherwise).
+    pub chain: Vec<ChainHop>,
+}
+
+impl Violation {
+    /// A chainless finding (most rules).
+    pub fn new(
+        rule: &'static str,
+        path: impl Into<String>,
+        line: u32,
+        message: impl Into<String>,
+    ) -> Violation {
+        Violation {
+            rule,
+            path: path.into(),
+            line,
+            message: message.into(),
+            chain: Vec::new(),
+        }
+    }
+
+    /// Stable identifier used by `--json` / `--explain`:
+    /// `rule@path:line`.
+    pub fn id(&self) -> String {
+        format!("{}@{}:{}", self.rule, self.path, self.line)
+    }
 }
 
 impl std::fmt::Display for Violation {
@@ -46,7 +78,16 @@ impl std::fmt::Display for Violation {
             f,
             "{}:{}: [{}] {}",
             self.path, self.line, self.rule, self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            let rendered: Vec<String> = self
+                .chain
+                .iter()
+                .map(|h| format!("{} ({}:{})", h.function, h.path, h.line))
+                .collect();
+            write!(f, " [chain: {}]", rendered.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -76,7 +117,26 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(must_use::MustUseGuards),
         Box::new(printing::NoPrint),
         Box::new(docs::MissingDocs),
+        Box::new(determinism::DeterminismTaint),
+        Box::new(wire::WireCoverage),
     ]
+}
+
+/// The call graph to use when checking `file`: the workspace's cached
+/// graph when `file` is part of the scan, or a freshly built graph with
+/// `file` spliced in (replacing any scanned file with the same relative
+/// path) for fixture checks.
+pub(crate) fn graph_for<'a>(file: &SourceFile, ws: &'a Workspace) -> Cow<'a, CallGraph> {
+    let in_ws = ws.file(&file.rel).is_some_and(|f| std::ptr::eq(f, file));
+    if in_ws {
+        return Cow::Borrowed(&ws.graph);
+    }
+    let spliced = ws
+        .files
+        .iter()
+        .filter(|f| f.rel != file.rel)
+        .chain(std::iter::once(file));
+    Cow::Owned(CallGraph::build(spliced))
 }
 
 /// Runs every rule over every scanned file; findings are sorted by path,

@@ -56,6 +56,7 @@ impl Rule for MustUseGuards {
                      dropping it silently discards its effect",
                     name.text
                 ),
+                chain: Vec::new(),
             });
         }
     }

@@ -59,6 +59,7 @@ impl Rule for AtomicOrderingComment {
                      3 lines above, or the enclosing fn's header)",
                     variant.text
                 ),
+                chain: Vec::new(),
             });
         }
     }

@@ -65,6 +65,7 @@ impl Rule for HotPathPanic {
                     "{what} in a hot path — return an error, use a total \
                      comparison/fallback, or add `// lint: allow(hot-path-panic) <why>`"
                 ),
+                chain: Vec::new(),
             });
         }
     }

@@ -44,6 +44,7 @@ impl Rule for NoPrint {
                      exporter instead",
                     toks[i].text
                 ),
+                chain: Vec::new(),
             });
         }
     }

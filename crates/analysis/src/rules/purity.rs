@@ -5,12 +5,17 @@
 //! reuse caller-held scratch: one pair's score costs zero allocations once
 //! the buffers are warm, and never reads a clock (timing is attributed at
 //! batch granularity by the pool, not per pair). [`HOT_FUNCTIONS`] lists
-//! the functions on that path; inside their bodies the rule bans clock
-//! reads (`Instant`, `SystemTime`) and the common allocating constructs
-//! (`vec!`, `Vec::new`, `with_capacity`, `to_vec`, `Box::new`, `format!`,
-//! `String::new`, `collect`).
+//! the functions at the top of that path; the rule closes over their
+//! *confident* callees in the workspace call graph (same-file helpers,
+//! qualified calls, `self` methods — dyn-dispatch fan-out is excluded,
+//! trait contracts take over at that boundary) and bans clock reads
+//! (`Instant`, `SystemTime`) and the common allocating constructs (`vec!`,
+//! `Vec::new`, `with_capacity`, `to_vec`, `Box::new`, `format!`,
+//! `String::new`, `collect`) in every reachable body. A violation in a
+//! helper three calls down reports the full hot-fn→helper chain.
 
-use super::{Rule, Violation};
+use super::{graph_for, Rule, Violation};
+use crate::callgraph::EdgeFilter;
 use crate::workspace::{SourceFile, Workspace};
 
 /// `(workspace-relative file, fn name)` pairs on the per-pair scoring path.
@@ -50,18 +55,51 @@ impl Rule for ScoringPathPurity {
         "no clocks or allocation in the per-pair scoring path (HOT_FUNCTIONS)"
     }
 
-    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Violation>) {
-        let hot: Vec<&str> = HOT_FUNCTIONS
+    fn check(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Violation>) {
+        let graph = graph_for(file, ws);
+        let roots: Vec<usize> = graph
+            .nodes
             .iter()
-            .filter(|(f, _)| *f == file.rel)
-            .map(|(_, name)| *name)
+            .enumerate()
+            .filter(|(_, n)| {
+                HOT_FUNCTIONS
+                    .iter()
+                    .any(|&(f, name)| n.file == f && n.name == name)
+            })
+            .map(|(i, _)| i)
             .collect();
-        if hot.is_empty() {
+        if roots.is_empty() {
             return;
         }
+        // Close over confident callees only: dyn-dispatch fan-out would
+        // pull every same-named trait impl (e.g. the allocating non-scratch
+        // `score` path) into the hot set.
+        let parents = graph.reach(&roots, EdgeFilter::Confident);
         let toks = &file.lex.tokens;
-        for f in file.fns.iter().filter(|f| hot.contains(&f.name.as_str())) {
-            for i in f.body_open..=f.body_close.min(toks.len().saturating_sub(1)) {
+        for (&node_idx, _) in parents
+            .iter()
+            .filter(|(&i, _)| graph.nodes[i].file == file.rel)
+        {
+            let node = &graph.nodes[node_idx];
+            let (start, end) = node.body;
+            let end = end.min(toks.len().saturating_sub(1));
+            // Tokens owned by nested nodes are scanned when (and only
+            // when) the nested node is itself reachable.
+            let nested: Vec<(usize, usize)> = graph
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|&(i, n)| {
+                    i != node_idx && n.file == node.file && n.body.0 > start && n.body.1 <= end
+                })
+                .map(|(_, n)| n.body)
+                .collect();
+            let mut i = start;
+            while i <= end {
+                if let Some(&(_, nest_end)) = nested.iter().find(|&&(s, e)| i >= s && i <= e) {
+                    i = nest_end + 1;
+                    continue;
+                }
                 let t = &toks[i];
                 // `Vec::new` / `String::new` / `Box::new`.
                 let alloc_new = t.is_ident("new")
@@ -82,21 +120,32 @@ impl Rule for ScoringPathPurity {
                 } else {
                     banned.map(|(_, why)| *why)
                 };
-                let Some(why) = why else { continue };
+                let Some(why) = why else {
+                    i += 1;
+                    continue;
+                };
+                let chain = graph.chain(&parents, node_idx);
+                let root = chain
+                    .first()
+                    .map(|h| h.function.clone())
+                    .unwrap_or_default();
                 out.push(Violation {
                     rule: self.id(),
                     path: file.rel.clone(),
                     line: t.line,
                     message: format!(
-                        "`{}` inside hot fn `{}` — {why}; hoist into scratch/plan state",
+                        "`{}` in `{}` on the hot path from `{root}` — {why}; hoist into \
+                         scratch/plan state",
                         if alloc_new {
                             format!("{}::new", toks[i - 3].text)
                         } else {
                             t.text.clone()
                         },
-                        f.name
+                        node.qualified_name(),
                     ),
+                    chain,
                 });
+                i += 1;
             }
         }
     }

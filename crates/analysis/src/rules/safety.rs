@@ -39,6 +39,7 @@ impl Rule for UnsafeSafetyComment {
                 message: "`unsafe` without a `// SAFETY:` comment (same line, 3 lines above, \
                           or the enclosing fn's header)"
                     .into(),
+                chain: Vec::new(),
             });
         }
     }

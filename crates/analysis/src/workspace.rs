@@ -11,26 +11,106 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::CallGraph;
 use crate::lexer::{lex, LexedFile, TokKind};
 
-/// Crate directories under `crates/` that the pass lints.
-pub const PRODUCT_CRATES: &[&str] = &[
-    "analysis",
-    "arima",
-    "arx",
-    "bench",
-    "chaos",
-    "core",
-    "history",
-    "linalg",
-    "metrics",
-    "mic",
-    "query",
-    "replay",
-    "simulator",
-    "timeseries",
-    "top",
+/// In-repo compatibility crates that mirror external libraries and follow
+/// their upstream idioms — excluded from the lint pass. Every name listed
+/// here must exist as a workspace member: a stale entry fails the scan
+/// loudly instead of silently shrinking coverage.
+pub const EXCLUDED_CRATES: &[&str] = &[
+    "criterion",
+    "proptest",
+    "rand",
+    "rand_chacha",
+    "serde",
+    "serde_derive",
+    "serde_json",
 ];
+
+/// Discovers the product crates to lint from the workspace `Cargo.toml`
+/// members list (globs expanded against `crates/`), minus
+/// [`EXCLUDED_CRATES`]. New crates are picked up automatically — PRs 6–8
+/// each had to remember to append to a hand-maintained array.
+///
+/// # Errors
+///
+/// Fails loudly on drift: an excluded crate that is no longer a member
+/// (stale exclude list), an unreadable/parseless manifest, or an empty
+/// discovery result.
+pub fn product_crates(root: &Path) -> Result<Vec<String>, String> {
+    let manifest_path = root.join("Cargo.toml");
+    let manifest = fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("read {}: {e}", manifest_path.display()))?;
+    let members = workspace_members(&manifest)
+        .ok_or_else(|| format!("no [workspace] members list in {}", manifest_path.display()))?;
+
+    let mut names: Vec<String> = Vec::new();
+    for member in &members {
+        if let Some(prefix) = member
+            .strip_suffix("/*")
+            .or_else(|| member.strip_suffix("/*/"))
+        {
+            let dir = root.join(prefix);
+            let entries = fs::read_dir(&dir).map_err(|e| {
+                format!(
+                    "expand member glob {member}: read_dir {}: {e}",
+                    dir.display()
+                )
+            })?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+                let path = entry.path();
+                if path.is_dir() && path.join("Cargo.toml").is_file() {
+                    names.push(entry.file_name().to_string_lossy().into_owned());
+                }
+            }
+        } else if let Some(name) = member.strip_prefix("crates/") {
+            names.push(name.to_string());
+        }
+    }
+    names.sort();
+    names.dedup();
+
+    for excluded in EXCLUDED_CRATES {
+        if !names.iter().any(|n| n == excluded) {
+            return Err(format!(
+                "excluded crate `{excluded}` is not a workspace member — \
+                 EXCLUDED_CRATES has drifted from {}",
+                manifest_path.display()
+            ));
+        }
+    }
+    names.retain(|n| !EXCLUDED_CRATES.contains(&n.as_str()));
+    if names.is_empty() {
+        return Err(format!(
+            "workspace member discovery found no product crates in {}",
+            manifest_path.display()
+        ));
+    }
+    Ok(names)
+}
+
+/// The string entries of the `members = [ ... ]` array under
+/// `[workspace]`. A deliberately small TOML subset: this repository's own
+/// manifest, not arbitrary input.
+fn workspace_members(manifest: &str) -> Option<Vec<String>> {
+    let ws = manifest.find("[workspace]")?;
+    let after = &manifest[ws..];
+    let members = after.find("members")?;
+    let open = after[members..].find('[')? + members;
+    let close = after[open..].find(']')? + open;
+    let body = &after[open + 1..close];
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(q) = rest.find('"') {
+        let tail = &rest[q + 1..];
+        let end = tail.find('"')?;
+        out.push(tail[..end].to_string());
+        rest = &tail[end + 1..];
+    }
+    Some(out)
+}
 
 /// The span of one `fn` item (or method) in a file.
 #[derive(Debug, Clone)]
@@ -87,11 +167,15 @@ impl SourceFile {
             .any(|c| c.text.contains(needle))
     }
 
-    /// Whether a `// lint: allow(<rule>)` escape covers `line` (same line
-    /// or up to two lines above).
+    /// Whether a `// lint: allow(<rule>)` or `// lint: allow(<rule>,
+    /// <reason>)` escape covers `line` (same line or up to two lines
+    /// above).
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
-        let needle = format!("lint: allow({rule})");
-        self.comment_contains(line.saturating_sub(2), line, &needle)
+        let bare = format!("lint: allow({rule})");
+        let with_reason = format!("lint: allow({rule},");
+        self.lex
+            .comments_in(line.saturating_sub(2), line)
+            .any(|c| c.text.contains(&bare) || c.text.contains(&with_reason))
     }
 }
 
@@ -100,23 +184,30 @@ impl SourceFile {
 pub struct Workspace {
     /// The workspace root directory.
     pub root: PathBuf,
+    /// Product crate names the scan covered (auto-discovered).
+    pub crates: Vec<String>,
     /// All scanned files, sorted by path.
     pub files: Vec<SourceFile>,
     /// Variant names of `ix_core::EngineEvent`, parsed from its source.
     pub engine_event_variants: Vec<String>,
     /// Type names with an `impl Drop` anywhere in the scanned files.
     pub drop_types: Vec<String>,
+    /// The whole-workspace call graph over the scanned files.
+    pub graph: CallGraph,
 }
 
 impl Workspace {
-    /// Scans the workspace rooted at `root`.
+    /// Scans the workspace rooted at `root`, discovering the product
+    /// crates from the workspace manifest (see [`product_crates`]).
     ///
     /// # Errors
     ///
-    /// Returns an error when a crate source directory cannot be read.
+    /// Returns an error when crate discovery drifts or a crate source
+    /// directory cannot be read.
     pub fn scan(root: &Path) -> Result<Workspace, String> {
+        let crates = product_crates(root)?;
         let mut paths: Vec<PathBuf> = Vec::new();
-        for krate in PRODUCT_CRATES {
+        for krate in &crates {
             let src = root.join("crates").join(krate).join("src");
             if src.is_dir() {
                 collect_rs(&src, &mut paths)?;
@@ -137,11 +228,14 @@ impl Workspace {
             .map(|f| enum_variants(f, "EngineEvent"))
             .unwrap_or_default();
         let drop_types = files.iter().flat_map(drop_impl_targets).collect();
+        let graph = CallGraph::build(files.iter());
         Ok(Workspace {
             root: root.to_path_buf(),
+            crates,
             files,
             engine_event_variants,
             drop_types,
+            graph,
         })
     }
 

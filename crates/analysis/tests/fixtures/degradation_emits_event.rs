@@ -26,3 +26,24 @@ fn loud_fallback(&self, context: ContextId, reason: DegradationReason) -> SweepV
         scored: None,
     }
 }
+
+// Clean: the construction site routes the event through a helper — the
+// call-graph closure must accept the transitive emit.
+impl Engine {
+    fn routed_fallback(&self, context: ContextId, reason: DegradationReason) -> SweepVerdict {
+        let degradation = SweepDegradation {
+            tier: DegradationTier::CachedMatrix,
+            reason,
+        };
+        self.forward_verdict(context, reason);
+        SweepVerdict {
+            matrix: CorrelationMatrix::default(),
+            degradation: Some(degradation),
+            scored: None,
+        }
+    }
+
+    fn forward_verdict(&self, context: ContextId, reason: DegradationReason) {
+        self.note_degradation(context, DegradationTier::CachedMatrix, reason);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: an environment read on the ingest path.
+
+impl Engine {
+    pub fn ingest(&self, context: &OperationContext) -> Result<(), CoreError> {
+        mode_flag();
+        Ok(())
+    }
+}
+
+fn mode_flag() -> bool {
+    std::env::var("IX_FAST_PATH").is_ok()
+}

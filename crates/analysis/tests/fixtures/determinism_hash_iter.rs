@@ -1,0 +1,27 @@
+// Fixture: HashMap iteration in a helper reachable from `Engine::ingest`.
+
+impl Engine {
+    pub fn ingest(&self, context: &OperationContext) -> Result<(), CoreError> {
+        tally_contexts();
+        Ok(())
+    }
+}
+
+fn tally_contexts() -> u64 {
+    let counts: HashMap<String, u64> = HashMap::new();
+    let mut total = 0;
+    for (_, v) in counts.iter() {
+        total += v;
+    }
+    total
+}
+
+// Clean twin: iterating a sorted map is deterministic.
+fn tally_sorted() -> u64 {
+    let ordered: BTreeMap<String, u64> = BTreeMap::new();
+    let mut total = 0;
+    for (_, v) in ordered.iter() {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,20 @@
+// Fixture: unordered parallel float accumulation on the ingest path.
+
+impl Engine {
+    pub fn ingest(&self, context: &OperationContext) -> Result<(), CoreError> {
+        parallel_total(&[1.0f64]);
+        Ok(())
+    }
+}
+
+fn parallel_total(series: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for v in series {
+                total += v;
+            }
+        });
+    });
+    total
+}

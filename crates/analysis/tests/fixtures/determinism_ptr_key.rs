@@ -1,0 +1,12 @@
+// Fixture: a pointer-to-integer cast used as a key on the ingest path.
+
+impl Engine {
+    pub fn ingest(&self, context: &OperationContext) -> Result<(), CoreError> {
+        addr_key(&[1.0, 2.0]);
+        Ok(())
+    }
+}
+
+fn addr_key(series: &[f64]) -> usize {
+    series.as_ptr() as usize
+}

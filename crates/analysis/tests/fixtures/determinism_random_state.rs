@@ -1,0 +1,14 @@
+// Fixture: explicit RandomState construction on the ingest path.
+
+impl Engine {
+    pub fn ingest(&self, context: &OperationContext) -> Result<(), CoreError> {
+        seeded_map();
+        Ok(())
+    }
+}
+
+fn seeded_map() -> u64 {
+    let state = RandomState::new();
+    let mut hasher = state.build_hasher();
+    hasher.finish()
+}

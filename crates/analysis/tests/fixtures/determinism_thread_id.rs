@@ -1,0 +1,12 @@
+// Fixture: thread identity read on the ingest path.
+
+impl Engine {
+    pub fn ingest(&self, context: &OperationContext) -> Result<(), CoreError> {
+        worker_tag();
+        Ok(())
+    }
+}
+
+fn worker_tag() -> String {
+    format!("{:?}", thread::current().id())
+}

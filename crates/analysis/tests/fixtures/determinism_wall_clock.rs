@@ -1,0 +1,20 @@
+// Fixture: a wall-clock read in a helper transitively reachable from the
+// `Engine::ingest` determinism root. The unreachable twin must pass.
+
+impl Engine {
+    pub fn ingest(&self, context: &OperationContext) -> Result<(), CoreError> {
+        stamp_tick();
+        Ok(())
+    }
+}
+
+fn stamp_tick() -> u64 {
+    let started = Instant::now();
+    started.elapsed().as_micros() as u64
+}
+
+// Clean twin: same sink, but nothing reaches it from a root.
+fn offline_stamp() -> u64 {
+    let started = Instant::now();
+    started.elapsed().as_micros() as u64
+}

@@ -1,0 +1,18 @@
+// Fixture: the hot fn itself is clean — the allocation hides in a helper
+// one call down. The pre-call-graph rule only scanned listed bodies and
+// provably missed this.
+
+fn claim_batch(cursor: &AtomicUsize, n_pairs: usize) -> Option<(usize, usize)> {
+    let start = cursor.fetch_add(STEAL_BATCH, Ordering::Relaxed);
+    stage_scratch(start, n_pairs)
+}
+
+fn stage_scratch(start: usize, n_pairs: usize) -> Option<(usize, usize)> {
+    let staged: Vec<usize> = Vec::new();
+    let _ = staged;
+    if start >= n_pairs {
+        None
+    } else {
+        Some((start, n_pairs.min(start + STEAL_BATCH)))
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: an EngineEvent enum with a variant the wire tests never
+// exercise. `TickIngested` is covered by the real wire.rs test module;
+// `PhantomEvent` is not.
+
+pub enum EngineEvent {
+    TickIngested {
+        context: ContextId,
+        tick: u64,
+    },
+    PhantomEvent {
+        context: ContextId,
+    },
+}

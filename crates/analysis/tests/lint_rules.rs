@@ -9,7 +9,7 @@
 
 use std::path::Path;
 
-use ix_analysis::rules::{all_rules, run_all};
+use ix_analysis::rules::{all_rules, run_all, Violation};
 use ix_analysis::workspace::{build_file, Workspace};
 
 fn real_workspace() -> Workspace {
@@ -18,9 +18,8 @@ fn real_workspace() -> Workspace {
     Workspace::scan(&root).expect("scan workspace")
 }
 
-/// Asserts `rule_id` fires on `fixture_name` (lexed as if it lived at
-/// `rel`) at exactly `line`.
-fn assert_fires(ws: &Workspace, rule_id: &str, fixture_name: &str, rel: &str, line: u32) {
+/// Runs one rule over `fixture_name` lexed as if it lived at `rel`.
+fn check_fixture(ws: &Workspace, rule_id: &str, fixture_name: &str, rel: &str) -> Vec<Violation> {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(fixture_name);
@@ -34,10 +33,47 @@ fn assert_fires(ws: &Workspace, rule_id: &str, fixture_name: &str, rel: &str, li
         .unwrap_or_else(|| panic!("no rule with id {rule_id}"));
     let mut out = Vec::new();
     rule.check(&file, ws, &mut out);
+    out
+}
+
+/// Asserts `rule_id` fires on `fixture_name` (lexed as if it lived at
+/// `rel`) at exactly `line`.
+fn assert_fires(ws: &Workspace, rule_id: &str, fixture_name: &str, rel: &str, line: u32) {
+    let out = check_fixture(ws, rule_id, fixture_name, rel);
     assert!(
         out.iter()
             .any(|v| v.rule == rule_id && v.path == rel && v.line == line),
         "{rule_id} did not fire at {rel}:{line} on {fixture_name}; got: {out:#?}"
+    );
+}
+
+/// Asserts the determinism rule catches exactly one sink in the fixture,
+/// at `line`, with a printed root→…→sink chain starting at the fixture's
+/// `Engine::ingest` root — and nothing else (the clean twin passes).
+fn assert_determinism_catches(ws: &Workspace, fixture_name: &str, line: u32) {
+    let rel = format!(
+        "crates/core/src/engine/{}",
+        fixture_name.replace("determinism_", "bad_")
+    );
+    let out = check_fixture(ws, "determinism", fixture_name, &rel);
+    assert_eq!(
+        out.len(),
+        1,
+        "{fixture_name}: exactly the seeded sink fires; got: {out:#?}"
+    );
+    let v = &out[0];
+    assert_eq!(v.line, line, "{fixture_name}: sink line; got: {out:#?}");
+    assert!(
+        v.chain.len() >= 2,
+        "{fixture_name}: finding must carry a root→sink chain; got: {v:#?}"
+    );
+    assert_eq!(
+        v.chain[0].function, "Engine::ingest",
+        "{fixture_name}: chain starts at the declared root; got: {v:#?}"
+    );
+    assert!(
+        v.chain.iter().skip(1).all(|h| h.via_line > 0),
+        "{fixture_name}: every non-root hop records its call site; got: {v:#?}"
     );
 }
 
@@ -202,9 +238,114 @@ fn degradation_emits_event_accepts_emitting_functions() {
 }
 
 #[test]
+fn determinism_catches_wall_clock() {
+    let ws = real_workspace();
+    assert_determinism_catches(&ws, "determinism_wall_clock.rs", 12);
+}
+
+#[test]
+fn determinism_catches_hash_iteration() {
+    let ws = real_workspace();
+    assert_determinism_catches(&ws, "determinism_hash_iter.rs", 13);
+}
+
+#[test]
+fn determinism_catches_random_state() {
+    let ws = real_workspace();
+    assert_determinism_catches(&ws, "determinism_random_state.rs", 11);
+}
+
+#[test]
+fn determinism_catches_thread_id() {
+    let ws = real_workspace();
+    assert_determinism_catches(&ws, "determinism_thread_id.rs", 11);
+}
+
+#[test]
+fn determinism_catches_ptr_key() {
+    let ws = real_workspace();
+    assert_determinism_catches(&ws, "determinism_ptr_key.rs", 11);
+}
+
+#[test]
+fn determinism_catches_env_read() {
+    let ws = real_workspace();
+    assert_determinism_catches(&ws, "determinism_env_read.rs", 11);
+}
+
+#[test]
+fn determinism_catches_parallel_float_reduction() {
+    let ws = real_workspace();
+    assert_determinism_catches(&ws, "determinism_par_float.rs", 15);
+}
+
+#[test]
+fn purity_flags_allocation_planted_in_a_callee() {
+    let ws = real_workspace();
+    // `claim_batch` is a listed hot fn; the allocation lives in a helper
+    // it calls. The pre-call-graph rule scanned only listed bodies and
+    // missed exactly this shape.
+    let out = check_fixture(
+        &ws,
+        "scoring-path-purity",
+        "purity_callee.rs",
+        "crates/core/src/assoc.rs",
+    );
+    let v = out
+        .iter()
+        .find(|v| v.line == 11)
+        .unwrap_or_else(|| panic!("callee allocation not flagged: {out:#?}"));
+    assert!(
+        v.message.contains("stage_scratch") && v.message.contains("claim_batch"),
+        "message names helper and hot root: {v:#?}"
+    );
+    assert!(
+        v.chain.iter().any(|h| h.function == "claim_batch")
+            && v.chain.iter().any(|h| h.function == "stage_scratch"),
+        "chain spans hot fn to helper: {v:#?}"
+    );
+}
+
+#[test]
+fn wire_coverage_flags_untested_variant() {
+    let ws = real_workspace();
+    let out = check_fixture(
+        &ws,
+        "wire-coverage",
+        "wire_coverage.rs",
+        "crates/core/src/engine/events.rs",
+    );
+    assert_eq!(
+        out.len(),
+        1,
+        "only the phantom variant fires (TickIngested is wire-tested): {out:#?}"
+    );
+    assert!(
+        out[0].message.contains("PhantomEvent") && out[0].line == 10,
+        "finding anchors to the untested variant: {out:#?}"
+    );
+}
+
+#[test]
+fn degradation_accepts_emit_routed_through_callee() {
+    let ws = real_workspace();
+    let out = check_fixture(
+        &ws,
+        "degradation-emits-event",
+        "degradation_emits_event.rs",
+        "crates/core/src/engine/bad_degrade.rs",
+    );
+    assert_eq!(out.len(), 1, "only the silent site fires: {out:#?}");
+    assert!(
+        out[0].message.contains("quiet_fallback"),
+        "routed_fallback (emit in a callee) and loud_fallback must pass: {out:#?}"
+    );
+}
+
+#[test]
 fn rule_catalog_is_complete() {
     let ids: Vec<&str> = all_rules().iter().map(|r| r.id()).collect();
-    assert_eq!(ids.len(), 11, "rule catalog: {ids:?}");
+    assert_eq!(ids.len(), 13, "rule catalog: {ids:?}");
     let mut sorted = ids.clone();
     sorted.sort_unstable();
     sorted.dedup();

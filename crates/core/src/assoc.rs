@@ -406,6 +406,8 @@ impl SweepPool {
     ) -> BoundedSweep {
         let series: Vec<Vec<f64>> = MetricId::ALL.iter().map(|&m| frame.series(m)).collect();
         let n_pairs = pair_count();
+        // lint: allow(determinism, telemetry-only: prepare micros feed a
+        // SpanClosed event; replay normalizes all recorded timings)
         let prepare_started = Instant::now();
         let plan = measure.prepare_on(&series, self);
         if plan.is_some() {

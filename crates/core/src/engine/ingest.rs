@@ -85,6 +85,8 @@ impl Engine {
         let min_frame_ticks = self.config().min_frame_ticks;
         let window_ticks = self.config().window_ticks;
         let context_id = self.intern_context(context);
+        // lint: allow(determinism, telemetry-only: ingest micros feed span
+        // events; replay normalizes all recorded timings)
         let ingest_started = Instant::now();
         let (tick, lifetime_tick, decision, up_edge, down_edge, deferred, append_nanos) =
             self.state().with_mut(context, window_ticks, |state| {
@@ -108,6 +110,8 @@ impl Engine {
                 // lock drops.
                 let append_nanos = if let Some(recorder) = self.recorder() {
                     let timed = self.telemetry().is_some();
+                    // lint: allow(determinism, telemetry-only: append nanos
+                    // feed the recorder histogram, never engine results)
                     let append_started = timed.then(Instant::now);
                     recorder.record_tick(
                         context_id,
@@ -188,6 +192,8 @@ impl Engine {
         let diagnosis = match deferred {
             Some(DeferredDiagnosis { window, invariants }) => {
                 let _span = Span::enter(self.sink(), EnginePhase::Diagnosis, context_id);
+                // lint: allow(determinism, telemetry-only: diagnosis micros
+                // feed a DiagnosisReady event; replay normalizes timings)
                 let started = Instant::now();
                 // Materialize the in-lock snapshot: either the frame copy
                 // itself, or the captured history rows — which resolve to

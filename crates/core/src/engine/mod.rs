@@ -384,6 +384,8 @@ impl Engine {
                 ));
             }
         }
+        // lint: allow(determinism, telemetry-only: sweep micros feed a
+        // SweepCompleted event; replay normalizes all recorded timings)
         let started = Instant::now();
         let bounded = {
             let _span = Span::enter(&self.sink, EnginePhase::Sweep, context);
@@ -471,6 +473,8 @@ impl Engine {
                         reseed = false;
                     }
                     AdvanceOutcome::Advanced { .. } => {
+                        // lint: allow(determinism, telemetry-only: screen
+                        // micros feed events; replay normalizes timings)
                         let started = Instant::now();
                         let outcome = {
                             let _span = Span::enter(&self.sink, EnginePhase::Screen, context);
@@ -555,6 +559,8 @@ impl Engine {
         // fresh wall budget of its own. Skipped when the pair budget rules
         // out any full sweep.
         if allow_pearson {
+            // lint: allow(determinism, telemetry-only: fallback-sweep micros
+            // feed a SweepCompleted event; replay normalizes timings)
             let started = Instant::now();
             let bounded = {
                 let _span = Span::enter(&self.sink, EnginePhase::Sweep, context);
@@ -779,6 +785,8 @@ impl Engine {
         // monotone lifetime counter (see detect above).
         let tick = self.ticks.load(std::sync::atomic::Ordering::Relaxed);
         let _span = Span::enter(&self.sink, EnginePhase::Diagnosis, id);
+        // lint: allow(determinism, telemetry-only: diagnosis micros feed a
+        // DiagnosisReady event; replay normalizes all recorded timings)
         let started = Instant::now();
         let invariants = self
             .invariant_set(context)

@@ -3,9 +3,12 @@
 //! Streaming ingestion is naturally parallel across contexts (node ×
 //! workload), so the engine shards its context map over `N` independent
 //! `RwLock`s keyed by the context hash — concurrent ingests contend only
-//! when their contexts land in the same shard.
+//! when their contexts land in the same shard. Within a shard the map is
+//! a `BTreeMap` so every iteration (context listing, coverage counts) is
+//! deterministically ordered — a requirement of the replay/verify and
+//! history guarantees, enforced by the `determinism` lint.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::{Arc, PoisonError, RwLock};
 
@@ -60,14 +63,14 @@ impl ContextState {
 
 /// The sharded context map.
 pub(crate) struct ShardedStateMap {
-    shards: Vec<RwLock<HashMap<OperationContext, ContextState>>>,
+    shards: Vec<RwLock<BTreeMap<OperationContext, ContextState>>>,
 }
 
 impl ShardedStateMap {
     pub(crate) fn new(shards: usize) -> Self {
         ShardedStateMap {
             shards: (0..shards.max(1))
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::new(BTreeMap::new()))
                 .collect(),
         }
     }
@@ -79,7 +82,7 @@ impl ShardedStateMap {
     fn shard_of(
         &self,
         context: &OperationContext,
-    ) -> &RwLock<HashMap<OperationContext, ContextState>> {
+    ) -> &RwLock<BTreeMap<OperationContext, ContextState>> {
         let mut hasher = DefaultHasher::new();
         context.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % self.shards.len()]

@@ -111,6 +111,8 @@ impl Span {
             sink: Arc::clone(sink),
             phase,
             context,
+            // lint: allow(determinism, telemetry-only: span durations feed
+            // SpanClosed events; replay normalizes all recorded timings)
             started: Instant::now(),
         }
     }

@@ -6,7 +6,7 @@
 //! work is delegated to an [`Engine`]. New code that ingests samples tick
 //! by tick should use [`Engine`] directly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ix_metrics::MetricFrame;
@@ -32,8 +32,8 @@ pub use crate::engine::diagnosis::{Diagnosis, RankedCause};
 /// state behind its shard locks.
 pub struct InvarNetX {
     engine: Engine,
-    perf_models: HashMap<OperationContext, Arc<PerformanceModel>>,
-    invariants: HashMap<OperationContext, Arc<InvariantSet>>,
+    perf_models: BTreeMap<OperationContext, Arc<PerformanceModel>>,
+    invariants: BTreeMap<OperationContext, Arc<InvariantSet>>,
 }
 
 impl InvarNetX {
@@ -41,8 +41,8 @@ impl InvarNetX {
     pub fn new(config: InvarNetConfig) -> Self {
         InvarNetX {
             engine: Engine::new(config),
-            perf_models: HashMap::new(),
-            invariants: HashMap::new(),
+            perf_models: BTreeMap::new(),
+            invariants: BTreeMap::new(),
         }
     }
 
@@ -57,8 +57,8 @@ impl InvarNetX {
     pub fn from_engine(engine: Engine) -> Self {
         InvarNetX {
             engine,
-            perf_models: HashMap::new(),
-            invariants: HashMap::new(),
+            perf_models: BTreeMap::new(),
+            invariants: BTreeMap::new(),
         }
     }
 
@@ -235,11 +235,10 @@ impl InvarNetX {
         self.engine.with_signature_database(f)
     }
 
-    /// Contexts with trained models.
+    /// Contexts with trained models, in key order (`BTreeMap` keeps the
+    /// listing deterministic without a post-hoc sort).
     pub fn contexts(&self) -> Vec<OperationContext> {
-        let mut out: Vec<OperationContext> = self.perf_models.keys().cloned().collect();
-        out.sort();
-        out
+        self.perf_models.keys().cloned().collect()
     }
 
     /// Replaces the signature database (used when loading persisted state).
