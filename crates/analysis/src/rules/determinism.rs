@@ -48,6 +48,13 @@ pub const ROOT_FUNCTIONS: &[(&str, &str)] = &[
     ("Explanations", "rank"),
     ("Cooccurrence", "compute"),
     ("Counterfactual", "compute"),
+    // Fleet serving: the evict→snapshot→warm twin guarantee enters
+    // through the tenant-routed tick paths and the snapshot round-trip.
+    ("Fleet", "ingest"),
+    ("Fleet", "drain"),
+    ("Fleet", "diagnose"),
+    ("TenantSnapshot", "to_bytes"),
+    ("TenantSnapshot", "from_bytes"),
 ];
 
 /// One class of nondeterminism sink.

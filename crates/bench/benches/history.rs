@@ -92,7 +92,7 @@ fn bench_history(c: &mut Criterion) {
         b.iter(|| replay(black_box(&engine), &context, &cpi, &frame))
     });
 
-    let store = HistoryStore::shared();
+    let store = HistoryStore::builder().shared();
     let (engine, context, cpi, frame) = trained_engine(Some(store));
     c.bench_function("ingest_run_with_history", |b| {
         b.iter(|| replay(black_box(&engine), &context, &cpi, &frame))

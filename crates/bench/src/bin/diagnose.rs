@@ -31,6 +31,13 @@
 //!
 //! # operator console over a recorded trace (see also the ix-top binary)
 //! diagnose top trace.ixh [--headless] [--frames N] [--width N] [--speed X]
+//!
+//! # serve mode: an IXSRV01 fleet server on simulator-trained tenants,
+//! # driven by a loopback client (hold it open to point fleet-status at)
+//! diagnose serve [--addr HOST:PORT] [--tenants N] [--hold SECS]
+//!
+//! # operator view of a running serve endpoint (one Health frame)
+//! diagnose fleet-status --addr HOST:PORT [--tenant ID]
 //! ```
 //!
 //! Every subcommand accepts `--telemetry`: the run's engine work (sweeps,
@@ -386,7 +393,7 @@ fn query(args: &[String]) -> Result<(), String> {
 
     // Offline phase (as `diagnose train`, but in-process), with a history
     // store attached so everything the engine sees afterwards is recorded.
-    let store = HistoryStore::shared();
+    let store = HistoryStore::builder().shared();
     let mut builder = Engine::builder()
         .config(InvarNetConfig::default())
         .history(store.clone());
@@ -457,7 +464,7 @@ fn query(args: &[String]) -> Result<(), String> {
     let live = stream(&runner.fault_run(workload, FaultType::MemHog, 5), true)?
         .ok_or("the final mem-hog run produced no live diagnosis")?;
 
-    let query = Query::over(&engine, &store);
+    let query = Query::builder().engine(&engine).history(&store).build();
 
     println!("== explanations (current-run window) ==");
     let explain = query.explanations(&context);
@@ -614,7 +621,10 @@ fn replay(args: &[String]) -> Result<(), String> {
         };
     }
 
-    let mut replayer = Replayer::from_store(Arc::new(recorded)).map_err(|e| e.to_string())?;
+    let mut replayer = Replayer::builder()
+        .recorded(Arc::new(recorded))
+        .build()
+        .map_err(|e| e.to_string())?;
     println!(
         "replaying {} ticks across {} contexts...",
         replayer.schedule().len(),
@@ -687,7 +697,10 @@ fn top(args: &[String]) -> Result<(), String> {
         eprintln!("warning: {warning}");
     }
 
-    let mut feed = ReplayFeed::new(&store, TopConsole::new(), speed);
+    let mut feed = ReplayFeed::builder()
+        .console(TopConsole::new())
+        .speed(speed)
+        .build(&store);
     let batch = (feed.total() / 200).max(1) * feed.ticks_per_frame();
     let mut screen = if headless {
         None
@@ -717,6 +730,184 @@ fn top(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `diagnose serve`: train a template tenant from the simulator, stand up
+/// an `IXSRV01` fleet server, drive every tenant over a loopback client,
+/// and print the fleet's wire-visible state.
+fn serve(args: &[String]) -> Result<(), String> {
+    use ix_serve::{Fleet, ServeClient, ServerHandle, TenantId};
+    use ix_simulator::{FaultType, Runner, WorkloadType};
+
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut tenants = 3usize;
+    let mut hold_secs = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--addr" => {
+                addr = value(i)?;
+                i += 2;
+            }
+            "--tenants" => {
+                tenants = value(i)?
+                    .parse()
+                    .map_err(|_| "--tenants needs an integer".to_string())?;
+                i += 2;
+            }
+            "--hold" => {
+                hold_secs = value(i)?
+                    .parse()
+                    .map_err(|_| "--hold needs seconds".to_string())?;
+                i += 2;
+            }
+            other => return Err(format!("unknown serve argument: {other}")),
+        }
+    }
+
+    println!("training the template tenant from the simulator...");
+    let runner = Runner::new(11);
+    let node = Runner::DEFAULT_FAULT_NODE;
+    let workload = WorkloadType::Wordcount;
+    let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+    let template = Engine::builder().config(InvarNetConfig::default()).build();
+    let normals = runner.normal_runs(workload, 4);
+    let cpi_traces: Vec<Vec<f64>> = normals
+        .iter()
+        .map(|r| r.per_node[node].cpi.cpi_series())
+        .collect();
+    template
+        .train_performance_model(context.clone(), &cpi_traces)
+        .map_err(render_error)?;
+    let windows: Vec<_> = normals
+        .iter()
+        .map(|r| {
+            let f = &r.per_node[node].frame;
+            f.window(30..75.min(f.ticks()))
+        })
+        .collect();
+    template
+        .build_invariants(context.clone(), &windows)
+        .map_err(render_error)?;
+    let fault = runner.fault_run(workload, FaultType::MemHog, 0);
+    template
+        .record_signature(
+            &context,
+            FaultType::MemHog.name(),
+            &fault.fault_window().ok_or("no fault window")?,
+        )
+        .map_err(render_error)?;
+    let store = template.snapshot_state();
+
+    let fleet = std::sync::Arc::new(Fleet::builder().per_tenant_telemetry(true).build());
+    let ids: Vec<TenantId> = (0..tenants.max(1))
+        .map(|i| TenantId::new(format!("tenant-{i}")).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    for id in &ids {
+        fleet
+            .with_engine(id, |e| e.load_state(&store))
+            .map_err(|e| e.to_string())?
+            .map_err(render_error)?;
+    }
+
+    let server = ServerHandle::builder()
+        .addr(&addr)
+        // A few extra accept threads so operators (fleet-status) can
+        // connect while the demo stream holds its own connection.
+        .accept_threads(4)
+        .start(std::sync::Arc::clone(&fleet))
+        .map_err(|e| e.to_string())?;
+    println!("IXSRV01 listening on {}", server.addr());
+
+    let mut client = ServeClient::connect(server.addr()).map_err(|e| e.to_string())?;
+    let live = runner.fault_run(workload, FaultType::MemHog, 5);
+    let cpi = live.per_node[node].cpi.cpi_series();
+    let frame = &live.per_node[node].frame;
+    let ticks = frame.ticks().min(cpi.len());
+    let mut diagnoses = 0usize;
+    for (t, &tick_cpi) in cpi.iter().enumerate().take(ticks) {
+        for id in &ids {
+            let reply = client
+                .ingest(
+                    id,
+                    &context.node,
+                    &context.workload,
+                    tick_cpi,
+                    frame.tick(t),
+                )
+                .map_err(|e| e.to_string())?;
+            if reply.diagnosis.is_some() {
+                diagnoses += 1;
+            }
+        }
+    }
+    println!(
+        "streamed {ticks} ticks x {} tenants over the wire ({diagnoses} diagnoses)",
+        ids.len()
+    );
+    let health = client.health(&ids[0]).map_err(|e| e.to_string())?;
+    println!(
+        "fleet: {} tenants ({} warm, {} cold), {} ticks, health {}",
+        health.tenants, health.warm, health.cold, health.ticks, health.health
+    );
+    // Free this connection's accept thread for operator clients.
+    drop(client);
+    if hold_secs > 0 {
+        println!(
+            "holding the server open for {hold_secs}s (try: diagnose fleet-status --addr {})",
+            server.addr()
+        );
+        std::thread::sleep(std::time::Duration::from_secs(hold_secs));
+    }
+    server.stop();
+    println!("server stopped");
+    Ok(())
+}
+
+/// `diagnose fleet-status`: one `Health` frame against a running serve
+/// endpoint, rendered for an operator.
+fn fleet_status(args: &[String]) -> Result<(), String> {
+    use ix_serve::{ServeClient, TenantId};
+
+    let mut addr: Option<String> = None;
+    let mut tenant = "operator".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(value(i)?);
+                i += 2;
+            }
+            "--tenant" => {
+                tenant = value(i)?;
+                i += 2;
+            }
+            other => return Err(format!("unknown fleet-status argument: {other}")),
+        }
+    }
+    let addr = addr.ok_or("fleet-status needs --addr HOST:PORT (see `diagnose serve --hold`)")?;
+    let tenant = TenantId::new(tenant).map_err(|e| e.to_string())?;
+    let mut client = ServeClient::connect(&addr).map_err(|e| e.to_string())?;
+    let health = client.health(&tenant).map_err(|e| e.to_string())?;
+    println!("fleet @ {addr}");
+    println!(
+        "  tenants:   {} ({} warm / {} cold)",
+        health.tenants, health.warm, health.cold
+    );
+    println!("  ticks:     {}", health.ticks);
+    println!("  evictions: {}  warms: {}", health.evictions, health.warms);
+    println!("  health:    {}", health.health);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if ix_bench::telemetry::strip_flag(&mut args) {
@@ -729,6 +920,8 @@ fn main() -> ExitCode {
         Some("query") => query(&args[1..]),
         Some("replay") => replay(&args[1..]),
         Some("top") => top(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("fleet-status") => fleet_status(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!(
                 "diagnose — InvarNet-X as a CLI\n\n\
@@ -744,7 +937,11 @@ fn main() -> ExitCode {
                  \x20 diagnose replay trace.ixh                     # re-run it, assert bit-exact\n\
                  \x20 diagnose replay a.ixh --bisect b.ixh          # first divergent tick\n\
                  \x20 diagnose top trace.ixh [--headless] [--frames N] [--width N] [--speed X]\n\
-                 \x20        # ix-top operator console over a recorded trace\n\n\
+                 \x20        # ix-top operator console over a recorded trace\n\
+                 \x20 diagnose serve [--addr HOST:PORT] [--tenants N] [--hold SECS]\n\
+                 \x20        # IXSRV01 fleet server on simulator-trained tenants\n\
+                 \x20 diagnose fleet-status --addr HOST:PORT [--tenant ID]\n\
+                 \x20        # one Health frame against a running serve endpoint\n\n\
                  Add --telemetry to any subcommand to print an engine telemetry report."
             );
             Ok(())

@@ -84,7 +84,7 @@ fn main() {
     // Recording overhead: the same run replayed through `Engine::ingest`
     // with and without a recorder attached.
     let (base_ms, ticks) = replay_ms(None);
-    let (rec_ms, _) = replay_ms(Some(HistoryStore::shared()));
+    let (rec_ms, _) = replay_ms(Some(HistoryStore::builder().shared()));
     let overhead_ns = ((rec_ms - base_ms) * 1e6 / ticks as f64).max(0.0);
 
     // The recorder call in isolation.

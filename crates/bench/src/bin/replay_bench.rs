@@ -42,7 +42,10 @@ fn main() {
     // embedded header, re-ingest every tick and compare everything.
     let verify_ms = time_ms(9, || {
         let store = HistoryStore::from_bytes(&bytes).expect("parse trace");
-        let mut replayer = Replayer::from_store(Arc::new(store)).expect("replayer");
+        let mut replayer = Replayer::builder()
+            .recorded(Arc::new(store))
+            .build()
+            .expect("replayer");
         let report = replayer.verify().expect("verify");
         assert!(report.is_clean(), "the recorded trace must replay clean");
     });
@@ -50,7 +53,10 @@ fn main() {
     // Debug: step to the first diagnosis under a breakpoint.
     let debug_ms = time_ms(9, || {
         let store = HistoryStore::from_bytes(&bytes).expect("parse trace");
-        let replayer = Replayer::from_store(Arc::new(store)).expect("replayer");
+        let replayer = Replayer::builder()
+            .recorded(Arc::new(store))
+            .build()
+            .expect("replayer");
         let mut debugger = ReplayDebugger::new(replayer);
         debugger.add_breakpoint(Breakpoint::on_event(EventKind::DiagnosisRan));
         debugger.run().expect("run to breakpoint");
@@ -65,7 +71,7 @@ fn main() {
         let context = src.contexts()[0];
         let label = src.label(context);
         let (workload, node) = label.split_once('@').expect("workload@node label");
-        let copy = HistoryStore::shared();
+        let copy = HistoryStore::builder().shared();
         let registry = Arc::new(ContextRegistry::new());
         let id = registry.intern(&OperationContext::new(node, workload));
         copy.bind_registry(&registry);

@@ -20,6 +20,7 @@
 use std::sync::Arc;
 
 use crate::anomaly::PerformanceModel;
+use crate::assoc::SweepPool;
 use crate::config::InvarNetConfig;
 use crate::context::OperationContext;
 use crate::invariants::InvariantSet;
@@ -40,6 +41,8 @@ pub struct EngineBuilder {
     config: InvarNetConfig,
     measure: Option<Arc<dyn AssociationMeasure>>,
     threads: Option<usize>,
+    shared_pool: Option<Arc<SweepPool>>,
+    lifetime_ticks: Option<u64>,
     sink: Option<Arc<dyn EventSink>>,
     extra_sinks: Vec<Arc<dyn EventSink>>,
     telemetry: Option<Arc<Telemetry>>,
@@ -56,6 +59,8 @@ impl EngineBuilder {
             config: InvarNetConfig::default(),
             measure: None,
             threads: None,
+            shared_pool: None,
+            lifetime_ticks: None,
             sink: None,
             extra_sinks: Vec::new(),
             telemetry: None,
@@ -84,6 +89,24 @@ impl EngineBuilder {
     /// capped at 8).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Runs this engine's sweeps on an existing worker pool instead of
+    /// spawning its own. The fleet pattern: many tenant engines on one
+    /// box share one pool sized to the cores (obtain another engine's
+    /// pool with [`Engine::sweep_pool`]). Supersedes
+    /// [`EngineBuilder::threads`] when both are set.
+    pub fn shared_pool(mut self, pool: Arc<SweepPool>) -> Self {
+        self.shared_pool = Some(pool);
+        self
+    }
+
+    /// Seeds the engine-wide lifetime tick counter, so a rebuilt engine
+    /// continues a predecessor's global tick numbering (fleet warm-from-
+    /// snapshot; read the counter with [`Engine::lifetime_ticks`]).
+    pub fn lifetime_ticks(mut self, ticks: u64) -> Self {
+        self.lifetime_ticks = Some(ticks);
         self
     }
 
@@ -161,8 +184,13 @@ impl EngineBuilder {
             Some(measure) => Engine::with_measure(self.config, measure),
             None => Engine::new(self.config),
         };
-        if let Some(threads) = self.threads {
+        if let Some(pool) = self.shared_pool {
+            engine.set_shared_pool_internal(pool);
+        } else if let Some(threads) = self.threads {
             engine.set_threads_internal(threads);
+        }
+        if let Some(ticks) = self.lifetime_ticks {
+            engine.set_lifetime_ticks_internal(ticks);
         }
         if let Some(telemetry) = &self.telemetry {
             engine.attach_telemetry_internal(telemetry);
@@ -204,6 +232,8 @@ impl std::fmt::Debug for EngineBuilder {
         f.debug_struct("EngineBuilder")
             .field("measure", &self.measure.as_ref().map(|m| m.name()))
             .field("threads", &self.threads)
+            .field("shared_pool", &self.shared_pool.is_some())
+            .field("lifetime_ticks", &self.lifetime_ticks)
             .field("telemetry", &self.telemetry.is_some())
             .field("event_sink", &self.sink.is_some())
             .field("extra_sinks", &self.extra_sinks.len())
@@ -273,6 +303,24 @@ mod tests {
         });
         assert_eq!(primary.detections_fired(), 1);
         assert_eq!(extra.detections_fired(), 1);
+    }
+
+    #[test]
+    fn shared_pool_is_reused_and_supersedes_threads() {
+        let donor = Engine::builder().threads(2).build();
+        let pool = donor.sweep_pool();
+        let engine = Engine::builder()
+            .threads(7)
+            .shared_pool(Arc::clone(&pool))
+            .build();
+        assert_eq!(engine.threads(), 2);
+        assert!(Arc::ptr_eq(&engine.sweep_pool(), &pool));
+    }
+
+    #[test]
+    fn lifetime_ticks_seed_the_counter() {
+        let engine = Engine::builder().lifetime_ticks(41).build();
+        assert_eq!(engine.lifetime_ticks(), 41);
     }
 
     #[test]

@@ -173,6 +173,28 @@ pub enum EngineEvent {
         /// The state after the transition.
         to: HealthState,
     },
+    /// A fleet evicted a warm tenant engine: its models and run tail were
+    /// persisted to a snapshot and the engine was torn down.
+    TenantEvicted {
+        /// Always [`ContextId::UNATTRIBUTED`]: eviction spans every
+        /// context the tenant owns.
+        context: ContextId,
+        /// The fleet's numeric id of the evicted tenant.
+        tenant: u64,
+        /// Lifetime ticks the tenant had ingested at eviction.
+        ticks: u64,
+    },
+    /// A fleet warmed a cold tenant engine from its snapshot.
+    TenantWarmed {
+        /// Always [`ContextId::UNATTRIBUTED`]: warming spans every
+        /// context the tenant owns.
+        context: ContextId,
+        /// The fleet's numeric id of the warmed tenant.
+        tenant: u64,
+        /// Wall-clock cost of the warm (snapshot decode + state restore)
+        /// in microseconds.
+        micros: u64,
+    },
 }
 
 impl EngineEvent {
@@ -194,7 +216,9 @@ impl EngineEvent {
             | EngineEvent::TickEnqueued { context, .. }
             | EngineEvent::TickShed { context, .. }
             | EngineEvent::StoreRetried { context, .. }
-            | EngineEvent::HealthChanged { context, .. } => context,
+            | EngineEvent::HealthChanged { context, .. }
+            | EngineEvent::TenantEvicted { context, .. }
+            | EngineEvent::TenantWarmed { context, .. } => context,
         }
     }
 }
@@ -279,6 +303,8 @@ pub struct EngineCounters {
     ticks_shed: AtomicU64,
     store_retries: AtomicU64,
     health_transitions: AtomicU64,
+    tenants_evicted: AtomicU64,
+    tenants_warmed: AtomicU64,
 }
 
 impl EngineCounters {
@@ -382,6 +408,16 @@ impl EngineCounters {
     pub fn health_transitions(&self) -> u64 {
         Self::get(&self.health_transitions)
     }
+
+    /// Tenant engines a fleet evicted to a snapshot.
+    pub fn tenants_evicted(&self) -> u64 {
+        Self::get(&self.tenants_evicted)
+    }
+
+    /// Tenant engines a fleet warmed from a snapshot.
+    pub fn tenants_warmed(&self) -> u64 {
+        Self::get(&self.tenants_warmed)
+    }
 }
 
 impl EventSink for EngineCounters {
@@ -448,6 +484,12 @@ impl EventSink for EngineCounters {
             }
             EngineEvent::HealthChanged { .. } => {
                 self.health_transitions.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::TenantEvicted { .. } => {
+                self.tenants_evicted.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::TenantWarmed { .. } => {
+                self.tenants_warmed.fetch_add(1, Ordering::Relaxed);
             }
             // Chunk- and span-level signals are histogram fodder; the flat
             // counters ignore them.
@@ -566,11 +608,23 @@ mod tests {
             from: HealthState::Healthy,
             to: HealthState::Degraded(DegradationTier::PearsonFallback),
         });
+        c.record(&EngineEvent::TenantEvicted {
+            context: ctx,
+            tenant: 7,
+            ticks: 120,
+        });
+        c.record(&EngineEvent::TenantWarmed {
+            context: ctx,
+            tenant: 7,
+            micros: 350,
+        });
         assert_eq!(c.sweeps_degraded(), 1);
         assert_eq!(c.ticks_enqueued(), 1);
         assert_eq!(c.ticks_shed(), 1);
         assert_eq!(c.store_retries(), 1);
         assert_eq!(c.health_transitions(), 1);
+        assert_eq!(c.tenants_evicted(), 1);
+        assert_eq!(c.tenants_warmed(), 1);
     }
 
     #[test]

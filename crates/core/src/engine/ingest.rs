@@ -244,6 +244,44 @@ impl Engine {
         self.note_run_reset(context);
     }
 
+    /// Rebuilds a context's in-flight run from a recorded tail of
+    /// `(cpi, metric_row)` ticks: the sliding window, the streaming
+    /// detector's run state and the anomaly edge-tracker end up exactly as
+    /// if the ticks had been ingested live. Unlike [`Engine::ingest`] this
+    /// emits no events, appends nothing to an attached recorder, and does
+    /// not advance the lifetime tick counter — it restores state that was
+    /// already counted once, so a warmed engine continues bit-identically
+    /// to one that was never torn down (pair with
+    /// [`EngineBuilder::lifetime_ticks`] to restore the counter itself).
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::NoPerformanceModel`] — the context has no detector
+    ///   (restore trained state first, e.g. via [`Engine::load_state`]);
+    /// - [`CoreError::Frame`] — a tail row has the wrong width or
+    ///   non-finite values.
+    pub fn restore_run(
+        &self,
+        context: &OperationContext,
+        tail: &[(f64, Vec<f64>)],
+    ) -> Result<(), CoreError> {
+        let window_ticks = self.config().window_ticks;
+        self.state().with_mut(context, window_ticks, |state| {
+            let Some(detector) = state.detector.clone() else {
+                return Err(CoreError::NoPerformanceModel(context.clone()));
+            };
+            state.reset_run();
+            for (cpi, row) in tail {
+                state.window.push_tick(row)?;
+                let run = state.run.get_or_insert_with(|| detector.begin_run());
+                let decision = run.step(*cpi);
+                state.prev_anomalous = decision.anomalous;
+                state.run_ticks += 1;
+            }
+            Ok(())
+        })
+    }
+
     /// The batch-shaped detection result accumulated by the current run,
     /// if a run is in flight.
     pub fn detection_result(&self, context: &OperationContext) -> Option<DetectionResult> {

@@ -86,7 +86,10 @@ pub struct Engine {
     fallback: Arc<dyn AssociationMeasure>,
     state: ShardedStateMap,
     signatures: RwLock<SignatureDatabase>,
-    pool: SweepPool,
+    /// The sweep worker pool. Shared (`Arc`) so a fleet of tenant engines
+    /// can run on one pool sized to the box instead of spawning worker
+    /// threads per engine (see [`EngineBuilder::shared_pool`]).
+    pool: Arc<SweepPool>,
     sweep_cache: SweepCache,
     sink: Arc<dyn EventSink>,
     /// The attached history recorder, if any (see [`EngineBuilder::history`]).
@@ -140,7 +143,7 @@ impl Engine {
             fallback: Arc::new(PearsonMeasure),
             state: ShardedStateMap::new(shards),
             signatures: RwLock::new(SignatureDatabase::new()),
-            pool: SweepPool::new(threads),
+            pool: Arc::new(SweepPool::new(threads)),
             sweep_cache,
             sink: Arc::new(NullSink),
             recorder: None,
@@ -155,7 +158,32 @@ impl Engine {
     }
 
     pub(crate) fn set_threads_internal(&mut self, threads: usize) {
-        self.pool = SweepPool::new(threads);
+        self.pool = Arc::new(SweepPool::new(threads));
+    }
+
+    pub(crate) fn set_shared_pool_internal(&mut self, pool: Arc<SweepPool>) {
+        self.pool = pool;
+    }
+
+    pub(crate) fn set_lifetime_ticks_internal(&mut self, ticks: u64) {
+        self.ticks = AtomicU64::new(ticks);
+    }
+
+    /// The sweep pool this engine runs on (share it across engines with
+    /// [`EngineBuilder::shared_pool`]).
+    pub fn sweep_pool(&self) -> Arc<SweepPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// The engine-wide lifetime tick counter: how many ticks have ever
+    /// been ingested (the label the *next* tick will take). Seed a fresh
+    /// engine to continue an old one's numbering with
+    /// [`EngineBuilder::lifetime_ticks`].
+    pub fn lifetime_ticks(&self) -> u64 {
+        // ordering: Relaxed — a monotone counter read for snapshots; the
+        // caller serializes against ingest externally when exactness
+        // matters (e.g. fleet eviction quiesces the tenant first).
+        self.ticks.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     pub(crate) fn set_event_sink_internal(&mut self, sink: Arc<dyn EventSink>) {

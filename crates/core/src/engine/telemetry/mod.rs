@@ -295,6 +295,9 @@ impl EventSink for Telemetry {
                     .health_transitions
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
+            // Fleet lifecycle events carry no per-context telemetry: the
+            // fleet's own registry counts evictions and warm latencies.
+            EngineEvent::TenantEvicted { .. } | EngineEvent::TenantWarmed { .. } => {}
         }
     }
 }

@@ -149,6 +149,26 @@ impl Serialize for EngineEvent {
                 ("from", from),
                 ("to", to),
             ),
+            EngineEvent::TenantEvicted {
+                context,
+                tenant,
+                ticks,
+            } => tagged!(
+                "tenant-evicted",
+                ("context", context),
+                ("tenant", tenant),
+                ("ticks", ticks),
+            ),
+            EngineEvent::TenantWarmed {
+                context,
+                tenant,
+                micros,
+            } => tagged!(
+                "tenant-warmed",
+                ("context", context),
+                ("tenant", tenant),
+                ("micros", micros),
+            ),
         }
     }
 }
@@ -233,6 +253,16 @@ impl Deserialize for EngineEvent {
                 context: get(value, "context")?,
                 from: get(value, "from")?,
                 to: get(value, "to")?,
+            },
+            "tenant-evicted" => EngineEvent::TenantEvicted {
+                context: get(value, "context")?,
+                tenant: get(value, "tenant")?,
+                ticks: get(value, "ticks")?,
+            },
+            "tenant-warmed" => EngineEvent::TenantWarmed {
+                context: get(value, "context")?,
+                tenant: get(value, "tenant")?,
+                micros: get(value, "micros")?,
             },
             other => return Err(DeError::unknown_variant(other)),
         };
@@ -332,6 +362,16 @@ mod tests {
                 from: HealthState::Healthy,
                 to: HealthState::Degraded(DegradationTier::CachedMatrix),
             },
+            EngineEvent::TenantEvicted {
+                context: ContextId::UNATTRIBUTED,
+                tenant: 12,
+                ticks: 480,
+            },
+            EngineEvent::TenantWarmed {
+                context: ContextId::UNATTRIBUTED,
+                tenant: 12,
+                micros: 420,
+            },
         ];
         for event in events {
             assert_eq!(roundtrip(event), event, "wire roundtrip of {event:?}");
@@ -402,6 +442,22 @@ mod tests {
                     confirmed: 5,
                 },
                 r#"{"type":"sweep-screened","context":3,"reused":300,"screened":20,"confirmed":5}"#,
+            ),
+            (
+                EngineEvent::TenantEvicted {
+                    context: ContextId::UNATTRIBUTED,
+                    tenant: 12,
+                    ticks: 480,
+                },
+                r#"{"type":"tenant-evicted","context":4294967295,"tenant":12,"ticks":480}"#,
+            ),
+            (
+                EngineEvent::TenantWarmed {
+                    context: ContextId::UNATTRIBUTED,
+                    tenant: 12,
+                    micros: 420,
+                },
+                r#"{"type":"tenant-warmed","context":4294967295,"tenant":12,"micros":420}"#,
             ),
         ];
         for (event, expected) in cases {

@@ -53,6 +53,124 @@ impl ErrorKind {
     }
 }
 
+/// Stable numeric identity of an [`ErrorKind`], for protocols and logs
+/// that must survive recompilation and version skew.
+///
+/// The `u16` discriminants are part of the public contract: they are used
+/// verbatim as `IXSRV01` response status codes by `ix-serve`, so existing
+/// values must never be renumbered. New kinds append new codes; `0` is
+/// reserved for "no error" on the wire and is never a valid `ErrorCode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// [`ErrorKind::MissingModel`].
+    MissingModel = 1,
+    /// [`ErrorKind::MissingInvariants`].
+    MissingInvariants = 2,
+    /// [`ErrorKind::EmptySignatureDatabase`].
+    EmptySignatureDatabase = 3,
+    /// [`ErrorKind::NotEnoughRuns`].
+    NotEnoughRuns = 4,
+    /// [`ErrorKind::FrameTooShort`].
+    FrameTooShort = 5,
+    /// [`ErrorKind::Arima`].
+    Arima = 6,
+    /// [`ErrorKind::Frame`].
+    Frame = 7,
+    /// [`ErrorKind::HistoryWindow`].
+    HistoryWindow = 8,
+    /// [`ErrorKind::TupleLengthMismatch`].
+    TupleLengthMismatch = 9,
+    /// [`ErrorKind::Serialization`].
+    Serialization = 10,
+    /// [`ErrorKind::Io`].
+    Io = 11,
+}
+
+impl ErrorCode {
+    /// Every code, in discriminant order (round-trip tests, exhaustive
+    /// protocol tables).
+    pub const ALL: &'static [ErrorCode] = &[
+        ErrorCode::MissingModel,
+        ErrorCode::MissingInvariants,
+        ErrorCode::EmptySignatureDatabase,
+        ErrorCode::NotEnoughRuns,
+        ErrorCode::FrameTooShort,
+        ErrorCode::Arima,
+        ErrorCode::Frame,
+        ErrorCode::HistoryWindow,
+        ErrorCode::TupleLengthMismatch,
+        ErrorCode::Serialization,
+        ErrorCode::Io,
+    ];
+
+    /// The wire representation.
+    pub const fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire status back to a code. `None` for `0` (success on
+    /// the wire) and for codes minted by a newer peer.
+    pub fn from_u16(code: u16) -> Option<ErrorCode> {
+        match code {
+            1 => Some(ErrorCode::MissingModel),
+            2 => Some(ErrorCode::MissingInvariants),
+            3 => Some(ErrorCode::EmptySignatureDatabase),
+            4 => Some(ErrorCode::NotEnoughRuns),
+            5 => Some(ErrorCode::FrameTooShort),
+            6 => Some(ErrorCode::Arima),
+            7 => Some(ErrorCode::Frame),
+            8 => Some(ErrorCode::HistoryWindow),
+            9 => Some(ErrorCode::TupleLengthMismatch),
+            10 => Some(ErrorCode::Serialization),
+            11 => Some(ErrorCode::Io),
+            _ => None,
+        }
+    }
+
+    /// The matching coarse kind.
+    pub fn kind(self) -> ErrorKind {
+        match self {
+            ErrorCode::MissingModel => ErrorKind::MissingModel,
+            ErrorCode::MissingInvariants => ErrorKind::MissingInvariants,
+            ErrorCode::EmptySignatureDatabase => ErrorKind::EmptySignatureDatabase,
+            ErrorCode::NotEnoughRuns => ErrorKind::NotEnoughRuns,
+            ErrorCode::FrameTooShort => ErrorKind::FrameTooShort,
+            ErrorCode::Arima => ErrorKind::Arima,
+            ErrorCode::Frame => ErrorKind::Frame,
+            ErrorCode::HistoryWindow => ErrorKind::HistoryWindow,
+            ErrorCode::TupleLengthMismatch => ErrorKind::TupleLengthMismatch,
+            ErrorCode::Serialization => ErrorKind::Serialization,
+            ErrorCode::Io => ErrorKind::Io,
+        }
+    }
+
+    /// Stable kebab-case name — identical to the kind's name.
+    pub fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+}
+
+impl ErrorKind {
+    /// The stable numeric code of this kind.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ErrorKind::MissingModel => ErrorCode::MissingModel,
+            ErrorKind::MissingInvariants => ErrorCode::MissingInvariants,
+            ErrorKind::EmptySignatureDatabase => ErrorCode::EmptySignatureDatabase,
+            ErrorKind::NotEnoughRuns => ErrorCode::NotEnoughRuns,
+            ErrorKind::FrameTooShort => ErrorCode::FrameTooShort,
+            ErrorKind::Arima => ErrorCode::Arima,
+            ErrorKind::Frame => ErrorCode::Frame,
+            ErrorKind::HistoryWindow => ErrorCode::HistoryWindow,
+            ErrorKind::TupleLengthMismatch => ErrorCode::TupleLengthMismatch,
+            ErrorKind::Serialization => ErrorCode::Serialization,
+            ErrorKind::Io => ErrorCode::Io,
+        }
+    }
+}
+
 /// Errors produced by the InvarNet-X pipeline.
 #[derive(Debug, Clone)]
 pub enum CoreError {
@@ -134,6 +252,11 @@ impl CoreError {
             }
             CoreError::Io { .. } => ErrorKind::Io,
         }
+    }
+
+    /// The stable numeric code of this error's kind (wire status codes).
+    pub fn code(&self) -> ErrorCode {
+        self.kind().code()
     }
 }
 
@@ -296,6 +419,54 @@ mod tests {
             }
             .kind(),
             ErrorKind::FrameTooShort
+        );
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_are_pinned() {
+        // The numeric values are a wire contract (IXSRV01 status codes):
+        // this table is the pin — renumbering any entry is a breaking
+        // protocol change and must fail here.
+        let pinned: [(ErrorCode, u16); 11] = [
+            (ErrorCode::MissingModel, 1),
+            (ErrorCode::MissingInvariants, 2),
+            (ErrorCode::EmptySignatureDatabase, 3),
+            (ErrorCode::NotEnoughRuns, 4),
+            (ErrorCode::FrameTooShort, 5),
+            (ErrorCode::Arima, 6),
+            (ErrorCode::Frame, 7),
+            (ErrorCode::HistoryWindow, 8),
+            (ErrorCode::TupleLengthMismatch, 9),
+            (ErrorCode::Serialization, 10),
+            (ErrorCode::Io, 11),
+        ];
+        assert_eq!(pinned.len(), ErrorCode::ALL.len());
+        for (code, wire) in pinned {
+            assert_eq!(code.as_u16(), wire);
+            assert_eq!(ErrorCode::from_u16(wire), Some(code));
+            // kind → code → kind is the identity.
+            assert_eq!(code.kind().code(), code);
+            assert_eq!(code.name(), code.kind().name());
+        }
+        // 0 is reserved for success; unknown codes decode to None.
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(999), None);
+    }
+
+    #[test]
+    fn errors_expose_their_wire_code() {
+        let ctx = OperationContext::new("node1", "Wordcount");
+        assert_eq!(
+            CoreError::NoPerformanceModel(ctx.clone()).code().as_u16(),
+            1
+        );
+        assert_eq!(
+            CoreError::HistoryWindow(ctx).code(),
+            ErrorCode::HistoryWindow
+        );
+        assert_eq!(
+            CoreError::InvalidStoreKey { key: "bad".into() }.code(),
+            ErrorCode::Serialization
         );
     }
 

@@ -67,7 +67,7 @@ pub use engine::{
     EngineBuilder, EngineCounters, EngineEvent, EngineInspector, EventSink, HistoryRecorder,
     NullRecorder, NullSink, TickDecision, TickOutcome,
 };
-pub use error::{CoreError, ErrorKind};
+pub use error::{CoreError, ErrorCode, ErrorKind};
 pub use eval::{ConfusionMatrix, EvalOutcome, PrecisionRecall};
 pub use incremental::{AdvanceOutcome, IncrementalSweep, ScreenOutcome, MAX_SLIDE};
 pub use invariants::InvariantSet;

@@ -47,9 +47,13 @@ const MAGIC: &[u8; 8] = b"IXHIST01";
 /// Tag of the trailing section holding `ix-replay`'s config/seed header.
 pub const REPLAY_SECTION: [u8; 4] = *b"RPLY";
 
+/// Tag of the trailing section holding `ix-serve`'s tenant run state
+/// (lifetime tick counter + per-context run tails of an evicted tenant).
+pub const SERVE_SECTION: [u8; 4] = *b"SRVT";
+
 /// Section tags this version of the crate understands; anything else
 /// loads with a warning (forward-compat) and is carried verbatim.
-const KNOWN_SECTIONS: &[[u8; 4]] = &[REPLAY_SECTION];
+const KNOWN_SECTIONS: &[[u8; 4]] = &[REPLAY_SECTION, SERVE_SECTION];
 
 /// Upper bound on the dense context ids a file may claim. Context logs
 /// live in a `Vec` indexed by id, so an unchecked hostile id would force

@@ -164,14 +164,67 @@ pub struct HistoryStore {
     inner: RwLock<Inner>,
 }
 
+/// Assembles a [`HistoryStore`] in one expression; obtain one from
+/// [`HistoryStore::builder`] and finish with
+/// [`HistoryStoreBuilder::build`] (or [`HistoryStoreBuilder::shared`] for
+/// the `Arc`-wrapped form every engine attachment wants).
+#[must_use = "builder methods return the builder; call .build() or .shared() to produce the store"]
+#[derive(Debug, Default)]
+pub struct HistoryStoreBuilder {
+    registry: Option<Arc<ContextRegistry>>,
+    sections: Vec<([u8; 4], Vec<u8>)>,
+}
+
+impl HistoryStoreBuilder {
+    /// Binds a context registry up front, so labels resolve before the
+    /// store is ever attached to an engine (attachment re-binds to the
+    /// engine's registry either way).
+    pub fn registry(mut self, registry: &Arc<ContextRegistry>) -> Self {
+        self.registry = Some(Arc::clone(registry));
+        self
+    }
+
+    /// Seeds a trailing section (tag + opaque payload) the store will
+    /// carry into its `IXHIST01` image. May be called multiple times; a
+    /// repeated tag replaces the earlier payload.
+    pub fn section(mut self, tag: [u8; 4], payload: Vec<u8>) -> Self {
+        match self.sections.iter_mut().find(|(t, _)| *t == tag) {
+            Some((_, existing)) => *existing = payload,
+            None => self.sections.push((tag, payload)),
+        }
+        self
+    }
+
+    /// The finished store.
+    pub fn build(self) -> HistoryStore {
+        HistoryStore::from_inner(Inner {
+            registry: self.registry,
+            sections: self.sections,
+            ..Inner::default()
+        })
+    }
+
+    /// The finished store behind an [`Arc`], ready to hand to
+    /// `Engine::builder().history(...)` and keep for querying.
+    pub fn shared(self) -> Arc<HistoryStore> {
+        Arc::new(self.build())
+    }
+}
+
 impl HistoryStore {
     /// An empty store.
     pub fn new() -> Self {
         HistoryStore::default()
     }
 
+    /// The builder-first construction path.
+    pub fn builder() -> HistoryStoreBuilder {
+        HistoryStoreBuilder::default()
+    }
+
     /// An empty store behind an [`Arc`], ready to hand to
     /// `Engine::builder().history(...)` and keep for querying.
+    #[deprecated(since = "0.1.0", note = "use `HistoryStore::builder().shared()`")]
     pub fn shared() -> Arc<Self> {
         Arc::new(HistoryStore::new())
     }

@@ -54,10 +54,58 @@ pub struct Query<'a> {
     history: &'a HistoryStore,
 }
 
+/// Assembles a [`Query`] in one expression; obtain one from
+/// [`Query::builder`] and finish with [`QueryBuilder::build`], which
+/// panics only if a required borrow was never supplied.
+#[must_use = "builder methods return the builder; call .build() to produce the query"]
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QueryBuilder<'a> {
+    engine: Option<&'a Engine>,
+    history: Option<&'a HistoryStore>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// The engine whose trained state (invariants, signatures, measure)
+    /// answers the queries. Required.
+    pub fn engine(mut self, engine: &'a Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The recorded data to query. Need not be the store attached to the
+    /// engine — a store loaded from disk works the same. Required.
+    pub fn history(mut self, history: &'a HistoryStore) -> Self {
+        self.history = Some(history);
+        self
+    }
+
+    /// The finished query surface.
+    ///
+    /// # Panics
+    ///
+    /// When [`QueryBuilder::engine`] or [`QueryBuilder::history`] was
+    /// never called — both borrows are required.
+    pub fn build(self) -> Query<'a> {
+        Query {
+            engine: self.engine.expect("QueryBuilder::engine is required"),
+            history: self.history.expect("QueryBuilder::history is required"),
+        }
+    }
+}
+
 impl<'a> Query<'a> {
+    /// The builder-first construction path.
+    pub fn builder() -> QueryBuilder<'a> {
+        QueryBuilder::default()
+    }
+
     /// A query surface over `engine`'s trained state and `history`'s
     /// recorded data. The store need not be the one attached to the
     /// engine — a store loaded from disk works the same.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Query::builder().engine(engine).history(history).build()`"
+    )]
     pub fn over(engine: &'a Engine, history: &'a HistoryStore) -> Self {
         Query { engine, history }
     }

@@ -127,7 +127,10 @@ fn pairs_touching_faulty() -> Vec<usize> {
 fn explanations_rank_the_matching_signature_first() {
     let engine = trained_engine();
     let (store, _) = recorded_history(&engine);
-    let diagnosis = Query::over(&engine, &store)
+    let diagnosis = Query::builder()
+        .engine(&engine)
+        .history(&store)
+        .build()
         .explanations(&ctx())
         .rank()
         .expect("rank");
@@ -157,7 +160,10 @@ fn explanations_rank_the_matching_signature_first() {
 fn explanations_plan_names_the_scans() {
     let engine = trained_engine();
     let (store, id) = recorded_history(&engine);
-    let plan = Query::over(&engine, &store)
+    let plan = Query::builder()
+        .engine(&engine)
+        .history(&store)
+        .build()
         .explanations(&ctx())
         .plan()
         .expect("plan");
@@ -182,7 +188,7 @@ fn explanations_plan_names_the_scans() {
 fn explanations_window_selectors_scan_the_requested_rows() {
     let engine = trained_engine();
     let (store, id) = recorded_history(&engine);
-    let query = Query::over(&engine, &store);
+    let query = Query::builder().engine(&engine).history(&store).build();
     // The healthy first run, selected by rows: no violations at all.
     let healthy = query
         .explanations(&ctx())
@@ -213,7 +219,12 @@ fn unknown_context_is_reported() {
     let (store, _) = recorded_history(&engine);
     let stranger = OperationContext::new("node-9", "Sort");
     assert!(matches!(
-        Query::over(&engine, &store).explanations(&stranger).rank(),
+        Query::builder()
+            .engine(&engine)
+            .history(&store)
+            .build()
+            .explanations(&stranger)
+            .rank(),
         Err(QueryError::UnknownContext(_))
     ));
 }
@@ -241,7 +252,10 @@ fn cooccurrence_counts_are_golden() {
             },
         );
     }
-    let report = Query::over(&engine, &store)
+    let report = Query::builder()
+        .engine(&engine)
+        .history(&store)
+        .build()
         .cooccurrence()
         .compute()
         .expect("compute");
@@ -254,7 +268,10 @@ fn cooccurrence_counts_are_golden() {
         vec![(1, 2, 3), (0, 1, 1), (0, 2, 1), (1, 4, 1), (2, 4, 1)]
     );
     // min_count trims the singletons.
-    let trimmed = Query::over(&engine, &store)
+    let trimmed = Query::builder()
+        .engine(&engine)
+        .history(&store)
+        .build()
         .cooccurrence()
         .min_count(2)
         .compute()
@@ -268,7 +285,10 @@ fn cooccurrence_context_filter_resolves() {
     let engine = trained_engine();
     let (store, _) = recorded_history(&engine);
     // No diagnoses recorded yet: empty report, not an error.
-    let report = Query::over(&engine, &store)
+    let report = Query::builder()
+        .engine(&engine)
+        .history(&store)
+        .build()
         .cooccurrence()
         .for_context(&ctx())
         .compute()
@@ -276,7 +296,10 @@ fn cooccurrence_context_filter_resolves() {
     assert_eq!(report.diagnoses, 0);
     assert!(report.pairs.is_empty());
     assert!(matches!(
-        Query::over(&engine, &store)
+        Query::builder()
+            .engine(&engine)
+            .history(&store)
+            .build()
             .cooccurrence()
             .for_context(&OperationContext::new("node-9", "Sort"))
             .compute(),
@@ -288,7 +311,10 @@ fn cooccurrence_context_filter_resolves() {
 fn counterfactual_attributes_the_fault_to_the_pinned_metric() {
     let engine = trained_engine();
     let (store, _) = recorded_history(&engine);
-    let report = Query::over(&engine, &store)
+    let report = Query::builder()
+        .engine(&engine)
+        .history(&store)
+        .build()
         .counterfactual(&ctx(), MetricId::ALL[FAULTY])
         .compute()
         .expect("compute");
@@ -311,7 +337,10 @@ fn counterfactual_pinning_an_innocent_metric_attributes_nothing() {
     let engine = trained_engine();
     let (store, _) = recorded_history(&engine);
     let innocent = MetricId::ALL[10];
-    let report = Query::over(&engine, &store)
+    let report = Query::builder()
+        .engine(&engine)
+        .history(&store)
+        .build()
         .counterfactual(&ctx(), innocent)
         .compute()
         .expect("compute");
@@ -332,7 +361,10 @@ fn counterfactual_requires_a_baseline_run() {
         store.record_tick(id, t as u64, 1.0, 0.0, false, &faulty_row(t));
     }
     assert!(matches!(
-        Query::over(&engine, &store)
+        Query::builder()
+            .engine(&engine)
+            .history(&store)
+            .build()
             .counterfactual(&ctx(), MetricId::ALL[FAULTY])
             .compute(),
         Err(QueryError::NoBaselineRun(_))
@@ -343,7 +375,10 @@ fn counterfactual_requires_a_baseline_run() {
 fn counterfactual_plan_names_the_pin() {
     let engine = trained_engine();
     let (store, id) = recorded_history(&engine);
-    let plan = Query::over(&engine, &store)
+    let plan = Query::builder()
+        .engine(&engine)
+        .history(&store)
+        .build()
         .counterfactual(&ctx(), MetricId::ALL[FAULTY])
         .plan()
         .expect("plan");
@@ -374,12 +409,18 @@ fn replay_reranks_from_recorded_scores() {
     let frame = store.frame(id, WINDOW..2 * WINDOW).expect("frame");
     let matrix = engine.association_matrix(&frame).expect("matrix");
     store.record_sweep(id, (2 * WINDOW - 1) as u64, matrix.scores(), None);
-    let replayed = Query::over(&engine, &store)
+    let replayed = Query::builder()
+        .engine(&engine)
+        .history(&store)
+        .build()
         .explanations(&ctx())
         .replay_recorded()
         .rank()
         .expect("rank");
-    let recomputed = Query::over(&engine, &store)
+    let recomputed = Query::builder()
+        .engine(&engine)
+        .history(&store)
+        .build()
         .explanations(&ctx())
         .rank()
         .expect("rank");
@@ -390,7 +431,10 @@ fn replay_reranks_from_recorded_scores() {
         empty.record_tick(id, t as u64, 1.0, 0.0, false, &faulty_row(t));
     }
     assert!(matches!(
-        Query::over(&engine, &empty)
+        Query::builder()
+            .engine(&engine)
+            .history(&empty)
+            .build()
             .explanations(&ctx())
             .replay_recorded()
             .rank(),

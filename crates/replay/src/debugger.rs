@@ -30,6 +30,8 @@ pub enum EventKind {
     TickShed,
     StoreRetried,
     HealthChanged,
+    TenantEvicted,
+    TenantWarmed,
 }
 
 impl EventKind {
@@ -51,6 +53,8 @@ impl EventKind {
             EngineEvent::TickShed { .. } => EventKind::TickShed,
             EngineEvent::StoreRetried { .. } => EventKind::StoreRetried,
             EngineEvent::HealthChanged { .. } => EventKind::HealthChanged,
+            EngineEvent::TenantEvicted { .. } => EventKind::TenantEvicted,
+            EngineEvent::TenantWarmed { .. } => EventKind::TenantWarmed,
         }
     }
 }

@@ -60,7 +60,7 @@ impl RecordingSession {
     ///
     /// [`ReplayError::Engine`] when the trained store does not load.
     pub fn new(config: InvarNetConfig, store: ModelStore) -> Result<Self, ReplayError> {
-        let history = HistoryStore::shared();
+        let history = HistoryStore::builder().shared();
         let recorder: Arc<dyn HistoryRecorder> = Arc::clone(&history) as _;
         let engine = Engine::builder()
             .config(config.clone())
@@ -269,7 +269,46 @@ pub struct Replayer {
     cursor: usize,
 }
 
+/// Assembles a [`Replayer`] in one expression; obtain one from
+/// [`Replayer::builder`] and finish with [`ReplayerBuilder::build`].
+#[must_use = "builder methods return the builder; call .build() to produce the replayer"]
+#[derive(Debug, Default)]
+pub struct ReplayerBuilder {
+    recorded: Option<Arc<HistoryStore>>,
+}
+
+impl ReplayerBuilder {
+    /// The recorded trace to replay (a store carrying a [`ReplayHeader`],
+    /// e.g. one produced by [`RecordingSession::finish`] or loaded from an
+    /// `IXHIST01` file). Required.
+    pub fn recorded(mut self, recorded: Arc<HistoryStore>) -> Self {
+        self.recorded = Some(recorded);
+        self
+    }
+
+    /// The finished replayer: the recording engine rebuilt from the
+    /// trace's header, with the replay schedule prepared.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::MissingHeader`] when no trace was supplied (or the
+    /// trace has no header), [`ReplayError::Header`] /
+    /// [`ReplayError::Version`] when the trace is not replayable,
+    /// [`ReplayError::Engine`] when the trained state does not load, and
+    /// [`ReplayError::Trace`] when the recorded rows are internally
+    /// inconsistent.
+    pub fn build(self) -> Result<Replayer, ReplayError> {
+        let recorded = self.recorded.ok_or(ReplayError::MissingHeader)?;
+        Replayer::from_parts(recorded)
+    }
+}
+
 impl Replayer {
+    /// The builder-first construction path.
+    pub fn builder() -> ReplayerBuilder {
+        ReplayerBuilder::default()
+    }
+
     /// Rebuilds the recording engine from `recorded`'s header and
     /// prepares the replay schedule.
     ///
@@ -280,10 +319,18 @@ impl Replayer {
     /// is not replayable, [`ReplayError::Engine`] when the trained state
     /// does not load, and [`ReplayError::Trace`] when the recorded rows
     /// are internally inconsistent.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Replayer::builder().recorded(store).build()`"
+    )]
     pub fn from_store(recorded: Arc<HistoryStore>) -> Result<Self, ReplayError> {
+        Replayer::from_parts(recorded)
+    }
+
+    fn from_parts(recorded: Arc<HistoryStore>) -> Result<Self, ReplayError> {
         let header = ReplayHeader::extract(&recorded)?;
         let capture = Arc::new(CaptureSink::default());
-        let replay_store = HistoryStore::shared();
+        let replay_store = HistoryStore::builder().shared();
         let recorder: Arc<dyn HistoryRecorder> = Arc::clone(&replay_store) as _;
         let engine = Engine::builder()
             .config(header.config.clone())

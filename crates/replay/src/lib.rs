@@ -41,7 +41,10 @@ mod normalize;
 
 pub use bisect::{bisect, BisectReport};
 pub use debugger::{Breakpoint, EventKind, ReplayDebugger, StopReason};
-pub use driver::{Divergence, RecordingSession, ReplayReport, Replayer, ScheduledTick, TickReport};
+pub use driver::{
+    Divergence, RecordingSession, ReplayReport, Replayer, ReplayerBuilder, ScheduledTick,
+    TickReport,
+};
 pub use error::ReplayError;
 pub use header::{ReplayHeader, REPLAY_HEADER_VERSION};
 pub use normalize::normalize_events;

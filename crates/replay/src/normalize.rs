@@ -45,6 +45,14 @@ pub fn normalize_events(events: &[EngineEvent]) -> Vec<EngineEvent> {
                 pairs,
                 micros: 0,
             },
+            // Warm latency is a host measurement, like the micros above.
+            EngineEvent::TenantWarmed {
+                context, tenant, ..
+            } => EngineEvent::TenantWarmed {
+                context,
+                tenant,
+                micros: 0,
+            },
             EngineEvent::DetectionFired { .. }
             | EngineEvent::DetectionCleared { .. }
             | EngineEvent::SignatureMatched { .. }
@@ -56,7 +64,8 @@ pub fn normalize_events(events: &[EngineEvent]) -> Vec<EngineEvent> {
             | EngineEvent::TickEnqueued { .. }
             | EngineEvent::TickShed { .. }
             | EngineEvent::StoreRetried { .. }
-            | EngineEvent::HealthChanged { .. } => *e,
+            | EngineEvent::HealthChanged { .. }
+            | EngineEvent::TenantEvicted { .. } => *e,
         })
         .collect()
 }

@@ -95,7 +95,10 @@ fn replay_round_trip_is_bit_exact() {
     let bytes = trace.to_bytes();
     let reloaded = Arc::new(HistoryStore::from_bytes(&bytes).expect("reload trace"));
 
-    let mut replayer = Replayer::from_store(reloaded).expect("reconstruct engine from header");
+    let mut replayer = Replayer::builder()
+        .recorded(reloaded)
+        .build()
+        .expect("reconstruct engine from header");
     assert_eq!(replayer.schedule().len(), ticks);
     let report = replayer.verify().expect("replay to completion");
     assert_eq!(report.ticks_replayed, ticks);
@@ -114,9 +117,9 @@ fn replay_round_trip_is_bit_exact() {
 
 #[test]
 fn trace_without_header_is_not_replayable() {
-    let store = HistoryStore::shared();
+    let store = HistoryStore::builder().shared();
     assert!(matches!(
-        Replayer::from_store(store),
+        Replayer::builder().recorded(store).build(),
         Err(ix_replay::ReplayError::MissingHeader)
     ));
 }
@@ -124,7 +127,10 @@ fn trace_without_header_is_not_replayable() {
 #[test]
 fn debugger_breaks_on_diagnosis_and_inspects_state() {
     let (trace, context, ticks) = recorded_trace();
-    let replayer = Replayer::from_store(trace).expect("reconstruct");
+    let replayer = Replayer::builder()
+        .recorded(trace)
+        .build()
+        .expect("reconstruct");
     let mut debugger = ReplayDebugger::new(replayer);
 
     // Warm up a few ticks first: plain stepping reports the last tick.
@@ -186,7 +192,7 @@ fn synthetic_row(t: u64) -> Vec<f64> {
 /// Builds a synthetic single-context trace of `ticks` rows, perturbing
 /// one metric at `perturb_at` when given.
 fn synthetic_store(ticks: u64, perturb_at: Option<u64>) -> Arc<HistoryStore> {
-    let store = HistoryStore::shared();
+    let store = HistoryStore::builder().shared();
     let context = ContextId::from_index(0);
     for t in 0..ticks {
         let mut row = synthetic_row(t);

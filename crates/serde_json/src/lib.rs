@@ -347,12 +347,20 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
-                    let ch = s.chars().next().ok_or_else(|| self.error("empty"))?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    // Copy the maximal run of plain bytes in one step; the
+                    // input arrived as `&str`, so a run without `"` or `\`
+                    // is valid UTF-8 verbatim (validated on the run, not
+                    // the whole remaining input — that was quadratic).
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(run);
                 }
             }
         }

@@ -1,0 +1,168 @@
+//! A blocking `IXSRV01` client.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ix_core::Diagnosis;
+use serde::Deserialize;
+
+use crate::error::{ServeError, STATUS_OK};
+use crate::tenant::TenantId;
+use crate::wire::{
+    self, DiagnoseRequest, DrainReply, DrainRequest, HealthReply, IngestReply, IngestRequest, Op,
+    RequestFrame, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// A blocking client over one `IXSRV01` TCP connection. Requests are
+/// sequential: each call writes one frame and reads one response.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl ServeClient {
+    /// Connects to a serving endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are single small frames; without nodelay each one
+        // waits out the server's delayed ACK.
+        stream.set_nodelay(true)?;
+        Ok(ServeClient {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Overrides the response frame size limit (defaults to 1 MiB).
+    pub fn set_max_frame_bytes(&mut self, max: usize) {
+        self.max_frame_bytes = max.max(16);
+    }
+
+    /// Sends one raw request frame and returns `(status, payload)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on socket failures; [`ServeError::Protocol`] /
+    /// [`ServeError::Version`] on a malformed response;
+    /// [`ServeError::FrameTooLarge`] when the response exceeds the limit.
+    pub fn request(&mut self, frame: &RequestFrame) -> Result<(u16, Vec<u8>), ServeError> {
+        wire::write_frame(&mut self.stream, &wire::encode_request(frame))?;
+        let body = wire::read_frame(&mut self.stream, self.max_frame_bytes)?.ok_or_else(|| {
+            ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ))
+        })?;
+        wire::decode_response(&body)
+    }
+
+    fn call(&mut self, tenant: &TenantId, op: Op, payload: Vec<u8>) -> Result<Vec<u8>, ServeError> {
+        let (status, payload) = self.request(&RequestFrame {
+            tenant: tenant.clone(),
+            op,
+            payload,
+        })?;
+        if status == STATUS_OK {
+            Ok(payload)
+        } else {
+            Err(ServeError::Status {
+                code: status,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            })
+        }
+    }
+
+    fn call_json<T: Deserialize>(
+        &mut self,
+        tenant: &TenantId,
+        op: Op,
+        payload: Vec<u8>,
+    ) -> Result<T, ServeError> {
+        let payload = self.call(tenant, op, payload)?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| ServeError::Protocol(format!("response not UTF-8: {e}")))?;
+        serde_json::from_str(text).map_err(|e| ServeError::Protocol(format!("response: {e}")))
+    }
+
+    /// Ingests one tick for a tenant context.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Status`] carrying the server's non-zero status (an
+    /// engine [`ix_core::ErrorCode`] discriminant or a serve status).
+    pub fn ingest(
+        &mut self,
+        tenant: &TenantId,
+        node: &str,
+        workload: &str,
+        cpi: f64,
+        row: &[f64],
+    ) -> Result<IngestReply, ServeError> {
+        let req = IngestRequest {
+            node: node.to_string(),
+            workload: workload.to_string(),
+            cpi,
+            row: row.to_vec(),
+        };
+        let payload = serde_json::to_string(&req)
+            .map_err(|e| ServeError::Protocol(format!("encode: {e}")))?
+            .into_bytes();
+        self.call_json(tenant, Op::Ingest, payload)
+    }
+
+    /// Drains up to `max_ticks` queued ticks through the tenant's engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Status`] carrying the server's non-zero status.
+    pub fn drain(&mut self, tenant: &TenantId, max_ticks: usize) -> Result<DrainReply, ServeError> {
+        let payload = serde_json::to_string(&DrainRequest { max_ticks })
+            .map_err(|e| ServeError::Protocol(format!("encode: {e}")))?
+            .into_bytes();
+        self.call_json(tenant, Op::Drain, payload)
+    }
+
+    /// Diagnoses a tenant context's current sliding window.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Status`] carrying the server's non-zero status.
+    pub fn diagnose(
+        &mut self,
+        tenant: &TenantId,
+        node: &str,
+        workload: &str,
+    ) -> Result<Diagnosis, ServeError> {
+        let req = DiagnoseRequest {
+            node: node.to_string(),
+            workload: workload.to_string(),
+        };
+        let payload = serde_json::to_string(&req)
+            .map_err(|e| ServeError::Protocol(format!("encode: {e}")))?
+            .into_bytes();
+        self.call_json(tenant, Op::Diagnose, payload)
+    }
+
+    /// Reports the fleet's health and counters. The tenant id routes the
+    /// frame but any registered-or-not id is accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Status`] carrying the server's non-zero status.
+    pub fn health(&mut self, tenant: &TenantId) -> Result<HealthReply, ServeError> {
+        self.call_json(tenant, Op::Health, Vec::new())
+    }
+
+    /// Fetches the tenant's snapshot bytes (a row-free `IXHIST01` image).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Status`] carrying the server's non-zero status.
+    pub fn snapshot(&mut self, tenant: &TenantId) -> Result<Vec<u8>, ServeError> {
+        self.call(tenant, Op::Snapshot, Vec::new())
+    }
+}

@@ -1,0 +1,166 @@
+//! Serving-layer errors and their stable wire status codes.
+//!
+//! The `IXSRV01` response frame carries a `u16` status. `0` is success;
+//! `1..=99` are reserved for [`ix_core::ErrorCode`] — engine errors cross
+//! the wire under the exact discriminants pinned in `ix-core` — and
+//! `100..` are serving-layer conditions defined here (protocol violations,
+//! unknown tenants, overload sheds). The split means a client can tell
+//! "the engine rejected the tick" from "the frame never reached an engine"
+//! without parsing the message text.
+
+use std::fmt;
+
+use ix_core::{CoreError, ErrorCode};
+
+use crate::tenant::TenantId;
+
+/// Response status of a successful request.
+pub const STATUS_OK: u16 = 0;
+
+/// First status code of the serving-layer range; everything below (except
+/// [`STATUS_OK`]) belongs to [`ix_core::ErrorCode`].
+pub const STATUS_SERVE_BASE: u16 = 100;
+
+/// Status: the request frame was malformed.
+pub const STATUS_PROTOCOL: u16 = 100;
+/// Status: the frame's protocol version is newer than this server.
+pub const STATUS_VERSION: u16 = 101;
+/// Status: the frame's op byte names no known operation.
+pub const STATUS_UNKNOWN_OP: u16 = 102;
+/// Status: the frame exceeds the connection's bounded buffer.
+pub const STATUS_FRAME_TOO_LARGE: u16 = 103;
+/// Status: the tenant id names no registered tenant.
+pub const STATUS_UNKNOWN_TENANT: u16 = 104;
+/// Status: a tenant snapshot failed to serialize or parse.
+pub const STATUS_SNAPSHOT: u16 = 105;
+/// Status: a server-side I/O failure.
+pub const STATUS_IO: u16 = 106;
+/// Status: the tick was shed by the tenant's overload policy.
+pub const STATUS_OVERLOADED: u16 = 107;
+
+/// Why a serving-layer operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The tenant's engine rejected the operation.
+    Core(CoreError),
+    /// A malformed request or response frame.
+    Protocol(String),
+    /// A frame with a protocol version this build does not speak.
+    Version(u8),
+    /// A frame whose op byte names no operation.
+    UnknownOp(u8),
+    /// A frame larger than the connection's bounded buffer allows.
+    FrameTooLarge {
+        /// Declared frame length.
+        len: usize,
+        /// The connection's limit.
+        max: usize,
+    },
+    /// The tenant id names no registered tenant.
+    UnknownTenant(TenantId),
+    /// A tenant snapshot failed to serialize, persist or parse.
+    Snapshot(String),
+    /// An I/O failure (socket or snapshot file).
+    Io(std::io::Error),
+    /// The tick was shed by the tenant's overload policy.
+    Overloaded,
+    /// A non-zero status returned by the remote server (client side).
+    Status {
+        /// The wire status code.
+        code: u16,
+        /// The server's message payload.
+        message: String,
+    },
+}
+
+impl ServeError {
+    /// The stable `u16` this error crosses the wire as. Engine errors use
+    /// their [`ErrorCode`] discriminant verbatim; serving-layer conditions
+    /// use the `100..` range.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::Core(e) => e.code().as_u16(),
+            ServeError::Protocol(_) => STATUS_PROTOCOL,
+            ServeError::Version(_) => STATUS_VERSION,
+            ServeError::UnknownOp(_) => STATUS_UNKNOWN_OP,
+            ServeError::FrameTooLarge { .. } => STATUS_FRAME_TOO_LARGE,
+            ServeError::UnknownTenant(_) => STATUS_UNKNOWN_TENANT,
+            ServeError::Snapshot(_) => STATUS_SNAPSHOT,
+            ServeError::Io(_) => STATUS_IO,
+            ServeError::Overloaded => STATUS_OVERLOADED,
+            ServeError::Status { code, .. } => *code,
+        }
+    }
+
+    /// The engine [`ErrorCode`] behind a wire status, when the status is
+    /// in the engine range.
+    pub fn engine_code(status: u16) -> Option<ErrorCode> {
+        ErrorCode::from_u16(status)
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "engine: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ServeError::Version(v) => write!(f, "unsupported protocol version {v}"),
+            ServeError::UnknownOp(op) => write!(f, "unknown op byte {op}"),
+            ServeError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            ServeError::UnknownTenant(tenant) => write!(f, "unknown tenant `{tenant}`"),
+            ServeError::Snapshot(msg) => write!(f, "snapshot: {msg}"),
+            ServeError::Io(e) => write!(f, "i/o: {e}"),
+            ServeError::Overloaded => write!(f, "tick shed by the overload policy"),
+            ServeError::Status { code, message } => {
+                write!(f, "server returned status {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_statuses_stay_clear_of_the_engine_range() {
+        for code in ErrorCode::ALL {
+            assert!(code.as_u16() < STATUS_SERVE_BASE);
+        }
+        assert_eq!(ServeError::Overloaded.status(), STATUS_OVERLOADED);
+        assert_eq!(
+            ServeError::Core(CoreError::NotEnoughRuns {
+                required: 2,
+                got: 1
+            })
+            .status(),
+            ErrorCode::NotEnoughRuns.as_u16()
+        );
+    }
+
+    #[test]
+    fn engine_codes_resolve_back_from_statuses() {
+        assert_eq!(
+            ServeError::engine_code(ErrorCode::NotEnoughRuns.as_u16()),
+            Some(ErrorCode::NotEnoughRuns)
+        );
+        assert_eq!(ServeError::engine_code(STATUS_PROTOCOL), None);
+        assert_eq!(ServeError::engine_code(STATUS_OK), None);
+    }
+}

@@ -1,0 +1,920 @@
+//! The multi-tenant fleet: N tenant engines behind one serving surface.
+//!
+//! A [`Fleet`] owns a slot table keyed by [`TenantId`]. Each slot is
+//! either **warm** — a live [`Engine`] plus the bookkeeping needed to
+//! tear it down losslessly — or **cold** — an `IXHIST01` tenant snapshot
+//! (in memory, or a file under the configured snapshot directory). Slots
+//! materialize lazily: the first tick for an unknown tenant builds its
+//! engine on the spot, and every tenant engine shares one
+//! [`SweepPool`], so a hundred thousand tenants cost one worker pool,
+//! not a hundred thousand.
+//!
+//! When the warm count crosses the configured high-water mark
+//! ([`FleetBuilder::warm_limit`]), the least-recently-used warm tenant is
+//! evicted: its trained state ([`Engine::snapshot_state`]), lifetime tick
+//! counter and per-context run tails are serialized into a
+//! [`TenantSnapshot`] and the engine is dropped. Warming reverses the
+//! trade — rebuild, [`Engine::load_state`], replay the tails through
+//! [`Engine::restore_run`] — and is *bit-invisible*: the warmed engine
+//! continues exactly as if it had never been torn down. Both transitions
+//! are declared, never silent: [`EngineEvent::TenantEvicted`] /
+//! [`EngineEvent::TenantWarmed`] land on the fleet's event sink.
+//!
+//! Run-tail tracking covers ticks fed through [`Fleet::ingest`]. The
+//! queue path ([`Fleet::submit`] / [`Fleet::drain`]) reuses the engine's
+//! bounded ingest queue and [`ix_core::OverloadPolicy`] semantics
+//! verbatim, but ticks that enter it are not tail-tracked — the affected
+//! context is marked truncated and a later warm starts it on a fresh run
+//! (declared in the snapshot, never silently wrong).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use ix_core::{
+    ContextId, Diagnosis, Engine, EngineEvent, EventSink, HealthState, InvarNetConfig, NullSink,
+    OperationContext, SubmitOutcome, SweepPool, Telemetry, TelemetrySnapshot, TickOutcome,
+};
+
+use crate::error::ServeError;
+use crate::snapshot::{ContextState, RunTick, TenantSnapshot};
+use crate::tenant::TenantId;
+
+/// Default high-water mark for warm tenants.
+const DEFAULT_WARM_LIMIT: usize = 1024;
+
+/// Default cap on tracked run-tail ticks per context.
+const DEFAULT_RUN_TAIL_CAP: usize = 4096;
+
+/// One context's live bookkeeping inside a warm slot.
+struct ContextEntry {
+    context: OperationContext,
+    /// The current run's ticks since the last reset, oldest first.
+    tail: Vec<RunTick>,
+    /// Set when the tail outgrew the cap or the queue path was used; the
+    /// context warms onto a fresh run instead of a restored one.
+    truncated: bool,
+}
+
+/// A live tenant.
+struct WarmTenant {
+    engine: Arc<Engine>,
+    telemetry: Option<Arc<Telemetry>>,
+    contexts: HashMap<String, ContextEntry>,
+    /// Fleet LRU stamp (monotone clock value of the last touch).
+    last_used: u64,
+    num: u64,
+}
+
+/// An evicted (or adopted) tenant: its snapshot, wherever it lives.
+struct ColdTenant {
+    bytes: Option<Vec<u8>>,
+    path: Option<PathBuf>,
+    num: u64,
+}
+
+enum Slot {
+    Warm(WarmTenant),
+    Cold(ColdTenant),
+}
+
+struct FleetInner {
+    slots: HashMap<TenantId, Slot>,
+    /// Monotone LRU clock; bumped on every tenant touch.
+    clock: u64,
+    /// Dense tenant numbers for event attribution.
+    next_num: u64,
+}
+
+/// Point-in-time fleet counters (see [`Fleet::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStatus {
+    /// Registered tenants (warm + cold).
+    pub tenants: usize,
+    /// Currently warm tenants.
+    pub warm: usize,
+    /// Currently cold tenants.
+    pub cold: usize,
+    /// The configured warm high-water mark.
+    pub warm_limit: usize,
+    /// Lifetime evictions.
+    pub evictions: u64,
+    /// Lifetime warms.
+    pub warms: u64,
+    /// Ticks ingested through the fleet surface.
+    pub ticks: u64,
+    /// Mean cold→warm latency in microseconds (0 before the first warm).
+    pub warm_micros_mean: u64,
+    /// Worst cold→warm latency in microseconds.
+    pub warm_micros_max: u64,
+    /// The fold of every warm tenant's health machine.
+    pub health: &'static str,
+}
+
+/// Lifetime fleet counters, updated outside the slot lock where possible.
+#[derive(Debug, Default)]
+struct FleetMetrics {
+    /// Ticks ingested through [`Fleet::ingest`].
+    ticks: AtomicU64,
+    /// Tenants evicted.
+    evictions: AtomicU64,
+    /// Tenants warmed from a snapshot.
+    warms: AtomicU64,
+    /// Sum of warm latencies (µs).
+    warm_micros_total: AtomicU64,
+    /// Worst warm latency (µs).
+    warm_micros_max: AtomicU64,
+}
+
+/// Assembles a [`Fleet`] in one expression; obtain one from
+/// [`Fleet::builder`] and finish with [`FleetBuilder::build`].
+#[must_use = "builder methods return the builder; call .build() to produce the fleet"]
+pub struct FleetBuilder {
+    config: InvarNetConfig,
+    warm_limit: usize,
+    run_tail_cap: usize,
+    snapshot_dir: Option<PathBuf>,
+    sink: Option<Arc<dyn EventSink>>,
+    per_tenant_telemetry: bool,
+    threads: usize,
+}
+
+impl FleetBuilder {
+    fn new() -> Self {
+        FleetBuilder {
+            config: InvarNetConfig::default(),
+            warm_limit: DEFAULT_WARM_LIMIT,
+            run_tail_cap: DEFAULT_RUN_TAIL_CAP,
+            snapshot_dir: None,
+            sink: None,
+            per_tenant_telemetry: false,
+            threads: 1,
+        }
+    }
+
+    /// The engine configuration every tenant engine is built with
+    /// (defaults to the paper values).
+    pub fn config(mut self, config: InvarNetConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// High-water mark for warm tenants: warming past it evicts the
+    /// least-recently-used warm tenant first (defaults to 1024; at least
+    /// 1).
+    pub fn warm_limit(mut self, limit: usize) -> Self {
+        self.warm_limit = limit.max(1);
+        self
+    }
+
+    /// Cap on tracked run-tail ticks per context. A run that outgrows the
+    /// cap stops being restorable: the context warms onto a fresh run and
+    /// the snapshot says so (defaults to 4096).
+    pub fn run_tail_cap(mut self, cap: usize) -> Self {
+        self.run_tail_cap = cap.max(1);
+        self
+    }
+
+    /// Persists eviction snapshots as `<tenant>.ixhist` files under `dir`
+    /// instead of holding the bytes in memory. The directory must exist.
+    pub fn snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// The fleet-wide event sink: every tenant engine's event stream and
+    /// the fleet's own lifecycle events ([`EngineEvent::TenantEvicted`] /
+    /// [`EngineEvent::TenantWarmed`]) land here.
+    pub fn event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a private [`Telemetry`] hub to every tenant engine, so
+    /// [`Fleet::render_prometheus`] can export per-tenant-namespaced
+    /// series. Off by default — at fleet scale the hubs dominate memory.
+    pub fn per_tenant_telemetry(mut self, on: bool) -> Self {
+        self.per_tenant_telemetry = on;
+        self
+    }
+
+    /// Workers in the shared sweep pool every tenant engine runs its
+    /// association sweeps on (defaults to 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The finished fleet.
+    pub fn build(self) -> Fleet {
+        Fleet {
+            config: self.config,
+            warm_limit: self.warm_limit,
+            run_tail_cap: self.run_tail_cap,
+            snapshot_dir: self.snapshot_dir,
+            sink: self.sink.unwrap_or_else(|| Arc::new(NullSink)),
+            per_tenant_telemetry: self.per_tenant_telemetry,
+            pool: Arc::new(SweepPool::new(self.threads)),
+            inner: Mutex::new(FleetInner {
+                slots: HashMap::new(),
+                clock: 0,
+                next_num: 0,
+            }),
+            metrics: FleetMetrics::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FleetBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetBuilder")
+            .field("warm_limit", &self.warm_limit)
+            .field("run_tail_cap", &self.run_tail_cap)
+            .field("snapshot_dir", &self.snapshot_dir)
+            .field("event_sink", &self.sink.is_some())
+            .field("per_tenant_telemetry", &self.per_tenant_telemetry)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// The multi-tenant serving layer (see the module docs).
+pub struct Fleet {
+    config: InvarNetConfig,
+    warm_limit: usize,
+    run_tail_cap: usize,
+    snapshot_dir: Option<PathBuf>,
+    sink: Arc<dyn EventSink>,
+    per_tenant_telemetry: bool,
+    pool: Arc<SweepPool>,
+    inner: Mutex<FleetInner>,
+    metrics: FleetMetrics,
+}
+
+impl Fleet {
+    /// The builder-first construction path.
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder::new()
+    }
+
+    /// The configuration tenant engines are built with.
+    pub fn config(&self) -> &InvarNetConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FleetInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Builds a fresh tenant engine wired into the fleet's shared pool
+    /// and sinks, optionally seeding the lifetime tick counter.
+    fn build_engine(&self, lifetime_ticks: u64) -> (Arc<Engine>, Option<Arc<Telemetry>>) {
+        let mut builder = Engine::builder()
+            .config(self.config.clone())
+            .shared_pool(Arc::clone(&self.pool))
+            .lifetime_ticks(lifetime_ticks);
+        let telemetry = if self.per_tenant_telemetry {
+            let hub = Telemetry::shared();
+            builder = builder
+                .telemetry(&hub)
+                .extra_sink(Arc::clone(&self.sink) as Arc<dyn EventSink>);
+            Some(hub)
+        } else {
+            builder = builder.event_sink(Arc::clone(&self.sink) as Arc<dyn EventSink>);
+            None
+        };
+        (Arc::new(builder.build()), telemetry)
+    }
+
+    /// Ensures `tenant` has a slot and that it is warm, evicting the LRU
+    /// warm tenant first when the high-water mark would be crossed.
+    /// Returns the tenant's engine with the LRU stamp refreshed.
+    fn ensure_warm(
+        &self,
+        inner: &mut FleetInner,
+        tenant: &TenantId,
+    ) -> Result<Arc<Engine>, ServeError> {
+        if !inner.slots.contains_key(tenant) {
+            self.make_room(inner)?;
+            let num = inner.next_num;
+            inner.next_num += 1;
+            let (engine, telemetry) = self.build_engine(0);
+            inner.slots.insert(
+                tenant.clone(),
+                Slot::Warm(WarmTenant {
+                    engine,
+                    telemetry,
+                    contexts: HashMap::new(),
+                    last_used: inner.clock,
+                    num,
+                }),
+            );
+        } else if matches!(inner.slots.get(tenant), Some(Slot::Cold(_))) {
+            self.make_room(inner)?;
+            self.warm_slot(inner, tenant)?;
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.slots.get_mut(tenant) {
+            Some(Slot::Warm(warm)) => {
+                warm.last_used = clock;
+                Ok(Arc::clone(&warm.engine))
+            }
+            _ => unreachable!("slot was made warm above"),
+        }
+    }
+
+    /// Evicts LRU warm tenants until a new warm slot fits the high-water
+    /// mark.
+    fn make_room(&self, inner: &mut FleetInner) -> Result<(), ServeError> {
+        loop {
+            let warm_count = inner
+                .slots
+                // lint: allow(determinism, a count is order-independent)
+                .values()
+                .filter(|s| matches!(s, Slot::Warm(_)))
+                .count();
+            if warm_count < self.warm_limit {
+                return Ok(());
+            }
+            let lru = inner
+                .slots
+                // lint: allow(determinism, min_by_key ties break on the dense
+                // tenant number — the victim is iteration-order-independent)
+                .iter()
+                .filter_map(|(id, slot)| match slot {
+                    Slot::Warm(w) => Some((id.clone(), (w.last_used, w.num))),
+                    Slot::Cold(_) => None,
+                })
+                .min_by_key(|(_, stamp)| *stamp)
+                .map(|(id, _)| id)
+                .expect("warm_count > 0 implies a warm slot exists");
+            self.evict_slot(inner, &lru)?;
+        }
+    }
+
+    /// Snapshots a warm slot and replaces it with a cold one.
+    fn evict_slot(&self, inner: &mut FleetInner, tenant: &TenantId) -> Result<(), ServeError> {
+        let Some(Slot::Warm(warm)) = inner.slots.get(tenant) else {
+            return Err(ServeError::UnknownTenant(tenant.clone()));
+        };
+        let mut entries: Vec<&ContextEntry> = warm
+            .contexts
+            // lint: allow(determinism, the sort below restores a stable
+            // context order, so snapshot bytes are process-independent)
+            .values()
+            .collect();
+        entries.sort_by_key(|entry| entry.context.to_string());
+        let contexts = entries
+            .into_iter()
+            .map(|entry| ContextState {
+                node: entry.context.node.clone(),
+                workload: entry.context.workload.clone(),
+                tail: if entry.truncated {
+                    Vec::new()
+                } else {
+                    entry.tail.clone()
+                },
+                truncated: entry.truncated,
+            })
+            .collect();
+        let ticks = warm.engine.lifetime_ticks();
+        let num = warm.num;
+        let snapshot = TenantSnapshot::new(
+            self.config.clone(),
+            warm.engine.snapshot_state(),
+            ticks,
+            contexts,
+        );
+        let bytes = snapshot.to_bytes();
+        let cold = match &self.snapshot_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{tenant}.ixhist"));
+                std::fs::write(&path, &bytes)?;
+                ColdTenant {
+                    bytes: None,
+                    path: Some(path),
+                    num,
+                }
+            }
+            None => ColdTenant {
+                bytes: Some(bytes),
+                path: None,
+                num,
+            },
+        };
+        inner.slots.insert(tenant.clone(), Slot::Cold(cold));
+        // ordering: Relaxed — independent monotone counters; status reads
+        // tolerate torn cross-counter views by contract.
+        self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+        self.sink.record(&EngineEvent::TenantEvicted {
+            context: ContextId::UNATTRIBUTED,
+            tenant: num,
+            ticks,
+        });
+        Ok(())
+    }
+
+    /// Rebuilds a cold slot's engine from its snapshot.
+    fn warm_slot(&self, inner: &mut FleetInner, tenant: &TenantId) -> Result<(), ServeError> {
+        let Some(Slot::Cold(cold)) = inner.slots.get(tenant) else {
+            return Err(ServeError::UnknownTenant(tenant.clone()));
+        };
+        // lint: allow(determinism, telemetry-only: warm micros feed the
+        // TenantWarmed event; replay normalizes all recorded timings)
+        let started = Instant::now();
+        let num = cold.num;
+        let bytes = match (&cold.bytes, &cold.path) {
+            (Some(bytes), _) => bytes.clone(),
+            (None, Some(path)) => std::fs::read(path)?,
+            (None, None) => {
+                return Err(ServeError::Snapshot(format!(
+                    "cold tenant `{tenant}` has neither bytes nor a snapshot file"
+                )))
+            }
+        };
+        let snapshot = TenantSnapshot::from_bytes(&bytes)?;
+        let (engine, telemetry) = self.build_engine(snapshot.lifetime_ticks);
+        engine.load_state(&snapshot.store)?;
+        let mut contexts = HashMap::new();
+        // lint: allow(determinism, snapshot.contexts is the serialized Vec
+        // — already in stable key order — not the per-tenant HashMap)
+        for state in snapshot.contexts {
+            let context = OperationContext::new(&state.node, &state.workload);
+            if state.truncated {
+                engine.reset_run(&context);
+            } else {
+                let tail: Vec<(f64, Vec<f64>)> =
+                    state.tail.iter().map(|t| (t.cpi, t.row.clone())).collect();
+                engine.restore_run(&context, &tail)?;
+            }
+            contexts.insert(
+                context.to_string(),
+                ContextEntry {
+                    context,
+                    tail: state.tail,
+                    truncated: state.truncated,
+                },
+            );
+        }
+        inner.slots.insert(
+            tenant.clone(),
+            Slot::Warm(WarmTenant {
+                engine,
+                telemetry,
+                contexts,
+                last_used: inner.clock,
+                num,
+            }),
+        );
+        let micros = started.elapsed().as_micros() as u64;
+        // ordering: Relaxed — independent monotone counters / fetch_max
+        // gauge; status reads tolerate torn cross-counter views.
+        self.metrics.warms.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — same counter contract as above.
+        self.metrics
+            .warm_micros_total
+            .fetch_add(micros, Ordering::Relaxed);
+        // ordering: Relaxed — same counter contract as above.
+        self.metrics
+            .warm_micros_max
+            .fetch_max(micros, Ordering::Relaxed);
+        self.sink.record(&EngineEvent::TenantWarmed {
+            context: ContextId::UNATTRIBUTED,
+            tenant: num,
+            micros,
+        });
+        Ok(())
+    }
+
+    /// Adopts a tenant in cold state from snapshot bytes (e.g. produced
+    /// by a previous fleet's eviction, or shipped from another box). The
+    /// tenant warms lazily on first touch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Snapshot`] when the bytes do not parse as a tenant
+    /// snapshot.
+    pub fn adopt(&self, tenant: TenantId, bytes: Vec<u8>) -> Result<(), ServeError> {
+        // Validate eagerly so a bad snapshot fails at adopt time, not at
+        // first ingest.
+        TenantSnapshot::from_bytes(&bytes)?;
+        let mut inner = self.lock();
+        let num = inner.next_num;
+        inner.next_num += 1;
+        inner.slots.insert(
+            tenant,
+            Slot::Cold(ColdTenant {
+                bytes: Some(bytes),
+                path: None,
+                num,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Ingests one tick for `tenant`'s `context`, materializing or
+    /// warming the tenant first when needed. The tick lands in the run
+    /// tail, so a later evict→warm cycle restores it.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors pass through as [`ServeError::Core`]; snapshot and
+    /// I/O errors surface from an eviction or warm the call triggered.
+    pub fn ingest(
+        &self,
+        tenant: &TenantId,
+        context: &OperationContext,
+        cpi: f64,
+        row: &[f64],
+    ) -> Result<TickOutcome, ServeError> {
+        let mut inner = self.lock();
+        let engine = self.ensure_warm(&mut inner, tenant)?;
+        let outcome = engine.ingest(context, cpi, row)?;
+        // Tail bookkeeping only after the engine accepted the tick, so a
+        // rejected row never pollutes the restore path.
+        if let Some(Slot::Warm(warm)) = inner.slots.get_mut(tenant) {
+            let entry = warm
+                .contexts
+                .entry(context.to_string())
+                .or_insert_with(|| ContextEntry {
+                    context: context.clone(),
+                    tail: Vec::new(),
+                    truncated: false,
+                });
+            if !entry.truncated {
+                if entry.tail.len() >= self.run_tail_cap {
+                    entry.tail.clear();
+                    entry.truncated = true;
+                } else {
+                    entry.tail.push(RunTick {
+                        cpi,
+                        row: row.to_vec(),
+                    });
+                }
+            }
+        }
+        // ordering: Relaxed — a monotone counter; status reads tolerate
+        // staleness.
+        self.metrics.ticks.fetch_add(1, Ordering::Relaxed);
+        Ok(outcome)
+    }
+
+    /// Submits one tick to the tenant engine's bounded ingest queue,
+    /// under the engine's configured [`ix_core::OverloadPolicy`] —
+    /// fleet-wide overload semantics are exactly the engine's, and every
+    /// shed is declared on the fleet sink. Queue-path ticks are not
+    /// tail-tracked: the context is marked truncated and warms onto a
+    /// fresh run.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot and I/O errors surface from an eviction or warm the call
+    /// triggered.
+    pub fn submit(
+        &self,
+        tenant: &TenantId,
+        context: &OperationContext,
+        cpi: f64,
+        row: &[f64],
+    ) -> Result<SubmitOutcome, ServeError> {
+        let mut inner = self.lock();
+        let engine = self.ensure_warm(&mut inner, tenant)?;
+        if let Some(Slot::Warm(warm)) = inner.slots.get_mut(tenant) {
+            let entry = warm
+                .contexts
+                .entry(context.to_string())
+                .or_insert_with(|| ContextEntry {
+                    context: context.clone(),
+                    tail: Vec::new(),
+                    truncated: false,
+                });
+            entry.tail.clear();
+            entry.truncated = true;
+        }
+        Ok(engine.submit(context, cpi, row))
+    }
+
+    /// Drains up to `max_ticks` queued ticks through the tenant's engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when the tenant has no slot.
+    #[allow(clippy::type_complexity)]
+    pub fn drain(
+        &self,
+        tenant: &TenantId,
+        max_ticks: usize,
+    ) -> Result<Vec<(OperationContext, Result<TickOutcome, ix_core::CoreError>)>, ServeError> {
+        let engine = {
+            let mut inner = self.lock();
+            if !inner.slots.contains_key(tenant) {
+                return Err(ServeError::UnknownTenant(tenant.clone()));
+            }
+            self.ensure_warm(&mut inner, tenant)?
+        };
+        Ok(engine.drain(max_ticks))
+    }
+
+    /// Discards the in-flight run of `tenant`'s `context` (engine state
+    /// and tracked tail both), re-arming tail tracking for the context.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when the tenant has no slot.
+    pub fn reset_run(
+        &self,
+        tenant: &TenantId,
+        context: &OperationContext,
+    ) -> Result<(), ServeError> {
+        let mut inner = self.lock();
+        if !inner.slots.contains_key(tenant) {
+            return Err(ServeError::UnknownTenant(tenant.clone()));
+        }
+        let engine = self.ensure_warm(&mut inner, tenant)?;
+        engine.reset_run(context);
+        if let Some(Slot::Warm(warm)) = inner.slots.get_mut(tenant) {
+            let entry = warm
+                .contexts
+                .entry(context.to_string())
+                .or_insert_with(|| ContextEntry {
+                    context: context.clone(),
+                    tail: Vec::new(),
+                    truncated: false,
+                });
+            entry.tail.clear();
+            entry.truncated = false;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` against the tenant's live engine (materializing or
+    /// warming it first), e.g. to train models or record signatures.
+    /// Trained state lands in eviction snapshots automatically; run state
+    /// is tail-tracked only for ticks fed through [`Fleet::ingest`].
+    ///
+    /// # Errors
+    ///
+    /// Snapshot and I/O errors surface from an eviction or warm the call
+    /// triggered.
+    pub fn with_engine<R>(
+        &self,
+        tenant: &TenantId,
+        f: impl FnOnce(&Engine) -> R,
+    ) -> Result<R, ServeError> {
+        let engine = {
+            let mut inner = self.lock();
+            self.ensure_warm(&mut inner, tenant)?
+        };
+        Ok(f(&engine))
+    }
+
+    /// On-demand diagnosis over the tenant context's current sliding
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for a tenant without a slot;
+    /// [`ServeError::Core`] when the context has no window or the
+    /// engine's offline state is missing.
+    pub fn diagnose(
+        &self,
+        tenant: &TenantId,
+        context: &OperationContext,
+    ) -> Result<Diagnosis, ServeError> {
+        let engine = {
+            let mut inner = self.lock();
+            if !inner.slots.contains_key(tenant) {
+                return Err(ServeError::UnknownTenant(tenant.clone()));
+            }
+            self.ensure_warm(&mut inner, tenant)?
+        };
+        let frame = engine.window_frame(context).ok_or_else(|| {
+            ServeError::Core(ix_core::CoreError::NoPerformanceModel(context.clone()))
+        })?;
+        Ok(engine.diagnose(context, &frame)?)
+    }
+
+    /// Evicts `tenant` now (the explicit form of what the LRU does on
+    /// high-water).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when the tenant has no slot or is
+    /// already cold; snapshot/I/O errors from persisting.
+    pub fn evict(&self, tenant: &TenantId) -> Result<(), ServeError> {
+        let mut inner = self.lock();
+        self.evict_slot(&mut inner, tenant)
+    }
+
+    /// Warms `tenant` now, returning the cold→warm latency in
+    /// microseconds (0 when the tenant was already warm).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when the tenant has no slot;
+    /// snapshot/I/O errors from reading or parsing.
+    pub fn warm(&self, tenant: &TenantId) -> Result<u64, ServeError> {
+        let mut inner = self.lock();
+        match inner.slots.get(tenant) {
+            None => Err(ServeError::UnknownTenant(tenant.clone())),
+            Some(Slot::Warm(_)) => Ok(0),
+            Some(Slot::Cold(_)) => {
+                self.make_room(&mut inner)?;
+                // ordering: Relaxed — reading a gauge the warm just wrote
+                // under the same lock.
+                let before = self.metrics.warm_micros_total.load(Ordering::Relaxed);
+                self.warm_slot(&mut inner, tenant)?;
+                // ordering: Relaxed — written under the same lock above.
+                let after = self.metrics.warm_micros_total.load(Ordering::Relaxed);
+                Ok(after - before)
+            }
+        }
+    }
+
+    /// Serializes the tenant's current state to snapshot bytes without
+    /// evicting it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when the tenant has no slot.
+    pub fn snapshot_bytes(&self, tenant: &TenantId) -> Result<Vec<u8>, ServeError> {
+        let inner = self.lock();
+        match inner.slots.get(tenant) {
+            None => Err(ServeError::UnknownTenant(tenant.clone())),
+            Some(Slot::Cold(cold)) => match (&cold.bytes, &cold.path) {
+                (Some(bytes), _) => Ok(bytes.clone()),
+                (None, Some(path)) => Ok(std::fs::read(path)?),
+                (None, None) => Err(ServeError::Snapshot(format!(
+                    "cold tenant `{tenant}` has neither bytes nor a snapshot file"
+                ))),
+            },
+            Some(Slot::Warm(warm)) => {
+                let contexts = warm
+                    .contexts
+                    .values()
+                    .map(|entry| ContextState {
+                        node: entry.context.node.clone(),
+                        workload: entry.context.workload.clone(),
+                        tail: if entry.truncated {
+                            Vec::new()
+                        } else {
+                            entry.tail.clone()
+                        },
+                        truncated: entry.truncated,
+                    })
+                    .collect();
+                Ok(TenantSnapshot::new(
+                    self.config.clone(),
+                    warm.engine.snapshot_state(),
+                    warm.engine.lifetime_ticks(),
+                    contexts,
+                )
+                .to_bytes())
+            }
+        }
+    }
+
+    /// Whether the tenant is currently warm.
+    pub fn is_warm(&self, tenant: &TenantId) -> bool {
+        matches!(self.lock().slots.get(tenant), Some(Slot::Warm(_)))
+    }
+
+    /// The dense number events attribute this tenant under, if the
+    /// tenant has a slot.
+    pub fn tenant_number(&self, tenant: &TenantId) -> Option<u64> {
+        match self.lock().slots.get(tenant) {
+            Some(Slot::Warm(w)) => Some(w.num),
+            Some(Slot::Cold(c)) => Some(c.num),
+            None => None,
+        }
+    }
+
+    /// One tenant's health (cold tenants report `Healthy` — an evicted
+    /// engine has no failure modes running).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when the tenant has no slot.
+    pub fn tenant_health(&self, tenant: &TenantId) -> Result<HealthState, ServeError> {
+        match self.lock().slots.get(tenant) {
+            None => Err(ServeError::UnknownTenant(tenant.clone())),
+            Some(Slot::Warm(w)) => Ok(w.engine.health()),
+            Some(Slot::Cold(_)) => Ok(HealthState::Healthy),
+        }
+    }
+
+    /// Fleet health: the worst state across every warm tenant's health
+    /// machine (`Degraded` beats `Recovering` beats `Healthy`).
+    pub fn health(&self) -> HealthState {
+        let inner = self.lock();
+        let mut worst = HealthState::Healthy;
+        for slot in inner.slots.values() {
+            if let Slot::Warm(w) = slot {
+                let health = w.engine.health();
+                worst = match (worst, health) {
+                    (HealthState::Degraded(t), _) => HealthState::Degraded(t),
+                    (_, HealthState::Degraded(t)) => HealthState::Degraded(t),
+                    (HealthState::Recovering, _) | (_, HealthState::Recovering) => {
+                        HealthState::Recovering
+                    }
+                    (HealthState::Healthy, HealthState::Healthy) => HealthState::Healthy,
+                };
+            }
+        }
+        worst
+    }
+
+    /// Point-in-time fleet counters.
+    pub fn status(&self) -> FleetStatus {
+        let (tenants, warm) = {
+            let inner = self.lock();
+            let warm = inner
+                .slots
+                .values()
+                .filter(|s| matches!(s, Slot::Warm(_)))
+                .count();
+            (inner.slots.len(), warm)
+        };
+        // ordering: Relaxed loads — the status is point-in-time-ish by
+        // contract; exact once writers are quiescent.
+        let warms = self.metrics.warms.load(Ordering::Relaxed);
+        let total = self.metrics.warm_micros_total.load(Ordering::Relaxed);
+        // ordering: Relaxed — same point-in-time contract as above.
+        let evictions = self.metrics.evictions.load(Ordering::Relaxed);
+        let ticks = self.metrics.ticks.load(Ordering::Relaxed);
+        let warm_micros_max = self.metrics.warm_micros_max.load(Ordering::Relaxed);
+        FleetStatus {
+            tenants,
+            warm,
+            cold: tenants - warm,
+            warm_limit: self.warm_limit,
+            evictions,
+            warms,
+            ticks,
+            warm_micros_mean: total.checked_div(warms).unwrap_or(0),
+            warm_micros_max,
+            health: self.health().name(),
+        }
+    }
+
+    /// Prometheus exposition of the fleet: fleet-level series always, and
+    /// — when [`FleetBuilder::per_tenant_telemetry`] is on — every warm
+    /// tenant's full engine telemetry with each context label namespaced
+    /// as `tenant/context`.
+    pub fn render_prometheus(&self) -> String {
+        let status = self.status();
+        let mut out = String::new();
+        let fleet_series: &[(&str, u64)] = &[
+            ("ix_fleet_tenants", status.tenants as u64),
+            ("ix_fleet_tenants_warm", status.warm as u64),
+            ("ix_fleet_tenants_cold", status.cold as u64),
+            ("ix_fleet_warm_limit", status.warm_limit as u64),
+            ("ix_fleet_evictions_total", status.evictions),
+            ("ix_fleet_warms_total", status.warms),
+            ("ix_fleet_ticks_total", status.ticks),
+            ("ix_fleet_warm_micros_mean", status.warm_micros_mean),
+            ("ix_fleet_warm_micros_max", status.warm_micros_max),
+        ];
+        for (name, value) in fleet_series {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        out.push_str(&format!(
+            "ix_fleet_health{{state=\"{}\"}} 1\n",
+            status.health
+        ));
+        let snapshots: Vec<(TenantId, TelemetrySnapshot)> = {
+            let inner = self.lock();
+            inner
+                .slots
+                .iter()
+                .filter_map(|(id, slot)| match slot {
+                    Slot::Warm(w) => w.telemetry.as_ref().map(|hub| (id.clone(), hub.snapshot())),
+                    Slot::Cold(_) => None,
+                })
+                .collect()
+        };
+        for (tenant, mut snap) in snapshots {
+            for scope in &mut snap.contexts {
+                scope.context = format!("{tenant}/{}", scope.context);
+            }
+            snap.total.context = format!("{tenant}/(all)");
+            out.push_str(&snap.render_prometheus());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let status = self.status();
+        f.debug_struct("Fleet")
+            .field("tenants", &status.tenants)
+            .field("warm", &status.warm)
+            .field("warm_limit", &self.warm_limit)
+            .field("snapshot_dir", &self.snapshot_dir)
+            .finish()
+    }
+}

@@ -1,0 +1,276 @@
+//! The `IXSRV01` TCP server: a thread-per-core accept loop over a
+//! shared [`Fleet`].
+//!
+//! Each accept thread owns a clone of the listening socket and serves
+//! its accepted connection to completion — frames on one connection are
+//! sequential by construction, so per-connection state is a single
+//! bounded read buffer ([`ServerBuilder::max_frame_bytes`]) and nothing
+//! else. Overload never sheds silently: ticks route through the fleet's
+//! engines, whose [`ix_core::OverloadPolicy`] declares every shed on the
+//! event stream, and protocol-level rejections cross back to the client
+//! as non-zero response statuses.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ix_core::OperationContext;
+
+use crate::error::{ServeError, STATUS_OK};
+use crate::fleet::Fleet;
+use crate::wire::{
+    self, DiagnoseRequest, DrainReply, DrainRequest, HealthReply, IngestReply, IngestRequest, Op,
+    RequestFrame, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// How long an idle accept thread sleeps between polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Assembles and starts a [`ServerHandle`]; obtain one from
+/// [`ServerHandle::builder`].
+#[must_use = "builder methods return the builder; call .start() to run the server"]
+#[derive(Debug)]
+pub struct ServerBuilder {
+    addr: String,
+    accept_threads: usize,
+    max_frame_bytes: usize,
+}
+
+impl ServerBuilder {
+    fn new() -> Self {
+        ServerBuilder {
+            addr: "127.0.0.1:0".to_string(),
+            accept_threads: 0,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+
+    /// The address to bind (defaults to `127.0.0.1:0` — loopback, OS
+    /// picks the port; read it back from [`ServerHandle::addr`]).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Accept threads to run (defaults to one per available core).
+    pub fn accept_threads(mut self, threads: usize) -> Self {
+        self.accept_threads = threads;
+        self
+    }
+
+    /// Per-connection frame size limit in bytes (defaults to 1 MiB).
+    pub fn max_frame_bytes(mut self, max: usize) -> Self {
+        self.max_frame_bytes = max.max(16);
+        self
+    }
+
+    /// Binds the listener and starts the accept threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the bind fails.
+    pub fn start(self, fleet: Arc<Fleet>) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(&self.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let threads = if self.accept_threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.accept_threads
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let listener = listener.try_clone()?;
+            let fleet = Arc::clone(&fleet);
+            let stop = Arc::clone(&stop);
+            let max = self.max_frame_bytes;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ix-serve-accept-{i}"))
+                    .spawn(move || accept_loop(&listener, &fleet, &stop, max))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            stop,
+            workers,
+        })
+    }
+}
+
+/// A running `IXSRV01` server; dropping it without [`ServerHandle::stop`]
+/// leaves the accept threads running for the process lifetime.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The builder-first construction path.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::new()
+    }
+
+    /// The bound address (with the OS-assigned port when the builder
+    /// bound port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept threads to stop and joins them. In-flight
+    /// connections finish their current frame; new connections are no
+    /// longer accepted.
+    pub fn stop(self) {
+        // ordering: Release pairs with the Acquire load in accept_loop so
+        // a joined worker observed the flag, not a stale false.
+        self.stop.store(true, Ordering::Release);
+        for worker in self.workers {
+            // A worker that panicked already tore its connection down;
+            // joining it is best-effort cleanup, not a correctness gate.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One accept thread: poll-accept on the shared listener, serve each
+/// accepted connection to completion.
+fn accept_loop(listener: &TcpListener, fleet: &Fleet, stop: &AtomicBool, max_frame: usize) {
+    // ordering: Acquire pairs with the Release store in ServerHandle::stop.
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // A connection that errors mid-frame is simply dropped;
+                // protocol errors inside intact frames were already
+                // answered with status frames.
+                let _ = serve_connection(stream, fleet, stop, max_frame);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Serves one connection: sequential `IXSRV01` frames until EOF.
+fn serve_connection(
+    stream: TcpStream,
+    fleet: &Fleet,
+    stop: &AtomicBool,
+    max_frame: usize,
+) -> Result<(), ServeError> {
+    stream.set_nonblocking(false)?;
+    // Frames are request/response sized, not stream sized: Nagle's
+    // algorithm would hold every response for the peer's delayed ACK.
+    stream.set_nodelay(true)?;
+    // A read timeout keeps a silent client from pinning its accept
+    // thread past shutdown.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    loop {
+        // ordering: Acquire pairs with the Release store in stop().
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let body = match wire::read_frame(&mut reader, max_frame) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Ok(()),
+            Err(ServeError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e @ ServeError::FrameTooLarge { .. }) => {
+                // The prefix itself is trusted no further: answer, then
+                // drop the connection rather than resync mid-stream.
+                let status = e.status();
+                wire::write_frame(
+                    &mut writer,
+                    &wire::encode_response(status, e.to_string().as_bytes()),
+                )?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let (status, payload) = match wire::decode_request(&body) {
+            Ok(request) => handle_request(fleet, &request),
+            Err(e) => (e.status(), e.to_string().into_bytes()),
+        };
+        wire::write_frame(&mut writer, &wire::encode_response(status, &payload))?;
+    }
+}
+
+/// Executes one decoded request against the fleet, returning the wire
+/// status and response payload.
+pub fn handle_request(fleet: &Fleet, request: &RequestFrame) -> (u16, Vec<u8>) {
+    match dispatch(fleet, request) {
+        Ok(payload) => (STATUS_OK, payload),
+        Err(e) => (e.status(), e.to_string().into_bytes()),
+    }
+}
+
+fn dispatch(fleet: &Fleet, request: &RequestFrame) -> Result<Vec<u8>, ServeError> {
+    match request.op {
+        Op::Ingest => {
+            let req: IngestRequest = decode_json(&request.payload)?;
+            let context = OperationContext::new(&req.node, &req.workload);
+            let outcome = fleet.ingest(&request.tenant, &context, req.cpi, &req.row)?;
+            let reply = IngestReply {
+                tick: outcome.tick as u64,
+                residual: outcome.residual,
+                exceeded: outcome.exceeded,
+                anomalous: outcome.anomalous,
+                diagnosis: outcome.diagnosis,
+            };
+            encode_json(&reply)
+        }
+        Op::Drain => {
+            let req: DrainRequest = decode_json(&request.payload)?;
+            let results = fleet.drain(&request.tenant, req.max_ticks)?;
+            let errors = results.iter().filter(|(_, r)| r.is_err()).count() as u64;
+            let reply = DrainReply {
+                drained: results.len() as u64 - errors,
+                errors,
+            };
+            encode_json(&reply)
+        }
+        Op::Diagnose => {
+            let req: DiagnoseRequest = decode_json(&request.payload)?;
+            let context = OperationContext::new(&req.node, &req.workload);
+            let diagnosis = fleet.diagnose(&request.tenant, &context)?;
+            encode_json(&diagnosis)
+        }
+        Op::Health => {
+            let status = fleet.status();
+            let reply = HealthReply {
+                tenants: status.tenants as u64,
+                warm: status.warm as u64,
+                cold: status.cold as u64,
+                evictions: status.evictions,
+                warms: status.warms,
+                ticks: status.ticks,
+                health: status.health.to_string(),
+            };
+            encode_json(&reply)
+        }
+        Op::Snapshot => fleet.snapshot_bytes(&request.tenant),
+    }
+}
+
+fn decode_json<T: serde::Deserialize>(payload: &[u8]) -> Result<T, ServeError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ServeError::Protocol(format!("payload not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| ServeError::Protocol(format!("payload: {e}")))
+}
+
+fn encode_json<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, ServeError> {
+    Ok(serde_json::to_string(value)
+        .map_err(|e| ServeError::Protocol(format!("encode: {e}")))?
+        .into_bytes())
+}

@@ -1,0 +1,243 @@
+//! Tenant snapshots: everything an evicted tenant needs to warm back up.
+//!
+//! An eviction must be invisible to the tenant: the warmed engine has to
+//! continue *bit-identically* to one that was never torn down. The
+//! snapshot therefore carries the three inputs that determine a tenant
+//! engine — its [`InvarNetConfig`], its trained [`ModelStore`]
+//! (performance models, invariant sets, signatures), and the live run
+//! state the trained store does not cover: the engine-wide lifetime tick
+//! counter plus, per context, the `(cpi, metric_row)` tail of the current
+//! run (replayed through `Engine::restore_run` on warm).
+//!
+//! The container is an `IXHIST01` file with no tick rows: the whole
+//! snapshot is JSON in the `SRVT` trailing section
+//! ([`ix_history::SERVE_SECTION`]), so warming reads a fixed-size header
+//! plus one section — microseconds, independent of how long the tenant
+//! has been alive. Any `IXHIST01` reader that predates the tag still
+//! loads the file (with a warning) and carries the section verbatim.
+
+use ix_core::{InvarNetConfig, ModelStore};
+use ix_history::{HistoryStore, SERVE_SECTION};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::error::ServeError;
+
+/// The snapshot version this crate writes and the newest it reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One recorded tick of a context's current run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTick {
+    /// The CPI sample the detector stepped on.
+    pub cpi: f64,
+    /// The metric row the sliding window absorbed.
+    pub row: Vec<f64>,
+}
+
+impl Serialize for RunTick {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("cpi".to_string(), self.cpi.to_value()),
+            ("row".to_string(), self.row.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RunTick {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(RunTick {
+            cpi: f64::from_value(value.field("cpi")?)?,
+            row: Vec::<f64>::from_value(value.field("row")?)?,
+        })
+    }
+}
+
+/// One context's live state at eviction time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextState {
+    /// The context's node half (`OperationContext::new(node, workload)`).
+    pub node: String,
+    /// The context's workload half.
+    pub workload: String,
+    /// The current run's ticks since the last reset, oldest first. Empty
+    /// when [`ContextState::truncated`] is set — the run outgrew the
+    /// fleet's tail cap and the warmed context starts a fresh run instead.
+    pub tail: Vec<RunTick>,
+    /// Whether the run tail outgrew the cap and was dropped (the warmed
+    /// engine resets this context's run rather than restoring it).
+    pub truncated: bool,
+}
+
+impl Serialize for ContextState {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("node".to_string(), self.node.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("tail".to_string(), self.tail.to_value()),
+            ("truncated".to_string(), self.truncated.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ContextState {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(ContextState {
+            node: String::from_value(value.field("node")?)?,
+            workload: String::from_value(value.field("workload")?)?,
+            tail: Vec::<RunTick>::from_value(value.field("tail")?)?,
+            truncated: bool::from_value(value.field("truncated")?)?,
+        })
+    }
+}
+
+/// Everything needed to rebuild an evicted tenant's engine, bit-identical
+/// to the moment of eviction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Snapshot format version (see [`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The tenant engine's configuration.
+    pub config: InvarNetConfig,
+    /// The trained state (models, invariants, signatures).
+    pub store: ModelStore,
+    /// The engine-wide lifetime tick counter at eviction.
+    pub lifetime_ticks: u64,
+    /// Per-context live run state.
+    pub contexts: Vec<ContextState>,
+}
+
+impl Serialize for TenantSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".to_string(), self.version.to_value()),
+            ("config".to_string(), self.config.to_value()),
+            ("store".to_string(), self.store.to_value()),
+            ("lifetime_ticks".to_string(), self.lifetime_ticks.to_value()),
+            ("contexts".to_string(), self.contexts.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TenantSnapshot {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(TenantSnapshot {
+            version: u32::from_value(value.field("version")?)?,
+            config: InvarNetConfig::from_value(value.field("config")?)?,
+            store: ModelStore::from_value(value.field("store")?)?,
+            lifetime_ticks: u64::from_value(value.field("lifetime_ticks")?)?,
+            contexts: Vec::<ContextState>::from_value(value.field("contexts")?)?,
+        })
+    }
+}
+
+impl TenantSnapshot {
+    /// A version-1 snapshot of the given tenant state.
+    pub fn new(
+        config: InvarNetConfig,
+        store: ModelStore,
+        lifetime_ticks: u64,
+        contexts: Vec<ContextState>,
+    ) -> Self {
+        TenantSnapshot {
+            version: SNAPSHOT_VERSION,
+            config,
+            store,
+            lifetime_ticks,
+            contexts,
+        }
+    }
+
+    /// Serializes the snapshot into a row-free `IXHIST01` image carrying
+    /// the `SRVT` section.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let json = serde_json::to_string(self).expect("snapshot serialization is infallible");
+        HistoryStore::builder()
+            .section(SERVE_SECTION, json.into_bytes())
+            .build()
+            .to_bytes()
+    }
+
+    /// Parses a snapshot back out of an `IXHIST01` image.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Snapshot`] when the bytes are not an `IXHIST01`
+    /// image, carry no `SRVT` section, fail to parse, or were written by
+    /// a newer crate.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ServeError> {
+        let store = HistoryStore::from_bytes(bytes)
+            .map_err(|e| ServeError::Snapshot(format!("container: {e}")))?;
+        let payload = store
+            .section(SERVE_SECTION)
+            .ok_or_else(|| ServeError::Snapshot("no SRVT section".to_string()))?;
+        let text = String::from_utf8(payload)
+            .map_err(|e| ServeError::Snapshot(format!("not UTF-8: {e}")))?;
+        let snapshot: TenantSnapshot =
+            serde_json::from_str(&text).map_err(|e| ServeError::Snapshot(format!("parse: {e}")))?;
+        if snapshot.version > SNAPSHOT_VERSION {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot version {} is newer than this build ({SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TenantSnapshot {
+        TenantSnapshot::new(
+            InvarNetConfig::default(),
+            ModelStore::new(),
+            42,
+            vec![ContextState {
+                node: "10.0.0.1".to_string(),
+                workload: "Sort".to_string(),
+                tail: vec![RunTick {
+                    cpi: 1.25,
+                    row: vec![0.5, -0.25],
+                }],
+                truncated: false,
+            }],
+        )
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = TenantSnapshot::from_bytes(&bytes).expect("parse");
+        assert_eq!(back, snap);
+        assert_eq!(back.contexts[0].tail[0].cpi.to_bits(), 1.25_f64.to_bits());
+    }
+
+    #[test]
+    fn missing_section_is_a_typed_error() {
+        let bytes = HistoryStore::new().to_bytes();
+        assert!(matches!(
+            TenantSnapshot::from_bytes(&bytes),
+            Err(ServeError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn newer_version_is_rejected() {
+        let mut snap = sample();
+        snap.version = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            TenantSnapshot::from_bytes(&snap.to_bytes()),
+            Err(ServeError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_bytes_are_a_typed_error() {
+        assert!(matches!(
+            TenantSnapshot::from_bytes(b"definitely not IXHIST01"),
+            Err(ServeError::Snapshot(_))
+        ));
+    }
+}

@@ -1,0 +1,80 @@
+//! Tenant identity.
+
+use std::fmt;
+
+use crate::error::ServeError;
+
+/// Longest tenant id the wire format carries (its length field is `u16`,
+/// but ids are human-assigned names, not payloads).
+pub const MAX_TENANT_ID_BYTES: usize = 255;
+
+/// A fleet tenant's stable identity: a non-empty UTF-8 name of at most
+/// [`MAX_TENANT_ID_BYTES`] bytes with no control characters. Tenant ids
+/// key the fleet's slot table and cross the wire in every `IXSRV01`
+/// frame.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// Validates and wraps a tenant name.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] when the name is empty, longer than
+    /// [`MAX_TENANT_ID_BYTES`] bytes, or contains control characters.
+    pub fn new(name: impl Into<String>) -> Result<TenantId, ServeError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(ServeError::Protocol("empty tenant id".to_string()));
+        }
+        if name.len() > MAX_TENANT_ID_BYTES {
+            return Err(ServeError::Protocol(format!(
+                "tenant id of {} bytes exceeds the {MAX_TENANT_ID_BYTES}-byte limit",
+                name.len()
+            )));
+        }
+        if name.chars().any(char::is_control) {
+            return Err(ServeError::Protocol(
+                "tenant id contains control characters".to_string(),
+            ));
+        }
+        Ok(TenantId(name))
+    }
+
+    /// The tenant name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for TenantId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_ids_round_trip() {
+        let id = TenantId::new("acme-prod").expect("valid");
+        assert_eq!(id.as_str(), "acme-prod");
+        assert_eq!(id.to_string(), "acme-prod");
+    }
+
+    #[test]
+    fn invalid_ids_are_rejected() {
+        assert!(TenantId::new("").is_err());
+        assert!(TenantId::new("a\nb").is_err());
+        assert!(TenantId::new("x".repeat(MAX_TENANT_ID_BYTES + 1)).is_err());
+        assert!(TenantId::new("x".repeat(MAX_TENANT_ID_BYTES)).is_ok());
+    }
+}

@@ -1,0 +1,584 @@
+//! The `IXSRV01` length-prefixed binary serving protocol.
+//!
+//! Every message is one *frame*: a little-endian `u32` byte length
+//! followed by that many body bytes. Request bodies are
+//!
+//! | field | size | meaning |
+//! |---|---|---|
+//! | `version` | `u8` | protocol version ([`PROTOCOL_VERSION`]) |
+//! | `op` | `u8` | operation ([`Op`]) |
+//! | `tenant_len` | `u16` LE | tenant id byte length |
+//! | `tenant` | `tenant_len` | tenant id, UTF-8 |
+//! | `payload_len` | `u32` LE | payload byte length |
+//! | `payload` | `payload_len` | op-specific payload |
+//!
+//! and response bodies are
+//!
+//! | field | size | meaning |
+//! |---|---|---|
+//! | `version` | `u8` | protocol version |
+//! | `status` | `u16` LE | `0` ok; `1..=99` [`ix_core::ErrorCode`]; `100..` serve statuses |
+//! | `payload_len` | `u32` LE | payload byte length |
+//! | `payload` | `payload_len` | JSON reply, snapshot bytes, or error text |
+//!
+//! Payloads reuse the crate's wire-pinned encodings: JSON for structured
+//! requests/replies ([`Diagnosis`] crosses in its pinned `ix-core` shape),
+//! raw `IXHIST01` bytes for snapshots. Frames are bounded — both sides
+//! reject a declared length over their limit *before* allocating, so a
+//! hostile or corrupt prefix cannot balloon a connection's memory.
+
+use std::io::{Read, Write};
+
+use ix_core::Diagnosis;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::error::ServeError;
+use crate::tenant::TenantId;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default per-connection frame size limit (1 MiB).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// The operation a request frame asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Ingest one tick synchronously (payload: [`IngestRequest`]).
+    Ingest,
+    /// Drain the tenant's ingest queue (payload: [`DrainRequest`]).
+    Drain,
+    /// Diagnose a context's current window (payload: [`DiagnoseRequest`]).
+    Diagnose,
+    /// Report fleet health and counters (empty payload).
+    Health,
+    /// Return the tenant's snapshot bytes (empty payload).
+    Snapshot,
+}
+
+impl Op {
+    /// The stable op byte.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Op::Ingest => 0,
+            Op::Drain => 1,
+            Op::Diagnose => 2,
+            Op::Health => 3,
+            Op::Snapshot => 4,
+        }
+    }
+
+    /// The operation behind an op byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownOp`] for a byte no operation claims.
+    pub fn from_u8(byte: u8) -> Result<Op, ServeError> {
+        match byte {
+            0 => Ok(Op::Ingest),
+            1 => Ok(Op::Drain),
+            2 => Ok(Op::Diagnose),
+            3 => Ok(Op::Health),
+            4 => Ok(Op::Snapshot),
+            other => Err(ServeError::UnknownOp(other)),
+        }
+    }
+}
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// The tenant the request addresses.
+    pub tenant: TenantId,
+    /// The requested operation.
+    pub op: Op,
+    /// The op-specific payload.
+    pub payload: Vec<u8>,
+}
+
+/// `Op::Ingest` payload: one tick for one tenant context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRequest {
+    /// Context node half.
+    pub node: String,
+    /// Context workload half.
+    pub workload: String,
+    /// The CPI sample.
+    pub cpi: f64,
+    /// The metric row.
+    pub row: Vec<f64>,
+}
+
+impl Serialize for IngestRequest {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("node".to_string(), self.node.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("cpi".to_string(), self.cpi.to_value()),
+            ("row".to_string(), self.row.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for IngestRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(IngestRequest {
+            node: String::from_value(value.field("node")?)?,
+            workload: String::from_value(value.field("workload")?)?,
+            cpi: f64::from_value(value.field("cpi")?)?,
+            row: Vec::<f64>::from_value(value.field("row")?)?,
+        })
+    }
+}
+
+/// `Op::Drain` payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainRequest {
+    /// Upper bound on ticks to drain.
+    pub max_ticks: usize,
+}
+
+impl Serialize for DrainRequest {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![(
+            "max_ticks".to_string(),
+            (self.max_ticks as u64).to_value(),
+        )])
+    }
+}
+
+impl Deserialize for DrainRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(DrainRequest {
+            max_ticks: u64::from_value(value.field("max_ticks")?)? as usize,
+        })
+    }
+}
+
+/// `Op::Diagnose` payload: which context to diagnose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnoseRequest {
+    /// Context node half.
+    pub node: String,
+    /// Context workload half.
+    pub workload: String,
+}
+
+impl Serialize for DiagnoseRequest {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("node".to_string(), self.node.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DiagnoseRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(DiagnoseRequest {
+            node: String::from_value(value.field("node")?)?,
+            workload: String::from_value(value.field("workload")?)?,
+        })
+    }
+}
+
+/// `Op::Ingest` success reply: the engine's tick outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReply {
+    /// Zero-based tick index within the current run.
+    pub tick: u64,
+    /// The detector's per-tick score.
+    pub residual: f64,
+    /// Whether the score exceeded the detector's threshold.
+    pub exceeded: bool,
+    /// Whether the detector reports a performance problem.
+    pub anomalous: bool,
+    /// Cause inference, when the tick was an anomaly onset.
+    pub diagnosis: Option<Diagnosis>,
+}
+
+impl Serialize for IngestReply {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("tick".to_string(), self.tick.to_value()),
+            ("residual".to_string(), self.residual.to_value()),
+            ("exceeded".to_string(), self.exceeded.to_value()),
+            ("anomalous".to_string(), self.anomalous.to_value()),
+            ("diagnosis".to_string(), self.diagnosis.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for IngestReply {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(IngestReply {
+            tick: u64::from_value(value.field("tick")?)?,
+            residual: f64::from_value(value.field("residual")?)?,
+            exceeded: bool::from_value(value.field("exceeded")?)?,
+            anomalous: bool::from_value(value.field("anomalous")?)?,
+            diagnosis: Option::<Diagnosis>::from_value(value.field("diagnosis")?)?,
+        })
+    }
+}
+
+/// `Op::Drain` success reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReply {
+    /// Ticks drained and processed successfully.
+    pub drained: u64,
+    /// Ticks drained that the engine rejected.
+    pub errors: u64,
+}
+
+impl Serialize for DrainReply {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("drained".to_string(), self.drained.to_value()),
+            ("errors".to_string(), self.errors.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DrainReply {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(DrainReply {
+            drained: u64::from_value(value.field("drained")?)?,
+            errors: u64::from_value(value.field("errors")?)?,
+        })
+    }
+}
+
+/// `Op::Health` success reply: the fleet's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReply {
+    /// Registered tenants (warm + cold).
+    pub tenants: u64,
+    /// Currently warm tenants.
+    pub warm: u64,
+    /// Currently cold tenants.
+    pub cold: u64,
+    /// Lifetime evictions.
+    pub evictions: u64,
+    /// Lifetime warms.
+    pub warms: u64,
+    /// Ticks ingested through the fleet surface.
+    pub ticks: u64,
+    /// The folded fleet health state name.
+    pub health: String,
+}
+
+impl Serialize for HealthReply {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("tenants".to_string(), self.tenants.to_value()),
+            ("warm".to_string(), self.warm.to_value()),
+            ("cold".to_string(), self.cold.to_value()),
+            ("evictions".to_string(), self.evictions.to_value()),
+            ("warms".to_string(), self.warms.to_value()),
+            ("ticks".to_string(), self.ticks.to_value()),
+            ("health".to_string(), self.health.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for HealthReply {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(HealthReply {
+            tenants: u64::from_value(value.field("tenants")?)?,
+            warm: u64::from_value(value.field("warm")?)?,
+            cold: u64::from_value(value.field("cold")?)?,
+            evictions: u64::from_value(value.field("evictions")?)?,
+            warms: u64::from_value(value.field("warms")?)?,
+            ticks: u64::from_value(value.field("ticks")?)?,
+            health: String::from_value(value.field("health")?)?,
+        })
+    }
+}
+
+/// Encodes a request frame body (everything after the length prefix).
+pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
+    let tenant = frame.tenant.as_str().as_bytes();
+    let mut out = Vec::with_capacity(2 + 2 + tenant.len() + 4 + frame.payload.len());
+    out.push(PROTOCOL_VERSION);
+    out.push(frame.op.as_u8());
+    out.extend_from_slice(&(tenant.len() as u16).to_le_bytes());
+    out.extend_from_slice(tenant);
+    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame.payload);
+    out
+}
+
+/// Decodes a request frame body.
+///
+/// # Errors
+///
+/// [`ServeError::Version`] for an unknown version byte;
+/// [`ServeError::UnknownOp`] for an unclaimed op byte;
+/// [`ServeError::Protocol`] for truncated fields or an invalid tenant id.
+pub fn decode_request(body: &[u8]) -> Result<RequestFrame, ServeError> {
+    let mut cur = Cursor::new(body);
+    let version = cur.u8("version")?;
+    if version != PROTOCOL_VERSION {
+        return Err(ServeError::Version(version));
+    }
+    let op = Op::from_u8(cur.u8("op")?)?;
+    let tenant_len = cur.u16("tenant_len")? as usize;
+    let tenant = TenantId::new(
+        std::str::from_utf8(cur.bytes("tenant", tenant_len)?)
+            .map_err(|e| ServeError::Protocol(format!("tenant id not UTF-8: {e}")))?,
+    )?;
+    let payload_len = cur.u32("payload_len")? as usize;
+    let payload = cur.bytes("payload", payload_len)?.to_vec();
+    cur.finish()?;
+    Ok(RequestFrame {
+        tenant,
+        op,
+        payload,
+    })
+}
+
+/// Encodes a response frame body.
+pub fn encode_response(status: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 2 + 4 + payload.len());
+    out.push(PROTOCOL_VERSION);
+    out.extend_from_slice(&status.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a response frame body into `(status, payload)`.
+///
+/// # Errors
+///
+/// [`ServeError::Version`] for an unknown version byte;
+/// [`ServeError::Protocol`] for truncated fields.
+pub fn decode_response(body: &[u8]) -> Result<(u16, Vec<u8>), ServeError> {
+    let mut cur = Cursor::new(body);
+    let version = cur.u8("version")?;
+    if version != PROTOCOL_VERSION {
+        return Err(ServeError::Version(version));
+    }
+    let status = cur.u16("status")?;
+    let payload_len = cur.u32("payload_len")? as usize;
+    let payload = cur.bytes("payload", payload_len)?.to_vec();
+    cur.finish()?;
+    Ok((status, payload))
+}
+
+/// Reads one length-prefixed frame body, or `None` at a clean EOF (the
+/// peer closed between frames).
+///
+/// # Errors
+///
+/// [`ServeError::FrameTooLarge`] when the declared length exceeds `max`
+/// (checked *before* allocating); [`ServeError::Io`] on socket errors,
+/// including an EOF inside a frame.
+pub fn read_frame(reader: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        let n = reader.read(&mut prefix[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "EOF inside a frame length prefix",
+            )));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max {
+        return Err(ServeError::FrameTooLarge { len, max });
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on socket errors.
+pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> Result<(), ServeError> {
+    // One write for prefix + body: a split write would let the kernel
+    // emit the 4-byte prefix as its own segment and stall the body
+    // behind the peer's delayed ACK.
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    writer.write_all(&out)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Bounds-checked sequential reader over a frame body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        Cursor { body, at: 0 }
+    }
+
+    fn bytes(&mut self, what: &str, len: usize) -> Result<&'a [u8], ServeError> {
+        let end = self.at.checked_add(len).filter(|&e| e <= self.body.len());
+        match end {
+            Some(end) => {
+                let slice = &self.body[self.at..end];
+                self.at = end;
+                Ok(slice)
+            }
+            None => Err(ServeError::Protocol(format!(
+                "frame truncated reading {what} ({len} bytes at offset {})",
+                self.at
+            ))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ServeError> {
+        Ok(self.bytes(what, 1)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, ServeError> {
+        let b = self.bytes(what, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
+        let b = self.bytes(what, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn finish(&self) -> Result<(), ServeError> {
+        if self.at == self.body.len() {
+            Ok(())
+        } else {
+            Err(ServeError::Protocol(format!(
+                "{} trailing bytes after the frame body",
+                self.body.len() - self.at
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let frame = RequestFrame {
+            tenant: TenantId::new("acme").expect("valid"),
+            op: Op::Ingest,
+            payload: b"{\"x\":1}".to_vec(),
+        };
+        let body = encode_request(&frame);
+        assert_eq!(decode_request(&body).expect("decode"), frame);
+    }
+
+    #[test]
+    fn request_encoding_is_pinned() {
+        // Golden bytes: version 1, op 0, tenant "ab", payload "hi". A
+        // change here is a wire format break — bump PROTOCOL_VERSION.
+        let frame = RequestFrame {
+            tenant: TenantId::new("ab").expect("valid"),
+            op: Op::Ingest,
+            payload: b"hi".to_vec(),
+        };
+        assert_eq!(
+            encode_request(&frame),
+            vec![1, 0, 2, 0, b'a', b'b', 2, 0, 0, 0, b'h', b'i']
+        );
+    }
+
+    #[test]
+    fn response_encoding_is_pinned() {
+        // Golden bytes: version 1, status 104 (unknown tenant), payload "no".
+        assert_eq!(
+            encode_response(104, b"no"),
+            vec![1, 104, 0, 2, 0, 0, 0, b'n', b'o']
+        );
+        let (status, payload) = decode_response(&encode_response(104, b"no")).expect("decode");
+        assert_eq!((status, payload.as_slice()), (104, b"no".as_slice()));
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        assert!(matches!(
+            decode_request(&[9, 0, 0, 0]),
+            Err(ServeError::Version(9))
+        ));
+        assert!(matches!(
+            decode_request(&[1, 77, 0, 0, 0, 0, 0, 0]),
+            Err(ServeError::UnknownOp(77))
+        ));
+        assert!(matches!(
+            decode_request(&[1, 0, 5, 0, b'a']),
+            Err(ServeError::Protocol(_))
+        ));
+        // Trailing garbage after a well-formed body is rejected too.
+        let mut body = encode_request(&RequestFrame {
+            tenant: TenantId::new("t").expect("valid"),
+            op: Op::Health,
+            payload: Vec::new(),
+        });
+        body.push(0xFF);
+        assert!(matches!(
+            decode_request(&body),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn frames_over_the_limit_are_rejected_before_allocation() {
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut huge.as_slice(), 1024).expect_err("too large");
+        assert!(matches!(err, ServeError::FrameTooLarge { max: 1024, .. }));
+    }
+
+    #[test]
+    fn clean_eof_reads_as_none() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut { empty }, 1024).expect("eof").is_none());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc").expect("write");
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_frame(&mut r, 1024).expect("frame").as_deref(),
+            Some(b"abc".as_slice())
+        );
+        assert!(read_frame(&mut r, 1024).expect("eof").is_none());
+    }
+
+    #[test]
+    fn payload_structs_round_trip_as_json() {
+        let req = IngestRequest {
+            node: "10.0.0.1".to_string(),
+            workload: "Sort".to_string(),
+            cpi: 1.5,
+            row: vec![0.25, -0.5],
+        };
+        let json = serde_json::to_string(&req).expect("encode");
+        let back: IngestRequest = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, req);
+
+        let reply = IngestReply {
+            tick: 7,
+            residual: 0.125,
+            exceeded: true,
+            anomalous: false,
+            diagnosis: None,
+        };
+        let json = serde_json::to_string(&reply).expect("encode");
+        let back: IngestReply = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, reply);
+    }
+}

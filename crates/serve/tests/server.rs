@@ -1,0 +1,189 @@
+//! `IXSRV01` end-to-end over loopback TCP: a [`ServeClient`] driving a
+//! [`ServerHandle`] must see exactly what a direct [`Fleet`] caller sees
+//! — same tick outcomes, same diagnoses, same stable error statuses.
+
+use std::sync::{Arc, OnceLock};
+
+use ix_core::{Engine, InvarNetConfig, ModelStore, OperationContext};
+use ix_serve::{
+    wire, Fleet, ServeClient, ServeError, ServerHandle, TenantId, TenantSnapshot,
+    STATUS_UNKNOWN_TENANT,
+};
+use ix_simulator::{FaultType, Runner, WorkloadType};
+
+struct Template {
+    store: ModelStore,
+    context: OperationContext,
+    ticks: Vec<(f64, Vec<f64>)>,
+}
+
+fn template() -> &'static Template {
+    static TEMPLATE: OnceLock<Template> = OnceLock::new();
+    TEMPLATE.get_or_init(|| {
+        let runner = Runner::new(11);
+        let node = Runner::DEFAULT_FAULT_NODE;
+        let workload = WorkloadType::Wordcount;
+        let context = OperationContext::new(runner.nodes[node].ip(), workload.name());
+        let engine = Engine::builder().config(InvarNetConfig::default()).build();
+        let normals = runner.normal_runs(workload, 4);
+        let cpi_traces: Vec<Vec<f64>> = normals
+            .iter()
+            .map(|r| r.per_node[node].cpi.cpi_series())
+            .collect();
+        engine
+            .train_performance_model(context.clone(), &cpi_traces)
+            .expect("train detector");
+        let frames: Vec<_> = normals
+            .iter()
+            .map(|r| {
+                let f = &r.per_node[node].frame;
+                f.window(30..75.min(f.ticks()))
+            })
+            .collect();
+        engine
+            .build_invariants(context.clone(), &frames)
+            .expect("build invariants");
+        for fault in [FaultType::CpuHog, FaultType::MemHog] {
+            let run = runner.fault_run(workload, fault, 0);
+            engine
+                .record_signature(&context, fault.name(), &run.fault_window().expect("window"))
+                .expect("record signature");
+        }
+        let live = runner.fault_run(workload, FaultType::MemHog, 5);
+        let cpi = live.per_node[node].cpi.cpi_series();
+        let frame = &live.per_node[node].frame;
+        let ticks = (0..frame.ticks().min(cpi.len()))
+            .map(|t| (cpi[t], frame.tick(t).to_vec()))
+            .collect();
+        Template {
+            store: engine.snapshot_state(),
+            context,
+            ticks,
+        }
+    })
+}
+
+fn started_fleet(tenant: &TenantId) -> Arc<Fleet> {
+    let t = template();
+    let fleet = Arc::new(Fleet::builder().build());
+    fleet
+        .with_engine(tenant, |e| e.load_state(&t.store))
+        .expect("materialize")
+        .expect("load");
+    fleet
+}
+
+#[test]
+fn wire_ingest_matches_a_direct_twin_and_diagnoses_cross_back() {
+    let t = template();
+    let tenant = TenantId::new("wired").expect("valid");
+    let fleet = started_fleet(&tenant);
+    let server = ServerHandle::builder()
+        .accept_threads(1)
+        .start(Arc::clone(&fleet))
+        .expect("start server");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    let twin = Engine::builder().config(InvarNetConfig::default()).build();
+    twin.load_state(&t.store).expect("twin load");
+
+    let mut wire_diagnoses = 0;
+    for (cpi, row) in &t.ticks {
+        let reply = client
+            .ingest(&tenant, &t.context.node, &t.context.workload, *cpi, row)
+            .expect("wire ingest");
+        let direct = twin.ingest(&t.context, *cpi, row).expect("twin ingest");
+        assert_eq!(reply.tick, direct.tick as u64);
+        assert_eq!(reply.residual.to_bits(), direct.residual.to_bits());
+        assert_eq!(reply.exceeded, direct.exceeded);
+        assert_eq!(reply.anomalous, direct.anomalous);
+        assert_eq!(reply.diagnosis, direct.diagnosis);
+        if reply.diagnosis.is_some() {
+            wire_diagnoses += 1;
+        }
+    }
+    assert!(
+        wire_diagnoses > 0,
+        "the fault run must diagnose over the wire"
+    );
+
+    // On-demand diagnosis over the current window works over the wire too.
+    let diagnosis = client
+        .diagnose(&tenant, &t.context.node, &t.context.workload)
+        .expect("wire diagnose");
+    assert!(!diagnosis.ranked.is_empty());
+
+    // Health reflects the tenant and its ingested ticks.
+    let health = client.health(&tenant).expect("health");
+    assert_eq!(health.tenants, 1);
+    assert_eq!(health.warm, 1);
+    assert_eq!(health.ticks, t.ticks.len() as u64);
+
+    // The snapshot fetched over the wire is a parseable tenant snapshot.
+    let bytes = client.snapshot(&tenant).expect("snapshot");
+    let snapshot = TenantSnapshot::from_bytes(&bytes).expect("parse");
+    assert_eq!(snapshot.lifetime_ticks, t.ticks.len() as u64);
+
+    server.stop();
+}
+
+#[test]
+fn unknown_tenants_and_engine_errors_cross_as_stable_statuses() {
+    let tenant = TenantId::new("statusy").expect("valid");
+    let fleet = started_fleet(&tenant);
+    let server = ServerHandle::builder()
+        .accept_threads(1)
+        .start(Arc::clone(&fleet))
+        .expect("start server");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    // Unknown tenant → serve-range status.
+    let ghost = TenantId::new("ghost").expect("valid");
+    let err = client.snapshot(&ghost).expect_err("unknown tenant");
+    match err {
+        ServeError::Status { code, .. } => assert_eq!(code, STATUS_UNKNOWN_TENANT),
+        other => panic!("expected a status error, got {other}"),
+    }
+
+    // An untrained context → the engine's stable MissingModel code (1).
+    let err = client
+        .ingest(&tenant, "10.9.9.9", "Sort", 1.0, &[0.0; 26])
+        .expect_err("no model");
+    match err {
+        ServeError::Status { code, .. } => {
+            assert_eq!(
+                ServeError::engine_code(code),
+                Some(ix_core::ErrorCode::MissingModel)
+            );
+        }
+        other => panic!("expected a status error, got {other}"),
+    }
+
+    server.stop();
+}
+
+#[test]
+fn malformed_frames_get_error_responses_not_hangs() {
+    let tenant = TenantId::new("proto").expect("valid");
+    let fleet = started_fleet(&tenant);
+    let server = ServerHandle::builder()
+        .accept_threads(1)
+        .start(Arc::clone(&fleet))
+        .expect("start server");
+
+    use std::io::Write;
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    // A frame whose body claims protocol version 9.
+    let body = [9u8, 0, 0, 0, 0, 0, 0, 0];
+    stream
+        .write_all(&(body.len() as u32).to_le_bytes())
+        .expect("prefix");
+    stream.write_all(&body).expect("body");
+    let response = wire::read_frame(&mut stream, 1 << 20)
+        .expect("read")
+        .expect("response");
+    let (status, _payload) = wire::decode_response(&response).expect("decode");
+    assert_eq!(status, 101, "unsupported version is status 101");
+
+    server.stop();
+}

@@ -226,6 +226,12 @@ impl EventSink for TopConsole {
                 state.health = Some(to.name().to_string());
                 Some(format!("        HEALTH   {} -> {}", from.name(), to.name()))
             }
+            EngineEvent::TenantEvicted { tenant, ticks, .. } => {
+                Some(format!("        EVICT    tenant {tenant} ({ticks} ticks)"))
+            }
+            EngineEvent::TenantWarmed { tenant, micros, .. } => {
+                Some(format!("        WARM     tenant {tenant} ({micros} us)"))
+            }
         };
         if let Some(line) = line {
             self.push_tail(&mut state, line);

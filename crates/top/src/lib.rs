@@ -33,4 +33,4 @@ mod replay_feed;
 pub use ansi::{Screen, CLEAR_AND_HOME, HIDE_CURSOR, SHOW_CURSOR};
 pub use console::{ReplayPosition, TopConsole, TopSnapshot, DEFAULT_TAIL};
 pub use render::render_frame;
-pub use replay_feed::ReplayFeed;
+pub use replay_feed::{ReplayFeed, ReplayFeedBuilder};

@@ -108,7 +108,10 @@ fn main() -> ExitCode {
     }
 
     let console = TopConsole::with_tail(args.tail);
-    let mut feed = ReplayFeed::new(&store, console, args.speed);
+    let mut feed = ReplayFeed::builder()
+        .console(console)
+        .speed(args.speed)
+        .build(&store);
     eprintln!(
         "replaying {} events across {} contexts from {path}",
         feed.total(),

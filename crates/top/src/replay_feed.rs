@@ -26,10 +26,61 @@ pub struct ReplayFeed {
     speed: f64,
 }
 
+/// Assembles a [`ReplayFeed`] in one expression; obtain one from
+/// [`ReplayFeed::builder`] and finish with [`ReplayFeedBuilder::build`].
+#[must_use = "builder methods return the builder; call .build(store) to produce the feed"]
+#[derive(Debug)]
+pub struct ReplayFeedBuilder {
+    console: Option<TopConsole>,
+    speed: f64,
+}
+
+impl Default for ReplayFeedBuilder {
+    fn default() -> Self {
+        ReplayFeedBuilder {
+            console: None,
+            speed: 1.0,
+        }
+    }
+}
+
+impl ReplayFeedBuilder {
+    /// The console to drive (defaults to a fresh [`TopConsole`]).
+    pub fn console(mut self, console: TopConsole) -> Self {
+        self.console = Some(console);
+        self
+    }
+
+    /// Playback speed multiplier (defaults to 1x; non-positive values
+    /// clamp to 1x).
+    pub fn speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// The finished feed, staged over `store`'s event stream.
+    pub fn build(self, store: &HistoryStore) -> ReplayFeed {
+        ReplayFeed::from_parts(store, self.console.unwrap_or_default(), self.speed)
+    }
+}
+
 impl ReplayFeed {
+    /// The builder-first construction path.
+    pub fn builder() -> ReplayFeedBuilder {
+        ReplayFeedBuilder::default()
+    }
+
     /// Stages `store`'s event stream, re-interning its context labels
     /// into a fresh hub so ids resolve to the recorded names.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ReplayFeed::builder().console(console).speed(speed).build(store)`"
+    )]
     pub fn new(store: &HistoryStore, console: TopConsole, speed: f64) -> Self {
+        ReplayFeed::from_parts(store, console, speed)
+    }
+
+    fn from_parts(store: &HistoryStore, console: TopConsole, speed: f64) -> Self {
         let hub = Telemetry::shared();
         // Positional re-interning: the registry hands out ids in call
         // order, so interning label i as the i-th call gives it

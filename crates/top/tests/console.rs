@@ -107,7 +107,7 @@ fn live_attachment_sees_the_engine_stream_without_new_locks() {
 fn replay_feed_reinterns_recorded_labels_positionally() {
     // A synthetic trace recorded under two contexts, shipped through
     // bytes (labels persist in the file) and replayed into a fresh hub.
-    let store = HistoryStore::shared();
+    let store = HistoryStore::builder().shared();
     let registry = Arc::new(ix_core::ContextRegistry::new());
     let a = registry.intern(&OperationContext::new("10.0.0.1", "Wordcount"));
     let b = registry.intern(&OperationContext::new("10.0.0.2", "Sort"));
@@ -138,7 +138,10 @@ fn replay_feed_reinterns_recorded_labels_positionally() {
     let bytes = store.to_bytes();
     let reloaded = HistoryStore::from_bytes(&bytes).expect("reload");
 
-    let mut feed = ReplayFeed::new(&reloaded, TopConsole::new(), 2.0);
+    let mut feed = ReplayFeed::builder()
+        .console(TopConsole::new())
+        .speed(2.0)
+        .build(&reloaded);
     assert_eq!(feed.label(a), "Wordcount@10.0.0.1");
     assert_eq!(feed.label(b), "Sort@10.0.0.2");
     assert_eq!(feed.total(), 5);

@@ -85,7 +85,10 @@ fn committed_fixture_trace_drives_the_console() {
         "the fixture scenario must contain a diagnosis"
     );
 
-    let mut feed = ReplayFeed::new(&store, TopConsole::new(), 4.0);
+    let mut feed = ReplayFeed::builder()
+        .console(TopConsole::new())
+        .speed(4.0)
+        .build(&store);
     let mut prev = None;
     let mut frames = 0;
     while !feed.is_done() {

@@ -28,7 +28,7 @@ fn main() {
 
     // ---------------------------------------------------------- offline --
     println!("== offline training for context {context} ==");
-    let store = HistoryStore::shared();
+    let store = HistoryStore::builder().shared();
     let engine = Engine::builder()
         .config(InvarNetConfig::default())
         .history(store.clone())
@@ -104,7 +104,7 @@ fn main() {
     );
 
     // ---------------------------------------------------------- queries --
-    let query = Query::over(&engine, &store);
+    let query = Query::builder().engine(&engine).history(&store).build();
 
     // 1. Ranked explanations over the recorded window. The plan prints the
     //    scans it compiles to; the result is bit-identical to `live`.

@@ -16,6 +16,8 @@
 //!   log, sweep/diagnosis records, and the `IXHIST01` segment file format.
 //! - [`query`] — declarative RCA queries over recorded history: ranked
 //!   explanations, violation co-occurrence, counterfactual scoring.
+//! - [`serve`] — the fleet-scale multi-tenant serving layer: tenant LRU
+//!   with snapshot eviction, the `IXSRV01` wire protocol and TCP server.
 //! - [`metrics`] — the 26-metric collectl-style catalog and sample frames.
 //! - [`arima`], [`mic`], [`arx`], [`timeseries`], [`linalg`] — the
 //!   statistical substrates, all implemented from scratch.
@@ -38,6 +40,23 @@ pub use ix_metrics as metrics;
 pub use ix_mic as mic;
 pub use ix_query as query;
 pub use ix_replay as replay;
+pub use ix_serve as serve;
 pub use ix_simulator as simulator;
 pub use ix_timeseries as timeseries;
 pub use ix_top as top;
+
+/// The blessed single-import surface: `use invarnet_x::prelude::*;`.
+///
+/// The prelude carries exactly the types a typical embedding touches —
+/// the engine and its builder-first construction path, the fleet serving
+/// layer, history recording, the query layer, deterministic replay and
+/// telemetry. Everything else stays behind its module path on purpose:
+/// additions here are API commitments, reviewed like wire-format
+/// changes.
+pub mod prelude {
+    pub use ix_core::{Engine, EngineBuilder, InvarNetConfig, Telemetry};
+    pub use ix_history::HistoryStore;
+    pub use ix_query::Query;
+    pub use ix_replay::Replayer;
+    pub use ix_serve::{Fleet, FleetBuilder, TenantId};
+}

@@ -146,7 +146,7 @@ fn stream(engine: &Engine, context: &OperationContext, run: &RunResult) -> Vec<O
 #[test]
 fn recorder_attached_engine_is_bit_identical() {
     let (bare, context, run) = trained_engine(|b| b);
-    let store = HistoryStore::shared();
+    let store = HistoryStore::builder().shared();
     let (recorded, context2, run2) = trained_engine(|b| b.history(store.clone()));
     assert_eq!(context, context2);
     assert!(!bare.has_history());
@@ -183,7 +183,7 @@ fn recorder_attached_engine_is_bit_identical() {
 fn recorded_events_match_a_bare_engine_modulo_timing() {
     let sink = Arc::new(VecSink::default());
     let (bare, context, run) = trained_engine(|b| b.event_sink(sink.clone() as Arc<dyn EventSink>));
-    let store = HistoryStore::shared();
+    let store = HistoryStore::builder().shared();
     let (recorded, _, run2) = trained_engine(|b| b.history(store.clone()));
 
     stream(&bare, &context, &run);
@@ -197,7 +197,7 @@ fn recorded_events_match_a_bare_engine_modulo_timing() {
 
 #[test]
 fn query_explanations_reproduce_the_live_ranking() {
-    let store = HistoryStore::shared();
+    let store = HistoryStore::builder().shared();
     let (engine, context, run) = trained_engine(|b| b.history(store.clone()));
 
     // Stop at the diagnosis tick so the recorded current-run window is
@@ -218,7 +218,7 @@ fn query_explanations_reproduce_the_live_ranking() {
     }
     let live = live.expect("the fault run must diagnose");
 
-    let query = Query::over(&engine, &store);
+    let query = Query::builder().engine(&engine).history(&store).build();
     let recomputed = query
         .explanations(&context)
         .rank()
@@ -307,7 +307,7 @@ fn tee_preserves_per_context_order_under_concurrent_ingest() {
     const THREADS: usize = 8;
     const TICKS: usize = 200;
 
-    let store = HistoryStore::shared();
+    let store = HistoryStore::builder().shared();
     let sink = Arc::new(VecSink::default());
     let mut builder = Engine::builder()
         .config(InvarNetConfig::default())
